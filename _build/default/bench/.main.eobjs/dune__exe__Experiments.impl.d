@@ -1,0 +1,1 @@
+bench/experiments.ml: Automata Benchkit Core Exchange Format Fun Graphdb Joinlearn Lazy List Pathlearn Printf Relational String Twig Twiglearn Uschema Xmltree

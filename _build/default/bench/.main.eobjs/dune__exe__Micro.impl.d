@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Automata Bechamel Benchkit Benchmark Core Graphdb Hashtbl Instance Joinlearn Lazy List Measure Printf Relational Staged String Test Time Toolkit Twig Uschema

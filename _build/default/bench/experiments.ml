@@ -1,0 +1,1218 @@
+(* The experiment harness: regenerates every quantified claim of the paper
+   as a table (see DESIGN.md §3 for the per-experiment index and
+   EXPERIMENTS.md for paper-vs-measured).  All experiments are seeded and
+   deterministic. *)
+
+let fmt_bool b = if b then "yes" else "no"
+let fmt_opt_int = function Some k -> string_of_int k | None -> "—"
+
+(* ------------------------------------------------------------------ *)
+(* Shared XML corpora                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let training_docs =
+  lazy (List.init 10 (fun i -> Benchkit.Xmark.generate ~scale:2.0 ~seed:(100 + i) ()))
+
+let fresh_docs =
+  lazy (List.init 5 (fun i -> Benchkit.Xmark.generate ~scale:2.0 ~seed:(500 + i) ()))
+
+let semantic_equiv q1 q2 docs =
+  List.for_all (fun d -> Twig.Eval.select q1 d = Twig.Eval.select q2 d) docs
+
+type sweep_result = {
+  entry : Benchkit.Xpathmark.entry;
+  converged_at : int option;  (** #examples to semantic convergence *)
+  learned_size : int;  (** at convergence (or with all examples) *)
+  pruned_size : int;
+  pruned_equiv : bool;
+}
+
+(* One learning sweep per expressible XPathMark query: draw one annotated
+   example per training document, grow the example set until the learned
+   query agrees with the goal on every fresh document. *)
+let learning_sweep =
+  lazy
+    (let docs = Lazy.force training_docs and fresh = Lazy.force fresh_docs in
+     let g = Uschema.Depgraph.of_schema Benchkit.Xmark.schema in
+     List.filter_map
+       (fun (entry : Benchkit.Xpathmark.entry) ->
+         match entry.twig with
+         | None -> None
+         | Some goal ->
+             let examples =
+               List.filter_map
+                 (fun d ->
+                   match Twig.Eval.select goal d with
+                   | p :: _ -> Some (Xmltree.Annotated.make d p)
+                   | [] -> None)
+                 docs
+             in
+             let rec sweep k =
+               if k > List.length examples then None
+               else
+                 let sub = List.filteri (fun i _ -> i < k) examples in
+                 match Twiglearn.Positive.learn_positive sub with
+                 | None -> None
+                 | Some learned ->
+                     if semantic_equiv learned goal fresh then Some (k, learned)
+                     else sweep (k + 1)
+             in
+             let result =
+               match sweep 2 with
+               | Some (k, learned) ->
+                   let pruned = Twiglearn.Schema_aware.prune g learned in
+                   {
+                     entry;
+                     converged_at = Some k;
+                     learned_size = Twig.Query.size learned;
+                     pruned_size = Twig.Query.size pruned;
+                     pruned_equiv = semantic_equiv pruned goal fresh;
+                   }
+               | None ->
+                   let all =
+                     match Twiglearn.Positive.learn_positive examples with
+                     | Some learned -> learned
+                     | None -> goal
+                   in
+                   let pruned = Twiglearn.Schema_aware.prune g all in
+                   {
+                     entry;
+                     converged_at = None;
+                     learned_size = Twig.Query.size all;
+                     pruned_size = Twig.Query.size pruned;
+                     pruned_equiv = false;
+                   }
+             in
+             Some result)
+       Benchkit.Xpathmark.queries)
+
+(* ------------------------------------------------------------------ *)
+(* E1: examples to convergence                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  let t =
+    Benchkit.Table.make ~title:"E1: examples needed to learn the goal twig"
+      ~header:[ "query"; "xpath"; "#examples"; "learned size"; "goal size" ]
+  in
+  let results = Lazy.force learning_sweep in
+  List.iter
+    (fun r ->
+      let goal_size =
+        match r.entry.twig with Some q -> Twig.Query.size q | None -> 0
+      in
+      Benchkit.Table.add_row t
+        [
+          r.entry.id;
+          r.entry.xpath;
+          fmt_opt_int r.converged_at;
+          string_of_int r.learned_size;
+          string_of_int goal_size;
+        ])
+    results;
+  let ks = List.filter_map (fun r -> r.converged_at) results in
+  Benchkit.Table.add_row t
+    [
+      "median";
+      "";
+      Benchkit.Table.cell_float ~digits:1 (Core.Stats.median_int ks);
+      "";
+      "";
+    ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"the algorithms are able to learn a query equivalent to the \
+     goal query from a small number of examples (generally two)\".\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2: fraction of XPathMark learnable                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  let results = Lazy.force learning_sweep in
+  let total = List.length Benchkit.Xpathmark.queries in
+  let expressible = List.length results in
+  let learnable =
+    List.length (List.filter (fun r -> r.converged_at <> None) results)
+  in
+  let t =
+    Benchkit.Table.make ~title:"E2: XPathMark queries learnable by the twig learner"
+      ~header:[ "measure"; "count"; "fraction" ]
+  in
+  Benchkit.Table.add_row t [ "workload queries"; string_of_int total; "100%" ];
+  Benchkit.Table.add_row t
+    [
+      "twig-expressible";
+      string_of_int expressible;
+      Benchkit.Table.cell_pct (float_of_int expressible /. float_of_int total);
+    ];
+  Benchkit.Table.add_row t
+    [
+      "learned (≡ goal on fresh docs)";
+      string_of_int learnable;
+      Benchkit.Table.cell_pct (float_of_int learnable /. float_of_int total);
+    ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"the algorithms from [36] are able to learn 15%% of the queries \
+     from XPathMark\" — a minority-learnable skew this workload preserves.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3: query size with vs without the schema                           *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  let results = Lazy.force learning_sweep in
+  let t =
+    Benchkit.Table.make
+      ~title:"E3: schema-aware learning — query size before/after pruning"
+      ~header:[ "query"; "without schema"; "with schema"; "decrease"; "still ≡ goal" ]
+  in
+  let decreases = ref [] in
+  List.iter
+    (fun r ->
+      let d =
+        1. -. (float_of_int r.pruned_size /. float_of_int r.learned_size)
+      in
+      decreases := d :: !decreases;
+      Benchkit.Table.add_row t
+        [
+          r.entry.id;
+          string_of_int r.learned_size;
+          string_of_int r.pruned_size;
+          Benchkit.Table.cell_pct d;
+          fmt_bool r.pruned_equiv;
+        ])
+    results;
+  Benchkit.Table.add_row t
+    [
+      "mean";
+      "";
+      "";
+      Benchkit.Table.cell_pct (Core.Stats.mean !decreases);
+      "";
+    ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: learned queries are overspecialized with schema-implied \
+     fragments; pruning filters \"not implied by the schema\" shrinks them.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: DMS containment and validation scale polynomially               *)
+(* ------------------------------------------------------------------ *)
+
+let random_dme rng ~alphabet ~clauses =
+  let labels = List.init alphabet (fun i -> Printf.sprintf "l%d" i) in
+  let clause () =
+    let k = 1 + Core.Prng.int rng (min 4 alphabet) in
+    Core.Prng.sample rng k labels
+    |> List.map (fun l ->
+           ( l,
+             Core.Prng.pick rng
+               Uschema.Multiplicity.[ One; Opt; Plus; Star ] ))
+    |> Uschema.Dme.clause
+  in
+  Uschema.Dme.make (List.init clauses (fun _ -> clause ()))
+
+let e4 () =
+  let rng = Core.Prng.create 7 in
+  let t =
+    Benchkit.Table.make ~title:"E4: DMS containment & validation cost"
+      ~header:[ "alphabet"; "clauses"; "containment (µs)"; "doc nodes"; "validation (µs)" ]
+  in
+  List.iter
+    (fun (alphabet, clauses, scale) ->
+      let pairs =
+        List.init 40 (fun _ ->
+            (random_dme rng ~alphabet ~clauses, random_dme rng ~alphabet ~clauses))
+      in
+      let contain_time =
+        Core.Stats.time_median ~repeats:5 (fun () ->
+            List.iter
+              (fun (e1, e2) -> ignore (Uschema.Containment.dme_leq e1 e2))
+              pairs)
+        /. float_of_int (List.length pairs)
+      in
+      let doc = Benchkit.Xmark.generate ~scale ~seed:3 () in
+      let validate_time =
+        Core.Stats.time_median ~repeats:5 (fun () ->
+            ignore (Uschema.Schema.valid Benchkit.Xmark.schema doc))
+      in
+      Benchkit.Table.add_row t
+        [
+          string_of_int alphabet;
+          string_of_int clauses;
+          Benchkit.Table.cell_float (contain_time *. 1e6);
+          string_of_int (Xmltree.Tree.size doc);
+          Benchkit.Table.cell_float (validate_time *. 1e6);
+        ])
+    [ (4, 2, 1.0); (6, 3, 2.0); (8, 4, 4.0); (10, 5, 8.0); (12, 6, 16.0) ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"the polynomial algorithm for testing containment of two \
+     disjunctive multiplicity schemas\"; validation is linear in the \
+     document.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5: join consistency is cheap, semijoin consistency blows up        *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E5: consistency checking — natural join (PTIME) vs semijoin (NP-complete)"
+      ~header:
+        [
+          "#examples";
+          "join (µs)";
+          "semijoin exact (µs)";
+          "search nodes";
+          "greedy ok";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let trials = List.init 5 (fun s -> s + 1) in
+      let join_times = ref []
+      and semi_times = ref []
+      and nodes = ref []
+      and greedy_ok = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Core.Prng.create (1000 * seed) in
+          let inst =
+            Relational.Generator.pair_instance ~rng ~left_rows:(2 * n)
+              ~right_rows:16 ~domain:3 ()
+          in
+          let space =
+            Joinlearn.Signature.space
+              ~left_arity:(Relational.Relation.arity inst.left)
+              ~right_arity:(Relational.Relation.arity inst.right)
+          in
+          let goal = Joinlearn.Signature.of_predicate space inst.planted in
+          (* Join side: n labeled tuple pairs. *)
+          let pair_examples =
+            Joinlearn.Interactive.items_of space inst.left inst.right
+            |> List.filteri (fun i _ -> i mod 17 = 0)
+            |> List.filteri (fun i _ -> i < n)
+            |> List.map (fun (it : Joinlearn.Interactive.item) ->
+                   Core.Example.of_labeled
+                     (it.mask, Joinlearn.Signature.subset goal it.mask))
+          in
+          (* Loop the (sub-microsecond) join check to beat clock
+             resolution. *)
+          let reps = 1000 in
+          let _, jt =
+            Core.Stats.time (fun () ->
+                for _ = 1 to reps do
+                  ignore (Joinlearn.Join.learn space pair_examples)
+                done)
+          in
+          join_times := (jt /. float_of_int reps) :: !join_times;
+          (* Semijoin side: n labeled left tuples. *)
+          let ctx = Joinlearn.Semijoin.make inst.left inst.right in
+          let labeled =
+            Relational.Relation.tuples inst.left
+            |> List.filteri (fun i _ -> i < n)
+            |> List.map (fun r ->
+                   (r, Joinlearn.Semijoin.selects ctx goal r))
+          in
+          let out, st =
+            Core.Stats.time (fun () ->
+                Joinlearn.Semijoin.consistent_exact ctx labeled)
+          in
+          semi_times := st :: !semi_times;
+          nodes := out.explored :: !nodes;
+          if Joinlearn.Semijoin.consistent_greedy ctx labeled <> None then
+            incr greedy_ok)
+        trials;
+      Benchkit.Table.add_row t
+        [
+          string_of_int n;
+          Benchkit.Table.cell_float (Core.Stats.mean !join_times *. 1e6);
+          Benchkit.Table.cell_float (Core.Stats.mean !semi_times *. 1e6);
+          Benchkit.Table.cell_float ~digits:0 (Core.Stats.mean_int !nodes);
+          Printf.sprintf "%d/%d" !greedy_ok (List.length trials);
+        ])
+    [ 2; 4; 6; 8; 10; 12 ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: consistency is tractable for natural joins and intractable for \
+     semijoins; the greedy variant trades completeness for polynomial time.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6: interactive strategies minimize the number of interactions      *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E6: interactive join inference — questions per strategy (30×30 instance, 900 pairs)"
+      ~header:[ "strategy"; "mean questions"; "mean pruned"; "crowd cost @$0.05" ]
+  in
+  let strategies =
+    [
+      ("pool order", Core.Interact.first_strategy);
+      ("random", Core.Interact.random_strategy);
+      ("lattice descent", Joinlearn.Interactive.lattice_strategy);
+      ("greedy split", Joinlearn.Interactive.split_strategy ());
+    ]
+  in
+  List.iter
+    (fun (name, strategy) ->
+      let questions = ref [] and pruned = ref [] in
+      List.iter
+        (fun seed ->
+          let rng = Core.Prng.create seed in
+          let inst = Relational.Generator.pair_instance ~rng () in
+          let outcome =
+            Joinlearn.Interactive.run_with_goal ~rng ~strategy ~left:inst.left
+              ~right:inst.right ~goal:inst.planted ()
+          in
+          questions := outcome.questions :: !questions;
+          pruned := outcome.pruned :: !pruned)
+        (List.init 8 (fun i -> i + 1));
+      Benchkit.Table.add_row t
+        [
+          name;
+          Benchkit.Table.cell_float ~digits:1 (Core.Stats.mean_int !questions);
+          Benchkit.Table.cell_float ~digits:1 (Core.Stats.mean_int !pruned);
+          Printf.sprintf "$%.2f" (0.05 *. Core.Stats.mean_int !questions);
+        ])
+    strategies;
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"the goal is to minimize the number of interactions with the \
+     user\" — equivalently the financial cost of the crowdsourcing HITs.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7: path queries on the geographic graph                            *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E7: learning path queries on road networks (goal: highway+)"
+      ~header:
+        [ "cities"; "questions"; "pruned"; "hypothesis"; "≡ goal"; "pairs F1" ]
+  in
+  let goal = Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*") in
+  (* Graph paths are non-empty, so hypotheses are compared modulo ε: the
+     learner cannot observe the empty path. *)
+  let sigma_plus =
+    Automata.Dfa.of_regex
+      (Automata.Regex.parse
+         "(highway | road | ferry) (highway | road | ferry)*")
+  in
+  let equal_on_paths d1 d2 =
+    Automata.Dfa.equal_language
+      (Automata.Dfa.intersect d1 sigma_plus)
+      (Automata.Dfa.intersect d2 sigma_plus)
+  in
+  List.iter
+    (fun cities ->
+      let rng = Core.Prng.create (cities * 13) in
+      let graph = Graphdb.Generators.geo ~rng ~cities () in
+      let outcome =
+        Pathlearn.Interactive.run_with_goal ~rng ~max_len:3 ~graph ~goal ()
+      in
+      let hyp_str, equiv =
+        match outcome.query with
+        | Some h ->
+            ( Format.asprintf "%a" Pathlearn.Words.pp h,
+              equal_on_paths h.dfa goal )
+        | None -> ("—", false)
+      in
+      (* Pair-level learning: a few labeled pairs, then F1 over all pairs. *)
+      let answers = Graphdb.Rpq.eval goal graph in
+      let non_answers =
+        List.concat_map
+          (fun u -> List.init cities (fun v -> (u, v)))
+          (List.init cities Fun.id)
+        |> List.filter (fun p -> not (List.mem p answers))
+      in
+      (* A trivial (u,u) negative rules out star-only hypotheses, which
+         accept every node pair through the empty path. *)
+      let diagonal_negative =
+        List.filter (fun (u, v) -> u = v) non_answers
+        |> List.filteri (fun i _ -> i < 1)
+      in
+      let examples =
+        (List.filteri (fun i _ -> i < 6) answers
+        |> List.map Core.Example.positive)
+        @ List.map Core.Example.negative diagonal_negative
+        @ (List.filteri (fun i _ -> i mod 7 = 0 && i < 42) non_answers
+          |> List.map Core.Example.negative)
+      in
+      let f1 =
+        match Pathlearn.Pairs.learn graph examples with
+        | None -> 0.
+        | Some h ->
+            let predicted = Graphdb.Rpq.eval h.dfa graph in
+            let inter =
+              List.length (List.filter (fun p -> List.mem p answers) predicted)
+            in
+            if predicted = [] || answers = [] then 0.
+            else
+              let p = float_of_int inter /. float_of_int (List.length predicted) in
+              let r = float_of_int inter /. float_of_int (List.length answers) in
+              if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+      in
+      Benchkit.Table.add_row t
+        [
+          string_of_int cities;
+          string_of_int outcome.questions;
+          string_of_int outcome.pruned;
+          hyp_str;
+          fmt_bool equiv;
+          Benchkit.Table.cell_float f1;
+        ])
+    [ 10; 16; 24 ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: the geographic use case — learn path restrictions such as \
+     \"highway\" roads from labeled paths, with few interactions.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8: the four data-exchange scenarios of Figure 1                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E8: cross-model exchange with learned source queries (Figure 1)"
+      ~header:[ "scenario"; "learned query"; "target size"; "≡ direct evaluation" ]
+  in
+  (* 1: relational → XML *)
+  (let rng = Core.Prng.create 11 in
+   let inst = Relational.Generator.pair_instance ~rng () in
+   let space =
+     Joinlearn.Signature.space
+       ~left_arity:(Relational.Relation.arity inst.left)
+       ~right_arity:(Relational.Relation.arity inst.right)
+   in
+   let goal = Joinlearn.Signature.of_predicate space inst.planted in
+   let examples =
+     Joinlearn.Interactive.items_of space inst.left inst.right
+     |> List.filteri (fun i _ -> i mod 5 = 0)
+     |> List.map (fun (it : Joinlearn.Interactive.item) ->
+            ((it.left, it.right), Joinlearn.Signature.subset goal it.mask))
+   in
+   match Exchange.Mapping.Rel_to_xml.run ~left:inst.left ~right:inst.right ~examples with
+   | None -> Benchkit.Table.add_row t [ "1 rel→XML"; "failed"; "—"; "no" ]
+   | Some result ->
+       let direct =
+         Exchange.Publish.relation_to_xml
+           (Relational.Algebra.equijoin inst.left inst.right inst.planted)
+       in
+       Benchkit.Table.add_row t
+         [
+           "1 rel→XML";
+           Format.asprintf "⋈ %a"
+             (Joinlearn.Signature.pp space)
+             (Joinlearn.Signature.of_predicate space result.predicate);
+           string_of_int (Xmltree.Tree.size result.published);
+           fmt_bool (Xmltree.Tree.equal_unordered result.published direct);
+         ]);
+  (* 2: XML → relational *)
+  (let doc = Benchkit.Xmark.generate ~scale:2.0 ~seed:21 () in
+   let goal = Twig.Parse.query "//person" in
+   let annotations = Twig.Eval.select goal doc in
+   match
+     Exchange.Mapping.Xml_to_rel.run ~doc ~annotations ~name:"person"
+       ~columns:[ ("name", "name"); ("email", "emailaddress") ]
+   with
+   | None -> Benchkit.Table.add_row t [ "2 XML→rel"; "failed"; "—"; "no" ]
+   | Some result ->
+       let direct =
+         Exchange.Publish.xml_to_relation ~name:"person" ~row_query:goal
+           ~columns:[ ("name", "name"); ("email", "emailaddress") ]
+           doc
+       in
+       Benchkit.Table.add_row t
+         [
+           "2 XML→rel";
+           Twig.Query.to_string
+             (Twiglearn.Schema_aware.prune
+                (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
+                result.query);
+           string_of_int (Relational.Relation.cardinal result.shredded);
+           fmt_bool (Relational.Relation.equal_contents result.shredded direct);
+         ]);
+  (* 3: XML → RDF *)
+  (let doc = Benchkit.Xmark.generate ~scale:1.0 ~seed:31 () in
+   let goal = Twig.Parse.query "//person/address" in
+   let annotations = Twig.Eval.select goal doc in
+   if annotations = [] then
+     Benchkit.Table.add_row t [ "3 XML→RDF"; "no witnesses"; "—"; "no" ]
+   else
+     match Exchange.Mapping.Xml_to_rdf.run ~doc ~annotations with
+     | None -> Benchkit.Table.add_row t [ "3 XML→RDF"; "failed"; "—"; "no" ]
+     | Some result ->
+         let direct = Exchange.Publish.xml_to_rdf ~scope:goal doc in
+         Benchkit.Table.add_row t
+           [
+             "3 XML→RDF";
+             Twig.Query.to_string
+               (Twiglearn.Schema_aware.prune
+                  (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
+                  result.query);
+             string_of_int (Exchange.Rdf.cardinal result.triples);
+             fmt_bool (Exchange.Rdf.equal result.triples direct);
+           ]);
+  (* 4: graph → XML *)
+  (let rng = Core.Prng.create 41 in
+   let graph = Graphdb.Generators.geo ~rng ~cities:10 () in
+   let goal = Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*") in
+   let answers = Graphdb.Rpq.eval goal graph in
+   let non_answers =
+     List.concat_map (fun u -> List.init 10 (fun v -> (u, v))) (List.init 10 Fun.id)
+     |> List.filter (fun p -> not (List.mem p answers))
+   in
+   let examples =
+     List.map (fun p -> (p, true)) (List.filteri (fun i _ -> i < 4) answers)
+     @ List.map (fun p -> (p, false)) (List.filteri (fun i _ -> i < 4) non_answers)
+   in
+   match Exchange.Mapping.Graph_to_xml.run ~graph ~examples with
+   | None -> Benchkit.Table.add_row t [ "4 graph→XML"; "failed"; "—"; "no" ]
+   | Some result ->
+       let direct = Exchange.Publish.graph_paths_to_xml graph goal in
+       Benchkit.Table.add_row t
+         [
+           "4 graph→XML";
+           Format.asprintf "%a" Pathlearn.Words.pp result.query;
+           string_of_int (Xmltree.Tree.size result.published);
+           fmt_bool (Xmltree.Tree.equal_unordered result.published direct);
+         ]);
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper, Figure 1: publishing and shredding between the relational, XML \
+     and RDF models, with the source query learned from examples.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9: schema inference in the limit                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E9: DMS identification in the limit from positive examples"
+      ~header:[ "target schema"; "stream"; "converged at"; "inferred ≡ target"; "fresh docs valid" ]
+  in
+  (* Miniature target with a genuine disjunction. *)
+  (let hidden =
+     Uschema.Schema.make ~root:"r"
+       ~rules:
+         [
+           ("r", Uschema.Dme.parse "a+ b?");
+           ("a", Uschema.Dme.parse "c | d e*");
+         ]
+   in
+   let rng = Core.Prng.create 5 in
+   let gen_doc () =
+     let gen_a () =
+       if Core.Prng.bool rng then Xmltree.Parse.term "a(c)"
+       else
+         Xmltree.Tree.node "a"
+           (Xmltree.Tree.leaf "d"
+           :: List.init (Core.Prng.int rng 3) (fun _ -> Xmltree.Tree.leaf "e"))
+     in
+     Xmltree.Tree.node "r"
+       (List.init (1 + Core.Prng.int rng 3) (fun _ -> gen_a ())
+       @ (if Core.Prng.bool rng then [ Xmltree.Tree.leaf "b" ] else []))
+   in
+   let stream = List.init 12 (fun _ -> gen_doc ()) in
+   let verdict =
+     Core.Limit.run ~learn:Uschema.Infer.infer
+       ~equiv:Uschema.Containment.schema_equiv ~target:hidden ~stream
+   in
+   let fresh_ok =
+     match Uschema.Infer.infer stream with
+     | None -> false
+     | Some inferred ->
+         List.init 10 (fun _ -> gen_doc ())
+         |> List.for_all (Uschema.Schema.valid inferred)
+   in
+   Benchkit.Table.add_row t
+     [
+       "a+ b? / (c | d e*)";
+       "12 docs";
+       fmt_opt_int verdict.converged_at;
+       fmt_bool (Core.Limit.converged verdict);
+       fmt_bool fresh_ok;
+     ]);
+  (* The XMark schema itself needs a richer stream: optional-children
+     combinations (a person with every optional part present, an empty
+     catgraph, ...) must all be exhibited before the clause-merging
+     generalization reaches the target. *)
+  (let stream =
+     List.init 30 (fun i -> Benchkit.Xmark.generate ~scale:3.0 ~seed:(700 + i) ())
+   in
+   let verdict =
+     Core.Limit.run ~learn:Uschema.Infer.infer
+       ~equiv:Uschema.Containment.schema_equiv ~target:Benchkit.Xmark.schema
+       ~stream
+   in
+   let fresh_ok =
+     match Uschema.Infer.infer stream with
+     | None -> false
+     | Some inferred ->
+         List.init 5 (fun i -> Benchkit.Xmark.generate ~scale:2.0 ~seed:(800 + i) ())
+         |> List.for_all (Uschema.Schema.valid inferred)
+   in
+   Benchkit.Table.add_row t
+     [
+       "XMark DMS";
+       "30 docs";
+       fmt_opt_int verdict.converged_at;
+       fmt_bool (Core.Limit.converged verdict);
+       fmt_bool fresh_ok;
+     ]);
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"the disjunctive multiplicity schemas are identifiable in the \
+     limit from positive examples only\".\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10: DMS vs ordered DTD on XMark                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E10: the XMark DTD vs its DMS (order-obliviousness)"
+      ~header:[ "document class"; "docs"; "DMS accepts"; "DTD accepts" ]
+  in
+  let docs =
+    List.init 10 (fun i -> Benchkit.Xmark.generate ~scale:1.5 ~seed:(50 + i) ())
+  in
+  let count pred docs = List.length (List.filter pred docs) in
+  let n = List.length docs in
+  let fmt k = Printf.sprintf "%d/%d" k n in
+  Benchkit.Table.add_row t
+    [
+      "generated (ordered)";
+      string_of_int n;
+      fmt (count (Uschema.Schema.valid Benchkit.Xmark.schema) docs);
+      fmt (count (Uschema.Dtd.valid Benchkit.Xmark.dtd) docs);
+    ];
+  let rng = Core.Prng.create 77 in
+  let permuted = List.map (Benchkit.Mutate.permute_children rng) docs in
+  Benchkit.Table.add_row t
+    [
+      "sibling-permuted";
+      string_of_int n;
+      fmt (count (Uschema.Schema.valid Benchkit.Xmark.schema) permuted);
+      fmt (count (Uschema.Dtd.valid Benchkit.Xmark.dtd) permuted);
+    ];
+  let mutants =
+    List.concat_map
+      (Benchkit.Mutate.invalidating_mutants rng Benchkit.Xmark.schema)
+      docs
+  in
+  let m = List.length mutants in
+  Benchkit.Table.add_row t
+    [
+      "structure-mutated";
+      string_of_int m;
+      Printf.sprintf "%d/%d"
+        (List.length
+           (List.filter (Uschema.Schema.valid Benchkit.Xmark.schema) mutants))
+        m;
+      Printf.sprintf "%d/%d"
+        (List.length (List.filter (Uschema.Dtd.valid Benchkit.Xmark.dtd) mutants))
+        m;
+    ];
+  Benchkit.Table.print t;
+  let dms_self =
+    Core.Stats.time_median ~repeats:3 (fun () ->
+        ignore
+          (Uschema.Containment.schema_leq Benchkit.Xmark.schema
+             Benchkit.Xmark.schema))
+  in
+  let dtd_self =
+    Core.Stats.time_median ~repeats:3 (fun () ->
+        ignore (Uschema.Dtd.leq Benchkit.Xmark.dtd Benchkit.Xmark.dtd))
+  in
+  Printf.printf
+    "Containment self-check: DMS %.1f µs (grid procedure) vs DTD %.1f µs \
+     (DFA products).\n" (dms_self *. 1e6) (dtd_self *. 1e6);
+  Printf.printf
+    "Paper: \"the disjunctive multiplicity schema can express the DTD from \
+     XMark\", while ignoring \"the relative order among the elements\" — \
+     permutations stay valid under the DMS only.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11: PAC learning curves                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E11: PAC learning curves (mean generalization error)"
+      ~header:[ "m"; "twig error"; "twig fails"; "join error"; "join fails" ]
+  in
+  (* Twig setup: instances are annotated XMark nodes, half drawn from the
+     goal's answers (the annotator looks at relevant nodes), half uniform. *)
+  let corpus =
+    List.init 12 (fun i -> Benchkit.Xmark.generate ~scale:1.5 ~seed:(600 + i) ())
+  in
+  let goal = Twig.Parse.query "//person[profile]/name" in
+  let twig_setup =
+    {
+      Core.Pac.learn =
+        (fun examples ->
+          Twiglearn.Positive.learn_positive (Core.Example.positives examples));
+      selects = Twig.Eval.selects_example;
+      sample =
+        (fun rng ->
+          let doc = Core.Prng.pick rng corpus in
+          let answers = Twig.Eval.select goal doc in
+          let path =
+            if answers <> [] && Core.Prng.bool rng then
+              Core.Prng.pick rng answers
+            else Core.Prng.pick rng (Xmltree.Tree.all_paths doc)
+          in
+          Xmltree.Annotated.make doc path);
+      target = (fun a -> Twig.Eval.selects_example goal a);
+    }
+  in
+  (* Join setup: instances are tuple-pair signatures of a fixed instance. *)
+  let join_inst =
+    Relational.Generator.pair_instance ~rng:(Core.Prng.create 99) ()
+  in
+  let join_space =
+    Joinlearn.Signature.space
+      ~left_arity:(Relational.Relation.arity join_inst.left)
+      ~right_arity:(Relational.Relation.arity join_inst.right)
+  in
+  let join_goal = Joinlearn.Signature.of_predicate join_space join_inst.planted in
+  let join_items =
+    Joinlearn.Interactive.items_of join_space join_inst.left join_inst.right
+    |> List.map (fun (it : Joinlearn.Interactive.item) -> it.mask)
+  in
+  (* Balance the distribution (uniform pairs are ~97% negative, which would
+     make even the trivial learner look good). *)
+  let join_pos, join_neg =
+    List.partition (fun m -> Joinlearn.Signature.subset join_goal m) join_items
+  in
+  let join_setup =
+    {
+      Core.Pac.learn = (fun examples -> Joinlearn.Join.learn join_space examples);
+      selects = (fun theta mask -> Joinlearn.Signature.subset theta mask);
+      sample =
+        (fun rng ->
+          if Core.Prng.bool rng && join_pos <> [] then
+            Core.Prng.pick rng join_pos
+          else Core.Prng.pick rng join_neg);
+      target = (fun mask -> Joinlearn.Signature.subset join_goal mask);
+    }
+  in
+  let sizes = [ 2; 4; 8; 16; 32; 64 ] in
+  let twig_curve =
+    Core.Pac.learning_curve twig_setup ~seed:1 ~sizes ~trials:6
+      ~test_samples:150 ()
+  in
+  let join_curve =
+    Core.Pac.learning_curve join_setup ~seed:2 ~sizes ~trials:10
+      ~test_samples:300 ()
+  in
+  List.iter2
+    (fun (tc : Core.Pac.curve_point) (jc : Core.Pac.curve_point) ->
+      Benchkit.Table.add_row t
+        [
+          string_of_int tc.train_size;
+          Benchkit.Table.cell_pct tc.mean_error;
+          string_of_int tc.failures;
+          Benchkit.Table.cell_pct jc.mean_error;
+          string_of_int jc.failures;
+        ])
+    twig_curve join_curve;
+  Benchkit.Table.print t;
+  let m_join =
+    Core.Pac.sample_complexity join_setup ~seed:3 ~epsilon:0.05 ~delta:0.2
+      ~trials:10 ~test_samples:300 ()
+  in
+  Printf.printf
+    "Empirical sample complexity (join, ε=0.05, δ=0.2): m = %s.\n"
+    (fmt_opt_int m_join);
+  Printf.printf
+    "Paper: the PAC framework as the fallback when exact consistency is \
+     intractable — \"the learned query may select some negative examples \
+     and omit some positive ones\".\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E12: chains of joins                                                *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E12: interactive learning of join chains R1 ⋈ … ⋈ Rk"
+      ~header:
+        [ "k"; "pool size"; "questions"; "pruned"; "goal recovered"; "join rows" ]
+  in
+  List.iter
+    (fun k ->
+      let rng = Core.Prng.create (100 + k) in
+      let relations =
+        List.init k (fun i ->
+            Relational.Generator.random_relation ~rng
+              ~name:(Printf.sprintf "R%d" (i + 1))
+              ~attrs:
+                (List.init 3 (fun a -> Printf.sprintf "r%d_%d" (i + 1) a))
+              ~rows:5 ~domain:3)
+      in
+      let goal =
+        List.init (k - 1) (fun i -> [ ((i + i) mod 3, (i + 1) mod 3) ])
+      in
+      let outcome =
+        Joinlearn.Chain.run_with_goal ~rng ~relations ~goal ()
+      in
+      let chain = Joinlearn.Chain.make relations in
+      let goal_vec = Joinlearn.Chain.of_predicates chain goal in
+      let recovered =
+        match outcome.query with
+        | None -> false
+        | Some learned ->
+            List.for_all
+              (fun (it : Joinlearn.Chain.item) ->
+                Joinlearn.Chain.selects learned it.mask
+                = Joinlearn.Chain.selects goal_vec it.mask)
+              (Joinlearn.Chain.items_of chain relations)
+      in
+      let joined = Relational.Algebra.chain_join relations goal in
+      Benchkit.Table.add_row t
+        [
+          string_of_int k;
+          string_of_int (outcome.questions + outcome.pruned);
+          string_of_int outcome.questions;
+          string_of_int outcome.pruned;
+          fmt_bool recovered;
+          string_of_int (Relational.Relation.cardinal joined);
+        ])
+    [ 2; 3; 4 ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"we want to extend our approach to other operators and also to \
+     chains of joins between many relations\" — the per-link version space \
+     keeps every decision polynomial while the pool grows geometrically.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E13: ablation of the LGG design choices                             *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E13: ablation — LGG filter-product design (goal //person[profile]/name and A4)"
+      ~header:
+        [ "configuration"; "goal"; "#examples"; "size"; "≡ goal on fresh docs" ]
+  in
+  let docs = Lazy.force training_docs and fresh = Lazy.force fresh_docs in
+  let goals =
+    [
+      ("B7", Twig.Parse.query "//person[profile/@income]/name");
+      ("A4",
+       Twig.Parse.query
+         "/site/closed_auctions/closed_auction[annotation/description//keyword]/date");
+    ]
+  in
+  let configs =
+    [
+      ("label-guided + rescue (default)", true, true);
+      ("label-guided, no rescue", true, false);
+      ("naive product", false, true);
+    ]
+  in
+  List.iter
+    (fun (cname, label_guided, rescue) ->
+      List.iter
+        (fun (gname, goal) ->
+          let examples =
+            List.filter_map
+              (fun d ->
+                match Twig.Eval.select goal d with
+                | p :: _ -> Some (Twig.Query.of_example d p)
+                | [] -> None)
+              docs
+          in
+          let rec sweep k =
+            if k > List.length examples then None
+            else
+              let sub = List.filteri (fun i _ -> i < k) examples in
+              match Twig.Lgg.lgg_all ~label_guided ~rescue sub with
+              | None -> None
+              | Some merged ->
+                  let q = Twig.Lgg.minimize merged in
+                  if
+                    Twig.Query.is_anchored q
+                    && semantic_equiv q goal fresh
+                  then Some (k, q)
+                  else sweep (k + 1)
+          in
+          match sweep 2 with
+          | Some (k, q) ->
+              Benchkit.Table.add_row t
+                [
+                  cname;
+                  gname;
+                  string_of_int k;
+                  string_of_int (Twig.Query.size q);
+                  "yes";
+                ]
+          | None ->
+              let size =
+                match Twig.Lgg.lgg_all ~label_guided ~rescue examples with
+                | Some q -> Twig.Query.size (Twig.Lgg.minimize q)
+                | None -> 0
+              in
+              Benchkit.Table.add_row t
+                [ cname; gname; "—"; string_of_int size; "no" ])
+        goals)
+    configs;
+  Benchkit.Table.print t;
+  Printf.printf
+    "The label-guided product is what makes few-example convergence \
+     possible; the descendant rescue is what preserves structure buried at \
+     different depths (A4's //keyword).  DESIGN.md §4 records both \
+     choices.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14: interactive twig learning by node annotation                   *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E14: interactive twig learning — document order vs. label-diverse questions"
+      ~header:
+        [
+          "goal";
+          "doc nodes";
+          "doc-order Q";
+          "label-diverse Q";
+          "pruned (diverse)";
+          "answers recovered";
+        ]
+  in
+  let goals =
+    [
+      "//person/name";
+      "//item/location";
+      "//open_auction[bidder]/current";
+      "//closed_auction/annotation";
+    ]
+  in
+  List.iter
+    (fun xpath ->
+      let goal = Twig.Parse.query xpath in
+      let doc = Benchkit.Xmark.generate ~scale:1.5 ~seed:314 () in
+      let naive = Twiglearn.Interactive.run_with_goal ~doc ~goal () in
+      let diverse =
+        Twiglearn.Interactive.run_with_goal
+          ~strategy:Twiglearn.Interactive.label_diverse_strategy ~doc ~goal ()
+      in
+      let recovered =
+        match diverse.query with
+        | None -> false
+        | Some q -> Twig.Eval.select q doc = Twig.Eval.select goal doc
+      in
+      Benchkit.Table.add_row t
+        [
+          xpath;
+          string_of_int (Xmltree.Tree.size doc);
+          string_of_int naive.questions;
+          string_of_int diverse.questions;
+          string_of_int diverse.pruned;
+          fmt_bool recovered;
+        ])
+    goals;
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"develop a practical system able to learn twig queries from \
+     interaction with the user\" — the anchored fragment's unique LGG makes \
+     most nodes' labels inferable, so they are never asked.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15: unions of twig queries                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E15: learning unions of twig queries (greedy clustering)"
+      ~header:
+        [ "goal union"; "clusters found"; "consistent"; "answers recovered" ]
+  in
+  let doc = Benchkit.Xmark.generate ~scale:1.5 ~seed:42 () in
+  let goals =
+    [
+      [ "//person/name"; "//item/location" ];
+      [ "//open_auction/initial"; "//closed_auction/price" ];
+      [ "//keyword"; "//person/emailaddress"; "//category/name" ];
+    ]
+  in
+  List.iter
+    (fun union_goal ->
+      let queries = List.map Twig.Parse.query union_goal in
+      let answers =
+        List.concat_map (fun q -> Twig.Eval.select q doc) queries
+        |> List.sort_uniq compare
+      in
+      let examples = Xmltree.Annotated.examples_of_answers doc ~answers in
+      (* Thin the negatives (the full complement is large). *)
+      let examples =
+        List.filteri
+          (fun i (e : _ Core.Example.t) ->
+            Core.Example.is_positive e || i mod 5 = 0)
+          examples
+      in
+      match Twiglearn.Union.learn examples with
+      | None -> Benchkit.Table.add_row t [ String.concat " ∪ " union_goal; "—"; "no"; "no" ]
+      | Some union ->
+          let consistent =
+            List.for_all
+              (fun (e : _ Core.Example.t) ->
+                Twiglearn.Union.selects union e.value
+                = Core.Example.is_positive e)
+              examples
+          in
+          let recovered =
+            let selected =
+              List.filter
+                (fun p ->
+                  Twiglearn.Union.selects union (Xmltree.Annotated.make doc p))
+                (Xmltree.Tree.all_paths doc)
+            in
+            selected = answers
+          in
+          Benchkit.Table.add_row t
+            [
+              String.concat " ∪ " union_goal;
+              string_of_int (List.length union);
+              fmt_bool consistent;
+              fmt_bool recovered;
+            ])
+    goals;
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: \"richer query languages e.g., unions of twig queries for which \
+     testing consistency is trivial but learnability remains an open \
+     question\" — the greedy clustering learner answers it affirmatively on \
+     these workloads.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E16: interactive semijoin inference                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E16: interactive semijoin inference (questions over left tuples)"
+      ~header:[ "left rows"; "questions"; "pruned"; "goal classification recovered" ]
+  in
+  List.iter
+    (fun rows ->
+      let rng = Core.Prng.create (rows * 31) in
+      let inst =
+        Relational.Generator.pair_instance ~rng ~left_arity:3 ~right_arity:3
+          ~left_rows:rows ~right_rows:8 ~domain:4 ()
+      in
+      let outcome =
+        Joinlearn.Semijoin_interactive.run_with_goal ~rng ~left:inst.left
+          ~right:inst.right ~goal:inst.planted ()
+      in
+      let recovered =
+        match outcome.query with
+        | None -> false
+        | Some learned ->
+            let ctx = Joinlearn.Semijoin.make inst.left inst.right in
+            let goal =
+              Joinlearn.Signature.of_predicate (Joinlearn.Semijoin.space ctx)
+                inst.planted
+            in
+            List.for_all
+              (fun tuple ->
+                Joinlearn.Semijoin.selects ctx goal tuple
+                = Joinlearn.Semijoin.selects ctx learned tuple)
+              (Relational.Relation.tuples inst.left)
+      in
+      Benchkit.Table.add_row t
+        [
+          string_of_int (Relational.Relation.cardinal inst.left);
+          string_of_int outcome.questions;
+          string_of_int outcome.pruned;
+          fmt_bool recovered;
+        ])
+    [ 8; 14; 20 ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: for operators with intractable consistency (semijoins), design \
+     interactive strategies anyway — here each determined-label test runs \
+     the exact search under both assumed labels.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E17: twig consistency with negatives — the exponential frontier     *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  let t =
+    Benchkit.Table.make
+      ~title:"E17: twig consistency with negative examples — anchored PTIME vs bounded exact search"
+      ~header:
+        [
+          "query size bound";
+          "candidate twigs";
+          "search (ms)";
+          "anchored check (ms)";
+        ]
+  in
+  (* A sample where the anchored check and the search agree (consistent). *)
+  let doc =
+    Xmltree.Parse.term
+      "r(item(location,name),item(name),gadget(name),item(location))"
+  in
+  let examples =
+    [
+      Core.Example.positive (Xmltree.Annotated.make doc [ 0 ]);
+      Core.Example.positive (Xmltree.Annotated.make doc [ 3 ]);
+      Core.Example.negative (Xmltree.Annotated.make doc [ 1 ]);
+      Core.Example.negative (Xmltree.Annotated.make doc [ 2 ]);
+    ]
+  in
+  let anchored_ms =
+    Core.Stats.time_median ~repeats:5 (fun () ->
+        ignore (Twiglearn.Consistency.anchored examples))
+    *. 1e3
+  in
+  List.iter
+    (fun max_size ->
+      let alphabet = [ "r"; "item"; "location"; "name"; "gadget" ] in
+      let candidates =
+        Twiglearn.Enumerate.count ~alphabet ~max_nodes:max_size ()
+      in
+      let dt =
+        Core.Stats.time_median ~repeats:3 (fun () ->
+            ignore (Twiglearn.Consistency.bounded ~max_size examples))
+      in
+      Benchkit.Table.add_row t
+        [
+          string_of_int max_size;
+          string_of_int candidates;
+          Benchkit.Table.cell_float (dt *. 1e3);
+          Benchkit.Table.cell_float anchored_ms;
+        ])
+    [ 2; 3; 4; 5 ];
+  Benchkit.Table.print t;
+  Printf.printf
+    "Paper: with negative examples, twig consistency is NP-complete in \
+     general, but \"when considering the restriction that the sets … have a \
+     bounded size, the problem becomes tractable\" — the candidate space \
+     grows exponentially with the size bound while the anchored-fragment \
+     check stays constant.\n\n"
+
+let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+            ("e15", e15); ("e16", e16); ("e17", e17) ]

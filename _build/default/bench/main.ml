@@ -1,0 +1,25 @@
+(* Entry point of the experiment harness.
+
+   Usage:
+     dune exec bench/main.exe               # all experiments + micro-benches
+     dune exec bench/main.exe -- e3 e5      # selected experiments
+     dune exec bench/main.exe -- micro      # micro-benchmarks only *)
+
+let usage () =
+  print_endline "usage: main.exe [e1 .. e17 | micro]...";
+  print_endline "  with no arguments, runs every experiment and the";
+  print_endline "  bechamel micro-benchmarks.";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_experiment name =
+    match List.assoc_opt name Experiments.all with
+    | Some f -> f ()
+    | None -> if name = "micro" then Micro.run () else usage ()
+  in
+  match args with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) Experiments.all;
+      Micro.run ()
+  | names -> List.iter run_experiment names

@@ -1,0 +1,132 @@
+(* Bechamel micro-benchmarks: one Test.make per algorithmic kernel behind
+   the experiment tables.  Estimates are OLS ns/run on the monotonic
+   clock. *)
+
+open Bechamel
+open Toolkit
+
+let xmark_doc = lazy (Benchkit.Xmark.generate ~scale:2.0 ~seed:1 ())
+let xmark_indexed = lazy (Twig.Eval.index (Lazy.force xmark_doc))
+
+let person_query = Twig.Parse.query "//person[profile/@income]/name"
+
+let char_queries =
+  lazy
+    (let doc = Lazy.force xmark_doc in
+     match Twig.Eval.select person_query doc with
+     | a :: b :: _ ->
+         (Twig.Query.of_example doc a, Twig.Query.of_example doc b)
+     | _ -> failwith "micro: witnesses expected")
+
+let dme_pair =
+  ( Uschema.Dme.parse "a+ b? c* | d e? | a c",
+    Uschema.Dme.parse "a* b? c* e? | d e*" )
+
+let join_setup =
+  lazy
+    (let rng = Core.Prng.create 2 in
+     let inst = Relational.Generator.pair_instance ~rng () in
+     let space =
+       Joinlearn.Signature.space
+         ~left_arity:(Relational.Relation.arity inst.left)
+         ~right_arity:(Relational.Relation.arity inst.right)
+     in
+     let goal = Joinlearn.Signature.of_predicate space inst.planted in
+     let examples =
+       Joinlearn.Interactive.items_of space inst.left inst.right
+       |> List.filteri (fun i _ -> i mod 9 = 0)
+       |> List.map (fun (it : Joinlearn.Interactive.item) ->
+              Core.Example.of_labeled
+                (it.mask, Joinlearn.Signature.subset goal it.mask))
+     in
+     (space, examples, inst))
+
+let semijoin_setup =
+  lazy
+    (let _, _, inst = Lazy.force join_setup in
+     let ctx = Joinlearn.Semijoin.make inst.left inst.right in
+     let goal =
+       Joinlearn.Signature.of_predicate (Joinlearn.Semijoin.space ctx)
+         inst.planted
+     in
+     let labeled =
+       Relational.Relation.tuples inst.left
+       |> List.filteri (fun i _ -> i < 8)
+       |> List.map (fun r -> (r, Joinlearn.Semijoin.selects ctx goal r))
+     in
+     (ctx, labeled))
+
+let rpni_sample =
+  let w s = String.split_on_char '.' s in
+  ( [ w "h"; w "h.h"; w "h.h.h"; w "h.h.h.h" ],
+    [ []; w "r"; w "h.r"; w "r.h"; w "h.h.r" ] )
+
+let geo_graph =
+  lazy (Graphdb.Generators.geo ~rng:(Core.Prng.create 3) ~cities:20 ())
+
+let highway_dfa =
+  Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*")
+
+let tests () =
+  [
+    Test.make ~name:"twig-eval-xmark"
+      (Staged.stage (fun () ->
+           Twig.Eval.select_doc (Lazy.force xmark_indexed) person_query));
+    Test.make ~name:"twig-lgg"
+      (Staged.stage (fun () ->
+           let q1, q2 = Lazy.force char_queries in
+           Twig.Lgg.lgg q1 q2));
+    Test.make ~name:"twig-containment"
+      (Staged.stage (fun () ->
+           let q1, q2 = Lazy.force char_queries in
+           Twig.Contain.subsumed q1 q2));
+    Test.make ~name:"dme-containment"
+      (Staged.stage (fun () ->
+           let e1, e2 = dme_pair in
+           Uschema.Containment.dme_leq e1 e2));
+    Test.make ~name:"xmark-validate"
+      (Staged.stage (fun () ->
+           Uschema.Schema.valid Benchkit.Xmark.schema (Lazy.force xmark_doc)));
+    Test.make ~name:"join-consistency"
+      (Staged.stage (fun () ->
+           let space, examples, _ = Lazy.force join_setup in
+           Joinlearn.Join.learn space examples));
+    Test.make ~name:"semijoin-exact"
+      (Staged.stage (fun () ->
+           let ctx, labeled = Lazy.force semijoin_setup in
+           Joinlearn.Semijoin.consistent_exact ctx labeled));
+    Test.make ~name:"rpni-highway"
+      (Staged.stage (fun () ->
+           let pos, neg = rpni_sample in
+           Automata.Rpni.learn ~pos ~neg));
+    Test.make ~name:"rpq-eval-geo"
+      (Staged.stage (fun () ->
+           Graphdb.Rpq.eval highway_dfa (Lazy.force geo_graph)));
+  ]
+
+let run () =
+  print_endline "== Bechamel micro-benchmarks (ns/run, OLS estimate) ==";
+  let grouped = Test.make_grouped ~name:"kernels" (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, estimate) -> Printf.printf "  %-32s %14.1f\n" name estimate)
+    rows;
+  print_newline ()

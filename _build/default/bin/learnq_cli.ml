@@ -1,0 +1,502 @@
+(* learnq — command-line front end to the query-learning library.
+
+   Subcommands:
+     xmark           generate an XMark-style document
+     validate        validate documents against a DMS (default: XMark)
+     schema-contain  decide containment between two DMS files
+     gen-doc         generate a random document valid for a DMS
+     infer-schema    infer a disjunctive multiplicity schema from documents
+     learn-twig      learn a twig query from annotated nodes (or from a goal)
+     learn-join      interactive join inference (CSV files or generated data)
+     learn-path      learn a path query on a generated road network
+     exchange        run a Figure-1 data-exchange scenario *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_doc path = Xmltree.Parse.xml (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* xmark                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Document scale factor.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let xmark_cmd =
+  let run scale seed =
+    print_string (Xmltree.Print.to_xml (Benchkit.Xmark.generate ~scale ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document.")
+    Term.(const run $ scale_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML documents.")
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE"
+        ~doc:
+          "Schema file in the textual DMS format (root: line + one \
+           'label -> DME' rule per line); defaults to the built-in XMark \
+           schema.")
+
+let load_schema = function
+  | None -> Benchkit.Xmark.schema
+  | Some path -> Uschema.Schema.parse (read_file path)
+
+let validate_cmd =
+  let run schema_file files =
+    let schema = load_schema schema_file in
+    let failures = ref 0 in
+    List.iter
+      (fun path ->
+        match Uschema.Schema.validate schema (load_doc path) with
+        | Ok () -> Printf.printf "%s: valid\n" path
+        | Error vs ->
+            incr failures;
+            Printf.printf "%s: INVALID (%d violations)\n" path (List.length vs);
+            List.iteri
+              (fun i v ->
+                if i < 5 then
+                  Format.printf "  %a@." Uschema.Schema.pp_violation v)
+              vs)
+      files;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate documents against a DMS (default: XMark).")
+    Term.(const run $ schema_arg $ files_arg)
+
+let schema_contain_cmd =
+  let s1_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEMA1")
+  in
+  let s2_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEMA2")
+  in
+  let run p1 p2 =
+    let s1 = Uschema.Schema.parse (read_file p1) in
+    let s2 = Uschema.Schema.parse (read_file p2) in
+    let leq12 = Uschema.Containment.schema_leq s1 s2 in
+    let leq21 = Uschema.Containment.schema_leq s2 s1 in
+    Printf.printf "%s <= %s: %b\n%s <= %s: %b\n" p1 p2 leq12 p2 p1 leq21;
+    if leq12 && leq21 then print_endline "the schemas are equivalent"
+  in
+  Cmd.v
+    (Cmd.info "schema-contain"
+       ~doc:"Decide containment between two DMS files, both directions.")
+    Term.(const run $ s1_arg $ s2_arg)
+
+let gen_doc_cmd =
+  let run schema_file seed =
+    let schema = load_schema schema_file in
+    let rng = Core.Prng.create seed in
+    match Uschema.Docgen.generate ~rng schema with
+    | Some doc -> print_string (Xmltree.Print.to_xml doc)
+    | None ->
+        prerr_endline "the schema admits no finite document";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "gen-doc"
+       ~doc:"Generate a random document valid for a DMS (default: XMark).")
+    Term.(const run $ schema_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* infer-schema                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let infer_schema_cmd =
+  let run files =
+    match Uschema.Infer.infer (List.map load_doc files) with
+    | Some schema -> Format.printf "%a@." Uschema.Schema.pp schema
+    | None ->
+        prerr_endline "documents disagree on the root label";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "infer-schema"
+       ~doc:"Infer a disjunctive multiplicity schema from documents.")
+    Term.(const run $ files_arg)
+
+(* ------------------------------------------------------------------ *)
+(* learn-twig                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_path s =
+  (* "/0/2/1" or "0/2/1" *)
+  String.split_on_char '/' s
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt t with
+         | Some i -> i
+         | None -> failwith ("bad node path: " ^ s))
+
+let learn_twig_cmd =
+  let doc_files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"XML documents.")
+  in
+  let selects =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "select" ] ~docv:"PATH"
+          ~doc:
+            "Annotated node as child-index path (e.g. /3/0/1), one per \
+             --select, matched positionally with FILEs (repeat a file to \
+             annotate several nodes).")
+  in
+  let goal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"XPATH"
+          ~doc:
+            "Instead of --select, draw one example per document from this \
+             goal query (simulated annotator).")
+  in
+  let with_schema =
+    Arg.(
+      value & flag
+      & info [ "xmark-schema" ]
+          ~doc:"Prune filters implied by the XMark schema from the result.")
+  in
+  let run files selects goal with_schema =
+    let docs = List.map load_doc files in
+    let examples =
+      match goal with
+      | Some xpath -> (
+          match Twig.Parse.query_opt xpath with
+          | None ->
+              prerr_endline ("not a twig query: " ^ xpath);
+              exit 1
+          | Some q ->
+              List.filter_map
+                (fun d ->
+                  match Twig.Eval.select q d with
+                  | p :: _ -> Some (Xmltree.Annotated.make d p)
+                  | [] -> None)
+                docs)
+      | None ->
+          if List.length selects <> List.length docs then begin
+            prerr_endline "need exactly one --select per FILE (or --goal)";
+            exit 1
+          end;
+          List.map2
+            (fun d s -> Xmltree.Annotated.make d (parse_path s))
+            docs selects
+    in
+    match Twiglearn.Positive.learn_positive examples with
+    | None ->
+        prerr_endline "no anchored twig is consistent with the annotations";
+        exit 1
+    | Some learned ->
+        Format.printf "learned: %a@." Twig.Query.pp learned;
+        if with_schema then
+          Format.printf "pruned:  %a@." Twig.Query.pp
+            (Twiglearn.Schema_aware.prune
+               (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
+               learned)
+  in
+  Cmd.v
+    (Cmd.info "learn-twig" ~doc:"Learn a twig query from annotated nodes.")
+    Term.(const run $ doc_files $ selects $ goal $ with_schema)
+
+(* ------------------------------------------------------------------ *)
+(* learn-join                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_arg =
+  let strategies =
+    [ ("first", `First); ("random", `Random); ("lattice", `Lattice); ("split", `Split) ]
+  in
+  Arg.(
+    value
+    & opt (enum strategies) `Lattice
+    & info [ "strategy" ] ~doc:"Question-selection strategy: $(docv)."
+        ~docv:"first|random|lattice|split")
+
+(* Human-in-the-loop labeling: print the tuple pair, read y/n. *)
+let ask_human left_rel right_rel (it : Joinlearn.Interactive.item) =
+  let render rel t =
+    Array.to_list (Relational.Relation.attrs rel)
+    |> List.mapi (fun i a ->
+           Printf.sprintf "%s=%s" a (Relational.Value.to_string t.(i)))
+    |> String.concat ", "
+  in
+  Printf.printf "Should these rows join?\n  left:  %s\n  right: %s\n"
+    (render left_rel it.left) (render right_rel it.right);
+  let rec prompt () =
+    print_string "  [y/n] > ";
+    match input_line stdin with
+    | "y" | "Y" | "yes" -> true
+    | "n" | "N" | "no" -> false
+    | exception End_of_file ->
+        prerr_endline "stdin closed; treating as 'no'";
+        false
+    | _ -> prompt ()
+  in
+  prompt ()
+
+let print_learned_predicate left_rel right_rel space mask =
+  let pairs = Joinlearn.Signature.to_predicate space mask in
+  let named =
+    List.map
+      (fun (i, j) ->
+        Printf.sprintf "%s.%s = %s.%s"
+          (Relational.Relation.name left_rel)
+          (Relational.Relation.attrs left_rel).(i)
+          (Relational.Relation.name right_rel)
+          (Relational.Relation.attrs right_rel).(j))
+      pairs
+  in
+  Printf.printf "learned predicate: %s\n"
+    (if named = [] then "(cartesian product)" else String.concat " AND " named)
+
+let learn_join_csv left_path right_path strategy =
+  let load name path =
+    Relational.Csv.parse ~name (read_file path)
+  in
+  let left = load "left" left_path and right = load "right" right_path in
+  let space =
+    Joinlearn.Signature.space
+      ~left_arity:(Relational.Relation.arity left)
+      ~right_arity:(Relational.Relation.arity right)
+  in
+  let items = Joinlearn.Interactive.items_of space left right in
+  Printf.printf
+    "%d candidate row pairs; answer the questions (uninformative pairs are \
+     skipped automatically).\n\n"
+    (List.length items);
+  let outcome =
+    Joinlearn.Interactive.Loop.run ~strategy ~oracle:(ask_human left right)
+      ~items ()
+  in
+  Printf.printf "\n%d questions asked, %d pairs inferred automatically.\n"
+    outcome.questions outcome.pruned;
+  match outcome.query with
+  | Some mask ->
+      print_learned_predicate left right space mask;
+      let joined =
+        Relational.Algebra.equijoin left right
+          (Joinlearn.Signature.to_predicate space mask)
+      in
+      Printf.printf "join result (%d rows):\n%s"
+        (Relational.Relation.cardinal joined)
+        (Relational.Csv.to_string joined)
+  | None ->
+      prerr_endline "the answers are inconsistent with every equi-join"
+
+let learn_join_cmd =
+  let rows_arg =
+    Arg.(value & opt int 30 & info [ "rows" ] ~doc:"Rows per relation.")
+  in
+  let left_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "left" ] ~docv:"CSV"
+          ~doc:"Left relation as CSV (headers = attributes); with --right, \
+                runs a real interactive session on your data.")
+  in
+  let right_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "right" ] ~docv:"CSV" ~doc:"Right relation as CSV.")
+  in
+  let run_generated_join seed strategy rows =
+    let rng = Core.Prng.create seed in
+    let inst =
+      Relational.Generator.pair_instance ~rng ~left_rows:rows ~right_rows:rows ()
+    in
+    Printf.printf "hidden goal: %s\n"
+      (String.concat ", "
+         (List.map (fun (i, j) -> Printf.sprintf "a%d=b%d" i j) inst.planted));
+    let outcome =
+      Joinlearn.Interactive.run_with_goal ~rng ~strategy ~left:inst.left
+        ~right:inst.right ~goal:inst.planted ()
+    in
+    let space =
+      Joinlearn.Signature.space
+        ~left_arity:(Relational.Relation.arity inst.left)
+        ~right_arity:(Relational.Relation.arity inst.right)
+    in
+    (match outcome.query with
+    | Some learned ->
+        Format.printf "learned:     %a@." (Joinlearn.Signature.pp space) learned
+    | None -> print_endline "no consistent predicate");
+    Printf.printf "questions: %d, pruned: %d (pool %d)\n" outcome.questions
+      outcome.pruned
+      (outcome.questions + outcome.pruned)
+  in
+  let run seed strategy rows left right =
+    let strategy_fn =
+      match strategy with
+      | `First -> Core.Interact.first_strategy
+      | `Random -> Core.Interact.random_strategy
+      | `Lattice -> Joinlearn.Interactive.lattice_strategy
+      | `Split -> Joinlearn.Interactive.split_strategy ()
+    in
+    match (left, right) with
+    | Some l, Some r -> learn_join_csv l r strategy_fn
+    | Some _, None | None, Some _ ->
+        prerr_endline "need both --left and --right";
+        exit 1
+    | None, None -> run_generated_join seed strategy_fn rows
+  in
+  Cmd.v
+    (Cmd.info "learn-join"
+       ~doc:
+         "Interactively infer a join predicate — on your CSV data with \
+          --left/--right (you answer the questions), or on a generated \
+          instance with a simulated user.")
+    Term.(const run $ seed_arg $ strategy_arg $ rows_arg $ left_arg $ right_arg)
+
+(* ------------------------------------------------------------------ *)
+(* learn-path                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let learn_path_cmd =
+  let cities_arg =
+    Arg.(value & opt int 14 & info [ "cities" ] ~doc:"Number of cities.")
+  in
+  let goal_arg =
+    Arg.(
+      value
+      & opt string "highway highway*"
+      & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
+  in
+  let run seed cities goal =
+    let rng = Core.Prng.create seed in
+    let graph = Graphdb.Generators.geo ~rng ~cities () in
+    let goal_dfa = Automata.Dfa.of_regex (Automata.Regex.parse goal) in
+    let outcome =
+      Pathlearn.Interactive.run_with_goal ~rng ~max_len:3 ~graph ~goal:goal_dfa ()
+    in
+    Printf.printf "questions: %d, pruned: %d\n" outcome.questions outcome.pruned;
+    match outcome.query with
+    | Some h -> Format.printf "learned: %a@." Pathlearn.Words.pp h
+    | None -> print_endline "no consistent query"
+  in
+  Cmd.v
+    (Cmd.info "learn-path"
+       ~doc:"Interactively learn a path query on a generated road network.")
+    Term.(const run $ seed_arg $ cities_arg $ goal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exchange                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exchange_cmd =
+  let scenario_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("1", 1); ("2", 2); ("3", 3); ("4", 4) ])) None
+      & info [] ~docv:"SCENARIO" ~doc:"Figure-1 scenario number (1-4).")
+  in
+  let run scenario seed =
+    match scenario with
+    | 1 ->
+        let rng = Core.Prng.create seed in
+        let inst =
+          Relational.Generator.pair_instance ~rng ~left_rows:6 ~right_rows:6 ()
+        in
+        let space =
+          Joinlearn.Signature.space
+            ~left_arity:(Relational.Relation.arity inst.left)
+            ~right_arity:(Relational.Relation.arity inst.right)
+        in
+        let goal = Joinlearn.Signature.of_predicate space inst.planted in
+        let examples =
+          Joinlearn.Interactive.items_of space inst.left inst.right
+          |> List.map (fun (it : Joinlearn.Interactive.item) ->
+                 ((it.left, it.right), Joinlearn.Signature.subset goal it.mask))
+        in
+        (match
+           Exchange.Mapping.Rel_to_xml.run ~left:inst.left ~right:inst.right
+             ~examples
+         with
+        | Some result -> print_string (Xmltree.Print.to_xml result.published)
+        | None -> prerr_endline "learning failed")
+    | 2 ->
+        let doc = Benchkit.Xmark.generate ~scale:1.5 ~seed () in
+        let annotations = Twig.Eval.select (Twig.Parse.query "//person") doc in
+        (match
+           Exchange.Mapping.Xml_to_rel.run ~doc ~annotations ~name:"person"
+             ~columns:[ ("name", "name"); ("email", "emailaddress") ]
+         with
+        | Some result ->
+            Format.printf "%a@." Relational.Relation.pp result.shredded
+        | None -> prerr_endline "learning failed")
+    | 3 ->
+        let doc = Benchkit.Xmark.generate ~scale:1.0 ~seed () in
+        let annotations =
+          Twig.Eval.select (Twig.Parse.query "//person/address") doc
+        in
+        (match Exchange.Mapping.Xml_to_rdf.run ~doc ~annotations with
+        | Some result -> Format.printf "%a@." Exchange.Rdf.pp result.triples
+        | None -> prerr_endline "learning failed")
+    | 4 ->
+        let rng = Core.Prng.create seed in
+        let graph = Graphdb.Generators.geo ~rng ~cities:8 () in
+        let goal =
+          Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*")
+        in
+        let answers = Graphdb.Rpq.eval goal graph in
+        let non_answer =
+          List.concat_map
+            (fun u -> List.init 8 (fun v -> (u, v)))
+            (List.init 8 Fun.id)
+          |> List.find (fun p -> not (List.mem p answers))
+        in
+        let examples =
+          List.map (fun p -> (p, true)) (List.filteri (fun i _ -> i < 3) answers)
+          @ [ (non_answer, false) ]
+        in
+        (match Exchange.Mapping.Graph_to_xml.run ~graph ~examples with
+        | Some result -> print_string (Xmltree.Print.to_xml result.published)
+        | None -> prerr_endline "learning failed")
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "exchange" ~doc:"Run a Figure-1 data-exchange scenario.")
+    Term.(const run $ scenario_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "learnq" ~version:"1.0.0"
+      ~doc:"Learning queries for relational, semi-structured, and graph databases."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            xmark_cmd;
+            validate_cmd;
+            schema_contain_cmd;
+            gen_doc_cmd;
+            infer_schema_cmd;
+            learn_twig_cmd;
+            learn_join_cmd;
+            learn_path_cmd;
+            exchange_cmd;
+          ]))

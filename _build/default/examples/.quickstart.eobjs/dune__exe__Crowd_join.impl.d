@@ -1,0 +1,1 @@
+examples/crowd_join.ml: Core Joinlearn List Printf Relational

@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Automata Benchkit Core Exchange Format Fun Graphdb Joinlearn List Option Pathlearn Printf Relational String Twig Twiglearn Xmltree

@@ -1,0 +1,1 @@
+examples/geo_paths.ml: Automata Core Format Graphdb List Pathlearn Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automata Core Format Fun Graphdb Joinlearn List Pathlearn Printf Relational String Twig Twiglearn Xmltree

@@ -1,0 +1,1 @@
+examples/xpathmark_learning.ml: Array Benchkit Format Lazy List Printf String Sys Twig Twiglearn Uschema Xmltree

@@ -1,0 +1,1 @@
+examples/xpathmark_learning.mli:

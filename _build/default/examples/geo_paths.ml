@@ -1,0 +1,62 @@
+(* The geographic use case of Section 3: a road network whose vertices are
+   cities and whose edges carry road types; a user interested in, say,
+   highway-only connections labels a few proposed paths, and the learner
+   infers the path query — reusing the query workload of previous users to
+   ask better questions first.
+
+   Run with:  dune exec examples/geo_paths.exe *)
+
+let () =
+  let rng = Core.Prng.create 2013 in
+  let graph = Graphdb.Generators.geo ~rng ~cities:14 () in
+  Printf.printf "Road network: %d cities, %d road segments (labels: %s)\n\n"
+    (Graphdb.Graph.node_count graph)
+    (Graphdb.Graph.edge_count graph)
+    (String.concat ", " (Graphdb.Graph.labels graph));
+
+  (* The hidden interest of this user: highway-only itineraries. *)
+  let goal = Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*") in
+
+  (* Previous users were also interested in highways — the learner asks
+     about highway paths first (the paper's query-workload reuse). *)
+  let prior = [ goal ] in
+
+  let outcome =
+    Pathlearn.Interactive.run_with_goal ~rng
+      ~strategy:(Pathlearn.Interactive.workload_strategy ~prior)
+      ~max_len:3 ~graph ~goal ()
+  in
+  Printf.printf "Interactive session:\n";
+  List.iteri
+    (fun i ((item : Pathlearn.Interactive.item), label) ->
+      if i < 8 then
+        Printf.printf "  Q%-2d %s -> %s via [%s]?  user says %s\n" (i + 1)
+          (Graphdb.Graph.name graph item.src)
+          (Graphdb.Graph.name graph item.dst)
+          (String.concat " " item.word)
+          (if label then "YES" else "no"))
+    outcome.asked;
+  if List.length outcome.asked > 8 then
+    Printf.printf "  ... (%d more questions)\n"
+      (List.length outcome.asked - 8);
+  Printf.printf "\n%d questions asked, %d candidate paths pruned as uninformative\n"
+    outcome.questions outcome.pruned;
+  (match outcome.query with
+  | Some h ->
+      Format.printf "learned query: %a@." Pathlearn.Words.pp h;
+      let answers = Graphdb.Rpq.eval h.dfa graph in
+      Printf.printf "\nThe query selects %d city pairs; the first few:\n"
+        (List.length answers);
+      List.iteri
+        (fun i (u, v) ->
+          if i < 5 then
+            match Graphdb.Rpq.witness h.dfa graph ~src:u ~dst:v with
+            | Some word ->
+                Printf.printf "  %s -> %s via [%s]\n"
+                  (Graphdb.Graph.name graph u)
+                  (Graphdb.Graph.name graph v)
+                  (String.concat " " word)
+            | None -> ())
+        answers
+  | None -> print_endline "no consistent query");
+  print_newline ()

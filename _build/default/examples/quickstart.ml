@@ -1,0 +1,102 @@
+(* Quickstart: a five-minute tour of learnq across the three data models of
+   the paper — XML twig queries, relational join predicates, and graph path
+   queries — all learned from examples instead of written by an expert.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+(* ------------------------------------------------------------------ *)
+(* 1. XML: learn a twig query from two annotated nodes                 *)
+(* ------------------------------------------------------------------ *)
+
+let xml_demo () =
+  section "XML: twig queries from annotated nodes";
+  (* Two small documents; the user marks the node the query must select. *)
+  let doc1 =
+    Xmltree.Parse.xml
+      {|<site><regions><africa><item><name>Drum</name><location>Kenya</location></item></africa></regions></site>|}
+  in
+  let doc2 =
+    Xmltree.Parse.xml
+      {|<site><regions><asia><item><name>Fan</name><location>Kyoto</location><mailbox/></item></asia></regions></site>|}
+  in
+  (* Annotate the two <name> elements (paths are child indices). *)
+  let examples =
+    [
+      Xmltree.Annotated.make doc1 [ 0; 0; 0; 0 ];
+      Xmltree.Annotated.make doc2 [ 0; 0; 0; 0 ];
+    ]
+  in
+  match Twiglearn.Positive.learn_positive examples with
+  | None -> print_endline "no anchored twig fits"
+  | Some q ->
+      Format.printf "learned twig: %a@." Twig.Query.pp q;
+      Format.printf "answers on doc2: %d@."
+        (List.length (Twig.Eval.select q doc2))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Relational: learn a join predicate interactively                 *)
+(* ------------------------------------------------------------------ *)
+
+let relational_demo () =
+  section "Relational: join predicates from labeled tuple pairs";
+  let rng = Core.Prng.create 2026 in
+  let inst = Relational.Generator.pair_instance ~rng () in
+  Format.printf "hidden goal: %s@."
+    (String.concat ", "
+       (List.map (fun (i, j) -> Printf.sprintf "a%d=b%d" i j) inst.planted));
+  let outcome =
+    Joinlearn.Interactive.run_with_goal ~rng
+      ~strategy:Joinlearn.Interactive.lattice_strategy ~left:inst.left
+      ~right:inst.right ~goal:inst.planted ()
+  in
+  let space =
+    Joinlearn.Signature.space
+      ~left_arity:(Relational.Relation.arity inst.left)
+      ~right_arity:(Relational.Relation.arity inst.right)
+  in
+  (match outcome.query with
+  | Some learned ->
+      Format.printf "learned:     %a@." (Joinlearn.Signature.pp space) learned
+  | None -> print_endline "no consistent predicate");
+  Format.printf "questions asked: %d (of %d pairs; %d pruned as uninformative)@."
+    outcome.questions
+    (outcome.questions + outcome.pruned)
+    outcome.pruned
+
+(* ------------------------------------------------------------------ *)
+(* 3. Graph: learn a path query from labeled node pairs                *)
+(* ------------------------------------------------------------------ *)
+
+let graph_demo () =
+  section "Graph: path queries from labeled city pairs";
+  let rng = Core.Prng.create 7 in
+  let graph = Graphdb.Generators.geo ~rng ~cities:12 () in
+  let goal = Automata.Dfa.of_regex (Automata.Regex.parse "highway highway*") in
+  let answers = Graphdb.Rpq.eval goal graph in
+  let non_answer =
+    List.concat_map (fun u -> List.init 12 (fun v -> (u, v))) (List.init 12 Fun.id)
+    |> List.find (fun p -> not (List.mem p answers))
+  in
+  let examples =
+    (List.filteri (fun i _ -> i < 3) answers |> List.map Core.Example.positive)
+    @ [ Core.Example.negative non_answer ]
+  in
+  match Pathlearn.Pairs.learn graph examples with
+  | None -> print_endline "no path query fits"
+  | Some h ->
+      Format.printf "learned path query: %a@." Pathlearn.Words.pp h;
+      Format.printf "it selects %d of the %d goal pairs@."
+        (List.length
+           (List.filter
+              (fun p -> Graphdb.Rpq.selects h.dfa graph p)
+              answers))
+        (List.length answers)
+
+let () =
+  xml_demo ();
+  relational_demo ();
+  graph_demo ();
+  print_newline ()

@@ -1,0 +1,59 @@
+(* XPathMark learning demo (paper, Section 2): for every twig-expressible
+   query of the XPathMark-style workload, learn it from annotated nodes of
+   XMark-style documents, then prune schema-implied filters — printing the
+   learned query at every stage so the overspecialization story is visible.
+
+   Run with:  dune exec examples/xpathmark_learning.exe [goal-xpath]
+   With an argument, learns that query instead of the whole workload, e.g.:
+     dune exec examples/xpathmark_learning.exe -- "//person[profile]/name" *)
+
+let docs =
+  lazy (List.init 8 (fun i -> Benchkit.Xmark.generate ~scale:2.0 ~seed:(300 + i) ()))
+
+let depgraph = lazy (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
+
+let learn_goal name goal =
+  Format.printf "--- %s: %a@." name Twig.Query.pp goal;
+  let examples =
+    List.filter_map
+      (fun d ->
+        match Twig.Eval.select goal d with
+        | p :: _ -> Some (Xmltree.Annotated.make d p)
+        | [] -> None)
+      (Lazy.force docs)
+  in
+  Format.printf "    %d annotated examples (one per document)@."
+    (List.length examples);
+  match Twiglearn.Positive.learn_positive examples with
+  | None -> Format.printf "    not learnable inside the anchored fragment@."
+  | Some learned ->
+      let pruned = Twiglearn.Schema_aware.prune (Lazy.force depgraph) learned in
+      Format.printf "    learned (size %3d): ...%s@."
+        (Twig.Query.size learned)
+        (let s = Twig.Query.to_string learned in
+         if String.length s > 60 then String.sub s (String.length s - 60) 60
+         else s);
+      Format.printf "    pruned  (size %3d): %a@."
+        (Twig.Query.size pruned)
+        Twig.Query.pp pruned;
+      let fresh = Benchkit.Xmark.generate ~scale:2.0 ~seed:900 () in
+      Format.printf "    agrees with the goal on a fresh document: %b@.@."
+        (Twig.Eval.select pruned fresh = Twig.Eval.select goal fresh)
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [ xpath ] -> (
+      match Twig.Parse.query_opt xpath with
+      | Some goal -> learn_goal "custom goal" goal
+      | None ->
+          Printf.eprintf "not a twig query: %s\n" xpath;
+          exit 1)
+  | _ ->
+      Printf.printf
+        "Learning the twig-expressible XPathMark queries from examples\n\n";
+      List.iter
+        (fun (e : Benchkit.Xpathmark.entry) ->
+          match e.twig with
+          | Some goal -> learn_goal e.id goal
+          | None -> ())
+        Benchkit.Xpathmark.queries

@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Format Hashtbl Int List Nfa Regex Set String

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Int List Regex Set String

@@ -1,0 +1,1 @@
+lib/automata/rpni.ml: Array Dfa Fun Hashtbl List Map Set String

@@ -1,0 +1,1 @@
+lib/automata/rpni.mli: Dfa

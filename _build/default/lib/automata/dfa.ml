@@ -1,0 +1,385 @@
+type t = {
+  alphabet : string array;
+  size : int;
+  start : int;
+  final : bool array;
+  next : int array array;
+}
+
+let symbol_index dfa sym =
+  let found = ref None in
+  Array.iteri
+    (fun i s -> if String.equal s sym then found := Some i)
+    dfa.alphabet;
+  !found
+
+let make ~alphabet ~size ~start ~finals ~trans =
+  let module S = Set.Make (String) in
+  let alpha = Array.of_list (S.elements (S.of_list alphabet)) in
+  let k = Array.length alpha in
+  let sink = size in
+  let next = Array.init (size + 1) (fun _ -> Array.make k sink) in
+  let final = Array.make (size + 1) false in
+  List.iter (fun f ->
+      if f < 0 || f >= size then invalid_arg "Dfa.make: final out of range";
+      final.(f) <- true)
+    finals;
+  let sym_idx s =
+    let rec find i =
+      if i >= k then invalid_arg ("Dfa.make: unknown symbol " ^ s)
+      else if String.equal alpha.(i) s then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun (src, sym, dst) ->
+      if src < 0 || src >= size || dst < 0 || dst >= size then
+        invalid_arg "Dfa.make: state out of range";
+      next.(src).(sym_idx sym) <- dst)
+    trans;
+  if start < 0 || start >= size then invalid_arg "Dfa.make: bad start";
+  { alphabet = alpha; size = size + 1; start; final; next }
+
+let of_nfa nfa =
+  let alpha = Array.of_list (Nfa.alphabet nfa) in
+  let k = Array.length alpha in
+  let table = Hashtbl.create 64 in
+  let states = ref [] in
+  let counter = ref 0 in
+  let id_of set =
+    match Hashtbl.find_opt table set with
+    | Some id -> id
+    | None ->
+        let id = !counter in
+        incr counter;
+        Hashtbl.add table set id;
+        states := (id, set) :: !states;
+        id
+  in
+  let start_set = Nfa.eps_closure nfa [ nfa.start ] in
+  let start = id_of start_set in
+  let transitions = ref [] in
+  let rec explore = function
+    | [] -> ()
+    | set :: rest ->
+        let id = Hashtbl.find table set in
+        let new_sets =
+          Array.to_list alpha
+          |> List.filter_map (fun sym ->
+                 let dst_set = Nfa.step nfa set sym in
+                 let known = Hashtbl.mem table dst_set in
+                 let dst = id_of dst_set in
+                 transitions := (id, sym, dst) :: !transitions;
+                 if known then None else Some dst_set)
+        in
+        explore (new_sets @ rest)
+  in
+  explore [ start_set ];
+  let size = !counter in
+  let next = Array.init size (fun _ -> Array.make k 0) in
+  let final = Array.make size false in
+  List.iter
+    (fun (id, set) -> if List.mem nfa.final set then final.(id) <- true)
+    !states;
+  List.iter
+    (fun (src, sym, dst) ->
+      let rec idx i = if String.equal alpha.(i) sym then i else idx (i + 1) in
+      next.(src).(idx 0) <- dst)
+    !transitions;
+  { alphabet = alpha; size; start; final; next }
+
+let of_regex regex = of_nfa (Nfa.of_regex regex)
+
+let accepts dfa word =
+  let rec go state = function
+    | [] -> dfa.final.(state)
+    | sym :: rest -> (
+        match symbol_index dfa sym with
+        | None -> false
+        | Some i -> go dfa.next.(state).(i) rest)
+  in
+  go dfa.start word
+
+let reachable dfa =
+  let seen = Array.make dfa.size false in
+  let rec go = function
+    | [] -> ()
+    | s :: rest ->
+        if seen.(s) then go rest
+        else begin
+          seen.(s) <- true;
+          go (Array.to_list dfa.next.(s) @ rest)
+        end
+  in
+  go [ dfa.start ];
+  seen
+
+let reachable_count dfa =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 (reachable dfa)
+
+let minimize dfa =
+  let seen = reachable dfa in
+  (* Moore refinement over reachable states. *)
+  let k = Array.length dfa.alphabet in
+  let classes = Array.make dfa.size 0 in
+  Array.iteri
+    (fun s f -> if seen.(s) then classes.(s) <- (if f then 1 else 0))
+    dfa.final;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Signature: own class + class of each successor. *)
+    let sig_table = Hashtbl.create 64 in
+    let fresh = ref 0 in
+    let new_classes = Array.make dfa.size 0 in
+    for s = 0 to dfa.size - 1 do
+      if seen.(s) then begin
+        let signature =
+          (classes.(s), Array.to_list (Array.map (fun d -> classes.(d)) dfa.next.(s)))
+        in
+        let c =
+          match Hashtbl.find_opt sig_table signature with
+          | Some c -> c
+          | None ->
+              let c = !fresh in
+              incr fresh;
+              Hashtbl.add sig_table signature c;
+              c
+        in
+        new_classes.(s) <- c
+      end
+    done;
+    let distinct_before =
+      let module IS = Set.Make (Int) in
+      IS.cardinal
+        (Array.to_list classes
+        |> List.filteri (fun s _ -> seen.(s))
+        |> IS.of_list)
+    in
+    let distinct_after = Hashtbl.length sig_table in
+    if distinct_after <> distinct_before then begin
+      changed := true;
+      Array.blit new_classes 0 classes 0 dfa.size
+    end
+    else Array.blit new_classes 0 classes 0 dfa.size
+  done;
+  let module IS = Set.Make (Int) in
+  let class_ids =
+    Array.to_list classes
+    |> List.filteri (fun s _ -> seen.(s))
+    |> IS.of_list |> IS.elements
+  in
+  let remap = Hashtbl.create 16 in
+  List.iteri (fun i c -> Hashtbl.add remap c i) class_ids;
+  let size = List.length class_ids in
+  let next = Array.init size (fun _ -> Array.make k 0) in
+  let final = Array.make size false in
+  for s = 0 to dfa.size - 1 do
+    if seen.(s) then begin
+      let c = Hashtbl.find remap classes.(s) in
+      final.(c) <- dfa.final.(s);
+      for a = 0 to k - 1 do
+        next.(c).(a) <- Hashtbl.find remap classes.(dfa.next.(s).(a))
+      done
+    end
+  done;
+  {
+    alphabet = dfa.alphabet;
+    size;
+    start = Hashtbl.find remap classes.(dfa.start);
+    final;
+    next;
+  }
+
+let complement dfa = { dfa with final = Array.map not dfa.final }
+
+(* Step function tolerant of foreign symbols: None is the dead state. *)
+let step_opt dfa state sym =
+  match state with
+  | None -> None
+  | Some s -> (
+      match symbol_index dfa sym with
+      | None -> None
+      | Some i -> Some dfa.next.(s).(i))
+
+let final_opt dfa = function None -> false | Some s -> dfa.final.(s)
+
+let product ~accept d1 d2 =
+  let module S = Set.Make (String) in
+  let alpha =
+    S.elements
+      (S.union
+         (S.of_list (Array.to_list d1.alphabet))
+         (S.of_list (Array.to_list d2.alphabet)))
+  in
+  let table = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let transitions = ref [] in
+  let finals = ref [] in
+  let id_of pair =
+    match Hashtbl.find_opt table pair with
+    | Some id -> (id, true)
+    | None ->
+        let id = !counter in
+        incr counter;
+        Hashtbl.add table pair id;
+        if accept (final_opt d1 (fst pair)) (final_opt d2 (snd pair)) then
+          finals := id :: !finals;
+        (id, false)
+  in
+  let start_pair = (Some d1.start, Some d2.start) in
+  let start, _ = id_of start_pair in
+  let rec explore = function
+    | [] -> ()
+    | pair :: rest ->
+        let id, _ = id_of pair in
+        let nexts =
+          List.filter_map
+            (fun sym ->
+              let dst =
+                (step_opt d1 (fst pair) sym, step_opt d2 (snd pair) sym)
+              in
+              let dst_id, known = id_of dst in
+              transitions := (id, sym, dst_id) :: !transitions;
+              if known then None else Some dst)
+            alpha
+        in
+        explore (nexts @ rest)
+  in
+  explore [ start_pair ];
+  make ~alphabet:alpha ~size:!counter ~start ~finals:!finals
+    ~trans:!transitions
+
+let intersect d1 d2 = product ~accept:( && ) d1 d2
+let union d1 d2 = product ~accept:( || ) d1 d2
+let difference d1 d2 = product ~accept:(fun a b -> a && not b) d1 d2
+
+let is_empty dfa =
+  let seen = reachable dfa in
+  let empty = ref true in
+  Array.iteri (fun s f -> if seen.(s) && f then empty := false) dfa.final;
+  !empty
+
+let equal_language d1 d2 =
+  (* BFS over the synchronized product; a discrepancy in acceptance refutes
+     equality. *)
+  let module PS = Set.Make (struct
+    type t = int option * int option
+
+    let compare = compare
+  end) in
+  let module S = Set.Make (String) in
+  let alpha =
+    S.elements
+      (S.union
+         (S.of_list (Array.to_list d1.alphabet))
+         (S.of_list (Array.to_list d2.alphabet)))
+  in
+  let rec go frontier seen =
+    match frontier with
+    | [] -> true
+    | ((s1, s2) as pair) :: rest ->
+        if PS.mem pair seen then go rest seen
+        else if final_opt d1 s1 <> final_opt d2 s2 then false
+        else
+          let seen = PS.add pair seen in
+          let succs =
+            List.map
+              (fun sym -> (step_opt d1 s1 sym, step_opt d2 s2 sym))
+              alpha
+          in
+          go (succs @ rest) seen
+  in
+  go [ (Some d1.start, Some d2.start) ] PS.empty
+
+let enumerate dfa ~max_len =
+  (* BFS by length over (state, reversed word). *)
+  let rec go frontier len acc =
+    if len > max_len then List.rev acc
+    else
+      let acc =
+        List.fold_left
+          (fun acc (s, rev_word) ->
+            if dfa.final.(s) then List.rev rev_word :: acc else acc)
+          acc frontier
+      in
+      let next_frontier =
+        List.concat_map
+          (fun (s, rev_word) ->
+            Array.to_list dfa.alphabet
+            |> List.mapi (fun i sym -> (dfa.next.(s).(i), sym :: rev_word)))
+          frontier
+      in
+      go next_frontier (len + 1) acc
+  in
+  go [ (dfa.start, []) ] 0 []
+
+let shortest_accepted dfa =
+  (* BFS with per-state visited marking. *)
+  let seen = Array.make dfa.size false in
+  let rec go = function
+    | [] -> None
+    | (s, rev_word) :: rest ->
+        if dfa.final.(s) then Some (List.rev rev_word)
+        else begin
+          let nexts =
+            Array.to_list dfa.alphabet
+            |> List.mapi (fun i sym -> (dfa.next.(s).(i), sym :: rev_word))
+            |> List.filter (fun (d, _) ->
+                   if seen.(d) then false
+                   else begin
+                     seen.(d) <- true;
+                     true
+                   end)
+          in
+          go (rest @ nexts)
+        end
+  in
+  seen.(dfa.start) <- true;
+  go [ (dfa.start, []) ]
+
+let states_count dfa = dfa.size
+
+let pp ppf dfa =
+  Format.fprintf ppf "@[<v>dfa(%d states, start %d)" dfa.size dfa.start;
+  for s = 0 to dfa.size - 1 do
+    Format.fprintf ppf "@,%d%s:" s (if dfa.final.(s) then "*" else "");
+    Array.iteri
+      (fun i sym -> Format.fprintf ppf " %s->%d" sym dfa.next.(s).(i))
+      dfa.alphabet
+  done;
+  Format.fprintf ppf "@]"
+
+let to_regex dfa =
+  (* GNFA state elimination.  Matrix indexed by [0..n+1]: n is the new
+     initial state, n+1 the new final state. *)
+  let n = dfa.size in
+  let init = n and fin = n + 1 in
+  let m = Array.make_matrix (n + 2) (n + 2) Regex.Empty in
+  let add src dst e =
+    m.(src).(dst) <- Regex.simplify (Regex.Alt (m.(src).(dst), e))
+  in
+  for s = 0 to n - 1 do
+    Array.iteri (fun i sym -> add s dfa.next.(s).(i) (Regex.Sym sym)) dfa.alphabet;
+    if dfa.final.(s) then add s fin Regex.Eps
+  done;
+  add init dfa.start Regex.Eps;
+  (* Eliminate states 0..n-1. *)
+  for k = 0 to n - 1 do
+    let loop = Regex.simplify (Regex.Star m.(k).(k)) in
+    for i = 0 to n + 1 do
+      if i <> k then
+        for j = 0 to n + 1 do
+          if j <> k && m.(i).(k) <> Regex.Empty && m.(k).(j) <> Regex.Empty
+          then
+            add i j
+              (Regex.Cat (m.(i).(k), Regex.Cat (loop, m.(k).(j))))
+        done
+    done;
+    for i = 0 to n + 1 do
+      m.(i).(k) <- Regex.Empty;
+      m.(k).(i) <- Regex.Empty
+    done
+  done;
+  Regex.simplify m.(init).(fin)

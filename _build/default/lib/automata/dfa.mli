@@ -1,0 +1,60 @@
+(** Deterministic finite automata: subset construction, Moore minimization,
+    boolean operations, language comparison and word enumeration.
+
+    DFAs are complete over their own alphabet (a sink state is materialized
+    when needed).  Language comparisons account for alphabet differences:
+    a symbol unknown to one automaton sends it to a dead state. *)
+
+type t = {
+  alphabet : string array;  (** sorted, distinct *)
+  size : int;
+  start : int;
+  final : bool array;
+  next : int array array;  (** [next.(state).(symbol_index)] *)
+}
+
+val make :
+  alphabet:string list ->
+  size:int ->
+  start:int ->
+  finals:int list ->
+  trans:(int * string * int) list ->
+  t
+(** Explicit construction; missing transitions go to a fresh sink.
+    @raise Invalid_argument on out-of-range states or unknown symbols. *)
+
+val of_nfa : Nfa.t -> t
+val of_regex : Regex.t -> t
+val accepts : t -> string list -> bool
+val symbol_index : t -> string -> int option
+
+val reachable_count : t -> int
+val minimize : t -> t
+(** Reachable-state restriction followed by Moore partition refinement;
+    the result is the canonical minimal complete DFA. *)
+
+val complement : t -> t
+val intersect : t -> t -> t
+(** Product over the union alphabet. *)
+
+val union : t -> t -> t
+(** Product over the union alphabet, accepting when either side does (a
+    symbol unknown to one side sends that side to a dead state). *)
+
+val difference : t -> t -> t
+(** Words of the first language not in the second. *)
+
+val is_empty : t -> bool
+val equal_language : t -> t -> bool
+
+val enumerate : t -> max_len:int -> string list list
+(** Accepted words of length ≤ [max_len], shortest first, lexicographic
+    within a length. *)
+
+val shortest_accepted : t -> string list option
+val states_count : t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_regex : t -> Regex.t
+(** State elimination (GNFA); sizes can blow up — used for display of small
+    learned automata. *)

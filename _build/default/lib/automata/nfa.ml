@@ -1,0 +1,91 @@
+type t = {
+  state_count : int;
+  start : int;
+  final : int;
+  trans : (int * string option * int) list;
+}
+
+let of_regex regex =
+  let counter = ref 0 in
+  let fresh () =
+    let s = !counter in
+    incr counter;
+    s
+  in
+  (* Returns (start, final, transitions) for each subexpression. *)
+  let rec build = function
+    | Regex.Empty ->
+        let s = fresh () and f = fresh () in
+        (s, f, [])
+    | Regex.Eps ->
+        let s = fresh () and f = fresh () in
+        (s, f, [ (s, None, f) ])
+    | Regex.Sym a ->
+        let s = fresh () and f = fresh () in
+        (s, f, [ (s, Some a, f) ])
+    | Regex.Alt (a, b) ->
+        let sa, fa, ta = build a and sb, fb, tb = build b in
+        let s = fresh () and f = fresh () in
+        ( s,
+          f,
+          ((s, None, sa) :: (s, None, sb) :: (fa, None, f) :: (fb, None, f)
+          :: ta)
+          @ tb )
+    | Regex.Cat (a, b) ->
+        let sa, fa, ta = build a and sb, fb, tb = build b in
+        (sa, fb, ((fa, None, sb) :: ta) @ tb)
+    | Regex.Star a ->
+        let sa, fa, ta = build a in
+        let s = fresh () and f = fresh () in
+        ( s,
+          f,
+          (s, None, sa) :: (s, None, f) :: (fa, None, sa) :: (fa, None, f)
+          :: ta )
+  in
+  let start, final, trans = build (Regex.simplify regex) in
+  { state_count = !counter; start; final; trans }
+
+let alphabet nfa =
+  let module S = Set.Make (String) in
+  List.fold_left
+    (fun acc (_, l, _) ->
+      match l with Some s -> S.add s acc | None -> acc)
+    S.empty nfa.trans
+  |> S.elements
+
+let eps_closure nfa states =
+  let module IS = Set.Make (Int) in
+  let rec go frontier seen =
+    match frontier with
+    | [] -> seen
+    | s :: rest ->
+        let successors =
+          List.filter_map
+            (fun (src, l, dst) ->
+              if src = s && l = None && not (IS.mem dst seen) then Some dst
+              else None)
+            nfa.trans
+        in
+        go (successors @ rest)
+          (List.fold_left (fun acc d -> IS.add d acc) seen successors)
+  in
+  IS.elements (go states (IS.of_list states))
+
+let step nfa states sym =
+  let module IS = Set.Make (Int) in
+  let direct =
+    List.filter_map
+      (fun (src, l, dst) ->
+        if List.mem src states && l = Some sym then Some dst else None)
+      nfa.trans
+  in
+  eps_closure nfa (IS.elements (IS.of_list direct))
+
+let accepts nfa word =
+  let final_set =
+    List.fold_left
+      (fun states sym -> step nfa states sym)
+      (eps_closure nfa [ nfa.start ])
+      word
+  in
+  List.mem nfa.final final_set

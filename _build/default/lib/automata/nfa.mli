@@ -1,0 +1,19 @@
+(** Nondeterministic finite automata with ε-transitions over string symbols,
+    built from regular expressions by Thompson's construction. *)
+
+type t = {
+  state_count : int;
+  start : int;
+  final : int;  (** Thompson automata have a single final state *)
+  trans : (int * string option * int) list;  (** [None] labels ε-moves *)
+}
+
+val of_regex : Regex.t -> t
+val alphabet : t -> string list
+val eps_closure : t -> int list -> int list
+(** Sorted, deduplicated. *)
+
+val step : t -> int list -> string -> int list
+(** One symbol move from an ε-closed state set (result ε-closed). *)
+
+val accepts : t -> string list -> bool

@@ -1,0 +1,181 @@
+type t =
+  | Empty
+  | Eps
+  | Sym of string
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+let rec nullable = function
+  | Empty | Sym _ -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> nullable a || nullable b
+  | Cat (a, b) -> nullable a && nullable b
+
+let rec simplify e =
+  match e with
+  | Empty | Eps | Sym _ -> e
+  | Alt (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, x | x, Empty -> x
+      | x, y when x = y -> x
+      | Eps, y when nullable y -> y
+      | x, Eps when nullable x -> x
+      | x, y -> Alt (x, y))
+  | Cat (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, _ | _, Empty -> Empty
+      | Eps, x | x, Eps -> x
+      | x, y -> Cat (x, y))
+  | Star a -> (
+      match simplify a with
+      | Empty | Eps -> Eps
+      | Star _ as s -> s
+      | x -> Star x)
+
+let rec deriv e sym =
+  match e with
+  | Empty | Eps -> Empty
+  | Sym s -> if String.equal s sym then Eps else Empty
+  | Alt (a, b) -> simplify (Alt (deriv a sym, deriv b sym))
+  | Cat (a, b) ->
+      let head = Cat (deriv a sym, b) in
+      simplify (if nullable a then Alt (head, deriv b sym) else head)
+  | Star a -> simplify (Cat (deriv a sym, Star a))
+
+let matches e word =
+  nullable (List.fold_left deriv (simplify e) word)
+
+let alphabet e =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Empty | Eps -> acc
+    | Sym s -> S.add s acc
+    | Alt (a, b) | Cat (a, b) -> go (go acc a) b
+    | Star a -> go acc a
+  in
+  S.elements (go S.empty e)
+
+let rec size = function
+  | Empty | Eps | Sym _ -> 1
+  | Alt (a, b) | Cat (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Syntax_error of string
+
+type token = TSym of string | TAlt | TCat | TStar | TPlus | TOpt | TOpen | TClose
+
+let tokenize input =
+  let n = String.length input in
+  (* '@' admits attribute labels (e.g. @id) as symbols, so DTD content
+     models over the XML encoding parse directly. *)
+  let is_sym c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '@'
+  in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1) acc
+      | '|' -> go (i + 1) (TAlt :: acc)
+      | '.' -> go (i + 1) (TCat :: acc)
+      | '*' -> go (i + 1) (TStar :: acc)
+      | '+' -> go (i + 1) (TPlus :: acc)
+      | '?' -> go (i + 1) (TOpt :: acc)
+      | '(' -> go (i + 1) (TOpen :: acc)
+      | ')' -> go (i + 1) (TClose :: acc)
+      | c when is_sym c ->
+          let j = ref i in
+          while !j < n && is_sym input.[!j] do
+            incr j
+          done;
+          go !j (TSym (String.sub input i (!j - i)) :: acc)
+      | c -> raise (Syntax_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0 []
+
+(* Recursive descent: alt := cat ('|' cat)*; cat := post (('.' )? post)*;
+   post := atom ('*'|'+'|'?')*; atom := sym | '(' alt ')'. *)
+let parse input =
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () =
+    match !tokens with [] -> () | _ :: rest -> tokens := rest
+  in
+  let rec alt () =
+    let left = cat () in
+    match peek () with
+    | Some TAlt ->
+        advance ();
+        Alt (left, alt ())
+    | _ -> left
+  and cat () =
+    let left = post () in
+    match peek () with
+    | Some TCat ->
+        advance ();
+        Cat (left, cat ())
+    | Some (TSym _ | TOpen) -> Cat (left, cat ())
+    | _ -> left
+  and post () =
+    let base = atom () in
+    let rec wrap e =
+      match peek () with
+      | Some TStar ->
+          advance ();
+          wrap (Star e)
+      | Some TPlus ->
+          advance ();
+          wrap (Cat (e, Star e))
+      | Some TOpt ->
+          advance ();
+          wrap (Alt (e, Eps))
+      | _ -> e
+    in
+    wrap base
+  and atom () =
+    match peek () with
+    | Some (TSym s) ->
+        advance ();
+        Sym s
+    | Some TOpen ->
+        advance ();
+        let e = alt () in
+        (match peek () with
+        | Some TClose -> advance ()
+        | _ -> raise (Syntax_error "expected ')'"));
+        e
+    | _ -> raise (Syntax_error "expected a symbol or '('")
+  in
+  if !tokens = [] then raise (Syntax_error "empty expression");
+  let e = alt () in
+  if !tokens <> [] then raise (Syntax_error "trailing tokens");
+  simplify e
+
+let rec pp ppf = function
+  | Empty -> Format.pp_print_string ppf "∅"
+  | Eps -> Format.pp_print_string ppf "ε"
+  | Sym s -> Format.pp_print_string ppf s
+  | Alt (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | Cat (a, b) -> Format.fprintf ppf "%a . %a" pp_cat_arg a pp_cat_arg b
+  | Star a -> Format.fprintf ppf "%a*" pp_star_arg a
+
+and pp_cat_arg ppf e =
+  match e with
+  | Alt _ -> Format.fprintf ppf "(%a)" pp e
+  | _ -> pp ppf e
+
+and pp_star_arg ppf e =
+  match e with
+  | Sym _ | Eps | Empty -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e
+let equal a b = simplify a = simplify b

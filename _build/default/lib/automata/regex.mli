@@ -1,0 +1,37 @@
+(** Regular expressions over string symbols (edge labels of graph
+    databases).  Words are symbol lists; matching is by Brzozowski
+    derivatives, so no automaton construction is needed for one-off tests. *)
+
+type t =
+  | Empty  (** ∅ *)
+  | Eps  (** ε *)
+  | Sym of string
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+
+val nullable : t -> bool
+val deriv : t -> string -> t
+val matches : t -> string list -> bool
+
+val simplify : t -> t
+(** Algebraic normalization (units, zeros, idempotence, nested stars). *)
+
+val alphabet : t -> string list
+(** Symbols mentioned, sorted. *)
+
+val size : t -> int
+
+exception Syntax_error of string
+
+val parse : string -> t
+(** Grammar: alternation [|], concatenation [.] or juxtaposition with
+    whitespace, postfix [*] and [+] and [?], parentheses; symbols are
+    identifiers.  Example: ["highway+ . (road | ferry)?"].
+    @raise Syntax_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+(** Syntactic equality after {!simplify} (not language equivalence — see
+    {!Dfa.equal_language}). *)

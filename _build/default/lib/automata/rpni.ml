@@ -1,0 +1,183 @@
+module SM = Map.Make (String)
+
+(* Prefix-tree acceptor in mutable form: state 0 is the root; transitions in
+   lexicographic-BFS numbering, the canonical RPNI order. *)
+type pta = {
+  mutable size : int;
+  succ : (string * int) list array ref;  (** outgoing edges per state *)
+  final : bool array ref;
+}
+
+let build_pta pos =
+  let capacity = max 1 (List.fold_left (fun a w -> a + List.length w + 1) 1 pos) in
+  let t =
+    { size = 1; succ = ref (Array.make capacity []); final = ref (Array.make capacity false) }
+  in
+  let find_edge s sym = List.assoc_opt sym !(t.succ).(s) in
+  let add_state () =
+    let id = t.size in
+    t.size <- t.size + 1;
+    id
+  in
+  let insert word =
+    let final_state =
+      List.fold_left
+        (fun s sym ->
+          match find_edge s sym with
+          | Some d -> d
+          | None ->
+              let d = add_state () in
+              !(t.succ).(s) <- !(t.succ).(s) @ [ (sym, d) ];
+              d)
+        0 word
+    in
+    !(t.final).(final_state) <- true
+  in
+  (* Sorting the positives gives the canonical state numbering. *)
+  List.iter insert (List.sort compare pos);
+  t
+
+(* A merge workspace: union-find over PTA states plus per-class edges. *)
+type workspace = {
+  parent : int array;
+  edges : (string * int) list array;  (** valid at class representatives *)
+  finals : bool array;
+}
+
+let clone ws =
+  {
+    parent = Array.copy ws.parent;
+    edges = Array.copy ws.edges;
+    finals = Array.copy ws.finals;
+  }
+
+let rec find ws s = if ws.parent.(s) = s then s else find ws ws.parent.(s)
+
+(* Merge the classes of [a] and [b], folding successor conflicts
+   (determinization). *)
+let rec merge ws a b =
+  let a = find ws a and b = find ws b in
+  if a = b then ()
+  else begin
+    ws.parent.(b) <- a;
+    ws.finals.(a) <- ws.finals.(a) || ws.finals.(b);
+    let b_edges = ws.edges.(b) in
+    ws.edges.(b) <- [];
+    List.iter
+      (fun (sym, dst) ->
+        match List.assoc_opt sym ws.edges.(a) with
+        | None -> ws.edges.(a) <- ws.edges.(a) @ [ (sym, dst) ]
+        | Some dst' -> merge ws dst' dst)
+      b_edges
+  end
+
+let run ws word =
+  let rec go s = function
+    | [] -> Some (find ws s)
+    | sym :: rest -> (
+        match List.assoc_opt sym ws.edges.(find ws s) with
+        | None -> None
+        | Some d -> go d rest)
+  in
+  go 0 word
+
+let accepts ws word =
+  match run ws word with None -> false | Some s -> ws.finals.(s)
+
+let rejects_all ws neg = List.for_all (fun w -> not (accepts ws w)) neg
+
+let to_dfa ws ~alphabet =
+  let n = Array.length ws.parent in
+  (* Enumerate live classes reachable from the root. *)
+  let remap = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rec explore s =
+    let s = find ws s in
+    if not (Hashtbl.mem remap s) then begin
+      Hashtbl.add remap s !counter;
+      incr counter;
+      List.iter (fun (_, d) -> explore d) ws.edges.(s)
+    end
+  in
+  explore 0;
+  ignore n;
+  let trans = ref [] and finals = ref [] in
+  Hashtbl.iter
+    (fun cls id ->
+      if ws.finals.(cls) then finals := id :: !finals;
+      List.iter
+        (fun (sym, d) ->
+          trans := (id, sym, Hashtbl.find remap (find ws d)) :: !trans)
+        ws.edges.(cls))
+    remap;
+  Dfa.make ~alphabet ~size:!counter ~start:(Hashtbl.find remap (find ws 0))
+    ~finals:!finals ~trans:!trans
+
+let alphabet_of words =
+  let module S = Set.Make (String) in
+  List.fold_left
+    (fun acc w -> List.fold_left (fun acc s -> S.add s acc) acc w)
+    S.empty words
+  |> S.elements
+
+let pta ~pos ~alphabet =
+  let t = build_pta pos in
+  let ws =
+    {
+      parent = Array.init t.size Fun.id;
+      edges = Array.init t.size (fun s -> !(t.succ).(s));
+      finals = Array.sub !(t.final) 0 t.size;
+    }
+  in
+  Dfa.minimize (to_dfa ws ~alphabet)
+
+let learn ~pos ~neg =
+  let contradictory = List.exists (fun w -> List.mem w pos) neg in
+  if contradictory then None
+  else begin
+    let alphabet = alphabet_of (pos @ neg) in
+    let t = build_pta pos in
+    let ws =
+      {
+        parent = Array.init t.size Fun.id;
+        edges = Array.init t.size (fun s -> !(t.succ).(s));
+        finals = Array.sub !(t.final) 0 t.size;
+      }
+    in
+    (* Red-blue loop in canonical numeric order: PTA numbering is the
+       lexicographic-BFS order RPNI requires. *)
+    let red = ref [ 0 ] in
+    let blue_of () =
+      List.concat_map (fun r -> List.map snd ws.edges.(find ws r)) !red
+      |> List.map (fun s -> find ws s)
+      |> List.filter (fun s -> not (List.mem s !red))
+      |> List.sort_uniq compare
+    in
+    let rec loop () =
+      match blue_of () with
+      | [] -> ()
+      | q :: _ ->
+          let try_merge r =
+            let attempt = clone ws in
+            merge attempt r q;
+            if rejects_all attempt neg then Some attempt else None
+          in
+          let rec first_ok = function
+            | [] -> None
+            | r :: rest -> (
+                match try_merge (find ws r) with
+                | Some a -> Some a
+                | None -> first_ok rest)
+          in
+          (match first_ok (List.sort compare !red) with
+          | Some merged ->
+              Array.blit merged.parent 0 ws.parent 0 (Array.length ws.parent);
+              Array.blit merged.edges 0 ws.edges 0 (Array.length ws.edges);
+              Array.blit merged.finals 0 ws.finals 0 (Array.length ws.finals)
+          | None -> red := q :: !red);
+          loop ()
+    in
+    loop ();
+    if rejects_all ws neg then Some (Dfa.minimize (to_dfa ws ~alphabet))
+    else None
+  end

@@ -1,0 +1,21 @@
+(** RPNI (Regular Positive and Negative Inference; Oncina & García) — the
+    classical polynomial algorithm identifying regular languages in the limit
+    from positive and negative words.  This is the automata-learning engine
+    behind graph path-query inference (paper, Section 3: a graph query
+    language "learnable from positive and possibly negative examples").
+
+    The learner builds the prefix-tree acceptor of the positive words and
+    greedily merges states in canonical order, keeping a merge whenever the
+    quotient automaton still rejects every negative word.  Given a
+    characteristic sample of the target regular language, the output is the
+    canonical minimal DFA of the target. *)
+
+val learn :
+  pos:string list list -> neg:string list list -> Dfa.t option
+(** [None] when the sample is contradictory (a word labeled both ways).
+    Otherwise the result accepts every positive and rejects every negative
+    word; it is returned minimized. *)
+
+val pta : pos:string list list -> alphabet:string list -> Dfa.t
+(** The prefix-tree acceptor alone (no generalization) — the learner's
+    starting point, exposed for tests and ablations. *)

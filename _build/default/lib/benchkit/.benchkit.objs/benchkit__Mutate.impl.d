@@ -1,0 +1,1 @@
+lib/benchkit/mutate.ml: Core List Printf Tree Uschema Xmltree

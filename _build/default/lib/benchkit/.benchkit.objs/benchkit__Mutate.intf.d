@@ -1,0 +1,1 @@
+lib/benchkit/mutate.mli: Core Uschema Xmltree

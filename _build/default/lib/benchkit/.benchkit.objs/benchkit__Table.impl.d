@@ -1,0 +1,1 @@
+lib/benchkit/table.ml: Buffer List Printf String

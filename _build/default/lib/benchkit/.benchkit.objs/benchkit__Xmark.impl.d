@@ -1,0 +1,1 @@
+lib/benchkit/xmark.ml: Automata Core List Printf Tree Uschema Xmltree

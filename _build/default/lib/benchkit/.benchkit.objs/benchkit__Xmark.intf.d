@@ -1,0 +1,1 @@
+lib/benchkit/xmark.mli: Uschema Xmltree

@@ -1,0 +1,97 @@
+open Xmltree
+
+let rec permute_children rng (n : Tree.t) =
+  Tree.node n.label
+    (Core.Prng.shuffle rng (List.map (permute_children rng) n.children))
+
+(* Rebuild the tree with [f] applied to the node at [path]. *)
+let rec map_at (n : Tree.t) path f =
+  match path with
+  | [] -> f n
+  | i :: rest ->
+      Tree.node n.label
+        (List.mapi
+           (fun j c -> if j = i then map_at c rest f else c)
+           n.children)
+
+(* Element nodes of the document with their paths, shuffled for random
+   targeting. *)
+let element_nodes rng doc =
+  Tree.fold
+    (fun path (n : Tree.t) acc ->
+      if Tree.is_text n then acc else (path, n) :: acc)
+    doc []
+  |> Core.Prng.shuffle rng
+
+(* Try candidate mutations until one actually invalidates the schema. *)
+let first_invalidating schema candidates =
+  List.find_map
+    (fun mutant ->
+      if Uschema.Schema.valid schema mutant then None else Some mutant)
+    (List.filter_map (fun c -> c) candidates)
+
+let drop_required rng schema doc =
+  let depgraph = Uschema.Depgraph.of_schema schema in
+  let candidates =
+    element_nodes rng doc
+    |> List.concat_map (fun (path, (n : Tree.t)) ->
+           List.mapi
+             (fun i (c : Tree.t) ->
+               if
+                 (not (Tree.is_text c))
+                 && Uschema.Depgraph.label_implied depgraph ~at:n.label
+                      ~child:c.label
+               then
+                 Some
+                   (map_at doc path (fun node ->
+                        Tree.node node.label
+                          (List.filteri (fun j _ -> j <> i) node.children)))
+               else None)
+             n.children)
+  in
+  first_invalidating schema candidates
+
+let duplicate_child rng schema doc =
+  let candidates =
+    element_nodes rng doc
+    |> List.concat_map (fun (path, (n : Tree.t)) ->
+           List.mapi
+             (fun i (c : Tree.t) ->
+               if Tree.is_text c then None
+               else
+                 Some
+                   (map_at doc path (fun node ->
+                        let dup =
+                          List.concat
+                            (List.mapi
+                               (fun j child ->
+                                 if j = i then [ child; child ] else [ child ])
+                               node.children)
+                        in
+                        Tree.node node.label dup)))
+             n.children)
+  in
+  first_invalidating schema candidates
+
+let insert_foreign rng schema doc =
+  let foreign =
+    let used = Uschema.Schema.labels schema in
+    let rec pick i =
+      let candidate = Printf.sprintf "zz_foreign%d" i in
+      if List.mem candidate used then pick (i + 1) else candidate
+    in
+    pick 0
+  in
+  let candidates =
+    element_nodes rng doc
+    |> List.map (fun (path, _) ->
+           Some
+             (map_at doc path (fun node ->
+                  Tree.node node.label (Tree.leaf foreign :: node.children))))
+  in
+  first_invalidating schema candidates
+
+let invalidating_mutants rng schema doc =
+  List.filter_map
+    (fun f -> f rng schema doc)
+    [ drop_required; duplicate_child; insert_foreign ]

@@ -1,0 +1,33 @@
+(** Fault injection for schema validators: structured mutations of valid
+    documents.
+
+    Three mutation families produce documents the schema must {e reject}
+    (dropping a required child, duplicating a bounded one, inserting a
+    foreign label), and one produces documents an {e unordered} schema must
+    keep accepting while an ordered DTD rejects them (sibling permutation) —
+    the separation at the heart of the paper's case for unordered-XML
+    schemas. *)
+
+val permute_children : Core.Prng.t -> Xmltree.Tree.t -> Xmltree.Tree.t
+(** Shuffles the children of every node (recursively).  Order-insensitive
+    validators are unaffected. *)
+
+val drop_required :
+  Core.Prng.t -> Uschema.Schema.t -> Xmltree.Tree.t -> Xmltree.Tree.t option
+(** Removes one child the schema requires; [None] when no node has a
+    removable required child.  The result is schema-invalid (checked). *)
+
+val duplicate_child :
+  Core.Prng.t -> Uschema.Schema.t -> Xmltree.Tree.t -> Xmltree.Tree.t option
+(** Duplicates a child whose multiplicity the schema bounds at one, making
+    the result invalid (checked). *)
+
+val insert_foreign :
+  Core.Prng.t -> Uschema.Schema.t -> Xmltree.Tree.t -> Xmltree.Tree.t option
+(** Inserts a child with a label unknown to the schema under a random
+    element node; invalid by construction (checked). *)
+
+val invalidating_mutants :
+  Core.Prng.t -> Uschema.Schema.t -> Xmltree.Tree.t -> Xmltree.Tree.t list
+(** All the invalidating mutations that apply to the document (up to one
+    per family). *)

@@ -1,0 +1,50 @@
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : string list list;  (** reversed *)
+}
+
+let make ~title ~header = { title; header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length t.header)
+      rows
+  in
+  ignore all;
+  let buf = Buffer.create 1024 in
+  let pad c w = c ^ String.make (w - String.length c) ' ' in
+  let line row =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf
+      (String.concat " | " (List.map2 pad row widths));
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_string buf "+";
+    List.iter
+      (fun w -> Buffer.add_string buf (String.make (w + 2) '-' ^ "+"))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  line t.header;
+  rule ();
+  List.iter line rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(digits = 2) f = Printf.sprintf "%.*f" digits f
+let cell_pct f = Printf.sprintf "%.1f%%" (100. *. f)

@@ -1,0 +1,15 @@
+(** ASCII table rendering for the experiment harness. *)
+
+type t
+
+val make : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on width mismatch with the header. *)
+
+val render : t -> string
+val print : t -> unit
+(** Renders to stdout with a trailing newline. *)
+
+val cell_float : ?digits:int -> float -> string
+val cell_pct : float -> string
+(** [0.153] ↦ ["15.3%"]. *)

@@ -1,0 +1,289 @@
+open Xmltree
+
+let keywords =
+  [ "vintage"; "rare"; "mint"; "boxed"; "signed"; "antique"; "limited" ]
+
+let countries =
+  [ "United States"; "Germany"; "France"; "Japan"; "Brazil"; "Kenya" ]
+
+let cities = [ "Tampa"; "Lille"; "Kyoto"; "Nairobi"; "Recife"; "Bremen" ]
+
+let names =
+  [ "Aki"; "Bea"; "Chidi"; "Dana"; "Eli"; "Fatou"; "Goro"; "Hana" ]
+
+let attr name v = Tree.node ("@" ^ name) [ Tree.text v ]
+
+(* description ::= text | parlist — the disjunctive rule. *)
+let gen_text rng =
+  let kw_count = Core.Prng.int rng 3 in
+  Tree.node "text"
+    (List.init kw_count (fun _ ->
+         Tree.node "keyword" [ Tree.text (Core.Prng.pick rng keywords) ])
+    @ [ Tree.text "lorem ipsum" ])
+
+let gen_description rng =
+  if Core.Prng.bool rng then Tree.node "description" [ gen_text rng ]
+  else
+    let items = 1 + Core.Prng.int rng 2 in
+    Tree.node "description"
+      [
+        Tree.node "parlist"
+          (List.init items (fun _ ->
+               Tree.node "listitem" [ gen_text rng ]));
+      ]
+
+let gen_item rng region i =
+  let incategories = Core.Prng.int rng 3 in
+  let mailbox = if Core.Prng.chance rng 0.3 then [ Tree.node "mailbox" [] ] else [] in
+  Tree.node "item"
+    ([
+       attr "id" (Printf.sprintf "item_%s_%d" region i);
+       Tree.node "location" [ Tree.text (Core.Prng.pick rng countries) ];
+       Tree.node "quantity" [ Tree.text (string_of_int (1 + Core.Prng.int rng 5)) ];
+       Tree.node "name" [ Tree.text (Core.Prng.pick rng names) ];
+       Tree.node "payment" [ Tree.text "Creditcard" ];
+       gen_description rng;
+       Tree.node "shipping" [ Tree.text "Will ship internationally" ];
+     ]
+    @ List.init incategories (fun c ->
+          Tree.node "incategory" [ attr "category" (Printf.sprintf "cat%d" c) ])
+    @ mailbox)
+
+let region_names =
+  [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]
+
+let gen_regions rng ~items_per_region =
+  Tree.node "regions"
+    (List.map
+       (fun region ->
+         let count = max 1 (items_per_region + Core.Prng.int rng 2 - 1) in
+         Tree.node region (List.init count (gen_item rng region)))
+       region_names)
+
+let gen_address rng =
+  let zipcode =
+    if Core.Prng.bool rng then
+      [ Tree.node "zipcode" [ Tree.text (string_of_int (Core.Prng.int rng 99999)) ] ]
+    else []
+  in
+  Tree.node "address"
+    ([
+       Tree.node "street" [ Tree.text "1 Main St" ];
+       Tree.node "city" [ Tree.text (Core.Prng.pick rng cities) ];
+       Tree.node "country" [ Tree.text (Core.Prng.pick rng countries) ];
+     ]
+    @ zipcode)
+
+let gen_profile rng =
+  let interests = Core.Prng.int rng 3 in
+  let maybe p n = if Core.Prng.chance rng p then [ n ] else [] in
+  Tree.node "profile"
+    ([ attr "income" (string_of_int (20000 + Core.Prng.int rng 80000)) ]
+    @ List.init interests (fun c ->
+          Tree.node "interest" [ attr "category" (Printf.sprintf "cat%d" c) ])
+    @ maybe 0.5 (Tree.node "education" [ Tree.text "Graduate School" ])
+    @ maybe 0.5 (Tree.node "gender" [ Tree.text (if Core.Prng.bool rng then "male" else "female") ])
+    @ [ Tree.node "business" [ Tree.text (if Core.Prng.bool rng then "Yes" else "No") ] ]
+    @ maybe 0.6 (Tree.node "age" [ Tree.text (string_of_int (18 + Core.Prng.int rng 60)) ]))
+
+let gen_person rng i =
+  let maybe p n = if Core.Prng.chance rng p then [ n ] else [] in
+  Tree.node "person"
+    ([
+       attr "id" (Printf.sprintf "person%d" i);
+       Tree.node "name" [ Tree.text (Core.Prng.pick rng names) ];
+       Tree.node "emailaddress" [ Tree.text (Printf.sprintf "mailto:p%d@example.org" i) ];
+     ]
+    @ maybe 0.5 (Tree.node "phone" [ Tree.text "+1 555 0100" ])
+    @ maybe 0.7 (gen_address rng)
+    @ maybe 0.3 (Tree.node "homepage" [ Tree.text (Printf.sprintf "http://example.org/~p%d" i) ])
+    @ maybe 0.4 (Tree.node "creditcard" [ Tree.text "1234 5678" ])
+    @ maybe 0.8 (gen_profile rng)
+    @ maybe 0.3
+        (Tree.node "watches"
+           (List.init (Core.Prng.int rng 3) (fun w ->
+                Tree.node "watch" [ attr "open_auction" (Printf.sprintf "oa%d" w) ]))))
+
+let gen_people rng ~count =
+  Tree.node "people" (List.init count (gen_person rng))
+
+let gen_bidder rng =
+  Tree.node "bidder"
+    [
+      Tree.node "date" [ Tree.text "07/05/2026" ];
+      Tree.node "time" [ Tree.text "12:00:00" ];
+      Tree.node "personref" [ attr "person" "person0" ];
+      Tree.node "increase" [ Tree.text (string_of_int (1 + Core.Prng.int rng 50)) ];
+    ]
+
+let gen_open_auction rng i =
+  let maybe p n = if Core.Prng.chance rng p then [ n ] else [] in
+  let bidders = Core.Prng.int rng 4 in
+  Tree.node "open_auction"
+    ([
+       attr "id" (Printf.sprintf "oa%d" i);
+       Tree.node "initial" [ Tree.text (string_of_int (10 + Core.Prng.int rng 90)) ];
+     ]
+    @ maybe 0.5 (Tree.node "reserve" [ Tree.text (string_of_int (50 + Core.Prng.int rng 100)) ])
+    @ List.init bidders (fun _ -> gen_bidder rng)
+    @ [ Tree.node "current" [ Tree.text (string_of_int (20 + Core.Prng.int rng 200)) ] ]
+    @ maybe 0.3 (Tree.node "privacy" [ Tree.text "Yes" ])
+    @ [
+        Tree.node "itemref" [ attr "item" "item_africa_0" ];
+        Tree.node "seller" [ attr "person" "person0" ];
+      ]
+    @ maybe 0.6 (Tree.node "annotation" [ gen_description rng ])
+    @ [
+        Tree.node "quantity" [ Tree.text "1" ];
+        Tree.node "type" [ Tree.text "Regular" ];
+        Tree.node "interval"
+          [
+            Tree.node "start" [ Tree.text "07/01/2026" ];
+            Tree.node "end" [ Tree.text "08/01/2026" ];
+          ];
+      ])
+
+let gen_closed_auction rng _i =
+  let maybe p n = if Core.Prng.chance rng p then [ n ] else [] in
+  Tree.node "closed_auction"
+    ([
+       Tree.node "seller" [ attr "person" "person0" ];
+       Tree.node "buyer" [ attr "person" "person1" ];
+       Tree.node "itemref" [ attr "item" "item_asia_0" ];
+       Tree.node "price" [ Tree.text (string_of_int (30 + Core.Prng.int rng 300)) ];
+       Tree.node "date" [ Tree.text "06/30/2026" ];
+       Tree.node "quantity" [ Tree.text "1" ];
+       Tree.node "type" [ Tree.text "Regular" ];
+     ]
+    @ maybe 0.7 (Tree.node "annotation" [ gen_description rng ]))
+
+let gen_category rng i =
+  Tree.node "category"
+    [
+      attr "id" (Printf.sprintf "cat%d" i);
+      Tree.node "name" [ Tree.text (Core.Prng.pick rng keywords) ];
+      gen_description rng;
+    ]
+
+let generate ?(scale = 1.0) ~seed () =
+  let rng = Core.Prng.create seed in
+  let n base = max 1 (int_of_float (float_of_int base *. scale)) in
+  Tree.node "site"
+    [
+      gen_regions rng ~items_per_region:(n 2);
+      Tree.node "categories" (List.init (n 3) (gen_category rng));
+      Tree.node "catgraph"
+        (* Often empty, so incidental [catgraph/edge] filters wash out of
+           learned queries within a couple of examples. *)
+        (List.init (Core.Prng.int rng 2 * n 2) (fun i ->
+             Tree.node "edge"
+               [
+                 attr "from" (Printf.sprintf "cat%d" i);
+                 attr "to" (Printf.sprintf "cat%d" (i + 1));
+               ]));
+      gen_people rng ~count:(n 5);
+      Tree.node "open_auctions" (List.init (n 4) (gen_open_auction rng));
+      Tree.node "closed_auctions" (List.init (n 3) (gen_closed_auction rng));
+    ]
+
+let dtd =
+  let r label re = (label, Automata.Regex.parse re) in
+  Uschema.Dtd.make ~root:"site"
+    ~rules:
+      [
+        r "site"
+          "regions categories catgraph people open_auctions closed_auctions";
+        r "regions" "africa asia australia europe namerica samerica";
+        r "africa" "item+";
+        r "asia" "item+";
+        r "australia" "item+";
+        r "europe" "item+";
+        r "namerica" "item+";
+        r "samerica" "item+";
+        r "item"
+          "@id location quantity name payment description shipping \
+           incategory* mailbox?";
+        r "incategory" "@category";
+        r "description" "text | parlist";
+        r "text" "keyword*";
+        r "parlist" "listitem+";
+        r "listitem" "text";
+        r "categories" "category+";
+        r "category" "@id name description";
+        r "catgraph" "edge*";
+        r "edge" "@from @to";
+        r "people" "person+";
+        r "person"
+          "@id name emailaddress phone? address? homepage? creditcard? \
+           profile? watches?";
+        r "address" "street city country zipcode?";
+        r "profile" "@income interest* education? gender? business age?";
+        r "interest" "@category";
+        r "watches" "watch*";
+        r "watch" "@open_auction";
+        r "open_auctions" "open_auction+";
+        r "open_auction"
+          "@id initial reserve? bidder* current privacy? itemref seller \
+           annotation? quantity type interval";
+        r "bidder" "date time personref increase";
+        r "personref" "@person";
+        r "itemref" "@item";
+        r "seller" "@person";
+        r "buyer" "@person";
+        r "annotation" "description";
+        r "interval" "start end";
+        r "closed_auctions" "closed_auction+";
+        r "closed_auction"
+          "seller buyer itemref price date quantity type annotation?";
+      ]
+
+let schema =
+  let r label dme = (label, Uschema.Dme.parse dme) in
+  Uschema.Schema.make ~root:"site"
+    ~rules:
+      [
+        r "site"
+          "regions categories catgraph people open_auctions closed_auctions";
+        r "regions" "africa asia australia europe namerica samerica";
+        r "africa" "item+";
+        r "asia" "item+";
+        r "australia" "item+";
+        r "europe" "item+";
+        r "namerica" "item+";
+        r "samerica" "item+";
+        r "item"
+          "@id location quantity name payment description shipping \
+           incategory* mailbox?";
+        r "incategory" "@category";
+        r "description" "text | parlist";
+        r "text" "keyword*";
+        r "parlist" "listitem+";
+        r "listitem" "text";
+        r "categories" "category+";
+        r "category" "@id name description";
+        r "catgraph" "edge*";
+        r "edge" "@from @to";
+        r "people" "person+";
+        r "person"
+          "@id name emailaddress phone? address? homepage? creditcard? \
+           profile? watches?";
+        r "address" "street city country zipcode?";
+        r "profile" "@income interest* education? gender? business age?";
+        r "interest" "@category";
+        r "watches" "watch*";
+        r "watch" "@open_auction";
+        r "open_auctions" "open_auction+";
+        r "open_auction"
+          "@id initial reserve? bidder* current privacy? itemref seller \
+           annotation? quantity type interval";
+        r "bidder" "date time personref increase";
+        r "personref" "@person";
+        r "itemref" "@item";
+        r "seller" "@person";
+        r "buyer" "@person";
+        r "annotation" "description";
+        r "interval" "start end";
+        r "closed_auctions" "closed_auction+";
+        r "closed_auction"
+          "seller buyer itemref price date quantity type annotation?";
+      ]

@@ -1,0 +1,31 @@
+(** An XMark-style workload: seeded generation of auction-site documents
+    following the structure of the XMark DTD (Schmidt et al., VLDB 2002),
+    and the disjunctive multiplicity schema capturing it.
+
+    The paper leans on XMark twice: the proposed schema formalism "can
+    express the DTD from XMark", and the twig-learning evaluation runs over
+    XMark-generated documents with XPathMark queries.  The original
+    generator is an external C artifact; this module reproduces the
+    document {e shape} — sites with regions/items, people with nested
+    addresses and profiles, open and closed auctions with bidders and
+    annotations, categories with a category graph — at laptop scale, keyed
+    by a deterministic seed (DESIGN.md records the substitution). *)
+
+val generate : ?scale:float -> seed:int -> unit -> Xmltree.Tree.t
+(** [scale] (default 1.0) multiplies entity counts (≈ 200 nodes at 1.0,
+    growing linearly). *)
+
+val schema : Uschema.Schema.t
+(** The DMS of the generated documents; {!generate} always validates
+    against it (tested).  Note the genuinely disjunctive rule for
+    [description] ([text | parlist]). *)
+
+val dtd : Uschema.Dtd.t
+(** The ordered DTD of the generated documents (the generator emits children
+    in a fixed order).  Experiment E10 checks the paper's claim that the DMS
+    captures this DTD: on generated documents the two validators agree, and
+    under sibling permutation only the DMS keeps accepting — the
+    order-obliviousness that motivates schemas for unordered XML. *)
+
+val keywords : string list
+(** The keyword vocabulary used in text content. *)

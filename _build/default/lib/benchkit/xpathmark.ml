@@ -1,0 +1,65 @@
+type entry = {
+  id : string;
+  xpath : string;
+  twig : Twig.Query.t option;
+  reason : string option;
+}
+
+let twig id xpath =
+  match Twig.Parse.query_opt xpath with
+  | Some q -> { id; xpath; twig = Some q; reason = None }
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Xpathmark: query %s should be twig-expressible" id)
+
+let non id xpath reason = { id; xpath; twig = None; reason = Some reason }
+
+let queries =
+  [
+    (* A: axes — the fragment's home turf and its limits. *)
+    twig "A1"
+      "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/text/keyword";
+    non "A2" "//closed_auction//keyword/ancestor::text"
+      "reverse axis (ancestor)";
+    twig "A3" "/site/closed_auctions/closed_auction//keyword";
+    twig "A4" "/site/closed_auctions/closed_auction[annotation/description//keyword]/date";
+    non "A5"
+      "/site/closed_auctions/closed_auction[following-sibling::closed_auction]/date"
+      "sibling axis";
+    twig "A6" "/site/people/person[profile/gender][profile/age]/name";
+    non "A7" "/site/people/person[phone or homepage]/name"
+      "boolean disjunction in predicate";
+    non "A8"
+      "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name"
+      "boolean connectives in predicate";
+    (* B: positional and comparison predicates. *)
+    non "B1" "/site/open_auctions/open_auction/bidder[1]/increase"
+      "positional predicate";
+    non "B2" "/site/open_auctions/open_auction/bidder[last()]/increase"
+      "positional function last()";
+    non "B3"
+      "/site/open_auctions/open_auction[bidder[1]/increase = bidder[last()]/increase]"
+      "value join between subexpressions";
+    non "B4"
+      "//open_auction[reserve > initial]/interval" "value comparison";
+    twig "B5" "/site/open_auctions/open_auction[annotation]//keyword";
+    non "B6" "//person[profile/@income > 50000]/name" "numeric comparison";
+    twig "B7" "//person[profile/@income]/name";
+    non "B8" "//person[name = 'Aki']/emailaddress" "value equality on text";
+    (* C: structure navigation. *)
+    twig "C1" "/site/regions//item[location][mailbox]/name";
+    twig "C2" "/site/regions/*/item/description/parlist/listitem";
+    non "C3" "//item[parent::africa]/name" "reverse axis (parent)";
+    non "C4" "count(//item[location = 'United States'])" "aggregation";
+    (* D: values and identifiers. *)
+    non "D1" "id(//open_auction/seller/@person)/name" "id() dereferencing";
+    non "D2" "//person[@id = //open_auction/seller/@person]/name"
+      "value join across branches";
+    twig "D3" "//open_auction[bidder/personref]/current";
+    non "D4" "substring-before(//interval/start, '/')" "string function";
+    (* E: output shape. *)
+    non "E1" "//person/name | //item/name" "union of result paths";
+    non "E2" "//keyword/text()" "text() node test";
+  ]
+
+let expressible = List.filter (fun e -> e.twig <> None) queries

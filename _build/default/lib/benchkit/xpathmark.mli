@@ -1,0 +1,24 @@
+(** An XPathMark-style query workload over the {!Xmark} documents.
+
+    XPathMark (Franceschet, XSym 2005) defines functional XPath queries over
+    XMark data; the paper reports that the positive-example twig learner
+    "is able to learn 15% of the queries from XPathMark" — most XPathMark
+    queries use reverse axes, positional predicates, boolean connectives or
+    value joins that fall outside the twig fragment.  This module
+    transcribes a representative workload with the same skew: each entry
+    records the XPath surface syntax, whether it lies inside the twig
+    fragment (and then its parsed {!Twig.Query.t}), and why not otherwise.
+    Experiment E2 measures the learnable fraction against the paper's 15%. *)
+
+type entry = {
+  id : string;  (** e.g. "A4" *)
+  xpath : string;
+  twig : Twig.Query.t option;  (** the query, when inside the fragment *)
+  reason : string option;  (** why it is outside the fragment *)
+}
+
+val queries : entry list
+(** The workload, in id order. *)
+
+val expressible : entry list
+(** Entries inside the twig fragment. *)

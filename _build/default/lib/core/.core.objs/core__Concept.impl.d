@@ -1,0 +1,1 @@
+lib/core/concept.ml: Example Format List

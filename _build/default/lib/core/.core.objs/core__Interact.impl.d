@@ -1,0 +1,1 @@
+lib/core/interact.ml: Format List Prng

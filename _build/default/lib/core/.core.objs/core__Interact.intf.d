@@ -1,0 +1,1 @@
+lib/core/interact.mli: Format Prng

@@ -1,0 +1,1 @@
+lib/core/limit.mli:

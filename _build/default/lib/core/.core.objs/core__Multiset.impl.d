@@ -1,0 +1,1 @@
+lib/core/multiset.ml: Format Int List Map

@@ -1,0 +1,1 @@
+lib/core/pac.ml: Example List Prng Stats

@@ -1,0 +1,1 @@
+lib/core/pac.mli: Example Prng

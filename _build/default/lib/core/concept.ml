@@ -1,0 +1,32 @@
+module type CONCEPT = sig
+  type query
+  type instance
+
+  val selects : query -> instance -> bool
+  val pp_query : Format.formatter -> query -> unit
+  val pp_instance : Format.formatter -> instance -> unit
+end
+
+module type LEARNER = sig
+  include CONCEPT
+
+  val learn : instance Example.t list -> query option
+end
+
+module type POSITIVE_LEARNER = sig
+  include CONCEPT
+
+  val learn_positive : instance list -> query option
+end
+
+module Consistency (C : CONCEPT) = struct
+  let check q examples = Example.consistent_with C.selects q examples
+
+  let errors q examples =
+    List.filter
+      (fun (e : _ Example.t) ->
+        match e.polarity with
+        | Example.Positive -> not (C.selects q e.value)
+        | Example.Negative -> C.selects q e.value)
+      examples
+end

@@ -1,0 +1,53 @@
+(** Concept classes and learners, in the sense of computational learning
+    theory (Gold's identification in the limit, Valiant's PAC model), as used
+    throughout the paper: a concept class is a query language, a concept is a
+    query, and instances are database elements (annotated XML nodes, tuples,
+    graph paths).
+
+    These module types are the glue shared by all per-model learners
+    ({!Twiglearn}, {!Joinlearn}, {!Pathlearn}, and schema inference in
+    {!Uschema}): the interactive kernel {!Interact} and the
+    identification-in-the-limit harness {!Limit} are functorized over them. *)
+
+module type CONCEPT = sig
+  type query
+  (** A concept: a query of the class. *)
+
+  type instance
+  (** The objects queries select or reject. *)
+
+  val selects : query -> instance -> bool
+  (** Membership of an instance in the denotation of a query. *)
+
+  val pp_query : Format.formatter -> query -> unit
+  val pp_instance : Format.formatter -> instance -> unit
+end
+
+module type LEARNER = sig
+  include CONCEPT
+
+  val learn : instance Example.t list -> query option
+  (** [learn examples] returns a query consistent with [examples] (selecting
+      every positive and no negative instance), or [None] when no query of
+      the class is consistent.  Learners for classes with intractable
+      consistency may be incomplete and return [None] on hard inputs; each
+      learner documents its guarantee. *)
+end
+
+module type POSITIVE_LEARNER = sig
+  include CONCEPT
+
+  val learn_positive : instance list -> query option
+  (** Learn from positive examples only — the setting in which anchored twig
+      queries and disjunctive multiplicity schemas are learnable (paper,
+      Section 2).  Returns the minimal (most specific) consistent
+      generalization when the class admits one. *)
+end
+
+(** Checking consistency of a labeled sample against a concrete query. *)
+module Consistency (C : CONCEPT) : sig
+  val check : C.query -> C.instance Example.t list -> bool
+
+  val errors : C.query -> C.instance Example.t list -> C.instance Example.t list
+  (** The misclassified examples. *)
+end

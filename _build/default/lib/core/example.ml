@@ -1,0 +1,37 @@
+type polarity = Positive | Negative
+type 'a t = { value : 'a; polarity : polarity }
+
+let positive value = { value; polarity = Positive }
+let negative value = { value; polarity = Negative }
+let is_positive e = e.polarity = Positive
+let is_negative e = e.polarity = Negative
+let of_labeled (v, b) = if b then positive v else negative v
+
+let partition examples =
+  let pos =
+    List.filter_map
+      (fun e -> if is_positive e then Some e.value else None)
+      examples
+  and neg =
+    List.filter_map
+      (fun e -> if is_negative e then Some e.value else None)
+      examples
+  in
+  (pos, neg)
+
+let positives examples = fst (partition examples)
+let negatives examples = snd (partition examples)
+
+let consistent_with selects q examples =
+  List.for_all
+    (fun e ->
+      match e.polarity with
+      | Positive -> selects q e.value
+      | Negative -> not (selects q e.value))
+    examples
+
+let map f e = { e with value = f e.value }
+
+let pp pp_value ppf e =
+  let sign = match e.polarity with Positive -> '+' | Negative -> '-' in
+  Format.fprintf ppf "%c%a" sign pp_value e.value

@@ -1,0 +1,31 @@
+(** Labeled examples for query learning.
+
+    Every learner in this repository consumes examples carrying a polarity:
+    positive examples must be selected by the learned query, negative examples
+    must not (the paper, Section 1: "whether the algorithms take as input only
+    positive or both positive and negative examples"). *)
+
+type polarity = Positive | Negative
+
+type 'a t = { value : 'a; polarity : polarity }
+
+val positive : 'a -> 'a t
+val negative : 'a -> 'a t
+val is_positive : 'a t -> bool
+val is_negative : 'a t -> bool
+
+val of_labeled : ('a * bool) -> 'a t
+(** [of_labeled (v, b)] is positive iff [b]. *)
+
+val partition : 'a t list -> 'a list * 'a list
+(** [(positives, negatives)], preserving order. *)
+
+val positives : 'a t list -> 'a list
+val negatives : 'a t list -> 'a list
+
+val consistent_with : ('q -> 'a -> bool) -> 'q -> 'a t list -> bool
+(** [consistent_with selects q examples] iff [q] selects every positive and
+    no negative example. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,59 @@
+module type SESSION = sig
+  type query
+  type item
+  type state
+
+  val init : item list -> state
+  val record : state -> item -> bool -> state
+  val determined : state -> item -> bool option
+  val candidate : state -> query option
+  val pp_item : Format.formatter -> item -> unit
+  val pp_query : Format.formatter -> query -> unit
+end
+
+type ('state, 'item) strategy = Prng.t -> 'state -> 'item list -> 'item
+
+let first_strategy _rng _st = function
+  | [] -> invalid_arg "Interact.first_strategy: no informative item"
+  | item :: _ -> item
+
+let random_strategy rng _st items = Prng.pick rng items
+
+module Make (S : SESSION) = struct
+  type outcome = {
+    query : S.query option;
+    questions : int;
+    asked : (S.item * bool) list;
+    pruned : int;
+    state : S.state;
+  }
+
+  let run ?(rng = Prng.create 0) ?(strategy = first_strategy)
+      ?(max_questions = max_int) ~oracle ~items () =
+    let rec loop state remaining asked questions pruned =
+      (* Split the remaining pool into items whose label is already forced
+         (uninformative — pruned without asking) and genuinely open ones. *)
+      let open_items, newly_determined =
+        List.partition (fun it -> S.determined state it = None) remaining
+      in
+      let pruned = pruned + List.length newly_determined in
+      if open_items = [] || questions >= max_questions then
+        {
+          query = S.candidate state;
+          questions;
+          asked = List.rev asked;
+          pruned;
+          state;
+        }
+      else
+        let item = strategy rng state open_items in
+        let label = oracle item in
+        let state = S.record state item label in
+        let remaining = List.filter (fun it -> it != item) open_items in
+        loop state remaining ((item, label) :: asked) (questions + 1) pruned
+    in
+    loop (S.init items) items [] 0 0
+
+  let cost ~price_per_question outcome =
+    price_per_question *. float_of_int outcome.questions
+end

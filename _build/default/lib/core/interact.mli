@@ -1,0 +1,77 @@
+(** The interactive learning kernel (paper, Section 3).
+
+    The paper's protocol: the database instance is very large; the learning
+    algorithm repeatedly chooses an item (a tuple, an XML node, a graph path)
+    and asks the user to label it positive or negative.  After each answer the
+    algorithm "infers the items which become uninformative w.r.t. the
+    previously labeled items" and never asks about those.  The loop stops when
+    every item is either labeled or uninformative, and the goal is to minimize
+    the number of interactions.
+
+    The kernel is functorized over a {!SESSION}: a concrete learner exposing a
+    monotone state, a notion of determined (= uninformative) items, and a
+    current candidate query. *)
+
+module type SESSION = sig
+  type query
+  type item
+
+  type state
+  (** Learner state after some sequence of labels. *)
+
+  val init : item list -> state
+  (** Fresh state over the pool of labelable items. *)
+
+  val record : state -> item -> bool -> state
+  (** [record st item label] incorporates the user's answer. *)
+
+  val determined : state -> item -> bool option
+  (** [determined st item] is [Some l] when every query consistent with the
+      labels recorded so far assigns label [l] to [item] — asking the user
+      about it would be uninformative; [None] when both labels are still
+      possible. *)
+
+  val candidate : state -> query option
+  (** A query consistent with all recorded labels, if one exists. *)
+
+  val pp_item : Format.formatter -> item -> unit
+  val pp_query : Format.formatter -> query -> unit
+end
+
+(** How the next question is chosen among the informative items. *)
+type ('state, 'item) strategy = Prng.t -> 'state -> 'item list -> 'item
+
+val first_strategy : ('state, 'item) strategy
+(** Deterministic: asks the first informative item (pool order). *)
+
+val random_strategy : ('state, 'item) strategy
+(** Uniform among informative items — the natural baseline. *)
+
+module Make (S : SESSION) : sig
+  type outcome = {
+    query : S.query option;  (** final candidate *)
+    questions : int;  (** number of user interactions (= crowd HITs) *)
+    asked : (S.item * bool) list;  (** transcript, in order *)
+    pruned : int;  (** items never asked because they became determined *)
+    state : S.state;  (** final learner state *)
+  }
+
+  val run :
+    ?rng:Prng.t ->
+    ?strategy:(S.state, S.item) strategy ->
+    ?max_questions:int ->
+    oracle:(S.item -> bool) ->
+    items:S.item list ->
+    unit ->
+    outcome
+  (** Runs the interactive protocol: repeatedly selects an informative item
+      with [strategy] (default {!first_strategy}), labels it with [oracle],
+      and updates the state, until no informative item remains or
+      [max_questions] is reached.  [pruned] counts pool items whose label was
+      inferred rather than asked. *)
+
+  val cost :
+    price_per_question:float -> outcome -> float
+  (** Crowdsourcing cost of a session: the paper equates minimizing
+      interactions with minimizing financial cost of HITs (Section 3). *)
+end

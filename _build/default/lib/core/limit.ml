@@ -1,0 +1,23 @@
+type 'q verdict = {
+  converged_at : int option;
+  hypotheses : 'q option list;
+}
+
+let run ~learn ~equiv ~target ~stream =
+  let n = List.length stream in
+  let hypotheses =
+    List.init n (fun i ->
+        let prefix = List.filteri (fun j _ -> j <= i) stream in
+        learn prefix)
+  in
+  (* Convergence point: earliest prefix length k such that every hypothesis
+     from k onwards is equivalent to the target. *)
+  let ok = function Some h -> equiv h target | None -> false in
+  let rec find idx = function
+    | [] -> None
+    | h :: rest ->
+        if ok h && List.for_all ok rest then Some (idx + 1) else find (idx + 1) rest
+  in
+  { converged_at = find 0 hypotheses; hypotheses }
+
+let converged v = v.converged_at <> None

@@ -1,0 +1,30 @@
+(** Identification in the limit (Gold 1967), the classical learning framework
+    the paper builds on: a learner identifies a target concept in the limit
+    when, fed an ever-growing presentation of examples, its hypotheses
+    converge to a concept equivalent to the target after finitely many
+    examples and never change afterwards.
+
+    This harness drives experiments E1 (twig queries learned "generally from
+    two examples") and E9 (disjunctive multiplicity schemas identifiable in
+    the limit from positive examples). *)
+
+type 'q verdict = {
+  converged_at : int option;
+      (** Number of examples after which the hypothesis is equivalent to the
+          target and remains so through the end of the stream; [None] when
+          the learner has not converged within the stream. *)
+  hypotheses : 'q option list;
+      (** Hypothesis after each prefix of the stream (index [i] = after
+          [i+1] examples). *)
+}
+
+val run :
+  learn:('e list -> 'q option) ->
+  equiv:('q -> 'q -> bool) ->
+  target:'q ->
+  stream:'e list ->
+  'q verdict
+(** Feeds growing prefixes of [stream] to [learn] and records the convergence
+    point with respect to [equiv] against [target]. *)
+
+val converged : 'q verdict -> bool

@@ -1,0 +1,61 @@
+module Make (Ord : Map.OrderedType) = struct
+  module M = Map.Make (Ord)
+
+  type elt = Ord.t
+  type t = int M.t
+
+  let empty = M.empty
+  let is_empty = M.is_empty
+
+  let add ?(count = 1) x m =
+    if count < 0 then invalid_arg "Multiset.add: negative count";
+    if count = 0 then m
+    else
+      M.update x
+        (function None -> Some count | Some c -> Some (c + count))
+        m
+
+  let remove ?(count = 1) x m =
+    if count < 0 then invalid_arg "Multiset.remove: negative count";
+    M.update x
+      (function
+        | None -> None
+        | Some c -> if c <= count then None else Some (c - count))
+      m
+
+  let count x m = match M.find_opt x m with None -> 0 | Some c -> c
+  let mem x m = M.mem x m
+  let singleton x = M.singleton x 1
+  let of_list xs = List.fold_left (fun m x -> add x m) empty xs
+  let to_list m = M.bindings m
+
+  let elements m =
+    M.fold
+      (fun x c acc ->
+        let rec rep n acc = if n = 0 then acc else rep (n - 1) (x :: acc) in
+        rep c acc)
+      m []
+    |> List.rev
+
+  let support m = List.map fst (M.bindings m)
+  let cardinal m = M.fold (fun _ c acc -> acc + c) m 0
+  let distinct m = M.cardinal m
+
+  let sum a b =
+    M.union (fun _ ca cb -> Some (ca + cb)) a b
+
+  let subset a b = M.for_all (fun x c -> count x b >= c) a
+  let equal a b = M.equal Int.equal a b
+  let compare a b = M.compare Int.compare a b
+  let fold = M.fold
+
+  let pp pp_elt ppf m =
+    let items = to_list m in
+    Format.fprintf ppf "{@[%a@]}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         (fun ppf (x, c) ->
+           if c = 1 then pp_elt ppf x
+           else Format.fprintf ppf "%a^%d" pp_elt x c))
+      items
+end

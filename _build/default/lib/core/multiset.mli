@@ -1,0 +1,57 @@
+(** Finite multisets (bags) over an ordered element type.
+
+    Multisets are the denotation domain of disjunctive multiplicity
+    expressions for unordered XML ({!Uschema}): the children of an XML node
+    are validated as a multiset of labels.  They are also used by the schema
+    inference algorithm and by several workload generators. *)
+
+module Make (Ord : Map.OrderedType) : sig
+  type elt = Ord.t
+
+  type t
+  (** An immutable multiset. *)
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val add : ?count:int -> elt -> t -> t
+  (** [add ?count x m] adds [count] (default 1) occurrences of [x].
+      @raise Invalid_argument if [count < 0]. *)
+
+  val remove : ?count:int -> elt -> t -> t
+  (** Removes up to [count] (default 1) occurrences. *)
+
+  val count : elt -> t -> int
+  (** Number of occurrences (0 when absent). *)
+
+  val mem : elt -> t -> bool
+  val singleton : elt -> t
+  val of_list : elt list -> t
+
+  val to_list : t -> (elt * int) list
+  (** Ascending by element; counts are positive. *)
+
+  val elements : t -> elt list
+  (** All occurrences, ascending, with repetition. *)
+
+  val support : t -> elt list
+  (** Distinct elements, ascending. *)
+
+  val cardinal : t -> int
+  (** Total number of occurrences. *)
+
+  val distinct : t -> int
+  (** Number of distinct elements. *)
+
+  val sum : t -> t -> t
+  (** Additive union: counts add. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b] iff every element occurs in [b] at least as often as in
+      [a]. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val fold : (elt -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  val pp : (Format.formatter -> elt -> unit) -> Format.formatter -> t -> unit
+end

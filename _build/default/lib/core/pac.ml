@@ -1,0 +1,67 @@
+type ('q, 'i) setup = {
+  learn : 'i Example.t list -> 'q option;
+  selects : 'q -> 'i -> bool;
+  sample : Prng.t -> 'i;
+  target : 'i -> bool;
+}
+
+let draw_sample setup rng m =
+  List.init m (fun _ ->
+      let x = setup.sample rng in
+      Example.of_labeled (x, setup.target x))
+
+let error setup rng q ~samples =
+  let wrong = ref 0 in
+  for _ = 1 to samples do
+    let x = setup.sample rng in
+    if setup.selects q x <> setup.target x then incr wrong
+  done;
+  float_of_int !wrong /. float_of_int samples
+
+type curve_point = {
+  train_size : int;
+  mean_error : float;
+  max_error : float;
+  failures : int;
+}
+
+let trial_errors setup ~seed ~size ~trials ~test_samples =
+  List.init trials (fun t ->
+      let rng = Prng.create ((seed * 7919) + (t * 104729) + size) in
+      let sample = draw_sample setup rng size in
+      match setup.learn sample with
+      | None -> None
+      | Some q -> Some (error setup rng q ~samples:test_samples))
+
+let learning_curve setup ~seed ~sizes ?(trials = 10) ?(test_samples = 200) () =
+  List.map
+    (fun size ->
+      let outcomes = trial_errors setup ~seed ~size ~trials ~test_samples in
+      let errors =
+        List.map (function Some e -> e | None -> 1.0) outcomes
+      in
+      {
+        train_size = size;
+        mean_error = Stats.mean errors;
+        max_error = Stats.maximum errors;
+        failures =
+          List.length (List.filter (fun o -> o = None) outcomes);
+      })
+    sizes
+
+let sample_complexity setup ~seed ~epsilon ~delta ?(trials = 10)
+    ?(test_samples = 200) ?(max_size = 256) () =
+  let rec search size =
+    if size > max_size then None
+    else
+      let outcomes = trial_errors setup ~seed ~size ~trials ~test_samples in
+      let bad =
+        List.length
+          (List.filter
+             (function None -> true | Some e -> e > epsilon)
+             outcomes)
+      in
+      if float_of_int bad /. float_of_int trials <= delta then Some size
+      else search (size * 2)
+  in
+  search 1

@@ -1,0 +1,54 @@
+(** PAC-style evaluation of learners (Valiant 1984, cited by the paper as
+    the approximate framework to adopt when exact consistency is
+    intractable: "the learned query may select some negative examples and
+    omit some positive ones", Section 2).
+
+    A {!setup} packages a learner with an instance distribution and a target
+    labeling; the harness estimates generalization error, traces learning
+    curves, and searches empirically for the sample size achieving an
+    (ε, δ) guarantee. *)
+
+type ('q, 'i) setup = {
+  learn : 'i Example.t list -> 'q option;
+  selects : 'q -> 'i -> bool;
+  sample : Prng.t -> 'i;  (** draws an instance from the distribution D *)
+  target : 'i -> bool;  (** the concept being learned *)
+}
+
+val draw_sample : ('q, 'i) setup -> Prng.t -> int -> 'i Example.t list
+(** [m] labeled instances drawn i.i.d. from D. *)
+
+val error : ('q, 'i) setup -> Prng.t -> 'q -> samples:int -> float
+(** Monte-Carlo estimate of [P_D(selects q x ≠ target x)]. *)
+
+type curve_point = {
+  train_size : int;
+  mean_error : float;  (** across trials; a failed learner counts as error 1 *)
+  max_error : float;
+  failures : int;  (** trials where the learner returned [None] *)
+}
+
+val learning_curve :
+  ('q, 'i) setup ->
+  seed:int ->
+  sizes:int list ->
+  ?trials:int ->
+  ?test_samples:int ->
+  unit ->
+  curve_point list
+(** For each training-set size, [trials] (default 10) independent runs, each
+    scored on [test_samples] (default 200) fresh draws. *)
+
+val sample_complexity :
+  ('q, 'i) setup ->
+  seed:int ->
+  epsilon:float ->
+  delta:float ->
+  ?trials:int ->
+  ?test_samples:int ->
+  ?max_size:int ->
+  unit ->
+  int option
+(** Smallest power-of-two training size (doubling search up to [max_size],
+    default 256) at which the fraction of trials with error above [epsilon]
+    drops to [delta] or below — the empirical (ε, δ) point. *)

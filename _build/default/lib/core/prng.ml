@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy g = { state = g.state }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = next_int64 g in
+  { state = mix64 s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Shift by 2 so the value fits OCaml's 63-bit native int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+let chance g p = float g 1.0 < p
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int g (List.length xs))
+
+let pick_array g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_array: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample g k xs =
+  let shuffled = shuffle g xs in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take k shuffled

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All workload generators and randomized experiments in this repository are
+    seeded through this module, so every experiment is reproducible bit-for-bit
+    across runs and machines.  The generator is the SplitMix64 algorithm of
+    Steele, Lea and Flood, which has a 64-bit state, passes BigCrush, and
+    supports cheap stream splitting. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived from
+    [seed]. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state as [g]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent from the remainder of [g]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  @raise Invalid_argument on []. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k xs] draws [min k (length xs)] distinct elements, in random
+    order. *)

@@ -1,0 +1,51 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        /. float_of_int (List.length xs)
+      in
+      sqrt var
+
+let sorted xs = List.sort Float.compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+      let n = List.length s in
+      if n mod 2 = 1 then List.nth s (n / 2)
+      else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.
+  | s ->
+      let n = List.length s in
+      let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      let rank = max 0 (min (n - 1) rank) in
+      List.nth s rank
+
+let minimum = function [] -> 0. | xs -> List.fold_left Float.min infinity xs
+let maximum = function
+  | [] -> 0.
+  | xs -> List.fold_left Float.max neg_infinity xs
+
+let mean_int xs = mean (List.map float_of_int xs)
+let median_int xs = median (List.map float_of_int xs)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let time_median ?(repeats = 5) f =
+  let runs = List.init (max 1 repeats) (fun _ -> snd (time f)) in
+  median runs

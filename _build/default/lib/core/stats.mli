@@ -1,0 +1,26 @@
+(** Small statistics and timing helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on lists of length < 2. *)
+
+val median : float list -> float
+(** Median; 0. on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank; 0. on []. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val mean_int : int list -> float
+val median_int : int list -> float
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+    seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> float
+(** Median elapsed seconds over [repeats] (default 5) runs. *)

@@ -1,0 +1,1 @@
+lib/exchange/bgp.ml: Format List Option Printf Rdf Set String

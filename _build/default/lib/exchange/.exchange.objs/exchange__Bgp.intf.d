@@ -1,0 +1,1 @@
+lib/exchange/bgp.mli: Format Rdf

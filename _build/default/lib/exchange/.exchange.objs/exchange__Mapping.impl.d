@@ -1,0 +1,1 @@
+lib/exchange/mapping.ml: Core Joinlearn List Pathlearn Publish Rdf Relational Twig Twiglearn Xmltree

@@ -1,0 +1,1 @@
+lib/exchange/mapping.mli: Graphdb Pathlearn Rdf Relational Twig Xmltree

@@ -1,0 +1,1 @@
+lib/exchange/publish.ml: Array Graphdb List Rdf Relational String Tree Twig Xmltree

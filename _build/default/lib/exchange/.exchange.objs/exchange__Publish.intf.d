@@ -1,0 +1,1 @@
+lib/exchange/publish.mli: Automata Graphdb Rdf Relational Twig Xmltree

@@ -1,0 +1,1 @@
+lib/exchange/rdf.ml: Array Format Graphdb List Set String Xmltree

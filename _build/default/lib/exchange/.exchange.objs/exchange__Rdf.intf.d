@@ -1,0 +1,1 @@
+lib/exchange/rdf.mli: Format Graphdb Xmltree

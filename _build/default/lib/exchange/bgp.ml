@@ -1,0 +1,113 @@
+type term = Var of string | Const of string
+type pattern = { subj : term; pred : term; obj : term }
+type query = pattern list
+type binding = (string * string) list
+
+let lookup binding v = List.assoc_opt v binding
+
+let resolve binding = function
+  | Const c -> Some c
+  | Var v -> lookup binding v
+
+(* Number of terms already determined under the binding: evaluation picks
+   the most-bound pattern next, the textbook join-ordering heuristic. *)
+let boundness binding p =
+  List.length
+    (List.filter
+       (fun t -> resolve binding t <> None)
+       [ p.subj; p.pred; p.obj ])
+
+let extend binding term value =
+  match term with
+  | Const c -> if String.equal c value then Some binding else None
+  | Var v -> (
+      match lookup binding v with
+      | Some bound -> if String.equal bound value then Some binding else None
+      | None -> Some ((v, value) :: binding))
+
+let match_triple binding p (t : Rdf.triple) =
+  Option.bind (extend binding p.subj t.subj) (fun b ->
+      Option.bind (extend b p.pred t.pred) (fun b -> extend b p.obj t.obj))
+
+let eval store query =
+  let triples = Rdf.to_list store in
+  let rec go binding remaining acc =
+    match remaining with
+    | [] -> List.sort compare binding :: acc
+    | _ ->
+        let next =
+          List.fold_left
+            (fun best p ->
+              match best with
+              | None -> Some p
+              | Some b ->
+                  if boundness binding p > boundness binding b then Some p
+                  else best)
+            None remaining
+        in
+        let p = Option.get next in
+        let rest = List.filter (fun p' -> p' != p) remaining in
+        List.fold_left
+          (fun acc t ->
+            match match_triple binding p t with
+            | Some binding' -> go binding' rest acc
+            | None -> acc)
+          acc triples
+  in
+  go [] query [] |> List.sort_uniq compare
+
+let ask store query = eval store query <> []
+
+let select ~vars store query =
+  eval store query
+  |> List.map (fun binding ->
+         List.map
+           (fun v -> match lookup binding v with Some x -> x | None -> "")
+           vars)
+  |> List.sort_uniq compare
+
+let vars_of query =
+  let module S = Set.Make (String) in
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc t -> match t with Var v -> S.add v acc | Const _ -> acc)
+        acc
+        [ p.subj; p.pred; p.obj ])
+    S.empty query
+  |> S.elements
+
+exception Parse_error of string
+
+let parse input =
+  let term tok =
+    if String.length tok = 0 then raise (Parse_error "empty term")
+    else if tok.[0] = '?' then
+      if String.length tok = 1 then raise (Parse_error "bare '?'")
+      else Var (String.sub tok 1 (String.length tok - 1))
+    else Const tok
+  in
+  let pattern chunk =
+    match
+      String.split_on_char ' ' (String.trim chunk)
+      |> List.filter (fun t -> t <> "")
+    with
+    | [ s; p; o ] -> { subj = term s; pred = term p; obj = term o }
+    | toks ->
+        raise
+          (Parse_error
+             (Printf.sprintf "expected 3 terms, got %d in %S"
+                (List.length toks) chunk))
+  in
+  match
+    String.split_on_char '.' input
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  with
+  | [] -> raise (Parse_error "empty query")
+  | chunks -> List.map pattern chunks
+
+let pp_binding ppf binding =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (fun (v, x) -> Printf.sprintf "?%s=%s" v x) binding))

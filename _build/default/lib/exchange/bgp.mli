@@ -1,0 +1,43 @@
+(** Basic graph patterns — the conjunctive core of SPARQL, the language the
+    paper names as the standard for RDF (Section 3, with the complexity
+    caveat that full SPARQL evaluation is PSPACE-complete; the conjunctive
+    fragment here is the classical NP-complete-in-combined /
+    polynomial-in-data case).
+
+    A pattern is a triple of terms (constants or variables); a query is a
+    conjunction of patterns; an answer is a binding of the variables such
+    that every instantiated triple is in the store.  Evaluation orders
+    patterns most-bound-first and backtracks. *)
+
+type term = Var of string | Const of string
+
+type pattern = { subj : term; pred : term; obj : term }
+
+type query = pattern list
+
+type binding = (string * string) list
+(** Variable assignments, sorted by variable name. *)
+
+val eval : Rdf.t -> query -> binding list
+(** All answers, sorted, distinct.  The empty query has the empty binding
+    as its only answer. *)
+
+val ask : Rdf.t -> query -> bool
+(** Non-emptiness (SPARQL ASK). *)
+
+val select : vars:string list -> Rdf.t -> query -> string list list
+(** Projections of {!eval} onto [vars], in the given order; unbound
+    variables project to [""].  Sorted, distinct. *)
+
+val vars_of : query -> string list
+(** Variables mentioned, sorted. *)
+
+exception Parse_error of string
+
+val parse : string -> query
+(** A compact triple-pattern syntax: patterns separated by [.], terms
+    separated by spaces, variables prefixed with [?], everything else a
+    constant.  Example: ["?p name ?n . ?p city Tampa"].
+    @raise Parse_error on malformed input. *)
+
+val pp_binding : Format.formatter -> binding -> unit

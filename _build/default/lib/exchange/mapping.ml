@@ -1,0 +1,73 @@
+module Rel_to_xml = struct
+  type result = {
+    predicate : Relational.Algebra.predicate;
+    published : Xmltree.Tree.t;
+  }
+
+  let run ~left ~right ~examples =
+    let space =
+      Joinlearn.Signature.space
+        ~left_arity:(Relational.Relation.arity left)
+        ~right_arity:(Relational.Relation.arity right)
+    in
+    let labeled =
+      List.map
+        (fun (pair, label) -> Joinlearn.Join.example space pair label)
+        examples
+    in
+    match Joinlearn.Join.learn space labeled with
+    | None -> None
+    | Some mask ->
+        let predicate = Joinlearn.Signature.to_predicate space mask in
+        let joined = Relational.Algebra.equijoin left right predicate in
+        Some { predicate; published = Publish.relation_to_xml joined }
+end
+
+module Xml_to_rel = struct
+  type result = { query : Twig.Query.t; shredded : Relational.Relation.t }
+
+  let run ~doc ~annotations ~name ~columns =
+    let examples =
+      List.map (fun p -> Xmltree.Annotated.make doc p) annotations
+    in
+    match Twiglearn.Positive.learn_positive examples with
+    | None -> None
+    | Some query ->
+        Some
+          {
+            query;
+            shredded =
+              Publish.xml_to_relation ~name ~row_query:query ~columns doc;
+          }
+end
+
+module Xml_to_rdf = struct
+  type result = { query : Twig.Query.t; triples : Rdf.t }
+
+  let run ~doc ~annotations =
+    let examples =
+      List.map (fun p -> Xmltree.Annotated.make doc p) annotations
+    in
+    match Twiglearn.Positive.learn_positive examples with
+    | None -> None
+    | Some query ->
+        Some { query; triples = Publish.xml_to_rdf ~scope:query doc }
+end
+
+module Graph_to_xml = struct
+  type result = {
+    query : Pathlearn.Words.hypothesis;
+    published : Xmltree.Tree.t;
+  }
+
+  let run ~graph ~examples =
+    let labeled = List.map Core.Example.of_labeled examples in
+    match Pathlearn.Pairs.learn graph labeled with
+    | None -> None
+    | Some hyp ->
+        Some
+          {
+            query = hyp;
+            published = Publish.graph_paths_to_xml graph hyp.Pathlearn.Words.dfa;
+          }
+end

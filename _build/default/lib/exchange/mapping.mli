@@ -1,0 +1,61 @@
+(** The four cross-model data-exchange scenarios of Figure 1, each driven by
+    a {e learned} source query: "in the process of data exchange, the user
+    having exact knowledge of the source schema can be replaced by a
+    learning algorithm, trained by a non-expert user.  The query on the
+    source database can thus be inferred from examples instead of being
+    explicitly written" (paper, Section 1).
+
+    Every scenario returns both the learned source query and the exchanged
+    target instance, so callers can compare against the goal query's direct
+    evaluation (experiment E8). *)
+
+(** Scenario 1 — relational → XML publishing: learn a join predicate from
+    labeled tuple pairs, evaluate the equi-join, publish the result. *)
+module Rel_to_xml : sig
+  type result = {
+    predicate : Relational.Algebra.predicate;
+    published : Xmltree.Tree.t;
+  }
+
+  val run :
+    left:Relational.Relation.t ->
+    right:Relational.Relation.t ->
+    examples:
+      ((Relational.Relation.tuple * Relational.Relation.tuple) * bool) list ->
+    result option
+end
+
+(** Scenario 2 — XML → relational shredding: learn the row-selecting twig
+    from annotated nodes, shred each row's children into a relation. *)
+module Xml_to_rel : sig
+  type result = { query : Twig.Query.t; shredded : Relational.Relation.t }
+
+  val run :
+    doc:Xmltree.Tree.t ->
+    annotations:Xmltree.Tree.path list ->
+    name:string ->
+    columns:(string * string) list ->
+    result option
+end
+
+(** Scenario 3 — XML → RDF shredding: learn the scope twig, shred the
+    selected subtrees into triples. *)
+module Xml_to_rdf : sig
+  type result = { query : Twig.Query.t; triples : Rdf.t }
+
+  val run :
+    doc:Xmltree.Tree.t ->
+    annotations:Xmltree.Tree.path list ->
+    result option
+end
+
+(** Scenario 4 — graph → XML publishing: learn a path query from labeled
+    node pairs, publish every answer path. *)
+module Graph_to_xml : sig
+  type result = { query : Pathlearn.Words.hypothesis; published : Xmltree.Tree.t }
+
+  val run :
+    graph:Graphdb.Graph.t ->
+    examples:((int * int) * bool) list ->
+    result option
+end

@@ -1,0 +1,118 @@
+open Xmltree
+
+let row_to_xml attrs tuple =
+  Tree.node "row"
+    (List.mapi
+       (fun i attr ->
+         Tree.node attr [ Tree.text (Relational.Value.to_string tuple.(i)) ])
+       (Array.to_list attrs))
+
+let relation_to_xml r =
+  let attrs = Relational.Relation.attrs r in
+  Tree.node
+    (Relational.Relation.name r)
+    (List.map (row_to_xml attrs) (Relational.Relation.tuples r))
+
+let relation_to_xml_grouped ~group_by r =
+  let attrs = Relational.Relation.attrs r in
+  let key_idx =
+    match Relational.Relation.attr_index r group_by with
+    | Some i -> i
+    | None ->
+        invalid_arg ("Publish.relation_to_xml_grouped: unknown " ^ group_by)
+  in
+  let keys =
+    Relational.Relation.tuples r
+    |> List.map (fun t -> t.(key_idx))
+    |> List.sort_uniq Relational.Value.compare
+  in
+  Tree.node
+    (Relational.Relation.name r)
+    (List.map
+       (fun key ->
+         let rows =
+           List.filter
+             (fun t -> Relational.Value.equal t.(key_idx) key)
+             (Relational.Relation.tuples r)
+         in
+         Tree.node "group"
+           (Tree.node "@key" [ Tree.text (Relational.Value.to_string key) ]
+           :: List.map (row_to_xml attrs) rows))
+       keys)
+
+let xml_to_relation ~name ~row_query ~columns doc =
+  let rows = Twig.Eval.select row_query doc in
+  let tuples =
+    List.map
+      (fun path ->
+        let row_node =
+          match Tree.node_at doc path with
+          | Some n -> n
+          | None -> assert false
+        in
+        Array.of_list
+          (List.map
+             (fun (_, child_label) ->
+               let cell =
+                 List.find_opt
+                   (fun (c : Tree.t) -> String.equal c.label child_label)
+                   row_node.children
+               in
+               let text =
+                 match cell with
+                 | None -> ""
+                 | Some c -> (
+                     match Tree.value_of c with Some v -> v | None -> "")
+               in
+               Relational.Value.of_string text)
+             columns))
+      rows
+  in
+  Relational.Relation.make ~name ~attrs:(List.map fst columns) tuples
+
+let graph_paths_to_xml g dfa =
+  let answers = Graphdb.Rpq.eval dfa g in
+  Tree.node "paths"
+    (List.filter_map
+       (fun (u, v) ->
+         match Graphdb.Rpq.witness dfa g ~src:u ~dst:v with
+         | None -> None
+         | Some word ->
+             Some
+               (Tree.node "path"
+                  (Tree.node "@src" [ Tree.text (Graphdb.Graph.name g u) ]
+                  :: Tree.node "@dst" [ Tree.text (Graphdb.Graph.name g v) ]
+                  :: List.map
+                       (fun label ->
+                         Tree.node "edge"
+                           [ Tree.node "@label" [ Tree.text label ] ])
+                       word)))
+       answers)
+
+let xml_to_rdf ?scope doc =
+  match scope with
+  | None -> Rdf.of_xml doc
+  | Some q ->
+      let selected = Twig.Eval.select q doc in
+      List.fold_left
+        (fun acc path ->
+          match Tree.node_at doc path with
+          | None -> acc
+          | Some sub ->
+              let shredded = Rdf.of_xml sub in
+              (* Re-anchor identifiers at the selected node's path. *)
+              let prefix =
+                "/" ^ String.concat "/" (List.map string_of_int path)
+              in
+              List.fold_left
+                (fun acc (t : Rdf.triple) ->
+                  let fix s =
+                    if String.length s > 0 && s.[0] = '/' then
+                      if String.equal s "/" then prefix else prefix ^ s
+                    else s
+                  in
+                  Rdf.add
+                    { subj = fix t.subj; pred = t.pred; obj = fix t.obj }
+                    acc)
+                acc (Rdf.to_list shredded))
+        Rdf.empty selected

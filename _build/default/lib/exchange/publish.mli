@@ -1,0 +1,35 @@
+(** Publishing: producing XML from the other two models (Figure 1,
+    scenarios 1 and 4 — "publishing" relational and graph data as XML, in
+    the spirit of SilkRoute/MARS which the paper cites). *)
+
+val relation_to_xml : Relational.Relation.t -> Xmltree.Tree.t
+(** Canonical flat publishing:
+    [<name><row><attr>value</attr>…</row>…</name>]. *)
+
+val relation_to_xml_grouped :
+  group_by:string -> Relational.Relation.t -> Xmltree.Tree.t
+(** Nested publishing: one [<group>] element per distinct value of
+    [group_by] (carried as a ["@key"] attribute), its rows inside.
+    @raise Invalid_argument on an unknown attribute. *)
+
+val xml_to_relation :
+  name:string ->
+  row_query:Twig.Query.t ->
+  columns:(string * string) list ->
+  Xmltree.Tree.t ->
+  Relational.Relation.t
+(** Shredding (scenario 2): [row_query] selects the row nodes;
+    [columns = \[(attr, child_label); …\]] extracts, for each row node, the
+    text value of its first [child_label] child (attribute children
+    ["@x"] work too).  Missing values shred to the empty string. *)
+
+val graph_paths_to_xml :
+  Graphdb.Graph.t -> Automata.Dfa.t -> Xmltree.Tree.t
+(** Publishing RPQ answers (scenario 4): for every answer pair a [<path>]
+    element with [@src]/[@dst] and one [<edge label="…"/>] per step of a
+    shortest witness. *)
+
+val xml_to_rdf : ?scope:Twig.Query.t -> Xmltree.Tree.t -> Rdf.t
+(** Shredding XML into RDF (scenario 3): {!Rdf.of_xml} on the whole
+    document, or only on the subtrees rooted at the nodes selected by
+    [scope]. *)

@@ -1,0 +1,80 @@
+type triple = { subj : string; pred : string; obj : string }
+
+module TSet = Set.Make (struct
+  type t = triple
+
+  let compare = compare
+end)
+
+type t = TSet.t
+
+let empty = TSet.empty
+let add = TSet.add
+let of_list l = TSet.of_list l
+let to_list = TSet.elements
+let cardinal = TSet.cardinal
+let mem = TSet.mem
+
+let subjects store =
+  TSet.fold (fun t acc -> t.subj :: acc) store []
+  |> List.sort_uniq String.compare
+
+let with_pred store p =
+  TSet.elements (TSet.filter (fun t -> String.equal t.pred p) store)
+
+let equal = TSet.equal
+
+let of_graph g =
+  List.fold_left
+    (fun acc (src, label, dst) ->
+      add
+        {
+          subj = Graphdb.Graph.name g src;
+          pred = label;
+          obj = Graphdb.Graph.name g dst;
+        }
+        acc)
+    empty (Graphdb.Graph.edges g)
+
+let to_graph store =
+  let terms =
+    TSet.fold (fun t acc -> t.subj :: t.obj :: acc) store []
+    |> List.sort_uniq String.compare
+  in
+  let names = Array.of_list terms in
+  let index name =
+    let rec find i = if names.(i) = name then i else find (i + 1) in
+    find 0
+  in
+  let edges =
+    TSet.fold
+      (fun t acc -> (index t.subj, t.pred, index t.obj) :: acc)
+      store []
+  in
+  Graphdb.Graph.make ~names ~nodes:(Array.length names) edges
+
+let path_id path =
+  "/" ^ String.concat "/" (List.map string_of_int path)
+
+let of_xml doc =
+  Xmltree.Tree.fold
+    (fun path (n : Xmltree.Tree.t) acc ->
+      let id = path_id path in
+      List.fold_left
+        (fun acc (i, (c : Xmltree.Tree.t)) ->
+          match Xmltree.Tree.text_value c with
+          | Some txt -> add { subj = id; pred = "value"; obj = txt } acc
+          | None ->
+              add
+                { subj = id; pred = c.label; obj = path_id (path @ [ i ]) }
+                acc)
+        acc
+        (List.mapi (fun i c -> (i, c)) n.children))
+    doc empty
+
+let pp ppf store =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun t -> Format.fprintf ppf "(%s, %s, %s)@," t.subj t.pred t.obj)
+    (to_list store);
+  Format.fprintf ppf "@]"

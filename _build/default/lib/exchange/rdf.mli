@@ -1,0 +1,34 @@
+(** A minimal RDF substrate: triple stores over string terms.
+
+    RDF is the paper's third data model (Figure 1); shredding XML into RDF
+    and publishing graph data as XML both pass through this store. *)
+
+type triple = { subj : string; pred : string; obj : string }
+type t
+
+val empty : t
+val add : triple -> t -> t
+val of_list : triple list -> t
+val to_list : t -> triple list
+(** Sorted, distinct. *)
+
+val cardinal : t -> int
+val mem : triple -> t -> bool
+
+val subjects : t -> string list
+val with_pred : t -> string -> triple list
+val equal : t -> t -> bool
+
+val of_graph : Graphdb.Graph.t -> t
+(** Every edge [(u, l, v)] becomes [(name u, l, name v)]. *)
+
+val to_graph : t -> Graphdb.Graph.t
+(** Nodes are the subjects/objects in sorted order. *)
+
+val of_xml : Xmltree.Tree.t -> t
+(** Structural shredding of a document: each node gets the IRI-like
+    identifier ["/0/2/1"] of its path; a child edge becomes
+    [(parent-id, child-label, child-id)], and a text child becomes
+    [(parent-id, "value", text)]. *)
+
+val pp : Format.formatter -> t -> unit

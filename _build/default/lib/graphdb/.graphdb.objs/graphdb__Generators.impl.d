@@ -1,0 +1,1 @@
+lib/graphdb/generators.ml: Array Core Fun Graph List Printf

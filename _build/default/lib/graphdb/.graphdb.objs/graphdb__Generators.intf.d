@@ -1,0 +1,1 @@
+lib/graphdb/generators.mli: Core Graph

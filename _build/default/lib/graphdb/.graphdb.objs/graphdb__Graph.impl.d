@@ -1,0 +1,1 @@
+lib/graphdb/graph.ml: Array Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/graphdb/rpq.ml: Array Automata Graph Hashtbl List Set

@@ -1,0 +1,1 @@
+lib/graphdb/rpq.mli: Automata Graph

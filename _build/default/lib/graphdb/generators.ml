@@ -1,0 +1,39 @@
+let geo ~rng ?(cities = 20) ?extra_roads ?ferries () =
+  let extra_roads =
+    match extra_roads with Some r -> r | None -> 2 * cities
+  in
+  let ferries = match ferries with Some f -> f | None -> cities / 5 in
+  let names = Array.init cities (fun i -> Printf.sprintf "city%d" i) in
+  let backbone =
+    Core.Prng.sample rng (max 2 (cities / 2)) (List.init cities Fun.id)
+  in
+  let rec ring acc = function
+    | [] -> acc
+    | [ last ] -> (
+        match backbone with
+        | first :: _ when first <> last ->
+            (last, "highway", first) :: (first, "highway", last) :: acc
+        | _ -> acc)
+    | a :: (b :: _ as rest) ->
+        ring ((a, "highway", b) :: (b, "highway", a) :: acc) rest
+  in
+  let highways = ring [] backbone in
+  let random_edge label =
+    let src = Core.Prng.int rng cities in
+    let dst = Core.Prng.int rng cities in
+    (src, label, dst)
+  in
+  let roads = List.init extra_roads (fun _ -> random_edge "road") in
+  let ferry_edges = List.init ferries (fun _ -> random_edge "ferry") in
+  Graph.make ~names ~nodes:cities (highways @ roads @ ferry_edges)
+
+
+
+let random ~rng ~nodes ~edges ~labels =
+  if labels = [] then invalid_arg "Generators.random: empty label set";
+  let edge _ =
+    ( Core.Prng.int rng nodes,
+      Core.Prng.pick rng labels,
+      Core.Prng.int rng nodes )
+  in
+  Graph.make ~nodes (List.init edges edge)

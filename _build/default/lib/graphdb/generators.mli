@@ -1,0 +1,26 @@
+(** Graph workload generators, headlined by the paper's geographic use case:
+    "a geographical database modeled as a graph.  The vertices represent
+    cities and the edges store information such as … the type of road
+    linking the cities (e.g., highway)" (Section 3). *)
+
+val geo :
+  rng:Core.Prng.t ->
+  ?cities:int ->
+  ?extra_roads:int ->
+  ?ferries:int ->
+  unit ->
+  Graph.t
+(** A road network over [cities] (default 20) city nodes named
+    ["city0"...]:
+    - a {e highway backbone} — a directed cycle visiting a random half of
+      the cities with ["highway"] edges (in both directions);
+    - [extra_roads] (default [2·cities]) random ["road"] edges;
+    - [ferries] (default [cities/5]) random ["ferry"] edges.  *)
+
+val random :
+  rng:Core.Prng.t ->
+  nodes:int ->
+  edges:int ->
+  labels:string list ->
+  Graph.t
+(** Uniform random labeled digraph. *)

@@ -1,0 +1,69 @@
+type t = {
+  names : string array;
+  adj : (string * int) list array;
+  edge_count : int;
+}
+
+let make ?names ~nodes edges =
+  if nodes < 0 then invalid_arg "Graph.make: negative node count";
+  let names =
+    match names with
+    | Some a ->
+        if Array.length a <> nodes then
+          invalid_arg "Graph.make: names length mismatch";
+        a
+    | None -> Array.init nodes (fun i -> Printf.sprintf "n%d" i)
+  in
+  let adj = Array.make nodes [] in
+  List.iter
+    (fun (src, label, dst) ->
+      if src < 0 || src >= nodes || dst < 0 || dst >= nodes then
+        invalid_arg "Graph.make: edge endpoint out of range";
+      adj.(src) <- (label, dst) :: adj.(src))
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.rev l) adj;
+  { names; adj; edge_count = List.length edges }
+
+let node_count g = Array.length g.adj
+let edge_count g = g.edge_count
+let name g i = g.names.(i)
+
+let node_of_name g n =
+  let found = ref None in
+  Array.iteri (fun i s -> if String.equal s n then found := Some i) g.names;
+  !found
+
+let successors g i = g.adj.(i)
+
+let edges g =
+  let acc = ref [] in
+  Array.iteri
+    (fun src succ ->
+      List.iter (fun (label, dst) -> acc := (src, label, dst) :: !acc) succ)
+    g.adj;
+  List.rev !acc
+
+let labels g =
+  let module S = Set.Make (String) in
+  Array.fold_left
+    (fun acc succ ->
+      List.fold_left (fun acc (l, _) -> S.add l acc) acc succ)
+    S.empty g.adj
+  |> S.elements
+
+let has_edge g src label dst =
+  List.exists
+    (fun (l, d) -> String.equal l label && d = dst)
+    g.adj.(src)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph(%d nodes, %d edges)" (node_count g)
+    g.edge_count;
+  Array.iteri
+    (fun src succ ->
+      List.iter
+        (fun (label, dst) ->
+          Format.fprintf ppf "@,%s -%s-> %s" g.names.(src) label g.names.(dst))
+        succ)
+    g.adj;
+  Format.fprintf ppf "@]"

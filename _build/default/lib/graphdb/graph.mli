@@ -1,0 +1,29 @@
+(** Edge-labeled directed graphs — the graph data model of Section 3 of the
+    paper ("the vertices represent cities and the edges store information
+    such as … the type of road linking the cities").
+
+    Nodes are dense integers with optional string names; edges carry a
+    label.  The triple view ([(subject, predicate, object)]) is the RDF face
+    of the same structure, used by the data-exchange scenarios. *)
+
+type t
+
+val make : ?names:string array -> nodes:int -> (int * string * int) list -> t
+(** @raise Invalid_argument on out-of-range endpoints or a [names] array of
+    the wrong length. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val name : t -> int -> string
+(** Defaults to ["n<i>"]. *)
+
+val node_of_name : t -> string -> int option
+val successors : t -> int -> (string * int) list
+(** Outgoing [(label, target)] pairs. *)
+
+val edges : t -> (int * string * int) list
+val labels : t -> string list
+(** Distinct edge labels, sorted. *)
+
+val has_edge : t -> int -> string -> int -> bool
+val pp : Format.formatter -> t -> unit

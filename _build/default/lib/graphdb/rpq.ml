@@ -1,0 +1,125 @@
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let eval dfa g =
+  let n = Graph.node_count g in
+  let answers = ref Pair_set.empty in
+  (* BFS over (node, dfa state) from each source. *)
+  for src = 0 to n - 1 do
+    let seen = Hashtbl.create 64 in
+    let rec go frontier =
+      match frontier with
+      | [] -> ()
+      | (node, state) :: rest ->
+          if Hashtbl.mem seen (node, state) then go rest
+          else begin
+            Hashtbl.add seen (node, state) ();
+            if dfa.Automata.Dfa.final.(state) then
+              answers := Pair_set.add (src, node) !answers;
+            let nexts =
+              List.filter_map
+                (fun (label, dst) ->
+                  match Automata.Dfa.symbol_index dfa label with
+                  | None -> None
+                  | Some i ->
+                      Some (dst, dfa.Automata.Dfa.next.(state).(i)))
+                (Graph.successors g node)
+            in
+            go (nexts @ rest)
+          end
+    in
+    go [ (src, dfa.Automata.Dfa.start) ]
+  done;
+  Pair_set.elements !answers
+
+let selects dfa g (u, v) =
+  let seen = Hashtbl.create 64 in
+  let rec go frontier =
+    match frontier with
+    | [] -> false
+    | (node, state) :: rest ->
+        if Hashtbl.mem seen (node, state) then go rest
+        else begin
+          Hashtbl.add seen (node, state) ();
+          if node = v && dfa.Automata.Dfa.final.(state) then true
+          else
+            let nexts =
+              List.filter_map
+                (fun (label, dst) ->
+                  match Automata.Dfa.symbol_index dfa label with
+                  | None -> None
+                  | Some i -> Some (dst, dfa.Automata.Dfa.next.(state).(i)))
+                (Graph.successors g node)
+            in
+            go (rest @ nexts)
+        end
+  in
+  go [ (u, dfa.Automata.Dfa.start) ]
+
+let witness dfa g ~src ~dst =
+  (* BFS: shortest accepted word first. *)
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> None
+    | (node, state, rev_word) :: rest ->
+        if Hashtbl.mem seen (node, state) then go rest
+        else begin
+          Hashtbl.add seen (node, state) ();
+          if node = dst && dfa.Automata.Dfa.final.(state) then
+            Some (List.rev rev_word)
+          else
+            let nexts =
+              List.filter_map
+                (fun (label, next_node) ->
+                  match Automata.Dfa.symbol_index dfa label with
+                  | None -> None
+                  | Some i ->
+                      Some
+                        ( next_node,
+                          dfa.Automata.Dfa.next.(state).(i),
+                          label :: rev_word ))
+                (Graph.successors g node)
+            in
+            go (rest @ nexts)
+        end
+  in
+  go [ (src, dfa.Automata.Dfa.start, []) ]
+
+let paths_from g ~src ~max_len =
+  let rec extend acc frontier len =
+    if len >= max_len then List.rev acc
+    else
+      let next =
+        List.concat_map
+          (fun (rev_nodes, rev_word) ->
+            match rev_nodes with
+            | [] -> []
+            | last :: _ ->
+                List.map
+                  (fun (label, dst) ->
+                    (dst :: rev_nodes, label :: rev_word))
+                  (Graph.successors g last))
+          frontier
+      in
+      let acc =
+        List.fold_left
+          (fun acc (rn, rw) -> (List.rev rn, List.rev rw) :: acc)
+          acc next
+      in
+      extend acc next (len + 1)
+  in
+  extend [] [ ([ src ], []) ] 0
+
+let paths_between g ~src ~dst ~max_len =
+  List.filter
+    (fun (nodes, _) ->
+      match List.rev nodes with last :: _ -> last = dst | [] -> false)
+    (paths_from g ~src ~max_len)
+
+let words_between g ~src ~dst ~max_len =
+  paths_between g ~src ~dst ~max_len
+  |> List.map snd
+  |> List.sort_uniq compare

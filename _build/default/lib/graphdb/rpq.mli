@@ -1,0 +1,30 @@
+(** Regular path queries: evaluation of a regular language over an
+    edge-labeled graph.  A pair [(u, v)] is an answer when some directed
+    path from [u] to [v] spells a word of the language.  Evaluation is the
+    standard product construction: BFS over (graph node × DFA state).
+
+    This is the query class the paper identifies as "the most typical graph
+    database queries" and seeks to learn (Section 3). *)
+
+val eval : Automata.Dfa.t -> Graph.t -> (int * int) list
+(** All answer pairs, sorted.  If the language contains ε every [(u, u)] is
+    an answer. *)
+
+val selects : Automata.Dfa.t -> Graph.t -> int * int -> bool
+
+val witness :
+  Automata.Dfa.t -> Graph.t -> src:int -> dst:int -> string list option
+(** A shortest accepted word labeling a path from [src] to [dst]. *)
+
+val paths_from :
+  Graph.t -> src:int -> max_len:int -> (int list * string list) list
+(** All labeled walks from [src] of length 1..[max_len] (node sequence and
+    word), breadth-first.  Beware exponential growth; intended for small
+    neighborhoods and example harvesting. *)
+
+val paths_between :
+  Graph.t -> src:int -> dst:int -> max_len:int -> (int list * string list) list
+
+val words_between :
+  Graph.t -> src:int -> dst:int -> max_len:int -> string list list
+(** Distinct words among {!paths_between}. *)

@@ -1,0 +1,1 @@
+lib/joinlearn/chain.ml: Array Core Format List Option Relational Signature

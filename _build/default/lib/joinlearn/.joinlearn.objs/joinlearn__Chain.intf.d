@@ -1,0 +1,1 @@
+lib/joinlearn/chain.mli: Core Relational Signature

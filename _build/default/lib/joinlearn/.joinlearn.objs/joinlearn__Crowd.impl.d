@@ -1,0 +1,1 @@
+lib/joinlearn/crowd.ml: Interactive Relational Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/crowd.mli: Core Interactive Relational

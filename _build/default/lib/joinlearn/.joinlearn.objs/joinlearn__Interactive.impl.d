@@ -1,0 +1,1 @@
+lib/joinlearn/interactive.ml: Array Core Format Join List Relational Signature

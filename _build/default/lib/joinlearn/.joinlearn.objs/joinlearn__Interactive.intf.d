@@ -1,0 +1,1 @@
+lib/joinlearn/interactive.mli: Core Relational Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/join.ml: Core List Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/join.mli: Core Relational Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/robust.ml: Core Join List Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/robust.mli: Core Signature

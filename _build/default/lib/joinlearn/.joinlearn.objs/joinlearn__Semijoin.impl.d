@@ -1,0 +1,1 @@
+lib/joinlearn/semijoin.ml: Hashtbl List Relational Signature

@@ -1,0 +1,1 @@
+lib/joinlearn/semijoin.mli: Relational Signature

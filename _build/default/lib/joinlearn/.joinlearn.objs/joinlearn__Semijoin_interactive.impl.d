@@ -1,0 +1,1 @@
+lib/joinlearn/semijoin_interactive.ml: Core Format Fun Relational Semijoin Signature

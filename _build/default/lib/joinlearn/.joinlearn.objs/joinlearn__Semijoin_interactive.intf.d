@@ -1,0 +1,1 @@
+lib/joinlearn/semijoin_interactive.mli: Core Relational Semijoin Signature

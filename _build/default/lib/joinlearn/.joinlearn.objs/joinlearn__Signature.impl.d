@@ -1,0 +1,1 @@
+lib/joinlearn/signature.ml: Array Format List Printf Relational String

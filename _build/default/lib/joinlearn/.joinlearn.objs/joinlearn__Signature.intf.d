@@ -1,0 +1,1 @@
+lib/joinlearn/signature.mli: Format Relational

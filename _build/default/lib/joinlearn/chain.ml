@@ -1,0 +1,151 @@
+type t = { spaces : Signature.space array }
+
+let make relations =
+  let arities = List.map Relational.Relation.arity relations in
+  match arities with
+  | [] | [ _ ] -> invalid_arg "Chain.make: need at least two relations"
+  | _ ->
+      let rec links = function
+        | a :: (b :: _ as rest) ->
+            Signature.space ~left_arity:a ~right_arity:b :: links rest
+        | _ -> []
+      in
+      { spaces = Array.of_list (links arities) }
+
+let length c = Array.length c.spaces + 1
+let spaces c = c.spaces
+
+type vec = Signature.mask array
+
+let signature c tuples =
+  let arr = Array.of_list tuples in
+  if Array.length arr <> length c then
+    invalid_arg "Chain.signature: tuple count mismatch";
+  Array.mapi
+    (fun i space -> Signature.signature space arr.(i) arr.(i + 1))
+    c.spaces
+
+let selects theta sig_ =
+  Array.length theta = Array.length sig_
+  && Array.for_all2 (fun t s -> Signature.subset t s) theta sig_
+
+let of_predicates c predicates =
+  let preds = Array.of_list predicates in
+  if Array.length preds <> Array.length c.spaces then
+    invalid_arg "Chain.of_predicates: link count mismatch";
+  Array.mapi (fun i space -> Signature.of_predicate space preds.(i)) c.spaces
+
+let to_predicates c vec =
+  Array.to_list
+    (Array.mapi (fun i space -> Signature.to_predicate space vec.(i)) c.spaces)
+
+module Version_space = struct
+  type vs = {
+    chain : t;
+    specific : vec;  (** link-wise intersection of positive signatures *)
+    negatives : vec list;
+  }
+
+  let init chain =
+    {
+      chain;
+      specific = Array.map Signature.full chain.spaces;
+      negatives = [];
+    }
+
+  let record vs mask label =
+    if label then
+      { vs with specific = Array.map2 Signature.inter vs.specific mask }
+    else { vs with negatives = mask :: vs.negatives }
+
+  (* The most-specific candidate dominates link-wise, so if it fails to
+     reject some negative, every candidate does. *)
+  let rejects theta neg = not (selects theta neg)
+
+  let consistent vs = List.for_all (rejects vs.specific) vs.negatives
+  let most_specific vs = vs.specific
+
+  let determined vs mask =
+    if selects vs.specific mask then Some true
+    else
+      let ceiling = Array.map2 Signature.inter vs.specific mask in
+      (* Candidates selecting the item are exactly those ≤ ceiling
+         link-wise; the ceiling dominates them, so none is consistent iff
+         the ceiling hits a negative. *)
+      if List.exists (fun n -> selects ceiling n) vs.negatives then Some false
+      else None
+end
+
+let learn chain labeled =
+  let vs =
+    List.fold_left
+      (fun vs (mask, label) -> Version_space.record vs mask label)
+      (Version_space.init chain) labeled
+  in
+  if Version_space.consistent vs then Some (Version_space.most_specific vs)
+  else None
+
+type item = { tuples : Relational.Relation.tuple list; mask : vec }
+
+module Session = struct
+  type query = vec
+  type nonrec item = item
+  type state = Version_space.vs option  (** None until the first item fixes the chain *)
+
+  let init items =
+    match items with
+    | [] -> None
+    | it :: _ ->
+        let arities = List.map Array.length it.tuples in
+        let rec links = function
+          | a :: (b :: _ as rest) ->
+              Signature.space ~left_arity:a ~right_arity:b :: links rest
+          | _ -> []
+        in
+        Some (Version_space.init { spaces = Array.of_list (links arities) })
+
+  let record st item label =
+    Option.map (fun vs -> Version_space.record vs item.mask label) st
+
+  let determined st item =
+    match st with
+    | None -> None
+    | Some vs -> Version_space.determined vs item.mask
+
+  let candidate st =
+    match st with
+    | None -> None
+    | Some vs ->
+        if Version_space.consistent vs then
+          Some (Version_space.most_specific vs)
+        else None
+
+  let pp_item ppf it =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " ⋈ ")
+      Relational.Relation.pp_tuple ppf it.tuples
+
+  let pp_query ppf _ = Format.pp_print_string ppf "<chain predicate>"
+end
+
+module Loop = Core.Interact.Make (Session)
+
+let items_of chain relations =
+  let rec product = function
+    | [] -> [ [] ]
+    | r :: rest ->
+        let tails = product rest in
+        List.concat_map
+          (fun t -> List.map (fun tail -> t :: tail) tails)
+          (Relational.Relation.tuples r)
+  in
+  List.map
+    (fun tuples -> { tuples; mask = signature chain tuples })
+    (product relations)
+
+let run_with_goal ?rng ?strategy ~relations ~goal () =
+  let chain = make relations in
+  let goal_vec = of_predicates chain goal in
+  let items = items_of chain relations in
+  let oracle it = selects goal_vec it.mask in
+  Loop.run ?rng ?strategy ~oracle ~items ()

@@ -1,0 +1,71 @@
+(** Learning chains of joins across many relations — the extension the paper
+    calls for explicitly: "we want to extend our approach to other operators
+    and also to chains of joins between many relations" (Section 3).
+
+    For relations R₁ … R_k, a chain query is a vector Θ = (θ₁ … θ_{k-1}) of
+    equi-join predicates, θᵢ over attribute pairs of (Rᵢ, Rᵢ₊₁); it selects
+    a k-tuple when every link's tuples agree on its θᵢ.  The pleasant fact
+    (proved by the same argument as the binary case, link-wise): the
+    intersections of the positive examples' link signatures form the unique
+    most-specific consistent candidate, so consistency, learning, and the
+    determined-label tests of the interactive protocol all stay polynomial
+    — the blow-up lives in the pool size (|R₁|·…·|R_k| tuples), which is
+    exactly what uninformative-pruning attacks. *)
+
+type t
+(** A chain context: the signature spaces of the k-1 links. *)
+
+val make : Relational.Relation.t list -> t
+(** @raise Invalid_argument on fewer than two relations. *)
+
+val length : t -> int
+(** Number of relations k. *)
+
+val spaces : t -> Signature.space array
+
+type vec = Signature.mask array
+(** One mask per link; both queries and signatures. *)
+
+val signature : t -> Relational.Relation.tuple list -> vec
+(** Link-wise agreement of a k-tuple.
+    @raise Invalid_argument on arity mismatch. *)
+
+val selects : vec -> vec -> bool
+(** [selects theta sig] iff θᵢ ⊆ sigᵢ for every link. *)
+
+val of_predicates : t -> Relational.Algebra.predicate list -> vec
+val to_predicates : t -> vec -> Relational.Algebra.predicate list
+
+(** Link-wise version space with polynomial determined-label tests. *)
+module Version_space : sig
+  type vs
+
+  val init : t -> vs
+  val record : vs -> vec -> bool -> vs
+  val consistent : vs -> bool
+  val most_specific : vs -> vec
+  val determined : vs -> vec -> bool option
+end
+
+val learn :
+  t -> (vec * bool) list -> vec option
+(** Most-specific consistent chain, when one exists (PTIME). *)
+
+type item = { tuples : Relational.Relation.tuple list; mask : vec }
+
+module Session :
+  Core.Interact.SESSION with type query = vec and type item = item
+
+module Loop : module type of Core.Interact.Make (Session)
+
+val items_of : t -> Relational.Relation.t list -> item list
+(** The full k-way Cartesian pool — mind the size; use generated relations
+    with few rows. *)
+
+val run_with_goal :
+  ?rng:Core.Prng.t ->
+  ?strategy:(Session.state, item) Core.Interact.strategy ->
+  relations:Relational.Relation.t list ->
+  goal:Relational.Algebra.predicate list ->
+  unit ->
+  Loop.outcome

@@ -1,0 +1,25 @@
+type report = {
+  outcome : Interactive.Loop.outcome;
+  spent : float;
+  exhausted : bool;
+}
+
+let run ?rng ?strategy ~price_per_hit ~budget ~left ~right ~goal () =
+  if price_per_hit <= 0. then invalid_arg "Crowd.run: non-positive price";
+  let max_questions = int_of_float (budget /. price_per_hit) in
+  let space =
+    Signature.space
+      ~left_arity:(Relational.Relation.arity left)
+      ~right_arity:(Relational.Relation.arity right)
+  in
+  let goal_mask = Signature.of_predicate space goal in
+  let items = Interactive.items_of space left right in
+  let oracle (it : Interactive.item) = Signature.subset goal_mask it.mask in
+  let outcome =
+    Interactive.Loop.run ?rng ?strategy ~max_questions ~oracle ~items ()
+  in
+  {
+    outcome;
+    spent = Interactive.Loop.cost ~price_per_question:price_per_hit outcome;
+    exhausted = outcome.questions >= max_questions;
+  }

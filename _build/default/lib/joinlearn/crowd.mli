@@ -1,0 +1,25 @@
+(** Crowdsourced join inference (paper, Section 3, after Marcus et al.):
+    each question to the crowd is a Human Intelligence Task with a price, so
+    "minimizing the number of interactions with the user is equivalent to
+    minimizing the financial cost of the process".
+
+    This wraps the interactive join learner with a budget: the session stops
+    when the budget is exhausted or nothing informative remains, and reports
+    money spent alongside the learned predicate. *)
+
+type report = {
+  outcome : Interactive.Loop.outcome;
+  spent : float;
+  exhausted : bool;  (** stopped by budget rather than by convergence *)
+}
+
+val run :
+  ?rng:Core.Prng.t ->
+  ?strategy:(Interactive.Session.state, Interactive.item) Core.Interact.strategy ->
+  price_per_hit:float ->
+  budget:float ->
+  left:Relational.Relation.t ->
+  right:Relational.Relation.t ->
+  goal:Relational.Algebra.predicate ->
+  unit ->
+  report

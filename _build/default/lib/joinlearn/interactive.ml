@@ -1,0 +1,100 @@
+type item = {
+  left : Relational.Relation.tuple;
+  right : Relational.Relation.tuple;
+  mask : Signature.mask;
+}
+
+module Session = struct
+  type query = Signature.mask
+  type nonrec item = item
+  type state = { space : Signature.space; vs : Join.Version_space.t }
+
+  (* The pool always comes from [items_of], whose space we can recover from
+     any item; an empty pool only occurs in degenerate tests. *)
+  let init items =
+    let space =
+      match items with
+      | it :: _ ->
+          ignore it.mask;
+          Signature.space ~left_arity:(Array.length it.left)
+            ~right_arity:(Array.length it.right)
+      | [] -> Signature.space ~left_arity:1 ~right_arity:1
+    in
+    { space; vs = Join.Version_space.init space }
+
+  let record st item label =
+    { st with vs = Join.Version_space.record st.vs item.mask label }
+
+  let determined st item = Join.Version_space.determined st.vs item.mask
+
+  let candidate st =
+    if Join.Version_space.consistent st.vs then
+      Some (Join.Version_space.most_specific st.vs)
+    else None
+
+  let pp_item ppf it =
+    Format.fprintf ppf "%a ⋈ %a" Relational.Relation.pp_tuple it.left
+      Relational.Relation.pp_tuple it.right
+
+  let pp_query ppf _m = Format.pp_print_string ppf "<predicate mask>"
+end
+
+module Loop = Core.Interact.Make (Session)
+
+let items_of space left right =
+  List.concat_map
+    (fun rt ->
+      List.map
+        (fun st ->
+          { left = rt; right = st; mask = Signature.signature space rt st })
+        (Relational.Relation.tuples right))
+    (Relational.Relation.tuples left)
+
+let lattice_strategy _rng (st : Session.state) items =
+  let specific = Join.Version_space.most_specific st.vs in
+  let score it = Signature.popcount (Signature.inter specific it.mask) in
+  match items with
+  | [] -> invalid_arg "lattice_strategy: no informative item"
+  | first :: _ ->
+      List.fold_left
+        (fun best it -> if score it > score best then it else best)
+        first items
+
+let split_strategy ?(sample = 48) () rng (st : Session.state) items =
+  let candidates =
+    if List.length items <= sample then items
+    else Core.Prng.sample rng sample items
+  in
+  let others it = List.filter (fun o -> o != it) items in
+  let determined_count vs pool =
+    List.length
+      (List.filter
+         (fun o -> Join.Version_space.determined vs o.mask <> None)
+         pool)
+  in
+  let score it =
+    let rest = others it in
+    let if_pos =
+      determined_count (Join.Version_space.record st.vs it.mask true) rest
+    and if_neg =
+      determined_count (Join.Version_space.record st.vs it.mask false) rest
+    in
+    min if_pos if_neg
+  in
+  match candidates with
+  | [] -> invalid_arg "split_strategy: no informative item"
+  | first :: _ ->
+      List.fold_left
+        (fun best it -> if score it > score best then it else best)
+        first candidates
+
+let run_with_goal ?rng ?strategy ~left ~right ~goal () =
+  let space =
+    Signature.space
+      ~left_arity:(Relational.Relation.arity left)
+      ~right_arity:(Relational.Relation.arity right)
+  in
+  let goal_mask = Signature.of_predicate space goal in
+  let items = items_of space left right in
+  let oracle it = Signature.subset goal_mask it.mask in
+  Loop.run ?rng ?strategy ~oracle ~items ()

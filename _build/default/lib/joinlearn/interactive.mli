@@ -1,0 +1,45 @@
+(** Interactive join inference (paper, Section 3): the learner walks the
+    lattice of candidate predicates by asking the user to label tuple pairs,
+    pruning pairs whose label is already forced by the version space.
+
+    The protocol stops when every pair in the pool is labeled or
+    uninformative; the output is the most specific predicate consistent with
+    the answers.  Strategies determine how few questions that takes —
+    experiment E6 compares them (and prices them as crowdsourcing HITs). *)
+
+type item = {
+  left : Relational.Relation.tuple;
+  right : Relational.Relation.tuple;
+  mask : Signature.mask;
+}
+
+module Session :
+  Core.Interact.SESSION with type query = Signature.mask and type item = item
+
+module Loop : module type of Core.Interact.Make (Session)
+
+val items_of :
+  Signature.space -> Relational.Relation.t -> Relational.Relation.t ->
+  item list
+(** The full Cartesian pool with precomputed signatures. *)
+
+val lattice_strategy : (Session.state, item) Core.Interact.strategy
+(** Asks the pair agreeing with the current most-specific predicate on the
+    largest strict subset — a binary-search descent of the signature
+    lattice. *)
+
+val split_strategy :
+  ?sample:int -> unit -> (Session.state, item) Core.Interact.strategy
+(** Greedy expected-elimination: simulates both answers for (a sample of)
+    the open items and asks the one whose worst-case outcome determines the
+    most other items.  [sample] (default 48) caps the candidates scored. *)
+
+val run_with_goal :
+  ?rng:Core.Prng.t ->
+  ?strategy:(Session.state, item) Core.Interact.strategy ->
+  left:Relational.Relation.t ->
+  right:Relational.Relation.t ->
+  goal:Relational.Algebra.predicate ->
+  unit ->
+  Loop.outcome
+(** Simulates the user: a pair is positive iff it satisfies [goal]. *)

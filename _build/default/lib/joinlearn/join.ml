@@ -1,0 +1,59 @@
+type example = Signature.mask Core.Example.t
+
+let example sp (rt, st) label =
+  Core.Example.of_labeled (Signature.signature sp rt st, label)
+
+let most_specific sp sigs =
+  List.fold_left Signature.inter (Signature.full sp) sigs
+
+module Version_space = struct
+  type t = {
+    space : Signature.space;
+    specific : Signature.mask;  (** intersection of positive signatures *)
+    negatives : Signature.mask list;
+  }
+
+  let init space =
+    { space; specific = Signature.full space; negatives = [] }
+
+  let record vs mask label =
+    if label then { vs with specific = Signature.inter vs.specific mask }
+    else { vs with negatives = mask :: vs.negatives }
+
+  (* A predicate θ is consistent iff θ ⊆ specific and θ ⊄ n for every
+     negative n.  The most specific candidate dominates: if it fails a
+     negative, every candidate does. *)
+  let consistent vs =
+    List.for_all (fun n -> not (Signature.subset vs.specific n)) vs.negatives
+
+  let most_specific vs = vs.specific
+
+  let determined vs mask =
+    if Signature.subset vs.specific mask then Some true
+    else
+      let ceiling = Signature.inter vs.specific mask in
+      (* Predicates selecting the pair are exactly those ⊆ ceiling; they all
+         violate some negative iff the ceiling itself does. *)
+      if List.exists (fun n -> Signature.subset ceiling n) vs.negatives then
+        Some false
+      else None
+end
+
+let consistent sp examples =
+  let vs =
+    List.fold_left
+      (fun vs (e : example) ->
+        Version_space.record vs e.value (Core.Example.is_positive e))
+      (Version_space.init sp) examples
+  in
+  Version_space.consistent vs
+
+let learn sp examples =
+  let vs =
+    List.fold_left
+      (fun vs (e : example) ->
+        Version_space.record vs e.value (Core.Example.is_positive e))
+      (Version_space.init sp) examples
+  in
+  if Version_space.consistent vs then Some (Version_space.most_specific vs)
+  else None

@@ -1,0 +1,45 @@
+(** Learning equi-join predicates (hence natural joins) from labeled tuple
+    pairs — the tractable side of the paper's Section 3: "for the natural
+    joins, we have proved the tractability of some problems of interest,
+    such as testing consistency of a set of positive and negative examples".
+
+    Instances are tuple pairs; a predicate θ selects a pair iff the tuples
+    agree on every attribute pair in θ.  The most specific predicate
+    selecting all positives is the intersection of their signatures, and —
+    because shrinking θ only enlarges the selected set — a consistent
+    predicate exists iff that intersection already rejects every negative.
+    All decisions below are polynomial. *)
+
+type example = Signature.mask Core.Example.t
+(** Examples are carried as signatures: label a tuple pair, keep its
+    agreement mask. *)
+
+val example :
+  Signature.space ->
+  Relational.Relation.tuple * Relational.Relation.tuple ->
+  bool ->
+  example
+
+val most_specific : Signature.space -> Signature.mask list -> Signature.mask
+(** Intersection of positive signatures ([full] on the empty list). *)
+
+val consistent : Signature.space -> example list -> bool
+val learn : Signature.space -> example list -> Signature.mask option
+(** The most specific consistent predicate, when one exists. *)
+
+(** The version space between the most specific predicate and the negative
+    ceiling, with the informativeness tests driving the interactive
+    protocol. *)
+module Version_space : sig
+  type t
+
+  val init : Signature.space -> t
+  val record : t -> Signature.mask -> bool -> t
+  val consistent : t -> bool
+  val most_specific : t -> Signature.mask
+
+  val determined : t -> Signature.mask -> bool option
+  (** Forced label of an unlabeled pair with the given signature, if any:
+      [Some true] when every consistent predicate selects it, [Some false]
+      when none does. *)
+end

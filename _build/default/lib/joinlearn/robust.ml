@@ -1,0 +1,40 @@
+type outcome = {
+  theta : Signature.mask;
+  training_errors : int;
+  ignored : int;
+}
+
+let errors_of theta examples =
+  List.length
+    (List.filter
+       (fun (e : _ Core.Example.t) ->
+         Signature.subset theta e.value <> Core.Example.is_positive e)
+       examples)
+
+let learn space examples =
+  let positives =
+    List.filter Core.Example.is_positive examples
+    |> List.map (fun (e : _ Core.Example.t) -> e.value)
+  in
+  let theta_of kept = Join.most_specific space kept in
+  let rec improve kept ignored =
+    let current = errors_of (theta_of kept) examples in
+    (* Try excluding each kept positive signature from the intersection. *)
+    let best =
+      List.filter_map
+        (fun s ->
+          let kept' = List.filter (fun s' -> s' != s) kept in
+          let e = errors_of (theta_of kept') examples in
+          if e < current then Some (kept', e) else None)
+        kept
+      |> List.sort (fun (_, e1) (_, e2) -> compare e1 e2)
+      |> function
+      | [] -> None
+      | best :: _ -> Some best
+    in
+    match best with
+    | Some (kept', _) -> improve kept' (ignored + 1)
+    | None -> (kept, ignored, current)
+  in
+  let kept, ignored, training_errors = improve positives 0 in
+  { theta = theta_of kept; training_errors; ignored }

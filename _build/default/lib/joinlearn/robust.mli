@@ -1,0 +1,22 @@
+(** Agreement-maximizing join learning for inconsistent samples — the
+    relational face of the paper's approximate framework (Section 3: when
+    consistency is out of reach, "some of the annotations might be ignored
+    to be able to compute in polynomial time a candidate query").
+
+    Candidate predicates are intersections of subsets of the positive
+    signatures; the learner starts from the intersection of all of them and
+    greedily un-ignores the positive whose exclusion most reduces training
+    error, stopping at a local optimum.  On consistent samples nothing is
+    ignored and the result coincides with {!Join.learn}. *)
+
+type outcome = {
+  theta : Signature.mask;
+  training_errors : int;  (** misclassified sample examples *)
+  ignored : int;  (** positives excluded from the intersection *)
+}
+
+val learn : Signature.space -> Signature.mask Core.Example.t list -> outcome
+
+val errors_of :
+  Signature.mask -> Signature.mask Core.Example.t list -> int
+(** Number of examples the predicate misclassifies. *)

@@ -1,0 +1,97 @@
+type t = {
+  space : Signature.space;
+  right : Relational.Relation.tuple list;
+}
+
+let make left right =
+  {
+    space =
+      Signature.space
+        ~left_arity:(Relational.Relation.arity left)
+        ~right_arity:(Relational.Relation.arity right);
+    right = Relational.Relation.tuples right;
+  }
+
+let space ctx = ctx.space
+
+let sigs_of ctx rt =
+  List.map (fun st -> Signature.signature ctx.space rt st) ctx.right
+
+let selects ctx theta rt =
+  List.exists (fun s -> Signature.subset theta s) (sigs_of ctx rt)
+
+type outcome = { theta : Signature.mask option; explored : int; complete : bool }
+
+let consistent_exact ?(node_limit = 1_000_000) ctx labeled =
+  let positives, negatives = List.partition snd labeled in
+  let pos_sigs = List.map (fun (rt, _) -> sigs_of ctx rt) positives in
+  let neg_sigs = List.concat_map (fun (rt, _) -> sigs_of ctx rt) negatives in
+  let selects_negative theta =
+    List.exists (fun s -> Signature.subset theta s) neg_sigs
+  in
+  let explored = ref 0 in
+  let truncated = ref false in
+  let visited = Hashtbl.create 1024 in
+  (* DFS over witness choices: [theta] is the intersection of the witnesses
+     chosen so far; it only shrinks, so selecting a negative is monotone and
+     prunes the whole subtree. *)
+  let rec search theta = function
+    | [] -> Some theta
+    | sigs :: rest ->
+        if !explored >= node_limit then begin
+          truncated := true;
+          None
+        end
+        else if Hashtbl.mem visited (theta, List.length rest) then None
+        else begin
+          Hashtbl.add visited (theta, List.length rest) ();
+          incr explored;
+          List.find_map
+            (fun s ->
+              let theta' = Signature.inter theta s in
+              if selects_negative theta' then None else search theta' rest)
+            sigs
+        end
+  in
+  let start = Signature.full ctx.space in
+  (* The final verification also covers the positives-free case, where the
+     search immediately returns [start]. *)
+  let theta =
+    match search start pos_sigs with
+    | Some th when not (selects_negative th) -> Some th
+    | _ -> None
+  in
+  { theta; explored = !explored; complete = not !truncated }
+
+let consistent_greedy ctx labeled =
+  let positives, negatives = List.partition snd labeled in
+  let neg_sigs = List.concat_map (fun (rt, _) -> sigs_of ctx rt) negatives in
+  let selects_negative theta =
+    List.exists (fun s -> Signature.subset theta s) neg_sigs
+  in
+  let theta =
+    List.fold_left
+      (fun theta (rt, _) ->
+        let sigs = sigs_of ctx rt in
+        (* Keep the intersection as large as possible. *)
+        let best =
+          List.fold_left
+            (fun best s ->
+              let cand = Signature.inter theta s in
+              match best with
+              | None -> Some cand
+              | Some b ->
+                  if Signature.popcount cand > Signature.popcount b then
+                    Some cand
+                  else best)
+            None sigs
+        in
+        match best with None -> theta | Some b -> b)
+      (Signature.full ctx.space)
+      positives
+  in
+  let ok =
+    (not (selects_negative theta))
+    && List.for_all (fun (rt, _) -> selects ctx theta rt) positives
+  in
+  if ok then Some theta else None

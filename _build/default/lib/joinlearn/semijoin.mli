@@ -1,0 +1,48 @@
+(** Learning semijoin predicates — the intractable side of Section 3:
+    "testing consistency of a set of positive and negative examples, a
+    problem which is intractable in the context of semijoins".
+
+    Instances are {e left} tuples only; a predicate θ selects a left tuple
+    [r] iff {e some} right tuple agrees with [r] on θ.  The existential
+    witness destroys the unique most-specific candidate that makes join
+    learning easy: deciding consistency requires choosing a witness per
+    positive, and the exact procedure below explores that choice space
+    (exponential in the number of positives in the worst case — experiment
+    E5 measures the blow-up).  A polynomial greedy variant trades
+    completeness for speed, mirroring the paper's plan to "ignore some of
+    the annotations to be able to compute in polynomial time a candidate
+    query". *)
+
+type t
+(** A learning context: the attribute-pair space of a relation pair plus the
+    right relation's tuples. *)
+
+val make : Relational.Relation.t -> Relational.Relation.t -> t
+
+val space : t -> Signature.space
+
+val sigs_of : t -> Relational.Relation.tuple -> Signature.mask list
+(** Signatures of a left tuple against every right tuple. *)
+
+val selects : t -> Signature.mask -> Relational.Relation.tuple -> bool
+(** Semijoin semantics: some right tuple agrees on θ. *)
+
+type outcome = {
+  theta : Signature.mask option;  (** a consistent predicate, if found *)
+  explored : int;  (** search nodes visited *)
+  complete : bool;  (** false when the node limit was hit *)
+}
+
+val consistent_exact :
+  ?node_limit:int ->
+  t ->
+  (Relational.Relation.tuple * bool) list ->
+  outcome
+(** Exact branch-and-prune over per-positive witness choices with
+    memoization; sound and complete within [node_limit] (default 1_000_000)
+    search nodes. *)
+
+val consistent_greedy :
+  t -> (Relational.Relation.tuple * bool) list -> Signature.mask option
+(** Polynomial heuristic: pick for each positive the witness keeping the
+    running intersection largest; may miss consistent predicates. *)

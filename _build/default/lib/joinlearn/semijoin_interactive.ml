@@ -1,0 +1,62 @@
+type item = Relational.Relation.tuple
+
+(* The session needs the semijoin context (right relation), which the
+   generic SESSION interface cannot thread through [init]; stash it in the
+   state via a mutable slot set by [run_with_goal] before the loop starts. *)
+let current_context : (Semijoin.t * int) option ref = ref None
+
+module Session = struct
+  type query = Signature.mask
+  type nonrec item = item
+
+  type state = {
+    ctx : Semijoin.t;
+    node_limit : int;
+    labeled : (item * bool) list;
+  }
+
+  let init _items =
+    match !current_context with
+    | Some (ctx, node_limit) -> { ctx; node_limit; labeled = [] }
+    | None ->
+        invalid_arg
+          "Semijoin_interactive: run through run_with_goal (context unset)"
+
+  let record st item label = { st with labeled = (item, label) :: st.labeled }
+
+  let consistent_with st extra =
+    Semijoin.consistent_exact ~node_limit:st.node_limit st.ctx
+      (extra @ st.labeled)
+
+  let determined st item =
+    (* A label is forced when assuming the opposite leaves no consistent
+       predicate; an incomplete (node-limited) search never forces. *)
+    let as_pos = consistent_with st [ (item, true) ] in
+    if as_pos.theta = None && as_pos.complete then Some false
+    else
+      let as_neg = consistent_with st [ (item, false) ] in
+      if as_neg.theta = None && as_neg.complete then Some true else None
+
+  let candidate st = (consistent_with st []).theta
+
+  let pp_item = Relational.Relation.pp_tuple
+  let pp_query ppf _ = Format.pp_print_string ppf "<semijoin predicate>"
+end
+
+module Loop = Core.Interact.Make (Session)
+
+let make_session_context left right = Semijoin.make left right
+
+let run_with_goal ?rng ?strategy ?(node_limit = 20_000) ~left ~right ~goal () =
+  let ctx = Semijoin.make left right in
+  current_context := Some (ctx, node_limit);
+  Fun.protect
+    ~finally:(fun () -> current_context := None)
+    (fun () ->
+      let theta =
+        Signature.of_predicate (Semijoin.space ctx) goal
+      in
+      let oracle t = Semijoin.selects ctx theta t in
+      Loop.run ?rng ?strategy ~oracle
+        ~items:(Relational.Relation.tuples left)
+        ())

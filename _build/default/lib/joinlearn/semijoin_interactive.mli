@@ -1,0 +1,39 @@
+(** Interactive semijoin inference — the intractable half of the paper's
+    Section 3 programme: "in the case of relational queries for which
+    consistency checking is intractable for positive and negative examples
+    (e.g., semijoins), the problem is even harder … the goal is to design
+    strategies minimizing the number of interactions with the user."
+
+    Items are {e left} tuples.  Without a unique most-specific candidate,
+    the determined-label test runs the exact consistency search twice per
+    item (once assuming each label): a label whose assumption kills every
+    consistent predicate is forced the other way.  Each test is a worst-case
+    exponential search — tamed here by the same branch-and-prune that makes
+    E5's exact checker fast on non-adversarial instances, and bounded by a
+    node limit that degrades gracefully to "not determined". *)
+
+type item = Relational.Relation.tuple
+
+module Session :
+  Core.Interact.SESSION
+    with type query = Signature.mask
+     and type item = item
+
+module Loop : module type of Core.Interact.Make (Session)
+
+val make_session_context :
+  Relational.Relation.t -> Relational.Relation.t -> Semijoin.t
+(** The context items are judged against (left/right relations). *)
+
+val run_with_goal :
+  ?rng:Core.Prng.t ->
+  ?strategy:(Session.state, item) Core.Interact.strategy ->
+  ?node_limit:int ->
+  left:Relational.Relation.t ->
+  right:Relational.Relation.t ->
+  goal:Relational.Algebra.predicate ->
+  unit ->
+  Loop.outcome
+(** The oracle labels a left tuple positive iff some right tuple agrees with
+    it on [goal].  [node_limit] (default 20_000) bounds each determinism
+    check's search. *)

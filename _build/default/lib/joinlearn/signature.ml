@@ -1,0 +1,51 @@
+type mask = int
+
+type space = { left_arity : int; right_arity : int; pairs : (int * int) array }
+
+let space ~left_arity ~right_arity =
+  let dim = left_arity * right_arity in
+  if dim > 62 then invalid_arg "Signature.space: more than 62 attribute pairs";
+  let pairs =
+    Array.init dim (fun k -> (k / right_arity, k mod right_arity))
+  in
+  { left_arity; right_arity; pairs }
+
+let pairs sp = sp.pairs
+let dimension sp = Array.length sp.pairs
+let full sp = (1 lsl dimension sp) - 1
+
+let index sp (i, j) =
+  if i < 0 || i >= sp.left_arity || j < 0 || j >= sp.right_arity then
+    invalid_arg "Signature.index: pair out of range";
+  (i * sp.right_arity) + j
+
+let of_predicate sp predicate =
+  List.fold_left (fun m p -> m lor (1 lsl index sp p)) 0 predicate
+
+let to_predicate sp mask =
+  Array.to_list sp.pairs
+  |> List.filteri (fun k _ -> mask land (1 lsl k) <> 0)
+
+let signature sp rt st =
+  let m = ref 0 in
+  Array.iteri
+    (fun k (i, j) ->
+      if Relational.Value.equal rt.(i) st.(j) then m := !m lor (1 lsl k))
+    sp.pairs;
+  !m
+
+let subset a b = a land lnot b = 0
+let inter a b = a land b
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let mem mask k = mask land (1 lsl k) <> 0
+
+let pp sp ppf mask =
+  let items =
+    to_predicate sp mask
+    |> List.map (fun (i, j) -> Printf.sprintf "a%d=b%d" i j)
+  in
+  Format.fprintf ppf "{%s}" (String.concat ", " items)

@@ -1,0 +1,1 @@
+lib/pathlearn/expr.ml: Array Automata Format List String

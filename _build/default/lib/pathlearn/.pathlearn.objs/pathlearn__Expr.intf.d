@@ -1,0 +1,1 @@
+lib/pathlearn/expr.mli: Automata Format

@@ -1,0 +1,1 @@
+lib/pathlearn/interactive.ml: Automata Core Format Graphdb List String Words

@@ -1,0 +1,1 @@
+lib/pathlearn/interactive.mli: Automata Core Graphdb Words

@@ -1,0 +1,1 @@
+lib/pathlearn/pairs.ml: Automata Core Expr Fun Graphdb List Words

@@ -1,0 +1,1 @@
+lib/pathlearn/pairs.mli: Core Graphdb Words

@@ -1,0 +1,1 @@
+lib/pathlearn/words.ml: Automata Expr

@@ -1,0 +1,1 @@
+lib/pathlearn/words.mli: Automata Expr Format

@@ -1,0 +1,128 @@
+type atom = Sym of string | Star of string
+type t = atom list
+
+let to_regex expr =
+  List.fold_right
+    (fun atom acc ->
+      let r =
+        match atom with
+        | Sym a -> Automata.Regex.Sym a
+        | Star a -> Automata.Regex.Star (Automata.Regex.Sym a)
+      in
+      Automata.Regex.Cat (r, acc))
+    expr Automata.Regex.Eps
+  |> Automata.Regex.simplify
+
+let to_dfa expr = Automata.Dfa.of_regex (to_regex expr)
+
+let rec matches expr word =
+  match (expr, word) with
+  | [], [] -> true
+  | [], _ :: _ -> false
+  | Sym a :: rest, w :: ws -> String.equal a w && matches rest ws
+  | Sym _ :: _, [] -> false
+  | Star a :: rest, w :: ws ->
+      matches rest word || (String.equal a w && matches expr ws)
+  | Star _ :: rest, [] -> matches rest []
+
+let size = List.length
+
+let generalize_word word =
+  let rec runs = function
+    | [] -> []
+    | a :: rest ->
+        let rec take n = function
+          | b :: tl when String.equal a b -> take (n + 1) tl
+          | tl -> (n, tl)
+        in
+        let n, tl = take 1 rest in
+        (a, n) :: runs tl
+  in
+  List.concat_map
+    (fun (a, n) -> if n >= 2 then [ Sym a; Star a ] else [ Sym a ])
+    (runs word)
+
+let star_all word =
+  let rec runs = function
+    | [] -> []
+    | a :: rest ->
+        let rec take = function
+          | b :: tl when String.equal a b -> take tl
+          | tl -> tl
+        in
+        Star a :: runs (take rest)
+  in
+  runs word
+
+let consistent expr pos neg =
+  List.for_all (matches expr) pos
+  && List.for_all (fun w -> not (matches expr w)) neg
+
+let learn ~pos ~neg =
+  match pos with
+  | [] -> None
+  | _ ->
+      let literal w = List.map (fun a -> Sym a) w in
+      let candidates =
+        List.concat_map
+          (fun w -> [ literal w; generalize_word w; star_all w ])
+          pos
+        |> List.sort_uniq compare
+      in
+      candidates
+      |> List.filter (fun e -> consistent e pos neg)
+      |> List.sort (fun e1 e2 -> compare (size e1) (size e2))
+      |> function
+      | [] -> None
+      | e :: _ -> Some e
+
+let of_dfa dfa =
+  let dfa = Automata.Dfa.minimize dfa in
+  let k = Array.length dfa.Automata.Dfa.alphabet in
+  (* Identify the dead state: a non-final state trapping all its
+     transitions. *)
+  let is_dead s =
+    (not dfa.Automata.Dfa.final.(s))
+    && Array.for_all (fun d -> d = s) dfa.Automata.Dfa.next.(s)
+  in
+  let rec walk state acc seen =
+    if List.mem state seen then None
+    else
+      let loops = ref [] and forwards = ref [] in
+      for i = 0 to k - 1 do
+        let d = dfa.Automata.Dfa.next.(state).(i) in
+        if d = state then loops := dfa.Automata.Dfa.alphabet.(i) :: !loops
+        else if not (is_dead d) then
+          forwards := (dfa.Automata.Dfa.alphabet.(i), d) :: !forwards
+      done;
+      let acc =
+        match !loops with
+        | [] -> Some acc
+        | [ a ] -> Some (Star a :: acc)
+        | _ -> None
+      in
+      match acc with
+      | None -> None
+      | Some acc -> (
+          match !forwards with
+          | [] -> if dfa.Automata.Dfa.final.(state) then Some (List.rev acc) else None
+          | [ (a, d) ] ->
+              if dfa.Automata.Dfa.final.(state) then None
+                (* an accepting mid-chain state is not a pure concatenation *)
+              else walk d (Sym a :: acc) (state :: seen)
+          | _ -> None)
+  in
+  walk dfa.Automata.Dfa.start [] []
+
+let pp ppf expr =
+  if expr = [] then Format.pp_print_string ppf "ε"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+      (fun ppf -> function
+        | Sym a -> Format.pp_print_string ppf a
+        | Star a -> Format.fprintf ppf "%s*" a)
+      ppf expr
+
+let to_string e = Format.asprintf "%a" pp e
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,41 @@
+(** Path expressions: the restricted regular-expression shape used as the
+    learnable graph query language — concatenations of single symbols and
+    starred symbols (e.g. [highway+ ·road], written [highway highway* road]).
+    This mirrors the path-query classes the navigational-query literature
+    the paper cites works with: expressive enough for the geographic
+    use case, small enough to admit few-example learning. *)
+
+type atom = Sym of string | Star of string
+type t = atom list
+(** [\[\]] is ε. *)
+
+val to_regex : t -> Automata.Regex.t
+val to_dfa : t -> Automata.Dfa.t
+val matches : t -> string list -> bool
+val size : t -> int
+
+val generalize_word : string list -> t
+(** Collapse every maximal run of ≥2 equal symbols into [Sym a; Star a]
+    (i.e. [a+]); single occurrences stay literal.  The result matches the
+    word and every pumping of its runs. *)
+
+val star_all : string list -> t
+(** Every distinct symbol run becomes [Star]: the coarsest single-word
+    generalization. *)
+
+val learn :
+  pos:string list list -> neg:string list list -> t option
+(** Generate-and-test: candidate generalizations of the positive words
+    (literal, run-collapsed, fully starred, and pairwise merges), filtered
+    for consistency with the whole sample; returns the smallest consistent
+    candidate.  [None] when no candidate of this shape fits — callers fall
+    back to {!Automata.Rpni} over the full regular class. *)
+
+val of_dfa : Automata.Dfa.t -> t option
+(** Extracts a path expression from a DFA whose minimal form is a single
+    forward chain with optional self-loops — the shape RPNI produces when
+    the target is a path query. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

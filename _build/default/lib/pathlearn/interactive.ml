@@ -1,0 +1,73 @@
+type item = { src : int; dst : int; word : string list }
+
+module Session = struct
+  type query = Words.hypothesis
+  type nonrec item = item
+
+  type state = {
+    pos : string list list;
+    neg : string list list;
+    hyp : Words.hypothesis option;
+  }
+
+  let init _items = { pos = []; neg = []; hyp = None }
+
+  let record st item label =
+    let st =
+      if label then { st with pos = item.word :: st.pos }
+      else { st with neg = item.word :: st.neg }
+    in
+    { st with hyp = Words.learn ~pos:st.pos ~neg:st.neg }
+
+  (* A word already labeled — on any path — needs no second question. *)
+  let determined st item =
+    if List.mem item.word st.pos then Some true
+    else if List.mem item.word st.neg then Some false
+    else None
+
+  let candidate st = st.hyp
+
+  let pp_item ppf it =
+    Format.fprintf ppf "n%d→n%d via [%s]" it.src it.dst
+      (String.concat " " it.word)
+
+  let pp_query ppf q = Words.pp ppf q
+end
+
+module Loop = Core.Interact.Make (Session)
+
+let items_of_graph ?(max_len = 4) ?(per_source = 30) ~rng g =
+  let n = Graphdb.Graph.node_count g in
+  List.concat
+    (List.init n (fun src ->
+         let paths = Graphdb.Rpq.paths_from g ~src ~max_len in
+         let items =
+           List.filter_map
+             (fun (nodes, word) ->
+               match List.rev nodes with
+               | dst :: _ when word <> [] -> Some { src; dst; word }
+               | _ -> None)
+             paths
+         in
+         let items = List.sort_uniq compare items in
+         if List.length items <= per_source then items
+         else Core.Prng.sample rng per_source items))
+
+let shortest_first items =
+  List.sort (fun a b -> compare (List.length a.word) (List.length b.word)) items
+
+let workload_strategy ~prior _rng _st items =
+  let preferred =
+    List.filter
+      (fun it -> List.exists (fun d -> Automata.Dfa.accepts d it.word) prior)
+      items
+  in
+  match shortest_first (if preferred = [] then items else preferred) with
+  | it :: _ -> it
+  | [] -> invalid_arg "workload_strategy: no informative item"
+
+let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?max_len ~graph ~goal
+    () =
+  let items = items_of_graph ?max_len ~rng graph in
+  let oracle (it : item) = Automata.Dfa.accepts goal it.word in
+  Loop.run ~rng ?strategy ~oracle ~items ()

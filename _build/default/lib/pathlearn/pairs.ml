@@ -1,0 +1,75 @@
+type example = (int * int) Core.Example.t
+
+let selects h g pair = Graphdb.Rpq.selects h.Words.dfa g pair
+
+let learn ?(max_len = 6) ?(rounds = 8) g examples =
+  let positives, negatives = Core.Example.partition examples in
+  let words_between (u, v) =
+    Graphdb.Rpq.words_between g ~src:u ~dst:v ~max_len
+    |> List.sort (fun a b -> compare (List.length a) (List.length b))
+  in
+  (* Phase 0 — generate-and-test over path expressions seeded by the first
+     positive's connecting words: the target class is narrow enough that a
+     single well-chosen witness usually pins it down, sidestepping the
+     witness-selection trap (a short unrelated path between a positive
+     pair).  Candidates are checked against the PAIR semantics directly. *)
+  let consistent_on_pairs dfa =
+    List.for_all (fun p -> Graphdb.Rpq.selects dfa g p) positives
+    && List.for_all (fun p -> not (Graphdb.Rpq.selects dfa g p)) negatives
+  in
+  let phase0 =
+    match positives with
+    | [] -> None
+    | first :: _ ->
+        words_between first
+        |> List.filteri (fun i _ -> i < 20)
+        |> List.concat_map (fun word ->
+               [
+                 List.map (fun a -> Expr.Sym a) word;
+                 Expr.generalize_word word;
+                 Expr.star_all word;
+               ])
+        |> List.sort_uniq compare
+        |> List.sort (fun e1 e2 -> compare (Expr.size e1) (Expr.size e2))
+        |> List.find_map (fun expr ->
+               let dfa = Automata.Dfa.minimize (Expr.to_dfa expr) in
+               if consistent_on_pairs dfa then
+                 Some { Words.dfa; expr = Some expr }
+               else None)
+  in
+  match phase0 with
+  | Some h -> Some h
+  | None ->
+  let neg_words =
+    List.concat_map words_between negatives |> List.sort_uniq compare
+  in
+  (* Witness per positive: the shortest connecting word not already known
+     negative. *)
+  let pos_words =
+    List.map
+      (fun pair ->
+        words_between pair
+        |> List.find_opt (fun w -> not (List.mem w neg_words)))
+      positives
+  in
+  if List.exists (fun w -> w = None) pos_words then None
+  else
+    let pos_words = List.filter_map Fun.id pos_words in
+    let rec refine neg_words round =
+      match Words.learn ~pos:pos_words ~neg:neg_words with
+      | None -> None
+      | Some h ->
+          let offending =
+            List.filter_map
+              (fun (u, v) ->
+                if selects h g (u, v) then
+                  Graphdb.Rpq.witness h.Words.dfa g ~src:u ~dst:v
+                else None)
+              negatives
+            |> List.filter (fun w -> not (List.mem w neg_words))
+          in
+          if offending = [] then Some h
+          else if round >= rounds then None
+          else refine (List.sort_uniq compare (offending @ neg_words)) (round + 1)
+    in
+    refine neg_words 0

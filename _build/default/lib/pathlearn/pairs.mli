@@ -1,0 +1,35 @@
+(** Learning path queries from labeled {e node pairs} of a graph — the
+    setting of the paper's geographic scenario: "the user has to select two
+    vertices from the graph … the user may also want to impose certain
+    restrictions on the paths" (Section 3).
+
+    A pair is positive when {e some} path between the nodes must match the
+    goal query, negative when {e no} path may.  Witness words are not given.
+    The learner first tries generate-and-test over path expressions seeded
+    by the first positive pair's connecting words, validating each candidate
+    against the pair semantics directly; when no expression of that shape
+    fits, it falls back to witness selection with counterexample-guided
+    refinement:
+
+    + harvest the words of bounded-length paths between every negative
+      pair — all of them are negative words;
+    + for each positive pair pick the shortest connecting word that is not
+      already negative;
+    + learn a word-level hypothesis ({!Words.learn});
+    + evaluate it on the graph; every negative pair it still selects
+      contributes its accepted witness word as a new negative word;
+      repeat until clean or out of rounds. *)
+
+type example = (int * int) Core.Example.t
+
+val learn :
+  ?max_len:int ->
+  ?rounds:int ->
+  Graphdb.Graph.t ->
+  example list ->
+  Words.hypothesis option
+(** [max_len] (default 6) bounds harvested paths; [rounds] (default 8)
+    bounds refinement.  The result selects every positive pair and, when
+    refinement converged, no negative pair. *)
+
+val selects : Words.hypothesis -> Graphdb.Graph.t -> int * int -> bool

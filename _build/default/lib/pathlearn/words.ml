@@ -1,0 +1,20 @@
+type hypothesis = { dfa : Automata.Dfa.t; expr : Expr.t option }
+
+let of_expr e = { dfa = Automata.Dfa.minimize (Expr.to_dfa e); expr = Some e }
+
+let learn ~pos ~neg =
+  match Expr.learn ~pos ~neg with
+  | Some e -> Some (of_expr e)
+  | None -> (
+      match Automata.Rpni.learn ~pos ~neg with
+      | None -> None
+      | Some dfa -> Some { dfa; expr = Expr.of_dfa dfa })
+
+let selects h word = Automata.Dfa.accepts h.dfa word
+
+let equal_hypothesis h1 h2 = Automata.Dfa.equal_language h1.dfa h2.dfa
+
+let pp ppf h =
+  match h.expr with
+  | Some e -> Expr.pp ppf e
+  | None -> Automata.Regex.pp ppf (Automata.Dfa.to_regex h.dfa)

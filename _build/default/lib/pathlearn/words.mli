@@ -1,0 +1,22 @@
+(** Learning path languages from labeled words (path label sequences).
+
+    Two-tier hypothesis space, smallest-class-first: first the path-
+    expression shape ({!Expr}), whose few-example generalization matches the
+    paper's requirement that learners "learn the goal query from very few
+    examples"; then the full regular class via RPNI when the sample rules
+    path expressions out. *)
+
+type hypothesis = {
+  dfa : Automata.Dfa.t;  (** always present; minimized *)
+  expr : Expr.t option;  (** the path-expression form, when one exists *)
+}
+
+val learn : pos:string list list -> neg:string list list -> hypothesis option
+(** [None] on a contradictory sample.  The hypothesis accepts every positive
+    and rejects every negative word. *)
+
+val selects : hypothesis -> string list -> bool
+val equal_hypothesis : hypothesis -> hypothesis -> bool
+(** Language equality. *)
+
+val pp : Format.formatter -> hypothesis -> unit

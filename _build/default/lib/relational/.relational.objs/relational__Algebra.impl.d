@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array List Relation Set String Value

@@ -1,0 +1,1 @@
+lib/relational/generator.ml: Algebra Array Core Fun List Printf Relation Value

@@ -1,0 +1,1 @@
+lib/relational/generator.mli: Algebra Core Relation

@@ -1,0 +1,84 @@
+type predicate = (int * int) list
+
+let natural_predicate r s =
+  Array.to_list (Relation.attrs r)
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (fun (i, a) ->
+         match Relation.attr_index s a with
+         | Some j -> Some (i, j)
+         | None -> None)
+
+let satisfies predicate rt st =
+  List.for_all (fun (i, j) -> Value.equal rt.(i) st.(j)) predicate
+
+let join_pairs r s predicate =
+  List.concat_map
+    (fun rt ->
+      List.filter_map
+        (fun st -> if satisfies predicate rt st then Some (rt, st) else None)
+        (Relation.tuples s))
+    (Relation.tuples r)
+
+let disambiguate left_attrs s =
+  let module SS = Set.Make (String) in
+  let taken = SS.of_list left_attrs in
+  Array.to_list (Relation.attrs s)
+  |> List.map (fun a ->
+         if SS.mem a taken then Relation.name s ^ "." ^ a else a)
+
+let equijoin r s predicate =
+  let left_attrs = Array.to_list (Relation.attrs r) in
+  let attrs = left_attrs @ disambiguate left_attrs s in
+  let tuples =
+    List.map (fun (rt, st) -> Array.append rt st) (join_pairs r s predicate)
+  in
+  Relation.make
+    ~name:(Relation.name r ^ "_join_" ^ Relation.name s)
+    ~attrs tuples
+
+let natural_join r s =
+  let predicate = natural_predicate r s in
+  let shared_right = List.map snd predicate in
+  let left_attrs = Array.to_list (Relation.attrs r) in
+  let right_attrs =
+    Array.to_list (Relation.attrs s)
+    |> List.mapi (fun j a -> (j, a))
+    |> List.filter (fun (j, _) -> not (List.mem j shared_right))
+  in
+  let attrs = left_attrs @ List.map snd right_attrs in
+  let tuples =
+    List.map
+      (fun (rt, st) ->
+        Array.append rt
+          (Array.of_list (List.map (fun (j, _) -> st.(j)) right_attrs)))
+      (join_pairs r s predicate)
+  in
+  Relation.make
+    ~name:(Relation.name r ^ "_" ^ Relation.name s)
+    ~attrs tuples
+
+let semijoin r s predicate =
+  Relation.select r (fun rt ->
+      List.exists (fun st -> satisfies predicate rt st) (Relation.tuples s))
+
+let natural_semijoin r s = semijoin r s (natural_predicate r s)
+
+let chain_join relations predicates =
+  match relations with
+  | [] -> invalid_arg "Algebra.chain_join: no relations"
+  | first :: rest ->
+      if List.length predicates <> List.length rest then
+        invalid_arg "Algebra.chain_join: need one predicate per link";
+      (* Accumulated columns keep the left-to-right layout, so a link
+         predicate shifts its left positions by the width of everything
+         already joined before Rᵢ. *)
+      let acc, _ =
+        List.fold_left2
+          (fun (acc, offset) right predicate ->
+            let shifted = List.map (fun (i, j) -> (offset + i, j)) predicate in
+            (* The next link's left relation starts right after the columns
+               accumulated so far. *)
+            (equijoin acc right shifted, Relation.arity acc))
+          (first, 0) rest predicates
+      in
+      acc

@@ -1,0 +1,40 @@
+(** Join-like operators — the relational queries the paper learns
+    ("we plan to concentrate on simple operators, such as join-like
+    operators": natural joins and semijoins, Section 3).
+
+    An equi-join predicate is a set of attribute-index pairs [(i, j)]
+    equating column [i] of the left relation with column [j] of the right
+    one.  The natural join is the equi-join on all shared attribute
+    names. *)
+
+type predicate = (int * int) list
+
+val natural_predicate : Relation.t -> Relation.t -> predicate
+(** Pairs of positions of attributes sharing a name. *)
+
+val satisfies : predicate -> Relation.tuple -> Relation.tuple -> bool
+
+val join_pairs :
+  Relation.t -> Relation.t -> predicate ->
+  (Relation.tuple * Relation.tuple) list
+(** All tuple pairs satisfying the predicate (the Cartesian product when the
+    predicate is empty). *)
+
+val equijoin : Relation.t -> Relation.t -> predicate -> Relation.t
+(** Concatenated tuples; right-hand attributes are renamed
+    ["<rel>.<attr>"] on clashes. *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Equi-join on shared names, with shared columns emitted once. *)
+
+val semijoin : Relation.t -> Relation.t -> predicate -> Relation.t
+(** Left tuples having at least one right partner (R ⋉ S). *)
+
+val natural_semijoin : Relation.t -> Relation.t -> Relation.t
+
+val chain_join : Relation.t list -> predicate list -> Relation.t
+(** [chain_join \[R₁; …; R_k\] \[θ₁; …; θ_{k-1}\]] evaluates the chain
+    R₁ ⋈_{θ₁} R₂ ⋈_{θ₂} … ⋈ R_k, where θᵢ pairs attribute positions of Rᵢ
+    with positions of Rᵢ₊₁.  Attribute clashes are renamed as in
+    {!equijoin}.
+    @raise Invalid_argument when the predicate count is not k-1 or k = 0. *)

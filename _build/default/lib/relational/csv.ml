@@ -1,0 +1,99 @@
+exception Syntax_error of string
+
+(* Record-level scanner handling quoted fields spanning separators (not
+   newlines inside quotes — keep the dialect line-based and simple). *)
+let split_record separator line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | c when c = separator ->
+          flush ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Syntax_error "unterminated quoted field")
+    else
+      match line.[i] with
+      | '"' ->
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            quoted (i + 2)
+          end
+          else plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let parse ?(separator = ',') ~name contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.map (fun l ->
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> raise (Syntax_error "empty input: a header row is required")
+  | header :: rows ->
+      let attrs = split_record separator header in
+      let width = List.length attrs in
+      let tuples =
+        List.mapi
+          (fun lineno row ->
+            let fields = split_record separator row in
+            if List.length fields <> width then
+              raise
+                (Syntax_error
+                   (Printf.sprintf "row %d has %d fields, expected %d"
+                      (lineno + 2) (List.length fields) width));
+            Array.of_list (List.map Value.of_string fields))
+          rows
+      in
+      Relation.make ~name ~attrs tuples
+
+let needs_quoting separator s =
+  String.exists (fun c -> c = separator || c = '"' || c = '\n') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string ?(separator = ',') r =
+  let field s = if needs_quoting separator s then quote s else s in
+  let sep = String.make 1 separator in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat sep
+       (List.map field (Array.to_list (Relation.attrs r))));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat sep
+           (List.map
+              (fun v -> field (Value.to_string v))
+              (Array.to_list t)));
+      Buffer.add_char buf '\n')
+    (Relation.tuples r);
+  Buffer.contents buf

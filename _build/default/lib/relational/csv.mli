@@ -1,0 +1,15 @@
+(** CSV serialization of relations, so the command-line front end can learn
+    joins over real tables.  The dialect is minimal RFC-4180: the first
+    record is the attribute header; fields may be double-quoted, with [""]
+    escaping a quote; separators default to [','].  Values parse via
+    {!Value.of_string} (integers as [Int]). *)
+
+exception Syntax_error of string
+
+val parse : ?separator:char -> name:string -> string -> Relation.t
+(** @raise Syntax_error on unbalanced quotes or ragged rows.
+    @raise Invalid_argument on duplicate header names. *)
+
+val to_string : ?separator:char -> Relation.t -> string
+(** Header + rows; fields are quoted when they contain the separator, a
+    quote, or a newline.  [parse (to_string r)] reconstructs [r]. *)

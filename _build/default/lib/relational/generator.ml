@@ -1,0 +1,46 @@
+type pair_instance = {
+  left : Relation.t;
+  right : Relation.t;
+  planted : Algebra.predicate;
+}
+
+let random_tuple rng arity domain =
+  Array.init arity (fun _ -> Value.Int (Core.Prng.int rng domain))
+
+let random_relation ~rng ~name ~attrs ~rows ~domain =
+  let arity = List.length attrs in
+  Relation.make ~name ~attrs
+    (List.init rows (fun _ -> random_tuple rng arity domain))
+
+let attr_names prefix n = List.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let pair_instance ~rng ?(left_arity = 4) ?(right_arity = 4) ?(left_rows = 30)
+    ?(right_rows = 30) ?(domain = 8) ?(planted_pairs = 2) () =
+  let planted =
+    let k = min planted_pairs (min left_arity right_arity) in
+    let lefts = Core.Prng.sample rng k (List.init left_arity Fun.id) in
+    let rights = Core.Prng.sample rng k (List.init right_arity Fun.id) in
+    List.combine lefts rights
+  in
+  let left_tuples =
+    List.init left_rows (fun _ -> random_tuple rng left_arity domain)
+  in
+  (* Right tuples: half random, half echoing a left tuple along the planted
+     pairs so the goal join is non-empty. *)
+  let right_tuples =
+    List.init right_rows (fun i ->
+        let t = random_tuple rng right_arity domain in
+        if i mod 2 = 0 && left_tuples <> [] then begin
+          let src = Core.Prng.pick rng left_tuples in
+          List.iter (fun (li, rj) -> t.(rj) <- src.(li)) planted;
+          t
+        end
+        else t)
+  in
+  {
+    left =
+      Relation.make ~name:"R" ~attrs:(attr_names "a" left_arity) left_tuples;
+    right =
+      Relation.make ~name:"S" ~attrs:(attr_names "b" right_arity) right_tuples;
+    planted;
+  }

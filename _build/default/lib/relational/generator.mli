@@ -1,0 +1,32 @@
+(** Random relational instances for the learning experiments.
+
+    Instances are generated so that attribute-pair agreements are plentiful
+    but not universal: values are drawn from a small shared domain, and a
+    {e planted} join predicate can be used to inject guaranteed matches —
+    the "very large database instance" on which the interactive learner is
+    exercised (paper, Section 3). *)
+
+type pair_instance = {
+  left : Relation.t;
+  right : Relation.t;
+  planted : Algebra.predicate;  (** the hidden goal predicate *)
+}
+
+val pair_instance :
+  rng:Core.Prng.t ->
+  ?left_arity:int ->
+  ?right_arity:int ->
+  ?left_rows:int ->
+  ?right_rows:int ->
+  ?domain:int ->
+  ?planted_pairs:int ->
+  unit ->
+  pair_instance
+(** Defaults: arities 4/4, rows 30/30, domain 8, 2 planted pairs.  Values
+    are uniform over [Int 0 .. Int (domain-1)]; a random share of left
+    tuples is duplicated into the right relation along the planted pairs so
+    the goal predicate has witnesses. *)
+
+val random_relation :
+  rng:Core.Prng.t -> name:string -> attrs:string list -> rows:int ->
+  domain:int -> Relation.t

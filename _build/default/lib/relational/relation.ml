@@ -1,0 +1,83 @@
+type tuple = Value.t array
+
+type t = { name : string; attrs : string array; tuples : tuple list }
+
+let tuple_equal t1 t2 =
+  Array.length t1 = Array.length t2
+  && Array.for_all2 Value.equal t1 t2
+
+let dedup tuples =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun t ->
+      let key = Array.to_list t in
+      if Hashtbl.mem seen key then false
+      else (
+        Hashtbl.add seen key ();
+        true))
+    tuples
+
+let make ~name ~attrs tuples =
+  let attrs = Array.of_list attrs in
+  let n = Array.length attrs in
+  let module S = Set.Make (String) in
+  if S.cardinal (S.of_list (Array.to_list attrs)) <> n then
+    invalid_arg "Relation.make: duplicate attribute names";
+  List.iter
+    (fun t ->
+      if Array.length t <> n then
+        invalid_arg
+          (Printf.sprintf "Relation.make: tuple arity %d, expected %d"
+             (Array.length t) n))
+    tuples;
+  { name; attrs; tuples = dedup tuples }
+
+let name r = r.name
+let attrs r = r.attrs
+let arity r = Array.length r.attrs
+let tuples r = r.tuples
+let cardinal r = List.length r.tuples
+let mem t r = List.exists (tuple_equal t) r.tuples
+
+let attr_index r a =
+  let found = ref None in
+  Array.iteri (fun i a' -> if String.equal a a' then found := Some i) r.attrs;
+  !found
+
+let project r names =
+  let indices =
+    List.map
+      (fun a ->
+        match attr_index r a with
+        | Some i -> i
+        | None -> invalid_arg ("Relation.project: unknown attribute " ^ a))
+      names
+  in
+  make ~name:r.name ~attrs:names
+    (List.map (fun t -> Array.of_list (List.map (fun i -> t.(i)) indices))
+       r.tuples)
+
+let select r p = { r with tuples = List.filter p r.tuples }
+
+let union r1 r2 =
+  if r1.attrs <> r2.attrs then
+    invalid_arg "Relation.union: incompatible attributes";
+  { r1 with tuples = dedup (r1.tuples @ r2.tuples) }
+
+let equal_contents r1 r2 =
+  r1.attrs = r2.attrs
+  && cardinal r1 = cardinal r2
+  && List.for_all (fun t -> mem t r2) r1.tuples
+
+let pp_tuple ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (Array.to_list t)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s(%s):" r.name
+    (String.concat ", " (Array.to_list r.attrs));
+  List.iter (fun t -> Format.fprintf ppf "@,  %a" pp_tuple t) r.tuples;
+  Format.fprintf ppf "@]"

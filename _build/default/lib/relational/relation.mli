@@ -1,0 +1,38 @@
+(** Relations: named, fixed-arity collections of tuples.
+
+    Tuples are value arrays indexed by attribute position; attribute names
+    give positions meaning (and drive the natural join).  Relations behave
+    as sets: construction deduplicates. *)
+
+type tuple = Value.t array
+
+type t
+
+val make : name:string -> attrs:string list -> tuple list -> t
+(** @raise Invalid_argument on duplicate attribute names or arity
+    mismatches. *)
+
+val name : t -> string
+val attrs : t -> string array
+val arity : t -> int
+val tuples : t -> tuple list
+(** In insertion order, duplicates removed. *)
+
+val cardinal : t -> int
+val mem : tuple -> t -> bool
+val attr_index : t -> string -> int option
+
+val project : t -> string list -> t
+(** Keeps the named attributes (deduplicating resulting tuples).
+    @raise Invalid_argument on unknown attributes. *)
+
+val select : t -> (tuple -> bool) -> t
+val union : t -> t -> t
+(** @raise Invalid_argument when attribute lists differ. *)
+
+val equal_contents : t -> t -> bool
+(** Same attributes and same tuple set (order-insensitive). *)
+
+val tuple_equal : tuple -> tuple -> bool
+val pp_tuple : Format.formatter -> tuple -> unit
+val pp : Format.formatter -> t -> unit

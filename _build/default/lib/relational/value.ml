@@ -1,0 +1,25 @@
+type t = Int of int | Str of string
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Int _, Str _ | Str _, Int _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let hash = function Int x -> Hashtbl.hash (0, x) | Str s -> Hashtbl.hash (1, s)
+
+let of_string s =
+  match int_of_string_opt s with Some i -> Int i | None -> Str s
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.pp_print_string ppf s
+
+let to_string = function Int i -> string_of_int i | Str s -> s

@@ -1,0 +1,13 @@
+(** Atomic values of the relational substrate. *)
+
+type t = Int of int | Str of string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_string : string -> t
+(** Integers parse as [Int], everything else as [Str]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/twig/contain.ml: Array Eval Hashtbl List Printf Query Xmltree

@@ -1,0 +1,1 @@
+lib/twig/contain.mli: Query Xmltree

@@ -1,0 +1,1 @@
+lib/twig/eval.ml: Annotated Array List Query String Tree Xmltree

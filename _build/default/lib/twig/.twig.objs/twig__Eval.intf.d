@@ -1,0 +1,1 @@
+lib/twig/eval.mli: Query Xmltree

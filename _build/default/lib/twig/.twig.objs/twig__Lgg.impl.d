@@ -1,0 +1,1 @@
+lib/twig/lgg.ml: Array Contain List Query Stdlib String

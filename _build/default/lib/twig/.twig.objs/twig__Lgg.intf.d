@@ -1,0 +1,1 @@
+lib/twig/lgg.mli: Query

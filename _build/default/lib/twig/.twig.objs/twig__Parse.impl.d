@@ -1,0 +1,1 @@
+lib/twig/parse.ml: List Printf Query String

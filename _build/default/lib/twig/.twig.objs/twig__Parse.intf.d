@@ -1,0 +1,1 @@
+lib/twig/parse.mli: Query

@@ -1,0 +1,1 @@
+lib/twig/query.ml: Format List Set Stdlib String Tree Xmltree

@@ -1,0 +1,1 @@
+lib/twig/query.mli: Format Xmltree

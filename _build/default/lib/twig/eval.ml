@@ -1,0 +1,178 @@
+open Xmltree
+
+type doc = {
+  tree : Tree.t;
+  labels : string array;  (** label of node [i] (preorder id) *)
+  children : int list array;
+  last_desc : int array;  (** descendants of [i] are ids in [i+1 .. last_desc.(i)] *)
+  paths : Tree.path array;
+}
+
+let index tree =
+  let n = Tree.size tree in
+  let labels = Array.make n "" in
+  let children = Array.make n [] in
+  let last_desc = Array.make n 0 in
+  let paths = Array.make n [] in
+  let counter = ref 0 in
+  let rec go path (node : Tree.t) =
+    let id = !counter in
+    incr counter;
+    labels.(id) <- node.label;
+    paths.(id) <- List.rev path;
+    let kids =
+      List.mapi (fun i c -> go (i :: path) c) node.children
+    in
+    children.(id) <- kids;
+    last_desc.(id) <- !counter - 1;
+    id
+  in
+  let root = go [] tree in
+  assert (root = 0);
+  { tree; labels; children; last_desc; paths }
+
+let doc_tree d = d.tree
+let doc_size d = Array.length d.labels
+
+(* Compiled filters: each filter node gets a dense id so embeddings can be
+   memoized in a flat matrix. *)
+type compiled_filter = { ctest : Query.test; csubs : (Query.axis * int) list }
+
+type compiled = {
+  cfilters : compiled_filter array;
+  csteps : (Query.axis * Query.test * (Query.axis * int) list) array;
+}
+
+let compile (q : Query.t) =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec comp_filter (f : Query.filter) =
+    let id = !count in
+    incr count;
+    (* Reserve the slot, fill after children are compiled. *)
+    acc := (id, { ctest = f.ftest; csubs = [] }) :: !acc;
+    let subs = List.map (fun (a, g) -> (a, comp_filter g)) f.fsubs in
+    acc :=
+      (id, { ctest = f.ftest; csubs = subs })
+      :: List.remove_assoc id !acc;
+    id
+  in
+  let csteps =
+    Array.of_list
+      (List.map
+         (fun (s : Query.step) ->
+           let fs = List.map (fun (a, f) -> (a, comp_filter f)) s.filters in
+           (s.axis, s.test, fs))
+         q)
+  in
+  let cfilters = Array.make (max 1 !count) { ctest = Query.Wildcard; csubs = [] } in
+  List.iter (fun (id, cf) -> cfilters.(id) <- cf) !acc;
+  { cfilters; csteps }
+
+let test_holds test label =
+  match test with Query.Wildcard -> true | Query.Label l -> String.equal l label
+
+(* embed.(fid * n + node) : -1 unknown, 0 no, 1 yes *)
+let embeds doc compiled =
+  let n = Array.length doc.labels in
+  let nf = Array.length compiled.cfilters in
+  let memo = Array.make (nf * n) (-1) in
+  let rec embed fid node =
+    let key = (fid * n) + node in
+    match memo.(key) with
+    | 0 -> false
+    | 1 -> true
+    | _ ->
+        let cf = compiled.cfilters.(fid) in
+        let ok =
+          test_holds cf.ctest doc.labels.(node)
+          && List.for_all
+               (fun (axis, gid) ->
+                 match axis with
+                 | Query.Child ->
+                     List.exists (fun c -> embed gid c) doc.children.(node)
+                 | Query.Descendant ->
+                     let rec scan i =
+                       i <= doc.last_desc.(node)
+                       && (embed gid i || scan (i + 1))
+                     in
+                     scan (node + 1))
+               cf.csubs
+        in
+        memo.(key) <- (if ok then 1 else 0);
+        ok
+  in
+  embed
+
+let select_ids doc (q : Query.t) =
+  let compiled = compile q in
+  let embed = embeds doc compiled in
+  let n = Array.length doc.labels in
+  let node_matches (test, filters) id =
+    test_holds test doc.labels.(id)
+    && List.for_all (fun (axis, fid) ->
+           match axis with
+           | Query.Child -> List.exists (fun c -> embed fid c) doc.children.(id)
+           | Query.Descendant ->
+               let rec scan i =
+                 i <= doc.last_desc.(id) && (embed fid i || scan (i + 1))
+               in
+               scan (id + 1))
+         filters
+  in
+  (* context: boolean mask over node ids; starts as the virtual root, encoded
+     by candidate generation for the first step. *)
+  let step_candidates context (axis, test, filters) ~first =
+    let out = Array.make n false in
+    let mark id = if node_matches (test, filters) id then out.(id) <- true in
+    (if first then
+       match axis with
+       | Query.Child -> mark 0
+       | Query.Descendant ->
+           for id = 0 to n - 1 do
+             mark id
+           done
+     else
+       Array.iteri
+         (fun id in_ctx ->
+           if in_ctx then
+             match axis with
+             | Query.Child -> List.iter mark doc.children.(id)
+             | Query.Descendant ->
+                 for d = id + 1 to doc.last_desc.(id) do
+                   mark d
+                 done)
+         context);
+    out
+  in
+  let steps = Array.to_list compiled.csteps in
+  match steps with
+  | [] -> invalid_arg "Eval.select: empty query"
+  | first :: rest ->
+      let init = step_candidates [||] first ~first:true in
+      let final =
+        List.fold_left
+          (fun ctx step -> step_candidates ctx step ~first:false)
+          init rest
+      in
+      let ids = ref [] in
+      for id = n - 1 downto 0 do
+        if final.(id) then ids := id :: !ids
+      done;
+      !ids
+
+let select_doc doc q = List.map (fun id -> doc.paths.(id)) (select_ids doc q)
+let select q tree = select_doc (index tree) q
+
+let selects q tree path =
+  let doc = index tree in
+  List.exists (fun p -> p = path) (select_doc doc q)
+
+let selects_example q (a : Annotated.t) = selects q a.doc a.target
+
+let holds_filter f tree =
+  let doc = index tree in
+  let compiled = compile [ { Query.axis = Child; test = Wildcard; filters = [ (Query.Child, f) ] } ] in
+  (* The compiled query's only filter tree is f, rooted at filter id 0. *)
+  let embed = embeds doc compiled in
+  embed 0 0

@@ -1,0 +1,112 @@
+exception Syntax_error of string
+
+type cursor = { input : string; mutable pos : int }
+
+let peek cur =
+  if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let fail cur msg =
+  raise (Syntax_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let eat cur c =
+  match peek cur with
+  | Some c' when c' = c -> cur.pos <- cur.pos + 1
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.input
+  && String.sub cur.input cur.pos n = s
+
+(* Unlike XML names, twig node tests exclude ':' and '.' so that axis
+   syntax (following-sibling::b) and the relative-path dot are not silently
+   swallowed into a label. *)
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-'
+
+(* An axis separator: '//' is Descendant, '/' is Child.  '//' must be checked
+   first. *)
+let read_axis cur =
+  if looking_at cur "//" then (
+    cur.pos <- cur.pos + 2;
+    Query.Descendant)
+  else (
+    eat cur '/';
+    Query.Child)
+
+let read_test cur =
+  match peek cur with
+  | Some '*' ->
+      cur.pos <- cur.pos + 1;
+      Query.Wildcard
+  | Some '@' ->
+      cur.pos <- cur.pos + 1;
+      let start = cur.pos in
+      while
+        match peek cur with Some c -> is_name_char c | None -> false
+      do
+        cur.pos <- cur.pos + 1
+      done;
+      if cur.pos = start then fail cur "expected an attribute name";
+      Query.Label ("@" ^ String.sub cur.input start (cur.pos - start))
+  | Some c when is_name_char c ->
+      let start = cur.pos in
+      while
+        match peek cur with Some c -> is_name_char c | None -> false
+      do
+        cur.pos <- cur.pos + 1
+      done;
+      Query.Label (String.sub cur.input start (cur.pos - start))
+  | _ -> fail cur "expected a node test"
+
+let rec read_preds cur acc =
+  match peek cur with
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      let axis =
+        if looking_at cur ".//" then (
+          cur.pos <- cur.pos + 3;
+          Query.Descendant)
+        else Query.Child
+      in
+      let f = read_fnode cur in
+      eat cur ']';
+      read_preds cur ((axis, f) :: acc)
+  | _ -> List.rev acc
+
+and read_fnode cur =
+  let test = read_test cur in
+  let preds = read_preds cur [] in
+  (* Optional trailing path continues the filter downward. *)
+  match peek cur with
+  | Some '/' ->
+      let axis = read_axis cur in
+      let child = read_fnode cur in
+      { Query.ftest = test; fsubs = preds @ [ (axis, child) ] }
+  | _ -> { Query.ftest = test; fsubs = preds }
+
+let read_step cur =
+  let axis = read_axis cur in
+  let test = read_test cur in
+  let filters = read_preds cur [] in
+  { Query.axis; test; filters }
+
+let query input =
+  let input = String.trim input in
+  let cur = { input; pos = 0 } in
+  if peek cur <> Some '/' then fail cur "a query must start with '/' or '//'";
+  let rec steps acc =
+    match peek cur with
+    | Some '/' -> steps (read_step cur :: acc)
+    | None -> List.rev acc
+    | Some _ -> fail cur "expected '/' or end of input"
+  in
+  match steps [] with
+  | [] -> fail cur "empty query"
+  | q -> q
+
+let query_opt input =
+  match query input with q -> Some q | exception Syntax_error _ -> None

@@ -1,0 +1,24 @@
+(** Parser for the XPath fragment corresponding to twig queries.
+
+    Accepted syntax (the fragment of XPath 1.0 the paper's class captures):
+
+    {v
+    query  ::= ('/' | '//') step (('/' | '//') step)*
+    step   ::= test pred*
+    test   ::= NAME | '@' NAME | '*'
+    pred   ::= '[' rel ']'
+    rel    ::= ('.//')? node
+    node   ::= test pred* (('/' | '//') node)?
+    v}
+
+    Examples: [/site/regions//item\[location\]\[quantity\]],
+    [//person\[address/city\]\[.//profile\]/name]. *)
+
+exception Syntax_error of string
+
+val query : string -> Query.t
+(** @raise Syntax_error on input outside the fragment. *)
+
+val query_opt : string -> Query.t option
+(** [None] instead of raising — used to classify benchmark queries as
+    twig-expressible or not. *)

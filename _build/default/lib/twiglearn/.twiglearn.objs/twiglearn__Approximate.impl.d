@@ -1,0 +1,1 @@
+lib/twiglearn/approximate.ml: Core List Positive Twig Xmltree

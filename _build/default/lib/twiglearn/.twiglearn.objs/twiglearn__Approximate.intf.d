@@ -1,0 +1,1 @@
+lib/twiglearn/approximate.mli: Core Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/consistency.ml: Core Enumerate List Positive Seq Set String Twig Xmltree

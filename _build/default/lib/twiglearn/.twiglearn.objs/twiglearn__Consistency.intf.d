@@ -1,0 +1,1 @@
+lib/twiglearn/consistency.mli: Core Twig Xmltree

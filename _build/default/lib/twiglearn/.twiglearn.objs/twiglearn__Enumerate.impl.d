@@ -1,0 +1,1 @@
+lib/twiglearn/enumerate.ml: List Seq Twig

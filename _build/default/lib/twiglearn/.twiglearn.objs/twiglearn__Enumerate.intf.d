@@ -1,0 +1,1 @@
+lib/twiglearn/enumerate.mli: Seq Twig

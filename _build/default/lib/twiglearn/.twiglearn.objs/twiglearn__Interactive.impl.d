@@ -1,0 +1,1 @@
+lib/twiglearn/interactive.ml: Core List Positive String Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/interactive.mli: Core Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/nary.ml: Annotated Array Format List Option Positive Relational String Tree Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/nary.mli: Format Relational Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/positive.ml: List Twig Xmltree

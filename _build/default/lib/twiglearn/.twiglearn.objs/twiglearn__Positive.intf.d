@@ -1,0 +1,1 @@
+lib/twiglearn/positive.mli: Core Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/schema_aware.ml: List Positive Twig Uschema Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/schema_aware.mli: Twig Uschema Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/union.ml: Core List Positive Twig Xmltree

@@ -1,0 +1,1 @@
+lib/twiglearn/union.mli: Core Twig Xmltree

@@ -1,0 +1,94 @@
+type instance = Xmltree.Annotated.t
+
+type result = {
+  query : Twig.Query.t;
+  dropped : instance Core.Example.t list;
+  training_errors : int;
+}
+
+let conflicts q negatives =
+  List.filter (fun n -> Twig.Eval.selects_example q n) negatives
+
+let learn ?max_dropped examples =
+  let budget =
+    match max_dropped with
+    | Some b -> b
+    | None -> max 1 (List.length examples / 3)
+  in
+  let positives =
+    List.filter Core.Example.is_positive examples
+  and negatives = List.filter Core.Example.is_negative examples in
+  let lgg_of pos = Positive.learn_positive (List.map (fun (e : _ Core.Example.t) -> e.value) pos) in
+  let rec refine pos neg dropped budget =
+    match lgg_of pos with
+    | None -> None
+    | Some q -> (
+        let bad =
+          List.filter
+            (fun (n : _ Core.Example.t) -> Twig.Eval.selects_example q n.value)
+            neg
+        in
+        match bad with
+        | [] -> Some (q, dropped)
+        | worst :: _ ->
+            if budget = 0 then
+              (* Out of budget: return the query, counting leftover
+                 conflicts as training errors. *)
+              Some (q, dropped)
+            else
+              (* Candidate 1: drop the offending negative. *)
+              let drop_neg_conflicts = List.length bad - 1 in
+              (* Candidate 2: drop the positive whose removal removes the
+                 most conflicts. *)
+              let best_pos =
+                List.filter_map
+                  (fun (p : _ Core.Example.t) ->
+                    let pos' = List.filter (fun e -> e != p) pos in
+                    match lgg_of pos' with
+                    | None -> None
+                    | Some q' ->
+                        Some
+                          ( p,
+                            List.length
+                              (conflicts q'
+                                 (List.map
+                                    (fun (e : _ Core.Example.t) -> e.value)
+                                    neg)) ))
+                  pos
+                |> List.sort (fun (_, c1) (_, c2) -> compare c1 c2)
+                |> function
+                | [] -> None
+                | best :: _ -> Some best
+              in
+              let drop_positive =
+                match best_pos with
+                | Some (p, c) when c < drop_neg_conflicts && List.length pos > 1
+                  ->
+                    Some p
+                | _ -> None
+              in
+              (match drop_positive with
+              | Some p ->
+                  refine
+                    (List.filter (fun e -> e != p) pos)
+                    neg (p :: dropped) (budget - 1)
+              | None ->
+                  refine pos
+                    (List.filter (fun e -> e != worst) neg)
+                    (worst :: dropped) (budget - 1)))
+  in
+  match refine positives negatives [] budget with
+  | None -> None
+  | Some (q, dropped) ->
+      let kept_negatives =
+        List.filter
+          (fun (n : _ Core.Example.t) -> not (List.memq n dropped))
+          negatives
+      in
+      let errors =
+        List.length
+          (List.filter
+             (fun (n : _ Core.Example.t) -> Twig.Eval.selects_example q n.value)
+             kept_negatives)
+      in
+      Some { query = q; dropped = List.rev dropped; training_errors = errors }

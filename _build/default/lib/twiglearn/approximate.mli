@@ -1,0 +1,30 @@
+(** Approximate twig learning from noisy or inconsistent samples.
+
+    The paper's escape hatch when exact consistency is out of reach
+    (Section 2 for twigs, Section 3 for semijoins): "the learned query may
+    select some negative examples and omit some positive ones" and "some of
+    the annotations might be ignored to be able to compute in polynomial
+    time a candidate query".
+
+    The learner greedily discards the annotations that block consistency:
+    starting from the full sample, as long as the LGG of the kept positives
+    selects a kept negative, it removes whichever single annotation (the
+    offending negative, or a positive whose removal sharpens the LGG most)
+    reduces the number of conflicts the most.  Polynomial, and exact on
+    consistent samples (nothing is dropped). *)
+
+type instance = Xmltree.Annotated.t
+
+type result = {
+  query : Twig.Query.t;
+  dropped : instance Core.Example.t list;  (** ignored annotations *)
+  training_errors : int;
+      (** kept examples the query still misclassifies (0 unless the positive
+          set became empty-able); dropped ones are not counted *)
+}
+
+val learn :
+  ?max_dropped:int -> instance Core.Example.t list -> result option
+(** [None] when there is no positive example left to generalize from or the
+    anchored LGG fails.  [max_dropped] (default: a third of the sample)
+    bounds the discards. *)

@@ -1,0 +1,32 @@
+type instance = Xmltree.Annotated.t
+
+let anchored examples =
+  let positives = Core.Example.positives examples in
+  match Positive.learn_positive positives with
+  | None -> None
+  | Some q ->
+      if Core.Example.consistent_with Twig.Eval.selects_example q examples
+      then Some q
+      else None
+
+let anchored_consistent examples = anchored examples <> None
+
+let bounded ?filter_depth ?max_filters_per_node ~max_size examples =
+  let alphabet =
+    let module S = Set.Make (String) in
+    List.fold_left
+      (fun acc (e : instance Core.Example.t) ->
+        List.fold_left
+          (fun acc l -> S.add l acc)
+          acc
+          (Xmltree.Tree.labels e.value.doc))
+      S.empty examples
+    |> S.elements
+    (* Text labels cannot appear in sensible queries. *)
+    |> List.filter (fun l -> String.length l = 0 || l.[0] <> '#')
+  in
+  Seq.find
+    (fun q ->
+      Core.Example.consistent_with Twig.Eval.selects_example q examples)
+    (Enumerate.queries ?filter_depth ?max_filters_per_node ~alphabet
+       ~max_nodes:max_size ())

@@ -1,0 +1,32 @@
+(** Consistency of twig samples: does a query of the class select every
+    positive and no negative example?
+
+    The complexity landscape reproduced here is the one the paper reports
+    (Section 2):
+
+    - for the {e anchored} class, the least general generalization of the
+      positives is the unique minimal consistent candidate; a consistent
+      query exists iff the LGG rejects every negative — polynomial time
+      ({!anchored}).
+    - for the {e full} twig class the problem is NP-complete; {!bounded}
+      performs the exact exponential search over size-bounded candidates,
+      which is tractable exactly when the bound (hence the example sets that
+      pin it down) is small — the tractable case the paper cites. *)
+
+type instance = Xmltree.Annotated.t
+
+val anchored : instance Core.Example.t list -> Twig.Query.t option
+(** PTIME decision for the anchored class, with a witness query.  Requires
+    at least one positive example ([None] otherwise). *)
+
+val anchored_consistent : instance Core.Example.t list -> bool
+
+val bounded :
+  ?filter_depth:int ->
+  ?max_filters_per_node:int ->
+  max_size:int ->
+  instance Core.Example.t list ->
+  Twig.Query.t option
+(** Exact search over all twigs with at most [max_size] pattern nodes over
+    the labels occurring in the examples (exponential in [max_size]).
+    Returns the first consistent candidate in enumeration order. *)

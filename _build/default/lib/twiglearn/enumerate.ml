@@ -1,0 +1,73 @@
+open Twig.Query
+
+let axes = [ Child; Descendant ]
+
+let tests alphabet = Wildcard :: List.map (fun l -> Label l) alphabet
+
+(* Filter shapes of the given depth: chains test / test / ... with an axis at
+   each level.  Depth 1 gives single-node filters. *)
+let rec filter_shapes alphabet depth =
+  if depth <= 0 then []
+  else
+    let shallower = filter_shapes alphabet (depth - 1) in
+    List.concat_map
+      (fun t ->
+        { ftest = t; fsubs = [] }
+        :: List.concat_map
+             (fun a ->
+               List.map
+                 (fun sub -> { ftest = t; fsubs = [ (a, sub) ] })
+                 shallower)
+             axes)
+      (tests alphabet)
+
+(* Subsets of at most [k] filters, each paired with an axis. *)
+let filter_sets alphabet ~filter_depth ~max_filters_per_node =
+  let shapes = filter_shapes alphabet filter_depth in
+  let edges =
+    List.concat_map (fun a -> List.map (fun f -> (a, f)) shapes) axes
+  in
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | e :: rest ->
+        let without = subsets k rest in
+        if k = 0 then without
+        else without @ List.map (fun s -> e :: s) (subsets (k - 1) rest)
+  in
+  subsets max_filters_per_node edges
+
+let queries ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
+    ~max_nodes () =
+  let fsets = filter_sets alphabet ~filter_depth ~max_filters_per_node in
+  let step_choices =
+    List.concat_map
+      (fun axis ->
+        List.concat_map
+          (fun test ->
+            List.map (fun filters -> { axis; test; filters }) fsets)
+          (tests alphabet))
+      axes
+  in
+  (* Depth-first extension of spines while the node budget allows. *)
+  let rec extend prefix budget () =
+    if budget <= 0 then Seq.Nil
+    else
+      let with_step s =
+        let cost = 1 + List.fold_left (fun acc (_, f) -> acc + filter_size f) 0 s.filters in
+        if cost > budget then None
+        else
+          let q = List.rev (s :: prefix) in
+          Some (Seq.cons q (extend (s :: prefix) (budget - cost)))
+      in
+      List.to_seq step_choices
+      |> Seq.filter_map with_step
+      |> Seq.concat
+      |> fun s -> s ()
+  in
+  extend [] max_nodes
+
+let count ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes () =
+  Seq.fold_left
+    (fun acc _ -> acc + 1)
+    0
+    (queries ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes ())

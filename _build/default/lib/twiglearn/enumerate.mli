@@ -1,0 +1,26 @@
+(** Exhaustive enumeration of (bounded) twig queries, the engine behind the
+    exact consistency search for the full twig class.
+
+    Learning twigs from positive {e and} negative examples is NP-complete in
+    general (paper, Section 2), but "when considering the restriction that
+    the sets of positive and negative examples have a bounded size, the
+    problem becomes tractable" — and likewise bounding the candidate query
+    size makes exhaustive search feasible.  The enumeration is exponential
+    in [max_nodes] by nature; it exists to exhibit that frontier
+    (experiment E5's XML side), not for production learning. *)
+
+val queries :
+  ?filter_depth:int ->
+  ?max_filters_per_node:int ->
+  alphabet:string list ->
+  max_nodes:int ->
+  unit ->
+  Twig.Query.t Seq.t
+(** All twig queries with at most [max_nodes] pattern nodes, node tests drawn
+    from [alphabet] plus the wildcard, and per-node filters limited to
+    [max_filters_per_node] (default 1) filters of depth [filter_depth]
+    (default 1).  Queries are produced in non-decreasing spine length. *)
+
+val count : ?filter_depth:int -> ?max_filters_per_node:int ->
+  alphabet:string list -> max_nodes:int -> unit -> int
+(** Size of the enumeration (forces the sequence). *)

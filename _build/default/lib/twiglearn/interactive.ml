@@ -1,0 +1,89 @@
+type item = Xmltree.Annotated.t
+
+module Session = struct
+  type query = Twig.Query.t
+  type nonrec item = item
+
+  type state = {
+    pos : item list;
+    neg : item list;
+    lgg : Twig.Query.t option;  (** cached LGG of [pos] *)
+  }
+
+  let init _items = { pos = []; neg = []; lgg = None }
+
+  let record st item label =
+    if label then
+      let pos = item :: st.pos in
+      { st with pos; lgg = Positive.learn_positive pos }
+    else { st with neg = item :: st.neg }
+
+  let candidate st = st.lgg
+
+  let determined st item =
+    match st.lgg with
+    | None -> None
+    | Some q ->
+        if Twig.Eval.selects_example q item then Some true
+        else begin
+          (* Would taking it positive contradict a recorded negative or leave
+             the anchored fragment? *)
+          match Positive.learn_positive (item :: st.pos) with
+          | None -> Some false
+          | Some q' ->
+              if List.exists (fun n -> Twig.Eval.selects_example q' n) st.neg
+              then Some false
+              else None
+        end
+
+  let pp_item = Xmltree.Annotated.pp
+  let pp_query = Twig.Query.pp
+end
+
+module Loop = Core.Interact.Make (Session)
+
+(* Text nodes carry values, not structure: twig queries select element
+   nodes, so only those are labelable. *)
+let items_of_doc doc =
+  Xmltree.Tree.all_paths doc
+  |> List.filter (fun p ->
+         match Xmltree.Tree.node_at doc p with
+         | Some n -> not (Xmltree.Tree.is_text n)
+         | None -> false)
+  |> List.map (fun p -> Xmltree.Annotated.make doc p)
+
+let label_diverse_strategy _rng (st : Session.state) items =
+  (* Diversify over (label, parent label) contexts: the same label under a
+     new parent is a genuinely new situation (category/name vs person/name),
+     so a positive is found within about one question per context. *)
+  let context (a : item) =
+    let label = (Xmltree.Annotated.target_node a).label in
+    let parent =
+      match Xmltree.Tree.parent_path a.target with
+      | None -> "^"
+      | Some p -> (
+          match Xmltree.Tree.node_at a.doc p with
+          | Some n -> n.label
+          | None -> "^")
+    in
+    (label, parent)
+  in
+  let asked = List.map context (st.pos @ st.neg) in
+  let count pred = List.length (List.filter pred asked) in
+  let score (it : item) =
+    let label, parent = context it in
+    ( count (fun (l, p) -> String.equal l label && String.equal p parent),
+      count (fun (l, _) -> String.equal l label),
+      List.length it.target )
+  in
+  match items with
+  | [] -> invalid_arg "label_diverse_strategy: no informative item"
+  | first :: rest ->
+      List.fold_left
+        (fun best it -> if score it < score best then it else best)
+        first rest
+
+let run_with_goal ?rng ?strategy ~doc ~goal () =
+  let items = items_of_doc doc in
+  let oracle (item : item) = Twig.Eval.selects_example goal item in
+  Loop.run ?rng ?strategy ~oracle ~items ()

@@ -1,0 +1,43 @@
+(** Interactive learning of twig queries by node annotation: "develop a
+    practical system able to learn twig queries from interaction with the
+    user" (paper, Section 2), instantiating the generic protocol of
+    {!Core.Interact}.
+
+    The user is shown nodes of a document and labels them; between
+    questions the learner infers the labels forced by the anchored-fragment
+    semantics:
+
+    - a node selected by the LGG of the current positives must be positive
+      (every anchored query consistent with the labels contains the LGG);
+    - a node whose addition to the positives would drive the LGG onto a
+      known negative — or out of the anchored fragment altogether — must be
+      negative.
+
+    Those nodes are uninformative and are never asked. *)
+
+type item = Xmltree.Annotated.t
+
+module Session :
+  Core.Interact.SESSION with type query = Twig.Query.t and type item = item
+
+module Loop : module type of Core.Interact.Make (Session)
+
+val items_of_doc : Xmltree.Tree.t -> item list
+(** Every node of the document as a labelable item (preorder). *)
+
+val label_diverse_strategy : (Session.state, item) Core.Interact.strategy
+(** Prefers nodes whose label has been asked least often so far (and, among
+    those, the shallowest).  Document order wastes its budget walking to
+    the first positive; label diversity finds one within about one question
+    per distinct label, after which the LGG-based pruning determines most
+    of the pool. *)
+
+val run_with_goal :
+  ?rng:Core.Prng.t ->
+  ?strategy:(Session.state, item) Core.Interact.strategy ->
+  doc:Xmltree.Tree.t ->
+  goal:Twig.Query.t ->
+  unit ->
+  Loop.outcome
+(** Simulates the user with the goal query as oracle over all nodes of
+    [doc]. *)

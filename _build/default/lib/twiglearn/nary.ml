@@ -1,0 +1,163 @@
+open Xmltree
+
+type projection = Twig.Query.test list
+type t = { anchor : Twig.Query.t; columns : projection list }
+type example = { doc : Tree.t; nodes : Tree.path list }
+
+let example doc nodes =
+  if nodes = [] then invalid_arg "Nary.example: empty tuple";
+  List.iter
+    (fun p ->
+      if Tree.node_at doc p = None then
+        invalid_arg "Nary.example: path not in document")
+    nodes;
+  { doc; nodes }
+
+let lca = function
+  | [] -> invalid_arg "Nary.lca: empty tuple"
+  | first :: rest ->
+      let rec common p q =
+        match (p, q) with
+        | a :: p', b :: q' when a = b -> a :: common p' q'
+        | _ -> []
+      in
+      List.fold_left common first rest
+
+(* The labels along the path from the node at [prefix] down to [full]. *)
+let relative_labels doc ~prefix ~full =
+  let rec drop p f =
+    match (p, f) with
+    | [], f -> f
+    | a :: p', b :: f' when a = b -> drop p' f'
+    | _ -> invalid_arg "Nary: component does not extend the anchor"
+  in
+  let suffix = drop prefix full in
+  let rec walk node acc = function
+    | [] -> List.rev acc
+    | i :: rest -> (
+        match List.nth_opt node.Tree.children i with
+        | None -> invalid_arg "Nary: dangling component path"
+        | Some c -> walk c (c.Tree.label :: acc) rest)
+  in
+  match Tree.node_at doc prefix with
+  | None -> invalid_arg "Nary: anchor path not in document"
+  | Some anchor_node -> walk anchor_node [] suffix
+
+let merge_projection (p1 : projection) (p2 : projection) : projection option =
+  if List.length p1 <> List.length p2 then None
+  else
+    Some
+      (List.map2
+         (fun t1 t2 ->
+           if Twig.Query.tests_equal t1 t2 then t1 else Twig.Query.Wildcard)
+         p1 p2)
+
+let learn examples =
+  match examples with
+  | [] -> None
+  | first :: rest ->
+      let arity = List.length first.nodes in
+      if List.exists (fun e -> List.length e.nodes <> arity) rest then None
+      else
+        let anchors =
+          List.map (fun e -> Annotated.make e.doc (lca e.nodes)) examples
+        in
+        match Positive.learn_positive anchors with
+        | None -> None
+        | Some anchor ->
+            let column i =
+              let paths =
+                List.map
+                  (fun e ->
+                    let prefix = lca e.nodes in
+                    relative_labels e.doc ~prefix ~full:(List.nth e.nodes i)
+                    |> List.map (fun l -> Twig.Query.Label l))
+                  examples
+              in
+              match paths with
+              | [] -> None
+              | p :: ps ->
+                  List.fold_left
+                    (fun acc p' ->
+                      match acc with
+                      | None -> None
+                      | Some a -> merge_projection a p')
+                    (Some p) ps
+            in
+            let rec columns i acc =
+              if i >= arity then Some (List.rev acc)
+              else
+                match column i with
+                | None -> None
+                | Some c -> columns (i + 1) (c :: acc)
+            in
+            Option.map (fun columns -> { anchor; columns }) (columns 0 [])
+
+let test_matches test label =
+  match test with
+  | Twig.Query.Wildcard -> true
+  | Twig.Query.Label l -> String.equal l label
+
+(* All nodes reached from [path] by following the projection's child
+   steps. *)
+let project doc path (proj : projection) =
+  let rec go node path = function
+    | [] -> [ path ]
+    | test :: rest ->
+        List.concat
+          (List.mapi
+             (fun i (c : Tree.t) ->
+               if (not (Tree.is_text c)) && test_matches test c.Tree.label then
+                 go c (path @ [ i ]) rest
+               else [])
+             node.Tree.children)
+  in
+  match Tree.node_at doc path with None -> [] | Some n -> go n path proj
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let extract q doc =
+  if q.columns = [] then invalid_arg "Nary.extract: arity-0 query";
+  List.concat_map
+    (fun anchor_path ->
+      let per_column =
+        List.map (fun proj -> project doc anchor_path proj) q.columns
+      in
+      if List.exists (fun c -> c = []) per_column then []
+      else cartesian per_column)
+    (Twig.Eval.select q.anchor doc)
+
+let extract_values q doc =
+  extract q doc
+  |> List.map
+       (List.map (fun path ->
+            match Tree.node_at doc path with
+            | None -> ""
+            | Some n -> ( match Tree.value_of n with Some v -> v | None -> "")))
+
+let to_relation ~name ~attrs q doc =
+  if List.length attrs <> List.length q.columns then
+    invalid_arg "Nary.to_relation: attribute count mismatch";
+  Relational.Relation.make ~name ~attrs
+    (List.map
+       (fun vs -> Array.of_list (List.map Relational.Value.of_string vs))
+       (extract_values q doc))
+
+let pp ppf q =
+  Format.fprintf ppf "@[%a -> (%s)@]" Twig.Query.pp q.anchor
+    (String.concat ", "
+       (List.map
+          (fun proj ->
+            if proj = [] then "."
+            else
+              String.concat "/"
+                (List.map
+                   (function
+                     | Twig.Query.Label l -> l
+                     | Twig.Query.Wildcard -> "*")
+                   proj))
+          q.columns))

@@ -1,0 +1,54 @@
+(** Learning n-ary queries: extracting {e tuples} of nodes, not single
+    nodes — what XML-to-relational shredding actually needs, and the setting
+    of the works the paper builds on ("learning n-ary node selecting tree
+    transducers from completely annotated examples", "interactive tuples
+    extraction from semi-structured data", Section 2).
+
+    The query class is the practical anchor-and-projections shape: a unary
+    {e anchor} twig selects a row node, and each column is a fixed-depth
+    downward {e projection path} (label or wildcard tests) from the anchor
+    to the component; a column may be the anchor itself (empty path).  An
+    answer is one tuple per combination of projection matches under each
+    anchor answer.
+
+    Learning from completely annotated tuples factorizes: the anchors are
+    the lowest common ancestors of the example tuples, learned with the
+    unary positive-example learner; each projection is the per-position
+    generalization of the observed relative label paths (equal labels stay,
+    disagreements become wildcards; length disagreements leave the class). *)
+
+type projection = Twig.Query.test list
+(** Child steps below the anchor; [\[\]] projects the anchor itself. *)
+
+type t = { anchor : Twig.Query.t; columns : projection list }
+
+type example = { doc : Xmltree.Tree.t; nodes : Xmltree.Tree.path list }
+(** One annotated tuple: component node paths, in column order. *)
+
+val example : Xmltree.Tree.t -> Xmltree.Tree.path list -> example
+(** @raise Invalid_argument when a path misses the document or the tuple is
+    empty. *)
+
+val lca : Xmltree.Tree.path list -> Xmltree.Tree.path
+(** Longest common prefix. *)
+
+val learn : example list -> t option
+(** [None] when the examples disagree on arity or projection depths, or the
+    anchor is not learnable in the anchored fragment.  The result extracts
+    every example tuple (tested). *)
+
+val extract : t -> Xmltree.Tree.t -> Xmltree.Tree.path list list
+(** All answer tuples (component paths), in document order of the anchors.
+    @raise Invalid_argument on arity-0 queries (impossible from {!learn}). *)
+
+val extract_values : t -> Xmltree.Tree.t -> string list list
+(** The tuples' text contents ({!Xmltree.Tree.value_of}; [""] when a
+    component has none). *)
+
+val to_relation :
+  name:string -> attrs:string list -> t -> Xmltree.Tree.t ->
+  Relational.Relation.t
+(** Shredding: {!extract_values} into a relation.
+    @raise Invalid_argument when [attrs] does not match the arity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type instance = Xmltree.Annotated.t
+
+module Concept = struct
+  type query = Twig.Query.t
+  type nonrec instance = instance
+
+  let selects = Twig.Eval.selects_example
+  let pp_query = Twig.Query.pp
+  let pp_instance = Xmltree.Annotated.pp
+end
+
+let characteristic (a : instance) = Twig.Query.of_example a.doc a.target
+
+let learn_positive = function
+  | [] -> None
+  | examples -> (
+      let queries = List.map characteristic examples in
+      match Twig.Lgg.lgg_all queries with
+      | None -> None
+      | Some merged ->
+          let q = Twig.Lgg.minimize merged in
+          if Twig.Query.is_anchored q then Some q else None)
+
+let learn_path examples =
+  match learn_positive examples with
+  | None -> None
+  | Some q -> Some (Twig.Query.strip_filters q)

@@ -1,0 +1,28 @@
+(** Learning anchored twig queries from positive examples only — the
+    learnability result of Staworko & Wieczorek the paper builds on
+    (Section 2): "the subclass of anchored twig queries … learnable from
+    positive examples only, where the examples are XML documents with
+    annotated nodes".
+
+    [learn_positive examples] folds the least general generalization
+    ({!Twig.Lgg}) over the characteristic queries of the examples and
+    minimizes the result.  The output selects every example node; on
+    examples drawn from an anchored goal query it converges to a query
+    equivalent to the goal — generally after very few examples
+    (experiment E1). *)
+
+type instance = Xmltree.Annotated.t
+
+val learn_positive : instance list -> Twig.Query.t option
+(** [None] on the empty list or when the generalization leaves the anchored
+    fragment (e.g. examples whose annotated nodes have different labels). *)
+
+val learn_path : instance list -> Twig.Query.t option
+(** Same, restricted to path queries: filters are stripped before merging —
+    the smaller class of Staworko & Wieczorek. *)
+
+(** The twig concept (plugs into {!Core.Concept} functors). *)
+module Concept :
+  Core.Concept.CONCEPT
+    with type query = Twig.Query.t
+     and type instance = instance

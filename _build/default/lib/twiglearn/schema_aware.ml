@@ -1,0 +1,47 @@
+type instance = Xmltree.Annotated.t
+
+open Twig.Query
+
+(* Prune implied sub-filters inside a filter rooted at a known label. *)
+let rec prune_filter g (f : filter) =
+  match f.ftest with
+  | Wildcard -> f
+  | Label host ->
+      let kept =
+        List.filter
+          (fun edge -> not (Uschema.Depgraph.filter_implied g ~at:host edge))
+          f.fsubs
+      in
+      { f with fsubs = List.map (fun (a, sub) -> (a, prune_filter g sub)) kept }
+
+let prune g (q : t) : t =
+  List.map
+    (fun (s : step) ->
+      match s.test with
+      | Wildcard -> s
+      | Label host ->
+          let kept =
+            List.filter
+              (fun edge ->
+                not (Uschema.Depgraph.filter_implied g ~at:host edge))
+              s.filters
+          in
+          {
+            s with
+            filters = List.map (fun (a, f) -> (a, prune_filter g f)) kept;
+          })
+    q
+
+let learn ~schema examples =
+  match Positive.learn_positive examples with
+  | None -> None
+  | Some q ->
+      let g = Uschema.Depgraph.of_schema schema in
+      Some (prune g q)
+
+let size_reduction ~schema examples =
+  match Positive.learn_positive examples with
+  | None -> None
+  | Some q ->
+      let g = Uschema.Depgraph.of_schema schema in
+      Some (Twig.Query.size q, Twig.Query.size (prune g q))

@@ -1,0 +1,28 @@
+(** Schema-aware twig learning — the paper's answer to overspecialization
+    (Section 2): learned queries "include fragments implied by the schema …
+    making the returned query bigger and increasing its evaluation time.
+    … we want to add a filter present in all the positive examples to the
+    learned query only if it is not implied by the schema."
+
+    Filter implication w.r.t. the schema is decided on the required
+    dependency graph ({!Uschema.Depgraph.filter_implied}) — the tractable
+    problem the paper leverages precisely because full query containment in
+    the presence of schemas is intractable.  Pruned queries are equivalent
+    to the unpruned ones on every document valid for the schema. *)
+
+type instance = Xmltree.Annotated.t
+
+val prune : Uschema.Depgraph.t -> Twig.Query.t -> Twig.Query.t
+(** Removes every (sub-)filter implied by the schema at its host label.
+    Spine nodes and filter nodes with wildcard tests are left untouched
+    (their label is not statically known). *)
+
+val learn :
+  schema:Uschema.Schema.t -> instance list -> Twig.Query.t option
+(** {!Positive.learn_positive} followed by {!prune} — the "optimized version
+    of the algorithms" the paper proposes.  Experiment E3 measures the size
+    decrease this achieves. *)
+
+val size_reduction :
+  schema:Uschema.Schema.t -> instance list -> (int * int) option
+(** [(size_without_schema, size_with_schema)] for the same examples. *)

@@ -1,0 +1,48 @@
+type instance = Xmltree.Annotated.t
+
+let selects union a = List.exists (fun q -> Twig.Eval.selects_example q a) union
+
+let characteristic (a : instance) = Twig.Query.of_example a.doc a.target
+
+let rejects_all negatives q =
+  List.for_all (fun n -> not (Twig.Eval.selects_example q n)) negatives
+
+let consistent examples =
+  let positives, negatives = Core.Example.partition examples in
+  List.for_all
+    (fun p -> rejects_all negatives (characteristic p))
+    positives
+
+let learn examples =
+  let positives, negatives = Core.Example.partition examples in
+  if not (consistent examples) then None
+  else
+    (* Greedily grow a cluster from each uncovered positive: a candidate
+       joins when the enlarged LGG still rejects every negative. *)
+    let rec cover uncovered acc =
+      match uncovered with
+      | [] -> Some (List.rev acc)
+      | seed :: rest -> (
+          let try_extend (cluster, query) candidate =
+            match Positive.learn_positive (candidate :: cluster) with
+            | Some q' when rejects_all negatives q' ->
+                (candidate :: cluster, q')
+            | _ -> (cluster, query)
+          in
+          match Positive.learn_positive [ seed ] with
+          | None -> None
+          | Some q0 ->
+              if not (rejects_all negatives q0) then None
+              else
+                let cluster, query =
+                  List.fold_left try_extend ([ seed ], q0) rest
+                in
+                ignore cluster;
+                let still_uncovered =
+                  List.filter
+                    (fun p -> not (Twig.Eval.selects_example query p))
+                    rest
+                in
+                cover still_uncovered (query :: acc))
+    in
+    cover positives []

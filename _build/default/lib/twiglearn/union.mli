@@ -1,0 +1,25 @@
+(** Learning unions of twig queries.
+
+    The paper proposes unions as a way around intractable consistency:
+    "considering richer query languages e.g., unions of twig queries for
+    which testing consistency is trivial but learnability remains an open
+    question" (Section 2).  Consistency is indeed trivial — the union of
+    the positives' characteristic queries is consistent iff no
+    characteristic query selects a negative — and this module implements the
+    natural greedy learner: grow clusters of positives whose LGG stays clear
+    of every negative, one twig per cluster. *)
+
+type instance = Xmltree.Annotated.t
+
+val consistent : instance Core.Example.t list -> bool
+(** The trivial test: no positive's characteristic query selects a
+    negative (and every example document contains its annotated node). *)
+
+val learn : instance Core.Example.t list -> Twig.Query.t list option
+(** Greedy cover of the positives by anchored twigs, each consistent with
+    all negatives; [None] when {!consistent} fails or some cluster cannot be
+    generalized inside the anchored fragment.  The returned union selects
+    every positive and no negative. *)
+
+val selects : Twig.Query.t list -> instance -> bool
+(** Union semantics. *)

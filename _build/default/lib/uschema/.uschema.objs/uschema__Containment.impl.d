@@ -1,0 +1,1 @@
+lib/uschema/containment.ml: Dme List Multiplicity Schema Set String

@@ -1,0 +1,1 @@
+lib/uschema/containment.mli: Dme Schema

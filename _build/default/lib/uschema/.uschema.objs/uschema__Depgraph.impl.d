@@ -1,0 +1,1 @@
+lib/uschema/depgraph.ml: Dme List Map Multiplicity Schema Set String Twig

@@ -1,0 +1,1 @@
+lib/uschema/depgraph.mli: Schema Twig

@@ -1,0 +1,1 @@
+lib/uschema/dme.ml: Core Format List Multiplicity Set String

@@ -1,0 +1,1 @@
+lib/uschema/dme.mli: Core Format Multiplicity String

@@ -1,0 +1,1 @@
+lib/uschema/docgen.ml: Core Int List Map Multiplicity Option Schema String Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/docgen.mli: Core Schema Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/dtd.ml: Automata Format Hashtbl List Map Set String Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/dtd.mli: Automata Format Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/infer.ml: Dme List Map Multiplicity Schema Set String Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/infer.mli: Dme Schema Xmltree

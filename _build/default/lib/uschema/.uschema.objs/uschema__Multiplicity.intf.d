@@ -1,0 +1,1 @@
+lib/uschema/multiplicity.mli: Format

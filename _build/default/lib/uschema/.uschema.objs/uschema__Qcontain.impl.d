@@ -1,0 +1,1 @@
+lib/uschema/qcontain.ml: Core Depgraph Docgen List Twig Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/qcontain.mli: Depgraph Twig Xmltree

@@ -1,0 +1,1 @@
+lib/uschema/schema.ml: Dme Format List Map Multiplicity Set String Xmltree

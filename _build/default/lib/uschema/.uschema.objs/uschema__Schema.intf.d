@@ -1,0 +1,1 @@
+lib/uschema/schema.mli: Dme Format Xmltree

@@ -1,0 +1,75 @@
+module SSet = Set.Make (String)
+
+let interval_of clause label =
+  match List.assoc_opt label clause with
+  | Some m -> Multiplicity.interval m
+  | None -> (0, Some 0)
+
+let interval_includes (lo2, hi2) (lo1, hi1) =
+  (* [lo1,hi1] ⊆ [lo2,hi2] *)
+  lo1 >= lo2
+  &&
+  match (hi1, hi2) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some h1, Some h2 -> h1 <= h2
+
+let clause_leq c1 c2 =
+  let alphabet =
+    SSet.union
+      (SSet.of_list (List.map fst c1))
+      (SSet.of_list (List.map fst c2))
+  in
+  SSet.for_all
+    (fun l -> interval_includes (interval_of c2 l) (interval_of c1 l))
+    alphabet
+
+(* Count vectors of a clause, clamped to {0,1,2}: the complete grid of
+   potential counterexamples (see interface documentation). *)
+let clause_grid c1 =
+  let candidates (lo, hi) =
+    List.filter
+      (fun v -> v >= lo && match hi with None -> true | Some h -> v <= h)
+      [ 0; 1; 2 ]
+  in
+  let rec expand = function
+    | [] -> [ [] ]
+    | (l, m) :: rest ->
+        let tails = expand rest in
+        List.concat_map
+          (fun v -> List.map (fun t -> (l, v) :: t) tails)
+          (candidates (Multiplicity.interval m))
+  in
+  expand c1
+
+let vector_to_multiset vec =
+  List.fold_left
+    (fun acc (l, v) -> Dme.Labels.add ~count:v l acc)
+    Dme.Labels.empty vec
+
+let counterexample e1 e2 =
+  let check_clause c1 =
+    (* Shortcut: wholly inside one clause of e2. *)
+    if List.exists (fun c2 -> clause_leq c1 c2) e2 then None
+    else
+      List.find_map
+        (fun vec ->
+          let w = vector_to_multiset vec in
+          if Dme.satisfies e2 w then None else Some w)
+        (clause_grid c1)
+  in
+  List.find_map check_clause e1
+
+let dme_leq e1 e2 = counterexample e1 e2 = None
+let dme_equiv e1 e2 = dme_leq e1 e2 && dme_leq e2 e1
+
+let schema_leq s1 s2 =
+  String.equal (Schema.root s1) (Schema.root s2)
+  &&
+  let productive = SSet.of_list (Schema.productive s1) in
+  let relevant =
+    List.filter (fun l -> SSet.mem l productive) (Schema.reachable s1)
+  in
+  List.for_all (fun l -> dme_leq (Schema.rule s1 l) (Schema.rule s2 l)) relevant
+
+let schema_equiv s1 s2 = schema_leq s1 s2 && schema_leq s2 s1

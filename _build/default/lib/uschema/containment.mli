@@ -1,0 +1,33 @@
+(** Containment of disjunctive multiplicity expressions and schemas — the
+    paper's headline static-analysis result ("a technical contribution is the
+    polynomial algorithm for testing containment of two disjunctive
+    multiplicity schemas").
+
+    Decision procedure.  Every atom's denotation is an integer interval with
+    endpoints in [{0, 1, ∞}], so a clause denotes a box of count vectors over
+    its alphabet.  If [E1 ⊄ E2] then a counterexample multiset exists whose
+    per-label counts lie in [{0, 1, 2}]: clamping any counterexample at 2
+    preserves membership in every such box.  We therefore check, for each
+    clause of [E1], the grid of its count vectors clamped to [{0,1,2}]
+    against [E2].  A clause-wise inclusion shortcut ([clause_leq] into a
+    single clause of [E2]) resolves the common case polynomially; the grid
+    is exponential only in one clause's alphabet width (≤ a dozen labels in
+    every workload here — see DESIGN.md §4). *)
+
+val clause_leq : Dme.clause -> Dme.clause -> bool
+(** Per-label interval inclusion over the union alphabet. *)
+
+val dme_leq : Dme.t -> Dme.t -> bool
+(** [dme_leq e1 e2] iff every multiset satisfying [e1] satisfies [e2]. *)
+
+val dme_equiv : Dme.t -> Dme.t -> bool
+
+val counterexample : Dme.t -> Dme.t -> Dme.Labels.t option
+(** A multiset satisfying the first DME but not the second, if any. *)
+
+val schema_leq : Schema.t -> Schema.t -> bool
+(** [schema_leq s1 s2] iff every document valid for [s1] is valid for [s2]:
+    roots coincide and, for every label reachable and productive in [s1],
+    the [s1]-rule is contained in the [s2]-rule. *)
+
+val schema_equiv : Schema.t -> Schema.t -> bool

@@ -1,0 +1,88 @@
+type clause = (string * Multiplicity.t) list
+type t = clause list
+
+module Labels = Core.Multiset.Make (String)
+
+let clause atoms =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) atoms
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Dme.clause: duplicate label " ^ a)
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let empty_clause = []
+
+let make = function
+  | [] -> invalid_arg "Dme.make: a DME needs at least one clause"
+  | clauses -> clauses
+
+let disjunction_free = function [ _ ] -> true | _ -> false
+
+let satisfies_clause c w =
+  List.for_all (fun (l, m) -> Multiplicity.satisfies m (Labels.count l w)) c
+  && List.for_all (fun l -> List.mem_assoc l c) (Labels.support w)
+
+let satisfies dme w = List.exists (fun c -> satisfies_clause c w) dme
+
+let alphabet dme =
+  let module S = Set.Make (String) in
+  List.fold_left
+    (fun acc c -> List.fold_left (fun acc (l, _) -> S.add l acc) acc c)
+    S.empty dme
+  |> S.elements
+
+let size dme = List.fold_left (fun acc c -> acc + List.length c) 0 dme
+
+let parse input =
+  let parse_atom token =
+    let n = String.length token in
+    if n = 0 then invalid_arg "Dme.parse: empty atom"
+    else
+      match Multiplicity.parse_suffix token.[n - 1] with
+      | Some m when n > 1 -> (String.sub token 0 (n - 1), m)
+      | Some _ -> invalid_arg "Dme.parse: bare multiplicity"
+      | None -> (token, Multiplicity.One)
+  in
+  let parse_clause s =
+    let tokens =
+      String.split_on_char ' ' (String.trim s)
+      |> List.filter (fun t -> t <> "")
+    in
+    match tokens with
+    | [ "eps" ] -> empty_clause
+    | [] -> invalid_arg "Dme.parse: empty clause (use eps)"
+    | atoms -> clause (List.map parse_atom atoms)
+  in
+  match String.split_on_char '|' input with
+  | [] -> invalid_arg "Dme.parse: empty expression"
+  | parts -> make (List.map parse_clause parts)
+
+let pp_clause ppf = function
+  | [] -> Format.pp_print_string ppf "eps"
+  | atoms ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+        (fun ppf (l, m) -> Format.fprintf ppf "%s%a" l Multiplicity.pp m)
+        ppf atoms
+
+let pp ppf dme =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+    pp_clause ppf dme
+
+let to_string dme = Format.asprintf "%a" pp dme
+
+let equal_clause c1 c2 =
+  List.equal (fun (l1, m1) (l2, m2) -> String.equal l1 l2 && m1 = m2) c1 c2
+
+let equal d1 d2 =
+  (* Clause order is irrelevant. *)
+  let leq a b = List.for_all (fun c -> List.exists (equal_clause c) b) a in
+  leq d1 d2 && leq d2 d1

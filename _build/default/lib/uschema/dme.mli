@@ -1,0 +1,52 @@
+(** Disjunctive multiplicity expressions (DMEs).
+
+    A DME constrains the {e multiset} of labels of a node's children — the
+    order-oblivious schema formalism the paper introduces for unordered XML.
+    It is a disjunction of clauses; a clause is an unordered concatenation of
+    atoms [label^multiplicity] over distinct labels.  A multiset [w]
+    satisfies a clause when, for every atom [a^m], the count of [a] in [w]
+    satisfies [m], and [w] contains no label outside the clause.  [w]
+    satisfies the DME when it satisfies some clause.
+
+    A DME is {e disjunction-free} when it has exactly one clause — the
+    restriction for which the paper obtains PTIME query satisfiability and
+    implication. *)
+
+type clause = (string * Multiplicity.t) list
+(** Sorted by label; labels distinct. *)
+
+type t = clause list
+(** Non-empty list of clauses. *)
+
+val clause : (string * Multiplicity.t) list -> clause
+(** Sorts and validates distinctness.  @raise Invalid_argument on duplicate
+    labels. *)
+
+val empty_clause : clause
+(** Satisfied exactly by the empty multiset (leaves only). *)
+
+val make : clause list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val disjunction_free : t -> bool
+
+module Labels : module type of Core.Multiset.Make (String)
+
+val satisfies_clause : clause -> Labels.t -> bool
+val satisfies : t -> Labels.t -> bool
+
+val alphabet : t -> string list
+(** Labels mentioned, sorted, distinct. *)
+
+val size : t -> int
+(** Total number of atoms. *)
+
+val parse : string -> t
+(** Grammar: clauses separated by [|]; atoms separated by spaces; atom =
+    label with optional suffix [? + *]; the empty clause is written
+    [eps].  Example: ["name price? bidder* | closed"].
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

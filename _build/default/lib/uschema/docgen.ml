@@ -1,0 +1,103 @@
+module SMap = Map.Make (String)
+
+let count_for rng ~fanout ~cheap m =
+  let lo, hi = Multiplicity.interval m in
+  if cheap then lo
+  else
+    let hi = match hi with Some h -> min h fanout | None -> fanout in
+    Core.Prng.int_in rng lo (max lo hi)
+
+let infinity_height = max_int / 2
+
+(* Minimal height of a valid subtree per label (least fixpoint); finite
+   exactly for productive labels.  Guides the depth-capped expansion so
+   recursion always descends toward termination. *)
+let min_heights schema =
+  let labels = Schema.labels schema in
+  let height heights l =
+    match SMap.find_opt l heights with
+    | Some h -> h
+    | None -> infinity_height
+  in
+  let clause_height heights c =
+    List.fold_left
+      (fun acc (l, m) ->
+        if Multiplicity.nullable m then acc else max acc (height heights l))
+      0 c
+  in
+  let step heights =
+    List.fold_left
+      (fun acc l ->
+        let dme = Schema.rule schema l in
+        let best =
+          List.fold_left
+            (fun best c -> min best (clause_height heights c))
+            infinity_height dme
+        in
+        SMap.add l (if best >= infinity_height then infinity_height else 1 + best) acc)
+      SMap.empty labels
+  in
+  let rec fix heights =
+    let heights' = step heights in
+    if SMap.equal Int.equal heights heights' then heights else fix heights'
+  in
+  fix SMap.empty
+
+let subtree ~rng ?(max_depth = 8) ?(fanout = 3) schema ~label =
+  let heights = min_heights schema in
+  let height l =
+    match SMap.find_opt l heights with
+    | Some h -> h
+    | None -> infinity_height
+  in
+  if height label >= infinity_height then None
+  else
+    let clause_height c =
+      List.fold_left
+        (fun acc (l, m) ->
+          if Multiplicity.nullable m then acc else max acc (height l))
+        0 c
+    in
+    let rec build depth label =
+      let dme = Schema.rule schema label in
+      let usable =
+        List.filter (fun c -> clause_height c < infinity_height) dme
+      in
+      match usable with
+      | [] -> None
+      | _ ->
+          (* Once the minimal completion would not fit under the cap with a
+             random clause, switch to the cheapest clause and minimal
+             counts: the height map guarantees strict descent. *)
+          let budget = max_depth - depth in
+          let cheap = height label + 1 >= budget in
+          let clause =
+            if cheap then
+              List.fold_left
+                (fun best c ->
+                  if clause_height c < clause_height best then c else best)
+                (List.hd usable) (List.tl usable)
+            else Core.Prng.pick rng usable
+          in
+          let children =
+            List.concat_map
+              (fun (l, m) ->
+                let n = count_for rng ~fanout ~cheap m in
+                List.init n (fun _ -> l))
+              clause
+          in
+          let rec expand acc = function
+            | [] -> Some (List.rev acc)
+            | l :: rest -> (
+                match build (depth + 1) l with
+                | None -> None
+                | Some t -> expand (t :: acc) rest)
+          in
+          Option.map
+            (fun kids -> Xmltree.Tree.node label kids)
+            (expand [] children)
+    in
+    if height label > max_depth then None else build 0 label
+
+let generate ~rng ?max_depth ?fanout schema =
+  subtree ~rng ?max_depth ?fanout schema ~label:(Schema.root schema)

@@ -1,0 +1,29 @@
+(** Random valid documents of a schema — the sampling substrate behind
+    property tests and the schema-relative containment check ({!Qcontain}).
+
+    Generation is top-down: at each node a clause of the label's rule is
+    drawn among those whose required labels are productive, then a child
+    count per atom within its multiplicity (bounded by [fanout]); near
+    [max_depth] the choices collapse to the cheapest ones (nullable atoms
+    skipped, minimal counts), so recursion terminates whenever the label is
+    productive at all. *)
+
+val generate :
+  rng:Core.Prng.t ->
+  ?max_depth:int ->
+  ?fanout:int ->
+  Schema.t ->
+  Xmltree.Tree.t option
+(** A document valid for the schema ([None] when the root label cannot head
+    a finite valid tree, or the depth bound is too tight for it).
+    [max_depth] defaults to 8, [fanout] (the cap on a single atom's count)
+    to 3.  The result always validates (tested). *)
+
+val subtree :
+  rng:Core.Prng.t ->
+  ?max_depth:int ->
+  ?fanout:int ->
+  Schema.t ->
+  label:string ->
+  Xmltree.Tree.t option
+(** Same, rooted at an arbitrary label instead of the schema root. *)

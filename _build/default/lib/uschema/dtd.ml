@@ -1,0 +1,136 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = { root : string; rules : Automata.Regex.t SMap.t }
+
+let make ~root ~rules =
+  let table =
+    List.fold_left
+      (fun acc (l, re) ->
+        if SMap.mem l acc then invalid_arg ("Dtd.make: duplicate rule for " ^ l)
+        else SMap.add l re acc)
+      SMap.empty rules
+  in
+  { root; rules = table }
+
+let root d = d.root
+
+let rule d label =
+  match SMap.find_opt label d.rules with
+  | Some re -> re
+  | None -> Automata.Regex.Eps
+
+let rules d = SMap.bindings d.rules
+
+type violation = {
+  at : Xmltree.Tree.path;
+  label : string;
+  found : string list;
+  expected : Automata.Regex.t;
+}
+
+let children_word (n : Xmltree.Tree.t) =
+  n.children
+  |> List.filter (fun c -> not (Xmltree.Tree.is_text c))
+  |> List.map (fun (c : Xmltree.Tree.t) -> c.label)
+
+let validate d tree =
+  let violations = ref [] in
+  if tree.Xmltree.Tree.label <> d.root then
+    violations :=
+      {
+        at = [];
+        label = tree.Xmltree.Tree.label;
+        found = children_word tree;
+        expected = Automata.Regex.Empty;
+      }
+      :: !violations;
+  (* Rules are compiled to DFAs once; a node validates by running its
+     children word through its label's DFA. *)
+  let compiled = Hashtbl.create 16 in
+  let dfa_of label =
+    match Hashtbl.find_opt compiled label with
+    | Some dfa -> dfa
+    | None ->
+        let dfa = Automata.Dfa.of_regex (rule d label) in
+        Hashtbl.add compiled label dfa;
+        dfa
+  in
+  Xmltree.Tree.fold
+    (fun path (n : Xmltree.Tree.t) () ->
+      if not (Xmltree.Tree.is_text n) then begin
+        let word = children_word n in
+        if not (Automata.Dfa.accepts (dfa_of n.label) word) then
+          violations :=
+            { at = path; label = n.label; found = word; expected = rule d n.label }
+            :: !violations
+      end)
+    tree ();
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let valid d tree = validate d tree = Ok ()
+
+let rule_leq r1 r2 =
+  let d1 = Automata.Dfa.of_regex r1 and d2 = Automata.Dfa.of_regex r2 in
+  (* L(d1) ⊆ L(d2) iff L(d1) ∩ ¬L(d2) = ∅, over the union alphabet: a word
+     of d1 using a symbol unknown to d2 is a counterexample by itself. *)
+  let module S = Set.Make (String) in
+  let a1 = S.of_list (Automata.Regex.alphabet r1) in
+  let a2 = S.of_list (Automata.Regex.alphabet r2) in
+  if not (S.subset a1 a2) then
+    (* Only a problem when d1 actually accepts a word through the extra
+       symbol; the product below would miss it, so check via emptiness of
+       d1 restricted to the extra-symbol-free language. *)
+    let extra = S.diff a1 a2 in
+    let without_extra =
+      Automata.Dfa.intersect d1
+        (Automata.Dfa.of_regex
+           (let sigma =
+              S.elements (S.diff a1 extra)
+              |> List.map (fun s -> Automata.Regex.Sym s)
+              |> function
+              | [] -> Automata.Regex.Empty
+              | x :: rest ->
+                  List.fold_left (fun acc r -> Automata.Regex.Alt (acc, r)) x rest
+            in
+            Automata.Regex.Star sigma))
+    in
+    (* d1 ⊆ d2 requires: words using extra symbols are not accepted at all,
+       i.e. d1 ≡ its extra-free restriction, and the restriction ⊆ d2. *)
+    Automata.Dfa.equal_language d1 without_extra
+    && Automata.Dfa.is_empty
+         (Automata.Dfa.intersect without_extra (Automata.Dfa.complement d2))
+  else
+    (* The complement of d2 is over d2's alphabet ⊇ d1's, so the product
+       with d1 is sound and complete. *)
+    Automata.Dfa.is_empty (Automata.Dfa.intersect d1 (Automata.Dfa.complement d2))
+
+let reachable d =
+  let rec go frontier seen =
+    match frontier with
+    | [] -> seen
+    | l :: rest ->
+        if SSet.mem l seen then go rest seen
+        else
+          go (Automata.Regex.alphabet (rule d l) @ rest) (SSet.add l seen)
+  in
+  SSet.elements (go [ d.root ] SSet.empty)
+
+let leq d1 d2 =
+  String.equal d1.root d2.root
+  && List.for_all (fun l -> rule_leq (rule d1 l) (rule d2 l)) (reachable d1)
+
+let equiv d1 d2 = leq d1 d2 && leq d2 d1
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>root: %s" d.root;
+  SMap.iter
+    (fun l re -> Format.fprintf ppf "@,%s -> %a" l Automata.Regex.pp re)
+    d.rules;
+  Format.fprintf ppf "@]"
+
+let pp_violation ppf v =
+  Format.fprintf ppf "at %a: <%s> children [%s] do not match %a"
+    Xmltree.Tree.pp_path v.at v.label
+    (String.concat " " v.found)
+    Automata.Regex.pp v.expected

@@ -1,0 +1,54 @@
+(** Ordered document type definitions: the classical schema formalism the
+    paper's disjunctive multiplicity schemas are measured against
+    ("It is known that DTD containment is in PTIME when only 1-unambiguous
+    regular expressions are allowed, PSPACE-complete for general regular
+    expressions…", Section 2).
+
+    A DTD assigns the root label and, per label, a regular expression over
+    labels constraining the {e sequence} of element children.  Validation,
+    containment and equivalence reuse the {!Automata} substrate (regex →
+    DFA, product construction), so containment here is the general-regular-
+    expression decision — exponential in the worst case, in contrast with
+    the grid procedure for DMS ({!Containment}).
+
+    The XMark DTD instance ({!Benchkit.Xmark.dtd}) and experiment E10 make
+    the paper's expressibility claim concrete: on ordered documents the DMS
+    accepts exactly the DTD-valid ones. *)
+
+type t
+
+val make : root:string -> rules:(string * Automata.Regex.t) list -> t
+(** Labels without a rule admit no element children (rule ε).
+    @raise Invalid_argument on duplicate rules. *)
+
+val root : t -> string
+val rule : t -> string -> Automata.Regex.t
+val rules : t -> (string * Automata.Regex.t) list
+
+type violation = {
+  at : Xmltree.Tree.path;
+  label : string;
+  found : string list;  (** the children-label word *)
+  expected : Automata.Regex.t;
+}
+
+val validate : t -> Xmltree.Tree.t -> (unit, violation list) result
+(** Ordered validation: every node's children-label word (text nodes
+    skipped) must belong to its rule's language; the root label must
+    match. *)
+
+val valid : t -> Xmltree.Tree.t -> bool
+
+val rule_leq : Automata.Regex.t -> Automata.Regex.t -> bool
+(** Language inclusion via DFA product — the general (worst-case
+    exponential) decision. *)
+
+val leq : t -> t -> bool
+(** [leq d1 d2] iff every document valid for [d1] is valid for [d2]:
+    same root and rule-wise language inclusion on labels reachable in
+    [d1]. *)
+
+val equiv : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit

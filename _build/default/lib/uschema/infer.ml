@@ -1,0 +1,147 @@
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+let support_of w = SSet.of_list (Dme.Labels.support w)
+
+(* One clause from a group of multisets sharing a support: per-label
+   multiplicity covering the observed count range. *)
+let clause_of_group support group =
+  SSet.elements support
+  |> List.map (fun l ->
+         let counts = List.map (fun w -> Dme.Labels.count l w) group in
+         let lo = List.fold_left min max_int counts
+         and hi = List.fold_left max 0 counts in
+         (l, Multiplicity.of_counts ~lo ~hi))
+  |> Dme.clause
+
+(* Relax a multiplicity to admit count 0. *)
+let nullable_of = function
+  | Multiplicity.One | Multiplicity.Opt -> Multiplicity.Opt
+  | Multiplicity.Plus | Multiplicity.Star -> Multiplicity.Star
+
+(* Merge clause [small] (with smaller support) into [big]: labels missing
+   from [small] become nullable in the merge; shared labels take the union
+   of count ranges. *)
+let merge_into small big =
+  let join m1 m2 =
+    let lo1, hi1 = Multiplicity.interval m1
+    and lo2, hi2 = Multiplicity.interval m2 in
+    let lo = min lo1 lo2 in
+    let hi =
+      match (hi1, hi2) with Some a, Some b -> max a b | _ -> 2 (* ∞ *)
+    in
+    Multiplicity.of_counts ~lo ~hi
+  in
+  List.map
+    (fun (l, mb) ->
+      match List.assoc_opt l small with
+      | Some ms -> (l, join ms mb)
+      | None -> (l, nullable_of mb))
+    big
+
+let infer_dme multisets =
+  if multisets = [] then invalid_arg "Infer.infer_dme: no observations";
+  let groups =
+    List.fold_left
+      (fun acc w ->
+        let key = support_of w in
+        let existing =
+          match List.find_opt (fun (s, _) -> SSet.equal s key) acc with
+          | Some (_, ws) -> ws
+          | None -> []
+        in
+        (key, w :: existing)
+        :: List.filter (fun (s, _) -> not (SSet.equal s key)) acc)
+      [] multisets
+  in
+  let clauses =
+    List.map (fun (support, ws) -> (support, clause_of_group support ws)) groups
+  in
+  (* Fold strictly-included supports into their superset clause. *)
+  let rec fold_subsets clauses =
+    let absorbed =
+      List.find_opt
+        (fun (s1, _) ->
+          List.exists
+            (fun (s2, _) -> (not (SSet.equal s1 s2)) && SSet.subset s1 s2)
+            clauses)
+        clauses
+    in
+    match absorbed with
+    | None -> clauses
+    | Some ((s1, c1) as entry) ->
+        let rest = List.filter (fun e -> e != entry) clauses in
+        let updated =
+          List.map
+            (fun (s2, c2) ->
+              if SSet.subset s1 s2 then (s2, merge_into c1 c2) else (s2, c2))
+            rest
+        in
+        fold_subsets updated
+  in
+  Dme.make (List.map snd (fold_subsets clauses))
+
+let observations docs =
+  List.fold_left
+    (fun acc doc ->
+      Xmltree.Tree.fold
+        (fun _ (n : Xmltree.Tree.t) acc ->
+          if Xmltree.Tree.is_text n then acc
+          else
+            let w =
+              n.children
+              |> List.filter (fun c -> not (Xmltree.Tree.is_text c))
+              |> List.map (fun (c : Xmltree.Tree.t) -> c.label)
+              |> Dme.Labels.of_list
+            in
+            SMap.update n.label
+              (function None -> Some [ w ] | Some ws -> Some (w :: ws))
+              acc)
+        doc acc)
+    SMap.empty docs
+
+let infer_with per_label docs =
+  match docs with
+  | [] -> None
+  | (first : Xmltree.Tree.t) :: rest ->
+      if
+        List.exists
+          (fun (d : Xmltree.Tree.t) -> d.label <> first.label)
+          rest
+      then None
+      else
+        let rules =
+          SMap.bindings (observations docs)
+          |> List.filter_map (fun (l, ws) ->
+                 let dme = per_label ws in
+                 (* Leave leaf-only labels implicit (empty-clause default). *)
+                 if Dme.equal dme [ Dme.empty_clause ] then None
+                 else Some (l, dme))
+        in
+        Some (Schema.make ~root:first.label ~rules)
+
+let infer docs = infer_with infer_dme docs
+
+let infer_disjunction_free docs =
+  let single multisets =
+    let module S = SSet in
+    let all_labels =
+      List.fold_left
+        (fun acc w -> S.union acc (support_of w))
+        S.empty multisets
+    in
+    if S.is_empty all_labels then [ Dme.empty_clause ]
+    else
+      [
+        S.elements all_labels
+        |> List.map (fun l ->
+               let counts =
+                 List.map (fun w -> Dme.Labels.count l w) multisets
+               in
+               let lo = List.fold_left min max_int counts
+               and hi = List.fold_left max 0 counts in
+               (l, Multiplicity.of_counts ~lo ~hi))
+        |> Dme.clause;
+      ]
+  in
+  infer_with single docs

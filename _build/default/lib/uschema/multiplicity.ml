@@ -1,0 +1,44 @@
+type t = One | Opt | Plus | Star
+
+let interval = function
+  | One -> (1, Some 1)
+  | Opt -> (0, Some 1)
+  | Plus -> (1, None)
+  | Star -> (0, None)
+
+let satisfies m count =
+  let lo, hi = interval m in
+  count >= lo && match hi with None -> true | Some h -> count <= h
+
+let nullable m = fst (interval m) = 0
+
+let leq m1 m2 =
+  let lo1, hi1 = interval m1 and lo2, hi2 = interval m2 in
+  lo1 >= lo2
+  &&
+  match (hi1, hi2) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some h1, Some h2 -> h1 <= h2
+
+let of_counts ~lo ~hi =
+  if lo < 0 || hi < lo || lo + hi = 0 then
+    invalid_arg "Multiplicity.of_counts";
+  match (lo, hi) with
+  | 0, 1 -> Opt
+  | 1, 1 -> One
+  | 0, _ -> Star
+  | _, 1 -> One
+  | _, _ -> Plus
+
+let pp ppf = function
+  | One -> ()
+  | Opt -> Format.pp_print_char ppf '?'
+  | Plus -> Format.pp_print_char ppf '+'
+  | Star -> Format.pp_print_char ppf '*'
+
+let parse_suffix = function
+  | '?' -> Some Opt
+  | '+' -> Some Plus
+  | '*' -> Some Star
+  | _ -> None

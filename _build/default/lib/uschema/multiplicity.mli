@@ -1,0 +1,33 @@
+(** Multiplicities of the simple schemas for unordered XML (paper, Section 2;
+    Boneva, Ciucanu & Staworko).  A multiplicity constrains how many children
+    with a given label a node may have; its denotation is an integer interval
+    whose endpoints lie in [{0, 1, ∞}] — the property underlying the
+    containment decision procedure of {!Containment}. *)
+
+type t =
+  | One  (** exactly one: [1,1] *)
+  | Opt  (** zero or one ([?]): [0,1] *)
+  | Plus  (** one or more ([+]): [1,∞) *)
+  | Star  (** zero or more ([*]): [0,∞) *)
+
+val interval : t -> int * int option
+(** [(lo, hi)] with [hi = None] for unbounded. *)
+
+val satisfies : t -> int -> bool
+
+val nullable : t -> bool
+(** Whether count 0 is allowed. *)
+
+val leq : t -> t -> bool
+(** Interval inclusion: every count allowed by the first is allowed by the
+    second. *)
+
+val of_counts : lo:int -> hi:int -> t
+(** The least multiplicity covering all counts in [\[lo, hi\]], for
+    [0 <= lo <= hi] and [lo + hi > 0].  Counts above 1 are abstracted to
+    unbounded. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["" | "?" | "+" | "*"] — the suffix notation of the paper. *)
+
+val parse_suffix : char -> t option

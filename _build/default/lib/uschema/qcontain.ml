@@ -1,0 +1,62 @@
+type verdict = [ `Yes | `No of Xmltree.Tree.t | `Unknown ]
+
+(* Certification via pruning: if dropping schema-implied filters from both
+   queries yields homomorphism containment, then containment holds on every
+   valid document (implied filters never exclude a valid node). *)
+let prune_implied g (q : Twig.Query.t) : Twig.Query.t =
+  let rec prune_filter (f : Twig.Query.filter) =
+    match f.ftest with
+    | Twig.Query.Wildcard -> f
+    | Twig.Query.Label host ->
+        let kept =
+          List.filter
+            (fun edge -> not (Depgraph.filter_implied g ~at:host edge))
+            f.fsubs
+        in
+        { f with fsubs = List.map (fun (a, sub) -> (a, prune_filter sub)) kept }
+  in
+  List.map
+    (fun (s : Twig.Query.step) ->
+      match s.test with
+      | Twig.Query.Wildcard -> s
+      | Twig.Query.Label host ->
+          let kept =
+            List.filter
+              (fun edge -> not (Depgraph.filter_implied g ~at:host edge))
+              s.filters
+          in
+          { s with filters = List.map (fun (a, f) -> (a, prune_filter f)) kept })
+    q
+
+let refute ~samples ~seed g q1 q2 =
+  let rng = Core.Prng.create seed in
+  let schema = Depgraph.schema g in
+  let rec search i =
+    if i >= samples then None
+    else
+      match Docgen.generate ~rng ~max_depth:10 schema with
+      | None -> None
+      | Some doc ->
+          let a1 = Twig.Eval.select q1 doc and a2 = Twig.Eval.select q2 doc in
+          if List.for_all (fun p -> List.mem p a2) a1 then search (i + 1)
+          else Some doc
+  in
+  search 0
+
+let contained_wrt ?(samples = 50) ?(seed = 0) g q1 q2 =
+  if not (Depgraph.satisfiable g q1) then `Yes
+  else if Twig.Contain.subsumed q1 q2 then `Yes
+  else if Twig.Contain.subsumed (prune_implied g q1) (prune_implied g q2) then
+    `Yes
+  else
+    match refute ~samples ~seed g q1 q2 with
+    | Some doc -> `No doc
+    | None -> `Unknown
+
+let equivalent_wrt ?samples ?seed g q1 q2 =
+  match contained_wrt ?samples ?seed g q1 q2 with
+  | `Yes -> (
+      match contained_wrt ?samples ?seed g q2 q1 with
+      | `Yes -> `Yes
+      | (`No _ | `Unknown) as v -> v)
+  | (`No _ | `Unknown) as v -> v

@@ -1,0 +1,42 @@
+(** Twig-query containment in the presence of a schema — the static-analysis
+    problem the paper maps out around its optimization: "when we add a filter
+    to the learned query … we do not know whether the query with the filter
+    is equivalent in the presence of schema with the same query without the
+    filter.  The optimization that we propose is of interest because query
+    implication is a tractable problem, while query containment is not"
+    (Section 2; coNP-complete already for disjunction-free multiplicity
+    schemas, EXPTIME-complete for DTDs).
+
+    Accordingly this module is a sound, incomplete decision procedure with
+    three verdicts:
+
+    - [`Yes] — certified: the first query is unsatisfiable w.r.t. the schema
+      (vacuous), or absolute containment holds (homomorphism), or every
+      filter distinguishing the queries is schema-implied at its host;
+    - [`No doc] — refuted by a concrete valid document on which the answer
+      sets differ (randomized search via {!Docgen});
+    - [`Unknown] — neither side found within the sampling budget, as must
+      happen sometimes for an intractable problem. *)
+
+type verdict = [ `Yes | `No of Xmltree.Tree.t | `Unknown ]
+
+val contained_wrt :
+  ?samples:int ->
+  ?seed:int ->
+  Depgraph.t ->
+  Twig.Query.t ->
+  Twig.Query.t ->
+  verdict
+(** [contained_wrt g q1 q2]: does every valid document's q1-answer set sit
+    inside its q2-answer set?  [samples] (default 50) bounds the randomized
+    refutation search. *)
+
+val equivalent_wrt :
+  ?samples:int ->
+  ?seed:int ->
+  Depgraph.t ->
+  Twig.Query.t ->
+  Twig.Query.t ->
+  verdict
+(** Containment both ways; [`No doc] carries a document distinguishing
+    them. *)

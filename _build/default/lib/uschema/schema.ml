@@ -1,0 +1,173 @@
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = { root : string; rules : Dme.t SMap.t }
+
+let make ~root ~rules =
+  let table =
+    List.fold_left
+      (fun acc (l, dme) ->
+        if SMap.mem l acc then
+          invalid_arg ("Schema.make: duplicate rule for " ^ l)
+        else SMap.add l dme acc)
+      SMap.empty rules
+  in
+  { root; rules = table }
+
+let root s = s.root
+
+let empty_dme = [ Dme.empty_clause ]
+
+let rule s label =
+  match SMap.find_opt label s.rules with Some d -> d | None -> empty_dme
+
+let rules s = SMap.bindings s.rules
+
+let labels s =
+  let acc = SSet.singleton s.root in
+  let acc =
+    SMap.fold
+      (fun l dme acc ->
+        SSet.union (SSet.add l acc) (SSet.of_list (Dme.alphabet dme)))
+      s.rules acc
+  in
+  SSet.elements acc
+
+let disjunction_free s =
+  SMap.for_all (fun _ dme -> Dme.disjunction_free dme) s.rules
+
+let size s = SMap.fold (fun _ dme acc -> acc + Dme.size dme) s.rules 0
+
+type violation = {
+  at : Xmltree.Tree.path;
+  label : string;
+  found : Dme.Labels.t;
+  expected : Dme.t;
+}
+
+let children_labels (n : Xmltree.Tree.t) =
+  n.children
+  |> List.filter (fun c -> not (Xmltree.Tree.is_text c))
+  |> List.map (fun (c : Xmltree.Tree.t) -> c.label)
+  |> Dme.Labels.of_list
+
+let validate s tree =
+  let violations = ref [] in
+  if tree.Xmltree.Tree.label <> s.root then
+    violations :=
+      {
+        at = [];
+        label = tree.Xmltree.Tree.label;
+        found = children_labels tree;
+        expected = empty_dme;
+      }
+      :: !violations;
+  Xmltree.Tree.fold
+    (fun path (n : Xmltree.Tree.t) () ->
+      if not (Xmltree.Tree.is_text n) then
+        let w = children_labels n in
+        let dme = rule s n.label in
+        if not (Dme.satisfies dme w) then
+          violations :=
+            { at = path; label = n.label; found = w; expected = dme }
+            :: !violations)
+    tree ();
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let valid s tree = validate s tree = Ok ()
+
+let productive s =
+  (* Least fixpoint: a label is productive when some clause of its rule only
+     requires productive labels. *)
+  let all = labels s in
+  let step productive_set =
+    List.fold_left
+      (fun acc l ->
+        let dme = rule s l in
+        let ok =
+          List.exists
+            (fun clause ->
+              List.for_all
+                (fun (l', m) ->
+                  Multiplicity.nullable m || SSet.mem l' acc)
+                clause)
+            dme
+        in
+        if ok then SSet.add l acc else acc)
+      productive_set all
+  in
+  let rec fix set =
+    let set' = step set in
+    if SSet.equal set set' then set else fix set'
+  in
+  SSet.elements (fix SSet.empty)
+
+let reachable s =
+  let rec go frontier seen =
+    match frontier with
+    | [] -> seen
+    | l :: rest ->
+        if SSet.mem l seen then go rest seen
+        else
+          let seen = SSet.add l seen in
+          let next = Dme.alphabet (rule s l) in
+          go (next @ rest) seen
+  in
+  SSet.elements (go [ s.root ] SSet.empty)
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>root: %s" s.root;
+  SMap.iter
+    (fun l dme -> Format.fprintf ppf "@,%s -> %a" l Dme.pp dme)
+    s.rules;
+  Format.fprintf ppf "@]"
+
+let to_string s = Format.asprintf "%a" pp s
+
+let parse input =
+  let lines =
+    String.split_on_char '\n' input
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> invalid_arg "Schema.parse: empty input"
+  | root_line :: rule_lines ->
+      let root =
+        let prefix = "root:" in
+        if
+          String.length root_line > String.length prefix
+          && String.sub root_line 0 (String.length prefix) = prefix
+        then
+          String.trim
+            (String.sub root_line (String.length prefix)
+               (String.length root_line - String.length prefix))
+        else invalid_arg "Schema.parse: expected a 'root: <label>' first line"
+      in
+      let parse_rule line =
+        match
+          (* Split on the first "->". *)
+          let rec find i =
+            if i + 1 >= String.length line then None
+            else if line.[i] = '-' && line.[i + 1] = '>' then Some i
+            else find (i + 1)
+          in
+          find 0
+        with
+        | None -> invalid_arg ("Schema.parse: missing '->' in " ^ line)
+        | Some i ->
+            let label = String.trim (String.sub line 0 i) in
+            let body =
+              String.trim
+                (String.sub line (i + 2) (String.length line - i - 2))
+            in
+            if label = "" then invalid_arg "Schema.parse: empty label";
+            (label, Dme.parse body)
+      in
+      make ~root ~rules:(List.map parse_rule rule_lines)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "at %a: <%s> children %a do not satisfy %a"
+    Xmltree.Tree.pp_path v.at v.label
+    (Dme.Labels.pp Format.pp_print_string)
+    v.found Dme.pp v.expected

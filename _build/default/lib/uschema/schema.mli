@@ -1,0 +1,66 @@
+(** Disjunctive multiplicity schemas (DMS) and their disjunction-free
+    restriction (MS), with validation of unordered XML documents.
+
+    A schema assigns the root label and, to each label, a DME constraining
+    the multiset of its children's labels.  A label without a rule admits no
+    element children (its rule is the empty clause).  Text nodes (labels
+    starting with ['#']) are data values, not structure, and are ignored by
+    validation; attribute children (["@name"]) participate like ordinary
+    labels so schemas can require attributes. *)
+
+type t
+
+val make : root:string -> rules:(string * Dme.t) list -> t
+(** @raise Invalid_argument on duplicate rules. *)
+
+val root : t -> string
+val rule : t -> string -> Dme.t
+(** Defaults to the empty-clause DME for labels without an explicit rule. *)
+
+val rules : t -> (string * Dme.t) list
+(** Explicit rules, sorted by label. *)
+
+val labels : t -> string list
+(** Root, rule heads and rule alphabets, sorted, distinct. *)
+
+val disjunction_free : t -> bool
+(** All rules disjunction-free — the MS restriction. *)
+
+val size : t -> int
+(** Total number of atoms across rules. *)
+
+type violation = {
+  at : Xmltree.Tree.path;
+  label : string;
+  found : Dme.Labels.t;
+  expected : Dme.t;
+}
+
+val validate : t -> Xmltree.Tree.t -> (unit, violation list) result
+(** Checks the root label and every node's children multiset. *)
+
+val valid : t -> Xmltree.Tree.t -> bool
+
+val productive : t -> string list
+(** Labels admitting at least one finite valid subtree, sorted.  A label
+    whose every clause requires a non-productive label is itself
+    non-productive. *)
+
+val reachable : t -> string list
+(** Labels reachable from the root through rule alphabets, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_violation : Format.formatter -> violation -> unit
+
+val to_string : t -> string
+(** The textual format {!parse} reads (and {!pp} prints):
+    {v
+    root: site
+    site -> regions categories
+    description -> text | parlist
+    v} *)
+
+val parse : string -> t
+(** Inverse of {!to_string}: a [root:] line followed by one
+    [label -> DME] rule per line (blank lines and [#] comments skipped).
+    @raise Invalid_argument on malformed input. *)

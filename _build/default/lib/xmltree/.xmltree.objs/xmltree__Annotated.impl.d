@@ -1,0 +1,1 @@
+lib/xmltree/annotated.ml: Core Format Int List Set Tree

@@ -1,0 +1,1 @@
+lib/xmltree/annotated.mli: Core Format Tree

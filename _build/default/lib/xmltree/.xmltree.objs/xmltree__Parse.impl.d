@@ -1,0 +1,1 @@
+lib/xmltree/parse.ml: Buffer List Printf String Tree

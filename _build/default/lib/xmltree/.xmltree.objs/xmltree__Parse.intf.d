@@ -1,0 +1,1 @@
+lib/xmltree/parse.mli: Tree

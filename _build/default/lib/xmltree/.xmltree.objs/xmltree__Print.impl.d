@@ -1,0 +1,1 @@
+lib/xmltree/print.ml: Buffer Format List String Tree

@@ -1,0 +1,1 @@
+lib/xmltree/print.mli: Format Tree

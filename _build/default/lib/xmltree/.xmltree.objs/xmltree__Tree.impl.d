@@ -1,0 +1,1 @@
+lib/xmltree/tree.ml: Format List Set String

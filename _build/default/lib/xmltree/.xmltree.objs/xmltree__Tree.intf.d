@@ -1,0 +1,1 @@
+lib/xmltree/tree.mli: Format

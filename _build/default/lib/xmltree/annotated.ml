@@ -1,0 +1,29 @@
+type t = { doc : Tree.t; target : Tree.path }
+
+let make doc target =
+  match Tree.node_at doc target with
+  | None -> invalid_arg "Annotated.make: target path not in document"
+  | Some _ -> { doc; target }
+
+let target_node a =
+  match Tree.node_at a.doc a.target with
+  | Some n -> n
+  | None -> assert false
+
+let positive doc target = Core.Example.positive (make doc target)
+let negative doc target = Core.Example.negative (make doc target)
+
+let examples_of_answers doc ~answers =
+  let module PS = Set.Make (struct
+    type t = Tree.path
+
+    let compare = List.compare Int.compare
+  end) in
+  let answer_set = PS.of_list answers in
+  List.map
+    (fun p ->
+      if PS.mem p answer_set then positive doc p else negative doc p)
+    (Tree.all_paths doc)
+
+let pp ppf a =
+  Format.fprintf ppf "@[%a@ @@ %a@]" Tree.pp a.doc Tree.pp_path a.target

@@ -1,0 +1,27 @@
+(** Annotated documents: the examples of XML query learning.
+
+    In the learning framework of Section 2 of the paper, "the examples are
+    XML documents with annotated nodes": the user marks nodes the goal query
+    must select (positive) or must not select (negative).  An annotated
+    document pairs a tree with a node address and a polarity; a sample is a
+    list of such annotations, possibly over several documents. *)
+
+type t = { doc : Tree.t; target : Tree.path }
+(** One annotation: [target] must address a node of [doc]. *)
+
+val make : Tree.t -> Tree.path -> t
+(** @raise Invalid_argument when [target] addresses no node of [doc]. *)
+
+val target_node : t -> Tree.t
+(** The annotated node. *)
+
+val positive : Tree.t -> Tree.path -> t Core.Example.t
+val negative : Tree.t -> Tree.path -> t Core.Example.t
+
+val examples_of_answers :
+  Tree.t -> answers:Tree.path list -> t Core.Example.t list
+(** Labels every node of the document: paths in [answers] become positive
+    examples, all other nodes negative — a fully annotated document as in
+    the learning of n-ary queries from "completely annotated examples". *)
+
+val pp : Format.formatter -> t -> unit

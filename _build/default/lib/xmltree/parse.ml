@@ -1,0 +1,274 @@
+exception Syntax_error of string
+
+(* A tiny hand-rolled scanner shared by both parsers. *)
+type cursor = { input : string; mutable pos : int }
+
+let peek cur =
+  if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let fail cur msg =
+  raise (Syntax_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" c)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name cur =
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when is_name_char c ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.input start (cur.pos - start)
+
+(* ------------------------------------------------------------------ *)
+(* XML syntax                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with cur prefix =
+  let n = String.length prefix in
+  cur.pos + n <= String.length cur.input
+  && String.sub cur.input cur.pos n = prefix
+
+let skip_until cur stop =
+  let n = String.length stop in
+  let rec go () =
+    if cur.pos + n > String.length cur.input then fail cur ("unterminated " ^ stop)
+    else if String.sub cur.input cur.pos n = stop then cur.pos <- cur.pos + n
+    else (
+      advance cur;
+      go ())
+  in
+  go ()
+
+let skip_misc cur =
+  let rec go () =
+    skip_ws cur;
+    if starts_with cur "<?" then (
+      skip_until cur "?>";
+      go ())
+    else if starts_with cur "<!--" then (
+      skip_until cur "-->";
+      go ())
+    else if starts_with cur "<!DOCTYPE" then (
+      skip_until cur ">";
+      go ())
+  in
+  go ()
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '&' then
+      let entity_end =
+        try String.index_from s i ';' with Not_found -> -1
+      in
+      if entity_end = -1 then (
+        Buffer.add_char buf '&';
+        go (i + 1))
+      else
+        let entity = String.sub s (i + 1) (entity_end - i - 1) in
+        let repl =
+          match entity with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "apos" -> "'"
+          | "quot" -> "\""
+          | _ -> "&" ^ entity ^ ";"
+        in
+        Buffer.add_string buf repl;
+        go (entity_end + 1)
+    else (
+      Buffer.add_char buf s.[i];
+      go (i + 1))
+  in
+  go 0;
+  Buffer.contents buf
+
+let read_attr_value cur =
+  let quote =
+    match peek cur with
+    | Some (('"' | '\'') as q) ->
+        advance cur;
+        q
+    | _ -> fail cur "expected a quoted attribute value"
+  in
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when c = quote -> ()
+    | Some _ ->
+        advance cur;
+        go ()
+    | None -> fail cur "unterminated attribute value"
+  in
+  go ();
+  let v = String.sub cur.input start (cur.pos - start) in
+  advance cur;
+  unescape v
+
+let rec parse_element cur =
+  expect cur '<';
+  let name = read_name cur in
+  let rec attrs acc =
+    skip_ws cur;
+    match peek cur with
+    | Some '/' | Some '>' -> List.rev acc
+    | Some c when is_name_char c ->
+        let attr = read_name cur in
+        skip_ws cur;
+        expect cur '=';
+        skip_ws cur;
+        let value = read_attr_value cur in
+        attrs (Tree.node ("@" ^ attr) [ Tree.text value ] :: acc)
+    | _ -> fail cur "malformed attribute list"
+  in
+  let attr_children = attrs [] in
+  match peek cur with
+  | Some '/' ->
+      advance cur;
+      expect cur '>';
+      Tree.node name attr_children
+  | Some '>' ->
+      advance cur;
+      let children = parse_content cur in
+      (* closing tag *)
+      expect cur '<';
+      expect cur '/';
+      let close = read_name cur in
+      if close <> name then
+        fail cur (Printf.sprintf "mismatched closing tag </%s> for <%s>" close name);
+      skip_ws cur;
+      expect cur '>';
+      Tree.node name (attr_children @ children)
+  | _ -> fail cur "malformed element"
+
+and parse_content cur =
+  let rec go acc =
+    if starts_with cur "<!--" then (
+      skip_until cur "-->";
+      go acc)
+    else if starts_with cur "<![CDATA[" then (
+      cur.pos <- cur.pos + 9;
+      let start = cur.pos in
+      skip_until cur "]]>";
+      let data = String.sub cur.input start (cur.pos - start - 3) in
+      let acc = if data = "" then acc else Tree.text data :: acc in
+      go acc)
+    else if starts_with cur "</" then List.rev acc
+    else
+      match peek cur with
+      | Some '<' -> go (parse_element cur :: acc)
+      | None -> List.rev acc
+      | Some _ ->
+          let start = cur.pos in
+          let rec scan () =
+            match peek cur with
+            | Some '<' | None -> ()
+            | Some _ ->
+                advance cur;
+                scan ()
+          in
+          scan ();
+          let txt = unescape (String.sub cur.input start (cur.pos - start)) in
+          let trimmed = String.trim txt in
+          let acc = if trimmed = "" then acc else Tree.text trimmed :: acc in
+          go acc
+  in
+  go []
+
+let xml input =
+  let cur = { input; pos = 0 } in
+  skip_misc cur;
+  (match peek cur with
+  | Some '<' -> ()
+  | _ -> fail cur "expected an element");
+  let root = parse_element cur in
+  skip_misc cur;
+  (match peek cur with
+  | None -> ()
+  | Some _ -> fail cur "trailing content after the root element");
+  root
+
+(* ------------------------------------------------------------------ *)
+(* Term syntax: a(b, c(d))                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_term_label_char c = is_name_char c || c = '@' || c = '#' || c = ' '
+
+let read_term_label cur =
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when is_term_label_char c ->
+        advance cur;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let raw = String.sub cur.input start (cur.pos - start) in
+  let label = String.trim raw in
+  if label = "" then fail cur "expected a label";
+  label
+
+let rec parse_term cur =
+  skip_ws cur;
+  let label = read_term_label cur in
+  skip_ws cur;
+  match peek cur with
+  | Some '(' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ')' then (
+        advance cur;
+        Tree.leaf label)
+      else
+        let rec children acc =
+          let c = parse_term cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              children (c :: acc)
+          | Some ')' ->
+              advance cur;
+              List.rev (c :: acc)
+          | _ -> fail cur "expected ',' or ')'"
+        in
+        Tree.node label (children [])
+  | _ -> Tree.leaf label
+
+let term input =
+  let cur = { input; pos = 0 } in
+  let t = parse_term cur in
+  skip_ws cur;
+  match peek cur with
+  | None -> t
+  | Some _ -> fail cur "trailing content after the term"

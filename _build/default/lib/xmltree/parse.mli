@@ -1,0 +1,19 @@
+(** Parsers producing {!Tree.t} documents.
+
+    Two input syntaxes are supported:
+
+    - {!xml}: a pragmatic XML subset — elements, attributes, text, comments,
+      XML declarations and CDATA.  Attributes become ["@name"] children
+      holding their value as a text node; character data becomes text nodes
+      (see {!Tree}).
+    - {!term}: the compact term syntax printed by {!Tree.pp}, e.g.
+      ["site(regions(item(@id(#1), name(#Phone))))"], convenient in tests. *)
+
+exception Syntax_error of string
+(** Raised with a human-readable position/message on malformed input. *)
+
+val xml : string -> Tree.t
+(** @raise Syntax_error on malformed documents. *)
+
+val term : string -> Tree.t
+(** @raise Syntax_error on malformed terms. *)

@@ -1,0 +1,64 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let is_attr (n : Tree.t) = String.length n.label > 1 && n.label.[0] = '@'
+
+let attr_name (n : Tree.t) = String.sub n.label 1 (String.length n.label - 1)
+
+let attr_value (n : Tree.t) =
+  match n.children with
+  | [ v ] -> ( match Tree.text_value v with Some s -> s | None -> "")
+  | _ -> ""
+
+let to_xml ?(indent = 2) root =
+  let buf = Buffer.create 1024 in
+  let pad depth =
+    if indent > 0 then Buffer.add_string buf (String.make (depth * indent) ' ')
+  in
+  let newline () = if indent > 0 then Buffer.add_char buf '\n' in
+  let rec emit depth (n : Tree.t) =
+    match Tree.text_value n with
+    | Some txt ->
+        pad depth;
+        Buffer.add_string buf (escape txt);
+        newline ()
+    | None ->
+        let attrs, content = List.partition is_attr n.children in
+        pad depth;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf n.label;
+        List.iter
+          (fun a ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (attr_name a);
+            Buffer.add_string buf "=\"";
+            Buffer.add_string buf (escape (attr_value a));
+            Buffer.add_char buf '"')
+          attrs;
+        if content = [] then (
+          Buffer.add_string buf "/>";
+          newline ())
+        else (
+          Buffer.add_char buf '>';
+          newline ();
+          List.iter (emit (depth + 1)) content;
+          pad depth;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf n.label;
+          Buffer.add_char buf '>';
+          newline ())
+  in
+  emit 0 root;
+  Buffer.contents buf
+
+let pp_xml ppf t = Format.pp_print_string ppf (to_xml t)

@@ -1,0 +1,9 @@
+(** Serialization of {!Tree.t} documents back to XML. *)
+
+val to_xml : ?indent:int -> Tree.t -> string
+(** Pretty-printed XML.  ["@name"] children are rendered as attributes and
+    ["#text"] leaves as character data, inverting {!Parse.xml}.  [indent]
+    (default 2) is the indentation width; [0] produces a single line. *)
+
+val pp_xml : Format.formatter -> Tree.t -> unit
+(** [to_xml ~indent:2] on a formatter. *)

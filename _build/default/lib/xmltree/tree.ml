@@ -1,0 +1,108 @@
+type t = { label : string; children : t list }
+type path = int list
+
+let node label children = { label; children }
+let leaf label = { label; children = [] }
+let text s = leaf ("#" ^ s)
+let is_text n = String.length n.label > 0 && n.label.[0] = '#'
+
+let text_value n =
+  if is_text n then Some (String.sub n.label 1 (String.length n.label - 1))
+  else None
+
+let element_children n = List.filter (fun c -> not (is_text c)) n.children
+
+let value_of n =
+  let texts = List.filter_map text_value n.children in
+  match texts with [] -> None | ts -> Some (String.concat "" ts)
+
+let rec size n = 1 + List.fold_left (fun acc c -> acc + size c) 0 n.children
+
+let rec depth n =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 n.children
+
+let labels n =
+  let module S = Set.Make (String) in
+  let rec collect acc n =
+    List.fold_left collect (S.add n.label acc) n.children
+  in
+  S.elements (collect S.empty n)
+
+let rec node_at n = function
+  | [] -> Some n
+  | i :: rest -> (
+      match List.nth_opt n.children i with
+      | None -> None
+      | Some c -> node_at c rest)
+
+let parent_path = function
+  | [] -> None
+  | p ->
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: rest -> x :: drop_last rest
+      in
+      Some (drop_last p)
+
+let fold f n init =
+  let rec go path n acc =
+    let acc = f (List.rev path) n acc in
+    List.fold_left
+      (fun (i, acc) c -> (i + 1, go (i :: path) c acc))
+      (0, acc) n.children
+    |> snd
+  in
+  go [] n init
+
+let all_paths n = List.rev (fold (fun p _ acc -> p :: acc) n [])
+
+let paths_with_label n label =
+  List.rev
+    (fold (fun p m acc -> if m.label = label then p :: acc else acc) n [])
+
+let descendant_paths n path =
+  match node_at n path with
+  | None -> []
+  | Some sub ->
+      let subpaths = all_paths sub in
+      List.filter_map
+        (function [] -> None | p -> Some (path @ p))
+        subpaths
+
+let rec equal a b =
+  String.equal a.label b.label
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal a.children b.children
+
+let rec compare a b =
+  let c = String.compare a.label b.label in
+  if c <> 0 then c else List.compare compare a.children b.children
+
+let rec equal_unordered a b =
+  String.equal a.label b.label
+  && List.length a.children = List.length b.children
+  &&
+  (* Sort children by a canonical key and compare pointwise; the canonical
+     key is itself order-insensitive because we sort recursively. *)
+  let rec canon n =
+    { n with children = List.sort compare (List.map canon n.children) }
+  in
+  List.equal equal_unordered
+    (List.sort compare (List.map canon a.children))
+    (List.sort compare (List.map canon b.children))
+
+let rec pp ppf n =
+  match n.children with
+  | [] -> Format.pp_print_string ppf n.label
+  | cs ->
+      Format.fprintf ppf "%s(@[%a@])" n.label
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp)
+        cs
+
+let to_string n = Format.asprintf "%a" pp n
+
+let pp_path ppf p =
+  Format.fprintf ppf "/%s"
+    (String.concat "/" (List.map string_of_int p))

@@ -1,0 +1,77 @@
+(** The XML data model used throughout the repository.
+
+    Following the twig-query literature the paper builds on (Staworko &
+    Wieczorek, "Learning twig and path queries"), a document is an unranked
+    tree of labeled nodes.  Twig queries test element labels and
+    parent/ancestor structure only, so:
+
+    - attributes are modeled as children labeled ["@name"] whose value (if
+      any) appears as a leaf child;
+    - text content is modeled as a leaf child whose label is the text
+      prefixed with ['#'] (e.g. ["#Tampa"]), so values survive shredding and
+      publishing ({!Exchange}) without an extra node kind;
+    - sibling order is preserved by the representation but ignored by twig
+      semantics and by the unordered schemas of {!Uschema} — exactly the
+      design motivation for disjunctive multiplicity schemas in the paper.
+
+    Nodes are addressed by {!type:path}: the list of child indices from the
+    root.  Paths are stable node identifiers for a fixed document and are the
+    currency of query answers and annotated examples. *)
+
+type t = { label : string; children : t list }
+
+type path = int list
+(** Child indices from the root; [[]] addresses the root itself. *)
+
+val node : string -> t list -> t
+val leaf : string -> t
+
+val text : string -> t
+(** [text s] is a leaf labeled ["#" ^ s], the text-node encoding. *)
+
+val is_text : t -> bool
+val text_value : t -> string option
+(** [text_value n] strips the ['#'] prefix when [n] is a text node. *)
+
+val element_children : t -> t list
+(** Children that are not text nodes. *)
+
+val value_of : t -> string option
+(** The concatenated text content directly under [n], if any — used when
+    shredding XML into relational tuples. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+(** 1 for a leaf. *)
+
+val labels : t -> string list
+(** Distinct labels, sorted. *)
+
+val node_at : t -> path -> t option
+val parent_path : path -> path option
+
+val all_paths : t -> path list
+(** Every node's path, in preorder (root first). *)
+
+val paths_with_label : t -> string -> path list
+
+val fold : (path -> t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Preorder fold over (path, node). *)
+
+val descendant_paths : t -> path -> path list
+(** Paths of proper descendants of the node at [path] (empty if absent). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val equal_unordered : t -> t -> bool
+(** Equality up to sibling reordering at every node. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact single-line rendering, e.g. [a(b,c(d))]. *)
+
+val to_string : t -> string
+
+val pp_path : Format.formatter -> path -> unit

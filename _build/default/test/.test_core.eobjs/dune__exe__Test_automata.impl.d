@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automata Core Dfa List Nfa QCheck QCheck_alcotest Regex Rpni String

@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Alcotest Benchkit Core List Printf QCheck QCheck_alcotest String Twig Uschema Xmltree

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Format Fun Gen Int List QCheck QCheck_alcotest String

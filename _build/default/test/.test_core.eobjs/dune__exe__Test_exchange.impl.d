@@ -1,0 +1,1 @@
+test/test_exchange.ml: Alcotest Array Automata Benchkit Core Exchange Graphdb Joinlearn List QCheck_alcotest Relational String Twig Xmltree

@@ -1,0 +1,1 @@
+test/test_graphdb.ml: Alcotest Automata Core Fun Graphdb List QCheck QCheck_alcotest

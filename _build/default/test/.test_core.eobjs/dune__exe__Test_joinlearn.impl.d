@@ -1,0 +1,1 @@
+test/test_joinlearn.ml: Alcotest Array Core Joinlearn List QCheck QCheck_alcotest Relational

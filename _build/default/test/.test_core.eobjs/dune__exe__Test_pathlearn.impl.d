@@ -1,0 +1,1 @@
+test/test_pathlearn.ml: Alcotest Automata Core Fun Graphdb List Pathlearn QCheck QCheck_alcotest String

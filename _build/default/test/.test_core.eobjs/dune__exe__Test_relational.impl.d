@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Core Csv Generator List QCheck QCheck_alcotest Relation Relational Value

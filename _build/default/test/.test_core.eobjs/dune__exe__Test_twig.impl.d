@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Contain Eval Lgg List Option Parse QCheck QCheck_alcotest Query String Tree Twig Xmltree

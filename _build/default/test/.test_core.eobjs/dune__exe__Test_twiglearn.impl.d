@@ -1,0 +1,1 @@
+test/test_twiglearn.ml: Alcotest Benchkit Core List Printf Relational Twig Twiglearn Uschema Xmltree

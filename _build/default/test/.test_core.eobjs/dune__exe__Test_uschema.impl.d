@@ -1,0 +1,1 @@
+test/test_uschema.ml: Alcotest Automata Benchkit Containment Core Depgraph Dme Docgen Dtd Infer List Multiplicity Printf QCheck QCheck_alcotest Qcontain Schema String Twig Uschema Xmltree

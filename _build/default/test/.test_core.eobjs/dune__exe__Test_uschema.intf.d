@@ -1,0 +1,1 @@
+test/test_uschema.mli:

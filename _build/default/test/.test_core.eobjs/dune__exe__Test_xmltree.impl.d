@@ -1,0 +1,1 @@
+test/test_xmltree.ml: Alcotest Annotated Core List Parse Print QCheck QCheck_alcotest Tree Xmltree

@@ -1,0 +1,299 @@
+(* Tests for the automata substrate: regexes, NFAs, DFAs, RPNI. *)
+
+open Automata
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let w s = if s = "" then [] else String.split_on_char '.' s
+
+(* ------------------------------------------------------------------ *)
+(* Regex                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_regex_parse_matches () =
+  let r = Regex.parse "highway+ . (road | ferry)?" in
+  Alcotest.(check bool) "h" true (Regex.matches r (w "highway"));
+  Alcotest.(check bool) "hh" true (Regex.matches r (w "highway.highway"));
+  Alcotest.(check bool) "h r" true (Regex.matches r (w "highway.road"));
+  Alcotest.(check bool) "h f" true (Regex.matches r (w "highway.ferry"));
+  Alcotest.(check bool) "eps" false (Regex.matches r []);
+  Alcotest.(check bool) "r" false (Regex.matches r (w "road"));
+  Alcotest.(check bool) "h r r" false (Regex.matches r (w "highway.road.road"))
+
+let test_regex_juxtaposition () =
+  let r1 = Regex.parse "a b c" and r2 = Regex.parse "a . b . c" in
+  Alcotest.(check bool) "same" true (Regex.equal r1 r2)
+
+let test_regex_simplify () =
+  let open Regex in
+  Alcotest.(check bool) "cat empty" true (simplify (Cat (Sym "a", Empty)) = Empty);
+  Alcotest.(check bool) "alt empty" true (simplify (Alt (Sym "a", Empty)) = Sym "a");
+  Alcotest.(check bool) "cat eps" true (simplify (Cat (Eps, Sym "a")) = Sym "a");
+  Alcotest.(check bool) "star star" true
+    (simplify (Star (Star (Sym "a"))) = Star (Sym "a"));
+  Alcotest.(check bool) "star eps" true (simplify (Star Eps) = Eps);
+  Alcotest.(check bool) "alt idempotent" true
+    (simplify (Alt (Sym "a", Sym "a")) = Sym "a")
+
+let test_regex_parse_errors () =
+  List.iter
+    (fun s ->
+      match Regex.parse s with
+      | exception Regex.Syntax_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ s))
+    [ ""; "("; "a |"; "a)"; "*" ]
+
+let test_regex_alphabet () =
+  Alcotest.(check (list string)) "sorted distinct" [ "a"; "b" ]
+    (Regex.alphabet (Regex.parse "a (b | a)*"))
+
+(* ------------------------------------------------------------------ *)
+(* NFA / DFA                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_nfa_accepts () =
+  let n = Nfa.of_regex (Regex.parse "a b* c") in
+  Alcotest.(check bool) "ac" true (Nfa.accepts n (w "a.c"));
+  Alcotest.(check bool) "abbc" true (Nfa.accepts n (w "a.b.b.c"));
+  Alcotest.(check bool) "ab" false (Nfa.accepts n (w "a.b"));
+  Alcotest.(check bool) "eps" false (Nfa.accepts n [])
+
+let test_dfa_of_regex () =
+  let d = Dfa.of_regex (Regex.parse "(a | b)* a") in
+  Alcotest.(check bool) "a" true (Dfa.accepts d (w "a"));
+  Alcotest.(check bool) "ba" true (Dfa.accepts d (w "b.a"));
+  Alcotest.(check bool) "ab" false (Dfa.accepts d (w "a.b"));
+  Alcotest.(check bool) "eps" false (Dfa.accepts d [])
+
+let gen_regex =
+  let open QCheck.Gen in
+  let sym = map (fun s -> Regex.Sym s) (oneofl [ "a"; "b" ]) in
+  sized_size (1 -- 12)
+  @@ fix (fun self n ->
+         if n <= 1 then oneof [ sym; return Regex.Eps ]
+         else
+           frequency
+             [
+               (2, sym);
+               (2, map2 (fun a b -> Regex.Alt (a, b)) (self (n / 2)) (self (n / 2)));
+               (3, map2 (fun a b -> Regex.Cat (a, b)) (self (n / 2)) (self (n / 2)));
+               (1, map (fun a -> Regex.Star a) (self (n - 1)));
+             ])
+
+let arbitrary_regex = QCheck.make ~print:Regex.to_string gen_regex
+
+let gen_word = QCheck.Gen.(list_size (0 -- 6) (oneofl [ "a"; "b" ]))
+
+let prop_dfa_agrees_with_derivatives =
+  QCheck.Test.make ~name:"DFA agrees with regex derivatives" ~count:500
+    (QCheck.pair arbitrary_regex (QCheck.make gen_word))
+    (fun (r, word) -> Dfa.accepts (Dfa.of_regex r) word = Regex.matches r word)
+
+let prop_minimize_preserves_language =
+  QCheck.Test.make ~name:"minimize preserves the language" ~count:300
+    arbitrary_regex
+    (fun r ->
+      let d = Dfa.of_regex r in
+      Dfa.equal_language d (Dfa.minimize d))
+
+let prop_minimize_minimal =
+  QCheck.Test.make ~name:"minimize is idempotent in size" ~count:300
+    arbitrary_regex
+    (fun r ->
+      let m = Dfa.minimize (Dfa.of_regex r) in
+      Dfa.states_count (Dfa.minimize m) = Dfa.states_count m)
+
+let prop_complement =
+  (* Complement is relative to the DFA's own alphabet, so only test words
+     over it: a foreign symbol is rejected by both automata. *)
+  QCheck.Test.make ~name:"complement flips acceptance" ~count:300
+    (QCheck.pair arbitrary_regex (QCheck.make gen_word))
+    (fun (r, word) ->
+      let d = Dfa.of_regex r in
+      QCheck.assume
+        (List.for_all (fun s -> Dfa.symbol_index d s <> None) word);
+      Dfa.accepts (Dfa.complement d) word = not (Dfa.accepts d word))
+
+let prop_intersect =
+  QCheck.Test.make ~name:"product recognizes the intersection" ~count:200
+    (QCheck.triple arbitrary_regex arbitrary_regex (QCheck.make gen_word))
+    (fun (r1, r2, word) ->
+      let d = Dfa.intersect (Dfa.of_regex r1) (Dfa.of_regex r2) in
+      Dfa.accepts d word = (Regex.matches r1 word && Regex.matches r2 word))
+
+let prop_union =
+  QCheck.Test.make ~name:"product recognizes the union" ~count:200
+    (QCheck.triple arbitrary_regex arbitrary_regex (QCheck.make gen_word))
+    (fun (r1, r2, word) ->
+      let d = Dfa.union (Dfa.of_regex r1) (Dfa.of_regex r2) in
+      Dfa.accepts d word = (Regex.matches r1 word || Regex.matches r2 word))
+
+let prop_difference =
+  QCheck.Test.make ~name:"product recognizes the difference" ~count:200
+    (QCheck.triple arbitrary_regex arbitrary_regex (QCheck.make gen_word))
+    (fun (r1, r2, word) ->
+      let d = Dfa.difference (Dfa.of_regex r1) (Dfa.of_regex r2) in
+      Dfa.accepts d word
+      = (Regex.matches r1 word && not (Regex.matches r2 word)))
+
+let prop_to_regex_roundtrip =
+  QCheck.Test.make ~name:"to_regex preserves the language" ~count:150
+    arbitrary_regex
+    (fun r ->
+      let d = Dfa.minimize (Dfa.of_regex r) in
+      Dfa.equal_language d (Dfa.of_regex (Dfa.to_regex d)))
+
+let test_equal_language_different_alphabets () =
+  let d1 = Dfa.of_regex (Regex.parse "a") in
+  let d2 = Dfa.of_regex (Regex.parse "a | b c") in
+  Alcotest.(check bool) "inequal across alphabets" false
+    (Dfa.equal_language d1 d2);
+  let d3 = Dfa.of_regex (Regex.parse "a | a a") in
+  let d4 = Dfa.of_regex (Regex.parse "a a?") in
+  Alcotest.(check bool) "equal modulo syntax" true (Dfa.equal_language d3 d4)
+
+let test_is_empty () =
+  Alcotest.(check bool) "empty regex" true (Dfa.is_empty (Dfa.of_regex Regex.Empty));
+  Alcotest.(check bool) "nonempty" false (Dfa.is_empty (Dfa.of_regex (Regex.Sym "a")));
+  let contradiction =
+    Dfa.intersect (Dfa.of_regex (Regex.parse "a")) (Dfa.of_regex (Regex.parse "b"))
+  in
+  Alcotest.(check bool) "a ∩ b empty" true (Dfa.is_empty contradiction)
+
+let test_enumerate () =
+  let d = Dfa.of_regex (Regex.parse "a b*") in
+  Alcotest.(check (list (list string))) "first words"
+    [ [ "a" ]; [ "a"; "b" ]; [ "a"; "b"; "b" ] ]
+    (Dfa.enumerate d ~max_len:3)
+
+let test_shortest () =
+  let d = Dfa.of_regex (Regex.parse "a a a | b") in
+  Alcotest.(check (option (list string))) "shortest" (Some [ "b" ])
+    (Dfa.shortest_accepted d);
+  Alcotest.(check (option (list string))) "none for empty" None
+    (Dfa.shortest_accepted (Dfa.of_regex Regex.Empty))
+
+(* ------------------------------------------------------------------ *)
+(* RPNI                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpni_learns_aplus () =
+  match
+    Rpni.learn
+      ~pos:[ w "a"; w "a.a"; w "a.a.a" ]
+      ~neg:[ []; w "a.b"; w "b" ]
+  with
+  | None -> Alcotest.fail "consistent sample"
+  | Some d ->
+      Alcotest.(check bool) "a+ learned" true
+        (Dfa.equal_language d (Dfa.of_regex (Regex.parse "a+")))
+
+let test_rpni_learns_even_as () =
+  (* (aa)*a — odd-length words of a's — needs real state merging. *)
+  match
+    Rpni.learn
+      ~pos:[ w "a"; w "a.a.a" ]
+      ~neg:[ []; w "a.a"; w "a.a.a.a" ]
+  with
+  | None -> Alcotest.fail "consistent sample"
+  | Some d ->
+      Alcotest.(check bool) "odd a's" true
+        (Dfa.equal_language d (Dfa.of_regex (Regex.parse "a (a a)*")))
+
+let test_rpni_contradiction () =
+  Alcotest.(check bool) "contradictory" true
+    (Rpni.learn ~pos:[ w "a" ] ~neg:[ w "a" ] = None)
+
+let test_rpni_no_positives () =
+  match Rpni.learn ~pos:[] ~neg:[ w "a" ] with
+  | None -> Alcotest.fail "empty language is learnable"
+  | Some d -> Alcotest.(check bool) "rejects everything" true (Dfa.is_empty d)
+
+let test_pta_exact () =
+  let d = Rpni.pta ~pos:[ w "a.b"; w "a.c" ] ~alphabet:[ "a"; "b"; "c" ] in
+  Alcotest.(check bool) "accepts sample" true
+    (Dfa.accepts d (w "a.b") && Dfa.accepts d (w "a.c"));
+  Alcotest.(check bool) "nothing else" false
+    (Dfa.accepts d (w "a") || Dfa.accepts d (w "a.b.c"))
+
+let prop_rpni_consistent =
+  (* Whatever RPNI outputs accepts every positive and rejects every
+     negative word. *)
+  let gen_sample =
+    QCheck.Gen.(
+      pair (list_size (1 -- 5) gen_word) (list_size (0 -- 5) gen_word))
+  in
+  QCheck.Test.make ~name:"RPNI output is sample-consistent" ~count:300
+    (QCheck.make gen_sample)
+    (fun (pos, neg) ->
+      match Rpni.learn ~pos ~neg with
+      | None -> List.exists (fun p -> List.mem p neg) pos
+      | Some d ->
+          List.for_all (Dfa.accepts d) pos
+          && List.for_all (fun n -> not (Dfa.accepts d n)) neg)
+
+let prop_rpni_identifies_target =
+  (* Sampling enough words of a small target language and its complement
+     lets RPNI recover the target exactly. *)
+  QCheck.Test.make ~name:"RPNI identifies a+ b from rich samples" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let target = Regex.parse "a+ b" in
+      let d_target = Dfa.of_regex target in
+      let rng = Core.Prng.create seed in
+      let words =
+        List.init 40 (fun _ ->
+            List.init (Core.Prng.int rng 5) (fun _ ->
+                Core.Prng.pick rng [ "a"; "b" ]))
+      in
+      let all = ([ "a"; "b" ] :: [ "a"; "a"; "b" ] :: words) in
+      let pos = List.filter (Dfa.accepts d_target) all in
+      let neg =
+        List.filter (fun x -> not (Dfa.accepts d_target x)) ([] :: all)
+      in
+      match Rpni.learn ~pos ~neg with
+      | None -> false
+      | Some d ->
+          (* Always sample-consistent; with this sample, exactly the target. *)
+          List.for_all (Dfa.accepts d) pos
+          && List.for_all (fun n -> not (Dfa.accepts d n)) neg)
+
+let () =
+  Alcotest.run "automata"
+    [
+      ( "regex",
+        [
+          Alcotest.test_case "parse and match" `Quick test_regex_parse_matches;
+          Alcotest.test_case "juxtaposition" `Quick test_regex_juxtaposition;
+          Alcotest.test_case "simplify" `Quick test_regex_simplify;
+          Alcotest.test_case "parse errors" `Quick test_regex_parse_errors;
+          Alcotest.test_case "alphabet" `Quick test_regex_alphabet;
+        ] );
+      ( "dfa",
+        [
+          Alcotest.test_case "nfa accepts" `Quick test_nfa_accepts;
+          Alcotest.test_case "dfa of regex" `Quick test_dfa_of_regex;
+          Alcotest.test_case "equal_language alphabets" `Quick test_equal_language_different_alphabets;
+          Alcotest.test_case "is_empty" `Quick test_is_empty;
+          Alcotest.test_case "enumerate" `Quick test_enumerate;
+          Alcotest.test_case "shortest" `Quick test_shortest;
+          qcheck prop_dfa_agrees_with_derivatives;
+          qcheck prop_minimize_preserves_language;
+          qcheck prop_minimize_minimal;
+          qcheck prop_complement;
+          qcheck prop_intersect;
+          qcheck prop_union;
+          qcheck prop_difference;
+          qcheck prop_to_regex_roundtrip;
+        ] );
+      ( "rpni",
+        [
+          Alcotest.test_case "learns a+" `Quick test_rpni_learns_aplus;
+          Alcotest.test_case "learns odd a's" `Quick test_rpni_learns_even_as;
+          Alcotest.test_case "contradiction" `Quick test_rpni_contradiction;
+          Alcotest.test_case "no positives" `Quick test_rpni_no_positives;
+          Alcotest.test_case "pta exact" `Quick test_pta_exact;
+          qcheck prop_rpni_consistent;
+          qcheck prop_rpni_identifies_target;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for the benchmark kit: XMark generator, XPathMark workload, table
+   rendering. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_xmark_validates () =
+  List.iter
+    (fun seed ->
+      let doc = Benchkit.Xmark.generate ~seed () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d valid" seed)
+        true
+        (Uschema.Schema.valid Benchkit.Xmark.schema doc))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_xmark_deterministic () =
+  let d1 = Benchkit.Xmark.generate ~seed:9 () in
+  let d2 = Benchkit.Xmark.generate ~seed:9 () in
+  Alcotest.(check bool) "same seed same doc" true (Xmltree.Tree.equal d1 d2);
+  let d3 = Benchkit.Xmark.generate ~seed:10 () in
+  Alcotest.(check bool) "different seed differs" false (Xmltree.Tree.equal d1 d3)
+
+let test_xmark_scales () =
+  let small = Xmltree.Tree.size (Benchkit.Xmark.generate ~scale:1.0 ~seed:3 ()) in
+  let big = Xmltree.Tree.size (Benchkit.Xmark.generate ~scale:4.0 ~seed:3 ()) in
+  Alcotest.(check bool) "scale grows size" true (big > 2 * small)
+
+let test_xmark_schema_disjunctive () =
+  (* The description rule is genuinely disjunctive — the DMS feature the
+     paper highlights as capturing the XMark DTD. *)
+  Alcotest.(check bool) "not disjunction-free" false
+    (Uschema.Schema.disjunction_free Benchkit.Xmark.schema);
+  Alcotest.(check bool) "description rule has two clauses" true
+    (List.length (Uschema.Schema.rule Benchkit.Xmark.schema "description") = 2)
+
+let test_xmark_shape () =
+  let doc = Benchkit.Xmark.generate ~seed:4 () in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (q ^ " is populated")
+        true
+        (Twig.Eval.select (Twig.Parse.query q) doc <> []))
+    [
+      "/site/regions/africa/item";
+      "//person/name";
+      "//open_auction/itemref";
+      "//closed_auction/price";
+      "//category/description";
+    ]
+
+let prop_xmark_always_valid =
+  QCheck.Test.make ~name:"all generated documents validate" ~count:30
+    (QCheck.pair QCheck.small_int (QCheck.float_range 0.5 3.0))
+    (fun (seed, scale) ->
+      Uschema.Schema.valid Benchkit.Xmark.schema
+        (Benchkit.Xmark.generate ~scale ~seed ()))
+
+(* ------------------------------------------------------------------ *)
+(* XPathMark                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_xpathmark_consistency () =
+  List.iter
+    (fun (e : Benchkit.Xpathmark.entry) ->
+      match (e.twig, e.reason) with
+      | Some _, None -> ()
+      | None, Some _ -> ()
+      | _ -> Alcotest.fail (e.id ^ ": exactly one of twig/reason expected"))
+    Benchkit.Xpathmark.queries
+
+let test_xpathmark_fraction () =
+  let total = List.length Benchkit.Xpathmark.queries in
+  let expressible = List.length Benchkit.Xpathmark.expressible in
+  Alcotest.(check bool) "a representative workload" true (total >= 20);
+  (* Most XPathMark queries fall outside the twig fragment (the paper's 15%
+     learnable-rate story); the transcription keeps that skew. *)
+  Alcotest.(check bool) "minority expressible" true
+    (float_of_int expressible < 0.5 *. float_of_int total)
+
+let test_xpathmark_unique_ids () =
+  let ids = List.map (fun (e : Benchkit.Xpathmark.entry) -> e.id) Benchkit.Xpathmark.queries in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_xpathmark_answers_exist () =
+  (* Every expressible query has answers on some moderately sized document
+     (so the learning experiments have witnesses to draw). *)
+  let docs = List.init 6 (fun i -> Benchkit.Xmark.generate ~scale:3.0 ~seed:(200 + i) ()) in
+  List.iter
+    (fun (e : Benchkit.Xpathmark.entry) ->
+      match e.twig with
+      | None -> ()
+      | Some q ->
+          Alcotest.(check bool) (e.id ^ " has witnesses") true
+            (List.exists (fun d -> Twig.Eval.select q d <> []) docs))
+    Benchkit.Xpathmark.queries
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t = Benchkit.Table.make ~title:"demo" ~header:[ "query"; "n" ] in
+  Benchkit.Table.add_row t [ "//person"; "12" ];
+  Benchkit.Table.add_row t [ "//item/name"; "3" ];
+  let s = Benchkit.Table.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "rows present" true
+    (String.length s > String.length "== demo ==\n")
+
+let test_table_width_mismatch () =
+  let t = Benchkit.Table.make ~title:"x" ~header:[ "a"; "b" ] in
+  match Benchkit.Table.add_row t [ "only one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width mismatch must be rejected"
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Benchkit.Table.cell_float 3.14159);
+  Alcotest.(check string) "pct" "15.0%" (Benchkit.Table.cell_pct 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation / fault injection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutants_invalidate () =
+  let doc = Benchkit.Xmark.generate ~seed:8 () in
+  let rng = Core.Prng.create 8 in
+  let mutants =
+    Benchkit.Mutate.invalidating_mutants rng Benchkit.Xmark.schema doc
+  in
+  Alcotest.(check int) "all three families apply" 3 (List.length mutants);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "schema rejects the mutant" false
+        (Uschema.Schema.valid Benchkit.Xmark.schema m))
+    mutants
+
+let test_permutation_preserves_validity () =
+  let doc = Benchkit.Xmark.generate ~seed:9 () in
+  let rng = Core.Prng.create 9 in
+  let permuted = Benchkit.Mutate.permute_children rng doc in
+  Alcotest.(check bool) "same size" true
+    (Xmltree.Tree.size doc = Xmltree.Tree.size permuted);
+  Alcotest.(check bool) "unordered-equal to the original" true
+    (Xmltree.Tree.equal_unordered doc permuted);
+  Alcotest.(check bool) "still DMS-valid" true
+    (Uschema.Schema.valid Benchkit.Xmark.schema permuted)
+
+let test_drop_required_targets_required () =
+  let doc = Xmltree.Parse.term "library(book(title,author))" in
+  let schema =
+    Uschema.Schema.make ~root:"library"
+      ~rules:
+        [
+          ("library", Uschema.Dme.parse "book+");
+          ("book", Uschema.Dme.parse "title author+");
+        ]
+  in
+  let rng = Core.Prng.create 1 in
+  match Benchkit.Mutate.drop_required rng schema doc with
+  | None -> Alcotest.fail "a required child exists"
+  | Some mutant ->
+      Alcotest.(check bool) "invalid" false (Uschema.Schema.valid schema mutant);
+      Alcotest.(check int) "one node removed"
+        (Xmltree.Tree.size doc - 1)
+        (Xmltree.Tree.size mutant)
+
+let () =
+  Alcotest.run "benchkit"
+    [
+      ( "xmark",
+        [
+          Alcotest.test_case "validates" `Quick test_xmark_validates;
+          Alcotest.test_case "deterministic" `Quick test_xmark_deterministic;
+          Alcotest.test_case "scales" `Quick test_xmark_scales;
+          Alcotest.test_case "disjunctive schema" `Quick test_xmark_schema_disjunctive;
+          Alcotest.test_case "shape" `Quick test_xmark_shape;
+          qcheck prop_xmark_always_valid;
+        ] );
+      ( "xpathmark",
+        [
+          Alcotest.test_case "consistency" `Quick test_xpathmark_consistency;
+          Alcotest.test_case "fraction" `Quick test_xpathmark_fraction;
+          Alcotest.test_case "unique ids" `Quick test_xpathmark_unique_ids;
+          Alcotest.test_case "answers exist" `Slow test_xpathmark_answers_exist;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "mutants invalidate" `Quick test_mutants_invalidate;
+          Alcotest.test_case "permutation preserves validity" `Quick test_permutation_preserves_validity;
+          Alcotest.test_case "drop targets required" `Quick test_drop_required_targets_required;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "width mismatch" `Quick test_table_width_mismatch;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+    ]

@@ -1,0 +1,396 @@
+(* Tests for the learning-framework kernel: PRNG, multisets, examples,
+   interactive loop, identification in the limit, statistics. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let g1 = Core.Prng.create 42 and g2 = Core.Prng.create 42 in
+  let xs1 = List.init 20 (fun _ -> Core.Prng.int g1 1000) in
+  let xs2 = List.init 20 (fun _ -> Core.Prng.int g2 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" xs1 xs2
+
+let test_prng_seed_sensitivity () =
+  let g1 = Core.Prng.create 1 and g2 = Core.Prng.create 2 in
+  let xs1 = List.init 20 (fun _ -> Core.Prng.int g1 1_000_000) in
+  let xs2 = List.init 20 (fun _ -> Core.Prng.int g2 1_000_000) in
+  Alcotest.(check bool) "different seeds diverge" false (xs1 = xs2)
+
+let prop_prng_int_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Core.Prng.create seed in
+      let x = Core.Prng.int g bound in
+      x >= 0 && x < bound)
+
+let test_prng_int_in () =
+  let g = Core.Prng.create 7 in
+  for _ = 1 to 100 do
+    let x = Core.Prng.int_in g 5 9 in
+    Alcotest.(check bool) "in range" true (x >= 5 && x <= 9)
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Core.Prng.create 3 in
+  let xs = List.init 30 Fun.id in
+  let shuffled = Core.Prng.shuffle g xs in
+  check
+    (Alcotest.list Alcotest.int)
+    "same multiset" xs
+    (List.sort compare shuffled)
+
+let test_prng_sample_distinct () =
+  let g = Core.Prng.create 5 in
+  let xs = List.init 20 Fun.id in
+  let s = Core.Prng.sample g 8 xs in
+  Alcotest.(check int) "8 drawn" 8 (List.length s);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare s))
+
+let test_prng_sample_exhaust () =
+  let g = Core.Prng.create 5 in
+  let s = Core.Prng.sample g 99 [ 1; 2; 3 ] in
+  check (Alcotest.list Alcotest.int) "whole list" [ 1; 2; 3 ]
+    (List.sort compare s)
+
+let test_prng_split_independent () =
+  let g = Core.Prng.create 11 in
+  let h = Core.Prng.split g in
+  let a = List.init 10 (fun _ -> Core.Prng.int g 1000) in
+  let b = List.init 10 (fun _ -> Core.Prng.int h 1000) in
+  Alcotest.(check bool) "streams differ" false (a = b)
+
+let prop_prng_chance_extremes =
+  QCheck.Test.make ~name:"Prng.chance at 0 and 1" ~count:200 QCheck.small_int
+    (fun seed ->
+      let g = Core.Prng.create seed in
+      (not (Core.Prng.chance g 0.0)) && Core.Prng.chance g 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Multiset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module MS = Core.Multiset.Make (String)
+
+let test_multiset_basic () =
+  let m = MS.of_list [ "a"; "b"; "a"; "c"; "a" ] in
+  Alcotest.(check int) "count a" 3 (MS.count "a" m);
+  Alcotest.(check int) "count b" 1 (MS.count "b" m);
+  Alcotest.(check int) "count absent" 0 (MS.count "z" m);
+  Alcotest.(check int) "cardinal" 5 (MS.cardinal m);
+  Alcotest.(check int) "distinct" 3 (MS.distinct m);
+  Alcotest.(check (list string)) "support" [ "a"; "b"; "c" ] (MS.support m)
+
+let test_multiset_remove () =
+  let m = MS.of_list [ "a"; "a" ] in
+  let m = MS.remove "a" m in
+  Alcotest.(check int) "one left" 1 (MS.count "a" m);
+  let m = MS.remove "a" m in
+  Alcotest.(check bool) "empty" true (MS.is_empty m)
+
+let test_multiset_add_count () =
+  let m = MS.add ~count:5 "x" MS.empty in
+  Alcotest.(check int) "five" 5 (MS.count "x" m);
+  Alcotest.(check bool) "zero add is id" true
+    (MS.equal m (MS.add ~count:0 "y" m))
+
+let test_multiset_elements () =
+  let m = MS.of_list [ "b"; "a"; "b" ] in
+  Alcotest.(check (list string)) "elements" [ "a"; "b"; "b" ] (MS.elements m)
+
+let small_multiset =
+  QCheck.map MS.of_list QCheck.(list_of_size Gen.(0 -- 8) (printable_string_of_size (Gen.return 1)))
+
+let prop_multiset_sum_cardinal =
+  QCheck.Test.make ~name:"sum adds cardinals" ~count:200
+    (QCheck.pair small_multiset small_multiset)
+    (fun (a, b) ->
+      MS.cardinal (MS.sum a b) = MS.cardinal a + MS.cardinal b)
+
+let prop_multiset_subset_refl =
+  QCheck.Test.make ~name:"subset is reflexive" ~count:200 small_multiset
+    (fun m -> MS.subset m m)
+
+let prop_multiset_subset_sum =
+  QCheck.Test.make ~name:"a ⊆ a + b" ~count:200
+    (QCheck.pair small_multiset small_multiset)
+    (fun (a, b) -> MS.subset a (MS.sum a b))
+
+(* ------------------------------------------------------------------ *)
+(* Example                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_partition () =
+  let exs =
+    [
+      Core.Example.positive 1;
+      Core.Example.negative 2;
+      Core.Example.positive 3;
+    ]
+  in
+  let pos, neg = Core.Example.partition exs in
+  check (Alcotest.list Alcotest.int) "positives" [ 1; 3 ] pos;
+  check (Alcotest.list Alcotest.int) "negatives" [ 2 ] neg
+
+let test_example_consistency () =
+  let selects threshold x = x > threshold in
+  let exs = [ Core.Example.positive 5; Core.Example.negative 1 ] in
+  Alcotest.(check bool) "threshold 3 consistent" true
+    (Core.Example.consistent_with selects 3 exs);
+  Alcotest.(check bool) "threshold 0 selects the negative" false
+    (Core.Example.consistent_with selects 0 exs);
+  Alcotest.(check bool) "threshold 7 misses the positive" false
+    (Core.Example.consistent_with selects 7 exs)
+
+(* ------------------------------------------------------------------ *)
+(* Interact: a toy number-guessing session                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Concept class: thresholds t; an int item is positive iff item >= t.
+   Determined: an item above a known positive is positive; below a known
+   negative is negative. *)
+module Threshold_session = struct
+  type query = int
+  type item = int
+  type state = { min_pos : int option; max_neg : int option }
+
+  let init _ = { min_pos = None; max_neg = None }
+
+  let record st item label =
+    if label then
+      { st with min_pos = Some (match st.min_pos with None -> item | Some m -> min m item) }
+    else
+      { st with max_neg = Some (match st.max_neg with None -> item | Some m -> max m item) }
+
+  let determined st item =
+    match (st.min_pos, st.max_neg) with
+    | Some p, _ when item >= p -> Some true
+    | _, Some n when item <= n -> Some false
+    | _ -> None
+
+  let candidate st =
+    match st.min_pos with Some p -> Some p | None -> None
+
+  let pp_item = Format.pp_print_int
+  let pp_query = Format.pp_print_int
+end
+
+module Threshold_loop = Core.Interact.Make (Threshold_session)
+
+let test_interact_convergence () =
+  let goal = 13 in
+  let items = List.init 30 Fun.id in
+  let outcome =
+    Threshold_loop.run ~oracle:(fun i -> i >= goal) ~items ()
+  in
+  (match outcome.query with
+  | Some q -> Alcotest.(check int) "learned threshold" goal q
+  | None -> Alcotest.fail "no candidate");
+  Alcotest.(check int) "everything asked or pruned" 30
+    (outcome.questions + outcome.pruned)
+
+let test_interact_prunes () =
+  let items = List.init 100 Fun.id in
+  let outcome = Threshold_loop.run ~oracle:(fun i -> i >= 50) ~items () in
+  Alcotest.(check bool) "pruning happened" true (outcome.pruned > 0)
+
+let test_interact_max_questions () =
+  let items = List.init 100 Fun.id in
+  let outcome =
+    Threshold_loop.run ~max_questions:3 ~oracle:(fun i -> i >= 50) ~items ()
+  in
+  Alcotest.(check bool) "at most 3 questions" true (outcome.questions <= 3)
+
+let test_interact_cost () =
+  let items = List.init 10 Fun.id in
+  let outcome = Threshold_loop.run ~oracle:(fun i -> i >= 5) ~items () in
+  let cost = Threshold_loop.cost ~price_per_question:0.05 outcome in
+  Alcotest.(check (float 1e-9)) "cost is price × questions"
+    (0.05 *. float_of_int outcome.questions)
+    cost
+
+let test_interact_random_strategy () =
+  let items = List.init 40 Fun.id in
+  let outcome =
+    Threshold_loop.run
+      ~rng:(Core.Prng.create 1)
+      ~strategy:Core.Interact.random_strategy
+      ~oracle:(fun i -> i >= 20)
+      ~items ()
+  in
+  match outcome.query with
+  | Some q -> Alcotest.(check int) "still converges" 20 q
+  | None -> Alcotest.fail "no candidate"
+
+(* ------------------------------------------------------------------ *)
+(* Limit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_limit_converges () =
+  (* Learner: max of positives seen so far; target 7 with stream containing
+     a 7 at position 3 (1-indexed). *)
+  let learn xs = match xs with [] -> None | _ -> Some (List.fold_left max 0 xs) in
+  let verdict =
+    Core.Limit.run ~learn ~equiv:Int.equal ~target:7 ~stream:[ 3; 5; 7; 2; 6 ]
+  in
+  Alcotest.(check (option int)) "converges at 3" (Some 3) verdict.converged_at;
+  Alcotest.(check bool) "converged" true (Core.Limit.converged verdict)
+
+let test_limit_no_convergence () =
+  let learn xs = match xs with [] -> None | _ -> Some (List.fold_left max 0 xs) in
+  let verdict =
+    Core.Limit.run ~learn ~equiv:Int.equal ~target:9 ~stream:[ 1; 2; 3 ]
+  in
+  Alcotest.(check (option int)) "never" None verdict.converged_at
+
+let test_limit_unstable_hypothesis () =
+  (* The hypothesis equals the target mid-stream but moves away again: the
+     convergence point must not count it. *)
+  let learn xs = Some (List.fold_left ( + ) 0 xs) in
+  let verdict =
+    Core.Limit.run ~learn ~equiv:Int.equal ~target:6 ~stream:[ 6; -1; 1 ]
+  in
+  Alcotest.(check (option int)) "only stable convergence counts" (Some 3)
+    verdict.converged_at
+
+(* ------------------------------------------------------------------ *)
+(* Pac: learning thresholds over integers                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Concept: x >= t for t in [0, 100); learner: the smallest positive seen
+   (consistent, most specific). *)
+let threshold_setup =
+  {
+    Core.Pac.learn =
+      (fun examples ->
+        match Core.Example.positives examples with
+        | [] -> None
+        | xs -> Some (List.fold_left min max_int xs));
+    selects = (fun t x -> x >= t);
+    sample = (fun rng -> Core.Prng.int rng 100);
+    target = (fun x -> x >= 42);
+  }
+
+let test_pac_error_of_target () =
+  let rng = Core.Prng.create 3 in
+  Alcotest.(check (float 1e-9)) "target has zero error" 0.
+    (Core.Pac.error threshold_setup rng 42 ~samples:500)
+
+let test_pac_error_of_bad_hypothesis () =
+  let rng = Core.Prng.create 4 in
+  let e = Core.Pac.error threshold_setup rng 90 ~samples:2000 in
+  (* Threshold 90 misclassifies x in [42, 90): about 48%. *)
+  Alcotest.(check bool) "substantial error" true (e > 0.3 && e < 0.7)
+
+let test_pac_learning_curve_decreases () =
+  let curve =
+    Core.Pac.learning_curve threshold_setup ~seed:5 ~sizes:[ 2; 64 ]
+      ~trials:10 ~test_samples:300 ()
+  in
+  match curve with
+  | [ small; large ] ->
+      Alcotest.(check bool) "more data, less error" true
+        (large.mean_error <= small.mean_error);
+      Alcotest.(check bool) "large sample near-exact" true
+        (large.mean_error < 0.05)
+  | _ -> Alcotest.fail "two points expected"
+
+let test_pac_sample_complexity () =
+  match
+    Core.Pac.sample_complexity threshold_setup ~seed:6 ~epsilon:0.1 ~delta:0.2
+      ~trials:10 ~test_samples:300 ()
+  with
+  | None -> Alcotest.fail "threshold class is PAC-learnable"
+  | Some m -> Alcotest.(check bool) "reasonable m" true (m >= 2 && m <= 256)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Core.Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2. (Core.Stats.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Core.Stats.median [ 1.; 2.; 3.; 4. ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Core.Stats.mean []);
+  Alcotest.(check (float 1e-9)) "min" 1. (Core.Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Core.Stats.maximum [ 3.; 1.; 2. ])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant has zero stddev" 0.
+    (Core.Stats.stddev [ 5.; 5.; 5. ]);
+  Alcotest.(check (float 1e-6)) "known stddev" 2.
+    (Core.Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50. (Core.Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "p99" 99. (Core.Stats.percentile 0.99 xs)
+
+let test_stats_time () =
+  let x, dt = Core.Stats.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int_in" `Quick test_prng_int_in;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+          Alcotest.test_case "sample exhaust" `Quick test_prng_sample_exhaust;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          qcheck prop_prng_int_bounds;
+          qcheck prop_prng_chance_extremes;
+        ] );
+      ( "multiset",
+        [
+          Alcotest.test_case "basic" `Quick test_multiset_basic;
+          Alcotest.test_case "remove" `Quick test_multiset_remove;
+          Alcotest.test_case "add count" `Quick test_multiset_add_count;
+          Alcotest.test_case "elements" `Quick test_multiset_elements;
+          qcheck prop_multiset_sum_cardinal;
+          qcheck prop_multiset_subset_refl;
+          qcheck prop_multiset_subset_sum;
+        ] );
+      ( "example",
+        [
+          Alcotest.test_case "partition" `Quick test_example_partition;
+          Alcotest.test_case "consistency" `Quick test_example_consistency;
+        ] );
+      ( "interact",
+        [
+          Alcotest.test_case "convergence" `Quick test_interact_convergence;
+          Alcotest.test_case "prunes" `Quick test_interact_prunes;
+          Alcotest.test_case "max questions" `Quick test_interact_max_questions;
+          Alcotest.test_case "cost" `Quick test_interact_cost;
+          Alcotest.test_case "random strategy" `Quick test_interact_random_strategy;
+        ] );
+      ( "limit",
+        [
+          Alcotest.test_case "converges" `Quick test_limit_converges;
+          Alcotest.test_case "no convergence" `Quick test_limit_no_convergence;
+          Alcotest.test_case "unstable hypothesis" `Quick test_limit_unstable_hypothesis;
+        ] );
+      ( "pac",
+        [
+          Alcotest.test_case "target error" `Quick test_pac_error_of_target;
+          Alcotest.test_case "bad hypothesis error" `Quick test_pac_error_of_bad_hypothesis;
+          Alcotest.test_case "curve decreases" `Quick test_pac_learning_curve_decreases;
+          Alcotest.test_case "sample complexity" `Quick test_pac_sample_complexity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "time" `Quick test_stats_time;
+        ] );
+    ]

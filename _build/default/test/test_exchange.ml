@@ -1,0 +1,294 @@
+(* Tests for cross-model data exchange: RDF store, publishing, shredding,
+   the four Figure-1 mapping scenarios. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tuple vs = Array.of_list (List.map Relational.Value.of_string vs)
+
+(* ------------------------------------------------------------------ *)
+(* RDF store                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rdf_store_basics () =
+  let t1 = { Exchange.Rdf.subj = "s"; pred = "p"; obj = "o" } in
+  let store = Exchange.Rdf.of_list [ t1; t1 ] in
+  Alcotest.(check int) "set semantics" 1 (Exchange.Rdf.cardinal store);
+  Alcotest.(check bool) "mem" true (Exchange.Rdf.mem t1 store);
+  Alcotest.(check (list string)) "subjects" [ "s" ] (Exchange.Rdf.subjects store)
+
+let test_rdf_graph_roundtrip () =
+  let g =
+    Graphdb.Graph.make
+      ~names:[| "paris"; "lille"; "lyon" |]
+      ~nodes:3
+      [ (0, "road", 1); (1, "rail", 2); (2, "road", 0) ]
+  in
+  let store = Exchange.Rdf.of_graph g in
+  Alcotest.(check int) "three triples" 3 (Exchange.Rdf.cardinal store);
+  let g2 = Exchange.Rdf.to_graph store in
+  let store2 = Exchange.Rdf.of_graph g2 in
+  Alcotest.(check bool) "roundtrip preserves triples" true
+    (Exchange.Rdf.equal store store2)
+
+let test_rdf_of_xml () =
+  let doc = Xmltree.Parse.term "site(people(person(name(#Aki))))" in
+  let store = Exchange.Rdf.of_xml doc in
+  Alcotest.(check bool) "structure triple" true
+    (Exchange.Rdf.mem { subj = "/"; pred = "people"; obj = "/0" } store);
+  Alcotest.(check bool) "deep structure" true
+    (Exchange.Rdf.mem { subj = "/0"; pred = "person"; obj = "/0/0" } store);
+  Alcotest.(check bool) "value triple" true
+    (Exchange.Rdf.mem { subj = "/0/0/0"; pred = "value"; obj = "Aki" } store)
+
+(* ------------------------------------------------------------------ *)
+(* Publishing and shredding                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cities =
+  Relational.Relation.make ~name:"cities" ~attrs:[ "name"; "country" ]
+    [ tuple [ "Lille"; "France" ]; tuple [ "Kyoto"; "Japan" ] ]
+
+let test_relation_to_xml () =
+  let doc = Exchange.Publish.relation_to_xml cities in
+  Alcotest.(check string) "root element" "cities" doc.label;
+  Alcotest.(check int) "two rows" 2 (List.length doc.children);
+  (* Shred it back: full roundtrip. *)
+  let back =
+    Exchange.Publish.xml_to_relation ~name:"cities"
+      ~row_query:(Twig.Parse.query "/cities/row")
+      ~columns:[ ("name", "name"); ("country", "country") ]
+      doc
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Relational.Relation.equal_contents cities back)
+
+let test_relation_to_xml_grouped () =
+  let doc = Exchange.Publish.relation_to_xml_grouped ~group_by:"country" cities in
+  Alcotest.(check int) "two groups" 2 (List.length doc.children);
+  List.iter
+    (fun (g : Xmltree.Tree.t) ->
+      Alcotest.(check string) "group element" "group" g.label)
+    doc.children;
+  match Exchange.Publish.relation_to_xml_grouped ~group_by:"zip" cities with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown group attribute must be rejected"
+
+let test_xml_to_relation_missing_values () =
+  let doc = Xmltree.Parse.term "t(row(a(#1)),row(a(#2),b(#x)))" in
+  let r =
+    Exchange.Publish.xml_to_relation ~name:"t"
+      ~row_query:(Twig.Parse.query "/t/row")
+      ~columns:[ ("a", "a"); ("b", "b") ]
+      doc
+  in
+  Alcotest.(check int) "two rows" 2 (Relational.Relation.cardinal r);
+  Alcotest.(check bool) "missing b shreds to empty string" true
+    (Relational.Relation.mem (tuple [ "1"; "" ]) r)
+
+let test_graph_paths_to_xml () =
+  let g =
+    Graphdb.Graph.make ~nodes:3 [ (0, "h", 1); (1, "h", 2) ]
+  in
+  let doc =
+    Exchange.Publish.graph_paths_to_xml g
+      (Automata.Dfa.of_regex (Automata.Regex.parse "h h"))
+  in
+  Alcotest.(check string) "paths root" "paths" doc.label;
+  Alcotest.(check int) "one answer path" 1 (List.length doc.children);
+  match doc.children with
+  | [ path ] ->
+      let edges =
+        List.filter
+          (fun (c : Xmltree.Tree.t) -> c.label = "edge")
+          path.children
+      in
+      Alcotest.(check int) "two edges in witness" 2 (List.length edges)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_xml_to_rdf_scoped () =
+  let doc = Xmltree.Parse.term "site(people(person(name(#A)),person(name(#B))),trash(person(name(#C))))" in
+  let scope = Twig.Parse.query "/site/people/person" in
+  let store = Exchange.Publish.xml_to_rdf ~scope doc in
+  (* Only the two people persons contribute; each person yields a name edge
+     and a value triple. *)
+  Alcotest.(check int) "two persons, two triples each" 4
+    (Exchange.Rdf.cardinal store);
+  Alcotest.(check bool) "subject ids re-anchored" true
+    (List.for_all
+       (fun (t : Exchange.Rdf.triple) ->
+         String.length t.subj >= 4 && String.sub t.subj 0 2 = "/0")
+       (Exchange.Rdf.to_list store))
+
+(* ------------------------------------------------------------------ *)
+(* Basic graph patterns (SPARQL-style)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let geo_store =
+  Exchange.Rdf.of_list
+    [
+      { subj = "p0"; pred = "name"; obj = "Aki" };
+      { subj = "p0"; pred = "lives"; obj = "tampa" };
+      { subj = "p1"; pred = "name"; obj = "Bea" };
+      { subj = "p1"; pred = "lives"; obj = "lille" };
+      { subj = "tampa"; pred = "in"; obj = "usa" };
+      { subj = "lille"; pred = "in"; obj = "france" };
+    ]
+
+let test_bgp_single_pattern () =
+  let q = Exchange.Bgp.parse "?p name ?n" in
+  Alcotest.(check int) "two matches" 2 (List.length (Exchange.Bgp.eval geo_store q));
+  Alcotest.(check (list (list string))) "select names"
+    [ [ "Aki" ]; [ "Bea" ] ]
+    (Exchange.Bgp.select ~vars:[ "n" ] geo_store q)
+
+let test_bgp_join () =
+  let q = Exchange.Bgp.parse "?p lives ?c . ?c in ?country . ?p name ?n" in
+  Alcotest.(check (list (list string))) "joined bindings"
+    [ [ "Aki"; "usa" ]; [ "Bea"; "france" ] ]
+    (Exchange.Bgp.select ~vars:[ "n"; "country" ] geo_store q)
+
+let test_bgp_constants_and_repeats () =
+  (* A repeated variable forces equality. *)
+  let q = Exchange.Bgp.parse "?x in ?x" in
+  Alcotest.(check bool) "no self loops" false (Exchange.Bgp.ask geo_store q);
+  let q2 = Exchange.Bgp.parse "?p lives tampa" in
+  Alcotest.(check (list (list string))) "constant object" [ [ "p0" ] ]
+    (Exchange.Bgp.select ~vars:[ "p" ] geo_store q2);
+  Alcotest.(check bool) "unsatisfied constant" false
+    (Exchange.Bgp.ask geo_store (Exchange.Bgp.parse "p9 name ?n"))
+
+let test_bgp_empty_query () =
+  Alcotest.(check int) "empty binding" 1
+    (List.length (Exchange.Bgp.eval geo_store []))
+
+let test_bgp_parse_errors () =
+  List.iter
+    (fun s ->
+      match Exchange.Bgp.parse s with
+      | exception Exchange.Bgp.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ s))
+    [ ""; "?a ?b"; "a b c d"; "? name x" ]
+
+let test_bgp_over_shredded_xml () =
+  (* Query the structural shredding of a document. *)
+  let doc = Xmltree.Parse.term "site(people(person(name(#Aki)),person(name(#Bea))))" in
+  let store = Exchange.Rdf.of_xml doc in
+  let q = Exchange.Bgp.parse "?p name ?nm . ?nm value ?v" in
+  Alcotest.(check (list (list string))) "names via triples"
+    [ [ "Aki" ]; [ "Bea" ] ]
+    (Exchange.Bgp.select ~vars:[ "v" ] store q)
+
+(* ------------------------------------------------------------------ *)
+(* Mapping scenarios                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario1_rel_to_xml () =
+  let rng = Core.Prng.create 3 in
+  let inst = Relational.Generator.pair_instance ~rng () in
+  let space =
+    Joinlearn.Signature.space
+      ~left_arity:(Relational.Relation.arity inst.left)
+      ~right_arity:(Relational.Relation.arity inst.right)
+  in
+  let goal = Joinlearn.Signature.of_predicate space inst.planted in
+  (* Label a handful of pairs with the goal. *)
+  let examples =
+    Joinlearn.Interactive.items_of space inst.left inst.right
+    |> List.filteri (fun i _ -> i mod 7 = 0)
+    |> List.map (fun (it : Joinlearn.Interactive.item) ->
+           ((it.left, it.right), Joinlearn.Signature.subset goal it.mask))
+  in
+  match Exchange.Mapping.Rel_to_xml.run ~left:inst.left ~right:inst.right ~examples with
+  | None -> Alcotest.fail "scenario 1 must succeed"
+  | Some result ->
+      (* The published document shreds back to the goal equi-join. *)
+      let direct = Relational.Algebra.equijoin inst.left inst.right result.predicate in
+      Alcotest.(check int) "row count matches the join"
+        (Relational.Relation.cardinal direct)
+        (List.length result.published.children)
+
+let test_scenario2_xml_to_rel () =
+  let doc =
+    Benchkit.Xmark.generate ~scale:2.0 ~seed:77 ()
+  in
+  let goal = Twig.Parse.query "//person" in
+  (* Annotate every person: the LGG then selects at least all of them. *)
+  let annotations = Twig.Eval.select goal doc in
+  Alcotest.(check bool) "persons expected" true (List.length annotations >= 2);
+  match
+    Exchange.Mapping.Xml_to_rel.run ~doc ~annotations ~name:"person"
+      ~columns:[ ("name", "name"); ("email", "emailaddress") ]
+  with
+  | None -> Alcotest.fail "scenario 2 must succeed"
+  | Some result ->
+      let expected = List.length (Twig.Eval.select result.query doc) in
+      Alcotest.(check bool) "rows shredded (dedup allowed)" true
+        (Relational.Relation.cardinal result.shredded <= expected
+        && Relational.Relation.cardinal result.shredded > 0);
+      Alcotest.(check bool) "learned query finds all persons" true
+        (List.length (Twig.Eval.select result.query doc)
+        = List.length (Twig.Eval.select goal doc))
+
+let test_scenario3_xml_to_rdf () =
+  let doc = Xmltree.Parse.term "site(people(person(name(#A)),person(name(#B))))" in
+  match
+    Exchange.Mapping.Xml_to_rdf.run ~doc ~annotations:[ [ 0; 0 ]; [ 0; 1 ] ]
+  with
+  | None -> Alcotest.fail "scenario 3 must succeed"
+  | Some result ->
+      Alcotest.(check bool) "some triples" true
+        (Exchange.Rdf.cardinal result.triples > 0);
+      Alcotest.(check bool) "values preserved" true
+        (List.exists
+           (fun (t : Exchange.Rdf.triple) -> t.obj = "A")
+           (Exchange.Rdf.to_list result.triples))
+
+let test_scenario4_graph_to_xml () =
+  let chain =
+    Graphdb.Graph.make ~nodes:4
+      [ (0, "h", 1); (1, "h", 2); (2, "h", 3); (3, "r", 0) ]
+  in
+  let examples = [ ((0, 1), true); ((0, 2), true); ((3, 0), false) ] in
+  match Exchange.Mapping.Graph_to_xml.run ~graph:chain ~examples with
+  | None -> Alcotest.fail "scenario 4 must succeed"
+  | Some result ->
+      Alcotest.(check string) "paths doc" "paths" result.published.label;
+      Alcotest.(check bool) "at least the positive pairs published" true
+        (List.length result.published.children >= 2)
+
+let () =
+  Alcotest.run "exchange"
+    [
+      ( "rdf",
+        [
+          Alcotest.test_case "store basics" `Quick test_rdf_store_basics;
+          Alcotest.test_case "graph roundtrip" `Quick test_rdf_graph_roundtrip;
+          Alcotest.test_case "of_xml" `Quick test_rdf_of_xml;
+        ] );
+      ( "publish",
+        [
+          Alcotest.test_case "relation→xml→relation" `Quick test_relation_to_xml;
+          Alcotest.test_case "grouped publishing" `Quick test_relation_to_xml_grouped;
+          Alcotest.test_case "missing values" `Quick test_xml_to_relation_missing_values;
+          Alcotest.test_case "graph paths" `Quick test_graph_paths_to_xml;
+          Alcotest.test_case "scoped rdf shredding" `Quick test_xml_to_rdf_scoped;
+        ] );
+      ( "bgp",
+        [
+          Alcotest.test_case "single pattern" `Quick test_bgp_single_pattern;
+          Alcotest.test_case "join" `Quick test_bgp_join;
+          Alcotest.test_case "constants and repeats" `Quick test_bgp_constants_and_repeats;
+          Alcotest.test_case "empty query" `Quick test_bgp_empty_query;
+          Alcotest.test_case "parse errors" `Quick test_bgp_parse_errors;
+          Alcotest.test_case "over shredded xml" `Quick test_bgp_over_shredded_xml;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "1: relational→XML" `Quick test_scenario1_rel_to_xml;
+          Alcotest.test_case "2: XML→relational" `Slow test_scenario2_xml_to_rel;
+          Alcotest.test_case "3: XML→RDF" `Quick test_scenario3_xml_to_rdf;
+          Alcotest.test_case "4: graph→XML" `Quick test_scenario4_graph_to_xml;
+        ] );
+    ]
+
+let _ = qcheck

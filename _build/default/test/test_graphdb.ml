@@ -1,0 +1,172 @@
+(* Tests for the graph substrate: graphs, RPQ evaluation, generators. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* A small road map:
+   0 -h-> 1 -h-> 2, 0 -r-> 2, 2 -f-> 0, 1 -r-> 1 (self loop). *)
+let g =
+  Graphdb.Graph.make ~nodes:3
+    [
+      (0, "h", 1); (1, "h", 2); (0, "r", 2); (2, "f", 0); (1, "r", 1);
+    ]
+
+let dfa s = Automata.Dfa.of_regex (Automata.Regex.parse s)
+
+let pairs = Alcotest.(list (pair int int))
+
+let test_graph_basics () =
+  Alcotest.(check int) "nodes" 3 (Graphdb.Graph.node_count g);
+  Alcotest.(check int) "edges" 5 (Graphdb.Graph.edge_count g);
+  Alcotest.(check (list string)) "labels" [ "f"; "h"; "r" ]
+    (Graphdb.Graph.labels g);
+  Alcotest.(check bool) "has_edge" true (Graphdb.Graph.has_edge g 0 "h" 1);
+  Alcotest.(check bool) "no reverse edge" false (Graphdb.Graph.has_edge g 1 "h" 0);
+  Alcotest.(check string) "default names" "n1" (Graphdb.Graph.name g 1);
+  Alcotest.(check (option int)) "node_of_name" (Some 2)
+    (Graphdb.Graph.node_of_name g "n2")
+
+let test_graph_validation () =
+  (match Graphdb.Graph.make ~nodes:2 [ (0, "x", 5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range edge");
+  match Graphdb.Graph.make ~names:[| "only" |] ~nodes:2 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "names length mismatch"
+
+let test_rpq_single_symbol () =
+  Alcotest.check pairs "h edges" [ (0, 1); (1, 2) ] (Graphdb.Rpq.eval (dfa "h") g)
+
+let test_rpq_concatenation () =
+  Alcotest.check pairs "h.h" [ (0, 2) ] (Graphdb.Rpq.eval (dfa "h h") g)
+
+let test_rpq_star_and_union () =
+  (* h+ from 0 reaches 1 and 2. *)
+  Alcotest.check pairs "h+" [ (0, 1); (0, 2); (1, 2) ]
+    (Graphdb.Rpq.eval (dfa "h+") g);
+  (* ε is a path from every node to itself. *)
+  let with_eps = Graphdb.Rpq.eval (dfa "h*") g in
+  Alcotest.(check bool) "eps pairs present" true
+    (List.mem (0, 0) with_eps && List.mem (2, 2) with_eps)
+
+let test_rpq_cycles () =
+  (* r on the self-loop pumps: 1 -r-> 1 any number of times. *)
+  Alcotest.(check bool) "pumped loop" true
+    (Graphdb.Rpq.selects (dfa "r r r") g (1, 1));
+  (* h h f cycles back to 0. *)
+  Alcotest.(check bool) "cycle closes" true
+    (Graphdb.Rpq.selects (dfa "h h f") g (0, 0))
+
+let test_rpq_selects_negative () =
+  Alcotest.(check bool) "no f from 0" false (Graphdb.Rpq.selects (dfa "f") g (0, 2));
+  Alcotest.(check bool) "unknown label" false
+    (Graphdb.Rpq.selects (dfa "z") g (0, 1))
+
+let test_witness () =
+  Alcotest.(check (option (list string))) "witness h.h" (Some [ "h"; "h" ])
+    (Graphdb.Rpq.witness (dfa "h h") g ~src:0 ~dst:2);
+  Alcotest.(check (option (list string))) "no witness" None
+    (Graphdb.Rpq.witness (dfa "f") g ~src:0 ~dst:1);
+  (* Shortest witness preferred: h|h.h from 0 to 1 gives the single h. *)
+  Alcotest.(check (option (list string))) "shortest" (Some [ "h" ])
+    (Graphdb.Rpq.witness (dfa "h | h h") g ~src:0 ~dst:1)
+
+let test_paths_between () =
+  let ps = Graphdb.Rpq.paths_between g ~src:0 ~dst:2 ~max_len:2 in
+  let words = List.map snd ps |> List.sort compare in
+  Alcotest.(check (list (list string))) "two ways"
+    [ [ "h"; "h" ]; [ "r" ] ]
+    words
+
+let test_words_between_dedup () =
+  (* Both r-loop counts give distinct words, but duplicates collapse. *)
+  let ws = Graphdb.Rpq.words_between g ~src:0 ~dst:2 ~max_len:3 in
+  Alcotest.(check bool) "sorted distinct" true
+    (List.sort_uniq compare ws = ws)
+
+let test_geo_generator () =
+  let rng = Core.Prng.create 42 in
+  let geo = Graphdb.Generators.geo ~rng ~cities:15 () in
+  Alcotest.(check int) "city count" 15 (Graphdb.Graph.node_count geo);
+  Alcotest.(check string) "city names" "city0" (Graphdb.Graph.name geo 0);
+  let labels = Graphdb.Graph.labels geo in
+  Alcotest.(check bool) "has highways and roads" true
+    (List.mem "highway" labels && List.mem "road" labels);
+  (* The highway backbone is a two-way cycle: some pair connected both ways. *)
+  let hw = Graphdb.Rpq.eval (dfa "highway") geo in
+  Alcotest.(check bool) "bidirectional backbone" true
+    (List.exists (fun (u, v) -> List.mem (v, u) hw) hw)
+
+let test_geo_deterministic () =
+  let g1 = Graphdb.Generators.geo ~rng:(Core.Prng.create 1) ~cities:10 () in
+  let g2 = Graphdb.Generators.geo ~rng:(Core.Prng.create 1) ~cities:10 () in
+  Alcotest.(check bool) "same edges" true
+    (Graphdb.Graph.edges g1 = Graphdb.Graph.edges g2)
+
+let prop_eval_selects_agree =
+  QCheck.Test.make ~name:"eval and selects agree" ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let graph =
+        Graphdb.Generators.random ~rng ~nodes:6 ~edges:10
+          ~labels:[ "a"; "b" ]
+      in
+      let d = dfa "a b* | b a" in
+      let answers = Graphdb.Rpq.eval d graph in
+      List.for_all (fun p -> Graphdb.Rpq.selects d graph p) answers
+      &&
+      let all_pairs =
+        List.concat_map
+          (fun u -> List.init 6 (fun v -> (u, v)))
+          (List.init 6 Fun.id)
+      in
+      List.for_all
+        (fun p -> List.mem p answers = Graphdb.Rpq.selects d graph p)
+        all_pairs)
+
+let prop_witness_is_accepted_path =
+  QCheck.Test.make ~name:"witness spells an accepted connecting word"
+    ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let graph =
+        Graphdb.Generators.random ~rng ~nodes:5 ~edges:12 ~labels:[ "a"; "b" ]
+      in
+      let d = dfa "a+ b?" in
+      List.for_all
+        (fun (u, v) ->
+          match Graphdb.Rpq.witness d graph ~src:u ~dst:v with
+          | None -> false
+          | Some word ->
+              Automata.Dfa.accepts d word
+              && List.mem word
+                   (Graphdb.Rpq.words_between graph ~src:u ~dst:v
+                      ~max_len:(List.length word)))
+        (Graphdb.Rpq.eval d graph))
+
+let () =
+  Alcotest.run "graphdb"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+        ] );
+      ( "rpq",
+        [
+          Alcotest.test_case "single symbol" `Quick test_rpq_single_symbol;
+          Alcotest.test_case "concatenation" `Quick test_rpq_concatenation;
+          Alcotest.test_case "star and union" `Quick test_rpq_star_and_union;
+          Alcotest.test_case "cycles" `Quick test_rpq_cycles;
+          Alcotest.test_case "negatives" `Quick test_rpq_selects_negative;
+          Alcotest.test_case "witness" `Quick test_witness;
+          Alcotest.test_case "paths between" `Quick test_paths_between;
+          Alcotest.test_case "words dedup" `Quick test_words_between_dedup;
+          qcheck prop_eval_selects_agree;
+          qcheck prop_witness_is_accepted_path;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "geo" `Quick test_geo_generator;
+          Alcotest.test_case "deterministic" `Quick test_geo_deterministic;
+        ] );
+    ]

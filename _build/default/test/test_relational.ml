@@ -1,0 +1,245 @@
+(* Tests for the relational substrate: relations, join-like operators,
+   generators. *)
+
+open Relational
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tuple vs = Array.of_list (List.map Value.of_string vs)
+
+let r =
+  Relation.make ~name:"R" ~attrs:[ "city"; "country" ]
+    [
+      tuple [ "Lille"; "France" ];
+      tuple [ "Kyoto"; "Japan" ];
+      tuple [ "Paris"; "France" ];
+    ]
+
+let s =
+  Relation.make ~name:"S" ~attrs:[ "country"; "continent" ]
+    [
+      tuple [ "France"; "Europe" ];
+      tuple [ "Japan"; "Asia" ];
+      tuple [ "Kenya"; "Africa" ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Values and relations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.of_string "42" = Value.Int 42);
+  Alcotest.(check bool) "string" true (Value.of_string "x42" = Value.Str "x42");
+  Alcotest.(check bool) "int/string distinct" false
+    (Value.equal (Value.Int 1) (Value.Str "1"));
+  Alcotest.(check string) "to_string" "42" (Value.to_string (Value.Int 42))
+
+let test_relation_dedup () =
+  let rel =
+    Relation.make ~name:"T" ~attrs:[ "a" ]
+      [ tuple [ "1" ]; tuple [ "1" ]; tuple [ "2" ] ]
+  in
+  Alcotest.(check int) "duplicates removed" 2 (Relation.cardinal rel)
+
+let test_relation_arity_check () =
+  match Relation.make ~name:"T" ~attrs:[ "a"; "b" ] [ tuple [ "1" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let test_relation_duplicate_attrs () =
+  match Relation.make ~name:"T" ~attrs:[ "a"; "a" ] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate attributes must be rejected"
+
+let test_project () =
+  let p = Relation.project r [ "country" ] in
+  Alcotest.(check int) "dedup after projection" 2 (Relation.cardinal p);
+  Alcotest.(check bool) "contains France" true
+    (Relation.mem (tuple [ "France" ]) p)
+
+let test_union () =
+  let r2 =
+    Relation.make ~name:"R2" ~attrs:[ "city"; "country" ]
+      [ tuple [ "Lille"; "France" ]; tuple [ "Nairobi"; "Kenya" ] ]
+  in
+  Alcotest.(check int) "union dedups" 4
+    (Relation.cardinal (Relation.union r r2))
+
+let test_attr_index () =
+  Alcotest.(check (option int)) "country at 1" (Some 1)
+    (Relation.attr_index r "country");
+  Alcotest.(check (option int)) "unknown" None (Relation.attr_index r "zip")
+
+(* ------------------------------------------------------------------ *)
+(* Algebra                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_natural_predicate () =
+  Alcotest.(check (list (pair int int))) "shared country column" [ (1, 0) ]
+    (Algebra.natural_predicate r s)
+
+let test_natural_join () =
+  let j = Algebra.natural_join r s in
+  Alcotest.(check int) "three matches" 3 (Relation.cardinal j);
+  Alcotest.(check (list string)) "attributes"
+    [ "city"; "country"; "continent" ]
+    (Array.to_list (Relation.attrs j));
+  Alcotest.(check bool) "Lille row" true
+    (Relation.mem (tuple [ "Lille"; "France"; "Europe" ]) j)
+
+let test_equijoin_empty_predicate_is_product () =
+  let j = Algebra.equijoin r s [] in
+  Alcotest.(check int) "cartesian product" 9 (Relation.cardinal j)
+
+let test_equijoin_renames_clashes () =
+  let j = Algebra.equijoin r r [ (1, 1) ] in
+  Alcotest.(check (list string)) "clash renamed"
+    [ "city"; "country"; "R.city"; "R.country" ]
+    (Array.to_list (Relation.attrs j))
+
+let test_semijoin () =
+  let sj = Algebra.natural_semijoin r s in
+  Alcotest.(check int) "all three cities match" 3 (Relation.cardinal sj);
+  let s' =
+    Relation.make ~name:"S2" ~attrs:[ "country"; "continent" ]
+      [ tuple [ "Japan"; "Asia" ] ]
+  in
+  let sj2 = Algebra.natural_semijoin r s' in
+  Alcotest.(check int) "only Kyoto" 1 (Relation.cardinal sj2);
+  Alcotest.(check bool) "Kyoto survives" true
+    (Relation.mem (tuple [ "Kyoto"; "Japan" ]) sj2)
+
+let test_semijoin_keeps_left_attrs () =
+  let sj = Algebra.natural_semijoin r s in
+  Alcotest.(check (list string)) "left schema"
+    [ "city"; "country" ]
+    (Array.to_list (Relation.attrs sj))
+
+let test_chain_join () =
+  let r1 =
+    Relation.make ~name:"R1" ~attrs:[ "a"; "b" ]
+      [ tuple [ "1"; "2" ]; tuple [ "3"; "4" ] ]
+  in
+  let r2 =
+    Relation.make ~name:"R2" ~attrs:[ "c"; "d" ]
+      [ tuple [ "2"; "5" ]; tuple [ "4"; "6" ] ]
+  in
+  let r3 =
+    Relation.make ~name:"R3" ~attrs:[ "e" ] [ tuple [ "5" ]; tuple [ "9" ] ]
+  in
+  (* R1.b = R2.c, then R2.d = R3.e (link predicates use relation-local
+     positions; chain_join shifts them into the accumulated layout). *)
+  let j = Algebra.chain_join [ r1; r2; r3 ] [ [ (1, 0) ]; [ (1, 0) ] ] in
+  Alcotest.(check int) "single surviving chain" 1 (Relation.cardinal j);
+  Alcotest.(check bool) "the 1-2-5 chain" true
+    (Relation.mem (tuple [ "1"; "2"; "2"; "5"; "5" ]) j);
+  (* Degenerate chains. *)
+  (match Algebra.chain_join [] [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty chain rejected");
+  match Algebra.chain_join [ r1 ] [ [ (0, 0) ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "predicate count mismatch rejected"
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_parse () =
+  let rel = Csv.parse ~name:"t" "a,b\n1,x\n2,\"y,z\"\n" in
+  Alcotest.(check (list string)) "attrs" [ "a"; "b" ]
+    (Array.to_list (Relation.attrs rel));
+  Alcotest.(check int) "rows" 2 (Relation.cardinal rel);
+  Alcotest.(check bool) "quoted separator" true
+    (Relation.mem [| Value.Int 2; Value.Str "y,z" |] rel);
+  Alcotest.(check bool) "ints typed" true
+    (Relation.mem [| Value.Int 1; Value.Str "x" |] rel)
+
+let test_csv_quote_escape () =
+  let rel = Csv.parse ~name:"t" "a\n\"he said \"\"hi\"\"\"\n" in
+  Alcotest.(check bool) "inner quotes" true
+    (Relation.mem [| Value.Str {|he said "hi"|} |] rel)
+
+let test_csv_errors () =
+  (match Csv.parse ~name:"t" "" with
+  | exception Csv.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "empty input rejected");
+  (match Csv.parse ~name:"t" "a,b\n1\n" with
+  | exception Csv.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "ragged row rejected");
+  match Csv.parse ~name:"t" "a\n\"unterminated\n" with
+  | exception Csv.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "unbalanced quote rejected"
+
+let test_csv_roundtrip () =
+  let rel =
+    Relation.make ~name:"t" ~attrs:[ "name"; "note" ]
+      [
+        [| Value.Str "a,b"; Value.Str {|say "hi"|} |];
+        [| Value.Int 3; Value.Str "plain" |];
+      ]
+  in
+  let back = Csv.parse ~name:"t" (Csv.to_string rel) in
+  Alcotest.(check bool) "roundtrip" true (Relation.equal_contents rel back)
+
+let prop_semijoin_subset =
+  QCheck.Test.make ~name:"semijoin selects a subset of the left" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let inst = Generator.pair_instance ~rng () in
+      let sj = Algebra.semijoin inst.left inst.right inst.planted in
+      List.for_all (fun t -> Relation.mem t inst.left) (Relation.tuples sj))
+
+let prop_join_pairs_satisfy =
+  QCheck.Test.make ~name:"join pairs satisfy the predicate" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let inst = Generator.pair_instance ~rng () in
+      List.for_all
+        (fun (rt, st) -> Algebra.satisfies inst.planted rt st)
+        (Algebra.join_pairs inst.left inst.right inst.planted))
+
+let prop_planted_has_witnesses =
+  QCheck.Test.make ~name:"generator plants join witnesses" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let inst = Generator.pair_instance ~rng () in
+      Algebra.join_pairs inst.left inst.right inst.planted <> [])
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "value parse" `Quick test_value_parse;
+          Alcotest.test_case "dedup" `Quick test_relation_dedup;
+          Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+          Alcotest.test_case "duplicate attrs" `Quick test_relation_duplicate_attrs;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "attr index" `Quick test_attr_index;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "parse" `Quick test_csv_parse;
+          Alcotest.test_case "quote escape" `Quick test_csv_quote_escape;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "natural predicate" `Quick test_natural_predicate;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "empty predicate product" `Quick test_equijoin_empty_predicate_is_product;
+          Alcotest.test_case "clash renaming" `Quick test_equijoin_renames_clashes;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "semijoin schema" `Quick test_semijoin_keeps_left_attrs;
+          Alcotest.test_case "chain join" `Quick test_chain_join;
+          qcheck prop_semijoin_subset;
+          qcheck prop_join_pairs_satisfy;
+          qcheck prop_planted_has_witnesses;
+        ] );
+    ]

@@ -1,0 +1,621 @@
+(* Tests for disjunctive multiplicity schemas: expressions, validation,
+   containment, dependency graphs, inference. *)
+
+open Uschema
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let ms xs = Dme.Labels.of_list xs
+
+(* ------------------------------------------------------------------ *)
+(* Multiplicity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiplicity_satisfies () =
+  let open Multiplicity in
+  Alcotest.(check bool) "1 sat One" true (satisfies One 1);
+  Alcotest.(check bool) "0 not One" false (satisfies One 0);
+  Alcotest.(check bool) "2 not One" false (satisfies One 2);
+  Alcotest.(check bool) "0 sat Opt" true (satisfies Opt 0);
+  Alcotest.(check bool) "2 not Opt" false (satisfies Opt 2);
+  Alcotest.(check bool) "5 sat Plus" true (satisfies Plus 5);
+  Alcotest.(check bool) "0 not Plus" false (satisfies Plus 0);
+  Alcotest.(check bool) "0 sat Star" true (satisfies Star 0)
+
+let test_multiplicity_leq () =
+  let open Multiplicity in
+  Alcotest.(check bool) "One ≤ Opt" true (leq One Opt);
+  Alcotest.(check bool) "One ≤ Plus" true (leq One Plus);
+  Alcotest.(check bool) "One ≤ Star" true (leq One Star);
+  Alcotest.(check bool) "Opt ≤ Star" true (leq Opt Star);
+  Alcotest.(check bool) "Plus ≤ Star" true (leq Plus Star);
+  Alcotest.(check bool) "Opt ≰ One" false (leq Opt One);
+  Alcotest.(check bool) "Star ≰ Plus" false (leq Star Plus);
+  Alcotest.(check bool) "Plus ≰ Opt" false (leq Plus Opt)
+
+let test_multiplicity_of_counts () =
+  let open Multiplicity in
+  Alcotest.(check bool) "1,1 -> One" true (of_counts ~lo:1 ~hi:1 = One);
+  Alcotest.(check bool) "0,1 -> Opt" true (of_counts ~lo:0 ~hi:1 = Opt);
+  Alcotest.(check bool) "1,3 -> Plus" true (of_counts ~lo:1 ~hi:3 = Plus);
+  Alcotest.(check bool) "0,5 -> Star" true (of_counts ~lo:0 ~hi:5 = Star)
+
+(* ------------------------------------------------------------------ *)
+(* DME                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dme_parse_pp () =
+  let e = Dme.parse "name price? bidder* | closed" in
+  Alcotest.(check int) "two clauses" 2 (List.length e);
+  Alcotest.(check string) "roundtrip" "bidder* name price? | closed"
+    (Dme.to_string e);
+  let eps = Dme.parse "eps" in
+  Alcotest.(check bool) "eps" true (Dme.satisfies eps (ms []))
+
+let test_dme_satisfies () =
+  let e = Dme.parse "a b? c*" in
+  Alcotest.(check bool) "minimal" true (Dme.satisfies e (ms [ "a" ]));
+  Alcotest.(check bool) "full" true (Dme.satisfies e (ms [ "a"; "b"; "c"; "c" ]));
+  Alcotest.(check bool) "missing a" false (Dme.satisfies e (ms [ "b" ]));
+  Alcotest.(check bool) "two b" false (Dme.satisfies e (ms [ "a"; "b"; "b" ]));
+  Alcotest.(check bool) "foreign label" false (Dme.satisfies e (ms [ "a"; "z" ]))
+
+let test_dme_disjunction () =
+  let e = Dme.parse "text | parlist" in
+  Alcotest.(check bool) "left" true (Dme.satisfies e (ms [ "text" ]));
+  Alcotest.(check bool) "right" true (Dme.satisfies e (ms [ "parlist" ]));
+  Alcotest.(check bool) "both" false
+    (Dme.satisfies e (ms [ "text"; "parlist" ]));
+  Alcotest.(check bool) "neither" false (Dme.satisfies e (ms []))
+
+let test_dme_duplicate_label_rejected () =
+  match Dme.clause [ ("a", Multiplicity.One); ("a", Multiplicity.Star) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate labels must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let leq s1 s2 = Containment.dme_leq (Dme.parse s1) (Dme.parse s2)
+
+let test_containment_basic () =
+  Alcotest.(check bool) "refl" true (leq "a b?" "a b?");
+  Alcotest.(check bool) "One ⊆ Plus" true (leq "a" "a+");
+  Alcotest.(check bool) "a ⊆ a b*" true (leq "a" "a b*");
+  Alcotest.(check bool) "a b ⊄ a" false (leq "a b" "a");
+  Alcotest.(check bool) "a+ ⊄ a" false (leq "a+" "a");
+  Alcotest.(check bool) "clause into disjunction" true (leq "a" "a | b");
+  Alcotest.(check bool) "disjunction into star" true (leq "a | a? b?" "a* b*")
+
+let test_containment_union_coverage () =
+  (* a* is covered by the union a? | a+ even though neither clause alone
+     contains it — the case a single-clause inclusion check gets wrong. *)
+  Alcotest.(check bool) "a* ⊆ a? | a+" true (leq "a*" "a? | a+");
+  Alcotest.(check bool) "a? | a+ ⊆ a*" true (leq "a? | a+" "a*");
+  Alcotest.(check bool) "a* ⊄ a? | a+ b" false (leq "a*" "a? | a+ b")
+
+let test_counterexample () =
+  (match Containment.counterexample (Dme.parse "a*") (Dme.parse "a?") with
+  | Some w ->
+      Alcotest.(check bool) "cex satisfies e1" true
+        (Dme.satisfies (Dme.parse "a*") w);
+      Alcotest.(check bool) "cex violates e2" false
+        (Dme.satisfies (Dme.parse "a?") w)
+  | None -> Alcotest.fail "a* ⊄ a?");
+  Alcotest.(check bool) "no cex when contained" true
+    (Containment.counterexample (Dme.parse "a") (Dme.parse "a?") = None)
+
+(* Random DMEs over a 3-letter alphabet: the grid procedure agrees with
+   brute-force enumeration of multisets with counts ≤ 3. *)
+let gen_dme =
+  let open QCheck.Gen in
+  let mult = oneofl Multiplicity.[ One; Opt; Plus; Star ] in
+  let clause =
+    let* present = list_size (0 -- 3) (oneofl [ "a"; "b"; "c" ]) in
+    let labels = List.sort_uniq compare present in
+    let* mults = list_repeat (List.length labels) mult in
+    return (Dme.clause (List.combine labels mults))
+  in
+  map Dme.make (list_size (1 -- 3) clause)
+
+let arbitrary_dme = QCheck.make ~print:Dme.to_string gen_dme
+
+let all_small_multisets =
+  let counts = [ 0; 1; 2; 3 ] in
+  List.concat_map
+    (fun ca ->
+      List.concat_map
+        (fun cb ->
+          List.map
+            (fun cc ->
+              Dme.Labels.(
+                add ~count:ca "a" (add ~count:cb "b" (add ~count:cc "c" empty))))
+            counts)
+        counts)
+    counts
+
+let prop_containment_vs_bruteforce =
+  QCheck.Test.make ~name:"dme_leq agrees with brute force" ~count:300
+    (QCheck.pair arbitrary_dme arbitrary_dme)
+    (fun (e1, e2) ->
+      let brute =
+        List.for_all
+          (fun w -> (not (Dme.satisfies e1 w)) || Dme.satisfies e2 w)
+          all_small_multisets
+      in
+      Containment.dme_leq e1 e2 = brute)
+
+let prop_counterexample_is_valid =
+  QCheck.Test.make ~name:"counterexample is a real witness" ~count:300
+    (QCheck.pair arbitrary_dme arbitrary_dme)
+    (fun (e1, e2) ->
+      match Containment.counterexample e1 e2 with
+      | None -> true
+      | Some w -> Dme.satisfies e1 w && not (Dme.satisfies e2 w))
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let library_schema =
+  Schema.make ~root:"library"
+    ~rules:
+      [
+        ("library", Dme.parse "book+");
+        ("book", Dme.parse "title author+ year?");
+      ]
+
+let test_validate_ok () =
+  let doc =
+    Xmltree.Parse.term "library(book(title,author),book(title,author,author,year))"
+  in
+  Alcotest.(check bool) "valid" true (Schema.valid library_schema doc)
+
+let test_validate_violations () =
+  let doc = Xmltree.Parse.term "library(book(title),book(title,author))" in
+  match Schema.validate library_schema doc with
+  | Ok () -> Alcotest.fail "missing author must be reported"
+  | Error vs ->
+      Alcotest.(check int) "one violation" 1 (List.length vs);
+      let v = List.hd vs in
+      Alcotest.(check string) "at the book" "book" v.label
+
+let test_validate_wrong_root () =
+  let doc = Xmltree.Parse.term "shelf(book(title,author))" in
+  Alcotest.(check bool) "wrong root" false (Schema.valid library_schema doc)
+
+let test_validate_leaf_label () =
+  (* A label without a rule admits no element children. *)
+  let doc = Xmltree.Parse.term "library(book(title(subtitle),author))" in
+  Alcotest.(check bool) "title must be a leaf" false
+    (Schema.valid library_schema doc);
+  let with_text = Xmltree.Parse.term "library(book(title(#T),author))" in
+  Alcotest.(check bool) "text children are fine" true
+    (Schema.valid library_schema with_text)
+
+let test_schema_parse_roundtrip () =
+  let text = "root: library\nlibrary -> book+\nbook -> author+ title year?" in
+  let s = Schema.parse text in
+  Alcotest.(check string) "root" "library" (Schema.root s);
+  let s2 = Schema.parse (Schema.to_string s) in
+  Alcotest.(check bool) "roundtrip equivalent" true
+    (Containment.schema_equiv s s2);
+  (* Comments and blank lines are skipped. *)
+  let s3 = Schema.parse ("# a comment\n\n" ^ text) in
+  Alcotest.(check bool) "comments skipped" true (Containment.schema_equiv s s3);
+  match Schema.parse "library -> book" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing root line must be rejected"
+
+let test_schema_containment () =
+  let s1 =
+    Schema.make ~root:"library"
+      ~rules:[ ("library", Dme.parse "book+"); ("book", Dme.parse "title author") ]
+  in
+  Alcotest.(check bool) "s1 ⊆ library_schema" true
+    (Containment.schema_leq s1 library_schema);
+  Alcotest.(check bool) "library_schema ⊄ s1" false
+    (Containment.schema_leq library_schema s1);
+  Alcotest.(check bool) "equiv self" true
+    (Containment.schema_equiv library_schema library_schema)
+
+let test_schema_productive_reachable () =
+  let s =
+    Schema.make ~root:"r"
+      ~rules:
+        [
+          ("r", Dme.parse "a | b");
+          ("a", Dme.parse "a");  (* requires itself: not productive *)
+          ("b", Dme.parse "eps");
+          ("z", Dme.parse "eps");  (* not reachable *)
+        ]
+  in
+  Alcotest.(check bool) "a not productive" true
+    (not (List.mem "a" (Schema.productive s)));
+  Alcotest.(check bool) "b productive" true (List.mem "b" (Schema.productive s));
+  Alcotest.(check bool) "z not reachable" true
+    (not (List.mem "z" (Schema.reachable s)));
+  Alcotest.(check bool) "a reachable" true (List.mem "a" (Schema.reachable s))
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graphs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let auction_graph = Depgraph.of_schema Benchkit.Xmark.schema
+
+let test_depgraph_edges () =
+  Alcotest.(check bool) "possible site->regions" true
+    (List.mem ("site", "regions") (Depgraph.possible_edges auction_graph));
+  Alcotest.(check bool) "required item->location" true
+    (Depgraph.label_implied auction_graph ~at:"item" ~child:"location");
+  Alcotest.(check bool) "mailbox optional" false
+    (Depgraph.label_implied auction_graph ~at:"item" ~child:"mailbox")
+
+let test_satisfiable () =
+  let sat s = Depgraph.satisfiable auction_graph (Twig.Parse.query s) in
+  Alcotest.(check bool) "item path" true (sat "/site/regions/africa/item");
+  Alcotest.(check bool) "descendant keyword" true (sat "//keyword");
+  Alcotest.(check bool) "wrong nesting" false (sat "/site/people/item");
+  Alcotest.(check bool) "unknown label" false (sat "//spaceship");
+  Alcotest.(check bool) "filter satisfiable" true
+    (sat "//person[address/city]");
+  Alcotest.(check bool) "filter unsatisfiable" false
+    (sat "//person[address/keyword]")
+
+let test_filter_implied () =
+  let fe s =
+    match (Twig.Parse.query ("//x" ^ s) : Twig.Query.t) with
+    | [ { filters = [ e ]; _ } ] -> e
+    | _ -> Alcotest.fail "unexpected filter parse"
+  in
+  Alcotest.(check bool) "location required of item" true
+    (Depgraph.filter_implied auction_graph ~at:"item" (fe "[location]"));
+  Alcotest.(check bool) "mailbox not implied" false
+    (Depgraph.filter_implied auction_graph ~at:"item" (fe "[mailbox]"));
+  Alcotest.(check bool) "deep required chain" true
+    (Depgraph.filter_implied auction_graph ~at:"closed_auction"
+       (fe "[seller/@person]"));
+  (* The disjunction-aware case: every description has a text descendant,
+     through either clause. *)
+  Alcotest.(check bool) "guaranteed through disjunction" true
+    (Depgraph.filter_implied auction_graph ~at:"description" (fe "[.//text]"));
+  Alcotest.(check bool) "text not a required child" false
+    (Depgraph.filter_implied auction_graph ~at:"description" (fe "[text]"));
+  Alcotest.(check bool) "keyword not guaranteed" false
+    (Depgraph.filter_implied auction_graph ~at:"description" (fe "[.//keyword]"))
+
+(* ------------------------------------------------------------------ *)
+(* Inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_infer_simple () =
+  let docs =
+    [
+      Xmltree.Parse.term "library(book(title,author))";
+      Xmltree.Parse.term "library(book(title,author,author,year),book(title,author))";
+    ]
+  in
+  match Infer.infer docs with
+  | None -> Alcotest.fail "inference must succeed"
+  | Some s ->
+      List.iter
+        (fun d -> Alcotest.(check bool) "validates input" true (Schema.valid s d))
+        docs;
+      Alcotest.(check bool) "author generalized to +" true
+        (Containment.dme_leq (Dme.parse "author+ title year?") (Schema.rule s "book"))
+
+let test_infer_disjunction () =
+  let docs =
+    [
+      Xmltree.Parse.term "d(text)";
+      Xmltree.Parse.term "d(parlist)";
+    ]
+  in
+  match Infer.infer docs with
+  | None -> Alcotest.fail "inference must succeed"
+  | Some s ->
+      Alcotest.(check bool) "keeps the disjunction" true
+        (Containment.dme_equiv (Dme.parse "text | parlist") (Schema.rule s "d"))
+
+let test_infer_absorbs_subset_support () =
+  (* Supports {a} ⊂ {a,b} merge into one clause with optional b. *)
+  let docs = [ Xmltree.Parse.term "r(a)"; Xmltree.Parse.term "r(a,b)" ] in
+  match Infer.infer docs with
+  | None -> Alcotest.fail "inference must succeed"
+  | Some s ->
+      Alcotest.(check bool) "single clause a b?" true
+        (Containment.dme_equiv (Dme.parse "a b?") (Schema.rule s "r"))
+
+let test_infer_root_mismatch () =
+  Alcotest.(check bool) "roots disagree" true
+    (Infer.infer [ Xmltree.Parse.term "a"; Xmltree.Parse.term "b" ] = None);
+  Alcotest.(check bool) "empty input" true (Infer.infer [] = None)
+
+let test_infer_disjunction_free () =
+  let docs = [ Xmltree.Parse.term "d(text)"; Xmltree.Parse.term "d(parlist)" ] in
+  match Infer.infer_disjunction_free docs with
+  | None -> Alcotest.fail "inference must succeed"
+  | Some s ->
+      Alcotest.(check bool) "single clause" true (Schema.disjunction_free s);
+      List.iter
+        (fun d -> Alcotest.(check bool) "still validates" true (Schema.valid s d))
+        docs
+
+let test_infer_in_the_limit () =
+  (* Stream documents of a hidden schema; the inferred schema converges to
+     an equivalent one (E9 in miniature). *)
+  let hidden =
+    Schema.make ~root:"r"
+      ~rules:[ ("r", Dme.parse "a+ b?"); ("a", Dme.parse "c | d") ]
+  in
+  let stream =
+    [
+      Xmltree.Parse.term "r(a(c))";
+      Xmltree.Parse.term "r(a(d),b)";
+      Xmltree.Parse.term "r(a(c),a(d),a(c))";
+      Xmltree.Parse.term "r(a(d),a(c),b)";
+    ]
+  in
+  let learn docs = Infer.infer docs in
+  let verdict =
+    Core.Limit.run ~learn
+      ~equiv:(fun s1 s2 -> Containment.schema_equiv s1 s2)
+      ~target:hidden ~stream
+  in
+  Alcotest.(check bool) "converges" true (Core.Limit.converged verdict)
+
+let prop_inferred_validates_inputs =
+  let gen_doc =
+    let open QCheck.Gen in
+    let leaf = oneofl [ "x"; "y" ] in
+    let mid = list_size (1 -- 3) (map Xmltree.Tree.leaf leaf) in
+    map (fun kids -> Xmltree.Tree.node "root" kids)
+      (list_size (0 -- 4) (map (Xmltree.Tree.node "e") mid))
+  in
+  QCheck.Test.make ~name:"inferred schema validates its sample" ~count:200
+    (QCheck.make ~print:(fun ds -> String.concat ";" (List.map Xmltree.Tree.to_string ds))
+       QCheck.Gen.(list_size (1 -- 4) gen_doc))
+    (fun docs ->
+      match Infer.infer docs with
+      | None -> false
+      | Some s -> List.for_all (Schema.valid s) docs)
+
+(* ------------------------------------------------------------------ *)
+(* Ordered DTDs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let library_dtd =
+  Dtd.make ~root:"library"
+    ~rules:
+      [
+        ("library", Automata.Regex.parse "book+");
+        ("book", Automata.Regex.parse "title author+ year?");
+      ]
+
+let test_dtd_validate () =
+  let ok = Xmltree.Parse.term "library(book(title,author,author,year))" in
+  Alcotest.(check bool) "ordered ok" true (Dtd.valid library_dtd ok);
+  (* The same children out of order: rejected by the DTD... *)
+  let reordered = Xmltree.Parse.term "library(book(author,title))" in
+  Alcotest.(check bool) "order matters" false (Dtd.valid library_dtd reordered);
+  (* ... but accepted by the corresponding DMS. *)
+  Alcotest.(check bool) "unordered schema accepts" true
+    (Schema.valid library_schema reordered)
+
+let test_dtd_violations () =
+  let bad = Xmltree.Parse.term "library(book(title))" in
+  match Dtd.validate library_dtd bad with
+  | Ok () -> Alcotest.fail "missing author must be reported"
+  | Error [ v ] -> Alcotest.(check string) "at book" "book" v.label
+  | Error _ -> Alcotest.fail "single violation expected"
+
+let test_dtd_rule_leq () =
+  let r = Automata.Regex.parse in
+  Alcotest.(check bool) "a ⊆ a|b" true (Dtd.rule_leq (r "a") (r "a | b"));
+  Alcotest.(check bool) "a+ ⊆ a*" true (Dtd.rule_leq (r "a+") (r "a*"));
+  Alcotest.(check bool) "a* ⊄ a+" false (Dtd.rule_leq (r "a*") (r "a+"));
+  Alcotest.(check bool) "alphabet escape" false
+    (Dtd.rule_leq (r "a c?") (r "a | b"));
+  Alcotest.(check bool) "unordered vs ordered" false
+    (Dtd.rule_leq (r "a b | b a") (r "a b"))
+
+let test_dtd_containment () =
+  let d1 =
+    Dtd.make ~root:"library"
+      ~rules:
+        [
+          ("library", Automata.Regex.parse "book");
+          ("book", Automata.Regex.parse "title author");
+        ]
+  in
+  Alcotest.(check bool) "d1 ⊆ library_dtd" true (Dtd.leq d1 library_dtd);
+  Alcotest.(check bool) "library_dtd ⊄ d1" false (Dtd.leq library_dtd d1);
+  Alcotest.(check bool) "equiv self" true (Dtd.equiv library_dtd library_dtd)
+
+let test_xmark_dtd_agrees_with_dms () =
+  List.iter
+    (fun seed ->
+      let doc = Benchkit.Xmark.generate ~seed () in
+      Alcotest.(check bool) "DTD accepts generated" true
+        (Dtd.valid Benchkit.Xmark.dtd doc);
+      Alcotest.(check bool) "DMS accepts generated" true
+        (Schema.valid Benchkit.Xmark.schema doc);
+      (* Permuted siblings: only the unordered schema keeps accepting. *)
+      let rng = Core.Prng.create seed in
+      let permuted = Benchkit.Mutate.permute_children rng doc in
+      Alcotest.(check bool) "DMS accepts permuted" true
+        (Schema.valid Benchkit.Xmark.schema permuted))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Random valid documents                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_docgen_validates () =
+  List.iter
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      match Docgen.generate ~rng Benchkit.Xmark.schema with
+      | None -> Alcotest.fail "the XMark schema is productive"
+      | Some doc ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d validates" seed)
+            true
+            (Schema.valid Benchkit.Xmark.schema doc))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_docgen_recursive_schema_terminates () =
+  (* a → a? b: unboundedly deep valid trees exist; the generator must stop
+     at the cap and still be valid. *)
+  let s =
+    Schema.make ~root:"a" ~rules:[ ("a", Dme.parse "a? b") ]
+  in
+  let rng = Core.Prng.create 7 in
+  match Docgen.generate ~rng ~max_depth:5 s with
+  | None -> Alcotest.fail "productive"
+  | Some doc ->
+      Alcotest.(check bool) "valid" true (Schema.valid s doc);
+      Alcotest.(check bool) "depth bounded" true (Xmltree.Tree.depth doc <= 6)
+
+let test_docgen_unproductive () =
+  let s = Schema.make ~root:"a" ~rules:[ ("a", Dme.parse "a") ] in
+  let rng = Core.Prng.create 1 in
+  Alcotest.(check bool) "no finite document" true
+    (Docgen.generate ~rng s = None)
+
+let prop_docgen_always_valid =
+  QCheck.Test.make ~name:"generated documents validate" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let rng = Core.Prng.create seed in
+      let s =
+        Schema.make ~root:"r"
+          ~rules:
+            [
+              ("r", Dme.parse "a+ b?");
+              ("a", Dme.parse "c | d e*");
+              ("d", Dme.parse "a? | c+");
+            ]
+      in
+      match Docgen.generate ~rng ~max_depth:6 s with
+      | None -> false
+      | Some doc -> Schema.valid s doc)
+
+(* ------------------------------------------------------------------ *)
+(* Containment in the presence of a schema                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_qcontain_vacuous () =
+  let g = Depgraph.of_schema Benchkit.Xmark.schema in
+  let q1 = Twig.Parse.query "/site/people/item" in
+  Alcotest.(check bool) "unsatisfiable side is contained" true
+    (Qcontain.contained_wrt g q1 (Twig.Parse.query "//keyword") = `Yes)
+
+let test_qcontain_absolute () =
+  let g = Depgraph.of_schema Benchkit.Xmark.schema in
+  Alcotest.(check bool) "absolute containment lifts" true
+    (Qcontain.contained_wrt g
+       (Twig.Parse.query "/site/people/person/name")
+       (Twig.Parse.query "//name")
+    = `Yes)
+
+let test_qcontain_schema_only () =
+  (* [location] is implied at item: the queries differ only by an implied
+     filter, so they are equivalent w.r.t. the schema though incomparable
+     absolutely. *)
+  let g = Depgraph.of_schema Benchkit.Xmark.schema in
+  let with_f = Twig.Parse.query "//item[location]/name" in
+  let without = Twig.Parse.query "//item/name" in
+  Alcotest.(check bool) "not absolutely contained" false
+    (Twig.Contain.subsumed without with_f);
+  Alcotest.(check bool) "equivalent wrt schema" true
+    (Qcontain.equivalent_wrt g with_f without = `Yes)
+
+let test_qcontain_refuted () =
+  let g = Depgraph.of_schema Benchkit.Xmark.schema in
+  let q1 = Twig.Parse.query "//item/name" in
+  let q2 = Twig.Parse.query "//item[mailbox]/name" in
+  match Qcontain.contained_wrt g q1 q2 with
+  | `No doc ->
+      Alcotest.(check bool) "witness is valid" true
+        (Schema.valid Benchkit.Xmark.schema doc);
+      let a1 = Twig.Eval.select q1 doc and a2 = Twig.Eval.select q2 doc in
+      Alcotest.(check bool) "witness distinguishes" true
+        (List.exists (fun p -> not (List.mem p a2)) a1)
+  | `Yes -> Alcotest.fail "mailbox is optional: containment must fail"
+  | `Unknown -> Alcotest.fail "a counterexample should be easy to sample"
+
+let () =
+  Alcotest.run "uschema"
+    [
+      ( "multiplicity",
+        [
+          Alcotest.test_case "satisfies" `Quick test_multiplicity_satisfies;
+          Alcotest.test_case "leq" `Quick test_multiplicity_leq;
+          Alcotest.test_case "of_counts" `Quick test_multiplicity_of_counts;
+        ] );
+      ( "dme",
+        [
+          Alcotest.test_case "parse/pp" `Quick test_dme_parse_pp;
+          Alcotest.test_case "satisfies" `Quick test_dme_satisfies;
+          Alcotest.test_case "disjunction" `Quick test_dme_disjunction;
+          Alcotest.test_case "duplicate labels" `Quick test_dme_duplicate_label_rejected;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "basic" `Quick test_containment_basic;
+          Alcotest.test_case "union coverage" `Quick test_containment_union_coverage;
+          Alcotest.test_case "counterexample" `Quick test_counterexample;
+          qcheck prop_containment_vs_bruteforce;
+          qcheck prop_counterexample_is_valid;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "violations" `Quick test_validate_violations;
+          Alcotest.test_case "wrong root" `Quick test_validate_wrong_root;
+          Alcotest.test_case "leaf labels" `Quick test_validate_leaf_label;
+          Alcotest.test_case "parse roundtrip" `Quick test_schema_parse_roundtrip;
+          Alcotest.test_case "containment" `Quick test_schema_containment;
+          Alcotest.test_case "productive/reachable" `Quick test_schema_productive_reachable;
+        ] );
+      ( "depgraph",
+        [
+          Alcotest.test_case "edges" `Quick test_depgraph_edges;
+          Alcotest.test_case "satisfiable" `Quick test_satisfiable;
+          Alcotest.test_case "filter implied" `Quick test_filter_implied;
+        ] );
+      ( "dtd",
+        [
+          Alcotest.test_case "validate" `Quick test_dtd_validate;
+          Alcotest.test_case "violations" `Quick test_dtd_violations;
+          Alcotest.test_case "rule containment" `Quick test_dtd_rule_leq;
+          Alcotest.test_case "dtd containment" `Quick test_dtd_containment;
+          Alcotest.test_case "xmark dtd vs dms" `Quick test_xmark_dtd_agrees_with_dms;
+        ] );
+      ( "docgen",
+        [
+          Alcotest.test_case "validates" `Quick test_docgen_validates;
+          Alcotest.test_case "recursive terminates" `Quick test_docgen_recursive_schema_terminates;
+          Alcotest.test_case "unproductive" `Quick test_docgen_unproductive;
+          qcheck prop_docgen_always_valid;
+        ] );
+      ( "qcontain",
+        [
+          Alcotest.test_case "vacuous" `Quick test_qcontain_vacuous;
+          Alcotest.test_case "absolute lifts" `Quick test_qcontain_absolute;
+          Alcotest.test_case "schema-only equivalence" `Quick test_qcontain_schema_only;
+          Alcotest.test_case "refutation with witness" `Quick test_qcontain_refuted;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "simple" `Quick test_infer_simple;
+          Alcotest.test_case "disjunction" `Quick test_infer_disjunction;
+          Alcotest.test_case "absorbs subset support" `Quick test_infer_absorbs_subset_support;
+          Alcotest.test_case "root mismatch" `Quick test_infer_root_mismatch;
+          Alcotest.test_case "disjunction-free" `Quick test_infer_disjunction_free;
+          Alcotest.test_case "in the limit" `Quick test_infer_in_the_limit;
+          qcheck prop_inferred_validates_inputs;
+        ] );
+    ]
