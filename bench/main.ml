@@ -3,23 +3,59 @@
    Usage:
      dune exec bench/main.exe               # all experiments + micro-benches
      dune exec bench/main.exe -- e3 e5      # selected experiments
-     dune exec bench/main.exe -- micro      # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro      # micro-benchmarks only
+
+   A wall-clock budget for the whole run can be set with --timeout SECS or
+   the LEARNQ_TIMEOUT environment variable; experiments still pending when
+   it runs out are skipped (reported on stderr), so a CI lane can cap the
+   harness without killing it. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1 .. e17 | micro]...";
+  print_endline "usage: main.exe [--timeout SECS] [e1 .. e17 | micro]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
+  print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let env_timeout =
+    match Sys.getenv_opt "LEARNQ_TIMEOUT" with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t > 0.0 -> Some t
+        | _ ->
+            prerr_endline "LEARNQ_TIMEOUT must be a positive number of seconds";
+            exit 64)
+  in
+  let rec split_args timeout acc = function
+    | "--timeout" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0.0 -> split_args (Some t) acc rest
+        | _ -> usage ())
+    | [ "--timeout" ] -> usage ()
+    | a :: rest -> split_args timeout (a :: acc) rest
+    | [] -> (timeout, List.rev acc)
+  in
+  let timeout, names = split_args env_timeout [] args in
+  let budget = Core.Budget.create ?timeout () in
+  let guarded name f =
+    if Core.Budget.exhausted budget then
+      Printf.eprintf "skipping %s: the time budget ran out\n%!" name
+    else
+      match f () with
+      | () -> ()
+      | exception Core.Budget.Out_of_budget ->
+          Printf.eprintf "%s interrupted: the time budget ran out\n%!" name
+  in
   let run_experiment name =
     match List.assoc_opt name Experiments.all with
-    | Some f -> f ()
-    | None -> if name = "micro" then Micro.run () else usage ()
+    | Some f -> guarded name f
+    | None -> if name = "micro" then guarded "micro" Micro.run else usage ()
   in
-  match args with
+  match names with
   | [] ->
-      List.iter (fun (_, f) -> f ()) Experiments.all;
-      Micro.run ()
+      List.iter (fun (name, f) -> guarded name f) Experiments.all;
+      guarded "micro" Micro.run
   | names -> List.iter run_experiment names

@@ -15,12 +15,46 @@ open Cmdliner
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_doc path = Xmltree.Parse.xml (read_file path)
+(* Structured failure: print the error, exit with its conventional code
+   (64 bad input, 3 budget exhausted) — never a backtrace. *)
+let or_die = function
+  | Ok v -> v
+  | Error err ->
+      Printf.eprintf "learnq: %s\n" (Core.Error.to_string err);
+      exit (Core.Error.exit_code err)
+
+let load_doc path = or_die (Xmltree.Parse.xml_result ~source:path (read_file path))
+
+(* ------------------------------------------------------------------ *)
+(* Shared resource-budget flags                                        *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds.  When it runs out the learner \
+           degrades to a polynomial approximation (exit code 2) or, with \
+           nothing to show, exits 3.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Step budget: the number of candidate/configuration expansions the \
+           engines may spend before degrading.")
+
+let budget_term =
+  let make timeout fuel = Core.Budget.create ?fuel ?timeout () in
+  Term.(const make $ timeout_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* xmark                                                               *)
@@ -59,7 +93,7 @@ let schema_arg =
 
 let load_schema = function
   | None -> Benchkit.Xmark.schema
-  | Some path -> Uschema.Schema.parse (read_file path)
+  | Some path -> or_die (Uschema.Schema.parse_result ~source:path (read_file path))
 
 let validate_cmd =
   let run schema_file files =
@@ -93,8 +127,8 @@ let schema_contain_cmd =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEMA2")
   in
   let run p1 p2 =
-    let s1 = Uschema.Schema.parse (read_file p1) in
-    let s2 = Uschema.Schema.parse (read_file p2) in
+    let s1 = or_die (Uschema.Schema.parse_result ~source:p1 (read_file p1)) in
+    let s2 = or_die (Uschema.Schema.parse_result ~source:p2 (read_file p2)) in
     let leq12 = Uschema.Containment.schema_leq s1 s2 in
     let leq21 = Uschema.Containment.schema_leq s2 s1 in
     Printf.printf "%s <= %s: %b\n%s <= %s: %b\n" p1 p2 leq12 p2 p1 leq21;
@@ -179,46 +213,139 @@ let learn_twig_cmd =
       & info [ "xmark-schema" ]
           ~doc:"Prune filters implied by the XMark schema from the result.")
   in
-  let run files selects goal with_schema =
-    let docs = List.map load_doc files in
-    let examples =
-      match goal with
-      | Some xpath -> (
-          match Twig.Parse.query_opt xpath with
-          | None ->
-              prerr_endline ("not a twig query: " ^ xpath);
-              exit 1
-          | Some q ->
-              List.filter_map
-                (fun d ->
-                  match Twig.Eval.select q d with
-                  | p :: _ -> Some (Xmltree.Annotated.make d p)
-                  | [] -> None)
-                docs)
-      | None ->
-          if List.length selects <> List.length docs then begin
-            prerr_endline "need exactly one --select per FILE (or --goal)";
-            exit 1
-          end;
-          List.map2
-            (fun d s -> Xmltree.Annotated.make d (parse_path s))
-            docs selects
-    in
-    match Twiglearn.Positive.learn_positive examples with
+  let exact =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "exact" ] ~docv:"SIZE"
+          ~doc:
+            "Run the exact bounded consistency search over twigs of at most \
+             $(docv) pattern nodes (NP-complete; requires --goal, which also \
+             provides negative examples).  Under --timeout/--fuel the search \
+             degrades to the anchored, then the approximate learner.")
+  in
+  (* Positive and negative annotations drawn from the goal: selected nodes,
+     and as negatives the hard look-alikes — nodes carrying the same label as
+     a selected node without being selected (the sample an annotator marking
+     near-misses would produce). *)
+  let goal_examples ~per_doc q docs =
+    List.concat_map
+      (fun d ->
+        let selected = Twig.Eval.select q d in
+        let target_labels =
+          List.filter_map
+            (fun p ->
+              Option.map
+                (fun (n : Xmltree.Tree.t) -> n.label)
+                (Xmltree.Tree.node_at d p))
+            selected
+          |> List.sort_uniq compare
+        in
+        let pos =
+          List.filteri (fun i _ -> i < per_doc) selected
+          |> List.map (fun p ->
+                 Core.Example.positive (Xmltree.Annotated.make d p))
+        in
+        let pos_depths = List.map List.length selected in
+        let neg =
+          List.concat_map (Xmltree.Tree.paths_with_label d) target_labels
+          |> List.filter (fun p -> not (List.mem p selected))
+          (* Same-depth look-alikes first: they are the negatives a trivial
+             depth-k query cannot shake off. *)
+          |> List.stable_sort (fun a b ->
+                 let hard p = List.mem (List.length p) pos_depths in
+                 compare (not (hard a)) (not (hard b)))
+          |> List.filteri (fun i _ -> i < per_doc)
+          |> List.map (fun p ->
+                 Core.Example.negative (Xmltree.Annotated.make d p))
+        in
+        pos @ neg)
+      docs
+  in
+  let run_exact budget max_size goal docs =
+    match goal with
     | None ->
-        prerr_endline "no anchored twig is consistent with the annotations";
-        exit 1
-    | Some learned ->
-        Format.printf "learned: %a@." Twig.Query.pp learned;
-        if with_schema then
-          Format.printf "pruned:  %a@." Twig.Query.pp
-            (Twiglearn.Schema_aware.prune
-               (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
-               learned)
+        or_die
+          (Error (Core.Error.invalid_input ~what:"--exact" "requires --goal"))
+    | Some xpath ->
+        let q = or_die (Twig.Parse.query_result ~source:"--goal" xpath) in
+        let examples = goal_examples ~per_doc:2 q docs in
+        if not (List.exists Core.Example.is_positive examples) then
+          or_die
+            (Error
+               (Core.Error.invalid_input ~what:"--goal"
+                  "selects no node in the given documents"));
+        let outcome = Twiglearn.Fallback.learn ~budget ~max_size examples in
+        let level =
+          match outcome.level with
+          | Twiglearn.Fallback.Exact -> "exact"
+          | Anchored -> "anchored"
+          | Approximate -> "approximate"
+        in
+        (match outcome.query with
+        | None ->
+            Printf.eprintf "learnq: %s\n"
+              (Core.Error.to_string
+                 (Core.Error.budget_exhausted ~engine:"twig" outcome.spent));
+            exit Core.Error.exit_budget
+        | Some learned ->
+            Format.printf "learned (%s): %a@." level Twig.Query.pp learned;
+            if outcome.degraded then begin
+              Printf.eprintf
+                "learnq: degraded to the %s learner (fuel %d, %.3fs spent; %d \
+                 annotations dropped, %d training errors)\n"
+                level outcome.spent.fuel_spent outcome.spent.elapsed
+                outcome.dropped outcome.training_errors;
+              exit Core.Error.exit_degraded
+            end)
+  in
+  let run files selects goal with_schema exact budget =
+    let docs = List.map load_doc files in
+    match exact with
+    | Some max_size -> run_exact budget max_size goal docs
+    | None -> (
+        let examples =
+          match goal with
+          | Some xpath -> (
+              match Twig.Parse.query_opt xpath with
+              | None ->
+                  prerr_endline ("not a twig query: " ^ xpath);
+                  exit Core.Error.exit_bad_input
+              | Some q ->
+                  List.filter_map
+                    (fun d ->
+                      match Twig.Eval.select q d with
+                      | p :: _ -> Some (Xmltree.Annotated.make d p)
+                      | [] -> None)
+                    docs)
+          | None ->
+              if List.length selects <> List.length docs then begin
+                prerr_endline "need exactly one --select per FILE (or --goal)";
+                exit Core.Error.exit_bad_input
+              end;
+              List.map2
+                (fun d s -> Xmltree.Annotated.make d (parse_path s))
+                docs selects
+        in
+        match Twiglearn.Positive.learn_positive examples with
+        | None ->
+            prerr_endline "no anchored twig is consistent with the annotations";
+            exit 1
+        | Some learned ->
+            Format.printf "learned: %a@." Twig.Query.pp learned;
+            if with_schema then
+              Format.printf "pruned:  %a@." Twig.Query.pp
+                (Twiglearn.Schema_aware.prune
+                   (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
+                   learned))
   in
   Cmd.v
-    (Cmd.info "learn-twig" ~doc:"Learn a twig query from annotated nodes.")
-    Term.(const run $ doc_files $ selects $ goal $ with_schema)
+    (Cmd.info "learn-twig"
+       ~doc:
+         "Learn a twig query from annotated nodes; with --exact, run the \
+          budgeted exact search with graceful degradation.")
+    Term.(const run $ doc_files $ selects $ goal $ with_schema $ exact
+          $ budget_term)
 
 (* ------------------------------------------------------------------ *)
 (* learn-join                                                          *)
@@ -273,7 +400,7 @@ let print_learned_predicate left_rel right_rel space mask =
 
 let learn_join_csv left_path right_path strategy =
   let load name path =
-    Relational.Csv.parse ~name (read_file path)
+    or_die (Relational.Csv.parse_result ~source:path ~name (read_file path))
   in
   let left = load "left" left_path and right = load "right" right_path in
   let space =
@@ -323,7 +450,19 @@ let learn_join_cmd =
       & opt (some file) None
       & info [ "right" ] ~docv:"CSV" ~doc:"Right relation as CSV.")
   in
-  let run_generated_join seed strategy rows =
+  let noise_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "noise" ] ~docv:"P"
+          ~doc:"Probability the simulated user answers wrong (generated mode).")
+  in
+  let refusal_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "refusal" ] ~docv:"P"
+          ~doc:"Probability the simulated user refuses a question.")
+  in
+  let run_generated_join seed strategy rows budget noise refusal =
     let rng = Core.Prng.create seed in
     let inst =
       Relational.Generator.pair_instance ~rng ~left_rows:rows ~right_rows:rows ()
@@ -331,9 +470,13 @@ let learn_join_cmd =
     Printf.printf "hidden goal: %s\n"
       (String.concat ", "
          (List.map (fun (i, j) -> Printf.sprintf "a%d=b%d" i j) inst.planted));
+    let profile =
+      if noise = 0.0 && refusal = 0.0 then None
+      else Some (Core.Flaky.profile ~noise ~refusal ())
+    in
     let outcome =
-      Joinlearn.Interactive.run_with_goal ~rng ~strategy ~left:inst.left
-        ~right:inst.right ~goal:inst.planted ()
+      Joinlearn.Interactive.run_with_goal ~rng ~strategy ~budget ?profile
+        ~left:inst.left ~right:inst.right ~goal:inst.planted ()
     in
     let space =
       Joinlearn.Signature.space
@@ -344,11 +487,16 @@ let learn_join_cmd =
     | Some learned ->
         Format.printf "learned:     %a@." (Joinlearn.Signature.pp space) learned
     | None -> print_endline "no consistent predicate");
-    Printf.printf "questions: %d, pruned: %d (pool %d)\n" outcome.questions
-      outcome.pruned
-      (outcome.questions + outcome.pruned)
+    Printf.printf "questions: %d, pruned: %d, refused: %d (pool %d)\n"
+      outcome.questions outcome.pruned outcome.refused
+      (outcome.questions + outcome.pruned);
+    if outcome.degraded then begin
+      prerr_endline "learnq: the question budget ran out; the predicate is the \
+                     current candidate, not necessarily the goal";
+      exit Core.Error.exit_degraded
+    end
   in
-  let run seed strategy rows left right =
+  let run seed strategy rows left right budget noise refusal =
     let strategy_fn =
       match strategy with
       | `First -> Core.Interact.first_strategy
@@ -360,16 +508,17 @@ let learn_join_cmd =
     | Some l, Some r -> learn_join_csv l r strategy_fn
     | Some _, None | None, Some _ ->
         prerr_endline "need both --left and --right";
-        exit 1
-    | None, None -> run_generated_join seed strategy_fn rows
+        exit Core.Error.exit_bad_input
+    | None, None -> run_generated_join seed strategy_fn rows budget noise refusal
   in
   Cmd.v
     (Cmd.info "learn-join"
        ~doc:
          "Interactively infer a join predicate — on your CSV data with \
           --left/--right (you answer the questions), or on a generated \
-          instance with a simulated user.")
-    Term.(const run $ seed_arg $ strategy_arg $ rows_arg $ left_arg $ right_arg)
+          instance with a simulated (possibly flaky) user.")
+    Term.(const run $ seed_arg $ strategy_arg $ rows_arg $ left_arg $ right_arg
+          $ budget_term $ noise_arg $ refusal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-path                                                          *)
@@ -385,22 +534,28 @@ let learn_path_cmd =
       & opt string "highway highway*"
       & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
   in
-  let run seed cities goal =
+  let run seed cities goal budget =
     let rng = Core.Prng.create seed in
     let graph = Graphdb.Generators.geo ~rng ~cities () in
     let goal_dfa = Automata.Dfa.of_regex (Automata.Regex.parse goal) in
     let outcome =
-      Pathlearn.Interactive.run_with_goal ~rng ~max_len:3 ~graph ~goal:goal_dfa ()
+      Pathlearn.Interactive.run_with_goal ~rng ~budget ~max_len:3 ~graph
+        ~goal:goal_dfa ()
     in
     Printf.printf "questions: %d, pruned: %d\n" outcome.questions outcome.pruned;
-    match outcome.query with
+    (match outcome.query with
     | Some h -> Format.printf "learned: %a@." Pathlearn.Words.pp h
-    | None -> print_endline "no consistent query"
+    | None -> print_endline "no consistent query");
+    if outcome.degraded then begin
+      prerr_endline
+        "learnq: the question budget ran out; the hypothesis is partial";
+      exit Core.Error.exit_degraded
+    end
   in
   Cmd.v
     (Cmd.info "learn-path"
        ~doc:"Interactively learn a path query on a generated road network.")
-    Term.(const run $ seed_arg $ cities_arg $ goal_arg)
+    Term.(const run $ seed_arg $ cities_arg $ goal_arg $ budget_term)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)
@@ -486,17 +641,32 @@ let () =
     Cmd.info "learnq" ~version:"1.0.0"
       ~doc:"Learning queries for relational, semi-structured, and graph databases."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            xmark_cmd;
-            validate_cmd;
-            schema_contain_cmd;
-            gen_doc_cmd;
-            infer_schema_cmd;
-            learn_twig_cmd;
-            learn_join_cmd;
-            learn_path_cmd;
-            exchange_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        xmark_cmd;
+        validate_cmd;
+        schema_contain_cmd;
+        gen_doc_cmd;
+        infer_schema_cmd;
+        learn_twig_cmd;
+        learn_join_cmd;
+        learn_path_cmd;
+        exchange_cmd;
+      ]
+  in
+  (* ~catch:false: structured failures only, never a raw backtrace. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Core.Budget.Out_of_budget -> exit Core.Error.exit_budget
+  | exception Sys_error msg ->
+      Printf.eprintf "learnq: %s\n" msg;
+      exit Core.Error.exit_bad_input
+  | exception (Xmltree.Parse.Syntax_error msg
+              | Twig.Parse.Syntax_error msg
+              | Relational.Csv.Syntax_error msg) ->
+      Printf.eprintf "learnq: %s\n" msg;
+      exit Core.Error.exit_bad_input
+  | exception (Failure msg | Invalid_argument msg) ->
+      Printf.eprintf "learnq: %s\n" msg;
+      exit Core.Error.exit_bad_input

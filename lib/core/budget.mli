@@ -1,0 +1,66 @@
+(** Resource budgets: fuel (step counters), wall-clock deadlines, and
+    cooperative cancellation for the super-polynomial learning engines.
+
+    The paper's complexity story (Sections 2–3) is that exact consistency for
+    full twig queries is NP-complete, and that when exactness is out of reach
+    "some of the annotations might be ignored to be able to compute in
+    polynomial time a candidate query".  A budget makes that exact→approximate
+    fallback a runtime mechanism: every potentially exponential loop calls
+    {!tick}, which raises {!Out_of_budget} once the fuel or the deadline is
+    spent, and the caller degrades to a polynomial approximation (see
+    [Twiglearn.Fallback], [Joinlearn.Fallback]) instead of hanging.
+
+    A budget is a single mutable token shared by one computation and whoever
+    supervises it; {!cancel} from the supervisor makes the next {!tick} raise,
+    which is the cooperative-cancellation story. *)
+
+type t
+
+type stats = {
+  fuel_spent : int;  (** ticks consumed so far *)
+  elapsed : float;  (** wall-clock seconds since {!create} *)
+  fuel_limit : int option;
+  timeout : float option;
+}
+
+type 'a outcome =
+  | Done of 'a
+  | Exhausted of { partial : 'a option; spent : stats }
+      (** The computation ran out of budget; [partial] is whatever result the
+          engine had accumulated when it stopped. *)
+
+exception Out_of_budget
+(** Raised by {!tick} when the budget is spent or cancelled.  Catch it with
+    {!run} at the boundary where a partial result makes sense. *)
+
+val create : ?fuel:int -> ?timeout:float -> unit -> t
+(** A fresh budget.  [fuel] bounds the number of ticks; [timeout] is a
+    wall-clock deadline in seconds from now.  Omitting both yields an
+    unlimited (but still cancellable) budget. *)
+
+val unlimited : unit -> t
+(** [create ()]. *)
+
+val is_unlimited : t -> bool
+(** No fuel limit and no deadline. *)
+
+val tick : ?cost:int -> t -> unit
+(** Spend [cost] (default 1) units of fuel.  @raise Out_of_budget when the
+    fuel limit is exceeded, the deadline has passed, or the budget was
+    cancelled.  The wall clock is only consulted every few hundred ticks, so
+    ticking in an inner loop stays cheap. *)
+
+val cancel : t -> unit
+(** Cooperative cancellation: every subsequent {!tick} raises. *)
+
+val exhausted : t -> bool
+(** Non-raising check: has the budget tripped (or would the next tick)?  Use
+    it where raising mid-state would lose a partial result. *)
+
+val stats : t -> stats
+
+val run : ?partial:(unit -> 'a option) -> t -> (unit -> 'a) -> 'a outcome
+(** [run b f] evaluates [f ()], mapping a normal return to [Done] and an
+    escaping {!Out_of_budget} to [Exhausted].  [partial] (queried only on
+    exhaustion) recovers whatever the engine had computed — typically a
+    closure over the engine's accumulator. *)

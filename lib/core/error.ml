@@ -1,0 +1,49 @@
+type position = { line : int; column : int }
+
+type t =
+  | Parse of { source : string; message : string; position : position option }
+  | Budget_exhausted of { engine : string; spent : Budget.stats }
+  | Invalid_input of { what : string; message : string }
+
+let position_of_offset input offset =
+  let offset = min (max offset 0) (String.length input) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { line = !line; column = offset - !bol + 1 }
+
+let parse_error ~source ?position message = Parse { source; message; position }
+
+let at_offset ~source ~input ~offset message =
+  Parse { source; message; position = Some (position_of_offset input offset) }
+
+let budget_exhausted ~engine spent = Budget_exhausted { engine; spent }
+let invalid_input ~what message = Invalid_input { what; message }
+
+let pp ppf = function
+  | Parse { source; message; position } -> (
+      match position with
+      | Some { line; column } ->
+          Format.fprintf ppf "%s parse error at line %d, column %d: %s" source
+            line column message
+      | None -> Format.fprintf ppf "%s parse error: %s" source message)
+  | Budget_exhausted { engine; spent } ->
+      Format.fprintf ppf "%s: budget exhausted after %d steps (%.3fs)" engine
+        spent.Budget.fuel_spent spent.Budget.elapsed
+  | Invalid_input { what; message } ->
+      Format.fprintf ppf "invalid %s: %s" what message
+
+let to_string e = Format.asprintf "%a" pp e
+
+let exit_ok = 0
+let exit_degraded = 2
+let exit_budget = 3
+let exit_bad_input = 64
+
+let exit_code = function
+  | Parse _ | Invalid_input _ -> exit_bad_input
+  | Budget_exhausted _ -> exit_budget

@@ -1,0 +1,46 @@
+(** The typed error hierarchy (the [Learnq_error] type) carried across the
+    input boundary and the budgeted engines, so callers — the CLI above all —
+    can react structurally (exit codes, degradation messages) instead of
+    pattern-matching exception strings or printing backtraces.
+
+    Every parser at the input boundary ([Xmltree.Parse], [Twig.Parse],
+    [Relational.Csv], [Uschema.Schema]) has a [_result] variant returning
+    [(_, Error.t) result] with a line/column position. *)
+
+type position = { line : int; column : int }
+(** 1-based line and column. *)
+
+type t =
+  | Parse of { source : string; message : string; position : position option }
+      (** Malformed input; [source] names the format ("xml", "twig", "csv",
+          "dms", …). *)
+  | Budget_exhausted of { engine : string; spent : Budget.stats }
+      (** A budgeted engine ran out of fuel or time with no usable result. *)
+  | Invalid_input of { what : string; message : string }
+      (** Structurally well-formed input that violates a semantic requirement
+          (duplicate attributes, arity mismatch, …). *)
+
+val position_of_offset : string -> int -> position
+(** Line/column of a byte offset in an input string. *)
+
+val parse_error : source:string -> ?position:position -> string -> t
+
+val at_offset : source:string -> input:string -> offset:int -> string -> t
+(** [parse_error] with the position computed from a byte offset. *)
+
+val budget_exhausted : engine:string -> Budget.stats -> t
+val invalid_input : what:string -> string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val exit_code : t -> int
+(** The CLI exit-code convention: 0 ok, 2 degraded result, 3 budget
+    exhausted with nothing to show, 64 bad input ([EX_USAGE]). *)
+
+(** The convention's named constants, for CLI code. *)
+
+val exit_ok : int
+val exit_degraded : int
+val exit_budget : int
+val exit_bad_input : int

@@ -1,0 +1,24 @@
+type reply = Label of bool | Refused | Timed_out
+type profile = { noise : float; refusal : float; timeout : float }
+
+let reliable = { noise = 0.; refusal = 0.; timeout = 0. }
+
+let profile ?(noise = 0.) ?(refusal = 0.) ?(timeout = 0.) () =
+  let rate name r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Flaky.profile: %s rate %g not in [0,1]" name r)
+  in
+  rate "noise" noise;
+  rate "refusal" refusal;
+  rate "timeout" timeout;
+  if refusal +. timeout > 1. then
+    invalid_arg "Flaky.profile: refusal + timeout exceeds 1";
+  { noise; refusal; timeout }
+
+let wrap ?(profile = reliable) ~rng oracle item =
+  let r = Prng.float rng 1.0 in
+  if r < profile.refusal then Refused
+  else if r < profile.refusal +. profile.timeout then Timed_out
+  else
+    let label = oracle item in
+    Label (if Prng.chance rng profile.noise then not label else label)

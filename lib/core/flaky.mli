@@ -1,0 +1,29 @@
+(** Fault injection for interactive oracles — the crowdsourcing setting of
+    the paper's Section 3, where the "user" is a crowd worker who sometimes
+    answers wrong, declines a HIT, or never returns.
+
+    A {!profile} turns a reliable oracle into a flaky one; [Interact.Make.run_flaky]
+    drives a session against it, skipping refused/timed-out questions instead
+    of crashing, so sessions survive unreliable users. *)
+
+type reply =
+  | Label of bool  (** an answer (possibly flipped by noise) *)
+  | Refused  (** the user declined to answer this question *)
+  | Timed_out  (** the answer never arrived *)
+
+type profile = {
+  noise : float;  (** probability an answer is flipped *)
+  refusal : float;  (** probability the user refuses *)
+  timeout : float;  (** probability the answer never arrives *)
+}
+
+val reliable : profile
+(** All zero: {!wrap} with it is the identity. *)
+
+val profile : ?noise:float -> ?refusal:float -> ?timeout:float -> unit -> profile
+(** Fields default to 0.  @raise Invalid_argument when a rate is outside
+    [0,1] or refusal + timeout exceeds 1. *)
+
+val wrap : ?profile:profile -> rng:Prng.t -> ('item -> bool) -> 'item -> reply
+(** [wrap ~rng oracle] injects the profile's faults into [oracle], drawing
+    from [rng] (deterministic under a fixed seed). *)

@@ -25,34 +25,66 @@ module Make (S : SESSION) = struct
     questions : int;
     asked : (S.item * bool) list;
     pruned : int;
+    refused : int;
+    degraded : bool;
     state : S.state;
   }
 
-  let run ?(rng = Prng.create 0) ?(strategy = first_strategy)
-      ?(max_questions = max_int) ~oracle ~items () =
-    let rec loop state remaining asked questions pruned =
-      (* Split the remaining pool into items whose label is already forced
-         (uninformative — pruned without asking) and genuinely open ones. *)
-      let open_items, newly_determined =
-        List.partition (fun it -> S.determined state it = None) remaining
-      in
-      let pruned = pruned + List.length newly_determined in
-      if open_items = [] || questions >= max_questions then
-        {
-          query = S.candidate state;
-          questions;
-          asked = List.rev asked;
-          pruned;
-          state;
-        }
-      else
-        let item = strategy rng state open_items in
-        let label = oracle item in
-        let state = S.record state item label in
-        let remaining = List.filter (fun it -> it != item) open_items in
-        loop state remaining ((item, label) :: asked) (questions + 1) pruned
+  let run_flaky ?(rng = Prng.create 0) ?(strategy = first_strategy)
+      ?(max_questions = max_int) ?budget ~oracle ~items () =
+    let budget =
+      match budget with Some b -> b | None -> Budget.unlimited ()
     in
-    loop (S.init items) items [] 0 0
+    let finish ~degraded state asked questions pruned refused =
+      {
+        query = S.candidate state;
+        questions;
+        asked = List.rev asked;
+        pruned;
+        refused;
+        degraded;
+        state;
+      }
+    in
+    let rec loop state remaining asked questions pruned refused =
+      (* Split the remaining pool into items whose label is already forced
+         (uninformative — pruned without asking) and genuinely open ones.
+         Determination checks dominate the session cost, so the budget is
+         spent here; exhaustion ends the session with the current candidate
+         rather than an exception — a degraded but usable outcome. *)
+      match
+        List.partition
+          (fun it ->
+            Budget.tick budget;
+            S.determined state it = None)
+          remaining
+      with
+      | exception Budget.Out_of_budget ->
+          finish ~degraded:true state asked questions pruned refused
+      | open_items, newly_determined ->
+          let pruned = pruned + List.length newly_determined in
+          if open_items = [] || questions >= max_questions then
+            finish ~degraded:false state asked questions pruned refused
+          else
+            let item = strategy rng state open_items in
+            let remaining = List.filter (fun it -> it != item) open_items in
+            (match oracle item with
+            | Flaky.Refused | Flaky.Timed_out ->
+                (* The user never answered: set the question aside and keep
+                   the session going on the rest of the pool. *)
+                loop state remaining asked questions pruned (refused + 1)
+            | Flaky.Label label ->
+                let state = S.record state item label in
+                loop state remaining
+                  ((item, label) :: asked)
+                  (questions + 1) pruned refused)
+    in
+    loop (S.init items) items [] 0 0 0
+
+  let run ?rng ?strategy ?max_questions ?budget ~oracle ~items () =
+    run_flaky ?rng ?strategy ?max_questions ?budget
+      ~oracle:(fun it -> Flaky.Label (oracle it))
+      ~items ()
 
   let cost ~price_per_question outcome =
     price_per_question *. float_of_int outcome.questions

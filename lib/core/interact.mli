@@ -53,6 +53,8 @@ module Make (S : SESSION) : sig
     questions : int;  (** number of user interactions (= crowd HITs) *)
     asked : (S.item * bool) list;  (** transcript, in order *)
     pruned : int;  (** items never asked because they became determined *)
+    refused : int;  (** questions the user refused or never answered *)
+    degraded : bool;  (** the session stopped on budget exhaustion *)
     state : S.state;  (** final learner state *)
   }
 
@@ -60,6 +62,7 @@ module Make (S : SESSION) : sig
     ?rng:Prng.t ->
     ?strategy:(S.state, S.item) strategy ->
     ?max_questions:int ->
+    ?budget:Budget.t ->
     oracle:(S.item -> bool) ->
     items:S.item list ->
     unit ->
@@ -68,7 +71,23 @@ module Make (S : SESSION) : sig
       with [strategy] (default {!first_strategy}), labels it with [oracle],
       and updates the state, until no informative item remains or
       [max_questions] is reached.  [pruned] counts pool items whose label was
-      inferred rather than asked. *)
+      inferred rather than asked.  When [budget] runs out mid-session the
+      loop returns the current candidate with [degraded = true] instead of
+      raising. *)
+
+  val run_flaky :
+    ?rng:Prng.t ->
+    ?strategy:(S.state, S.item) strategy ->
+    ?max_questions:int ->
+    ?budget:Budget.t ->
+    oracle:(S.item -> Flaky.reply) ->
+    items:S.item list ->
+    unit ->
+    outcome
+  (** {!run} against an unreliable user ({!Flaky}): refused and timed-out
+      questions are set aside (counted in [refused]) and the session
+      continues on the remaining pool — noisy answers are recorded as given,
+      which is the crowdsourcing reality the robust learners exist for. *)
 
   val cost :
     price_per_question:float -> outcome -> float

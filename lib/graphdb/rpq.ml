@@ -4,9 +4,13 @@ module Pair_set = Set.Make (struct
   let compare = compare
 end)
 
-let eval dfa g =
+let no_budget () = Core.Budget.unlimited ()
+
+(* Shared worker so [eval] and [eval_within] agree: fills [answers] as it
+   goes, ticking per (node, dfa state) expansion, so a budget trip leaves a
+   meaningful partial answer set behind. *)
+let eval_into ~budget ~answers dfa g =
   let n = Graph.node_count g in
-  let answers = ref Pair_set.empty in
   (* BFS over (node, dfa state) from each source. *)
   for src = 0 to n - 1 do
     let seen = Hashtbl.create 64 in
@@ -16,6 +20,7 @@ let eval dfa g =
       | (node, state) :: rest ->
           if Hashtbl.mem seen (node, state) then go rest
           else begin
+            Core.Budget.tick budget;
             Hashtbl.add seen (node, state) ();
             if dfa.Automata.Dfa.final.(state) then
               answers := Pair_set.add (src, node) !answers;
@@ -32,10 +37,24 @@ let eval dfa g =
           end
     in
     go [ (src, dfa.Automata.Dfa.start) ]
-  done;
+  done
+
+let eval ?budget dfa g =
+  let budget = match budget with Some b -> b | None -> no_budget () in
+  let answers = ref Pair_set.empty in
+  eval_into ~budget ~answers dfa g;
   Pair_set.elements !answers
 
-let selects dfa g (u, v) =
+let eval_within budget dfa g =
+  let answers = ref Pair_set.empty in
+  Core.Budget.run budget
+    ~partial:(fun () -> Some (Pair_set.elements !answers))
+    (fun () ->
+      eval_into ~budget ~answers dfa g;
+      Pair_set.elements !answers)
+
+let selects ?budget dfa g (u, v) =
+  let budget = match budget with Some b -> b | None -> no_budget () in
   let seen = Hashtbl.create 64 in
   let rec go frontier =
     match frontier with
@@ -43,6 +62,7 @@ let selects dfa g (u, v) =
     | (node, state) :: rest ->
         if Hashtbl.mem seen (node, state) then go rest
         else begin
+          Core.Budget.tick budget;
           Hashtbl.add seen (node, state) ();
           if node = v && dfa.Automata.Dfa.final.(state) then true
           else
@@ -59,7 +79,8 @@ let selects dfa g (u, v) =
   in
   go [ (u, dfa.Automata.Dfa.start) ]
 
-let witness dfa g ~src ~dst =
+let witness ?budget dfa g ~src ~dst =
+  let budget = match budget with Some b -> b | None -> no_budget () in
   (* BFS: shortest accepted word first. *)
   let seen = Hashtbl.create 64 in
   let rec go = function
@@ -67,6 +88,7 @@ let witness dfa g ~src ~dst =
     | (node, state, rev_word) :: rest ->
         if Hashtbl.mem seen (node, state) then go rest
         else begin
+          Core.Budget.tick budget;
           Hashtbl.add seen (node, state) ();
           if node = dst && dfa.Automata.Dfa.final.(state) then
             Some (List.rev rev_word)
@@ -88,7 +110,8 @@ let witness dfa g ~src ~dst =
   in
   go [ (src, dfa.Automata.Dfa.start, []) ]
 
-let paths_from g ~src ~max_len =
+let paths_from ?budget g ~src ~max_len =
+  let budget = match budget with Some b -> b | None -> no_budget () in
   let rec extend acc frontier len =
     if len >= max_len then List.rev acc
     else
@@ -100,6 +123,9 @@ let paths_from g ~src ~max_len =
             | last :: _ ->
                 List.map
                   (fun (label, dst) ->
+                    (* One tick per extended walk: the frontier grows
+                       exponentially in [max_len]. *)
+                    Core.Budget.tick budget;
                     (dst :: rev_nodes, label :: rev_word))
                   (Graph.successors g last))
           frontier
@@ -113,13 +139,13 @@ let paths_from g ~src ~max_len =
   in
   extend [] [ ([ src ], []) ] 0
 
-let paths_between g ~src ~dst ~max_len =
+let paths_between ?budget g ~src ~dst ~max_len =
   List.filter
     (fun (nodes, _) ->
       match List.rev nodes with last :: _ -> last = dst | [] -> false)
-    (paths_from g ~src ~max_len)
+    (paths_from ?budget g ~src ~max_len)
 
-let words_between g ~src ~dst ~max_len =
-  paths_between g ~src ~dst ~max_len
+let words_between ?budget g ~src ~dst ~max_len =
+  paths_between ?budget g ~src ~dst ~max_len
   |> List.map snd
   |> List.sort_uniq compare

@@ -4,27 +4,44 @@
     standard product construction: BFS over (graph node × DFA state).
 
     This is the query class the paper identifies as "the most typical graph
-    database queries" and seeks to learn (Section 3). *)
+    database queries" and seeks to learn (Section 3).
 
-val eval : Automata.Dfa.t -> Graph.t -> (int * int) list
+    Every traversal accepts an optional {!Core.Budget.t}, ticked once per
+    product-state expansion (or per extended walk for the path enumerators);
+    when the budget runs out the raising entry points throw
+    [Core.Budget.Out_of_budget], while {!eval_within} returns the partial
+    answer set computed so far. *)
+
+val eval : ?budget:Core.Budget.t -> Automata.Dfa.t -> Graph.t -> (int * int) list
 (** All answer pairs, sorted.  If the language contains ε every [(u, u)] is
-    an answer. *)
+    an answer.  @raise Core.Budget.Out_of_budget when [budget] runs out. *)
 
-val selects : Automata.Dfa.t -> Graph.t -> int * int -> bool
+val eval_within :
+  Core.Budget.t -> Automata.Dfa.t -> Graph.t -> (int * int) list Core.Budget.outcome
+(** Budgeted evaluation with graceful degradation: [Exhausted] carries the
+    (sound but possibly incomplete) answer pairs found before the trip. *)
+
+val selects :
+  ?budget:Core.Budget.t -> Automata.Dfa.t -> Graph.t -> int * int -> bool
 
 val witness :
+  ?budget:Core.Budget.t ->
   Automata.Dfa.t -> Graph.t -> src:int -> dst:int -> string list option
 (** A shortest accepted word labeling a path from [src] to [dst]. *)
 
 val paths_from :
+  ?budget:Core.Budget.t ->
   Graph.t -> src:int -> max_len:int -> (int list * string list) list
 (** All labeled walks from [src] of length 1..[max_len] (node sequence and
     word), breadth-first.  Beware exponential growth; intended for small
-    neighborhoods and example harvesting. *)
+    neighborhoods and example harvesting — pass a [budget] anywhere the
+    graph is not tiny. *)
 
 val paths_between :
+  ?budget:Core.Budget.t ->
   Graph.t -> src:int -> dst:int -> max_len:int -> (int list * string list) list
 
 val words_between :
+  ?budget:Core.Budget.t ->
   Graph.t -> src:int -> dst:int -> max_len:int -> string list list
 (** Distinct words among {!paths_between}. *)

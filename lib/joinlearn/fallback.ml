@@ -1,0 +1,36 @@
+type outcome = {
+  theta : Signature.mask;
+  degraded : bool;
+  training_errors : int;
+  ignored : int;
+  spent : Core.Budget.stats;
+}
+
+let learn ?budget space examples =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
+  let exact =
+    Core.Budget.run budget (fun () ->
+        Core.Budget.tick ~cost:(List.length examples) budget;
+        Join.learn space examples)
+  in
+  match exact with
+  | Core.Budget.Done (Some theta) ->
+      {
+        theta;
+        degraded = false;
+        training_errors = 0;
+        ignored = 0;
+        spent = Core.Budget.stats budget;
+      }
+  (* Inconsistent sample or budget trip: maximize agreement instead. *)
+  | Core.Budget.Done None | Core.Budget.Exhausted _ ->
+      let r = Robust.learn ~budget space examples in
+      {
+        theta = r.theta;
+        degraded = true;
+        training_errors = r.training_errors;
+        ignored = r.ignored;
+        spent = Core.Budget.stats budget;
+      }

@@ -1,0 +1,25 @@
+(** Graceful degradation for join learning: exact version-space learning
+    with a budget-triggered fallback to the agreement-maximizing
+    {!Robust.learn} — the relational face of the paper's "some of the
+    annotations might be ignored to be able to compute in polynomial time a
+    candidate query" (Section 3).
+
+    Exact join learning is itself polynomial, so here degradation triggers on
+    inconsistent samples (the crowd answered wrong somewhere) as well as on
+    budget exhaustion; either way the caller gets a predicate, a degradation
+    flag, and the budget spend. *)
+
+type outcome = {
+  theta : Signature.mask;  (** the learned predicate *)
+  degraded : bool;  (** the robust rung answered, not the exact one *)
+  training_errors : int;  (** examples the predicate misclassifies *)
+  ignored : int;  (** annotations the robust rung dropped *)
+  spent : Core.Budget.stats;
+}
+
+val learn :
+  ?budget:Core.Budget.t ->
+  Signature.space ->
+  Signature.mask Core.Example.t list ->
+  outcome
+(** Never raises [Core.Budget.Out_of_budget] and never hangs. *)

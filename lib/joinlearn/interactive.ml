@@ -88,7 +88,8 @@ let split_strategy ?(sample = 48) () rng (st : Session.state) items =
         (fun best it -> if score it > score best then it else best)
         first candidates
 
-let run_with_goal ?rng ?strategy ~left ~right ~goal () =
+let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ~left
+    ~right ~goal () =
   let space =
     Signature.space
       ~left_arity:(Relational.Relation.arity left)
@@ -97,4 +98,11 @@ let run_with_goal ?rng ?strategy ~left ~right ~goal () =
   let goal_mask = Signature.of_predicate space goal in
   let items = items_of space left right in
   let oracle it = Signature.subset goal_mask it.mask in
-  Loop.run ?rng ?strategy ~oracle ~items ()
+  match profile with
+  | None -> Loop.run ~rng ?strategy ?budget ~oracle ~items ()
+  | Some profile ->
+      (* The crowdsourcing simulation: the goal-holding user answers through
+         a fault injector. *)
+      Loop.run_flaky ~rng ?strategy ?budget
+        ~oracle:(Core.Flaky.wrap ~profile ~rng oracle)
+        ~items ()

@@ -37,9 +37,14 @@ val split_strategy :
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->
+  ?budget:Core.Budget.t ->
+  ?profile:Core.Flaky.profile ->
   left:Relational.Relation.t ->
   right:Relational.Relation.t ->
   goal:Relational.Algebra.predicate ->
   unit ->
   Loop.outcome
-(** Simulates the user: a pair is positive iff it satisfies [goal]. *)
+(** Simulates the user: a pair is positive iff it satisfies [goal].
+    [budget] bounds the session (the outcome's [degraded] flag reports a
+    trip); [profile] injects crowd-worker faults — noise, refusals,
+    timeouts — via {!Core.Flaky}. *)

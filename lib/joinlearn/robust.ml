@@ -11,7 +11,10 @@ let errors_of theta examples =
          Signature.subset theta e.value <> Core.Example.is_positive e)
        examples)
 
-let learn space examples =
+let learn ?budget space examples =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
   let positives =
     List.filter Core.Example.is_positive examples
     |> List.map (fun (e : _ Core.Example.t) -> e.value)
@@ -19,18 +22,26 @@ let learn space examples =
   let theta_of kept = Join.most_specific space kept in
   let rec improve kept ignored =
     let current = errors_of (theta_of kept) examples in
-    (* Try excluding each kept positive signature from the intersection. *)
+    (* Try excluding each kept positive signature from the intersection.
+       Budget exhaustion mid-scan just stops the greedy descent: the current
+       predicate is already a sound (if less polished) answer. *)
     let best =
-      List.filter_map
-        (fun s ->
-          let kept' = List.filter (fun s' -> s' != s) kept in
-          let e = errors_of (theta_of kept') examples in
-          if e < current then Some (kept', e) else None)
-        kept
-      |> List.sort (fun (_, e1) (_, e2) -> compare e1 e2)
-      |> function
-      | [] -> None
-      | best :: _ -> Some best
+      match
+        List.filter_map
+          (fun s ->
+            Core.Budget.tick ~cost:(List.length examples) budget;
+            let kept' = List.filter (fun s' -> s' != s) kept in
+            let e = errors_of (theta_of kept') examples in
+            if e < current then Some (kept', e) else None)
+          kept
+      with
+      | exception Core.Budget.Out_of_budget -> None
+      | candidates -> (
+          match
+            List.sort (fun (_, e1) (_, e2) -> compare e1 e2) candidates
+          with
+          | [] -> None
+          | best :: _ -> Some best)
     in
     match best with
     | Some (kept', _) -> improve kept' (ignored + 1)

@@ -15,7 +15,12 @@ type outcome = {
   ignored : int;  (** positives excluded from the intersection *)
 }
 
-val learn : Signature.space -> Signature.mask Core.Example.t list -> outcome
+val learn :
+  ?budget:Core.Budget.t ->
+  Signature.space -> Signature.mask Core.Example.t list -> outcome
+(** Never raises on budget exhaustion: the greedy descent stops at the
+    current predicate (one tick per candidate exclusion scored, weighted by
+    sample size). *)
 
 val errors_of :
   Signature.mask -> Signature.mask Core.Example.t list -> int

@@ -66,8 +66,8 @@ let workload_strategy ~prior _rng _st items =
   | it :: _ -> it
   | [] -> invalid_arg "workload_strategy: no informative item"
 
-let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?max_len ~graph ~goal
-    () =
+let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?max_len
+    ~graph ~goal () =
   let items = items_of_graph ?max_len ~rng graph in
   let oracle (it : item) = Automata.Dfa.accepts goal it.word in
-  Loop.run ~rng ?strategy ~oracle ~items ()
+  Loop.run ~rng ?strategy ?budget ~oracle ~items ()

@@ -37,9 +37,12 @@ val workload_strategy :
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->
+  ?budget:Core.Budget.t ->
   ?max_len:int ->
   graph:Graphdb.Graph.t ->
   goal:Automata.Dfa.t ->
   unit ->
   Loop.outcome
-(** Oracle: a path is positive iff its word is in the goal language. *)
+(** Oracle: a path is positive iff its word is in the goal language.
+    [budget] bounds the session; on exhaustion the outcome carries the
+    current hypothesis with [degraded = true]. *)

@@ -1,5 +1,13 @@
 exception Syntax_error of string
 
+(* Internal: a record-level failure tagged with its 1-based line number, so
+   [parse_result] can build a positioned {!Core.Error.t} while the legacy
+   [parse] keeps its historical messages. *)
+exception Located of string * int
+
+(* Internal: [split_record] has no line context of its own. *)
+exception Unterminated
+
 (* Record-level scanner handling quoted fields spanning separators (not
    newlines inside quotes — keep the dialect line-based and simple). *)
 let split_record separator line =
@@ -22,7 +30,7 @@ let split_record separator line =
           Buffer.add_char buf c;
           plain (i + 1)
   and quoted i =
-    if i >= n then raise (Syntax_error "unterminated quoted field")
+    if i >= n then raise Unterminated
     else
       match line.[i] with
       | '"' ->
@@ -38,33 +46,59 @@ let split_record separator line =
   plain 0;
   List.rev !fields
 
-let parse ?(separator = ',') ~name contents =
-  let lines =
-    String.split_on_char '\n' contents
-    |> List.map (fun l ->
+(* Lines paired with their original 1-based numbers, so errors keep pointing
+   at the right place even when blank lines are skipped. *)
+let numbered_lines contents =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i l ->
+         let l =
            if String.length l > 0 && l.[String.length l - 1] = '\r' then
              String.sub l 0 (String.length l - 1)
-           else l)
-    |> List.filter (fun l -> String.trim l <> "")
+           else l
+         in
+         (i + 1, l))
+  |> List.filter (fun (_, l) -> String.trim l <> "")
+
+let parse_located ?(separator = ',') ~name contents =
+  let record lineno line =
+    try split_record separator line
+    with Unterminated -> raise (Located ("unterminated quoted field", lineno))
   in
-  match lines with
-  | [] -> raise (Syntax_error "empty input: a header row is required")
-  | header :: rows ->
-      let attrs = split_record separator header in
+  match numbered_lines contents with
+  | [] -> raise (Located ("empty input: a header row is required", 1))
+  | (header_line, header) :: rows ->
+      let attrs = record header_line header in
       let width = List.length attrs in
       let tuples =
-        List.mapi
-          (fun lineno row ->
-            let fields = split_record separator row in
+        List.map
+          (fun (lineno, row) ->
+            let fields = record lineno row in
             if List.length fields <> width then
               raise
-                (Syntax_error
-                   (Printf.sprintf "row %d has %d fields, expected %d"
-                      (lineno + 2) (List.length fields) width));
+                (Located
+                   ( Printf.sprintf "row %d has %d fields, expected %d" lineno
+                       (List.length fields) width,
+                     lineno ));
             Array.of_list (List.map Value.of_string fields))
           rows
       in
       Relation.make ~name ~attrs tuples
+
+let parse ?separator ~name contents =
+  try parse_located ?separator ~name contents with
+  | Located (msg, _) -> raise (Syntax_error msg)
+
+let parse_result ?separator ?(source = "<csv>") ~name contents =
+  match parse_located ?separator ~name contents with
+  | r -> Ok r
+  | exception Located (msg, line) ->
+      Error
+        (Core.Error.parse_error ~source
+           ~position:{ Core.Error.line; column = 1 }
+           msg)
+  | exception Invalid_argument msg ->
+      (* Relation.make rejects duplicate header names. *)
+      Error (Core.Error.parse_error ~source msg)
 
 let needs_quoting separator s =
   String.exists (fun c -> c = separator || c = '"' || c = '\n') s

@@ -10,6 +10,14 @@ val parse : ?separator:char -> name:string -> string -> Relation.t
 (** @raise Syntax_error on unbalanced quotes or ragged rows.
     @raise Invalid_argument on duplicate header names. *)
 
+val parse_result :
+  ?separator:char -> ?source:string -> name:string -> string ->
+  (Relation.t, Core.Error.t) result
+(** Non-raising variant of {!parse}: unbalanced quotes, ragged rows and
+    duplicate header names all yield a structured {!Core.Error.t}; ragged
+    rows carry the offending 1-based line number.  [source] (default
+    ["<csv>"]) names the input in messages. *)
+
 val to_string : ?separator:char -> Relation.t -> string
 (** Header + rows; fields are quoted when they contain the separator, a
     quote, or a newline.  [parse (to_string r)] reconstructs [r]. *)

@@ -1,12 +1,15 @@
 exception Syntax_error of string
 
+(* Internal: keeps the raw offset so [query_result] can report line/column;
+   the raising [query] formats it into the historical message. *)
+exception Located of string * int
+
 type cursor = { input : string; mutable pos : int }
 
 let peek cur =
   if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
 
-let fail cur msg =
-  raise (Syntax_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+let fail cur msg = raise (Located (msg, cur.pos))
 
 let eat cur c =
   match peek cur with
@@ -94,8 +97,7 @@ let read_step cur =
   let filters = read_preds cur [] in
   { Query.axis; test; filters }
 
-let query input =
-  let input = String.trim input in
+let query_unlocated input =
   let cur = { input; pos = 0 } in
   if peek cur <> Some '/' then fail cur "a query must start with '/' or '//'";
   let rec steps acc =
@@ -108,5 +110,18 @@ let query input =
   | [] -> fail cur "empty query"
   | q -> q
 
+let query input =
+  let input = String.trim input in
+  try query_unlocated input with
+  | Located (msg, pos) ->
+      raise (Syntax_error (Printf.sprintf "%s at offset %d" msg pos))
+
 let query_opt input =
   match query input with q -> Some q | exception Syntax_error _ -> None
+
+let query_result ?(source = "<query>") input =
+  let input = String.trim input in
+  match query_unlocated input with
+  | q -> Ok q
+  | exception Located (msg, offset) ->
+      Error (Core.Error.at_offset ~source ~input ~offset msg)

@@ -22,3 +22,8 @@ val query : string -> Query.t
 val query_opt : string -> Query.t option
 (** [None] instead of raising — used to classify benchmark queries as
     twig-expressible or not. *)
+
+val query_result : ?source:string -> string -> (Query.t, Core.Error.t) result
+(** Non-raising variant of {!query}: malformed input yields a structured
+    {!Core.Error.t} carrying [source] (default ["<query>"]) and the
+    line/column of the failure. *)

@@ -11,7 +11,10 @@ let anchored examples =
 
 let anchored_consistent examples = anchored examples <> None
 
-let bounded ?filter_depth ?max_filters_per_node ~max_size examples =
+let bounded ?budget ?filter_depth ?max_filters_per_node ~max_size examples =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
   let alphabet =
     let module S = Set.Make (String) in
     List.fold_left
@@ -27,6 +30,9 @@ let bounded ?filter_depth ?max_filters_per_node ~max_size examples =
   in
   Seq.find
     (fun q ->
+      (* One tick per consistency check: candidate testing dominates the
+         enumeration itself on non-trivial samples. *)
+      Core.Budget.tick budget;
       Core.Example.consistent_with Twig.Eval.selects_example q examples)
-    (Enumerate.queries ?filter_depth ?max_filters_per_node ~alphabet
+    (Enumerate.queries ~budget ?filter_depth ?max_filters_per_node ~alphabet
        ~max_nodes:max_size ())

@@ -22,6 +22,7 @@ val anchored : instance Core.Example.t list -> Twig.Query.t option
 val anchored_consistent : instance Core.Example.t list -> bool
 
 val bounded :
+  ?budget:Core.Budget.t ->
   ?filter_depth:int ->
   ?max_filters_per_node:int ->
   max_size:int ->
@@ -29,4 +30,7 @@ val bounded :
   Twig.Query.t option
 (** Exact search over all twigs with at most [max_size] pattern nodes over
     the labels occurring in the examples (exponential in [max_size]).
-    Returns the first consistent candidate in enumeration order. *)
+    Returns the first consistent candidate in enumeration order.  Spends one
+    [budget] tick per candidate enumerated and per consistency check;
+    @raise Core.Budget.Out_of_budget when it runs out — catch it (or go
+    through [Fallback.learn]) to degrade to the polynomial learners. *)

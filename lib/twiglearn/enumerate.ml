@@ -36,8 +36,11 @@ let filter_sets alphabet ~filter_depth ~max_filters_per_node =
   in
   subsets max_filters_per_node edges
 
-let queries ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
+let queries ?budget ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
     ~max_nodes () =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
   let fsets = filter_sets alphabet ~filter_depth ~max_filters_per_node in
   let step_choices =
     List.concat_map
@@ -48,16 +51,20 @@ let queries ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
           (tests alphabet))
       axes
   in
-  (* Depth-first extension of spines while the node budget allows. *)
-  let rec extend prefix budget () =
-    if budget <= 0 then Seq.Nil
+  (* Depth-first extension of spines while the node budget allows.  One fuel
+     tick per candidate produced keeps the exponential enumeration under the
+     caller's resource budget. *)
+  let rec extend prefix nodes_left () =
+    if nodes_left <= 0 then Seq.Nil
     else
       let with_step s =
         let cost = 1 + List.fold_left (fun acc (_, f) -> acc + filter_size f) 0 s.filters in
-        if cost > budget then None
-        else
+        if cost > nodes_left then None
+        else begin
+          Core.Budget.tick budget;
           let q = List.rev (s :: prefix) in
-          Some (Seq.cons q (extend (s :: prefix) (budget - cost)))
+          Some (Seq.cons q (extend (s :: prefix) (nodes_left - cost)))
+        end
       in
       List.to_seq step_choices
       |> Seq.filter_map with_step
@@ -66,8 +73,8 @@ let queries ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
   in
   extend [] max_nodes
 
-let count ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes () =
+let count ?budget ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes () =
   Seq.fold_left
     (fun acc _ -> acc + 1)
     0
-    (queries ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes ())
+    (queries ?budget ?filter_depth ?max_filters_per_node ~alphabet ~max_nodes ())

@@ -10,6 +10,7 @@
     (experiment E5's XML side), not for production learning. *)
 
 val queries :
+  ?budget:Core.Budget.t ->
   ?filter_depth:int ->
   ?max_filters_per_node:int ->
   alphabet:string list ->
@@ -19,8 +20,11 @@ val queries :
 (** All twig queries with at most [max_nodes] pattern nodes, node tests drawn
     from [alphabet] plus the wildcard, and per-node filters limited to
     [max_filters_per_node] (default 1) filters of depth [filter_depth]
-    (default 1).  Queries are produced in non-decreasing spine length. *)
+    (default 1).  Queries are produced in non-decreasing spine length.
+    Forcing the sequence spends one [budget] tick per candidate;
+    @raise Core.Budget.Out_of_budget from the sequence when it runs out. *)
 
-val count : ?filter_depth:int -> ?max_filters_per_node:int ->
+val count : ?budget:Core.Budget.t -> ?filter_depth:int ->
+  ?max_filters_per_node:int ->
   alphabet:string list -> max_nodes:int -> unit -> int
 (** Size of the enumeration (forces the sequence). *)

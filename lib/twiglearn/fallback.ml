@@ -1,0 +1,45 @@
+type level = Exact | Anchored | Approximate
+
+type outcome = {
+  query : Twig.Query.t option;
+  level : level;
+  degraded : bool;
+  dropped : int;
+  training_errors : int;
+  spent : Core.Budget.stats;
+}
+
+let learn ?budget ?filter_depth ?max_filters_per_node ?(max_size = 4) examples =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
+  let finish ?(level = Exact) ?(dropped = 0) ?(training_errors = 0) query =
+    {
+      query;
+      level;
+      degraded = level <> Exact;
+      dropped;
+      training_errors;
+      spent = Core.Budget.stats budget;
+    }
+  in
+  let descend () =
+    match Consistency.anchored examples with
+    | Some q -> finish ~level:Anchored (Some q)
+    | None -> (
+        match Approximate.learn examples with
+        | Some r ->
+            finish ~level:Approximate
+              ~dropped:(List.length r.dropped)
+              ~training_errors:r.training_errors (Some r.query)
+        | None -> finish ~level:Approximate None)
+  in
+  match
+    Core.Budget.run budget (fun () ->
+        Consistency.bounded ~budget ?filter_depth ?max_filters_per_node
+          ~max_size examples)
+  with
+  | Core.Budget.Done (Some q) -> finish (Some q)
+  (* The whole bounded space is inconsistent with the sample, or the budget
+     ran out mid-search: descend the ladder either way. *)
+  | Core.Budget.Done None | Core.Budget.Exhausted _ -> descend ()

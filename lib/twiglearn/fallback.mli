@@ -1,0 +1,39 @@
+(** Graceful degradation for twig learning: the budget-triggered
+    exact → anchored → approximate ladder.
+
+    The paper's frame (Section 2): exact consistency for the full twig class
+    is NP-complete, the anchored class is polynomial, and when consistency is
+    out of reach "some of the annotations might be ignored to be able to
+    compute in polynomial time a candidate query".  {!learn} makes that a
+    runtime mechanism: it runs the exact bounded search under a resource
+    budget, and on exhaustion — or when no bounded twig is consistent — falls
+    back to the anchored PTIME learner, then to the annotation-dropping
+    approximate learner, reporting which rung answered and what the search
+    spent. *)
+
+type level =
+  | Exact  (** the bounded exhaustive search answered *)
+  | Anchored  (** PTIME fallback: LGG of the positives, consistent *)
+  | Approximate  (** annotations were ignored to restore consistency *)
+
+type outcome = {
+  query : Twig.Query.t option;
+      (** [None] only when even the approximate learner has nothing to
+          generalize from (no positive examples). *)
+  level : level;
+  degraded : bool;  (** [level <> Exact] *)
+  dropped : int;  (** annotations ignored by the approximate rung *)
+  training_errors : int;  (** kept examples the query still misclassifies *)
+  spent : Core.Budget.stats;  (** what the exact search consumed *)
+}
+
+val learn :
+  ?budget:Core.Budget.t ->
+  ?filter_depth:int ->
+  ?max_filters_per_node:int ->
+  ?max_size:int ->
+  Consistency.instance Core.Example.t list ->
+  outcome
+(** Never raises [Core.Budget.Out_of_budget] and never hangs: the exact
+    search ([max_size] defaults to 4) is confined by [budget], and every
+    fallback rung is polynomial. *)

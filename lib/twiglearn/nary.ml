@@ -52,7 +52,10 @@ let merge_projection (p1 : projection) (p2 : projection) : projection option =
            if Twig.Query.tests_equal t1 t2 then t1 else Twig.Query.Wildcard)
          p1 p2)
 
-let learn examples =
+let learn ?budget examples =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
   match examples with
   | [] -> None
   | first :: rest ->
@@ -69,6 +72,7 @@ let learn examples =
               let paths =
                 List.map
                   (fun e ->
+                    Core.Budget.tick budget;
                     let prefix = lca e.nodes in
                     relative_labels e.doc ~prefix ~full:(List.nth e.nodes i)
                     |> List.map (fun l -> Twig.Query.Label l))
@@ -100,13 +104,14 @@ let test_matches test label =
 
 (* All nodes reached from [path] by following the projection's child
    steps. *)
-let project doc path (proj : projection) =
+let project ~budget doc path (proj : projection) =
   let rec go node path = function
     | [] -> [ path ]
     | test :: rest ->
         List.concat
           (List.mapi
              (fun i (c : Tree.t) ->
+               Core.Budget.tick budget;
                if (not (Tree.is_text c)) && test_matches test c.Tree.label then
                  go c (path @ [ i ]) rest
                else [])
@@ -120,15 +125,25 @@ let rec cartesian = function
       let tails = cartesian rest in
       List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
 
-let extract q doc =
+let extract ?budget q doc =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
   if q.columns = [] then invalid_arg "Nary.extract: arity-0 query";
   List.concat_map
     (fun anchor_path ->
+      Core.Budget.tick budget;
       let per_column =
-        List.map (fun proj -> project doc anchor_path proj) q.columns
+        List.map (fun proj -> project ~budget doc anchor_path proj) q.columns
       in
       if List.exists (fun c -> c = []) per_column then []
-      else cartesian per_column)
+      else begin
+        let tuples = cartesian per_column in
+        (* The per-anchor answer set is the cartesian product of the column
+           matches — the one place an n-ary query blows up. *)
+        Core.Budget.tick ~cost:(List.length tuples) budget;
+        tuples
+      end)
     (Twig.Eval.select q.anchor doc)
 
 let extract_values q doc =

@@ -32,14 +32,19 @@ val example : Xmltree.Tree.t -> Xmltree.Tree.path list -> example
 val lca : Xmltree.Tree.path list -> Xmltree.Tree.path
 (** Longest common prefix. *)
 
-val learn : example list -> t option
+val learn : ?budget:Core.Budget.t -> example list -> t option
 (** [None] when the examples disagree on arity or projection depths, or the
     anchor is not learnable in the anchored fragment.  The result extracts
-    every example tuple (tested). *)
+    every example tuple (tested).
+    @raise Core.Budget.Out_of_budget when [budget] runs out. *)
 
-val extract : t -> Xmltree.Tree.t -> Xmltree.Tree.path list list
+val extract :
+  ?budget:Core.Budget.t -> t -> Xmltree.Tree.t -> Xmltree.Tree.path list list
 (** All answer tuples (component paths), in document order of the anchors.
-    @raise Invalid_argument on arity-0 queries (impossible from {!learn}). *)
+    Ticks [budget] per anchor, per projection node visited, and per answer
+    tuple materialized (answer sets are cartesian products and can explode).
+    @raise Invalid_argument on arity-0 queries (impossible from {!learn}).
+    @raise Core.Budget.Out_of_budget when [budget] runs out. *)
 
 val extract_values : t -> Xmltree.Tree.t -> string list list
 (** The tuples' text contents ({!Xmltree.Tree.value_of}; [""] when a

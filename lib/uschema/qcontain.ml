@@ -28,35 +28,49 @@ let prune_implied g (q : Twig.Query.t) : Twig.Query.t =
           { s with filters = List.map (fun (a, f) -> (a, prune_filter f)) kept })
     q
 
-let refute ~samples ~seed g q1 q2 =
+let refute ~budget ~samples ~seed g q1 q2 =
   let rng = Core.Prng.create seed in
   let schema = Depgraph.schema g in
   let rec search i =
     if i >= samples then None
-    else
+    else begin
+      (* One tick per sampled document: document generation plus two query
+         evaluations is the unit of work of the refutation loop. *)
+      Core.Budget.tick budget;
       match Docgen.generate ~rng ~max_depth:10 schema with
       | None -> None
       | Some doc ->
           let a1 = Twig.Eval.select q1 doc and a2 = Twig.Eval.select q2 doc in
           if List.for_all (fun p -> List.mem p a2) a1 then search (i + 1)
           else Some doc
+    end
   in
   search 0
 
-let contained_wrt ?(samples = 50) ?(seed = 0) g q1 q2 =
-  if not (Depgraph.satisfiable g q1) then `Yes
-  else if Twig.Contain.subsumed q1 q2 then `Yes
-  else if Twig.Contain.subsumed (prune_implied g q1) (prune_implied g q2) then
-    `Yes
-  else
-    match refute ~samples ~seed g q1 q2 with
-    | Some doc -> `No doc
-    | None -> `Unknown
+let contained_wrt ?budget ?(samples = 50) ?(seed = 0) g q1 q2 =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
+  (* Budget exhaustion degrades to `Unknown — the verdict the procedure
+     already reserves for "not decided within the sampling budget", so a
+     deadline is sound by construction. *)
+  match
+    if not (Depgraph.satisfiable g q1) then `Yes
+    else if Twig.Contain.subsumed q1 q2 then `Yes
+    else if Twig.Contain.subsumed (prune_implied g q1) (prune_implied g q2)
+    then `Yes
+    else
+      match refute ~budget ~samples ~seed g q1 q2 with
+      | Some doc -> `No doc
+      | None -> `Unknown
+  with
+  | v -> v
+  | exception Core.Budget.Out_of_budget -> `Unknown
 
-let equivalent_wrt ?samples ?seed g q1 q2 =
-  match contained_wrt ?samples ?seed g q1 q2 with
+let equivalent_wrt ?budget ?samples ?seed g q1 q2 =
+  match contained_wrt ?budget ?samples ?seed g q1 q2 with
   | `Yes -> (
-      match contained_wrt ?samples ?seed g q2 q1 with
+      match contained_wrt ?budget ?samples ?seed g q2 q1 with
       | `Yes -> `Yes
       | (`No _ | `Unknown) as v -> v)
   | (`No _ | `Unknown) as v -> v

@@ -21,6 +21,7 @@
 type verdict = [ `Yes | `No of Xmltree.Tree.t | `Unknown ]
 
 val contained_wrt :
+  ?budget:Core.Budget.t ->
   ?samples:int ->
   ?seed:int ->
   Depgraph.t ->
@@ -29,9 +30,12 @@ val contained_wrt :
   verdict
 (** [contained_wrt g q1 q2]: does every valid document's q1-answer set sit
     inside its q2-answer set?  [samples] (default 50) bounds the randomized
-    refutation search. *)
+    refutation search; [budget] (one tick per sampled document) additionally
+    bounds it in fuel/wall-clock, degrading to [`Unknown] — never raising —
+    when it runs out. *)
 
 val equivalent_wrt :
+  ?budget:Core.Budget.t ->
   ?samples:int ->
   ?seed:int ->
   Depgraph.t ->

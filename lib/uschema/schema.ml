@@ -124,15 +124,20 @@ let pp ppf s =
 
 let to_string s = Format.asprintf "%a" pp s
 
-let parse input =
+(* Internal: a parse failure tagged with its 1-based line number, so
+   [parse_result] can build a positioned {!Core.Error.t} while the legacy
+   [parse] keeps raising [Invalid_argument] with the historical messages. *)
+exception Located of string * int
+
+let parse_located input =
   let lines =
     String.split_on_char '\n' input
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
-  | [] -> invalid_arg "Schema.parse: empty input"
-  | root_line :: rule_lines ->
+  | [] -> raise (Located ("Schema.parse: empty input", 1))
+  | (root_lineno, root_line) :: rule_lines ->
       let root =
         let prefix = "root:" in
         if
@@ -142,9 +147,13 @@ let parse input =
           String.trim
             (String.sub root_line (String.length prefix)
                (String.length root_line - String.length prefix))
-        else invalid_arg "Schema.parse: expected a 'root: <label>' first line"
+        else
+          raise
+            (Located
+               ( "Schema.parse: expected a 'root: <label>' first line",
+                 root_lineno ))
       in
-      let parse_rule line =
+      let parse_rule (lineno, line) =
         match
           (* Split on the first "->". *)
           let rec find i =
@@ -154,17 +163,36 @@ let parse input =
           in
           find 0
         with
-        | None -> invalid_arg ("Schema.parse: missing '->' in " ^ line)
+        | None -> raise (Located ("Schema.parse: missing '->' in " ^ line, lineno))
         | Some i ->
             let label = String.trim (String.sub line 0 i) in
             let body =
               String.trim
                 (String.sub line (i + 2) (String.length line - i - 2))
             in
-            if label = "" then invalid_arg "Schema.parse: empty label";
-            (label, Dme.parse body)
+            if label = "" then raise (Located ("Schema.parse: empty label", lineno));
+            let dme =
+              try Dme.parse body
+              with Invalid_argument msg -> raise (Located (msg, lineno))
+            in
+            (label, dme)
       in
       make ~root ~rules:(List.map parse_rule rule_lines)
+
+let parse input =
+  try parse_located input with Located (msg, _) -> invalid_arg msg
+
+let parse_result ?(source = "<schema>") input =
+  match parse_located input with
+  | s -> Ok s
+  | exception Located (msg, line) ->
+      Error
+        (Core.Error.parse_error ~source
+           ~position:{ Core.Error.line; column = 1 }
+           msg)
+  | exception Invalid_argument msg ->
+      (* [make] rejects duplicate rules; no single line to blame. *)
+      Error (Core.Error.parse_error ~source msg)
 
 let pp_violation ppf v =
   Format.fprintf ppf "at %a: <%s> children %a do not satisfy %a"

@@ -64,3 +64,8 @@ val parse : string -> t
 (** Inverse of {!to_string}: a [root:] line followed by one
     [label -> DME] rule per line (blank lines and [#] comments skipped).
     @raise Invalid_argument on malformed input. *)
+
+val parse_result : ?source:string -> string -> (t, Core.Error.t) result
+(** Non-raising variant of {!parse}: malformed input yields a structured
+    {!Core.Error.t} carrying [source] (default ["<schema>"]) and the
+    offending 1-based line. *)

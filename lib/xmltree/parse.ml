@@ -1,5 +1,10 @@
 exception Syntax_error of string
 
+(* Internal: carries the raw offset so the [_result] entry points can report
+   a structured line/column position; the legacy raising entry points format
+   it into a [Syntax_error] message. *)
+exception Located of string * int
+
 (* A tiny hand-rolled scanner shared by both parsers. *)
 type cursor = { input : string; mutable pos : int }
 
@@ -8,8 +13,7 @@ let peek cur =
 
 let advance cur = cur.pos <- cur.pos + 1
 
-let fail cur msg =
-  raise (Syntax_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+let fail cur msg = raise (Located (msg, cur.pos))
 
 let skip_ws cur =
   let rec go () =
@@ -204,7 +208,7 @@ and parse_content cur =
   in
   go []
 
-let xml input =
+let xml_unlocated input =
   let cur = { input; pos = 0 } in
   skip_misc cur;
   (match peek cur with
@@ -216,6 +220,24 @@ let xml input =
   | None -> ()
   | Some _ -> fail cur "trailing content after the root element");
   root
+
+(* Legacy raising entry points keep the historical "… at offset N" message;
+   the [_result] variants turn the offset into a line/column position. *)
+let relocate f =
+  try f () with
+  | Located (msg, pos) ->
+      raise (Syntax_error (Printf.sprintf "%s at offset %d" msg pos))
+
+let located_result ~source ~input f =
+  match f () with
+  | v -> Ok v
+  | exception Located (msg, offset) ->
+      Error (Core.Error.at_offset ~source ~input ~offset msg)
+
+let xml input = relocate (fun () -> xml_unlocated input)
+
+let xml_result ?(source = "<xml>") input =
+  located_result ~source ~input (fun () -> xml_unlocated input)
 
 (* ------------------------------------------------------------------ *)
 (* Term syntax: a(b, c(d))                                             *)
@@ -265,10 +287,15 @@ let rec parse_term cur =
         Tree.node label (children [])
   | _ -> Tree.leaf label
 
-let term input =
+let term_unlocated input =
   let cur = { input; pos = 0 } in
   let t = parse_term cur in
   skip_ws cur;
   match peek cur with
   | None -> t
   | Some _ -> fail cur "trailing content after the term"
+
+let term input = relocate (fun () -> term_unlocated input)
+
+let term_result ?(source = "<term>") input =
+  located_result ~source ~input (fun () -> term_unlocated input)

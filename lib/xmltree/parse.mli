@@ -17,3 +17,11 @@ val xml : string -> Tree.t
 
 val term : string -> Tree.t
 (** @raise Syntax_error on malformed terms. *)
+
+val xml_result : ?source:string -> string -> (Tree.t, Core.Error.t) result
+(** Non-raising variant of {!xml}: malformed input yields a structured
+    {!Core.Error.t} carrying [source] (default ["<xml>"]) and the
+    line/column of the failure. *)
+
+val term_result : ?source:string -> string -> (Tree.t, Core.Error.t) result
+(** Non-raising variant of {!term}. *)

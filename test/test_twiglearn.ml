@@ -150,6 +150,66 @@ let test_bounded_search_exhausts () =
   Alcotest.(check bool) "no consistent twig at all" true
     (Twiglearn.Consistency.bounded ~max_size:4 examples = None)
 
+(* Fuel exhaustion is deterministic: the same budget trips at the same
+   candidate, and Fallback degrades to exactly what the approximate learner
+   would produce on its own. *)
+let test_fallback_degrades_deterministically () =
+  let d = Xmltree.Parse.term "r(a(b),a(b))" in
+  let examples =
+    [
+      Core.Example.positive (ann d [ 0 ]);
+      Core.Example.negative (ann d [ 1 ]);
+    ]
+  in
+  (* No twig separates identical siblings, so the exact search would burn
+     through the whole size-6 space; 50 fuel stops it almost immediately. *)
+  let budget = Core.Budget.create ~fuel:50 () in
+  let outcome = Twiglearn.Fallback.learn ~budget ~max_size:6 examples in
+  Alcotest.(check bool) "degraded" true outcome.degraded;
+  (match outcome.level with
+  | Twiglearn.Fallback.Approximate -> ()
+  | _ -> Alcotest.fail "anchored cannot separate identical siblings either");
+  let approx =
+    match Twiglearn.Approximate.learn examples with
+    | Some r -> r
+    | None -> Alcotest.fail "approximate learner must produce a query"
+  in
+  (match outcome.query with
+  | Some q ->
+      Alcotest.check query_testable "fallback = approximate learner" approx.query q
+  | None -> Alcotest.fail "fallback must surface the approximate query");
+  Alcotest.(check int) "dropped annotations reported"
+    (List.length approx.dropped) outcome.dropped;
+  Alcotest.(check bool) "budget spend reported" true
+    (outcome.spent.fuel_spent >= 50);
+  (* Same fuel, same trip point: the outcome is reproducible. *)
+  let again =
+    Twiglearn.Fallback.learn ~budget:(Core.Budget.create ~fuel:50 ()) ~max_size:6
+      examples
+  in
+  Alcotest.(check int) "deterministic fuel accounting"
+    outcome.spent.fuel_spent again.spent.fuel_spent
+
+let test_fallback_exact_with_room () =
+  let d = Xmltree.Parse.term "r(item(location),item(extra))" in
+  let examples =
+    [
+      Core.Example.positive (ann d [ 0 ]);
+      Core.Example.negative (ann d [ 1 ]);
+    ]
+  in
+  let outcome =
+    Twiglearn.Fallback.learn
+      ~budget:(Core.Budget.create ~fuel:1_000_000 ())
+      ~max_size:3 examples
+  in
+  Alcotest.(check bool) "not degraded" false outcome.degraded;
+  match (outcome.level, outcome.query) with
+  | Twiglearn.Fallback.Exact, Some q ->
+      Alcotest.(check bool) "consistent" true
+        (Core.Example.consistent_with Twig.Eval.selects_example q examples)
+  | _ -> Alcotest.fail "a generous budget must reach the exact rung"
+
 let test_enumerate_counts () =
   let n1 = Twiglearn.Enumerate.count ~alphabet:[ "a" ] ~max_nodes:1 () in
   (* Spines of one node: 2 axes times 2 tests (label a or wildcard); no
@@ -502,6 +562,10 @@ let () =
           Alcotest.test_case "anchored inconsistent" `Quick test_consistency_anchored_negative;
           Alcotest.test_case "bounded finds" `Quick test_bounded_search_finds;
           Alcotest.test_case "bounded exhausts" `Quick test_bounded_search_exhausts;
+          Alcotest.test_case "fallback degrades deterministically" `Quick
+            test_fallback_degrades_deterministically;
+          Alcotest.test_case "fallback exact with room" `Quick
+            test_fallback_exact_with_room;
           Alcotest.test_case "enumeration counts" `Quick test_enumerate_counts;
         ] );
       ( "union",

@@ -104,6 +104,32 @@ let test_parse_xml_errors () =
   Alcotest.(check bool) "trailing garbage" true (bad "<a/><b/>");
   Alcotest.(check bool) "no element" true (bad "just text")
 
+let test_parse_xml_result_positions () =
+  let pos input =
+    match Parse.xml_result input with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error (Core.Error.Parse { position = Some p; _ }) -> (p.line, p.column)
+    | Error e -> Alcotest.fail ("error without position: " ^ Core.Error.to_string e)
+  in
+  (* Truncated element: the scanner stops at the end of line 2. *)
+  Alcotest.(check (pair int int)) "truncated" (2, 5) (pos "<a>\n<bad");
+  (* The mismatched closing tag sits on line 3. *)
+  Alcotest.(check int) "mismatch line" 3 (fst (pos "<a>\n<b></b>\n</c>"));
+  match Parse.xml_result ~source:"doc.xml" "garbage" with
+  | Error e ->
+      let msg = Core.Error.to_string e in
+      Alcotest.(check bool) "names the source" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "doc.xml")
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+(* Arbitrary junk must come back as [Error], never as an exception. *)
+let prop_xml_result_never_raises =
+  QCheck.Test.make ~name:"xml_result never raises" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 40))
+    (fun s ->
+      match Parse.xml_result s with Ok _ | Error (Core.Error.Parse _) -> true
+      | Error _ -> false)
+
 let test_print_roundtrip () =
   let doc =
     Parse.xml
@@ -186,6 +212,9 @@ let () =
           Alcotest.test_case "declaration and comments" `Quick test_parse_xml_declaration_comment;
           Alcotest.test_case "cdata" `Quick test_parse_xml_cdata;
           Alcotest.test_case "errors" `Quick test_parse_xml_errors;
+          Alcotest.test_case "result positions" `Quick
+            test_parse_xml_result_positions;
+          qcheck prop_xml_result_never_raises;
           Alcotest.test_case "print roundtrip" `Quick test_print_roundtrip;
           Alcotest.test_case "print escapes" `Quick test_print_escapes;
           qcheck prop_xml_roundtrip;
