@@ -52,10 +52,15 @@ let () =
   let run_experiment name =
     match List.assoc_opt name Experiments.all with
     | Some f -> guarded name f
-    | None -> if name = "micro" then guarded "micro" Micro.run else usage ()
+    | None -> (
+        match name with
+        | "micro" -> guarded "micro" Micro.run
+        | "pr2" -> guarded "pr2" Recovery.run
+        | _ -> usage ())
   in
   match names with
   | [] ->
       List.iter (fun (name, f) -> guarded name f) Experiments.all;
-      guarded "micro" Micro.run
+      guarded "micro" Micro.run;
+      guarded "pr2" Recovery.run
   | names -> List.iter run_experiment names

@@ -57,6 +57,195 @@ let budget_term =
   Term.(const make $ timeout_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Shared durability and supervision flags                             *)
+(* ------------------------------------------------------------------ *)
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Write-ahead session journal: every question and answer is \
+           appended (fsync'd) to $(docv), so a crashed session can be \
+           continued with $(b,--resume) without re-asking anything already \
+           answered.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume the session recorded in $(b,--journal): replay the \
+           surviving answers (a torn tail from a crash is dropped), rebuild \
+           the learner state, and continue asking.  The seed is taken from \
+           the journal header; the other parameters must match the recording \
+           run.")
+
+let crash_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-after" ] ~docv:"K"
+        ~doc:
+          "Fault injection for testing crash recovery: exit abruptly (code \
+           137, as if killed) once the oracle has replied $(docv) times.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Ask an unanswered (refused or timed-out) question up to $(docv) \
+           times in total, with exponential backoff, before giving up on it.")
+
+let breaker_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "breaker" ] ~docv:"N"
+        ~doc:
+          "Circuit breaker: after $(docv) consecutive given-up questions the \
+           session stops asking and returns the current candidate (exit \
+           code 2) instead of hammering a dead oracle.")
+
+let noise_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "noise" ] ~docv:"P"
+        ~doc:"Probability the simulated user answers wrong.")
+
+let refusal_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "refusal" ] ~docv:"P"
+        ~doc:"Probability the simulated user refuses a question.")
+
+let timeout_rate_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "timeout-rate" ] ~docv:"P"
+        ~doc:
+          "Probability the simulated user's answer never arrives (distinct \
+           from $(b,--timeout), the wall-clock budget).")
+
+(* The exit code of an injected crash: 128 + SIGKILL, what a real kill -9
+   would produce. *)
+let exit_crashed = 137
+
+let crash_wrap k oracle =
+  match k with
+  | None -> oracle
+  | Some k ->
+      let n = ref 0 in
+      fun it ->
+        if !n >= k then begin
+          prerr_endline "learnq: injected crash (--crash-after)";
+          exit exit_crashed
+        end;
+        incr n;
+        oracle it
+
+let flaky_profile ~noise ~refusal ~timeout_rate =
+  if noise = 0.0 && refusal = 0.0 && timeout_rate = 0.0 then None
+  else Some (Core.Flaky.profile ~noise ~refusal ~timeout:timeout_rate ())
+
+(* Simulated oracles answer in microseconds; keep the backoff short so a
+   flaky run doesn't spend its wall-clock sleeping. *)
+let retry_policy ~retries ~breaker =
+  Core.Retry.policy ~max_attempts:retries ~base_delay:0.01 ~max_delay:0.25
+    ~breaker_threshold:breaker ()
+
+(* A started (or resumed) journal session: [seed] is the effective seed —
+   the journal header's on resume, the --seed flag's otherwise. *)
+type journal_session = {
+  log : Core.Journal.t option;
+  seed : int;
+  raw_events : Core.Journal.event list;
+}
+
+let start_journal ~path ~resuming ~engine ~config ~seed =
+  match path with
+  | None ->
+      if resuming then
+        or_die
+          (Error
+             (Core.Error.invalid_input ~what:"--resume"
+                "requires --journal FILE"));
+      { log = None; seed; raw_events = [] }
+  | Some path when resuming ->
+      let log, (r : Core.Journal.recovered) =
+        or_die (Core.Journal.resume ~path ())
+      in
+      let h = Option.get r.header in
+      if h.engine <> engine then
+        or_die
+          (Error
+             (Core.Error.invalid_input ~what:"--resume"
+                (Printf.sprintf "%s records a %s session, not %s" path
+                   h.engine engine)));
+      if h.config <> config then
+        or_die
+          (Error
+             (Core.Error.invalid_input ~what:"--resume"
+                (Printf.sprintf
+                   "%s was recorded with different parameters: %s" path
+                   h.config)));
+      if r.dropped_bytes > 0 then
+        Printf.eprintf
+          "learnq: dropped a torn record (%d bytes) from the journal tail\n"
+          r.dropped_bytes;
+      { log = Some log; seed = h.seed; raw_events = r.events }
+  | Some path ->
+      {
+        log = Some (Core.Journal.create ~path { seed; engine; config });
+        seed;
+        raw_events = [];
+      }
+
+(* Decode the Answered prefix of a recovered journal with an engine codec;
+   an undecodable item means the journal belongs to other data. *)
+let decode_replies decode events =
+  List.filter_map
+    (function
+      | Core.Journal.Answered (s, reply) -> (
+          match decode s with
+          | Some it -> Some (it, reply)
+          | None ->
+              or_die
+                (Error
+                   (Core.Error.invalid_input ~what:"--resume"
+                      (Printf.sprintf
+                         "journal item %S does not decode; the journal was \
+                          recorded over different data"
+                         s))))
+      | _ -> None)
+    events
+
+let report_session ?note ~questions ~replayed ~pruned ~refused ~retried () =
+  Printf.printf "questions: %d, replayed: %d, pruned: %d, refused: %d%s\n"
+    questions replayed pruned refused
+    (if retried > 0 then Printf.sprintf ", retried: %d" retried else "");
+  Option.iter print_endline note
+
+(* Shared post-session policy: an open breaker or an exhausted budget both
+   yield a usable-but-degraded candidate and exit code 2. *)
+let exit_degraded_if ~breaker_open ~degraded what =
+  if breaker_open then begin
+    Printf.eprintf
+      "learnq: the oracle circuit breaker opened (too many consecutive \
+       unanswered questions); %s is the current candidate\n"
+      what;
+    exit Core.Error.exit_degraded
+  end;
+  if degraded then begin
+    Printf.eprintf
+      "learnq: the budget ran out; %s is the current candidate, not \
+       necessarily the goal\n"
+      what;
+    exit Core.Error.exit_degraded
+  end
+
+(* ------------------------------------------------------------------ *)
 (* xmark                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -299,7 +488,70 @@ let learn_twig_cmd =
               exit Core.Error.exit_degraded
             end)
   in
-  let run files selects goal with_schema exact budget =
+  (* A live journaled session: the user is simulated by the --goal query
+     (optionally through a fault injector), questions and answers are
+     write-ahead logged, and a crashed run picks up from its journal. *)
+  let run_interactive files goal seed journal resume crash_after noise refusal
+      timeout_rate retries breaker budget =
+    let file = List.hd files in
+    let doc = load_doc file in
+    let xpath =
+      match goal with
+      | Some g -> g
+      | None ->
+          or_die
+            (Error
+               (Core.Error.invalid_input ~what:"--interactive"
+                  "requires --goal (the simulated user)"))
+    in
+    let goal_q = or_die (Twig.Parse.query_result ~source:"--goal" xpath) in
+    let config =
+      Printf.sprintf
+        "learn-twig file=%s goal=%s noise=%g refusal=%g timeout-rate=%g"
+        (Filename.basename file) xpath noise refusal timeout_rate
+    in
+    let js =
+      start_journal ~path:journal ~resuming:resume ~engine:"learn-twig"
+        ~config ~seed
+    in
+    let rng = Core.Prng.create js.seed in
+    let items = Twiglearn.Interactive.items_of_doc doc in
+    let base_oracle it = Twig.Eval.selects_example goal_q it in
+    let profile = flaky_profile ~noise ~refusal ~timeout_rate in
+    let oracle =
+      match profile with
+      | None -> fun it -> Core.Flaky.Label (base_oracle it)
+      | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
+    in
+    let oracle = crash_wrap crash_after oracle in
+    let resume_events =
+      decode_replies (Twiglearn.Interactive.decode_item ~doc) js.raw_events
+    in
+    let jpair =
+      Option.map (fun log -> (log, Twiglearn.Interactive.encode_item)) js.log
+    in
+    let outcome =
+      Twiglearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
+        ~resume:resume_events
+        ~retry:(retry_policy ~retries ~breaker)
+        ~oracle ~items ()
+    in
+    Option.iter Core.Journal.close js.log;
+    report_session ~questions:outcome.questions ~replayed:outcome.replayed
+      ~pruned:outcome.pruned ~refused:outcome.refused ~retried:outcome.retried
+      ();
+    (match outcome.query with
+    | Some q -> Format.printf "learned: %a@." Twig.Query.pp q
+    | None -> print_endline "no consistent query");
+    exit_degraded_if ~breaker_open:outcome.breaker_open
+      ~degraded:outcome.degraded "the learned twig"
+  in
+  let run files selects goal with_schema exact budget interactive seed journal
+      resume crash_after noise refusal timeout_rate retries breaker =
+    if interactive || journal <> None then
+      run_interactive files goal seed journal resume crash_after noise refusal
+        timeout_rate retries breaker budget
+    else
     let docs = List.map load_doc files in
     match exact with
     | Some max_size -> run_exact budget max_size goal docs
@@ -339,13 +591,25 @@ let learn_twig_cmd =
                    (Uschema.Depgraph.of_schema Benchkit.Xmark.schema)
                    learned))
   in
+  let interactive =
+    Arg.(
+      value & flag
+      & info [ "interactive" ]
+          ~doc:
+            "Run the Section-3 interactive protocol on the first FILE, with \
+             --goal as the simulated user; supports --journal/--resume crash \
+             recovery and the flaky-oracle flags.")
+  in
   Cmd.v
     (Cmd.info "learn-twig"
        ~doc:
          "Learn a twig query from annotated nodes; with --exact, run the \
-          budgeted exact search with graceful degradation.")
+          budgeted exact search with graceful degradation; with \
+          --interactive, run a journaled question-answer session.")
     Term.(const run $ doc_files $ selects $ goal $ with_schema $ exact
-          $ budget_term)
+          $ budget_term $ interactive $ seed_arg $ journal_arg $ resume_arg
+          $ crash_after_arg $ noise_arg $ refusal_arg $ timeout_rate_arg
+          $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-join                                                          *)
@@ -450,53 +714,84 @@ let learn_join_cmd =
       & opt (some file) None
       & info [ "right" ] ~docv:"CSV" ~doc:"Right relation as CSV.")
   in
-  let noise_arg =
-    Arg.(
-      value & opt float 0.0
-      & info [ "noise" ] ~docv:"P"
-          ~doc:"Probability the simulated user answers wrong (generated mode).")
-  in
-  let refusal_arg =
-    Arg.(
-      value & opt float 0.0
-      & info [ "refusal" ] ~docv:"P"
-          ~doc:"Probability the simulated user refuses a question.")
-  in
-  let run_generated_join seed strategy rows budget noise refusal =
-    let rng = Core.Prng.create seed in
+  let run_generated_join seed strategy_name strategy rows budget noise refusal
+      timeout_rate journal resume crash_after retries breaker =
+    let config =
+      Printf.sprintf
+        "learn-join rows=%d strategy=%s noise=%g refusal=%g timeout-rate=%g"
+        rows strategy_name noise refusal timeout_rate
+    in
+    let js =
+      start_journal ~path:journal ~resuming:resume ~engine:"learn-join"
+        ~config ~seed
+    in
+    let rng = Core.Prng.create js.seed in
     let inst =
       Relational.Generator.pair_instance ~rng ~left_rows:rows ~right_rows:rows ()
     in
     Printf.printf "hidden goal: %s\n"
       (String.concat ", "
          (List.map (fun (i, j) -> Printf.sprintf "a%d=b%d" i j) inst.planted));
-    let profile =
-      if noise = 0.0 && refusal = 0.0 then None
-      else Some (Core.Flaky.profile ~noise ~refusal ())
-    in
-    let outcome =
-      Joinlearn.Interactive.run_with_goal ~rng ~strategy ~budget ?profile
-        ~left:inst.left ~right:inst.right ~goal:inst.planted ()
-    in
     let space =
       Joinlearn.Signature.space
         ~left_arity:(Relational.Relation.arity inst.left)
         ~right_arity:(Relational.Relation.arity inst.right)
     in
+    let items = Joinlearn.Interactive.items_of space inst.left inst.right in
+    let goal_mask = Joinlearn.Signature.of_predicate space inst.planted in
+    let base_oracle (it : Joinlearn.Interactive.item) =
+      Joinlearn.Signature.subset goal_mask it.mask
+    in
+    let profile = flaky_profile ~noise ~refusal ~timeout_rate in
+    let oracle =
+      match profile with
+      | None -> fun it -> Core.Flaky.Label (base_oracle it)
+      | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
+    in
+    let oracle = crash_wrap crash_after oracle in
+    let resume_events =
+      decode_replies
+        (Joinlearn.Interactive.decode_item ~left:inst.left ~right:inst.right)
+        js.raw_events
+    in
+    let jpair =
+      Option.map
+        (fun log ->
+          ( log,
+            Joinlearn.Interactive.encode_item ~left:inst.left ~right:inst.right
+          ))
+        js.log
+    in
+    let outcome =
+      Joinlearn.Interactive.Loop.run_flaky ~rng ~strategy ~budget
+        ?journal:jpair ~resume:resume_events
+        ~retry:(retry_policy ~retries ~breaker)
+        ~oracle ~items ()
+    in
+    Option.iter Core.Journal.close js.log;
     (match outcome.query with
     | Some learned ->
         Format.printf "learned:     %a@." (Joinlearn.Signature.pp space) learned
     | None -> print_endline "no consistent predicate");
-    Printf.printf "questions: %d, pruned: %d, refused: %d (pool %d)\n"
-      outcome.questions outcome.pruned outcome.refused
-      (outcome.questions + outcome.pruned);
-    if outcome.degraded then begin
-      prerr_endline "learnq: the question budget ran out; the predicate is the \
-                     current candidate, not necessarily the goal";
-      exit Core.Error.exit_degraded
-    end
+    report_session
+      ~note:
+        (Printf.sprintf "pool: %d"
+           (outcome.questions + outcome.replayed + outcome.pruned))
+      ~questions:outcome.questions ~replayed:outcome.replayed
+      ~pruned:outcome.pruned ~refused:outcome.refused ~retried:outcome.retried
+      ();
+    exit_degraded_if ~breaker_open:outcome.breaker_open
+      ~degraded:outcome.degraded "the predicate"
   in
-  let run seed strategy rows left right budget noise refusal =
+  let run seed strategy rows left right budget noise refusal timeout_rate
+      journal resume crash_after retries breaker =
+    let strategy_name =
+      match strategy with
+      | `First -> "first"
+      | `Random -> "random"
+      | `Lattice -> "lattice"
+      | `Split -> "split"
+    in
     let strategy_fn =
       match strategy with
       | `First -> Core.Interact.first_strategy
@@ -509,16 +804,21 @@ let learn_join_cmd =
     | Some _, None | None, Some _ ->
         prerr_endline "need both --left and --right";
         exit Core.Error.exit_bad_input
-    | None, None -> run_generated_join seed strategy_fn rows budget noise refusal
+    | None, None ->
+        run_generated_join seed strategy_name strategy_fn rows budget noise
+          refusal timeout_rate journal resume crash_after retries breaker
   in
   Cmd.v
     (Cmd.info "learn-join"
        ~doc:
          "Interactively infer a join predicate — on your CSV data with \
           --left/--right (you answer the questions), or on a generated \
-          instance with a simulated (possibly flaky) user.")
+          instance with a simulated (possibly flaky) user, journaled and \
+          resumable with --journal/--resume.")
     Term.(const run $ seed_arg $ strategy_arg $ rows_arg $ left_arg $ right_arg
-          $ budget_term $ noise_arg $ refusal_arg)
+          $ budget_term $ noise_arg $ refusal_arg $ timeout_rate_arg
+          $ journal_arg $ resume_arg $ crash_after_arg $ retries_arg
+          $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-path                                                          *)
@@ -534,28 +834,61 @@ let learn_path_cmd =
       & opt string "highway highway*"
       & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
   in
-  let run seed cities goal budget =
-    let rng = Core.Prng.create seed in
+  let run seed cities goal budget journal resume crash_after noise refusal
+      timeout_rate retries breaker =
+    let config =
+      Printf.sprintf
+        "learn-path cities=%d goal=%s noise=%g refusal=%g timeout-rate=%g"
+        cities goal noise refusal timeout_rate
+    in
+    let js =
+      start_journal ~path:journal ~resuming:resume ~engine:"learn-path"
+        ~config ~seed
+    in
+    let rng = Core.Prng.create js.seed in
     let graph = Graphdb.Generators.geo ~rng ~cities () in
     let goal_dfa = Automata.Dfa.of_regex (Automata.Regex.parse goal) in
-    let outcome =
-      Pathlearn.Interactive.run_with_goal ~rng ~budget ~max_len:3 ~graph
-        ~goal:goal_dfa ()
+    let items = Pathlearn.Interactive.items_of_graph ~max_len:3 ~rng graph in
+    let base_oracle (it : Pathlearn.Interactive.item) =
+      Automata.Dfa.accepts goal_dfa it.word
     in
-    Printf.printf "questions: %d, pruned: %d\n" outcome.questions outcome.pruned;
+    let profile = flaky_profile ~noise ~refusal ~timeout_rate in
+    let oracle =
+      match profile with
+      | None -> fun it -> Core.Flaky.Label (base_oracle it)
+      | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
+    in
+    let oracle = crash_wrap crash_after oracle in
+    let resume_events =
+      decode_replies Pathlearn.Interactive.decode_item js.raw_events
+    in
+    let jpair =
+      Option.map (fun log -> (log, Pathlearn.Interactive.encode_item)) js.log
+    in
+    let outcome =
+      Pathlearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
+        ~resume:resume_events
+        ~retry:(retry_policy ~retries ~breaker)
+        ~oracle ~items ()
+    in
+    Option.iter Core.Journal.close js.log;
+    report_session ~questions:outcome.questions ~replayed:outcome.replayed
+      ~pruned:outcome.pruned ~refused:outcome.refused ~retried:outcome.retried
+      ();
     (match outcome.query with
     | Some h -> Format.printf "learned: %a@." Pathlearn.Words.pp h
     | None -> print_endline "no consistent query");
-    if outcome.degraded then begin
-      prerr_endline
-        "learnq: the question budget ran out; the hypothesis is partial";
-      exit Core.Error.exit_degraded
-    end
+    exit_degraded_if ~breaker_open:outcome.breaker_open
+      ~degraded:outcome.degraded "the hypothesis"
   in
   Cmd.v
     (Cmd.info "learn-path"
-       ~doc:"Interactively learn a path query on a generated road network.")
-    Term.(const run $ seed_arg $ cities_arg $ goal_arg $ budget_term)
+       ~doc:
+         "Interactively learn a path query on a generated road network, \
+          journaled and resumable with --journal/--resume.")
+    Term.(const run $ seed_arg $ cities_arg $ goal_arg $ budget_term
+          $ journal_arg $ resume_arg $ crash_after_arg $ noise_arg
+          $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)

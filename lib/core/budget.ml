@@ -19,15 +19,17 @@ type 'a outcome = Done of 'a | Exhausted of { partial : 'a option; spent : stats
 
 exception Out_of_budget
 
-(* gettimeofday costs ~25ns but ticks sit in the innermost enumeration
+(* Reading the clock costs ~25ns but ticks sit in the innermost enumeration
    loops; consult the clock only every so many ticks. *)
 let clock_check_interval = 256
 
+(* Deadlines are measured on the monotonic clock: gettimeofday jumps under
+   NTP adjustment, which can fire a deadline early or postpone it forever. *)
 let create ?fuel ?timeout () =
   {
     fuel_limit = fuel;
     timeout;
-    started = Unix.gettimeofday ();
+    started = Monotonic.now ();
     fuel_spent = 0;
     next_clock_check = 0;
     tripped = false;
@@ -36,7 +38,10 @@ let create ?fuel ?timeout () =
 
 let unlimited () = create ()
 let is_unlimited b = b.fuel_limit = None && b.timeout = None
-let elapsed b = Unix.gettimeofday () -. b.started
+let elapsed b = Monotonic.now () -. b.started
+
+let remaining b =
+  match b.timeout with None -> None | Some s -> Some (s -. elapsed b)
 
 let stats b =
   {

@@ -57,6 +57,11 @@ val exhausted : t -> bool
 (** Non-raising check: has the budget tripped (or would the next tick)?  Use
     it where raising mid-state would lose a partial result. *)
 
+val remaining : t -> float option
+(** Seconds left before the deadline ([None] when there is none; may be
+    negative once it has passed).  Retry policies cap their backoff sleeps
+    with it so a retry never outlives the budget. *)
+
 val stats : t -> stats
 
 val run : ?partial:(unit -> 'a option) -> t -> (unit -> 'a) -> 'a outcome

@@ -4,6 +4,7 @@ type t =
   | Parse of { source : string; message : string; position : position option }
   | Budget_exhausted of { engine : string; spent : Budget.stats }
   | Invalid_input of { what : string; message : string }
+  | Corrupt_journal of { path : string; offset : int; message : string }
 
 let position_of_offset input offset =
   let offset = min (max offset 0) (String.length input) in
@@ -23,6 +24,7 @@ let at_offset ~source ~input ~offset message =
 
 let budget_exhausted ~engine spent = Budget_exhausted { engine; spent }
 let invalid_input ~what message = Invalid_input { what; message }
+let corrupt_journal ~path ~offset message = Corrupt_journal { path; offset; message }
 
 let pp ppf = function
   | Parse { source; message; position } -> (
@@ -36,6 +38,8 @@ let pp ppf = function
         spent.Budget.fuel_spent spent.Budget.elapsed
   | Invalid_input { what; message } ->
       Format.fprintf ppf "invalid %s: %s" what message
+  | Corrupt_journal { path; offset; message } ->
+      Format.fprintf ppf "corrupt journal %s at byte %d: %s" path offset message
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -45,5 +49,5 @@ let exit_budget = 3
 let exit_bad_input = 64
 
 let exit_code = function
-  | Parse _ | Invalid_input _ -> exit_bad_input
+  | Parse _ | Invalid_input _ | Corrupt_journal _ -> exit_bad_input
   | Budget_exhausted _ -> exit_budget

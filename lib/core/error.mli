@@ -19,6 +19,10 @@ type t =
   | Invalid_input of { what : string; message : string }
       (** Structurally well-formed input that violates a semantic requirement
           (duplicate attributes, arity mismatch, …). *)
+  | Corrupt_journal of { path : string; offset : int; message : string }
+      (** A session journal record whose checksum or framing is wrong at byte
+          [offset] — in-place corruption, as opposed to the torn tail of a
+          crash, which [Journal.recover] drops silently. *)
 
 val position_of_offset : string -> int -> position
 (** Line/column of a byte offset in an input string. *)
@@ -30,6 +34,7 @@ val at_offset : source:string -> input:string -> offset:int -> string -> t
 
 val budget_exhausted : engine:string -> Budget.stats -> t
 val invalid_input : what:string -> string -> t
+val corrupt_journal : path:string -> offset:int -> string -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

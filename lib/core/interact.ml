@@ -23,26 +23,96 @@ module Make (S : SESSION) = struct
   type outcome = {
     query : S.query option;
     questions : int;
+    replayed : int;
     asked : (S.item * bool) list;
     pruned : int;
     refused : int;
+    retried : int;
     degraded : bool;
+    breaker_open : bool;
     state : S.state;
   }
 
   let run_flaky ?(rng = Prng.create 0) ?(strategy = first_strategy)
-      ?(max_questions = max_int) ?budget ~oracle ~items () =
+      ?(max_questions = max_int) ?budget ?journal ?(resume = []) ?retry
+      ~oracle ~items () =
     let budget =
       match budget with Some b -> b | None -> Budget.unlimited ()
     in
-    let finish ~degraded state asked questions pruned refused =
+    let jappend ev =
+      match journal with None -> () | Some (log, _) -> Journal.append log ev
+    in
+    let jencode item =
+      match journal with None -> "" | Some (_, encode) -> encode item
+    in
+    (* Replay a recovered journal: every recorded label rebuilds the state
+       exactly as the live run did (the fold preserves append order), and a
+       duplicate answer for an item is an idempotent no-op.  Refused and
+       timed-out questions return to the pool — on resume the oracle gets
+       another chance at them. *)
+    let state0, asked0, replayed =
+      List.fold_left
+        (fun (st, asked, n) (item, reply) ->
+          match reply with
+          | Flaky.Refused | Flaky.Timed_out -> (st, asked, n)
+          | Flaky.Label label ->
+              if List.exists (fun (a, _) -> a = item) asked then (st, asked, n)
+              else (S.record st item label, (item, label) :: asked, n + 1))
+        (S.init items, [], 0)
+        resume
+    in
+    (* Never ask an already-answered question twice: drop replayed items from
+       the pool outright rather than trusting [determined] to prune them. *)
+    let items =
+      if asked0 = [] then items
+      else
+        List.filter
+          (fun it -> not (List.exists (fun (a, _) -> a = it) asked0))
+          items
+    in
+    let breaker = Option.map (fun p -> (p, Retry.breaker p)) retry in
+    let retried = ref 0 in
+    let ask item =
+      jappend (Journal.Asked (jencode item));
+      let reply =
+        match breaker with
+        | None -> oracle item
+        | Some (policy, breaker) -> (
+            match
+              Retry.call ~budget ~rng policy breaker
+                ~classify:(function
+                  | Flaky.Label _ -> `Ok
+                  | Flaky.Refused | Flaky.Timed_out -> `Transient)
+                (fun () -> oracle item)
+            with
+            | Retry.Answered (r, attempts) | Retry.Gave_up (r, attempts) ->
+                retried := !retried + attempts - 1;
+                r
+            | Retry.Rejected ->
+                (* Open breaker: behave like a refusal; the loop notices the
+                   open breaker and finishes. *)
+                Flaky.Refused)
+      in
+      jappend (Journal.Answered (jencode item, reply));
+      reply
+    in
+    let breaker_is_open () =
+      match breaker with
+      | None -> false
+      | Some (_, b) -> Retry.breaker_state b = Retry.Open
+    in
+    let finish ~degraded ~complete state asked questions pruned refused =
+      if complete then jappend Journal.Completed;
       {
         query = S.candidate state;
         questions;
+        replayed;
         asked = List.rev asked;
         pruned;
         refused;
+        retried = !retried;
         degraded;
+        breaker_open = breaker_is_open ();
         state;
       }
     in
@@ -60,18 +130,29 @@ module Make (S : SESSION) = struct
           remaining
       with
       | exception Budget.Out_of_budget ->
-          finish ~degraded:true state asked questions pruned refused
+          finish ~degraded:true ~complete:false state asked questions pruned
+            refused
       | open_items, newly_determined ->
           let pruned = pruned + List.length newly_determined in
           if open_items = [] || questions >= max_questions then
-            finish ~degraded:false state asked questions pruned refused
+            finish ~degraded:false ~complete:(open_items = []) state asked
+              questions pruned refused
+          else if breaker_is_open () then
+            (* The oracle is effectively down: stop asking and surface the
+               current candidate so the caller can degrade via its fallback
+               ladder. *)
+            finish ~degraded:true ~complete:false state asked questions pruned
+              refused
           else
             let item = strategy rng state open_items in
             let remaining = List.filter (fun it -> it != item) open_items in
-            (match oracle item with
+            (match ask item with
+            | exception Budget.Out_of_budget ->
+                finish ~degraded:true ~complete:false state asked questions
+                  pruned refused
             | Flaky.Refused | Flaky.Timed_out ->
-                (* The user never answered: set the question aside and keep
-                   the session going on the rest of the pool. *)
+                (* The user never answered even through the retry policy: set
+                   the question aside and keep going on the rest of the pool. *)
                 loop state remaining asked questions pruned (refused + 1)
             | Flaky.Label label ->
                 let state = S.record state item label in
@@ -79,10 +160,11 @@ module Make (S : SESSION) = struct
                   ((item, label) :: asked)
                   (questions + 1) pruned refused)
     in
-    loop (S.init items) items [] 0 0 0
+    loop state0 items asked0 0 0 0
 
-  let run ?rng ?strategy ?max_questions ?budget ~oracle ~items () =
-    run_flaky ?rng ?strategy ?max_questions ?budget
+  let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ~oracle
+      ~items () =
+    run_flaky ?rng ?strategy ?max_questions ?budget ?journal ?resume
       ~oracle:(fun it -> Flaky.Label (oracle it))
       ~items ()
 

@@ -10,7 +10,13 @@
 
     The kernel is functorized over a {!SESSION}: a concrete learner exposing a
     monotone state, a notion of determined (= uninformative) items, and a
-    current candidate query. *)
+    current candidate query.
+
+    Sessions are durable and supervised: an optional {!Journal} records every
+    question and answer write-ahead (so a crashed session resumes from its
+    journal, replaying the recorded answers instead of re-asking them), and an
+    optional {!Retry} policy re-issues refused or timed-out questions with
+    backoff, tripping a circuit breaker when the oracle looks dead. *)
 
 module type SESSION = sig
   type query
@@ -50,11 +56,14 @@ val random_strategy : ('state, 'item) strategy
 module Make (S : SESSION) : sig
   type outcome = {
     query : S.query option;  (** final candidate *)
-    questions : int;  (** number of user interactions (= crowd HITs) *)
-    asked : (S.item * bool) list;  (** transcript, in order *)
+    questions : int;  (** live user interactions this run (= crowd HITs) *)
+    replayed : int;  (** answers replayed from a journal, not re-asked *)
+    asked : (S.item * bool) list;  (** transcript incl. replays, in order *)
     pruned : int;  (** items never asked because they became determined *)
-    refused : int;  (** questions the user refused or never answered *)
-    degraded : bool;  (** the session stopped on budget exhaustion *)
+    refused : int;  (** questions unanswered even through the retry policy *)
+    retried : int;  (** extra oracle attempts spent by the retry policy *)
+    degraded : bool;  (** stopped on budget exhaustion or an open breaker *)
+    breaker_open : bool;  (** the oracle circuit breaker is open *)
     state : S.state;  (** final learner state *)
   }
 
@@ -63,6 +72,8 @@ module Make (S : SESSION) : sig
     ?strategy:(S.state, S.item) strategy ->
     ?max_questions:int ->
     ?budget:Budget.t ->
+    ?journal:Journal.t * (S.item -> string) ->
+    ?resume:(S.item * Flaky.reply) list ->
     oracle:(S.item -> bool) ->
     items:S.item list ->
     unit ->
@@ -73,24 +84,44 @@ module Make (S : SESSION) : sig
       [max_questions] is reached.  [pruned] counts pool items whose label was
       inferred rather than asked.  When [budget] runs out mid-session the
       loop returns the current candidate with [degraded = true] instead of
-      raising. *)
+      raising.  [journal] and [resume] are as in {!run_flaky}. *)
 
   val run_flaky :
     ?rng:Prng.t ->
     ?strategy:(S.state, S.item) strategy ->
     ?max_questions:int ->
     ?budget:Budget.t ->
+    ?journal:Journal.t * (S.item -> string) ->
+    ?resume:(S.item * Flaky.reply) list ->
+    ?retry:Retry.policy ->
     oracle:(S.item -> Flaky.reply) ->
     items:S.item list ->
     unit ->
     outcome
-  (** {!run} against an unreliable user ({!Flaky}): refused and timed-out
-      questions are set aside (counted in [refused]) and the session
-      continues on the remaining pool — noisy answers are recorded as given,
-      which is the crowdsourcing reality the robust learners exist for. *)
+  (** {!run} against an unreliable user ({!Flaky}).
+
+      [journal] is a write-ahead log plus an item encoder: every question is
+      journaled before the oracle is consulted and every reply after, so a
+      crash loses at most the answer in flight.
+
+      [resume] is the decoded [Answered] prefix of a recovered journal.
+      Replay is a pure fold of {!SESSION.record} over the recorded labels —
+      deterministic, with duplicate answers as idempotent no-ops — and
+      replayed items are removed from the pool, so no already-answered
+      question is ever asked twice.  Refused/timed-out records return to the
+      pool.  Replays are counted in [replayed], not [questions].
+
+      [retry] re-issues refused and timed-out questions with backoff instead
+      of skipping them; only questions that fail every attempt count in
+      [refused].  When the policy's circuit breaker opens (too many
+      consecutive given-up questions) the session stops asking and returns
+      the current candidate with [degraded = true] and [breaker_open = true]
+      — the caller's cue to fall back (e.g. [Twiglearn.Fallback],
+      [Joinlearn.Fallback]) rather than hammer a dead oracle. *)
 
   val cost :
     price_per_question:float -> outcome -> float
   (** Crowdsourcing cost of a session: the paper equates minimizing
-      interactions with minimizing financial cost of HITs (Section 3). *)
+      interactions with minimizing financial cost of HITs (Section 3).
+      Replayed answers were already paid for and are not re-billed. *)
 end

@@ -1,0 +1,233 @@
+let magic = "LQJRNL1\n"
+
+type header = { seed : int; engine : string; config : string }
+
+type event =
+  | Asked of string
+  | Answered of string * Flaky.reply
+  | Completed
+
+type t = { fd : Unix.file_descr; sync : bool; mutable closed : bool }
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (polynomial 0xEDB88320, the zlib/PNG one)                    *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One tag byte, then the encoded item.  The header packs its fields with
+   NUL separators (items and configs are produced by this code base and
+   never contain NUL). *)
+
+let encode_header h = Printf.sprintf "H%d\x00%s\x00%s" h.seed h.engine h.config
+
+let decode_header payload =
+  (* payload starts after the 'H' tag *)
+  match String.split_on_char '\x00' payload with
+  | seed :: engine :: rest -> (
+      match int_of_string_opt seed with
+      | Some seed -> Some { seed; engine; config = String.concat "\x00" rest }
+      | None -> None)
+  | _ -> None
+
+let encode_event = function
+  | Asked item -> "?" ^ item
+  | Answered (item, Flaky.Label true) -> "+" ^ item
+  | Answered (item, Flaky.Label false) -> "-" ^ item
+  | Answered (item, Flaky.Refused) -> "R" ^ item
+  | Answered (item, Flaky.Timed_out) -> "T" ^ item
+  | Completed -> "C"
+
+let decode_event payload =
+  if payload = "" then None
+  else
+    let rest () = String.sub payload 1 (String.length payload - 1) in
+    match payload.[0] with
+    | '?' -> Some (Asked (rest ()))
+    | '+' -> Some (Answered (rest (), Flaky.Label true))
+    | '-' -> Some (Answered (rest (), Flaky.Label false))
+    | 'R' -> Some (Answered (rest (), Flaky.Refused))
+    | 'T' -> Some (Answered (rest (), Flaky.Timed_out))
+    | 'C' when String.length payload = 1 -> Some Completed
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Record framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let put_le32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_le32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  put_le32 buf (String.length payload);
+  put_le32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+let append_raw t s =
+  if t.closed then invalid_arg "Journal.append: journal is closed";
+  write_all t.fd s;
+  if t.sync then Unix.fsync t.fd
+
+let append t event = append_raw t (frame (encode_event event))
+
+let create ?(sync = true) ~path header =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let t = { fd; sync; closed = false } in
+  append_raw t (magic ^ frame (encode_header header));
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovered = {
+  header : header option;
+  events : event list;
+  valid_bytes : int;
+  dropped_bytes : int;
+}
+
+let parse ~source input =
+  let len = String.length input in
+  let magic_len = String.length magic in
+  let prefix_of_magic =
+    len < magic_len && String.equal input (String.sub magic 0 len)
+  in
+  if prefix_of_magic then
+    (* The crash happened while the very first write was in flight. *)
+    Ok { header = None; events = []; valid_bytes = 0; dropped_bytes = len }
+  else if len < magic_len || not (String.equal (String.sub input 0 magic_len) magic)
+  then
+    Error
+      (Error.parse_error ~source:"journal"
+         (Printf.sprintf "%s is not a learnq session journal" source))
+  else
+    let rec records pos header events =
+      let finish dropped =
+        Ok
+          {
+            header;
+            events = List.rev events;
+            valid_bytes = pos;
+            dropped_bytes = dropped;
+          }
+      in
+      if len - pos < 8 then finish (len - pos)
+      else
+        let plen = get_le32 input pos in
+        let crc = get_le32 input (pos + 4) in
+        if plen < 0 || pos + 8 + plen > len then
+          (* Torn tail: the length prefix promises more bytes than exist.
+             (An in-place corruption of the length field is indistinguishable
+             from a torn write, so it too is treated as truncation.) *)
+          finish (len - pos)
+        else
+          let payload = String.sub input (pos + 8) plen in
+          if crc32 payload <> crc then
+            Error
+              (Error.corrupt_journal ~path:source ~offset:pos
+                 "record checksum mismatch")
+          else
+            let next = pos + 8 + plen in
+            if plen > 0 && payload.[0] = 'H' then
+              match decode_header (String.sub payload 1 (plen - 1)) with
+              | Some h when pos = magic_len && header = None ->
+                  records next (Some h) events
+              | Some _ ->
+                  Error
+                    (Error.corrupt_journal ~path:source ~offset:pos
+                       "unexpected header record")
+              | None ->
+                  Error
+                    (Error.corrupt_journal ~path:source ~offset:pos
+                       "undecodable header record")
+            else begin
+              match decode_event payload with
+              | Some ev -> records next header (ev :: events)
+              | None ->
+                  Error
+                    (Error.corrupt_journal ~path:source ~offset:pos
+                       "undecodable record payload")
+            end
+    in
+    records magic_len None []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let recover ~path =
+  match read_file path with
+  | exception Sys_error msg ->
+      Error (Error.invalid_input ~what:"--journal" msg)
+  | input -> parse ~source:path input
+
+let resume ?(sync = true) ~path () =
+  match recover ~path with
+  | Error e -> Error e
+  | Ok r -> (
+      match r.header with
+      | None ->
+          Error
+            (Error.invalid_input ~what:"--journal"
+               (path ^ " has no intact header record; nothing to resume"))
+      | Some _ ->
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd r.valid_bytes;
+          ignore (Unix.lseek fd 0 Unix.SEEK_END);
+          Ok ({ fd; sync; closed = false }, r))
+
+let answered r =
+  List.filter_map
+    (function Answered (item, reply) -> Some (item, reply) | _ -> None)
+    r.events

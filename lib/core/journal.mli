@@ -1,0 +1,78 @@
+(** The write-ahead session journal: crash durability for interactive
+    learning sessions.
+
+    The paper's Section 3 protocol is a long-running loop of questions and
+    answers, each answer bought from a (crowd) user; losing them to a process
+    crash means paying for them again.  In the spirit of ARIES-style
+    write-ahead logging, a journal records the session {e before} the effects
+    happen: a header (seed and configuration, so the run is reproducible),
+    then one record per question asked and per answer received, each fsync'd
+    on append.
+
+    {2 On-disk format}
+
+    An 8-byte magic string ["LQJRNL1\n"] followed by records.  Each record is
+
+    {v [length : 4 bytes LE] [crc32 : 4 bytes LE] [payload : length bytes] v}
+
+    where the CRC-32 (polynomial 0xEDB88320) covers the payload.  A record is
+    written with a single [write] and fsync'd, so a crash leaves at most one
+    torn record at the physical tail.  {!recover} therefore treats a record
+    whose bytes run out before [length] is satisfied as a torn tail and drops
+    it silently, while a record that is fully present but fails its CRC is
+    {e corruption} and is rejected with a positioned {!Error.t}. *)
+
+type header = {
+  seed : int;  (** the PRNG seed the session ran under *)
+  engine : string;  (** which learner ("learn-twig", "learn-join", …) *)
+  config : string;  (** free-form parameter line; checked on resume *)
+}
+
+type event =
+  | Asked of string  (** an encoded item was put to the oracle *)
+  | Answered of string * Flaky.reply  (** …and this reply came back *)
+  | Completed  (** the session ended with no open item *)
+
+type t
+(** An open journal writer. *)
+
+val create : ?sync:bool -> path:string -> header -> t
+(** Starts a fresh journal at [path] (truncating any existing file) and
+    writes the header record.  [sync] (default [true]) fsyncs every append —
+    the durability guarantee; turn it off only for benchmarks. *)
+
+val append : t -> event -> unit
+(** Appends one record ([fsync]'d when the journal was created with [sync]).
+    @raise Invalid_argument on a closed journal. *)
+
+val close : t -> unit
+(** Closes the underlying descriptor; idempotent. *)
+
+type recovered = {
+  header : header option;
+      (** [None] when even the header record was lost to truncation. *)
+  events : event list;  (** the surviving prefix, in append order *)
+  valid_bytes : int;  (** file offset just past the last whole record *)
+  dropped_bytes : int;  (** torn-tail bytes discarded after [valid_bytes] *)
+}
+
+val parse : source:string -> string -> (recovered, Error.t) result
+(** Pure parser over raw journal bytes ([source] names them in errors).  Any
+    byte-truncation of a valid journal parses to the surviving prefix; a CRC
+    mismatch or an undecodable payload in a complete record is an error
+    positioned at the record's offset. *)
+
+val recover : path:string -> (recovered, Error.t) result
+(** Reads and {!parse}s the file at [path]. *)
+
+val resume : ?sync:bool -> path:string -> unit -> (t * recovered, Error.t) result
+(** {!recover}, then reopen [path] for appending: the torn tail (if any) is
+    truncated away and subsequent {!append}s continue the valid prefix.
+    Fails when the journal has no header (nothing to resume). *)
+
+val answered : recovered -> (string * Flaky.reply) list
+(** The [Answered] events of the surviving prefix, in order — what a learner
+    replays to rebuild its state. *)
+
+val crc32 : string -> int
+(** The checksum used by the record format (exposed for tests). *)

@@ -1,0 +1,14 @@
+(** A monotonic clock for interval measurement.
+
+    [Unix.gettimeofday] is wall-clock time: NTP adjustments and manual clock
+    changes make it jump, so a deadline computed against it can fire early or
+    never.  This module reads [CLOCK_MONOTONIC] (via a C stub), whose epoch is
+    arbitrary but whose flow is steady — only differences between two readings
+    are meaningful.  [Budget] deadlines and [Retry] breaker cooldowns are
+    measured with it. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary (boot-time) epoch. *)
+
+val now : unit -> float
+(** Seconds since the same arbitrary epoch.  Use only for differences. *)

@@ -1,0 +1,25 @@
+/* Monotonic clock stub: CLOCK_MONOTONIC is immune to NTP slews and
+   settimeofday jumps, which is what deadline arithmetic needs.  Falls back
+   to gettimeofday on platforms without it (then deadlines are only as good
+   as the wall clock, as before). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value learnq_monotonic_now_ns(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000
+                           + (int64_t)tv.tv_usec * 1000);
+  }
+}

@@ -1,0 +1,98 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  breaker_threshold : int;
+  cooldown : float;
+  sleep : float -> unit;
+}
+
+let policy ?(max_attempts = 3) ?(base_delay = 0.05) ?(max_delay = 2.0)
+    ?(breaker_threshold = 5) ?(cooldown = 30.0) ?(sleep = Unix.sleepf) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
+  if breaker_threshold < 1 then
+    invalid_arg "Retry.policy: breaker_threshold must be >= 1";
+  { max_attempts; base_delay; max_delay; breaker_threshold; cooldown; sleep }
+
+let no_sleep (_ : float) = ()
+
+type breaker = {
+  threshold : int;
+  b_cooldown : float;
+  mutable consecutive_failures : int;
+  mutable opened : bool;
+  mutable opened_at : float;
+}
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker p =
+  {
+    threshold = p.breaker_threshold;
+    b_cooldown = p.cooldown;
+    consecutive_failures = 0;
+    opened = false;
+    opened_at = 0.;
+  }
+
+let breaker_state b =
+  if not b.opened then Closed
+  else if Monotonic.now () -. b.opened_at >= b.b_cooldown then Half_open
+  else Open
+
+let record_success b =
+  b.consecutive_failures <- 0;
+  b.opened <- false
+
+let record_failure b =
+  b.consecutive_failures <- b.consecutive_failures + 1;
+  (* A failed half-open probe reopens regardless of the count. *)
+  if b.opened || b.consecutive_failures >= b.threshold then begin
+    b.opened <- true;
+    b.opened_at <- Monotonic.now ()
+  end
+
+type 'a outcome = Answered of 'a * int | Gave_up of 'a * int | Rejected
+
+let call ?budget ~rng p b ~classify f =
+  match breaker_state b with
+  | Open -> Rejected
+  | (Closed | Half_open) as st ->
+      let max_attempts = if st = Half_open then 1 else p.max_attempts in
+      let time_left () =
+        match budget with
+        | None -> infinity
+        | Some bud ->
+            if Budget.exhausted bud then 0.
+            else ( match Budget.remaining bud with
+              | None -> infinity
+              | Some r -> r)
+      in
+      let rec go attempt prev_delay =
+        let r = f () in
+        match classify r with
+        | `Ok ->
+            record_success b;
+            Answered (r, attempt)
+        | `Permanent ->
+            record_failure b;
+            Gave_up (r, attempt)
+        | `Transient ->
+            let left = time_left () in
+            if attempt >= max_attempts || left <= 0. then begin
+              record_failure b;
+              Gave_up (r, attempt)
+            end
+            else begin
+              (* Decorrelated jitter: spread retries out so a fleet of
+                 sessions hitting the same slow oracle doesn't resynchronize. *)
+              let span = (prev_delay *. 3.) -. p.base_delay in
+              let d =
+                p.base_delay +. (if span > 0. then Prng.float rng span else 0.)
+              in
+              let d = Float.min d p.max_delay in
+              p.sleep (Float.min d left);
+              go (attempt + 1) d
+            end
+      in
+      go 1 p.base_delay

@@ -1,0 +1,77 @@
+(** Retrying unreliable oracles: exponential backoff with decorrelated
+    jitter, transient/permanent classification, and a circuit breaker.
+
+    In the crowdsourcing reading of the paper's Section 3, a question is a
+    HIT: workers time out or decline, and the remedy is to re-issue the HIT —
+    not to drop the question, which is what the plain skip behaviour of
+    [Interact.run_flaky] does.  {!call} wraps one oracle invocation in a
+    bounded retry loop; a {!breaker} watches consecutive given-up calls and
+    opens after a threshold, at which point the session should stop asking
+    and degrade through its fallback ladder instead of hammering a dead
+    oracle.
+
+    The breaker is the classical three-state machine:
+
+    {v Closed --(threshold consecutive failures)--> Open
+       Open   --(cooldown elapsed)--------------> Half_open
+       Half_open --(probe succeeds)--> Closed | --(probe fails)--> Open v}
+
+    Backoff sleeps are capped by the supplied {!Budget}'s remaining deadline,
+    so a retry never outlives the budget; cooldowns are measured on the
+    monotonic clock. *)
+
+type policy = {
+  max_attempts : int;  (** total tries per call, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** cap on any single backoff sleep *)
+  breaker_threshold : int;  (** consecutive given-up calls before opening *)
+  cooldown : float;  (** seconds open before allowing a half-open probe *)
+  sleep : float -> unit;  (** how to wait (injectable for tests) *)
+}
+
+val policy :
+  ?max_attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?breaker_threshold:int ->
+  ?cooldown:float ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  policy
+(** Defaults: 3 attempts, 50ms base, 2s cap, threshold 5, 30s cooldown,
+    [Unix.sleepf].  @raise Invalid_argument on a non-positive attempt count
+    or threshold. *)
+
+val no_sleep : float -> unit
+(** A sleep that returns immediately — deterministic tests, simulations. *)
+
+type breaker
+(** Mutable breaker state, shared by every {!call} of one session. *)
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker : policy -> breaker
+val breaker_state : breaker -> breaker_state
+
+type 'a outcome =
+  | Answered of 'a * int
+      (** a non-transient reply, and the attempts it took *)
+  | Gave_up of 'a * int
+      (** every attempt was transient (or one was permanent); the last
+          reply, and the attempts made.  Counts toward the breaker. *)
+  | Rejected  (** the breaker was open: the oracle was never invoked *)
+
+val call :
+  ?budget:Budget.t ->
+  rng:Prng.t ->
+  policy ->
+  breaker ->
+  classify:('a -> [ `Ok | `Transient | `Permanent ]) ->
+  (unit -> 'a) ->
+  'a outcome
+(** [call policy breaker ~classify f] invokes [f] up to [max_attempts] times,
+    sleeping a decorrelated-jitter backoff between transient replies
+    (AWS-style: [delay = min max_delay (base + U(0,1)·(3·prev − base))]).
+    A [`Permanent] reply stops retrying immediately.  When [budget] has a
+    deadline, sleeps are capped to the time remaining and retrying stops
+    once it is spent.  A half-open breaker allows a single probe. *)

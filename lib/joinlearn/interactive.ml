@@ -88,8 +88,47 @@ let split_strategy ?(sample = 48) () rng (st : Session.state) items =
         (fun best it -> if score it > score best then it else best)
         first candidates
 
-let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ~left
-    ~right ~goal () =
+(* Journal codec: the pool is the Cartesian product of two relations that
+   resume regenerates from the journaled seed, so an item is a pair of row
+   indices. *)
+let index_of tuples t =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if x = t then Some i else go (i + 1) rest
+  in
+  go 0 tuples
+
+let encode_item ~left ~right (it : item) =
+  match
+    ( index_of (Relational.Relation.tuples left) it.left,
+      index_of (Relational.Relation.tuples right) it.right )
+  with
+  | Some i, Some j -> Printf.sprintf "%d:%d" i j
+  | _ -> invalid_arg "Joinlearn.Interactive.encode_item: tuple not in relation"
+
+let decode_item ~left ~right s =
+  match String.split_on_char ':' s with
+  | [ i; j ] -> (
+      match (int_of_string_opt i, int_of_string_opt j) with
+      | Some i, Some j -> (
+          match
+            ( List.nth_opt (Relational.Relation.tuples left) i,
+              List.nth_opt (Relational.Relation.tuples right) j )
+          with
+          | Some lt, Some rt ->
+              let space =
+                Signature.space
+                  ~left_arity:(Relational.Relation.arity left)
+                  ~right_arity:(Relational.Relation.arity right)
+              in
+              Some
+                { left = lt; right = rt; mask = Signature.signature space lt rt }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ?retry
+    ~left ~right ~goal () =
   let space =
     Signature.space
       ~left_arity:(Relational.Relation.arity left)
@@ -103,6 +142,6 @@ let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ~left
   | Some profile ->
       (* The crowdsourcing simulation: the goal-holding user answers through
          a fault injector. *)
-      Loop.run_flaky ~rng ?strategy ?budget
+      Loop.run_flaky ~rng ?strategy ?budget ?retry
         ~oracle:(Core.Flaky.wrap ~profile ~rng oracle)
         ~items ()

@@ -34,11 +34,26 @@ val split_strategy :
     the open items and asks the one whose worst-case outcome determines the
     most other items.  [sample] (default 48) caps the candidates scored. *)
 
+val encode_item :
+  left:Relational.Relation.t -> right:Relational.Relation.t -> item -> string
+(** Journal codec: ["i:j"] row indices into the two relations (which resume
+    regenerates from the journaled seed).
+    @raise Invalid_argument when the item's tuples are not in them. *)
+
+val decode_item :
+  left:Relational.Relation.t ->
+  right:Relational.Relation.t ->
+  string ->
+  item option
+(** Inverse of {!encode_item}, recomputing the signature mask; [None] on an
+    out-of-range index — the journal belongs to different relations. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->
   ?budget:Core.Budget.t ->
   ?profile:Core.Flaky.profile ->
+  ?retry:Core.Retry.policy ->
   left:Relational.Relation.t ->
   right:Relational.Relation.t ->
   goal:Relational.Algebra.predicate ->
@@ -47,4 +62,5 @@ val run_with_goal :
 (** Simulates the user: a pair is positive iff it satisfies [goal].
     [budget] bounds the session (the outcome's [degraded] flag reports a
     trip); [profile] injects crowd-worker faults — noise, refusals,
-    timeouts — via {!Core.Flaky}. *)
+    timeouts — via {!Core.Flaky}; [retry] re-asks refused/timed-out
+    questions with backoff (see {!Core.Interact.Make.run_flaky}). *)

@@ -47,6 +47,18 @@ module Loop = Core.Interact.Make (Session)
 
 let make_session_context left right = Semijoin.make left right
 
+(* Journal codec: items are left tuples, encoded by row index. *)
+let encode_item ~left (t : item) =
+  let rec go i = function
+    | [] -> invalid_arg "Semijoin_interactive.encode_item: tuple not in relation"
+    | x :: rest -> if x = t then string_of_int i else go (i + 1) rest
+  in
+  go 0 (Relational.Relation.tuples left)
+
+let decode_item ~left s =
+  Option.bind (int_of_string_opt s) (fun i ->
+      List.nth_opt (Relational.Relation.tuples left) i)
+
 let run_with_goal ?rng ?strategy ?(node_limit = 20_000) ~left ~right ~goal () =
   let ctx = Semijoin.make left right in
   current_context := Some (ctx, node_limit);

@@ -25,6 +25,13 @@ val make_session_context :
   Relational.Relation.t -> Relational.Relation.t -> Semijoin.t
 (** The context items are judged against (left/right relations). *)
 
+val encode_item : left:Relational.Relation.t -> item -> string
+(** Journal codec: the tuple's row index in [left].
+    @raise Invalid_argument when the tuple is not in it. *)
+
+val decode_item : left:Relational.Relation.t -> string -> item option
+(** Inverse of {!encode_item}; [None] on an out-of-range index. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->

@@ -66,8 +66,26 @@ let workload_strategy ~prior _rng _st items =
   | it :: _ -> it
   | [] -> invalid_arg "workload_strategy: no informative item"
 
-let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?max_len
-    ~graph ~goal () =
+(* Journal codec: a walk is its endpoints and word; edge labels never contain
+   spaces, so a space-separated line round-trips. *)
+let encode_item (it : item) =
+  Printf.sprintf "%d %d %s" it.src it.dst (String.concat " " it.word)
+
+let decode_item s =
+  match String.split_on_char ' ' s with
+  | src :: dst :: (_ :: _ as word) -> (
+      match (int_of_string_opt src, int_of_string_opt dst) with
+      | Some src, Some dst -> Some { src; dst; word }
+      | _ -> None)
+  | _ -> None
+
+let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ?retry
+    ?max_len ~graph ~goal () =
   let items = items_of_graph ?max_len ~rng graph in
   let oracle (it : item) = Automata.Dfa.accepts goal it.word in
-  Loop.run ~rng ?strategy ?budget ~oracle ~items ()
+  match profile with
+  | None -> Loop.run ~rng ?strategy ?budget ~oracle ~items ()
+  | Some profile ->
+      Loop.run_flaky ~rng ?strategy ?budget ?retry
+        ~oracle:(Core.Flaky.wrap ~profile ~rng oracle)
+        ~items ()

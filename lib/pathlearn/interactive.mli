@@ -34,10 +34,18 @@ val workload_strategy :
 (** Prefers items whose word is accepted by some previously learned query;
     falls back to shortest-word-first. *)
 
+val encode_item : item -> string
+(** Journal codec: ["src dst label1 label2 …"]. *)
+
+val decode_item : string -> item option
+(** Inverse of {!encode_item}; [None] on a malformed line. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->
   ?budget:Core.Budget.t ->
+  ?profile:Core.Flaky.profile ->
+  ?retry:Core.Retry.policy ->
   ?max_len:int ->
   graph:Graphdb.Graph.t ->
   goal:Automata.Dfa.t ->
@@ -45,4 +53,5 @@ val run_with_goal :
   Loop.outcome
 (** Oracle: a path is positive iff its word is in the goal language.
     [budget] bounds the session; on exhaustion the outcome carries the
-    current hypothesis with [degraded = true]. *)
+    current hypothesis with [degraded = true].  [profile] injects
+    crowd-worker faults; [retry] re-asks refused/timed-out questions. *)

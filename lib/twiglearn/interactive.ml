@@ -83,7 +83,27 @@ let label_diverse_strategy _rng (st : Session.state) items =
         (fun best it -> if score it < score best then it else best)
         first rest
 
-let run_with_goal ?rng ?strategy ~doc ~goal () =
+(* Journal codec: within a session the document is fixed, so an item is just
+   its node path, printed the way the CLI's --select flag reads it. *)
+let encode_item (it : item) =
+  "/" ^ String.concat "/" (List.map string_of_int it.target)
+
+let decode_item ~doc s =
+  let parts = String.split_on_char '/' s |> List.filter (fun t -> t <> "") in
+  let opts = List.map int_of_string_opt parts in
+  if List.exists Option.is_none opts then None
+  else
+    let path = List.map Option.get opts in
+    if Xmltree.Tree.node_at doc path = None then None
+    else Some (Xmltree.Annotated.make doc path)
+
+let run_with_goal ?rng ?strategy ?budget ?profile ?retry ~doc ~goal () =
   let items = items_of_doc doc in
   let oracle (item : item) = Twig.Eval.selects_example goal item in
-  Loop.run ?rng ?strategy ~oracle ~items ()
+  match profile with
+  | None -> Loop.run ?rng ?strategy ?budget ~oracle ~items ()
+  | Some profile ->
+      let rng = match rng with Some r -> r | None -> Core.Prng.create 0 in
+      Loop.run_flaky ~rng ?strategy ?budget ?retry
+        ~oracle:(Core.Flaky.wrap ~profile ~rng oracle)
+        ~items ()

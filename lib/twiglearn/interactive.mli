@@ -32,12 +32,24 @@ val label_diverse_strategy : (Session.state, item) Core.Interact.strategy
     per distinct label, after which the LGG-based pruning determines most
     of the pool. *)
 
+val encode_item : item -> string
+(** Journal codec: the item's node path, e.g. ["/0/2/1"] (the session's
+    document is recorded in the journal header's config, not per item). *)
+
+val decode_item : doc:Xmltree.Tree.t -> string -> item option
+(** Inverse of {!encode_item} over [doc]; [None] when the path addresses no
+    node — the journal belongs to a different document. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->
+  ?budget:Core.Budget.t ->
+  ?profile:Core.Flaky.profile ->
+  ?retry:Core.Retry.policy ->
   doc:Xmltree.Tree.t ->
   goal:Twig.Query.t ->
   unit ->
   Loop.outcome
 (** Simulates the user with the goal query as oracle over all nodes of
-    [doc]. *)
+    [doc].  [profile] injects crowd-worker faults; [retry] re-asks
+    refused/timed-out questions (see {!Core.Interact.Make.run_flaky}). *)

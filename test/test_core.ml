@@ -308,6 +308,127 @@ let test_pac_sample_complexity () =
   | Some m -> Alcotest.(check bool) "reasonable m" true (m >= 2 && m <= 256)
 
 (* ------------------------------------------------------------------ *)
+(* Budget deadlines (monotonic clock)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_remaining () =
+  let b = Core.Budget.create ~timeout:5.0 () in
+  (match Core.Budget.remaining b with
+  | None -> Alcotest.fail "deadline budget has remaining time"
+  | Some r -> Alcotest.(check bool) "within (0, 5]" true (r > 0. && r <= 5.));
+  Alcotest.(check (option (float 0.))) "no deadline, no remaining" None
+    (Core.Budget.remaining (Core.Budget.unlimited ()))
+
+let test_budget_remaining_expired () =
+  let b = Core.Budget.create ~timeout:0.0 () in
+  (match Core.Budget.remaining b with
+  | None -> Alcotest.fail "deadline budget has remaining time"
+  | Some r -> Alcotest.(check bool) "spent" true (r <= 0.));
+  Alcotest.(check bool) "exhausted" true (Core.Budget.exhausted b)
+
+(* ------------------------------------------------------------------ *)
+(* Retry: backoff, classification, circuit breaker                     *)
+(* ------------------------------------------------------------------ *)
+
+let retry_policy ?(max_attempts = 3) ?(breaker_threshold = 5) ?(cooldown = 60.)
+    () =
+  Core.Retry.policy ~max_attempts ~base_delay:0.001 ~max_delay:0.002
+    ~breaker_threshold ~cooldown ~sleep:Core.Retry.no_sleep ()
+
+let test_retry_transient_then_ok () =
+  let p = retry_policy ~max_attempts:5 () in
+  let b = Core.Retry.breaker p in
+  let n = ref 0 in
+  let f () = incr n; !n in
+  let classify v = if v < 3 then `Transient else `Ok in
+  (match Core.Retry.call ~rng:(Core.Prng.create 1) p b ~classify f with
+  | Core.Retry.Answered (3, 3) -> ()
+  | Core.Retry.Answered (v, a) -> Alcotest.failf "answered (%d, %d)" v a
+  | _ -> Alcotest.fail "expected Answered");
+  Alcotest.(check bool) "breaker stays closed" true
+    (Core.Retry.breaker_state b = Core.Retry.Closed)
+
+let test_retry_gives_up () =
+  let p = retry_policy ~max_attempts:3 () in
+  let b = Core.Retry.breaker p in
+  let n = ref 0 in
+  match
+    Core.Retry.call ~rng:(Core.Prng.create 1) p b
+      ~classify:(fun _ -> `Transient)
+      (fun () -> incr n)
+  with
+  | Core.Retry.Gave_up ((), 3) -> Alcotest.(check int) "3 invocations" 3 !n
+  | _ -> Alcotest.fail "expected Gave_up after max_attempts"
+
+let test_retry_permanent_stops () =
+  let p = retry_policy ~max_attempts:5 () in
+  let b = Core.Retry.breaker p in
+  let n = ref 0 in
+  match
+    Core.Retry.call ~rng:(Core.Prng.create 1) p b
+      ~classify:(fun _ -> `Permanent)
+      (fun () -> incr n)
+  with
+  | Core.Retry.Gave_up ((), 1) -> Alcotest.(check int) "1 invocation" 1 !n
+  | _ -> Alcotest.fail "permanent reply must not be retried"
+
+let test_retry_breaker_opens () =
+  let p = retry_policy ~max_attempts:1 ~breaker_threshold:2 () in
+  let b = Core.Retry.breaker p in
+  let calls = ref 0 in
+  let fail () =
+    Core.Retry.call ~rng:(Core.Prng.create 1) p b
+      ~classify:(fun _ -> `Transient)
+      (fun () -> incr calls)
+  in
+  ignore (fail ());
+  Alcotest.(check bool) "closed below threshold" true
+    (Core.Retry.breaker_state b = Core.Retry.Closed);
+  ignore (fail ());
+  Alcotest.(check bool) "open at threshold" true
+    (Core.Retry.breaker_state b = Core.Retry.Open);
+  (match fail () with
+  | Core.Retry.Rejected -> ()
+  | _ -> Alcotest.fail "open breaker must reject");
+  Alcotest.(check int) "oracle never invoked when open" 2 !calls
+
+let test_retry_half_open_probe () =
+  (* cooldown 0: the breaker is half-open as soon as it opens; a successful
+     probe closes it, a failed probe reopens it. *)
+  let p = retry_policy ~max_attempts:1 ~breaker_threshold:1 ~cooldown:0. () in
+  let b = Core.Retry.breaker p in
+  ignore
+    (Core.Retry.call ~rng:(Core.Prng.create 1) p b
+       ~classify:(fun _ -> `Transient)
+       (fun () -> ()));
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Core.Retry.breaker_state b = Core.Retry.Half_open);
+  (match
+     Core.Retry.call ~rng:(Core.Prng.create 1) p b
+       ~classify:(fun _ -> `Ok)
+       (fun () -> "probe")
+   with
+  | Core.Retry.Answered ("probe", 1) -> ()
+  | _ -> Alcotest.fail "half-open breaker allows one probe");
+  Alcotest.(check bool) "probe success closes" true
+    (Core.Retry.breaker_state b = Core.Retry.Closed)
+
+let test_retry_budget_stops_retrying () =
+  (* An exhausted budget turns a transient reply into an immediate give-up:
+     retrying must never outlive the deadline. *)
+  let p = retry_policy ~max_attempts:10 () in
+  let b = Core.Retry.breaker p in
+  let bud = Core.Budget.create ~timeout:0.0 () in
+  let n = ref 0 in
+  match
+    Core.Retry.call ~budget:bud ~rng:(Core.Prng.create 1) p b
+      ~classify:(fun _ -> `Transient)
+      (fun () -> incr n)
+  with
+  | Core.Retry.Gave_up ((), 1) -> Alcotest.(check int) "1 invocation" 1 !n
+  | _ -> Alcotest.fail "exhausted budget must stop the retry loop"
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -385,6 +506,23 @@ let () =
           Alcotest.test_case "bad hypothesis error" `Quick test_pac_error_of_bad_hypothesis;
           Alcotest.test_case "curve decreases" `Quick test_pac_learning_curve_decreases;
           Alcotest.test_case "sample complexity" `Quick test_pac_sample_complexity;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "remaining" `Quick test_budget_remaining;
+          Alcotest.test_case "remaining expired" `Quick
+            test_budget_remaining_expired;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient then ok" `Quick
+            test_retry_transient_then_ok;
+          Alcotest.test_case "gives up" `Quick test_retry_gives_up;
+          Alcotest.test_case "permanent stops" `Quick test_retry_permanent_stops;
+          Alcotest.test_case "breaker opens" `Quick test_retry_breaker_opens;
+          Alcotest.test_case "half-open probe" `Quick test_retry_half_open_probe;
+          Alcotest.test_case "budget stops retrying" `Quick
+            test_retry_budget_stops_retrying;
         ] );
       ( "stats",
         [

@@ -1,0 +1,405 @@
+(* Tests for the write-ahead session journal: record framing, CRC rejection,
+   the torn-tail truncation property, resume, and deterministic replay of
+   interactive sessions (including an in-process crash). *)
+
+let temp_path () = Filename.temp_file "learnq_journal" ".wal"
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let header = { Core.Journal.seed = 42; engine = "learn-test"; config = "k=3" }
+
+let sample_events =
+  Core.Journal.
+    [
+      Asked "/0/1";
+      Answered ("/0/1", Core.Flaky.Label true);
+      Asked "i:j with spaces\nand a newline";
+      Answered ("i:j with spaces\nand a newline", Core.Flaky.Label false);
+      Asked "r";
+      Answered ("r", Core.Flaky.Refused);
+      Answered ("t", Core.Flaky.Timed_out);
+      Completed;
+    ]
+
+let write_sample path =
+  let j = Core.Journal.create ~sync:false ~path header in
+  List.iter (Core.Journal.append j) sample_events;
+  Core.Journal.close j
+
+let recovered_ok = function
+  | Ok (r : Core.Journal.recovered) -> r
+  | Error e -> Alcotest.failf "unexpected journal error: %s" (Core.Error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_check_value () =
+  (* The standard CRC-32 check value ("123456789" -> 0xCBF43926). *)
+  Alcotest.(check int) "empty" 0 (Core.Journal.crc32 "");
+  Alcotest.(check int) "check value" 0xCBF43926 (Core.Journal.crc32 "123456789")
+
+(* ------------------------------------------------------------------ *)
+(* Roundtrip                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_temp (fun path ->
+      write_sample path;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      Alcotest.(check bool) "header survives" true (r.header = Some header);
+      Alcotest.(check bool) "events survive in order" true
+        (r.events = sample_events);
+      Alcotest.(check int) "nothing dropped" 0 r.dropped_bytes;
+      Alcotest.(check int) "valid bytes = file size" r.valid_bytes
+        (String.length (read_file path)))
+
+let test_answered_order () =
+  with_temp (fun path ->
+      write_sample path;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      Alcotest.(check bool) "answered extracts replies in order" true
+        (Core.Journal.answered r
+        = [
+            ("/0/1", Core.Flaky.Label true);
+            ("i:j with spaces\nand a newline", Core.Flaky.Label false);
+            ("r", Core.Flaky.Refused);
+            ("t", Core.Flaky.Timed_out);
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* The truncation property: any byte-cut yields the surviving prefix   *)
+(* ------------------------------------------------------------------ *)
+
+let is_prefix shorter longer =
+  let rec go = function
+    | [], _ -> true
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+    | _ :: _, [] -> false
+  in
+  go (shorter, longer)
+
+let test_every_truncation_recovers () =
+  with_temp (fun path ->
+      write_sample path;
+      let bytes = read_file path in
+      let full = recovered_ok (Core.Journal.parse ~source:path bytes) in
+      for cut = 0 to String.length bytes do
+        let r =
+          recovered_ok
+            (Core.Journal.parse ~source:path (String.sub bytes 0 cut))
+        in
+        if not (is_prefix r.events full.events) then
+          Alcotest.failf "cut at %d: events are not a prefix" cut;
+        Alcotest.(check int)
+          (Printf.sprintf "cut at %d accounts for every byte" cut)
+          cut
+          (r.valid_bytes + r.dropped_bytes)
+      done)
+
+let prop_truncation =
+  (* Random journals (random items, random cut): the surviving prefix always
+     parses, never errors. *)
+  let item_gen =
+    QCheck.Gen.(string_size ~gen:(char_range '\x01' '\xff') (0 -- 20))
+  in
+  let event_gen =
+    QCheck.Gen.(
+      item_gen >>= fun item ->
+      oneofl
+        Core.Journal.
+          [
+            Asked item;
+            Answered (item, Core.Flaky.Label true);
+            Answered (item, Core.Flaky.Label false);
+            Answered (item, Core.Flaky.Refused);
+            Answered (item, Core.Flaky.Timed_out);
+            Completed;
+          ])
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(pair (list_size (0 -- 12) event_gen) (0 -- 1000))
+  in
+  QCheck.Test.make ~name:"journal survives any truncation" ~count:40 arb
+    (fun (events, cut_raw) ->
+      with_temp (fun path ->
+          let j = Core.Journal.create ~sync:false ~path header in
+          List.iter (Core.Journal.append j) events;
+          Core.Journal.close j;
+          let bytes = read_file path in
+          let cut = cut_raw mod (String.length bytes + 1) in
+          match Core.Journal.parse ~source:path (String.sub bytes 0 cut) with
+          | Error _ -> false
+          | Ok r ->
+              is_prefix r.events events && r.valid_bytes + r.dropped_bytes = cut))
+
+(* ------------------------------------------------------------------ *)
+(* Corruption is rejected with a positioned error                      *)
+(* ------------------------------------------------------------------ *)
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.to_string b
+
+let test_crc_mismatch_rejected () =
+  with_temp (fun path ->
+      write_sample path;
+      let bytes = read_file path in
+      (* Corrupt one payload byte of the header record, which starts right
+         after the 8-byte magic; its payload starts 8 framing bytes later. *)
+      let record_offset = 8 in
+      let corrupted = flip_byte bytes (record_offset + 8) in
+      match Core.Journal.parse ~source:path corrupted with
+      | Ok _ -> Alcotest.fail "corrupted record accepted"
+      | Error (Core.Error.Corrupt_journal { offset; path = p; _ }) ->
+          Alcotest.(check int) "error positioned at record start" record_offset
+            offset;
+          Alcotest.(check string) "error names the file" path p
+      | Error e ->
+          Alcotest.failf "wrong error class: %s" (Core.Error.to_string e))
+
+let test_corrupt_mid_file_keeps_nothing_after () =
+  with_temp (fun path ->
+      write_sample path;
+      let bytes = read_file path in
+      (* Corrupt the last byte: it belongs to the final record's payload. *)
+      let corrupted = flip_byte bytes (String.length bytes - 1) in
+      match Core.Journal.parse ~source:path corrupted with
+      | Ok _ -> Alcotest.fail "corrupted tail record accepted"
+      | Error (Core.Error.Corrupt_journal _) -> ()
+      | Error e ->
+          Alcotest.failf "wrong error class: %s" (Core.Error.to_string e))
+
+let test_wrong_magic_rejected () =
+  match Core.Journal.parse ~source:"x" "NOTAJRNL:also not a journal" with
+  | Ok _ -> Alcotest.fail "garbage accepted as a journal"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Resume: torn tail truncated away, appends continue the prefix       *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_after_torn_tail () =
+  with_temp (fun path ->
+      write_sample path;
+      let bytes = read_file path in
+      (* Tear the last record: drop its final 3 bytes. *)
+      write_file path (String.sub bytes 0 (String.length bytes - 3));
+      match Core.Journal.resume ~sync:false ~path () with
+      | Error e -> Alcotest.failf "resume failed: %s" (Core.Error.to_string e)
+      | Ok (j, r) ->
+          Alcotest.(check bool) "tail dropped" true (r.dropped_bytes > 0);
+          Alcotest.(check int) "one event lost"
+            (List.length sample_events - 1)
+            (List.length r.events);
+          Core.Journal.append j (Core.Journal.Asked "again");
+          Core.Journal.close j;
+          let r2 = recovered_ok (Core.Journal.recover ~path) in
+          Alcotest.(check bool) "appended past the valid prefix" true
+            (r2.events
+            = List.filteri (fun i _ -> i < List.length sample_events - 1)
+                sample_events
+              @ [ Core.Journal.Asked "again" ]);
+          Alcotest.(check int) "clean after repair" 0 r2.dropped_bytes)
+
+let test_resume_without_header_fails () =
+  with_temp (fun path ->
+      (* Only the magic survived: nothing to resume. *)
+      write_file path "LQJRNL1\n";
+      match Core.Journal.resume ~path () with
+      | Ok _ -> Alcotest.fail "resumed a journal with no header"
+      | Error (Core.Error.Invalid_input _) -> ()
+      | Error e ->
+          Alcotest.failf "wrong error class: %s" (Core.Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Replay: a toy threshold session, journaled, replayed, crashed       *)
+(* ------------------------------------------------------------------ *)
+
+(* Same concept class as test_core's interact tests: an int item is positive
+   iff item >= t. *)
+module Threshold_session = struct
+  type query = int
+  type item = int
+  type state = { min_pos : int option; max_neg : int option }
+
+  let init _ = { min_pos = None; max_neg = None }
+
+  let record st item label =
+    if label then
+      { st with min_pos = Some (match st.min_pos with None -> item | Some m -> min m item) }
+    else
+      { st with max_neg = Some (match st.max_neg with None -> item | Some m -> max m item) }
+
+  let determined st item =
+    match (st.min_pos, st.max_neg) with
+    | Some p, _ when item >= p -> Some true
+    | _, Some n when item <= n -> Some false
+    | _ -> None
+
+  let candidate st = st.min_pos
+  let pp_item = Format.pp_print_int
+  let pp_query = Format.pp_print_int
+end
+
+module Threshold_loop = Core.Interact.Make (Threshold_session)
+
+let encode_item = string_of_int
+let decode_item s = int_of_string s
+let items = List.init 30 Fun.id
+let goal = 13
+let oracle i = Core.Flaky.Label (i >= goal)
+
+let decode_replies events =
+  List.map (fun (s, reply) -> (decode_item s, reply)) events
+
+let test_replay_equals_live () =
+  with_temp (fun path ->
+      (* Live journaled session … *)
+      let j = Core.Journal.create ~sync:false ~path header in
+      let live = Threshold_loop.run_flaky ~journal:(j, encode_item) ~oracle ~items () in
+      Core.Journal.close j;
+      (* … replayed in full: same query, zero live questions. *)
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      let resume = decode_replies (Core.Journal.answered r) in
+      let replayed = Threshold_loop.run_flaky ~resume ~oracle ~items () in
+      Alcotest.(check (option int)) "same query" live.query replayed.query;
+      Alcotest.(check int) "no live question on full replay" 0
+        replayed.questions;
+      Alcotest.(check int) "every answer replayed" live.questions
+        replayed.replayed;
+      Alcotest.(check bool) "completed record present" true
+        (List.mem Core.Journal.Completed r.events))
+
+let test_replay_is_idempotent () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:false ~path header in
+      let live = Threshold_loop.run_flaky ~journal:(j, encode_item) ~oracle ~items () in
+      Core.Journal.close j;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      let resume = decode_replies (Core.Journal.answered r) in
+      (* Duplicate every answer: the fold must treat repeats as no-ops. *)
+      let doubled = List.concat_map (fun a -> [ a; a ]) resume in
+      let replayed = Threshold_loop.run_flaky ~resume:doubled ~oracle ~items () in
+      Alcotest.(check (option int)) "same query" live.query replayed.query;
+      Alcotest.(check int) "duplicates not re-recorded" (List.length resume)
+        replayed.replayed)
+
+exception Crash
+
+let test_crash_then_resume () =
+  with_temp (fun path ->
+      (* The uninterrupted reference run. *)
+      let full = Threshold_loop.run_flaky ~oracle ~items () in
+      (* A run whose oracle dies after k answers, mid-session. *)
+      let k = 2 in
+      let j = Core.Journal.create ~sync:false ~path header in
+      let answers = ref 0 in
+      let crashing i =
+        if !answers >= k then raise Crash;
+        incr answers;
+        oracle i
+      in
+      (match
+         Threshold_loop.run_flaky ~journal:(j, encode_item) ~oracle:crashing
+           ~items ()
+       with
+      | _ -> Alcotest.fail "crash did not propagate"
+      | exception Crash -> Core.Journal.close j);
+      (* Resume: replay the journal, finish against the healthy oracle. *)
+      match Core.Journal.resume ~sync:false ~path () with
+      | Error e -> Alcotest.failf "resume failed: %s" (Core.Error.to_string e)
+      | Ok (j2, r) ->
+          let resume = decode_replies (Core.Journal.answered r) in
+          let resumed =
+            Threshold_loop.run_flaky ~journal:(j2, encode_item) ~resume ~oracle
+              ~items ()
+          in
+          Core.Journal.close j2;
+          Alcotest.(check (option int)) "same query as uninterrupted"
+            full.query resumed.query;
+          Alcotest.(check int) "crashed answers replayed, not re-asked" k
+            resumed.replayed;
+          Alcotest.(check int) "remaining questions asked live"
+            (full.questions - k) resumed.questions;
+          (* No item was asked twice across replay + live. *)
+          let asked_items = List.map fst resumed.asked in
+          Alcotest.(check int) "no duplicate question"
+            (List.length asked_items)
+            (List.length (List.sort_uniq compare asked_items)))
+
+let test_refused_records_return_to_pool () =
+  with_temp (fun path ->
+      (* A journal whose only answers are a refusal and a timeout: on resume
+         both items must be asked again (they return to the pool). *)
+      let j = Core.Journal.create ~sync:false ~path header in
+      Core.Journal.append j (Core.Journal.Asked (encode_item 5));
+      Core.Journal.append j
+        (Core.Journal.Answered (encode_item 5, Core.Flaky.Refused));
+      Core.Journal.append j (Core.Journal.Asked (encode_item 20));
+      Core.Journal.append j
+        (Core.Journal.Answered (encode_item 20, Core.Flaky.Timed_out));
+      Core.Journal.close j;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      let resume = decode_replies (Core.Journal.answered r) in
+      let resumed = Threshold_loop.run_flaky ~resume ~oracle ~items () in
+      let reference = Threshold_loop.run_flaky ~oracle ~items () in
+      Alcotest.(check int) "nothing replayed" 0 resumed.replayed;
+      Alcotest.(check int) "full session ran live" reference.questions
+        resumed.questions;
+      Alcotest.(check (option int)) "same query" reference.query resumed.query)
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "crc32 check value" `Quick test_crc32_check_value;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "answered order" `Quick test_answered_order;
+          Alcotest.test_case "wrong magic" `Quick test_wrong_magic_rejected;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "every cut recovers" `Quick
+            test_every_truncation_recovers;
+          QCheck_alcotest.to_alcotest prop_truncation;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "crc mismatch positioned" `Quick
+            test_crc_mismatch_rejected;
+          Alcotest.test_case "corrupt tail record" `Quick
+            test_corrupt_mid_file_keeps_nothing_after;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "after torn tail" `Quick
+            test_resume_after_torn_tail;
+          Alcotest.test_case "no header" `Quick test_resume_without_header_fails;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "replay equals live" `Quick test_replay_equals_live;
+          Alcotest.test_case "idempotent" `Quick test_replay_is_idempotent;
+          Alcotest.test_case "crash then resume" `Quick test_crash_then_resume;
+          Alcotest.test_case "refusals return to pool" `Quick
+            test_refused_records_return_to_pool;
+        ] );
+    ]
