@@ -11,7 +11,8 @@
    harness without killing it. *)
 
 let usage () =
-  print_endline "usage: main.exe [--timeout SECS] [e1 .. e17 | micro]...";
+  print_endline
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -56,11 +57,13 @@ let () =
         match name with
         | "micro" -> guarded "micro" Micro.run
         | "pr2" -> guarded "pr2" Recovery.run
+        | "pr3" -> guarded "pr3" Overhead.run
         | _ -> usage ())
   in
   match names with
   | [] ->
       List.iter (fun (name, f) -> guarded name f) Experiments.all;
       guarded "micro" Micro.run;
-      guarded "pr2" Recovery.run
+      guarded "pr2" Recovery.run;
+      guarded "pr3" Overhead.run
   | names -> List.iter run_experiment names

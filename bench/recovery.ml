@@ -59,9 +59,9 @@ type journal_times = {
 let journal_times () =
   with_temp (fun p_sync ->
       with_temp (fun p_nosync ->
-          let (), record_sync = time (fun () -> record ~sync:true p_sync) in
+          let (), record_sync = time (fun () -> record ~sync:Core.Journal.Always p_sync) in
           let (), record_nosync =
-            time (fun () -> record ~sync:false p_nosync)
+            time (fun () -> record ~sync:Core.Journal.Off p_nosync)
           in
           let r, replay =
             time (fun () -> recovered_exn (Core.Journal.recover ~path:p_sync))

@@ -53,8 +53,81 @@ let fuel_arg =
            engines may spend before degrading.")
 
 let budget_term =
-  let make timeout fuel = Core.Budget.create ?fuel ?timeout () in
+  let make timeout fuel =
+    (* Budget settings go into every telemetry export header (satellite of
+       reproducibility: a trace file alone should identify the run). *)
+    let ctx =
+      (match fuel with Some f -> [ ("fuel", string_of_int f) ] | None -> [])
+      @
+      match timeout with
+      | Some t -> [ ("timeout_s", Printf.sprintf "%g" t) ]
+      | None -> []
+    in
+    if ctx <> [] then Core.Telemetry.set_context ctx;
+    Core.Budget.create ?fuel ?timeout ()
+  in
   Term.(const make $ timeout_arg $ fuel_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Shared observability flags                                          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run's nested spans to \
+           $(docv); load it in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics (counters, gauges, latency histograms, \
+           span rollup) as JSON to $(docv), plus Prometheus text exposition \
+           to $(docv).prom.")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LVL"
+        ~doc:
+          "Structured-log threshold: debug, info, warn (default), error, or \
+           quiet.")
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:
+          "Print an end-of-run telemetry summary (question counts, span time \
+           rollup, histogram quantiles) to stderr.")
+
+let telemetry_term =
+  let setup trace metrics log_level summary =
+    let log_level =
+      match log_level with
+      | None -> None
+      | Some s -> (
+          match Core.Telemetry.level_of_string s with
+          | Some lvl -> Some (Some lvl)
+          | None ->
+              if List.mem s [ "quiet"; "none"; "off" ] then Some None
+              else
+                or_die
+                  (Error
+                     (Core.Error.invalid_input ~what:"--log-level"
+                        (s
+                       ^ " is not a level (debug|info|warn|error|quiet)"))))
+    in
+    Core.Telemetry.configure ?trace ?metrics ?log_level ~summary ()
+  in
+  Term.(const setup $ trace_arg $ metrics_arg $ log_level_arg $ summary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared durability and supervision flags                             *)
@@ -70,6 +143,27 @@ let journal_arg =
            appended (fsync'd) to $(docv), so a crashed session can be \
            continued with $(b,--resume) without re-asking anything already \
            answered.")
+
+let journal_sync_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("always", Core.Journal.Always);
+                ("batch", Core.Journal.Batch);
+                ("off", Core.Journal.Off);
+              ]))
+        None
+    & info [ "journal-sync" ] ~docv:"always|batch|off"
+        ~doc:
+          "Journal fsync policy: $(b,always) fsyncs every record (the \
+           default — lose at most the in-flight answer), $(b,batch) \
+           group-commits 8 records per fsync (one crash loses at most the \
+           open group; ~8x less fsync overhead), $(b,off) never fsyncs.  On \
+           $(b,--resume) the journal's recorded policy is kept unless this \
+           flag overrides it.")
 
 let resume_arg =
   Arg.(
@@ -139,7 +233,9 @@ let crash_wrap k oracle =
       let n = ref 0 in
       fun it ->
         if !n >= k then begin
-          prerr_endline "learnq: injected crash (--crash-after)";
+          Core.Telemetry.Log.warn
+            ~kv:[ ("answers", string_of_int k) ]
+            "injected crash (--crash-after)";
           exit exit_crashed
         end;
         incr n;
@@ -163,7 +259,9 @@ type journal_session = {
   raw_events : Core.Journal.event list;
 }
 
-let start_journal ~path ~resuming ~engine ~config ~seed =
+let start_journal ~path ~resuming ~engine ~config ~seed ~sync =
+  Core.Telemetry.set_context
+    [ ("engine", engine); ("seed", string_of_int seed) ];
   match path with
   | None ->
       if resuming then
@@ -174,7 +272,7 @@ let start_journal ~path ~resuming ~engine ~config ~seed =
       { log = None; seed; raw_events = [] }
   | Some path when resuming ->
       let log, (r : Core.Journal.recovered) =
-        or_die (Core.Journal.resume ~path ())
+        or_die (Core.Journal.resume ?sync ~path ())
       in
       let h = Option.get r.header in
       if h.engine <> engine then
@@ -191,13 +289,15 @@ let start_journal ~path ~resuming ~engine ~config ~seed =
                    "%s was recorded with different parameters: %s" path
                    h.config)));
       if r.dropped_bytes > 0 then
-        Printf.eprintf
-          "learnq: dropped a torn record (%d bytes) from the journal tail\n"
-          r.dropped_bytes;
+        Core.Telemetry.Log.warn
+          ~kv:[ ("bytes", string_of_int r.dropped_bytes) ]
+          "dropped a torn record from the journal tail";
+      (* The journal header's seed wins on resume; re-stamp it. *)
+      Core.Telemetry.set_context [ ("seed", string_of_int h.seed) ];
       { log = Some log; seed = h.seed; raw_events = r.events }
   | Some path ->
       {
-        log = Some (Core.Journal.create ~path { seed; engine; config });
+        log = Some (Core.Journal.create ?sync ~path { seed; engine; config });
         seed;
         raw_events = [];
       }
@@ -231,17 +331,19 @@ let report_session ?note ~questions ~replayed ~pruned ~refused ~retried () =
    yield a usable-but-degraded candidate and exit code 2. *)
 let exit_degraded_if ~breaker_open ~degraded what =
   if breaker_open then begin
-    Printf.eprintf
-      "learnq: the oracle circuit breaker opened (too many consecutive \
-       unanswered questions); %s is the current candidate\n"
-      what;
+    Core.Telemetry.Log.error
+      (Printf.sprintf
+         "the oracle circuit breaker opened (too many consecutive unanswered \
+          questions); %s is the current candidate"
+         what);
     exit Core.Error.exit_degraded
   end;
   if degraded then begin
-    Printf.eprintf
-      "learnq: the budget ran out; %s is the current candidate, not \
-       necessarily the goal\n"
-      what;
+    Core.Telemetry.Log.warn
+      (Printf.sprintf
+         "the budget ran out; %s is the current candidate, not necessarily \
+          the goal"
+         what);
     exit Core.Error.exit_degraded
   end
 
@@ -255,13 +357,22 @@ let scale_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Deterministic seed.")
 
+(* Every command that takes a seed stamps it into the telemetry context, so
+   trace and metrics exports identify the run they came from. *)
+let seed_term =
+  let stamp seed =
+    Core.Telemetry.set_context [ ("seed", string_of_int seed) ];
+    seed
+  in
+  Term.(const stamp $ seed_arg)
+
 let xmark_cmd =
-  let run scale seed =
+  let run () scale seed =
     print_string (Xmltree.Print.to_xml (Benchkit.Xmark.generate ~scale ~seed ()))
   in
   Cmd.v
     (Cmd.info "xmark" ~doc:"Generate an XMark-style auction document.")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ telemetry_term $ scale_arg $ seed_term)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -285,7 +396,7 @@ let load_schema = function
   | Some path -> or_die (Uschema.Schema.parse_result ~source:path (read_file path))
 
 let validate_cmd =
-  let run schema_file files =
+  let run () schema_file files =
     let schema = load_schema schema_file in
     let failures = ref 0 in
     List.iter
@@ -306,7 +417,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Validate documents against a DMS (default: XMark).")
-    Term.(const run $ schema_arg $ files_arg)
+    Term.(const run $ telemetry_term $ schema_arg $ files_arg)
 
 let schema_contain_cmd =
   let s1_arg =
@@ -315,7 +426,7 @@ let schema_contain_cmd =
   let s2_arg =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEMA2")
   in
-  let run p1 p2 =
+  let run () p1 p2 =
     let s1 = or_die (Uschema.Schema.parse_result ~source:p1 (read_file p1)) in
     let s2 = or_die (Uschema.Schema.parse_result ~source:p2 (read_file p2)) in
     let leq12 = Uschema.Containment.schema_leq s1 s2 in
@@ -326,10 +437,10 @@ let schema_contain_cmd =
   Cmd.v
     (Cmd.info "schema-contain"
        ~doc:"Decide containment between two DMS files, both directions.")
-    Term.(const run $ s1_arg $ s2_arg)
+    Term.(const run $ telemetry_term $ s1_arg $ s2_arg)
 
 let gen_doc_cmd =
-  let run schema_file seed =
+  let run () schema_file seed =
     let schema = load_schema schema_file in
     let rng = Core.Prng.create seed in
     match Uschema.Docgen.generate ~rng schema with
@@ -341,14 +452,14 @@ let gen_doc_cmd =
   Cmd.v
     (Cmd.info "gen-doc"
        ~doc:"Generate a random document valid for a DMS (default: XMark).")
-    Term.(const run $ schema_arg $ seed_arg)
+    Term.(const run $ telemetry_term $ schema_arg $ seed_term)
 
 (* ------------------------------------------------------------------ *)
 (* infer-schema                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let infer_schema_cmd =
-  let run files =
+  let run () files =
     match Uschema.Infer.infer (List.map load_doc files) with
     | Some schema -> Format.printf "%a@." Uschema.Schema.pp schema
     | None ->
@@ -358,7 +469,7 @@ let infer_schema_cmd =
   Cmd.v
     (Cmd.info "infer-schema"
        ~doc:"Infer a disjunctive multiplicity schema from documents.")
-    Term.(const run $ files_arg)
+    Term.(const run $ telemetry_term $ files_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-twig                                                          *)
@@ -480,19 +591,24 @@ let learn_twig_cmd =
         | Some learned ->
             Format.printf "learned (%s): %a@." level Twig.Query.pp learned;
             if outcome.degraded then begin
-              Printf.eprintf
-                "learnq: degraded to the %s learner (fuel %d, %.3fs spent; %d \
-                 annotations dropped, %d training errors)\n"
-                level outcome.spent.fuel_spent outcome.spent.elapsed
-                outcome.dropped outcome.training_errors;
+              Core.Telemetry.Log.warn
+                ~kv:
+                  [
+                    ("level", level);
+                    ("fuel", string_of_int outcome.spent.fuel_spent);
+                    ("elapsed_s", Printf.sprintf "%.3f" outcome.spent.elapsed);
+                    ("dropped", string_of_int outcome.dropped);
+                    ("training_errors", string_of_int outcome.training_errors);
+                  ]
+                "degraded to a weaker learner";
               exit Core.Error.exit_degraded
             end)
   in
   (* A live journaled session: the user is simulated by the --goal query
      (optionally through a fault injector), questions and answers are
      write-ahead logged, and a crashed run picks up from its journal. *)
-  let run_interactive files goal seed journal resume crash_after noise refusal
-      timeout_rate retries breaker budget =
+  let run_interactive files goal seed journal sync resume crash_after noise
+      refusal timeout_rate retries breaker budget =
     let file = List.hd files in
     let doc = load_doc file in
     let xpath =
@@ -512,7 +628,7 @@ let learn_twig_cmd =
     in
     let js =
       start_journal ~path:journal ~resuming:resume ~engine:"learn-twig"
-        ~config ~seed
+        ~config ~seed ~sync
     in
     let rng = Core.Prng.create js.seed in
     let items = Twiglearn.Interactive.items_of_doc doc in
@@ -546,11 +662,12 @@ let learn_twig_cmd =
     exit_degraded_if ~breaker_open:outcome.breaker_open
       ~degraded:outcome.degraded "the learned twig"
   in
-  let run files selects goal with_schema exact budget interactive seed journal
-      resume crash_after noise refusal timeout_rate retries breaker =
+  let run () files selects goal with_schema exact budget interactive seed
+      journal sync resume crash_after noise refusal timeout_rate retries
+      breaker =
     if interactive || journal <> None then
-      run_interactive files goal seed journal resume crash_after noise refusal
-        timeout_rate retries breaker budget
+      run_interactive files goal seed journal sync resume crash_after noise
+        refusal timeout_rate retries breaker budget
     else
     let docs = List.map load_doc files in
     match exact with
@@ -606,10 +723,10 @@ let learn_twig_cmd =
          "Learn a twig query from annotated nodes; with --exact, run the \
           budgeted exact search with graceful degradation; with \
           --interactive, run a journaled question-answer session.")
-    Term.(const run $ doc_files $ selects $ goal $ with_schema $ exact
-          $ budget_term $ interactive $ seed_arg $ journal_arg $ resume_arg
-          $ crash_after_arg $ noise_arg $ refusal_arg $ timeout_rate_arg
-          $ retries_arg $ breaker_arg)
+    Term.(const run $ telemetry_term $ doc_files $ selects $ goal $ with_schema
+          $ exact $ budget_term $ interactive $ seed_term $ journal_arg
+          $ journal_sync_arg $ resume_arg $ crash_after_arg $ noise_arg
+          $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-join                                                          *)
@@ -715,7 +832,7 @@ let learn_join_cmd =
       & info [ "right" ] ~docv:"CSV" ~doc:"Right relation as CSV.")
   in
   let run_generated_join seed strategy_name strategy rows budget noise refusal
-      timeout_rate journal resume crash_after retries breaker =
+      timeout_rate journal sync resume crash_after retries breaker =
     let config =
       Printf.sprintf
         "learn-join rows=%d strategy=%s noise=%g refusal=%g timeout-rate=%g"
@@ -723,7 +840,7 @@ let learn_join_cmd =
     in
     let js =
       start_journal ~path:journal ~resuming:resume ~engine:"learn-join"
-        ~config ~seed
+        ~config ~seed ~sync
     in
     let rng = Core.Prng.create js.seed in
     let inst =
@@ -783,8 +900,8 @@ let learn_join_cmd =
     exit_degraded_if ~breaker_open:outcome.breaker_open
       ~degraded:outcome.degraded "the predicate"
   in
-  let run seed strategy rows left right budget noise refusal timeout_rate
-      journal resume crash_after retries breaker =
+  let run () seed strategy rows left right budget noise refusal timeout_rate
+      journal sync resume crash_after retries breaker =
     let strategy_name =
       match strategy with
       | `First -> "first"
@@ -806,7 +923,7 @@ let learn_join_cmd =
         exit Core.Error.exit_bad_input
     | None, None ->
         run_generated_join seed strategy_name strategy_fn rows budget noise
-          refusal timeout_rate journal resume crash_after retries breaker
+          refusal timeout_rate journal sync resume crash_after retries breaker
   in
   Cmd.v
     (Cmd.info "learn-join"
@@ -815,10 +932,10 @@ let learn_join_cmd =
           --left/--right (you answer the questions), or on a generated \
           instance with a simulated (possibly flaky) user, journaled and \
           resumable with --journal/--resume.")
-    Term.(const run $ seed_arg $ strategy_arg $ rows_arg $ left_arg $ right_arg
-          $ budget_term $ noise_arg $ refusal_arg $ timeout_rate_arg
-          $ journal_arg $ resume_arg $ crash_after_arg $ retries_arg
-          $ breaker_arg)
+    Term.(const run $ telemetry_term $ seed_term $ strategy_arg $ rows_arg
+          $ left_arg $ right_arg $ budget_term $ noise_arg $ refusal_arg
+          $ timeout_rate_arg $ journal_arg $ journal_sync_arg $ resume_arg
+          $ crash_after_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-path                                                          *)
@@ -834,8 +951,8 @@ let learn_path_cmd =
       & opt string "highway highway*"
       & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
   in
-  let run seed cities goal budget journal resume crash_after noise refusal
-      timeout_rate retries breaker =
+  let run () seed cities goal budget journal sync resume crash_after noise
+      refusal timeout_rate retries breaker =
     let config =
       Printf.sprintf
         "learn-path cities=%d goal=%s noise=%g refusal=%g timeout-rate=%g"
@@ -843,7 +960,7 @@ let learn_path_cmd =
     in
     let js =
       start_journal ~path:journal ~resuming:resume ~engine:"learn-path"
-        ~config ~seed
+        ~config ~seed ~sync
     in
     let rng = Core.Prng.create js.seed in
     let graph = Graphdb.Generators.geo ~rng ~cities () in
@@ -886,9 +1003,10 @@ let learn_path_cmd =
        ~doc:
          "Interactively learn a path query on a generated road network, \
           journaled and resumable with --journal/--resume.")
-    Term.(const run $ seed_arg $ cities_arg $ goal_arg $ budget_term
-          $ journal_arg $ resume_arg $ crash_after_arg $ noise_arg
-          $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
+    Term.(const run $ telemetry_term $ seed_term $ cities_arg $ goal_arg
+          $ budget_term $ journal_arg $ journal_sync_arg $ resume_arg
+          $ crash_after_arg $ noise_arg $ refusal_arg $ timeout_rate_arg
+          $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)
@@ -901,7 +1019,7 @@ let exchange_cmd =
       & pos 0 (some (enum [ ("1", 1); ("2", 2); ("3", 3); ("4", 4) ])) None
       & info [] ~docv:"SCENARIO" ~doc:"Figure-1 scenario number (1-4).")
   in
-  let run scenario seed =
+  let run () scenario seed =
     match scenario with
     | 1 ->
         let rng = Core.Prng.create seed in
@@ -967,7 +1085,7 @@ let exchange_cmd =
   in
   Cmd.v
     (Cmd.info "exchange" ~doc:"Run a Figure-1 data-exchange scenario.")
-    Term.(const run $ scenario_arg $ seed_arg)
+    Term.(const run $ telemetry_term $ scenario_arg $ seed_term)
 
 let () =
   let info =

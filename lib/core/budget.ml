@@ -61,7 +61,19 @@ let exhausted b =
   || (match b.fuel_limit with Some l -> b.fuel_spent >= l | None -> false)
   || over_deadline b
 
+let m_exhausted = Telemetry.Metrics.counter "learnq.budget.exhausted"
+let m_fuel = Telemetry.Metrics.counter "learnq.budget.fuel_spent"
+
+(* [trip] fires on every tick after exhaustion as the exception unwinds
+   through nested loops; count only the first transition. *)
 let trip b =
+  if not b.tripped then begin
+    Telemetry.Metrics.incr m_exhausted;
+    if b.fuel_spent > 0 then Telemetry.Metrics.incr m_fuel ~by:b.fuel_spent;
+    Telemetry.Log.warn
+      ~kv:[ ("fuel_spent", string_of_int b.fuel_spent) ]
+      "budget exhausted"
+  end;
   b.tripped <- true;
   raise Out_of_budget
 

@@ -13,6 +13,18 @@ end
 
 type ('state, 'item) strategy = Prng.t -> 'state -> 'item list -> 'item
 
+(* Telemetry: the paper's headline efficiency measure is the question count,
+   so the interaction loop is the most-instrumented spot in the repo.  The
+   question counter must agree exactly with [outcome.questions] — it is
+   incremented at the single point where that field is. *)
+let m_questions = Telemetry.Metrics.counter "learnq.interact.questions"
+let m_replayed = Telemetry.Metrics.counter "learnq.interact.replayed"
+let m_pruned = Telemetry.Metrics.counter "learnq.interact.pruned"
+let m_refused = Telemetry.Metrics.counter "learnq.interact.refused"
+let m_retried = Telemetry.Metrics.counter "learnq.interact.retried"
+let m_degraded = Telemetry.Metrics.counter "learnq.interact.degraded"
+let m_ask_s = Telemetry.Metrics.histogram "learnq.interact.ask_s"
+
 let first_strategy _rng _st = function
   | [] -> invalid_arg "Interact.first_strategy: no informative item"
   | item :: _ -> item
@@ -70,9 +82,13 @@ module Make (S : SESSION) = struct
           (fun it -> not (List.exists (fun (a, _) -> a = it) asked0))
           items
     in
+    if Telemetry.enabled () && replayed > 0 then
+      Telemetry.Metrics.incr m_replayed ~by:replayed;
     let breaker = Option.map (fun p -> (p, Retry.breaker p)) retry in
     let retried = ref 0 in
     let ask item =
+      Telemetry.with_span "interact.ask" @@ fun () ->
+      let t0 = if Telemetry.enabled () then Monotonic.now () else 0. in
       jappend (Journal.Asked (jencode item));
       let reply =
         match breaker with
@@ -87,6 +103,8 @@ module Make (S : SESSION) = struct
             with
             | Retry.Answered (r, attempts) | Retry.Gave_up (r, attempts) ->
                 retried := !retried + attempts - 1;
+                if Telemetry.enabled () && attempts > 1 then
+                  Telemetry.Metrics.incr m_retried ~by:(attempts - 1);
                 r
             | Retry.Rejected ->
                 (* Open breaker: behave like a refusal; the loop notices the
@@ -94,6 +112,8 @@ module Make (S : SESSION) = struct
                 Flaky.Refused)
       in
       jappend (Journal.Answered (jencode item, reply));
+      if Telemetry.enabled () then
+        Telemetry.Metrics.observe m_ask_s (Monotonic.now () -. t0);
       reply
     in
     let breaker_is_open () =
@@ -103,6 +123,21 @@ module Make (S : SESSION) = struct
     in
     let finish ~degraded ~complete state asked questions pruned refused =
       if complete then jappend Journal.Completed;
+      if Telemetry.enabled () then begin
+        if pruned > 0 then Telemetry.Metrics.incr m_pruned ~by:pruned;
+        if refused > 0 then Telemetry.Metrics.incr m_refused ~by:refused;
+        if degraded then begin
+          Telemetry.Metrics.incr m_degraded;
+          Telemetry.Log.warn
+            ~kv:
+              [
+                ("questions", string_of_int questions);
+                ("pruned", string_of_int pruned);
+                ("refused", string_of_int refused);
+              ]
+            "interactive session degraded before completion"
+        end
+      end;
       {
         query = S.candidate state;
         questions;
@@ -155,12 +190,15 @@ module Make (S : SESSION) = struct
                    the question aside and keep going on the rest of the pool. *)
                 loop state remaining asked questions pruned (refused + 1)
             | Flaky.Label label ->
+                Telemetry.Metrics.incr m_questions;
                 let state = S.record state item label in
                 loop state remaining
                   ((item, label) :: asked)
                   (questions + 1) pruned refused)
     in
-    loop state0 items asked0 0 0 0
+    Telemetry.with_span "interact.session"
+      ~attrs:[ ("items", string_of_int (List.length items)) ]
+    @@ fun () -> loop state0 items asked0 0 0 0
 
   let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ~oracle
       ~items () =

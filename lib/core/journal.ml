@@ -2,12 +2,45 @@ let magic = "LQJRNL1\n"
 
 type header = { seed : int; engine : string; config : string }
 
+type sync = Always | Batch | Off
+
+let sync_to_string = function
+  | Always -> "always"
+  | Batch -> "batch"
+  | Off -> "off"
+
+let sync_of_string = function
+  | "always" -> Some Always
+  | "batch" -> Some Batch
+  | "off" -> Some Off
+  | _ -> None
+
 type event =
   | Asked of string
   | Answered of string * Flaky.reply
   | Completed
 
-type t = { fd : Unix.file_descr; sync : bool; mutable closed : bool }
+(* Group commit: in [Batch] mode appends accumulate in [pending] and are
+   written + fsync'd together once [batch_records] records (or a session
+   milestone — [Completed], [close]) force a flush.  One fsync then covers
+   the whole group, which is what rescues small sessions from paying the
+   ~300µs fsync per answer that BENCH_PR2 exposed. *)
+let batch_records = 8
+
+type t = {
+  fd : Unix.file_descr;
+  sync : sync;
+  pending : Buffer.t;
+  mutable pending_records : int;
+  mutable closed : bool;
+}
+
+(* Telemetry: record/byte counters and the fsync latency histogram the
+   BENCH_PR2 regression was blind to. *)
+let m_records = Telemetry.Metrics.counter "learnq.journal.records"
+let m_bytes = Telemetry.Metrics.counter "learnq.journal.bytes"
+let m_fsyncs = Telemetry.Metrics.counter "learnq.journal.fsyncs"
+let m_fsync_s = Telemetry.Metrics.histogram "learnq.journal.fsync_s"
 
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (polynomial 0xEDB88320, the zlib/PNG one)                    *)
@@ -36,16 +69,34 @@ let crc32 s =
 
 (* One tag byte, then the encoded item.  The header packs its fields with
    NUL separators (items and configs are produced by this code base and
-   never contain NUL). *)
+   never contain NUL).  Since the telemetry PR the header also records the
+   fsync policy as a trailing "sync=…" field; older journals simply lack it
+   and decode with [sync = Always]. *)
 
-let encode_header h = Printf.sprintf "H%d\x00%s\x00%s" h.seed h.engine h.config
+let encode_header h ~sync =
+  Printf.sprintf "H%d\x00%s\x00%s\x00sync=%s" h.seed h.engine h.config
+    (sync_to_string sync)
 
 let decode_header payload =
   (* payload starts after the 'H' tag *)
   match String.split_on_char '\x00' payload with
   | seed :: engine :: rest -> (
       match int_of_string_opt seed with
-      | Some seed -> Some { seed; engine; config = String.concat "\x00" rest }
+      | Some seed ->
+          let rest, sync =
+            match List.rev rest with
+            | last :: front
+              when String.length last > 5
+                   && String.sub last 0 5 = "sync=" -> (
+                match
+                  sync_of_string
+                    (String.sub last 5 (String.length last - 5))
+                with
+                | Some s -> (List.rev front, s)
+                | None -> (rest, Always))
+            | _ -> (rest, Always)
+          in
+          Some ({ seed; engine; config = String.concat "\x00" rest }, sync)
       | None -> None)
   | _ -> None
 
@@ -103,23 +154,57 @@ let write_all fd s =
   in
   go 0
 
+let fsync_timed fd =
+  if Telemetry.enabled () then begin
+    let t0 = Monotonic.now () in
+    Unix.fsync fd;
+    Telemetry.Metrics.observe m_fsync_s (Monotonic.now () -. t0);
+    Telemetry.Metrics.incr m_fsyncs
+  end
+  else Unix.fsync fd
+
+(* Write out (and, unless the policy is [Off], fsync) everything pending. *)
+let flush t =
+  if Buffer.length t.pending > 0 then begin
+    write_all t.fd (Buffer.contents t.pending);
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    if t.sync <> Off then fsync_timed t.fd
+  end
+
 let append_raw t s =
   if t.closed then invalid_arg "Journal.append: journal is closed";
-  write_all t.fd s;
-  if t.sync then Unix.fsync t.fd
+  Telemetry.Metrics.incr m_bytes ~by:(String.length s);
+  match t.sync with
+  | Always ->
+      write_all t.fd s;
+      fsync_timed t.fd
+  | Off -> write_all t.fd s
+  | Batch ->
+      Buffer.add_string t.pending s;
+      t.pending_records <- t.pending_records + 1;
+      if t.pending_records >= batch_records then flush t
 
-let append t event = append_raw t (frame (encode_event event))
+let append t event =
+  Telemetry.Metrics.incr m_records;
+  append_raw t (frame (encode_event event));
+  (* A completed session is a durability milestone: close the group. *)
+  if event = Completed then flush t
 
-let create ?(sync = true) ~path header =
+let create ?(sync = Always) ~path header =
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
-  let t = { fd; sync; closed = false } in
-  append_raw t (magic ^ frame (encode_header header));
+  let t = { fd; sync; pending = Buffer.create 256; pending_records = 0; closed = false } in
+  (* The header must be durable before any event is: resume depends on it.
+     Write it through directly even in Batch mode. *)
+  write_all t.fd (magic ^ frame (encode_header header ~sync));
+  if sync <> Off then fsync_timed t.fd;
   t
 
 let close t =
   if not t.closed then begin
+    flush t;
     t.closed <- true;
     Unix.close t.fd
   end
@@ -130,6 +215,7 @@ let close t =
 
 type recovered = {
   header : header option;
+  recorded_sync : sync;
   events : event list;
   valid_bytes : int;
   dropped_bytes : int;
@@ -143,18 +229,26 @@ let parse ~source input =
   in
   if prefix_of_magic then
     (* The crash happened while the very first write was in flight. *)
-    Ok { header = None; events = []; valid_bytes = 0; dropped_bytes = len }
+    Ok
+      {
+        header = None;
+        recorded_sync = Always;
+        events = [];
+        valid_bytes = 0;
+        dropped_bytes = len;
+      }
   else if len < magic_len || not (String.equal (String.sub input 0 magic_len) magic)
   then
     Error
       (Error.parse_error ~source:"journal"
          (Printf.sprintf "%s is not a learnq session journal" source))
   else
-    let rec records pos header events =
+    let rec records pos header rsync events =
       let finish dropped =
         Ok
           {
             header;
+            recorded_sync = rsync;
             events = List.rev events;
             valid_bytes = pos;
             dropped_bytes = dropped;
@@ -179,8 +273,8 @@ let parse ~source input =
             let next = pos + 8 + plen in
             if plen > 0 && payload.[0] = 'H' then
               match decode_header (String.sub payload 1 (plen - 1)) with
-              | Some h when pos = magic_len && header = None ->
-                  records next (Some h) events
+              | Some (h, s) when pos = magic_len && header = None ->
+                  records next (Some h) s events
               | Some _ ->
                   Error
                     (Error.corrupt_journal ~path:source ~offset:pos
@@ -191,14 +285,14 @@ let parse ~source input =
                        "undecodable header record")
             else begin
               match decode_event payload with
-              | Some ev -> records next header (ev :: events)
+              | Some ev -> records next header rsync (ev :: events)
               | None ->
                   Error
                     (Error.corrupt_journal ~path:source ~offset:pos
                        "undecodable record payload")
             end
     in
-    records magic_len None []
+    records magic_len None Always []
 
 let read_file path =
   let ic = open_in_bin path in
@@ -212,7 +306,7 @@ let recover ~path =
       Error (Error.invalid_input ~what:"--journal" msg)
   | input -> parse ~source:path input
 
-let resume ?(sync = true) ~path () =
+let resume ?sync ~path () =
   match recover ~path with
   | Error e -> Error e
   | Ok r -> (
@@ -222,10 +316,20 @@ let resume ?(sync = true) ~path () =
             (Error.invalid_input ~what:"--journal"
                (path ^ " has no intact header record; nothing to resume"))
       | Some _ ->
+          (* Continue under the recorded policy unless the caller overrides. *)
+          let sync = Option.value ~default:r.recorded_sync sync in
           let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
           Unix.ftruncate fd r.valid_bytes;
           ignore (Unix.lseek fd 0 Unix.SEEK_END);
-          Ok ({ fd; sync; closed = false }, r))
+          Ok
+            ( {
+                fd;
+                sync;
+                pending = Buffer.create 256;
+                pending_records = 0;
+                closed = false;
+              },
+              r ))
 
 let answered r =
   List.filter_map

@@ -6,8 +6,7 @@
     crash means paying for them again.  In the spirit of ARIES-style
     write-ahead logging, a journal records the session {e before} the effects
     happen: a header (seed and configuration, so the run is reproducible),
-    then one record per question asked and per answer received, each fsync'd
-    on append.
+    then one record per question asked and per answer received.
 
     {2 On-disk format}
 
@@ -16,17 +15,38 @@
     {v [length : 4 bytes LE] [crc32 : 4 bytes LE] [payload : length bytes] v}
 
     where the CRC-32 (polynomial 0xEDB88320) covers the payload.  A record is
-    written with a single [write] and fsync'd, so a crash leaves at most one
-    torn record at the physical tail.  {!recover} therefore treats a record
-    whose bytes run out before [length] is satisfied as a torn tail and drops
-    it silently, while a record that is fully present but fails its CRC is
-    {e corruption} and is rejected with a positioned {!Error.t}. *)
+    written with a single [write], so a crash leaves at most one torn record
+    at the physical tail (under {!Batch}, at most one torn {e group}).
+    {!recover} therefore treats a record whose bytes run out before [length]
+    is satisfied as a torn tail and drops it silently, while a record that is
+    fully present but fails its CRC is {e corruption} and is rejected with a
+    positioned {!Error.t}.
+
+    {2 Fsync policy}
+
+    Per-append [fsync] is the strongest guarantee but dominates the cost of a
+    fast learner (BENCH_PR2 measured 6.8× on the twig learn path).  {!sync}
+    trades durability for throughput: {!Always} fsyncs every record, {!Batch}
+    group-commits (one write + fsync per 8 records, and at every session
+    milestone), {!Off} leaves flushing to the OS.  The chosen policy is
+    recorded in the header so {!recover} can report what guarantee the
+    journal was written under. *)
 
 type header = {
   seed : int;  (** the PRNG seed the session ran under *)
   engine : string;  (** which learner ("learn-twig", "learn-join", …) *)
   config : string;  (** free-form parameter line; checked on resume *)
 }
+
+type sync =
+  | Always  (** fsync every append: lose at most the in-flight record *)
+  | Batch
+      (** group commit: buffer up to 8 records per write+fsync; a crash loses
+          at most the open group.  [Completed] and {!close} force a flush. *)
+  | Off  (** never fsync: durability left to the OS page cache *)
+
+val sync_to_string : sync -> string
+val sync_of_string : string -> sync option
 
 type event =
   | Asked of string  (** an encoded item was put to the oracle *)
@@ -36,21 +56,28 @@ type event =
 type t
 (** An open journal writer. *)
 
-val create : ?sync:bool -> path:string -> header -> t
+val create : ?sync:sync -> path:string -> header -> t
 (** Starts a fresh journal at [path] (truncating any existing file) and
-    writes the header record.  [sync] (default [true]) fsyncs every append —
-    the durability guarantee; turn it off only for benchmarks. *)
+    writes the header record — durable immediately (unless [sync] is {!Off}),
+    since resume depends on it.  [sync] defaults to {!Always}. *)
 
 val append : t -> event -> unit
-(** Appends one record ([fsync]'d when the journal was created with [sync]).
+(** Appends one record under the journal's {!sync} policy.
     @raise Invalid_argument on a closed journal. *)
 
+val flush : t -> unit
+(** Forces any buffered {!Batch} records to disk (write + fsync).  No-op when
+    nothing is pending or under {!Always}/{!Off}. *)
+
 val close : t -> unit
-(** Closes the underlying descriptor; idempotent. *)
+(** Flushes pending records and closes the descriptor; idempotent. *)
 
 type recovered = {
   header : header option;
       (** [None] when even the header record was lost to truncation. *)
+  recorded_sync : sync;
+      (** the fsync policy the journal was written under ({!Always} for
+          journals predating the policy field) *)
   events : event list;  (** the surviving prefix, in append order *)
   valid_bytes : int;  (** file offset just past the last whole record *)
   dropped_bytes : int;  (** torn-tail bytes discarded after [valid_bytes] *)
@@ -65,9 +92,10 @@ val parse : source:string -> string -> (recovered, Error.t) result
 val recover : path:string -> (recovered, Error.t) result
 (** Reads and {!parse}s the file at [path]. *)
 
-val resume : ?sync:bool -> path:string -> unit -> (t * recovered, Error.t) result
+val resume : ?sync:sync -> path:string -> unit -> (t * recovered, Error.t) result
 (** {!recover}, then reopen [path] for appending: the torn tail (if any) is
     truncated away and subsequent {!append}s continue the valid prefix.
+    Continues under the journal's recorded policy unless [sync] overrides it.
     Fails when the journal has no header (nothing to resume). *)
 
 val answered : recovered -> (string * Flaky.reply) list

@@ -26,6 +26,11 @@ type breaker = {
 
 type breaker_state = Closed | Open | Half_open
 
+let m_attempts = Telemetry.Metrics.counter "learnq.retry.attempts"
+let m_gave_up = Telemetry.Metrics.counter "learnq.retry.gave_up"
+let m_rejected = Telemetry.Metrics.counter "learnq.retry.rejected"
+let m_breaker_opened = Telemetry.Metrics.counter "learnq.retry.breaker_opened"
+
 let breaker p =
   {
     threshold = p.breaker_threshold;
@@ -48,6 +53,14 @@ let record_failure b =
   b.consecutive_failures <- b.consecutive_failures + 1;
   (* A failed half-open probe reopens regardless of the count. *)
   if b.opened || b.consecutive_failures >= b.threshold then begin
+    if not b.opened then begin
+      (* Closed -> Open transition (a half-open reopen keeps [opened] set and
+         is not a new transition). *)
+      Telemetry.Metrics.incr m_breaker_opened;
+      Telemetry.Log.warn
+        ~kv:[ ("failures", string_of_int b.consecutive_failures) ]
+        "circuit breaker opened: oracle looks down"
+    end;
     b.opened <- true;
     b.opened_at <- Monotonic.now ()
   end
@@ -56,7 +69,9 @@ type 'a outcome = Answered of 'a * int | Gave_up of 'a * int | Rejected
 
 let call ?budget ~rng p b ~classify f =
   match breaker_state b with
-  | Open -> Rejected
+  | Open ->
+      Telemetry.Metrics.incr m_rejected;
+      Rejected
   | (Closed | Half_open) as st ->
       let max_attempts = if st = Half_open then 1 else p.max_attempts in
       let time_left () =
@@ -69,6 +84,7 @@ let call ?budget ~rng p b ~classify f =
               | Some r -> r)
       in
       let rec go attempt prev_delay =
+        Telemetry.Metrics.incr m_attempts;
         let r = f () in
         match classify r with
         | `Ok ->
@@ -76,11 +92,13 @@ let call ?budget ~rng p b ~classify f =
             Answered (r, attempt)
         | `Permanent ->
             record_failure b;
+            Telemetry.Metrics.incr m_gave_up;
             Gave_up (r, attempt)
         | `Transient ->
             let left = time_left () in
             if attempt >= max_attempts || left <= 0. then begin
               record_failure b;
+              Telemetry.Metrics.incr m_gave_up;
               Gave_up (r, attempt)
             end
             else begin

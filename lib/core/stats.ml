@@ -40,10 +40,12 @@ let maximum = function
 let mean_int xs = mean (List.map float_of_int xs)
 let median_int xs = median (List.map float_of_int xs)
 
+(* Timed on the monotonic clock: benchmark intervals must not jump with NTP
+   adjustments or manual clock steps the way gettimeofday does. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic.now () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Monotonic.now () in
   (result, t1 -. t0)
 
 let time_median ?(repeats = 5) f =

@@ -19,8 +19,8 @@ val mean_int : int list -> float
 val median_int : int list -> float
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
-    seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed seconds,
+    measured on {!Monotonic} — immune to NTP adjustments and clock steps. *)
 
 val time_median : ?repeats:int -> (unit -> 'a) -> float
-(** Median elapsed seconds over [repeats] (default 5) runs. *)
+(** Median elapsed monotonic seconds over [repeats] (default 5) runs. *)

@@ -1,0 +1,670 @@
+(* Spans, metrics, and structured logs.  Everything here is single-domain
+   mutable state; the contract that matters is the disabled fast path — one
+   bool load and branch per instrumentation site — because sites sit inside
+   the innermost enumeration loops (see bench pr3 for the measured residue). *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* ------------------------------------------------------------------ *)
+(* Run context                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ctx : (string * string) list ref = ref []
+
+let set_context kvs =
+  let keys = List.map fst kvs in
+  ctx := kvs @ List.filter (fun (k, _) -> not (List.mem k keys)) !ctx
+
+(* The source revision, probed once at first export: a telemetry file names
+   the code that produced it.  Failure (no git, no repo) degrades to
+   "unknown" rather than an exception — exporters run inside at_exit. *)
+let git_describe =
+  lazy
+    (try
+       let ic =
+         Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+       in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let context () =
+  if List.mem_assoc "git" !ctx then !ctx
+  else ("git", Lazy.force git_describe) :: !ctx
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sid : int;
+  parent : int;  (* -1 for roots *)
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  dur_ns : int64;
+}
+
+(* An open frame on the span stack; [child_ns] accumulates closed children
+   so self time = duration - child_ns. *)
+type frame = {
+  f_sid : int;
+  f_parent : int;
+  f_name : string;
+  f_attrs : (string * string) list;
+  f_start : int64;
+  mutable f_child_ns : int64;
+}
+
+type agg = { mutable a_count : int; mutable a_total : int64; mutable a_self : int64 }
+
+let max_recorded_spans = 400_000
+let next_sid = ref 0
+let stack : frame list ref = ref []
+let recorded : span list ref = ref []  (* reversed completion order *)
+let recorded_count = ref 0
+let dropped = ref 0
+let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 64
+
+let span_count () = !recorded_count
+let dropped_spans () = !dropped
+
+let current_span_id () =
+  match !stack with [] -> None | f :: _ -> Some f.f_sid
+
+let agg_of name =
+  match Hashtbl.find_opt aggregates name with
+  | Some a -> a
+  | None ->
+      let a = { a_count = 0; a_total = 0L; a_self = 0L } in
+      Hashtbl.add aggregates name a;
+      a
+
+let close_frame f =
+  let now = Monotonic.now_ns () in
+  let dur = Int64.sub now f.f_start in
+  (match !stack with
+  | parent :: _ -> parent.f_child_ns <- Int64.add parent.f_child_ns dur
+  | [] -> ());
+  let a = agg_of f.f_name in
+  a.a_count <- a.a_count + 1;
+  a.a_total <- Int64.add a.a_total dur;
+  a.a_self <- Int64.add a.a_self (Int64.sub dur f.f_child_ns);
+  if !recorded_count < max_recorded_spans then begin
+    recorded :=
+      {
+        sid = f.f_sid;
+        parent = f.f_parent;
+        name = f.f_name;
+        attrs = f.f_attrs;
+        start_ns = f.f_start;
+        dur_ns = dur;
+      }
+      :: !recorded;
+    incr recorded_count
+  end
+  else incr dropped
+
+let with_span ?(attrs = []) name f =
+  if not !on then f ()
+  else begin
+    let sid = !next_sid in
+    incr next_sid;
+    let parent = match !stack with [] -> -1 | p :: _ -> p.f_sid in
+    let frame =
+      {
+        f_sid = sid;
+        f_parent = parent;
+        f_name = name;
+        f_attrs = attrs;
+        f_start = Monotonic.now_ns ();
+        f_child_ns = 0L;
+      }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | top :: rest when top.f_sid = sid -> stack := rest
+        | _ ->
+            (* A child escaped without closing (impossible with Fun.protect
+               discipline); resynchronize by popping to our frame. *)
+            let rec pop = function
+              | top :: rest when top.f_sid <> sid -> pop rest
+              | _ :: rest -> rest
+              | [] -> []
+            in
+            stack := pop !stack);
+        close_frame frame)
+      f
+  end
+
+let seconds_of_ns ns = Int64.to_float ns *. 1e-9
+
+let span_aggregates () =
+  Hashtbl.fold
+    (fun name a acc ->
+      (name, a.a_count, seconds_of_ns a.a_total, seconds_of_ns a.a_self) :: acc)
+    aggregates []
+  |> List.sort (fun (_, _, t1, _) (_, _, t2, _) -> compare t2 t1)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = { c_name : string; mutable c_value : int }
+  type gauge = { g_name : string; mutable g_value : float }
+
+  (* Log-scale buckets: 2 per octave starting at 1e-9, so ~70 octaves cover
+     one nanosecond up to ~6e11 — any latency or size this system sees. *)
+  let nbuckets = 142
+  let bucket_lo = 1e-9
+  let per_octave = 2.
+
+  type histogram = {
+    h_name : string;
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+    h_buckets : int array;
+  }
+
+  type metric = C of counter | G of gauge | H of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+  (* Insertion order, for stable exports. *)
+  let order : string list ref = ref []
+
+  let register name make read =
+    match Hashtbl.find_opt registry name with
+    | Some m -> read m
+    | None ->
+        let v = make () in
+        Hashtbl.add registry name v;
+        order := name :: !order;
+        read (Hashtbl.find registry name)
+
+  let counter name =
+    register name
+      (fun () -> C { c_name = name; c_value = 0 })
+      (function
+        | C c -> c
+        | _ -> invalid_arg ("Telemetry.Metrics.counter: " ^ name ^ " is not a counter"))
+
+  let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+  let counter_value c = c.c_value
+
+  let gauge name =
+    register name
+      (fun () -> G { g_name = name; g_value = 0. })
+      (function
+        | G g -> g
+        | _ -> invalid_arg ("Telemetry.Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+  let set g v = if !on then g.g_value <- v
+  let gauge_value g = g.g_value
+
+  let histogram name =
+    register name
+      (fun () ->
+        H
+          {
+            h_name = name;
+            h_count = 0;
+            h_sum = 0.;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make nbuckets 0;
+          })
+      (function
+        | H h -> h
+        | _ ->
+            invalid_arg
+              ("Telemetry.Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+  let bucket_of v =
+    if v <= bucket_lo then 0
+    else
+      let i = 1 + int_of_float (Float.log2 (v /. bucket_lo) *. per_octave) in
+      if i >= nbuckets then nbuckets - 1 else i
+
+  let observe h v =
+    if !on then begin
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = h.h_buckets.(bucket_of v) in
+      h.h_buckets.(bucket_of v) <- b + 1
+    end
+
+  let hist_count h = h.h_count
+  let hist_sum h = h.h_sum
+
+  (* Geometric midpoint of bucket [i], the representative value reported for
+     samples that landed there. *)
+  let bucket_mid i =
+    if i = 0 then bucket_lo
+    else bucket_lo *. Float.exp2 ((float_of_int i -. 0.5) /. per_octave)
+
+  let percentile h p =
+    if h.h_count = 0 then 0.
+    else if p <= 0. then h.h_min
+    else if p >= 1. then h.h_max
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p *. float_of_int h.h_count)) in
+        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+      in
+      let rec find i cum =
+        if i >= nbuckets then h.h_max
+        else
+          let cum = cum + h.h_buckets.(i) in
+          if cum >= rank then bucket_mid i else find (i + 1) cum
+      in
+      let est = find 0 0 in
+      (* Clamping to the observed range makes single-sample and all-equal
+         series exact instead of bucket-quantized. *)
+      Float.min h.h_max (Float.max h.h_min est)
+    end
+
+  let in_order () =
+    List.rev_map (fun name -> Hashtbl.find registry name) !order
+
+  let reset_values () =
+    Hashtbl.iter
+      (fun _ -> function
+        | C c -> c.c_value <- 0
+        | G g -> g.g_value <- 0.
+        | H h ->
+            h.h_count <- 0;
+            h.h_sum <- 0.;
+            h.h_min <- infinity;
+            h.h_max <- neg_infinity;
+            Array.fill h.h_buckets 0 nbuckets 0)
+      registry
+
+  (* ---------------- JSON / Prometheus emission ---------------- *)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let json_kvs kvs =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%S: \"%s\"" k (json_escape v))
+         kvs)
+
+  let float_json v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.9g" v
+
+  let metrics_json () =
+    let counters, gauges, hists =
+      List.fold_left
+        (fun (cs, gs, hs) -> function
+          | C c -> (c :: cs, gs, hs)
+          | G g -> (cs, g :: gs, hs)
+          | H h -> (cs, gs, h :: hs))
+        ([], [], []) (in_order ())
+    in
+    let counters = List.rev counters
+    and gauges = List.rev gauges
+    and hists = List.rev hists in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"header\": { ";
+    Buffer.add_string buf (json_kvs (context ()));
+    Buffer.add_string buf " },\n  \"counters\": {";
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map
+            (fun c ->
+              Printf.sprintf "\n    \"%s\": %d" (json_escape c.c_name) c.c_value)
+            counters));
+    Buffer.add_string buf "\n  },\n  \"gauges\": {";
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map
+            (fun g ->
+              Printf.sprintf "\n    \"%s\": %s" (json_escape g.g_name)
+                (float_json g.g_value))
+            gauges));
+    Buffer.add_string buf "\n  },\n  \"histograms\": {";
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map
+            (fun h ->
+              Printf.sprintf
+                "\n    \"%s\": { \"count\": %d, \"sum\": %s, \"min\": %s, \
+                 \"max\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s }"
+                (json_escape h.h_name) h.h_count (float_json h.h_sum)
+                (float_json (if h.h_count = 0 then 0. else h.h_min))
+                (float_json (if h.h_count = 0 then 0. else h.h_max))
+                (float_json (percentile h 0.5))
+                (float_json (percentile h 0.9))
+                (float_json (percentile h 0.99)))
+            hists));
+    Buffer.add_string buf "\n  },\n  \"spans\": {";
+    Buffer.add_string buf
+      (String.concat ","
+         (List.map
+            (fun (name, n, total, self) ->
+              Printf.sprintf
+                "\n    \"%s\": { \"count\": %d, \"total_s\": %.6f, \
+                 \"self_s\": %.6f }"
+                (json_escape name) n total self)
+            (span_aggregates ())));
+    Buffer.add_string buf "\n  }\n}\n";
+    Buffer.contents buf
+
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+  let prom_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let metrics_prometheus () =
+    let buf = Buffer.create 1024 in
+    let labels =
+      String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape v))
+           (context ()))
+    in
+    Buffer.add_string buf
+      "# learnq metrics export (Prometheus text exposition)\n";
+    Buffer.add_string buf "# TYPE learnq_run_info gauge\n";
+    Buffer.add_string buf (Printf.sprintf "learnq_run_info{%s} 1\n" labels);
+    List.iter
+      (function
+        | C c ->
+            let n = prom_name c.c_name in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" n c.c_value)
+        | G g ->
+            let n = prom_name g.g_name in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+            Buffer.add_string buf (Printf.sprintf "%s %.9g\n" n g.g_value)
+        | H h ->
+            let n = prom_name h.h_name in
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+            List.iter
+              (fun q ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s{quantile=\"%g\"} %.9g\n" n q
+                     (percentile h q)))
+              [ 0.5; 0.9; 0.99 ];
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum %.9g\n%s_count %d\n" n h.h_sum n
+                 h.h_count))
+      (in_order ());
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let trace_json () =
+  let spans = List.rev !recorded in
+  let t0 =
+    match spans with [] -> 0L | s :: _ ->
+      List.fold_left (fun acc s -> Int64.min acc s.start_ns) s.start_ns spans
+  in
+  let us_of ns = Int64.to_float (Int64.sub ns t0) /. 1e3 in
+  let buf = Buffer.create (4096 + (96 * List.length spans)) in
+  Buffer.add_string buf "{\n\"otherData\": { ";
+  Buffer.add_string buf (Metrics.json_kvs (context ()));
+  (if !dropped > 0 then
+     Buffer.add_string buf
+       (Printf.sprintf ", \"dropped_spans\": \"%d\"" !dropped));
+  Buffer.add_string buf " },\n\"traceEvents\": [";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n{\"name\":\"%s\",\"cat\":\"learnq\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":1,\"tid\":1"
+           (Metrics.json_escape s.name) (us_of s.start_ns)
+           (Int64.to_float s.dur_ns /. 1e3));
+      let args =
+        ("span_id", string_of_int s.sid)
+        :: (if s.parent >= 0 then [ ("parent", string_of_int s.parent) ] else [])
+        @ s.attrs
+      in
+      Buffer.add_string buf (",\"args\":{" ^ Metrics.json_kvs args ^ "}}"))
+    spans;
+  Buffer.add_string buf "\n]\n}\n";
+  Buffer.contents buf
+
+let pp_span_tree ppf () =
+  let spans = List.rev !recorded in
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace children s.parent
+        (s :: (Option.value ~default:[] (Hashtbl.find_opt children s.parent))))
+    spans;
+  let kids p =
+    List.sort
+      (fun a b -> compare a.start_ns b.start_ns)
+      (Option.value ~default:[] (Hashtbl.find_opt children p))
+  in
+  let rec pp depth s =
+    Format.fprintf ppf "%s%s  %.3f ms%s@,"
+      (String.make (2 * depth) ' ')
+      s.name
+      (Int64.to_float s.dur_ns /. 1e6)
+      (match s.attrs with
+      | [] -> ""
+      | kvs ->
+          "  ["
+          ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+          ^ "]");
+    List.iter (pp (depth + 1)) (kids s.sid)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp 0) (kids (-1));
+  if !dropped > 0 then
+    Format.fprintf ppf "(… %d spans over the in-memory cap not shown)@,"
+      !dropped;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+module Log = struct
+  let current : level option ref = ref (Some Warn)
+  let ppf = ref Format.err_formatter
+  let set_level l = current := l
+  let level () = !current
+  let set_formatter f = ppf := f
+
+  let logs l =
+    match !current with None -> false | Some min -> severity l >= severity min
+
+  let epoch = lazy (Monotonic.now ())
+
+  let emit l kv msg =
+    let kv =
+      match current_span_id () with
+      | Some sid -> kv @ [ ("span", string_of_int sid) ]
+      | None -> kv
+    in
+    let kvs =
+      String.concat ""
+        (List.map
+           (fun (k, v) ->
+             let v =
+               if String.contains v ' ' then "\"" ^ v ^ "\"" else v
+             in
+             Printf.sprintf " %s=%s" k v)
+           kv)
+    in
+    Format.fprintf !ppf "learnq: [%7.3f %-5s] %s%s@."
+      (Monotonic.now () -. Lazy.force epoch)
+      (level_to_string l) msg kvs
+
+  let log l ?(kv = []) msg = if logs l then emit l kv msg
+  let debug ?kv msg = log Debug ?kv msg
+  let info ?kv msg = log Info ?kv msg
+  let warn ?kv msg = log Warn ?kv msg
+  let error ?kv msg = log Error ?kv msg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Summary and reset                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf () =
+  Format.fprintf ppf "@[<v>── telemetry summary ──@,";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %s: %s@," k v)
+    (context ());
+  let metrics = Metrics.in_order () in
+  let any p = List.exists p metrics in
+  if any (function Metrics.C c -> c.Metrics.c_value <> 0 | _ -> false) then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (function
+        | Metrics.C c when c.Metrics.c_value <> 0 ->
+            Format.fprintf ppf "  %-42s %d@," c.Metrics.c_name c.Metrics.c_value
+        | _ -> ())
+      metrics
+  end;
+  if any (function Metrics.G g -> g.Metrics.g_value <> 0. | _ -> false)
+  then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter
+      (function
+        | Metrics.G g when g.Metrics.g_value <> 0. ->
+            Format.fprintf ppf "  %-42s %g@," g.Metrics.g_name g.Metrics.g_value
+        | _ -> ())
+      metrics
+  end;
+  if any (function Metrics.H h -> h.Metrics.h_count > 0 | _ -> false)
+  then begin
+    Format.fprintf ppf "histograms (p50 / p90 / p99):@,";
+    List.iter
+      (function
+        | Metrics.H h when h.Metrics.h_count > 0 ->
+            Format.fprintf ppf "  %-42s n=%d  %.3g / %.3g / %.3g@,"
+              h.Metrics.h_name h.Metrics.h_count
+              (Metrics.percentile h 0.5) (Metrics.percentile h 0.9)
+              (Metrics.percentile h 0.99)
+        | _ -> ())
+      metrics
+  end;
+  (match span_aggregates () with
+  | [] -> ()
+  | aggs ->
+      Format.fprintf ppf "spans (count, total, self):@,";
+      List.iter
+        (fun (name, n, total, self) ->
+          Format.fprintf ppf "  %-42s %7d  %8.3f ms  %8.3f ms@," name n
+            (total *. 1e3) (self *. 1e3))
+        aggs);
+  Format.fprintf ppf "@]"
+
+let reset () =
+  stack := [];
+  recorded := [];
+  recorded_count := 0;
+  dropped := 0;
+  next_sid := 0;
+  Hashtbl.reset aggregates;
+  Metrics.reset_values ();
+  ctx := []
+
+(* ------------------------------------------------------------------ *)
+(* CLI wiring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let configure ?trace ?metrics ?log_level ?(summary = false) () =
+  (match log_level with Some l -> Log.set_level l | None -> ());
+  if trace <> None || metrics <> None || summary then begin
+    set_enabled true;
+    at_exit (fun () ->
+        (* Close any span left open by an early [exit] so its time is
+           accounted before export. *)
+        while !stack <> [] do
+          match !stack with
+          | f :: rest ->
+              stack := rest;
+              close_frame f
+          | [] -> ()
+        done;
+        (match trace with
+        | Some path -> ( try write_file path (trace_json ()) with Sys_error _ -> ())
+        | None -> ());
+        (match metrics with
+        | Some path -> (
+            try
+              write_file path (Metrics.metrics_json ());
+              write_file (path ^ ".prom") (Metrics.metrics_prometheus ())
+            with Sys_error _ -> ())
+        | None -> ());
+        if summary then Format.eprintf "%a@." pp_summary ())
+  end

@@ -1,0 +1,183 @@
+(** Telemetry: spans, metrics, and structured logs for every learner engine.
+
+    The paper's quantitative claims are claims about {e counts and costs} —
+    convergence "generally from two examples" (§2) is a question count, the
+    PTIME containment of DMS (§2) is a bound on containment-check work.  This
+    module gives the engines first-class accounting for both: a span tracer
+    for where the time goes, a metrics registry for how much work was done,
+    and a leveled key=value logger correlated with the active span.
+
+    {2 The zero-cost disabled path}
+
+    Telemetry is {b off by default}.  Every instrumentation entry point
+    ({!with_span}, {!Metrics.incr}, {!Metrics.observe}, the {!Log} functions
+    below their level) starts with a single mutable-bool load and branch, so
+    an un-instrumented-feeling fast path survives in the innermost
+    enumeration loops.  [bench pr3] measures the residue (<2% on the E1 twig
+    workload).
+
+    {2 Naming scheme}
+
+    Metrics are named [learnq.<engine>.<name>] — e.g.
+    [learnq.interact.questions], [learnq.journal.fsync_s],
+    [learnq.twig.contain_calls].  Spans use [<engine>.<what>] ("interact.ask",
+    "twiglearn.lgg", "twig.contain.minimize").
+
+    Not thread-safe: the repository is single-domain throughout. *)
+
+(** {1 Master switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every metric, drop all recorded spans and the run context, close any
+    open span stack.  Registered metric handles stay valid.  For tests and
+    benchmarks. *)
+
+(** {1 Run context}
+
+    Key-value pairs stamped into the header of every trace and metrics
+    export, so a run is reproducible from its telemetry file alone: the PRNG
+    seed, the budget settings, and (added automatically at export time) the
+    source revision from [git describe]. *)
+
+val set_context : (string * string) list -> unit
+(** Merge pairs into the run context (later values win per key). *)
+
+val context : unit -> (string * string) list
+(** Current context including the [git] revision probe. *)
+
+(** {1 Spans}
+
+    Nested, monotonic-clock-timed intervals.  A span is opened and closed by
+    {!with_span}; nesting follows the call stack.  Completed spans are kept
+    (up to a cap) for the Chrome exporter, and aggregated by name (count,
+    total, self time) regardless of the cap. *)
+
+val with_span :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span.  The span closes even when
+    [f] raises (e.g. {!Budget.Out_of_budget} escaping an enumeration).
+    Identity when telemetry is disabled. *)
+
+val current_span_id : unit -> int option
+(** Innermost open span, for log correlation. *)
+
+val span_count : unit -> int
+(** Completed spans currently recorded (post-cap). *)
+
+val dropped_spans : unit -> int
+(** Spans timed but not recorded because the in-memory cap was reached; they
+    still count in the by-name aggregates. *)
+
+val span_aggregates : unit -> (string * int * float * float) list
+(** Per-name rollup [(name, count, total_s, self_s)], sorted by total time
+    descending.  Self time excludes child spans — the per-engine "where the
+    time goes" breakdown. *)
+
+val trace_json : unit -> string
+(** Chrome [trace_event] export (JSON object format: ["traceEvents"] complete
+    events plus an ["otherData"] header with the run context).  Loadable in
+    [chrome://tracing] and Perfetto. *)
+
+val pp_span_tree : Format.formatter -> unit -> unit
+(** Compact text dump of the span forest with durations. *)
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  (** Register (or look up) a named monotonic counter.  Registration at
+      module-initialisation time keeps the hot path free of table lookups. *)
+
+  val incr : ?by:int -> counter -> unit
+  (** No-op while telemetry is disabled. *)
+
+  val counter_value : counter -> int
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val histogram : string -> histogram
+  (** Log-scale histogram (2 buckets per octave from 1e-9 up): made for
+      latencies spanning nanoseconds to minutes. *)
+
+  val observe : histogram -> float -> unit
+  (** Record a sample.  No-op while telemetry is disabled. *)
+
+  val hist_count : histogram -> int
+  val hist_sum : histogram -> float
+
+  val percentile : histogram -> float -> float
+  (** [percentile h p] with [p] in [0,1]: 0. on an empty histogram, the exact
+      minimum at [p <= 0.], the exact maximum at [p >= 1.]; otherwise the
+      geometric midpoint of the bucket holding the nearest-rank sample,
+      clamped to the observed [min, max] (so single-sample and all-equal
+      series are exact). *)
+
+  val metrics_json : unit -> string
+  (** All registered metrics plus the run-context header and the span
+      rollup, as a JSON object. *)
+
+  val metrics_prometheus : unit -> string
+  (** Prometheus text exposition: counters and gauges as-is, histograms as
+      summaries (count, sum, p50/p90/p99 quantiles), the run context as a
+      [learnq_run_info] gauge with labels. *)
+end
+
+(** {1 Structured logging}
+
+    Leveled key=value logging to stderr (or a caller-supplied formatter),
+    correlated with the active span.  Distinct from the master switch: logs
+    work whether or not spans/metrics are enabled, gated only by level. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+module Log : sig
+  val set_level : level option -> unit
+  (** [None] silences the logger entirely.  Default: [Some Warn]. *)
+
+  val level : unit -> level option
+
+  val set_formatter : Format.formatter -> unit
+  (** Redirect output (default: stderr). *)
+
+  val logs : level -> bool
+  (** Would a message at this level be emitted? *)
+
+  val debug : ?kv:(string * string) list -> string -> unit
+  val info : ?kv:(string * string) list -> string -> unit
+  val warn : ?kv:(string * string) list -> string -> unit
+  val error : ?kv:(string * string) list -> string -> unit
+end
+
+(** {1 End-of-run summary} *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Stats table: non-zero counters and gauges, histogram quantiles, and the
+    span time rollup. *)
+
+(** {1 CLI wiring} *)
+
+val configure :
+  ?trace:string ->
+  ?metrics:string ->
+  ?log_level:level option ->
+  ?summary:bool ->
+  unit ->
+  unit
+(** One-call setup for the [learnq] binary: enables telemetry when any of
+    [trace]/[metrics]/[summary] is requested, sets the log level, and
+    registers an [at_exit] hook that writes the trace JSON to [trace], the
+    metrics JSON to [metrics] (plus [<metrics>.prom] in Prometheus text
+    exposition), and prints the summary table to stderr — also on early
+    [exit], e.g. degraded outcomes or an injected crash. *)

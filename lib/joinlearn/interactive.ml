@@ -4,6 +4,9 @@ type item = {
   mask : Signature.mask;
 }
 
+let m_rows = Core.Telemetry.Metrics.counter "learnq.join.rows_labeled"
+let m_signatures = Core.Telemetry.Metrics.counter "learnq.join.signatures"
+
 module Session = struct
   type query = Signature.mask
   type nonrec item = item
@@ -23,11 +26,14 @@ module Session = struct
     { space; vs = Join.Version_space.init space }
 
   let record st item label =
+    Core.Telemetry.Metrics.incr m_rows;
+    Join.Version_space.flush_tests ();
     { st with vs = Join.Version_space.record st.vs item.mask label }
 
   let determined st item = Join.Version_space.determined st.vs item.mask
 
   let candidate st =
+    Join.Version_space.flush_tests ();
     if Join.Version_space.consistent st.vs then
       Some (Join.Version_space.most_specific st.vs)
     else None
@@ -42,13 +48,19 @@ end
 module Loop = Core.Interact.Make (Session)
 
 let items_of space left right =
-  List.concat_map
-    (fun rt ->
-      List.map
-        (fun st ->
-          { left = rt; right = st; mask = Signature.signature space rt st })
-        (Relational.Relation.tuples right))
-    (Relational.Relation.tuples left)
+  Core.Telemetry.with_span "join.signatures" @@ fun () ->
+  let items =
+    List.concat_map
+      (fun rt ->
+        List.map
+          (fun st ->
+            { left = rt; right = st; mask = Signature.signature space rt st })
+          (Relational.Relation.tuples right))
+      (Relational.Relation.tuples left)
+  in
+  if Core.Telemetry.enabled () then
+    Core.Telemetry.Metrics.incr m_signatures ~by:(List.length items);
+  items
 
 let lattice_strategy _rng (st : Session.state) items =
   let specific = Join.Version_space.most_specific st.vs in

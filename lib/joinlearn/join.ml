@@ -28,7 +28,23 @@ module Version_space = struct
 
   let most_specific vs = vs.specific
 
+  let m_tests = Core.Telemetry.Metrics.counter "learnq.join.signature_tests"
+
+  (* [determined] runs ~100ns of bitmask work per call and is called once per
+     candidate pair per question, so even the disabled-telemetry branch is a
+     measurable fraction of it.  Shadow-count with a plain int (sub-ns) and
+     flush into the real counter at the per-question [record] boundary. *)
+  let tests_pending = ref 0
+
+  let flush_tests () =
+    if !tests_pending > 0 then begin
+      if Core.Telemetry.enabled () then
+        Core.Telemetry.Metrics.incr m_tests ~by:!tests_pending;
+      tests_pending := 0
+    end
+
   let determined vs mask =
+    incr tests_pending;
     if Signature.subset vs.specific mask then Some true
     else
       let ceiling = Signature.inter vs.specific mask in

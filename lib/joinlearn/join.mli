@@ -42,4 +42,10 @@ module Version_space : sig
   (** Forced label of an unlabeled pair with the given signature, if any:
       [Some true] when every consistent predicate selects it, [Some false]
       when none does. *)
+
+  val flush_tests : unit -> unit
+  (** Fold the shadow count of {!determined} calls into the
+      [learnq.join.signature_tests] counter.  {!determined} is too hot for
+      even the disabled-telemetry branch, so it counts into a plain int;
+      callers flush at per-question boundaries. *)
 end

@@ -22,9 +22,17 @@ module Session = struct
         invalid_arg
           "Semijoin_interactive: run through run_with_goal (context unset)"
 
-  let record st item label = { st with labeled = (item, label) :: st.labeled }
+  let m_rows = Core.Telemetry.Metrics.counter "learnq.semijoin.rows_labeled"
+
+  let m_tests =
+    Core.Telemetry.Metrics.counter "learnq.semijoin.signature_tests"
+
+  let record st item label =
+    Core.Telemetry.Metrics.incr m_rows;
+    { st with labeled = (item, label) :: st.labeled }
 
   let consistent_with st extra =
+    Core.Telemetry.Metrics.incr m_tests;
     Semijoin.consistent_exact ~node_limit:st.node_limit st.ctx
       (extra @ st.labeled)
 

@@ -12,7 +12,10 @@ module Session = struct
 
   let init _items = { pos = []; neg = []; hyp = None }
 
+  let m_rows = Core.Telemetry.Metrics.counter "learnq.path.words_labeled"
+
   let record st item label =
+    Core.Telemetry.Metrics.incr m_rows;
     let st =
       if label then { st with pos = item.word :: st.pos }
       else { st with neg = item.word :: st.neg }
@@ -36,10 +39,14 @@ end
 
 module Loop = Core.Interact.Make (Session)
 
+let m_walks = Core.Telemetry.Metrics.counter "learnq.path.walks"
+
 let items_of_graph ?(max_len = 4) ?(per_source = 30) ~rng g =
+  Core.Telemetry.with_span "path.walks" @@ fun () ->
   let n = Graphdb.Graph.node_count g in
-  List.concat
-    (List.init n (fun src ->
+  let items =
+    List.concat
+      (List.init n (fun src ->
          let paths = Graphdb.Rpq.paths_from g ~src ~max_len in
          let items =
            List.filter_map
@@ -52,6 +59,10 @@ let items_of_graph ?(max_len = 4) ?(per_source = 30) ~rng g =
          let items = List.sort_uniq compare items in
          if List.length items <= per_source then items
          else Core.Prng.sample rng per_source items))
+  in
+  if Core.Telemetry.enabled () then
+    Core.Telemetry.Metrics.incr m_walks ~by:(List.length items);
+  items
 
 let shortest_first items =
   List.sort (fun a b -> compare (List.length a.word) (List.length b.word)) items

@@ -130,13 +130,26 @@ let hom_exists ?(require_out = true) p2 p1 =
            (fun v -> can_map p2.proot v)
            (descendants p1).(p1.proot.pid)
 
+(* Containment sits on the hottest path in the repo (millions of calls per
+   interactive session via lgg minimization), so it gets counters only —
+   spans here would dominate the trace and the runtime. *)
+let m_subsumed = Core.Telemetry.Metrics.counter "learnq.twig.contain_calls"
+
+let m_filter_subsumed =
+  Core.Telemetry.Metrics.counter "learnq.twig.filter_contain_calls"
+
+let m_semantic =
+  Core.Telemetry.Metrics.counter "learnq.twig.semantic_contain_calls"
+
 let subsumed q1 q2 =
+  Core.Telemetry.Metrics.incr m_subsumed;
   let p1 = pattern_of_query q1 and p2 = pattern_of_query q2 in
   hom_exists p2 p1
 
 let equiv q1 q2 = subsumed q1 q2 && subsumed q2 q1
 
 let filter_subsumed (a1, f1) (a2, f2) =
+  Core.Telemetry.Metrics.incr m_filter_subsumed;
   let p1 = pattern_of_filter f1 and p2 = pattern_of_filter f2 in
   let root_to_root () = hom_exists ~require_out:false p2 p1 in
   let root_to_any () =
@@ -233,6 +246,7 @@ let canonical_instances ?(max_variants = 64) q =
   List.map instance variants
 
 let subsumed_semantic ?max_variants q1 q2 =
+  Core.Telemetry.Metrics.incr m_semantic;
   List.for_all
     (fun (tree, out) -> Eval.selects q2 tree out)
     (canonical_instances ?max_variants q1)

@@ -283,6 +283,9 @@ let rec minimize_filter f =
   { f with fsubs = prune_maximal ~max_filters:max_int subs }
 
 let minimize (q : t) : t =
+  (* No attrs: they would be computed eagerly on the disabled path, and
+     minimize runs once per lgg — the hottest span in the repo. *)
+  Core.Telemetry.with_span "twig.contain.minimize" @@ fun () ->
   let rec go = function
     | [] -> []
     | (s : step) :: rest ->

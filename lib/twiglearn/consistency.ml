@@ -1,5 +1,8 @@
 type instance = Xmltree.Annotated.t
 
+let m_checks =
+  Core.Telemetry.Metrics.counter "learnq.twiglearn.consistency_checks"
+
 let anchored examples =
   let positives = Core.Example.positives examples in
   match Positive.learn_positive positives with
@@ -28,11 +31,19 @@ let bounded ?budget ?filter_depth ?max_filters_per_node ~max_size examples =
     (* Text labels cannot appear in sensible queries. *)
     |> List.filter (fun l -> String.length l = 0 || l.[0] <> '#')
   in
+  Core.Telemetry.with_span "twiglearn.enumerate.search"
+    ~attrs:
+      [
+        ("alphabet", string_of_int (List.length alphabet));
+        ("max_size", string_of_int max_size);
+      ]
+  @@ fun () ->
   Seq.find
     (fun q ->
       (* One tick per consistency check: candidate testing dominates the
          enumeration itself on non-trivial samples. *)
       Core.Budget.tick budget;
+      Core.Telemetry.Metrics.incr m_checks;
       Core.Example.consistent_with Twig.Eval.selects_example q examples)
     (Enumerate.queries ~budget ?filter_depth ?max_filters_per_node ~alphabet
        ~max_nodes:max_size ())

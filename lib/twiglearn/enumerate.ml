@@ -36,6 +36,9 @@ let filter_sets alphabet ~filter_depth ~max_filters_per_node =
   in
   subsets max_filters_per_node edges
 
+let m_candidates =
+  Core.Telemetry.Metrics.counter "learnq.twiglearn.candidates"
+
 let queries ?budget ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
     ~max_nodes () =
   let budget =
@@ -62,6 +65,7 @@ let queries ?budget ?(filter_depth = 1) ?(max_filters_per_node = 1) ~alphabet
         if cost > nodes_left then None
         else begin
           Core.Budget.tick budget;
+          Core.Telemetry.Metrics.incr m_candidates;
           let q = List.rev (s :: prefix) in
           Some (Seq.cons q (extend (s :: prefix) (nodes_left - cost)))
         end

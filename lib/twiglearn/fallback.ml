@@ -9,11 +9,33 @@ type outcome = {
   spent : Core.Budget.stats;
 }
 
+(* Fuel per ladder phase: the exact search usually burns the whole budget, so
+   knowing how much each rung cost is what tells an operator whether raising
+   the budget would buy a better (less degraded) answer. *)
+let m_fuel_exact = Core.Telemetry.Metrics.counter "learnq.fallback.fuel_exact"
+
+let m_fuel_descend =
+  Core.Telemetry.Metrics.counter "learnq.fallback.fuel_descend"
+
+let m_degraded = Core.Telemetry.Metrics.counter "learnq.fallback.degraded"
+
 let learn ?budget ?filter_depth ?max_filters_per_node ?(max_size = 4) examples =
   let budget =
     match budget with Some b -> b | None -> Core.Budget.unlimited ()
   in
+  let phase_fuel counter f =
+    if not (Core.Telemetry.enabled ()) then f ()
+    else begin
+      let before = (Core.Budget.stats budget).fuel_spent in
+      Fun.protect
+        ~finally:(fun () ->
+          let spent = (Core.Budget.stats budget).fuel_spent - before in
+          if spent > 0 then Core.Telemetry.Metrics.incr counter ~by:spent)
+        f
+    end
+  in
   let finish ?(level = Exact) ?(dropped = 0) ?(training_errors = 0) query =
+    if level <> Exact then Core.Telemetry.Metrics.incr m_degraded;
     {
       query;
       level;
@@ -24,6 +46,8 @@ let learn ?budget ?filter_depth ?max_filters_per_node ?(max_size = 4) examples =
     }
   in
   let descend () =
+    Core.Telemetry.with_span "twiglearn.fallback.descend" @@ fun () ->
+    phase_fuel m_fuel_descend @@ fun () ->
     match Consistency.anchored examples with
     | Some q -> finish ~level:Anchored (Some q)
     | None -> (
@@ -36,6 +60,8 @@ let learn ?budget ?filter_depth ?max_filters_per_node ?(max_size = 4) examples =
   in
   match
     Core.Budget.run budget (fun () ->
+        Core.Telemetry.with_span "twiglearn.fallback.exact" @@ fun () ->
+        phase_fuel m_fuel_exact @@ fun () ->
         Consistency.bounded ~budget ?filter_depth ?max_filters_per_node
           ~max_size examples)
   with

@@ -42,15 +42,23 @@ end
 
 module Loop = Core.Interact.Make (Session)
 
+let m_items = Core.Telemetry.Metrics.counter "learnq.twiglearn.items"
+
 (* Text nodes carry values, not structure: twig queries select element
    nodes, so only those are labelable. *)
 let items_of_doc doc =
-  Xmltree.Tree.all_paths doc
-  |> List.filter (fun p ->
-         match Xmltree.Tree.node_at doc p with
-         | Some n -> not (Xmltree.Tree.is_text n)
-         | None -> false)
-  |> List.map (fun p -> Xmltree.Annotated.make doc p)
+  Core.Telemetry.with_span "twiglearn.enumerate.items" @@ fun () ->
+  let items =
+    Xmltree.Tree.all_paths doc
+    |> List.filter (fun p ->
+           match Xmltree.Tree.node_at doc p with
+           | Some n -> not (Xmltree.Tree.is_text n)
+           | None -> false)
+    |> List.map (fun p -> Xmltree.Annotated.make doc p)
+  in
+  if Core.Telemetry.enabled () then
+    Core.Telemetry.Metrics.incr m_items ~by:(List.length items);
+  items
 
 let label_diverse_strategy _rng (st : Session.state) items =
   (* Diversify over (label, parent label) contexts: the same label under a

@@ -11,9 +11,13 @@ end
 
 let characteristic (a : instance) = Twig.Query.of_example a.doc a.target
 
+let m_lgg = Core.Telemetry.Metrics.counter "learnq.twiglearn.lgg_calls"
+
 let learn_positive = function
   | [] -> None
   | examples -> (
+      Core.Telemetry.Metrics.incr m_lgg;
+      Core.Telemetry.with_span "twig.lgg" @@ fun () ->
       let queries = List.map characteristic examples in
       match Twig.Lgg.lgg_all queries with
       | None -> None

@@ -451,6 +451,22 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p50" 50. (Core.Stats.percentile 0.5 xs);
   Alcotest.(check (float 1e-9)) "p99" 99. (Core.Stats.percentile 0.99 xs)
 
+let test_stats_percentile_edges () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  (* The rank clamp makes the extremes exact, not out-of-range. *)
+  Alcotest.(check (float 1e-9)) "p=0 is the minimum" 1.
+    (Core.Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p=1 is the maximum" 100.
+    (Core.Stats.percentile 1.0 xs);
+  Alcotest.(check (float 1e-9)) "empty series" 0.
+    (Core.Stats.percentile 0.5 []);
+  Alcotest.(check (float 1e-9)) "single sample, p=0" 7.
+    (Core.Stats.percentile 0.0 [ 7. ]);
+  Alcotest.(check (float 1e-9)) "single sample, p=1" 7.
+    (Core.Stats.percentile 1.0 [ 7. ]);
+  Alcotest.(check (float 1e-9)) "all equal" 3.
+    (Core.Stats.percentile 0.9 [ 3.; 3.; 3.; 3. ])
+
 let test_stats_time () =
   let x, dt = Core.Stats.time (fun () -> 42) in
   Alcotest.(check int) "result" 42 x;
@@ -529,6 +545,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile edges" `Quick
+            test_stats_percentile_edges;
           Alcotest.test_case "time" `Quick test_stats_time;
         ] );
     ]

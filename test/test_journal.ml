@@ -36,7 +36,7 @@ let sample_events =
     ]
 
 let write_sample path =
-  let j = Core.Journal.create ~sync:false ~path header in
+  let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
   List.iter (Core.Journal.append j) sample_events;
   Core.Journal.close j
 
@@ -138,7 +138,7 @@ let prop_truncation =
   QCheck.Test.make ~name:"journal survives any truncation" ~count:40 arb
     (fun (events, cut_raw) ->
       with_temp (fun path ->
-          let j = Core.Journal.create ~sync:false ~path header in
+          let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
           List.iter (Core.Journal.append j) events;
           Core.Journal.close j;
           let bytes = read_file path in
@@ -201,7 +201,7 @@ let test_resume_after_torn_tail () =
       let bytes = read_file path in
       (* Tear the last record: drop its final 3 bytes. *)
       write_file path (String.sub bytes 0 (String.length bytes - 3));
-      match Core.Journal.resume ~sync:false ~path () with
+      match Core.Journal.resume ~sync:Core.Journal.Off ~path () with
       | Error e -> Alcotest.failf "resume failed: %s" (Core.Error.to_string e)
       | Ok (j, r) ->
           Alcotest.(check bool) "tail dropped" true (r.dropped_bytes > 0);
@@ -272,7 +272,7 @@ let decode_replies events =
 let test_replay_equals_live () =
   with_temp (fun path ->
       (* Live journaled session … *)
-      let j = Core.Journal.create ~sync:false ~path header in
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
       let live = Threshold_loop.run_flaky ~journal:(j, encode_item) ~oracle ~items () in
       Core.Journal.close j;
       (* … replayed in full: same query, zero live questions. *)
@@ -289,7 +289,7 @@ let test_replay_equals_live () =
 
 let test_replay_is_idempotent () =
   with_temp (fun path ->
-      let j = Core.Journal.create ~sync:false ~path header in
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
       let live = Threshold_loop.run_flaky ~journal:(j, encode_item) ~oracle ~items () in
       Core.Journal.close j;
       let r = recovered_ok (Core.Journal.recover ~path) in
@@ -309,7 +309,7 @@ let test_crash_then_resume () =
       let full = Threshold_loop.run_flaky ~oracle ~items () in
       (* A run whose oracle dies after k answers, mid-session. *)
       let k = 2 in
-      let j = Core.Journal.create ~sync:false ~path header in
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
       let answers = ref 0 in
       let crashing i =
         if !answers >= k then raise Crash;
@@ -323,7 +323,7 @@ let test_crash_then_resume () =
       | _ -> Alcotest.fail "crash did not propagate"
       | exception Crash -> Core.Journal.close j);
       (* Resume: replay the journal, finish against the healthy oracle. *)
-      match Core.Journal.resume ~sync:false ~path () with
+      match Core.Journal.resume ~sync:Core.Journal.Off ~path () with
       | Error e -> Alcotest.failf "resume failed: %s" (Core.Error.to_string e)
       | Ok (j2, r) ->
           let resume = decode_replies (Core.Journal.answered r) in
@@ -348,7 +348,7 @@ let test_refused_records_return_to_pool () =
   with_temp (fun path ->
       (* A journal whose only answers are a refusal and a timeout: on resume
          both items must be asked again (they return to the pool). *)
-      let j = Core.Journal.create ~sync:false ~path header in
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
       Core.Journal.append j (Core.Journal.Asked (encode_item 5));
       Core.Journal.append j
         (Core.Journal.Answered (encode_item 5, Core.Flaky.Refused));

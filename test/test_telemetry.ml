@@ -1,0 +1,497 @@
+(* Tests for Core.Telemetry: the zero-cost disabled path, counter/gauge
+   semantics, log-scale histogram percentiles (including every edge case the
+   exporters rely on), span nesting and exception safety, exporter output,
+   and the journal's group-commit sync policies. *)
+
+module T = Core.Telemetry
+
+(* Telemetry state is global; every test runs against a clean, enabled
+   registry and leaves telemetry disabled for the next one. *)
+let with_telemetry f =
+  T.reset ();
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.reset ();
+      T.set_enabled false)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_disabled_is_noop () =
+  T.reset ();
+  T.set_enabled false;
+  let c = T.Metrics.counter "test.noop" in
+  T.Metrics.incr c;
+  T.Metrics.incr c ~by:100;
+  Alcotest.(check int) "disabled incr does nothing" 0 (T.Metrics.counter_value c)
+
+let test_counter_incr () =
+  with_telemetry @@ fun () ->
+  let c = T.Metrics.counter "test.counter" in
+  T.Metrics.incr c;
+  T.Metrics.incr c ~by:41;
+  Alcotest.(check int) "incr and incr ~by accumulate" 42
+    (T.Metrics.counter_value c);
+  Alcotest.(check bool) "registration is idempotent" true
+    (T.Metrics.counter_value (T.Metrics.counter "test.counter") = 42)
+
+let test_reset_keeps_registrations () =
+  with_telemetry @@ fun () ->
+  let c = T.Metrics.counter "test.reset" in
+  T.Metrics.incr c ~by:7;
+  T.reset ();
+  T.set_enabled true;
+  Alcotest.(check int) "reset zeroes the value" 0 (T.Metrics.counter_value c);
+  T.Metrics.incr c;
+  Alcotest.(check int) "the handle still works" 1 (T.Metrics.counter_value c)
+
+let test_gauge () =
+  with_telemetry @@ fun () ->
+  let g = T.Metrics.gauge "test.gauge" in
+  T.Metrics.set g 3.5;
+  T.Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "last set wins" 2.5 (T.Metrics.gauge_value g)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram percentiles: the edge cases                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_empty () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.empty" in
+  Alcotest.(check int) "count" 0 (T.Metrics.hist_count h);
+  Alcotest.(check (float 1e-12)) "sum" 0. (T.Metrics.hist_sum h);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "empty percentile p=%g" p)
+        0.
+        (T.Metrics.percentile h p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_single_sample () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.single" in
+  T.Metrics.observe h 0.042;
+  (* The [min,max] clamp makes a single sample exact at every quantile,
+     not bucket-quantized. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "single sample exact at p=%g" p)
+        0.042
+        (T.Metrics.percentile h p))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_hist_all_equal () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.equal" in
+  for _ = 1 to 1000 do
+    T.Metrics.observe h 7.25
+  done;
+  Alcotest.(check int) "count" 1000 (T.Metrics.hist_count h);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "all-equal exact at p=%g" p)
+        7.25
+        (T.Metrics.percentile h p))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_hist_extreme_p () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.extremes" in
+  List.iter (T.Metrics.observe h) [ 0.001; 0.01; 0.1; 1.0; 10.0 ];
+  Alcotest.(check (float 1e-12)) "p<=0 is the exact minimum" 0.001
+    (T.Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-12)) "negative p clamps to the minimum" 0.001
+    (T.Metrics.percentile h (-1.0));
+  Alcotest.(check (float 1e-12)) "p>=1 is the exact maximum" 10.0
+    (T.Metrics.percentile h 1.0);
+  Alcotest.(check (float 1e-12)) "p>1 clamps to the maximum" 10.0
+    (T.Metrics.percentile h 2.0)
+
+let test_hist_bucket_boundaries () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.bounds" in
+  (* Below the first bucket's lower bound (and zero): both land in bucket 0,
+     whose midpoint (1e-9) lies above every sample — the [min,max] clamp pulls
+     the estimate back inside the observed range. *)
+  T.Metrics.observe h 0.;
+  T.Metrics.observe h 1e-12;
+  Alcotest.(check (float 1e-15)) "sub-bucket estimate clamped into range" 1e-12
+    (T.Metrics.percentile h 0.5);
+  Alcotest.(check (float 1e-15)) "p=0 still the exact minimum" 0.
+    (T.Metrics.percentile h 0.0);
+  (* Beyond the last bucket: lands in the overflow bucket, max stays exact. *)
+  let h2 = T.Metrics.histogram "test.hist.overflow" in
+  T.Metrics.observe h2 1e40;
+  Alcotest.(check (float 1e25)) "overflow value reported via max clamp" 1e40
+    (T.Metrics.percentile h2 0.5)
+
+let test_hist_accuracy () =
+  with_telemetry @@ fun () ->
+  let h = T.Metrics.histogram "test.hist.accuracy" in
+  for i = 1 to 100 do
+    T.Metrics.observe h (float_of_int i)
+  done;
+  (* 2 buckets per octave: a bucket spans a factor of sqrt 2, so the reported
+     midpoint is within sqrt 2 of the true quantile. *)
+  let p50 = T.Metrics.percentile h 0.5 in
+  let lo = 50. /. sqrt 2. and hi = 50. *. sqrt 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50=%g within one bucket factor of 50" p50)
+    true
+    (p50 >= lo && p50 <= hi);
+  Alcotest.(check (float 1e-9)) "sum" 5050. (T.Metrics.hist_sum h)
+
+let test_hist_disabled_is_noop () =
+  T.reset ();
+  T.set_enabled false;
+  let h = T.Metrics.histogram "test.hist.disabled" in
+  T.Metrics.observe h 1.0;
+  Alcotest.(check int) "disabled observe does nothing" 0
+    (T.Metrics.hist_count h)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  let inner_parent = ref None in
+  let result =
+    T.with_span "outer" (fun () ->
+        let outer_id = T.current_span_id () in
+        T.with_span "inner" (fun () -> inner_parent := outer_id);
+        17)
+  in
+  Alcotest.(check int) "with_span is transparent" 17 result;
+  Alcotest.(check int) "both spans recorded" 2 (T.span_count ());
+  Alcotest.(check bool) "inner saw outer open" true (!inner_parent <> None);
+  Alcotest.(check bool) "no span open afterwards" true
+    (T.current_span_id () = None);
+  let names = List.map (fun (n, _, _, _) -> n) (T.span_aggregates ()) in
+  Alcotest.(check bool) "aggregates hold both names" true
+    (List.mem "outer" names && List.mem "inner" names)
+
+exception Boom
+
+let test_span_closes_on_exception () =
+  with_telemetry @@ fun () ->
+  (match T.with_span "raises" (fun () -> raise Boom) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Boom -> ());
+  Alcotest.(check int) "span closed despite the raise" 1 (T.span_count ());
+  Alcotest.(check bool) "stack unwound" true (T.current_span_id () = None)
+
+let test_span_disabled_records_nothing () =
+  T.reset ();
+  T.set_enabled false;
+  let r = T.with_span "off" (fun () -> 5) in
+  Alcotest.(check int) "transparent when disabled" 5 r;
+  Alcotest.(check int) "nothing recorded" 0 (T.span_count ())
+
+let test_span_aggregate_self_time () =
+  with_telemetry @@ fun () ->
+  T.with_span "parent" (fun () -> T.with_span "child" (fun () -> ()));
+  let find n =
+    List.find (fun (name, _, _, _) -> name = n) (T.span_aggregates ())
+  in
+  let _, _, p_total, p_self = find "parent" in
+  let _, _, c_total, _ = find "child" in
+  Alcotest.(check bool) "self excludes the child" true
+    (p_self <= p_total -. c_total +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_trace_json () =
+  with_telemetry @@ fun () ->
+  T.set_context [ ("seed", "7") ];
+  T.with_span "traced.work" (fun () -> ());
+  let json = T.trace_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("trace has " ^ needle) true
+        (contains ~needle json))
+    [ "\"traceEvents\""; "\"traced.work\""; "\"ph\":\"X\""; "\"seed\""; "otherData" ]
+
+let test_metrics_exports () =
+  with_telemetry @@ fun () ->
+  T.set_context [ ("seed", "9") ];
+  let c = T.Metrics.counter "test.export.hits" in
+  T.Metrics.incr c ~by:3;
+  let h = T.Metrics.histogram "test.export.lat_s" in
+  T.Metrics.observe h 0.25;
+  let json = T.Metrics.metrics_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true
+        (contains ~needle json))
+    [ "\"test.export.hits\": 3"; "\"test.export.lat_s\""; "\"seed\": \"9\"" ];
+  let prom = T.Metrics.metrics_prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prom has " ^ needle) true
+        (contains ~needle prom))
+    [
+      "test_export_hits 3";
+      "# TYPE test_export_hits counter";
+      "quantile=\"0.5\"";
+      "learnq_run_info";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_log_buffer f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let saved = T.Log.level () in
+  T.Log.set_formatter ppf;
+  Fun.protect
+    ~finally:(fun () ->
+      T.Log.set_level saved;
+      T.Log.set_formatter Format.err_formatter)
+    (fun () ->
+      f ();
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf)
+
+let test_log_levels () =
+  let out =
+    with_log_buffer (fun () ->
+        T.Log.set_level (Some T.Warn);
+        T.Log.debug "hidden debug";
+        T.Log.info "hidden info";
+        T.Log.warn ~kv:[ ("k", "v") ] "visible warning";
+        T.Log.error "visible error")
+  in
+  Alcotest.(check bool) "debug suppressed at warn" false
+    (contains ~needle:"hidden debug" out);
+  Alcotest.(check bool) "info suppressed at warn" false
+    (contains ~needle:"hidden info" out);
+  Alcotest.(check bool) "warn emitted" true
+    (contains ~needle:"visible warning" out);
+  Alcotest.(check bool) "key=value rendered" true (contains ~needle:"k=v" out);
+  Alcotest.(check bool) "error emitted" true
+    (contains ~needle:"visible error" out)
+
+let test_log_quiet () =
+  let out =
+    with_log_buffer (fun () ->
+        T.Log.set_level None;
+        T.Log.error "nothing at all")
+  in
+  Alcotest.(check string) "level None silences everything" "" out
+
+let test_level_of_string () =
+  Alcotest.(check bool) "warn parses" true
+    (T.level_of_string "warn" = Some T.Warn);
+  Alcotest.(check bool) "DEBUG parses" true
+    (T.level_of_string "DEBUG" = Some T.Debug);
+  Alcotest.(check bool) "junk rejected" true (T.level_of_string "loud" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal sync policies (group commit)                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp f =
+  let path = Filename.temp_file "learnq_telemetry" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let header = { Core.Journal.seed = 5; engine = "learn-test"; config = "c" }
+
+let test_batch_buffers_until_flush () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Batch ~path header in
+      let after_header = file_size path in
+      (* Fewer than the group size: stays in the write buffer. *)
+      for i = 1 to 3 do
+        Core.Journal.append j (Core.Journal.Asked (string_of_int i))
+      done;
+      Alcotest.(check int) "records below the group size are buffered"
+        after_header (file_size path);
+      Core.Journal.flush j;
+      Alcotest.(check bool) "flush writes them out" true
+        (file_size path > after_header);
+      Core.Journal.close j;
+      let r =
+        match Core.Journal.recover ~path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "recover: %s" (Core.Error.to_string e)
+      in
+      Alcotest.(check int) "all records survive" 3 (List.length r.events))
+
+let test_batch_group_boundary () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Batch ~path header in
+      let after_header = file_size path in
+      (* Exactly one group: the 8th append forces the write. *)
+      for i = 1 to 8 do
+        Core.Journal.append j (Core.Journal.Asked (string_of_int i))
+      done;
+      Alcotest.(check bool) "a full group is written without close" true
+        (file_size path > after_header);
+      (* A crash here (no close) must still see the full group. *)
+      let r =
+        match Core.Journal.recover ~path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "recover: %s" (Core.Error.to_string e)
+      in
+      Alcotest.(check int) "the whole group is durable" 8
+        (List.length r.events);
+      Core.Journal.close j)
+
+let test_batch_flushes_on_completed () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Batch ~path header in
+      Core.Journal.append j (Core.Journal.Asked "x");
+      Core.Journal.append j Core.Journal.Completed;
+      (* Completed is a durability milestone: visible before close. *)
+      let r =
+        match Core.Journal.recover ~path with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "recover: %s" (Core.Error.to_string e)
+      in
+      Alcotest.(check bool) "completed record flushed" true
+        (List.mem Core.Journal.Completed r.events);
+      Core.Journal.close j)
+
+let test_sync_policy_recorded_in_header () =
+  List.iter
+    (fun sync ->
+      with_temp (fun path ->
+          let j = Core.Journal.create ~sync ~path header in
+          Core.Journal.append j (Core.Journal.Asked "q");
+          Core.Journal.close j;
+          match Core.Journal.recover ~path with
+          | Error e -> Alcotest.failf "recover: %s" (Core.Error.to_string e)
+          | Ok r ->
+              Alcotest.(check bool) "header fields survive" true
+                (r.header = Some header);
+              Alcotest.(check string)
+                ("policy " ^ Core.Journal.sync_to_string sync ^ " recorded")
+                (Core.Journal.sync_to_string sync)
+                (Core.Journal.sync_to_string r.recorded_sync)))
+    [ Core.Journal.Always; Core.Journal.Batch; Core.Journal.Off ]
+
+(* A journal written before the sync-policy field existed: header payload
+   without the trailing "sync=…" token must decode with [Always]. *)
+let test_old_header_defaults_to_always () =
+  let le32 v =
+    let b = Bytes.create 4 in
+    for i = 0 to 3 do
+      Bytes.set b i (Char.chr ((v lsr (8 * i)) land 0xff))
+    done;
+    Bytes.to_string b
+  in
+  let frame payload =
+    le32 (String.length payload) ^ le32 (Core.Journal.crc32 payload) ^ payload
+  in
+  let bytes = "LQJRNL1\n" ^ frame "H42\x00learn-old\x00k=3" ^ frame "?item" in
+  match Core.Journal.parse ~source:"old" bytes with
+  | Error e -> Alcotest.failf "old journal rejected: %s" (Core.Error.to_string e)
+  | Ok r ->
+      Alcotest.(check bool) "header decodes" true
+        (r.header
+        = Some { Core.Journal.seed = 42; engine = "learn-old"; config = "k=3" });
+      Alcotest.(check string) "missing policy field means always" "always"
+        (Core.Journal.sync_to_string r.recorded_sync);
+      Alcotest.(check int) "events decode" 1 (List.length r.events)
+
+let test_resume_keeps_recorded_policy () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Batch ~path header in
+      Core.Journal.append j (Core.Journal.Asked "q");
+      Core.Journal.close j;
+      match Core.Journal.resume ~path () with
+      | Error e -> Alcotest.failf "resume: %s" (Core.Error.to_string e)
+      | Ok (j2, r) ->
+          Alcotest.(check string) "recovered policy is batch" "batch"
+            (Core.Journal.sync_to_string r.recorded_sync);
+          (* The resumed writer batches too: a single append stays pending. *)
+          let before = file_size path in
+          Core.Journal.append j2 (Core.Journal.Asked "more");
+          Alcotest.(check int) "resumed writer buffers like the original"
+            before (file_size path);
+          Core.Journal.close j2;
+          Alcotest.(check bool) "close flushes it" true
+            (file_size path > before))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter disabled" `Quick
+            test_counter_disabled_is_noop;
+          Alcotest.test_case "counter incr" `Quick test_counter_incr;
+          Alcotest.test_case "reset keeps registrations" `Quick
+            test_reset_keeps_registrations;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "all equal" `Quick test_hist_all_equal;
+          Alcotest.test_case "p=0 and p=1" `Quick test_hist_extreme_p;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "accuracy" `Quick test_hist_accuracy;
+          Alcotest.test_case "disabled" `Quick test_hist_disabled_is_noop;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "closes on exception" `Quick
+            test_span_closes_on_exception;
+          Alcotest.test_case "disabled" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "self time" `Quick test_span_aggregate_self_time;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "trace json" `Quick test_trace_json;
+          Alcotest.test_case "metrics json + prometheus" `Quick
+            test_metrics_exports;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels" `Quick test_log_levels;
+          Alcotest.test_case "quiet" `Quick test_log_quiet;
+          Alcotest.test_case "level parsing" `Quick test_level_of_string;
+        ] );
+      ( "journal sync",
+        [
+          Alcotest.test_case "batch buffers" `Quick
+            test_batch_buffers_until_flush;
+          Alcotest.test_case "group boundary" `Quick test_batch_group_boundary;
+          Alcotest.test_case "completed flushes" `Quick
+            test_batch_flushes_on_completed;
+          Alcotest.test_case "policy recorded" `Quick
+            test_sync_policy_recorded_in_header;
+          Alcotest.test_case "old header" `Quick
+            test_old_header_defaults_to_always;
+          Alcotest.test_case "resume keeps policy" `Quick
+            test_resume_keeps_recorded_policy;
+        ] );
+    ]
