@@ -12,7 +12,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3]...";
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -58,6 +58,7 @@ let () =
         | "micro" -> guarded "micro" Micro.run
         | "pr2" -> guarded "pr2" Recovery.run
         | "pr3" -> guarded "pr3" Overhead.run
+        | "pr4" -> guarded "pr4" Hotpath.run
         | _ -> usage ())
   in
   match names with
@@ -65,5 +66,6 @@ let () =
       List.iter (fun (name, f) -> guarded name f) Experiments.all;
       guarded "micro" Micro.run;
       guarded "pr2" Recovery.run;
-      guarded "pr3" Overhead.run
+      guarded "pr3" Overhead.run;
+      guarded "pr4" Hotpath.run
   | names -> List.iter run_experiment names

@@ -21,6 +21,12 @@ let time f =
 
 let reps = 5
 
+(* Untimed runs before each timed block.  One warm run proved not to be
+   enough: BENCH_PR3 occasionally reported *negative* enabled overheads
+   because the disabled block, measured first, was still paying allocator
+   and minor-heap warmup that the enabled block then inherited for free. *)
+let warmup = 2
+
 let median xs =
   let a = List.sort compare xs in
   List.nth a (List.length a / 2)
@@ -167,10 +173,13 @@ let branch_counters =
 let shadow_counters = [ "learnq.join.signature_tests" ]
 
 let measure ~incr_ns ~span_ns ~sh_ns (name, run) =
-  (* Warm caches and allocators outside the timed region. *)
+  (* Warm caches and allocators outside the timed region — separately for
+     each mode, so neither block pays the other's warmup. *)
   T.reset ();
   T.set_enabled false;
-  ignore (run ());
+  for _ = 1 to warmup do
+    ignore (run ())
+  done;
   let disabled_s =
     median
       (List.init reps (fun _ ->
@@ -180,6 +189,11 @@ let measure ~incr_ns ~span_ns ~sh_ns (name, run) =
   (* Enabled: reset between reps so each run records the same session; the
      last rep's registry is the one we read back. *)
   let questions = ref 0 in
+  T.set_enabled true;
+  for _ = 1 to warmup do
+    T.reset ();
+    ignore (run ())
+  done;
   let enabled_s =
     median
       (List.init reps (fun _ ->
@@ -273,6 +287,7 @@ let run () =
   "bench": "pr3_telemetry_overhead",
   "generated_by": "dune exec bench/main.exe -- pr3",
   "reps_per_point": %d,
+  "warmup_per_point": %d,
   "disabled_path": {
     "incr_ns_per_call": %.2f,
     "span_ns_per_call": %.2f,
@@ -287,7 +302,7 @@ let run () =
   "enabled_overhead_under_10pct": %b
 }
 |}
-      reps incr_ns span_ns sh_ns
+      reps warmup incr_ns span_ns sh_ns
       (String.concat ",\n" (List.map engine_json engines))
       disabled_max
       (disabled_max < 0.05)

@@ -69,6 +69,29 @@ let budget_term =
   Term.(const make $ timeout_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Shared parallelism flag                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pool_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool" ] ~docv:"N"
+        ~doc:
+          "Domains for the determined-scan between questions: $(docv) lanes \
+           (1 = sequential, the default), 0 = the machine's recommended \
+           domain count.  The question sequence and journal bytes are \
+           identical at every size; only wall-clock changes.")
+
+let pool_term =
+  let setup = function
+    | None -> ()
+    | Some 0 -> Core.Pool.set_default_size (Core.Pool.recommended_size ())
+    | Some n -> Core.Pool.set_default_size n
+  in
+  Term.(const setup $ pool_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Shared observability flags                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -662,7 +685,7 @@ let learn_twig_cmd =
     exit_degraded_if ~breaker_open:outcome.breaker_open
       ~degraded:outcome.degraded "the learned twig"
   in
-  let run () files selects goal with_schema exact budget interactive seed
+  let run () () () files selects goal with_schema exact budget interactive seed
       journal sync resume crash_after noise refusal timeout_rate retries
       breaker =
     if interactive || journal <> None then
@@ -717,13 +740,39 @@ let learn_twig_cmd =
              --goal as the simulated user; supports --journal/--resume crash \
              recovery and the flaky-oracle flags.")
   in
+  (* Ablation switches for the PR 4 hot-path optimizations — they exist so
+     [bench pr4]'s baselines can be reproduced from the CLI. *)
+  let ablation_term =
+    let batch_lgg =
+      Arg.(
+        value & flag
+        & info [ "batch-lgg" ]
+            ~doc:
+              "Ablation: refold the whole positive set per answer and per \
+               probe instead of maintaining the incremental LGG.")
+    in
+    let no_contain_cache =
+      Arg.(
+        value & flag
+        & info [ "no-contain-cache" ]
+            ~doc:
+              "Ablation: disable the hash-consed filter-containment cache \
+               used by LGG minimization.")
+    in
+    let setup batch nocache =
+      if batch then Twiglearn.Interactive.set_batch_lgg true;
+      if nocache then Twig.Contain.set_filter_cache ~enabled:false ()
+    in
+    Term.(const setup $ batch_lgg $ no_contain_cache)
+  in
   Cmd.v
     (Cmd.info "learn-twig"
        ~doc:
          "Learn a twig query from annotated nodes; with --exact, run the \
           budgeted exact search with graceful degradation; with \
           --interactive, run a journaled question-answer session.")
-    Term.(const run $ telemetry_term $ doc_files $ selects $ goal $ with_schema
+    Term.(const run $ telemetry_term $ pool_term $ ablation_term $ doc_files
+          $ selects $ goal $ with_schema
           $ exact $ budget_term $ interactive $ seed_term $ journal_arg
           $ journal_sync_arg $ resume_arg $ crash_after_arg $ noise_arg
           $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
@@ -900,7 +949,7 @@ let learn_join_cmd =
     exit_degraded_if ~breaker_open:outcome.breaker_open
       ~degraded:outcome.degraded "the predicate"
   in
-  let run () seed strategy rows left right budget noise refusal timeout_rate
+  let run () () seed strategy rows left right budget noise refusal timeout_rate
       journal sync resume crash_after retries breaker =
     let strategy_name =
       match strategy with
@@ -932,10 +981,10 @@ let learn_join_cmd =
           --left/--right (you answer the questions), or on a generated \
           instance with a simulated (possibly flaky) user, journaled and \
           resumable with --journal/--resume.")
-    Term.(const run $ telemetry_term $ seed_term $ strategy_arg $ rows_arg
-          $ left_arg $ right_arg $ budget_term $ noise_arg $ refusal_arg
-          $ timeout_rate_arg $ journal_arg $ journal_sync_arg $ resume_arg
-          $ crash_after_arg $ retries_arg $ breaker_arg)
+    Term.(const run $ telemetry_term $ pool_term $ seed_term $ strategy_arg
+          $ rows_arg $ left_arg $ right_arg $ budget_term $ noise_arg
+          $ refusal_arg $ timeout_rate_arg $ journal_arg $ journal_sync_arg
+          $ resume_arg $ crash_after_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-path                                                          *)
@@ -951,7 +1000,7 @@ let learn_path_cmd =
       & opt string "highway highway*"
       & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
   in
-  let run () seed cities goal budget journal sync resume crash_after noise
+  let run () () seed cities goal budget journal sync resume crash_after noise
       refusal timeout_rate retries breaker =
     let config =
       Printf.sprintf
@@ -1003,10 +1052,10 @@ let learn_path_cmd =
        ~doc:
          "Interactively learn a path query on a generated road network, \
           journaled and resumable with --journal/--resume.")
-    Term.(const run $ telemetry_term $ seed_term $ cities_arg $ goal_arg
-          $ budget_term $ journal_arg $ journal_sync_arg $ resume_arg
-          $ crash_after_arg $ noise_arg $ refusal_arg $ timeout_rate_arg
-          $ retries_arg $ breaker_arg)
+    Term.(const run $ telemetry_term $ pool_term $ seed_term $ cities_arg
+          $ goal_arg $ budget_term $ journal_arg $ journal_sync_arg
+          $ resume_arg $ crash_after_arg $ noise_arg $ refusal_arg
+          $ timeout_rate_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)

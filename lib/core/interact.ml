@@ -24,6 +24,8 @@ let m_refused = Telemetry.Metrics.counter "learnq.interact.refused"
 let m_retried = Telemetry.Metrics.counter "learnq.interact.retried"
 let m_degraded = Telemetry.Metrics.counter "learnq.interact.degraded"
 let m_ask_s = Telemetry.Metrics.histogram "learnq.interact.ask_s"
+let m_parallel_scans = Telemetry.Metrics.counter "learnq.interact.parallel_scans"
+let m_scan_s = Telemetry.Metrics.histogram "learnq.interact.scan_s"
 
 let first_strategy _rng _st = function
   | [] -> invalid_arg "Interact.first_strategy: no informative item"
@@ -46,11 +48,12 @@ module Make (S : SESSION) = struct
   }
 
   let run_flaky ?(rng = Prng.create 0) ?(strategy = first_strategy)
-      ?(max_questions = max_int) ?budget ?journal ?(resume = []) ?retry
+      ?(max_questions = max_int) ?budget ?journal ?(resume = []) ?retry ?pool
       ~oracle ~items () =
     let budget =
       match budget with Some b -> b | None -> Budget.unlimited ()
     in
+    let pool = match pool with Some p -> p | None -> Pool.default () in
     let jappend ev =
       match journal with None -> () | Some (log, _) -> Journal.append log ev
     in
@@ -61,15 +64,31 @@ module Make (S : SESSION) = struct
        exactly as the live run did (the fold preserves append order), and a
        duplicate answer for an item is an idempotent no-op.  Refused and
        timed-out questions return to the pool — on resume the oracle gets
-       another chance at them. *)
+       another chance at them.
+
+       Membership is a hash-set probe, not a list scan: long journals over
+       large pools made the old [List.exists] pair quadratic in replay
+       length (and in pool size for the filter below).  The key is the
+       journal codec string when one is available — the codec defines item
+       identity for replay anyway — and the structural item otherwise. *)
+    let item_key =
+      match journal with
+      | Some (_, encode) -> fun it -> `Codec (encode it)
+      | None -> fun it -> `Item it
+    in
+    let answered = Hashtbl.create (List.length resume + 1) in
     let state0, asked0, replayed =
       List.fold_left
         (fun (st, asked, n) (item, reply) ->
           match reply with
           | Flaky.Refused | Flaky.Timed_out -> (st, asked, n)
           | Flaky.Label label ->
-              if List.exists (fun (a, _) -> a = item) asked then (st, asked, n)
-              else (S.record st item label, (item, label) :: asked, n + 1))
+              let key = item_key item in
+              if Hashtbl.mem answered key then (st, asked, n)
+              else begin
+                Hashtbl.add answered key ();
+                (S.record st item label, (item, label) :: asked, n + 1)
+              end)
         (S.init items, [], 0)
         resume
     in
@@ -78,9 +97,7 @@ module Make (S : SESSION) = struct
     let items =
       if asked0 = [] then items
       else
-        List.filter
-          (fun it -> not (List.exists (fun (a, _) -> a = it) asked0))
-          items
+        List.filter (fun it -> not (Hashtbl.mem answered (item_key it))) items
     in
     if Telemetry.enabled () && replayed > 0 then
       Telemetry.Metrics.incr m_replayed ~by:replayed;
@@ -151,19 +168,48 @@ module Make (S : SESSION) = struct
         state;
       }
     in
-    let rec loop state remaining asked questions pruned refused =
-      (* Split the remaining pool into items whose label is already forced
-         (uninformative — pruned without asking) and genuinely open ones.
-         Determination checks dominate the session cost, so the budget is
-         spent here; exhaustion ends the session with the current candidate
-         rather than an exception — a degraded but usable outcome. *)
-      match
+    (* Split the remaining pool into items whose label is already forced
+       (uninformative — pruned without asking) and genuinely open ones.
+       Determination checks dominate the session cost, so the budget is
+       spent here; exhaustion ends the session with the current candidate
+       rather than an exception — a degraded but usable outcome.
+
+       With a pool of size > 1 the probes run on worker domains.  The whole
+       round's ticks are charged up front on the calling domain ([Budget] is
+       not shared across domains); a round that would have exhausted the
+       budget midway therefore trips it slightly earlier than the sequential
+       scan — both end the session at the same question, with the same
+       candidate.  Results land in input-order slots ({!Pool.map_array}), so
+       the rebuilt open list — hence the question sequence and the journal
+       bytes — is identical at every pool size. *)
+    let partition_open state remaining =
+      if Pool.size pool <= 1 then
         List.partition
           (fun it ->
             Budget.tick budget;
             S.determined state it = None)
           remaining
-      with
+      else begin
+        let arr = Array.of_list remaining in
+        Budget.tick ~cost:(Array.length arr) budget;
+        let t0 = if Telemetry.enabled () then Monotonic.now () else 0. in
+        let is_open =
+          Pool.map_array pool (fun it -> S.determined state it = None) arr
+        in
+        if Telemetry.enabled () then begin
+          Telemetry.Metrics.incr m_parallel_scans;
+          Telemetry.Metrics.observe m_scan_s (Monotonic.now () -. t0)
+        end;
+        let opens = ref [] and closed = ref [] in
+        for i = Array.length arr - 1 downto 0 do
+          if is_open.(i) then opens := arr.(i) :: !opens
+          else closed := arr.(i) :: !closed
+        done;
+        (!opens, !closed)
+      end
+    in
+    let rec loop state remaining asked questions pruned refused =
+      match partition_open state remaining with
       | exception Budget.Out_of_budget ->
           finish ~degraded:true ~complete:false state asked questions pruned
             refused
@@ -200,9 +246,9 @@ module Make (S : SESSION) = struct
       ~attrs:[ ("items", string_of_int (List.length items)) ]
     @@ fun () -> loop state0 items asked0 0 0 0
 
-  let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ~oracle
-      ~items () =
-    run_flaky ?rng ?strategy ?max_questions ?budget ?journal ?resume
+  let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ?pool
+      ~oracle ~items () =
+    run_flaky ?rng ?strategy ?max_questions ?budget ?journal ?resume ?pool
       ~oracle:(fun it -> Flaky.Label (oracle it))
       ~items ()
 

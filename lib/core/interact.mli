@@ -74,6 +74,7 @@ module Make (S : SESSION) : sig
     ?budget:Budget.t ->
     ?journal:Journal.t * (S.item -> string) ->
     ?resume:(S.item * Flaky.reply) list ->
+    ?pool:Pool.t ->
     oracle:(S.item -> bool) ->
     items:S.item list ->
     unit ->
@@ -84,7 +85,10 @@ module Make (S : SESSION) : sig
       [max_questions] is reached.  [pruned] counts pool items whose label was
       inferred rather than asked.  When [budget] runs out mid-session the
       loop returns the current candidate with [degraded = true] instead of
-      raising.  [journal] and [resume] are as in {!run_flaky}. *)
+      raising.  [journal] and [resume] are as in {!run_flaky}; [pool]
+      (default {!Pool.default}) parallelizes the determined-scan with a
+      deterministic, input-order merge — the question sequence and journal
+      bytes are identical at every pool size. *)
 
   val run_flaky :
     ?rng:Prng.t ->
@@ -94,6 +98,7 @@ module Make (S : SESSION) : sig
     ?journal:Journal.t * (S.item -> string) ->
     ?resume:(S.item * Flaky.reply) list ->
     ?retry:Retry.policy ->
+    ?pool:Pool.t ->
     oracle:(S.item -> Flaky.reply) ->
     items:S.item list ->
     unit ->

@@ -1,10 +1,17 @@
 (* Spans, metrics, and structured logs.  Everything here is single-domain
    mutable state; the contract that matters is the disabled fast path — one
    bool load and branch per instrumentation site — because sites sit inside
-   the innermost enumeration loops (see bench pr3 for the measured residue). *)
+   the innermost enumeration loops (see bench pr3 for the measured residue).
+
+   Since PR 4 instrumented code can run inside Core.Pool worker domains (the
+   parallel determined-scan), so every entry point additionally requires
+   [Domain.is_main_domain]: off the main domain, spans and metric updates
+   no-op rather than race on the registry and the span stack.  The check
+   sits after the [!on] load, so the disabled fast path is unchanged and
+   the is-main probe is only paid when telemetry is actually recording. *)
 
 let on = ref false
-let enabled () = !on
+let enabled () = !on && Domain.is_main_domain ()
 let set_enabled b = on := b
 
 (* ------------------------------------------------------------------ *)
@@ -110,7 +117,7 @@ let close_frame f =
   else incr dropped
 
 let with_span ?(attrs = []) name f =
-  if not !on then f ()
+  if not (!on && Domain.is_main_domain ()) then f ()
   else begin
     let sid = !next_sid in
     incr next_sid;
@@ -197,7 +204,8 @@ module Metrics = struct
         | C c -> c
         | _ -> invalid_arg ("Telemetry.Metrics.counter: " ^ name ^ " is not a counter"))
 
-  let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+  let incr ?(by = 1) c =
+    if !on && Domain.is_main_domain () then c.c_value <- c.c_value + by
   let counter_value c = c.c_value
 
   let gauge name =
@@ -207,7 +215,7 @@ module Metrics = struct
         | G g -> g
         | _ -> invalid_arg ("Telemetry.Metrics.gauge: " ^ name ^ " is not a gauge"))
 
-  let set g v = if !on then g.g_value <- v
+  let set g v = if !on && Domain.is_main_domain () then g.g_value <- v
   let gauge_value g = g.g_value
 
   let histogram name =
@@ -235,7 +243,7 @@ module Metrics = struct
       if i >= nbuckets then nbuckets - 1 else i
 
   let observe h v =
-    if !on then begin
+    if !on && Domain.is_main_domain () then begin
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;

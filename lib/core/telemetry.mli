@@ -23,7 +23,15 @@
     [learnq.twig.contain_calls].  Spans use [<engine>.<what>] ("interact.ask",
     "twiglearn.lgg", "twig.contain.minimize").
 
-    Not thread-safe: the repository is single-domain throughout. *)
+    {2 Domains}
+
+    The registry and span stack are single-domain mutable state.  Code
+    instrumented with spans or counters may nevertheless run inside
+    {!Pool} worker domains: every entry point no-ops off the main domain
+    (the check follows the enabled-flag load, so the disabled fast path
+    is unchanged).  Work done by worker domains is therefore {e not}
+    counted — the parallel determined-scan reports its aggregates from the
+    main domain instead (see DESIGN §8). *)
 
 (** {1 Master switch} *)
 

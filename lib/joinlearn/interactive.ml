@@ -93,12 +93,20 @@ let split_strategy ?(sample = 48) () rng (st : Session.state) items =
     in
     min if_pos if_neg
   in
-  match candidates with
-  | [] -> invalid_arg "split_strategy: no informative item"
-  | first :: _ ->
-      List.fold_left
-        (fun best it -> if score it > score best then it else best)
-        first candidates
+  if candidates = [] then invalid_arg "split_strategy: no informative item";
+  (* Score every candidate once (the old fold recomputed [score best] at
+     each comparison), through the domain pool: each score is an independent
+     O(|items|) mask scan, and the argmax below is a sequential
+     left-to-right fold over input-order results, so the chosen item — and
+     hence the question sequence — is identical at every pool size. *)
+  let scores = Core.Pool.map_list (Core.Pool.default ()) score candidates in
+  match List.combine candidates scores with
+  | [] -> assert false
+  | (first, s0) :: rest ->
+      fst
+        (List.fold_left
+           (fun (best, sb) (it, s) -> if s > sb then (it, s) else (best, sb))
+           (first, s0) rest)
 
 (* Journal codec: the pool is the Cartesian product of two relations that
    resume regenerates from the journaled seed, so an item is a pair of row

@@ -33,7 +33,12 @@ module Version_space = struct
   (* [determined] runs ~100ns of bitmask work per call and is called once per
      candidate pair per question, so even the disabled-telemetry branch is a
      measurable fraction of it.  Shadow-count with a plain int (sub-ns) and
-     flush into the real counter at the per-question [record] boundary. *)
+     flush into the real counter at the per-question [record] boundary.
+
+     Under a {!Core.Pool} scan, worker domains increment this plain ref
+     concurrently: increments can be lost, never torn (immediate ints are
+     atomic in the OCaml 5 memory model).  The counter is observability
+     only — an undercount is acceptable, a mutex here is not. *)
   let tests_pending = ref 0
 
   let flush_tests () =

@@ -6,6 +6,7 @@ type doc = {
   children : int list array;
   last_desc : int array;  (** descendants of [i] are ids in [i+1 .. last_desc.(i)] *)
   paths : Tree.path array;
+  by_path : (Tree.path, int) Hashtbl.t;  (** inverse of [paths] *)
 }
 
 let index tree =
@@ -14,12 +15,15 @@ let index tree =
   let children = Array.make n [] in
   let last_desc = Array.make n 0 in
   let paths = Array.make n [] in
+  let by_path = Hashtbl.create n in
   let counter = ref 0 in
   let rec go path (node : Tree.t) =
     let id = !counter in
     incr counter;
     labels.(id) <- node.label;
-    paths.(id) <- List.rev path;
+    let p = List.rev path in
+    paths.(id) <- p;
+    Hashtbl.replace by_path p id;
     let kids =
       List.mapi (fun i c -> go (i :: path) c) node.children
     in
@@ -29,7 +33,7 @@ let index tree =
   in
   let root = go [] tree in
   assert (root = 0);
-  { tree; labels; children; last_desc; paths }
+  { tree; labels; children; last_desc; paths; by_path }
 
 let doc_tree d = d.tree
 let doc_size d = Array.length d.labels
@@ -164,9 +168,82 @@ let select_ids doc (q : Query.t) =
 let select_doc doc q = List.map (fun id -> doc.paths.(id)) (select_ids doc q)
 let select q tree = select_doc (index tree) q
 
+(* ------------------------------------------------------------------ *)
+(* The single-node membership hot path                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [selects] is the probe the interactive learners hammer: the
+   determined-scan asks "does the current candidate select this node?"
+   once per open item per round — same document every time, and the same
+   (physically identical) candidate query for a whole round.  Naively that
+   is a full re-index plus a full evaluation per probe; memoizing both by
+   physical equality turns every probe after a round's first into one hash
+   lookup and one array read.
+
+   One entry each suffices (a session has one document and one live
+   candidate), and the caches are domain-local so {!Core.Pool} workers
+   warm their own — no sharing, no locks.  Misses stay exactly the old
+   code path, so results are unchanged. *)
+
+type probe_cache = {
+  mutable pc_tree : Tree.t option;  (* phys-eq key for pc_doc *)
+  mutable pc_doc : doc option;
+  mutable pc_masks : (Query.t * bool array) list;
+      (* phys-eq keyed, most-recent first.  A round interleaves the live
+         candidate with per-probe would-be generalizations, so one slot
+         would thrash; a handful keeps the candidate resident. *)
+}
+
+(* Enough slots that a round's worth of live raw-extension queries (kept
+   physically identical across rounds by the session probe memo) stays
+   resident alongside the candidate; a mask is one bool per node, so even
+   64 of them are a few hundred KB per domain. *)
+let probe_cache_slots = 64
+
+let probe_dls : probe_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { pc_tree = None; pc_doc = None; pc_masks = [] })
+
+let m_probe_hits = Core.Telemetry.Metrics.counter "learnq.twig.eval_cache_hits"
+let m_probe_misses = Core.Telemetry.Metrics.counter "learnq.twig.eval_cache_misses"
+
+let index_cached c tree =
+  match c.pc_doc with
+  | Some d when (match c.pc_tree with Some t -> t == tree | None -> false) ->
+      d
+  | _ ->
+      let d = index tree in
+      c.pc_tree <- Some tree;
+      c.pc_doc <- Some d;
+      c.pc_masks <- [];
+      d
+
+let rec mask_assq q = function
+  | [] -> None
+  | (q0, m) :: rest -> if q0 == q then Some m else mask_assq q rest
+
+let rec list_take n = function
+  | x :: rest when n > 0 -> x :: list_take (n - 1) rest
+  | _ -> []
+
 let selects q tree path =
-  let doc = index tree in
-  List.exists (fun p -> p = path) (select_doc doc q)
+  let c = Domain.DLS.get probe_dls in
+  let doc = index_cached c tree in
+  let mask =
+    match mask_assq q c.pc_masks with
+    | Some mask ->
+        Core.Telemetry.Metrics.incr m_probe_hits;
+        mask
+    | None ->
+        Core.Telemetry.Metrics.incr m_probe_misses;
+        let mask = Array.make (Array.length doc.labels) false in
+        List.iter (fun id -> mask.(id) <- true) (select_ids doc q);
+        c.pc_masks <- (q, mask) :: list_take (probe_cache_slots - 1) c.pc_masks;
+        mask
+  in
+  match Hashtbl.find_opt doc.by_path path with
+  | Some id -> mask.(id)
+  | None -> false
 
 let selects_example q (a : Annotated.t) = selects q a.doc a.target
 

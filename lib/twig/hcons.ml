@@ -1,0 +1,113 @@
+open Query
+
+(* Physical-identity table: canonical nodes to their ids.  [Hashtbl.hash] is
+   structural (and depth-capped), which is consistent with (==) — physically
+   equal values hash equally — and groups structurally similar nodes whose
+   buckets are then scanned by pointer comparison. *)
+module Phys = Hashtbl.Make (struct
+  type t = filter
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* A node's shape key: the test id plus (axis, child id) per sub-edge, with
+   children already canonical — a flat int-list key, cheap to hash exactly
+   (no depth cap, unlike hashing the tree itself). *)
+type shape = int * (int * int) list
+
+type state = {
+  label_ids : (string, int) Hashtbl.t;
+  label_nodes : (string, test) Hashtbl.t;
+  table : (shape, filter) Hashtbl.t;  (* shape -> canonical node *)
+  ids : int Phys.t;  (* canonical node -> id *)
+  mutable next_id : int;
+  mutable gen : int;
+}
+
+let fresh_state () =
+  {
+    label_ids = Hashtbl.create 256;
+    label_nodes = Hashtbl.create 256;
+    table = Hashtbl.create 4096;
+    ids = Phys.create 4096;
+    next_id = 0;
+    gen = 0;
+  }
+
+let dls : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+
+(* Read-mostly config shared across domains; racy reads are benign. *)
+let max_nodes = ref (1 lsl 20)
+let set_max_nodes n = max_nodes := max 1024 n
+
+let clear_state st =
+  Hashtbl.reset st.label_ids;
+  Hashtbl.reset st.label_nodes;
+  Hashtbl.reset st.table;
+  Phys.reset st.ids;
+  st.next_id <- 0;
+  st.gen <- st.gen + 1
+
+let clear () = clear_state (Domain.DLS.get dls)
+let generation () = (Domain.DLS.get dls).gen
+let live_nodes () = (Domain.DLS.get dls).next_id
+
+let axis_code = function Child -> 0 | Descendant -> 1
+
+(* Test ids: 0 is the wildcard, labels from 1 in first-seen order. *)
+let test_id st = function
+  | Wildcard -> 0
+  | Label l -> (
+      match Hashtbl.find_opt st.label_ids l with
+      | Some i -> i
+      | None ->
+          let i = Hashtbl.length st.label_ids + 1 in
+          Hashtbl.add st.label_ids l i;
+          i)
+
+let intern_test st = function
+  | Wildcard -> Wildcard
+  | Label l -> (
+      match Hashtbl.find_opt st.label_nodes l with
+      | Some t -> t
+      | None ->
+          let t = Label l in
+          Hashtbl.add st.label_nodes l t;
+          t)
+
+let rec intern st (f : filter) : filter * int =
+  match Phys.find_opt st.ids f with
+  | Some id -> (f, id)
+  | None ->
+      let subs =
+        List.map
+          (fun (a, g) ->
+            let g', gid = intern st g in
+            (a, g', gid))
+          f.fsubs
+      in
+      let shape : shape =
+        (test_id st f.ftest, List.map (fun (a, _, gid) -> (axis_code a, gid)) subs)
+      in
+      (match Hashtbl.find_opt st.table shape with
+      | Some canon -> (canon, Phys.find st.ids canon)
+      | None ->
+          let canon =
+            {
+              ftest = intern_test st f.ftest;
+              fsubs = List.map (fun (a, g', _) -> (a, g')) subs;
+            }
+          in
+          let id = st.next_id in
+          st.next_id <- id + 1;
+          Hashtbl.add st.table shape canon;
+          Phys.add st.ids canon id;
+          (canon, id))
+
+let filter f =
+  let st = Domain.DLS.get dls in
+  if st.next_id > !max_nodes then clear_state st;
+  intern st f
+
+let test t = intern_test (Domain.DLS.get dls) t

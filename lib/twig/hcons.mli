@@ -1,0 +1,43 @@
+(** Hash-consing of twig filter nodes.
+
+    {!Lgg.prune_maximal} — the quadratic inner loop of every LGG merge —
+    decides redundancy with {!Contain.filter_subsumed}, and the same filter
+    nodes flow through it again and again: a session's running LGG keeps its
+    kept edges physically alive across questions, and [minimize] revisits
+    them per probe.  Interning gives each distinct filter shape one
+    canonical representative with a dense integer id, so a containment
+    result can be memoized under an [(axis, id, axis, id)] key instead of
+    being re-derived by a fresh homomorphism search.
+
+    Interning is {e per-domain} ([Domain.DLS]): pool workers each build
+    their own tables, so no locks sit on the hot path and the structures
+    stay single-domain.  Ids are only meaningful within one domain and one
+    {!generation}.
+
+    The table is bounded: when it holds more than {!set_max_nodes} nodes it
+    is cleared wholesale ({!generation} ticks, invalidating dependent
+    caches such as the containment memo).  Long multi-session processes
+    therefore hold a bounded working set rather than every filter shape
+    ever seen. *)
+
+val filter : Query.filter -> Query.filter * int
+(** [filter f] is the canonical representative of [f] (structurally equal
+    to it) and its id.  O(1) when [f] is already canonical; O(|f|)
+    otherwise. *)
+
+val test : Query.test -> Query.test
+(** Interned test: equal labels share one [Label] node. *)
+
+val live_nodes : unit -> int
+(** Distinct filter shapes interned by the current domain's table. *)
+
+val generation : unit -> int
+(** Bumped by every {!clear} (explicit or capacity-triggered).  Caches
+    keyed by ids must be dropped when it changes. *)
+
+val clear : unit -> unit
+(** Drop the current domain's tables and bump {!generation}. *)
+
+val set_max_nodes : int -> unit
+(** Capacity (default 2^20 nodes) above which {!filter} clears the table
+    before interning.  Clamped to [>= 1024]. *)

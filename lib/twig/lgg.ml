@@ -34,13 +34,11 @@ and prune_maximal ~max_filters edges =
       [] by_size
   in
   let keep = List.rev keep in
+  (* Invariant: [keep] preserves [by_size]'s decreasing-size order — the fold
+     only drops elements and the reversal undoes the prepending — so capping
+     by specificity is a prefix take, no second sort. *)
   if List.length keep <= max_filters then keep
-  else
-    (* Cap by specificity (size) to bound downstream products. *)
-    List.filteri (fun i _ -> i < max_filters)
-      (List.sort
-         (fun (_, f1) (_, f2) -> compare (filter_size f2) (filter_size f1))
-         keep)
+  else List.filteri (fun i _ -> i < max_filters) keep
 
 (* Label-guided product: only filters sharing a root test merge, and each
    shared test contributes a single edge — the LGG of every same-test filter

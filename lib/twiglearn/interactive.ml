@@ -1,5 +1,13 @@
 type item = Xmltree.Annotated.t
 
+(* Ablation switch (bench pr4, property tests): [true] restores the
+   PR 3-era batch path that refolds the whole positive set per answer and
+   per probe.  Read once at [Session.init], so a session never mixes
+   modes. *)
+let batch_lgg = ref false
+let set_batch_lgg b = batch_lgg := b
+let batch_lgg_enabled () = !batch_lgg
+
 module Session = struct
   type query = Twig.Query.t
   type nonrec item = item
@@ -7,25 +15,114 @@ module Session = struct
   type state = {
     pos : item list;
     neg : item list;
-    lgg : Twig.Query.t option;  (** cached LGG of [pos] *)
+    neg_count : int;  (** [List.length neg], for the probe memo *)
+    acc : Positive.Incremental.acc;  (** running raw LGG of [pos] *)
+    lgg : Twig.Query.t option;  (** minimized anchored candidate *)
+    batch : bool;  (** ablation: refold [pos] instead of extending [acc] *)
   }
 
-  let init _items = { pos = []; neg = []; lgg = None }
+  let init _items =
+    {
+      pos = [];
+      neg = [];
+      neg_count = 0;
+      acc = Positive.Incremental.empty;
+      lgg = None;
+      batch = !batch_lgg;
+    }
 
   let record st item label =
     if label then
       let pos = item :: st.pos in
-      { st with pos; lgg = Positive.learn_positive pos }
-    else { st with neg = item :: st.neg }
+      if st.batch then { st with pos; lgg = Positive.learn_positive pos }
+      else
+        Core.Telemetry.with_span "twig.lgg.inc" @@ fun () ->
+        let acc = Positive.Incremental.add st.acc item in
+        { st with pos; acc; lgg = Positive.Incremental.candidate acc }
+    else { st with neg = item :: st.neg; neg_count = st.neg_count + 1 }
 
   let candidate st = st.lgg
+
+  (* The probe memo.  [determined] revisits every open item once per round,
+     but its inputs move slowly: the accumulator changes only on a positive
+     answer (a handful per session) and the negative set only grows.  So
+     each domain remembers, per item, the item's would-be generalization
+     and how many negatives it has survived — a probe then merges nothing
+     and rechecks only the negatives recorded since.  [Closed] is sound to
+     cache because inconsistency is monotone at a fixed accumulator: more
+     negatives never reopen an item.  The memo is invalidated wholesale
+     when the accumulator's physical identity moves, and is domain-local
+     ({!Core.Pool} workers warm their own), so verdicts — hence question
+     sequences — are unchanged at every pool size. *)
+  type probe_entry =
+    | Closed  (** determined negative at the current accumulator *)
+    | Open of Twig.Query.t * int  (** raw extension, negatives survived *)
+
+  type probe_memo = {
+    mutable pm_acc : Twig.Query.t option;  (* phys-eq key *)
+    pm_tbl : (Xmltree.Tree.path, probe_entry) Hashtbl.t;
+  }
+
+  let probe_dls : probe_memo Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { pm_acc = None; pm_tbl = Hashtbl.create 512 })
+
+  let selects_any_prefix raw negs ~count =
+    let rec go i = function
+      | n :: rest when i < count ->
+          Twig.Eval.selects_example raw n || go (i + 1) rest
+      | _ -> false
+    in
+    go 0 negs
+
+  let determined_incremental st item =
+    match Positive.Incremental.raw st.acc with
+    | None -> None  (* no positives yet: everything is informative *)
+    | Some acc_raw -> (
+        let memo = Domain.DLS.get probe_dls in
+        (if match memo.pm_acc with Some a -> a != acc_raw | None -> true
+         then begin
+           memo.pm_acc <- Some acc_raw;
+           Hashtbl.reset memo.pm_tbl
+         end);
+        let target = (item : item).target in
+        let cached = Hashtbl.find_opt memo.pm_tbl target in
+        match cached with
+        | Some Closed -> Some false
+        | _ -> (
+            let raw_opt, survived =
+              match cached with
+              | Some (Open (raw, k)) -> (Some raw, k)
+              | _ -> (Positive.Incremental.extend_consistent st.acc item, 0)
+            in
+            match raw_opt with
+            | None ->
+                (* Generalizing onto this item leaves the anchored fragment:
+                   final for this accumulator. *)
+                Hashtbl.replace memo.pm_tbl target Closed;
+                Some false
+            | Some raw ->
+                (* [st.neg] is newest-first: the first [neg_count - survived]
+                   entries are the ones this item has not been checked
+                   against yet. *)
+                if
+                  selects_any_prefix raw st.neg
+                    ~count:(st.neg_count - survived)
+                then begin
+                  Hashtbl.replace memo.pm_tbl target Closed;
+                  Some false
+                end
+                else begin
+                  Hashtbl.replace memo.pm_tbl target (Open (raw, st.neg_count));
+                  None
+                end))
 
   let determined st item =
     match st.lgg with
     | None -> None
     | Some q ->
         if Twig.Eval.selects_example q item then Some true
-        else begin
+        else if st.batch then begin
           (* Would taking it positive contradict a recorded negative or leave
              the anchored fragment? *)
           match Positive.learn_positive (item :: st.pos) with
@@ -35,6 +132,7 @@ module Session = struct
               then Some false
               else None
         end
+        else determined_incremental st item
 
   let pp_item = Xmltree.Annotated.pp
   let pp_query = Twig.Query.pp

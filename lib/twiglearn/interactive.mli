@@ -17,6 +17,16 @@
 
 type item = Xmltree.Annotated.t
 
+val set_batch_lgg : bool -> unit
+(** Ablation switch (default [false]): [true] makes subsequently created
+    sessions refold the whole positive set through
+    {!Positive.learn_positive} on every answer and every determined-probe —
+    the pre-incremental behavior, kept for benchmarking
+    ([bench pr4]) and for the incremental-equivalence property tests.  Read
+    once per session at [Session.init]. *)
+
+val batch_lgg_enabled : unit -> bool
+
 module Session :
   Core.Interact.SESSION with type query = Twig.Query.t and type item = item
 

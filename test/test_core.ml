@@ -472,6 +472,77 @@ let test_stats_time () =
   Alcotest.(check int) "result" 42 x;
   Alcotest.(check bool) "non-negative" true (dt >= 0.)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_preserves_order () =
+  let xs = Array.init 1000 Fun.id in
+  let expect = Array.map (fun x -> x * x) xs in
+  List.iter
+    (fun size ->
+      let pool = Core.Pool.create size in
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          check
+            (Alcotest.array Alcotest.int)
+            (Printf.sprintf "input order at size %d" size)
+            expect
+            (Core.Pool.map_array pool (fun x -> x * x) xs);
+          (* The pool is persistent: a second job reuses the same workers. *)
+          check
+            (Alcotest.list Alcotest.int)
+            (Printf.sprintf "reuse at size %d" size)
+            (List.init 100 (fun i -> i + 1))
+            (Core.Pool.map_list pool succ (List.init 100 Fun.id))))
+    [ 1; 2; 4 ]
+
+let test_pool_empty_and_singleton () =
+  let pool = Core.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      check (Alcotest.array Alcotest.int) "empty" [||]
+        (Core.Pool.map_array pool succ [||]);
+      check (Alcotest.array Alcotest.int) "singleton" [| 8 |]
+        (Core.Pool.map_array pool succ [| 7 |]))
+
+let test_pool_exception_propagates () =
+  let pool = Core.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let xs = Array.init 1000 Fun.id in
+      (* Several items raise; the lowest input index must win, so the
+         behavior matches the sequential map. *)
+      (match
+         Core.Pool.map_array pool
+           (fun x -> if x >= 500 then failwith (string_of_int x) else x)
+           xs
+       with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          check Alcotest.string "lowest-index exception" "500" msg);
+      (* The pool survives a failed job. *)
+      check (Alcotest.array Alcotest.int) "usable after failure"
+        (Array.map succ xs)
+        (Core.Pool.map_array pool succ xs))
+
+let test_pool_default_resize () =
+  let before = Core.Pool.default_size () in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.set_default_size before)
+    (fun () ->
+      Core.Pool.set_default_size 3;
+      check Alcotest.int "resized" 3 (Core.Pool.default_size ());
+      check Alcotest.int "default pool has the size" 3
+        (Core.Pool.size (Core.Pool.default ()));
+      Core.Pool.set_default_size 0;
+      check Alcotest.int "clamped to 1" 1 (Core.Pool.default_size ());
+      Alcotest.(check bool) "recommended size positive" true
+        (Core.Pool.recommended_size () >= 1))
+
 let () =
   Alcotest.run "core"
     [
@@ -539,6 +610,16 @@ let () =
           Alcotest.test_case "half-open probe" `Quick test_retry_half_open_probe;
           Alcotest.test_case "budget stops retrying" `Quick
             test_retry_budget_stops_retrying;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick
+            test_pool_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_pool_empty_and_singleton;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "default resize" `Quick test_pool_default_resize;
         ] );
       ( "stats",
         [

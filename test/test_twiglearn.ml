@@ -543,6 +543,111 @@ let test_interactive_label_diverse_cheaper () =
       Alcotest.(check (list (list int))) "answers recovered"
         (Twig.Eval.select goal doc) (Twig.Eval.select q doc)
 
+(* ------------------------------------------------------------------ *)
+(* Hot path: incremental LGG and parallel determined-scans             *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let hotpath_goals =
+  [| "//person/name"; "//item[location]/name"; "//open_auction/current" |]
+
+let hotpath_witnesses ~seed ~goal_idx =
+  let doc = Benchkit.Xmark.generate ~scale:0.3 ~seed () in
+  let goal = Twig.Parse.query hotpath_goals.(goal_idx) in
+  (doc, List.map (ann doc) (Twig.Eval.select goal doc))
+
+(* The incremental accumulator is the batch fold's intermediate value, so
+   folding [add] over any example sequence and then [candidate] must produce
+   exactly [learn_positive] on the same list — including agreeing on [None]
+   when the sequence leaves the anchored fragment (the poisoned case appends
+   the root, whose label differs from every witness's). *)
+let prop_incremental_equals_batch =
+  QCheck.Test.make ~name:"incremental lgg ≡ batch lgg (xmark)" ~count:25
+    QCheck.(triple (int_bound 1000) (int_bound 2) bool)
+    (fun (seed, goal_idx, poison) ->
+      let doc, witnesses = hotpath_witnesses ~seed ~goal_idx in
+      let items = if poison then witnesses @ [ ann doc [] ] else witnesses in
+      let module I = Twiglearn.Positive.Incremental in
+      let batch = Twiglearn.Positive.learn_positive items in
+      let inc = I.candidate (List.fold_left I.add I.empty items) in
+      match (batch, inc) with
+      | None, None -> true
+      | Some b, Some i -> Twig.Query.equal b i
+      | _ -> false)
+
+(* [extend_consistent] skips the minimize of [candidate ∘ add]; the contract
+   is that the raw result is selection-equivalent to the minimized one, and
+   that both agree on leaving the fragment. *)
+let prop_extend_consistent_equiv =
+  QCheck.Test.make ~name:"extend_consistent ≡ candidate ∘ add" ~count:10
+    QCheck.(pair (int_bound 1000) (int_bound 2))
+    (fun (seed, goal_idx) ->
+      let _, witnesses = hotpath_witnesses ~seed ~goal_idx in
+      let module I = Twiglearn.Positive.Incremental in
+      let rec go acc = function
+        | [] -> true
+        | item :: rest ->
+            let ok =
+              match (I.extend_consistent acc item, I.candidate (I.add acc item)) with
+              | None, None -> true
+              | Some raw, Some q -> Twig.Contain.equiv raw q
+              | _ -> false
+            in
+            ok && go (I.add acc item) rest
+      in
+      go I.empty witnesses)
+
+(* The pool merge is input-order deterministic: the same session asks the
+   same questions in the same order and writes byte-identical journals at
+   every pool size. *)
+let test_parallel_scan_deterministic () =
+  let doc = Benchkit.Xmark.generate ~scale:0.4 ~seed:11 () in
+  let goal = Twig.Parse.query "//person[profile]/name" in
+  let items = Twiglearn.Interactive.items_of_doc doc in
+  let run n =
+    let path = Filename.temp_file "learnq_pool_test" ".wal" in
+    let journal =
+      Core.Journal.create ~sync:Core.Journal.Off ~path
+        { Core.Journal.seed = 1; engine = "test-pool"; config = "pool-determinism" }
+    in
+    let pool = Core.Pool.create n in
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          Core.Pool.shutdown pool;
+          Core.Journal.close journal)
+        (fun () ->
+          Twiglearn.Interactive.Loop.run_flaky ~rng:(Core.Prng.create 1)
+            ~journal:(journal, Twiglearn.Interactive.encode_item)
+            ~pool
+            ~oracle:(fun it ->
+              Core.Flaky.Label (Twig.Eval.selects_example goal it))
+            ~items ())
+    in
+    let ic = open_in_bin path in
+    let bytes = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    let asked =
+      List.map
+        (fun (it, l) -> (Twiglearn.Interactive.encode_item it, l))
+        outcome.Twiglearn.Interactive.Loop.asked
+    in
+    (outcome.Twiglearn.Interactive.Loop.questions, asked, bytes)
+  in
+  let q1, a1, b1 = run 1 in
+  Alcotest.(check bool) "session asked questions" true (q1 > 0);
+  List.iter
+    (fun n ->
+      let qn, an, bn = run n in
+      Alcotest.(check int) (Printf.sprintf "questions at pool %d" n) q1 qn;
+      Alcotest.(check (list (pair string bool)))
+        (Printf.sprintf "question sequence at pool %d" n)
+        a1 an;
+      Alcotest.(check string) (Printf.sprintf "journal bytes at pool %d" n) b1 bn)
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "twiglearn"
     [
@@ -606,5 +711,12 @@ let () =
           Alcotest.test_case "consistent with oracle" `Slow test_interactive_consistent_with_oracle;
           Alcotest.test_case "prunes most nodes" `Slow test_interactive_prunes_most_nodes;
           Alcotest.test_case "label-diverse cheaper" `Slow test_interactive_label_diverse_cheaper;
+        ] );
+      ( "hotpath",
+        [
+          qcheck prop_incremental_equals_batch;
+          qcheck prop_extend_consistent_equiv;
+          Alcotest.test_case "parallel scan deterministic" `Quick
+            test_parallel_scan_deterministic;
         ] );
     ]
