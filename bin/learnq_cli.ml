@@ -9,7 +9,8 @@
      learn-twig      learn a twig query from annotated nodes (or from a goal)
      learn-join      interactive join inference (CSV files or generated data)
      learn-path      learn a path query on a generated road network
-     exchange        run a Figure-1 data-exchange scenario *)
+     exchange        run a Figure-1 data-exchange scenario
+     fuzz            differential fuzzing of the engines against oracles *)
 
 open Cmdliner
 
@@ -1136,6 +1137,142 @@ let exchange_cmd =
     (Cmd.info "exchange" ~doc:"Run a Figure-1 data-exchange scenario.")
     Term.(const run $ telemetry_term $ scenario_arg $ seed_term)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Cases to run per oracle.")
+  in
+  let oracle_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Run only the named oracle (repeatable; default all — see \
+             $(b,--list)).")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-size" ] ~docv:"K"
+          ~doc:"Generator size parameter cycles through 1..$(docv).")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Write minimized counterexample artifacts into $(docv).")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a counterexample artifact: regenerate its input from the \
+             recorded seed and re-run its oracle, then exit (0 when the bug \
+             no longer reproduces, 1 when it still does).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the oracles and exit.")
+  in
+  let replay_artifact path =
+    let art =
+      match Fuzz.Artifact.load path with
+      | Ok a -> a
+      | Error msg ->
+          or_die (Error (Core.Error.invalid_input ~what:"--replay" msg))
+    in
+    match Fuzz.Runner.replay art with
+    | `Unknown_oracle n ->
+        or_die
+          (Error
+             (Core.Error.invalid_input ~what:"--replay"
+                (Printf.sprintf "artifact names unknown oracle %S" n)))
+    | `Passed ->
+        Printf.printf
+          "replay %s (oracle %s, seed %d, size %d): PASSED — the recorded \
+           bug no longer reproduces\n"
+          path art.Fuzz.Artifact.oracle art.Fuzz.Artifact.seed
+          art.Fuzz.Artifact.size;
+        exit 0
+    | `Failed reason ->
+        Printf.printf
+          "replay %s (oracle %s, seed %d, size %d): STILL FAILING\n  %s\n" path
+          art.Fuzz.Artifact.oracle art.Fuzz.Artifact.seed
+          art.Fuzz.Artifact.size reason;
+        exit 1
+  in
+  let run () budget seed iters oracle_names max_size dir replay list_ =
+    if list_ then begin
+      List.iter
+        (fun o ->
+          Printf.printf "%-18s %s\n" (Fuzz.Oracle.name o) (Fuzz.Oracle.about o))
+        Fuzz.Oracle.all;
+      exit 0
+    end;
+    match replay with
+    | Some path -> replay_artifact path
+    | None ->
+        let oracles =
+          match oracle_names with
+          | [] -> Fuzz.Oracle.all
+          | names ->
+              List.map
+                (fun n ->
+                  match Fuzz.Oracle.find n with
+                  | Some o -> o
+                  | None ->
+                      or_die
+                        (Error
+                           (Core.Error.invalid_input ~what:"--oracle"
+                              (Printf.sprintf
+                                 "%S is not an oracle (try --list)" n))))
+                names
+        in
+        let report =
+          Fuzz.Runner.run ~oracles ~budget ?dir ~max_size ~iters ~seed ()
+        in
+        List.iter
+          (fun (s : Fuzz.Runner.stats) ->
+            Printf.printf "%-18s %6d runs  %s\n" s.oracle s.runs
+              (if s.failures = 0 then "ok" else "FAILED"))
+          report.stats;
+        List.iter
+          (fun (c : Fuzz.Runner.counterexample) ->
+            let a = c.artifact in
+            Printf.printf
+              "\ncounterexample: %s (seed %d, size %d; shrunk to %d nodes in \
+               %d steps)\n  %s\n%s"
+              a.Fuzz.Artifact.oracle a.Fuzz.Artifact.seed a.Fuzz.Artifact.size
+              a.Fuzz.Artifact.shrunk_size a.Fuzz.Artifact.steps
+              a.Fuzz.Artifact.reason
+              (match c.path with
+              | Some p -> Printf.sprintf "  saved: %s (replay with --replay)\n" p
+              | None ->
+                  Printf.sprintf "  input:\n    %s\n"
+                    (String.concat "\n    "
+                       (String.split_on_char '\n' a.Fuzz.Artifact.input))))
+          report.counterexamples;
+        if report.interrupted then begin
+          prerr_endline "learnq: fuzzing budget exhausted before completion";
+          exit Core.Error.exit_budget
+        end;
+        if report.counterexamples <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random structured inputs checked against \
+          cross-engine oracles, with greedy shrinking and replayable \
+          counterexample artifacts.")
+    Term.(
+      const run $ telemetry_term $ budget_term $ seed_term $ iters_arg
+      $ oracle_arg $ max_size_arg $ dir_arg $ replay_arg $ list_arg)
+
 let () =
   let info =
     Cmd.info "learnq" ~version:"1.0.0"
@@ -1153,6 +1290,7 @@ let () =
         learn_join_cmd;
         learn_path_cmd;
         exchange_cmd;
+        fuzz_cmd;
       ]
   in
   (* ~catch:false: structured failures only, never a raw backtrace. *)

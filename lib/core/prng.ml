@@ -20,13 +20,17 @@ let split g =
   { state = mix64 s }
 
 let int g bound =
-  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound <= 0 then
+    invalid_arg
+      (Printf.sprintf "Prng.int: bound must be positive, got %d" bound);
   (* Shift by 2 so the value fits OCaml's 63-bit native int non-negatively. *)
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
   r mod bound
 
 let int_in g lo hi =
-  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  if hi < lo then
+    invalid_arg
+      (Printf.sprintf "Prng.int_in: empty range, got [%d, %d]" lo hi);
   lo + int g (hi - lo + 1)
 
 let float g bound =

@@ -24,10 +24,12 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+(** [int g bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0], naming the offending value. *)
 
 val int_in : t -> int -> int -> int
-(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument when [hi < lo], naming the offending range. *)
 
 val float : t -> float -> float
 (** [float g bound] is uniform in [\[0, bound)]. *)

@@ -1,0 +1,90 @@
+type t = {
+  oracle : string;
+  seed : int;
+  size : int;
+  steps : int;
+  shrunk_size : int;
+  reason : string;
+  input : string;
+}
+
+let magic = "learnq-fuzz-artifact v1"
+let input_marker = "--- input ---"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string a =
+  String.concat "\n"
+    [ magic;
+      "oracle: " ^ a.oracle;
+      "seed: " ^ string_of_int a.seed;
+      "size: " ^ string_of_int a.size;
+      "steps: " ^ string_of_int a.steps;
+      "shrunk-size: " ^ string_of_int a.shrunk_size;
+      "reason: " ^ one_line a.reason;
+      input_marker;
+      a.input;
+    ]
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | m :: rest when String.trim m = magic -> (
+      let field name line =
+        let prefix = name ^ ": " in
+        let plen = String.length prefix in
+        if String.length line >= plen && String.sub line 0 plen = prefix then
+          Some (String.sub line plen (String.length line - plen))
+        else None
+      in
+      let rec header acc = function
+        | [] -> (acc, [])
+        | l :: rest when String.trim l = input_marker -> (acc, rest)
+        | l :: rest -> header (l :: acc) rest
+      in
+      let hdr, input_lines = header [] rest in
+      let find name =
+        List.find_map (field name) (List.rev hdr)
+      in
+      let int_field name =
+        match find name with
+        | Some v -> int_of_string_opt v
+        | None -> None
+      in
+      match (find "oracle", int_field "seed", int_field "size") with
+      | Some oracle, Some seed, Some size ->
+          Ok
+            { oracle;
+              seed;
+              size;
+              steps = Option.value ~default:0 (int_field "steps");
+              shrunk_size = Option.value ~default:0 (int_field "shrunk-size");
+              reason = Option.value ~default:"" (find "reason");
+              input = String.concat "\n" input_lines;
+            }
+      | _ -> Error "artifact: missing oracle/seed/size header field")
+  | _ -> Error ("artifact: bad magic (expected \"" ^ magic ^ "\")")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write ~dir a =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-seed%d.counterexample" a.oracle a.seed)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string a));
+  path
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,27 @@
+(** Replayable counterexample artifacts.
+
+    A failing fuzz case is fully determined by [(oracle, seed, size)] —
+    generators are pure functions of the PRNG — so an artifact records those
+    three plus human-facing context: the failure reason and the pretty-print
+    of the {e shrunk} input.  [learnq fuzz --replay FILE] regenerates the
+    input from the recorded seed and re-runs the oracle, so an artifact
+    stays actionable after the printed input's syntax drifts. *)
+
+type t = {
+  oracle : string;  (** {!Oracle} name *)
+  seed : int;  (** per-case seed (not the master seed) *)
+  size : int;  (** generator size parameter *)
+  steps : int;  (** shrink steps taken *)
+  shrunk_size : int;  (** {!Oracle} size measure of the minimum *)
+  reason : string;  (** first line of the oracle's failure message *)
+  input : string;  (** pretty-printed shrunk input (display only) *)
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val write : dir:string -> t -> string
+(** Saves under [dir] (created if missing) as
+    [<oracle>-seed<seed>.counterexample]; returns the path. *)
+
+val load : string -> (t, string) result

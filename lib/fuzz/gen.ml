@@ -1,0 +1,307 @@
+module Prng = Core.Prng
+module Tree = Xmltree.Tree
+module Query = Twig.Query
+
+let labels = [| "a"; "b"; "c"; "d" |]
+let label g = Prng.pick_array g labels
+
+(* [budget] split into [k] parts, each >= 1 (requires budget >= k). *)
+let split_budget g budget k =
+  if k <= 0 then []
+  else begin
+    let parts = Array.make k 1 in
+    for _ = 1 to budget - k do
+      let i = Prng.int g k in
+      parts.(i) <- parts.(i) + 1
+    done;
+    Array.to_list parts
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec tree_sized g budget =
+  if budget <= 1 then Tree.leaf (label g)
+  else
+    let k = Prng.int_in g 1 (min 4 (budget - 1)) in
+    let children = List.map (tree_sized g) (split_budget g (budget - 1) k) in
+    Tree.node (label g) children
+
+let tree g ~size = tree_sized g (max 1 size)
+
+let attr_names = [| "x"; "y" |]
+
+(* Trim-stable, no digit-only values; [&], [<] and quotes exercise the
+   escaper both in character data and in attribute values. *)
+let text_words = [| "t"; "hello"; "a&b"; "1<2"; "he said \"hi\""; "x y" |]
+
+let rec xml_sized g budget =
+  let lbl = label g in
+  if budget <= 1 then Tree.leaf lbl
+  else begin
+    let room = budget - 1 in
+    let n_attrs =
+      if room >= 2 && Prng.chance g 0.4 then
+        Prng.int_in g 1 (min (Array.length attr_names) (room / 2))
+      else 0
+    in
+    let attrs =
+      List.init n_attrs (fun i ->
+          Tree.node ("@" ^ attr_names.(i))
+            [ Tree.text (Prng.pick_array g text_words) ])
+    in
+    let room = room - (2 * n_attrs) in
+    let text_child =
+      if room >= 1 && Prng.chance g 0.3 then
+        [ Tree.text (Prng.pick_array g text_words) ]
+      else []
+    in
+    let room = room - List.length text_child in
+    let elems =
+      if room <= 0 then []
+      else
+        let k = Prng.int_in g 0 (min 4 room) in
+        List.map (xml_sized g) (split_budget g room k)
+    in
+    let content =
+      if Prng.bool g then text_child @ elems else elems @ text_child
+    in
+    Tree.node lbl (attrs @ content)
+  end
+
+let xml_tree g ~size = xml_sized g (max 1 size)
+
+let element_paths t =
+  List.filter
+    (fun p ->
+      match Tree.node_at t p with
+      | Some n -> not (Tree.is_text n)
+      | None -> false)
+    (Tree.all_paths t)
+
+let annotated g t ~k =
+  List.map (Xmltree.Annotated.make t) (Prng.sample g k (element_paths t))
+
+let rec map_at (t : Tree.t) path f =
+  match path with
+  | [] -> f t
+  | i :: rest ->
+      let children =
+        List.mapi (fun j c -> if j = i then map_at c rest f else c) t.children
+      in
+      { t with children }
+
+let mutant_doc g t =
+  let p = Prng.pick g (Tree.all_paths t) in
+  match (Prng.int g 3, List.rev p) with
+  | 0, _ ->
+      let fresh = if Prng.bool g then "zz" else label g in
+      map_at t p (fun n -> { n with Tree.label = fresh })
+  | _, [] -> { t with Tree.label = "zz" }
+  | 1, i :: rev_parent ->
+      map_at t (List.rev rev_parent) (fun parent ->
+          { parent with
+            Tree.children = List.filteri (fun j _ -> j <> i) parent.children })
+  | _, i :: rev_parent ->
+      map_at t (List.rev rev_parent) (fun parent ->
+          match List.nth_opt parent.children i with
+          | Some c -> { parent with Tree.children = parent.children @ [ c ] }
+          | None -> parent)
+
+(* ------------------------------------------------------------------ *)
+(* Twig queries                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let node_test g =
+  if Prng.chance g 0.25 then Query.Wildcard else Query.Label (label g)
+
+let axis g = if Prng.chance g 0.35 then Query.Descendant else Query.Child
+
+let rec filter_sized g budget : Query.filter =
+  let ftest = node_test g in
+  if budget <= 1 then { ftest; fsubs = [] }
+  else
+    let k = Prng.int_in g 1 (min 3 (budget - 1)) in
+    let fsubs =
+      List.map (fun b -> (axis g, filter_sized g b)) (split_budget g (budget - 1) k)
+    in
+    { ftest; fsubs }
+
+let filter_edge g ~size = (axis g, filter_sized g (max 1 size))
+
+let twig g ~size : Query.t =
+  let size = max 1 size in
+  let depth = Prng.int_in g 1 (min 4 size) in
+  List.map
+    (fun b ->
+      let nfilters = if b >= 2 then Prng.int_in g 0 (min 2 (b - 1)) else 0 in
+      let fbudgets = split_budget g (b - 1) nfilters in
+      { Query.axis = axis g;
+        test = node_test g;
+        filters = List.map (fun fb -> (axis g, filter_sized g fb)) fbudgets })
+    (split_budget g size depth)
+
+(* Repair into the anchored fragment: any wildcard incident to a descendant
+   edge (or sitting at the output) becomes a label; the shape is kept. *)
+let rec anchor_filter g incoming (f : Query.filter) =
+  let sub_desc = List.exists (fun (a, _) -> a = Query.Descendant) f.fsubs in
+  let ftest =
+    match f.ftest with
+    | Query.Wildcard when incoming = Query.Descendant || sub_desc ->
+        Query.Label (label g)
+    | t -> t
+  in
+  { Query.ftest; fsubs = List.map (fun (a, s) -> (a, anchor_filter g a s)) f.fsubs }
+
+let anchored_twig g ~size =
+  let q = twig g ~size in
+  let n = List.length q in
+  let rec fix i = function
+    | [] -> []
+    | (s : Query.step) :: rest ->
+        let below =
+          match rest with (r : Query.step) :: _ -> Some r.axis | [] -> None
+        in
+        let filter_desc =
+          List.exists (fun (a, _) -> a = Query.Descendant) s.filters
+        in
+        let test =
+          match s.test with
+          | Query.Wildcard
+            when i = n - 1 || s.axis = Query.Descendant
+                 || below = Some Query.Descendant || filter_desc ->
+              Query.Label (label g)
+          | t -> t
+        in
+        { s with test;
+          filters = List.map (fun (a, f) -> (a, anchor_filter g a f)) s.filters }
+        :: fix (i + 1) rest
+  in
+  fix 0 q
+
+let generalize g (q : Query.t) =
+  let q =
+    List.map
+      (fun (s : Query.step) ->
+        let filters = List.filter (fun _ -> Prng.chance g 0.3) s.filters in
+        let axis =
+          if Prng.chance g 0.25 then Query.Descendant else s.axis
+        in
+        { s with Query.axis; filters })
+      q
+  in
+  let rec drop n = function
+    | _ :: (_ :: _ as rest) when n > 0 -> drop (n - 1) rest
+    | q -> q
+  in
+  match drop (Prng.int g 2) q with
+  | [] -> q
+  | (s : Query.step) :: rest ->
+      let axis = if Prng.bool g then Query.Descendant else s.axis in
+      { s with Query.axis } :: rest
+
+let goal g doc =
+  let paths = element_paths doc in
+  if paths = [] || Prng.chance g 0.2 then anchored_twig g ~size:4
+  else generalize g (Query.of_example doc (Prng.pick g paths))
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let multiplicity g =
+  Prng.pick g Uschema.Multiplicity.[ One; Opt; Plus; Star ]
+
+let clause_of g alpha =
+  Uschema.Dme.clause
+    (List.filter_map
+       (fun l -> if Prng.chance g 0.4 then Some (l, multiplicity g) else None)
+       alpha)
+
+let schema g ~size =
+  let n_rules = max 1 (min 4 size) in
+  let alpha = Array.to_list labels in
+  let heads = "r" :: Prng.sample g (n_rules - 1) alpha in
+  let rules =
+    List.map
+      (fun h ->
+        let n_clauses = if Prng.chance g 0.3 then 2 else 1 in
+        (h, Uschema.Dme.make (List.init n_clauses (fun _ -> clause_of g alpha))))
+      heads
+  in
+  Uschema.Schema.make ~root:"r" ~rules
+
+(* ------------------------------------------------------------------ *)
+(* Relations and graphs                                                *)
+(* ------------------------------------------------------------------ *)
+
+let csv_words =
+  [| "x"; "a,b"; "he said \"hi\""; "two\nlines"; "plain"; ""; "x7" |]
+
+let value g =
+  if Prng.bool g then Relational.Value.Int (Prng.int g 10)
+  else Relational.Value.Str (Prng.pick_array g csv_words)
+
+let relation g ~name ~rows =
+  let arity = Prng.int_in g 1 4 in
+  let attrs = List.init arity (fun i -> Printf.sprintf "f%d" i) in
+  let tuples =
+    List.init (max 0 rows) (fun _ -> Array.init arity (fun _ -> value g))
+  in
+  Relational.Relation.make ~name ~attrs tuples
+
+let join_instance g ~rows =
+  Relational.Generator.pair_instance ~rng:g ~left_rows:(max 1 rows)
+    ~right_rows:(max 1 rows) ()
+
+let edge_labels = [ "a"; "b"; "c" ]
+
+let graph g ~size =
+  let nodes = max 1 size in
+  Graphdb.Generators.random ~rng:g ~nodes ~edges:(2 * max 1 size)
+    ~labels:edge_labels
+
+let rec regex_sized g budget : Automata.Regex.t =
+  if budget <= 1 then
+    match Prng.int g 12 with
+    | 0 -> Automata.Regex.Eps
+    | 1 -> Automata.Regex.Empty
+    | _ -> Automata.Regex.Sym (Prng.pick g edge_labels)
+  else
+    let l = max 1 ((budget - 1) / 2) in
+    let r = max 1 (budget - 1 - l) in
+    match Prng.int g 6 with
+    | 0 | 1 -> Automata.Regex.Alt (regex_sized g l, regex_sized g r)
+    | 2 | 3 -> Automata.Regex.Cat (regex_sized g l, regex_sized g r)
+    | 4 -> Automata.Regex.Star (regex_sized g (budget - 1))
+    | _ -> Automata.Regex.Sym (Prng.pick g edge_labels)
+
+let regex g ~size = regex_sized g (max 1 size)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial strings                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let junk_chars = "<>/*[]{}()|&;,\"'#@=?!. \t\nabcdrxy0123->"
+
+let junk g ~size =
+  String.init (max 0 size) (fun _ ->
+      junk_chars.[Prng.int g (String.length junk_chars)])
+
+let mutate_string g s =
+  let edit s =
+    let len = String.length s in
+    if len = 0 then junk g ~size:3
+    else
+      let i = Prng.int g len in
+      let c = String.make 1 junk_chars.[Prng.int g (String.length junk_chars)] in
+      match Prng.int g 4 with
+      | 0 -> String.sub s 0 i ^ String.sub s (i + 1) (len - i - 1)
+      | 1 -> String.sub s 0 i ^ c ^ String.sub s i (len - i)
+      | 2 -> String.sub s 0 i ^ c ^ String.sub s (i + 1) (len - i - 1)
+      | _ -> String.sub s 0 i
+  in
+  let n = Prng.int_in g 1 3 in
+  let rec go n s = if n = 0 then s else go (n - 1) (edit s) in
+  go n s

@@ -1,0 +1,109 @@
+(** Structured random generators for the differential fuzzing harness.
+
+    Every generator draws from a {!Core.Prng.t} and takes an explicit size
+    parameter, so a fuzzing case is reproducible from [(seed, size)] alone —
+    the currency of counterexample artifacts ({!Artifact}).  The label
+    alphabet is deliberately tiny ([a]–[d]): collisions are what make
+    generalization, containment and caching interesting, and small alphabets
+    reach them orders of magnitude sooner than realistic vocabularies.
+
+    Generators come in matched pairs with the {!Shrink} candidate functions;
+    what [Gen] builds, [Shrink] reduces. *)
+
+val labels : string array
+(** The shared element-label alphabet, [\[|"a"; "b"; "c"; "d"|\]]. *)
+
+val label : Core.Prng.t -> string
+(** Uniform draw from {!labels}. *)
+
+(** {2 Documents} *)
+
+val tree : Core.Prng.t -> size:int -> Xmltree.Tree.t
+(** Element-only unranked tree with exactly [max 1 size] nodes. *)
+
+val xml_tree : Core.Prng.t -> size:int -> Xmltree.Tree.t
+(** Tree exercising the full XML surface: attributes (distinct names, placed
+    first, each with a text value), at most one text child per node, and
+    text values containing characters that force escaping ([&], [<],
+    quotes).  Shaped so that [Parse.xml (Print.to_xml t)] can reconstruct
+    it exactly — the printer pulls attribute children into the tag and the
+    parser trims character data, so attribute order and raw whitespace are
+    not representable. *)
+
+val element_paths : Xmltree.Tree.t -> Xmltree.Tree.path list
+(** Paths of non-text nodes, preorder. *)
+
+val annotated :
+  Core.Prng.t -> Xmltree.Tree.t -> k:int -> Xmltree.Annotated.t list
+(** [k] distinct element nodes of the document as annotated examples. *)
+
+val mutant_doc : Core.Prng.t -> Xmltree.Tree.t -> Xmltree.Tree.t
+(** One structural mutation: relabel, delete or duplicate a random node —
+    the adversarial, possibly-non-conforming counterpart of
+    {!Uschema.Docgen.generate}. *)
+
+(** {2 Twig queries} *)
+
+val twig : Core.Prng.t -> size:int -> Twig.Query.t
+(** Arbitrary twig with roughly [size] pattern nodes: wildcards, descendant
+    edges and nested filters anywhere the syntax allows. *)
+
+val anchored_twig : Core.Prng.t -> size:int -> Twig.Query.t
+(** Like {!twig}, then repaired into the anchored fragment by relabeling
+    every wildcard incident to a descendant edge (and the output node). *)
+
+val filter_edge :
+  Core.Prng.t -> size:int -> Twig.Query.axis * Twig.Query.filter
+(** A filter condition as attached to a spine node. *)
+
+val generalize : Core.Prng.t -> Twig.Query.t -> Twig.Query.t
+(** Randomly weaken a query (drop filters, widen axes, cut a spine prefix);
+    the result contains the input, which makes [subsumed input result]
+    likely true — the interesting branch of containment oracles. *)
+
+val goal : Core.Prng.t -> Xmltree.Tree.t -> Twig.Query.t
+(** A goal query for interactive-learning oracles over [doc]: usually the
+    characteristic query of a random node, generalized (filters dropped,
+    axes widened, spine prefix cut) so it selects a nonempty, nontrivial
+    answer set; occasionally a fresh {!anchored_twig}. *)
+
+(** {2 Schemas} *)
+
+val schema : Core.Prng.t -> size:int -> Uschema.Schema.t
+(** DMS over root [r] and alphabet {!labels}: one or two clauses per rule,
+    random multiplicities.  Rules may be unproductive or unreachable —
+    {!Uschema.Docgen.generate} then returns [None], which oracles treat as
+    a valid (vacuous) case. *)
+
+(** {2 Relations and graphs} *)
+
+val relation : Core.Prng.t -> name:string -> rows:int -> Relational.Relation.t
+(** Random arity 1–4; values mix [Int]s with strings that stress the CSV
+    quoting rules (separators, quotes, newlines, empty fields) while
+    avoiding digit-only strings, which {!Relational.Value.of_string} cannot
+    tell from [Int]s. *)
+
+val join_instance :
+  Core.Prng.t -> rows:int -> Relational.Generator.pair_instance
+(** Relation pair with a planted join predicate
+    ({!Relational.Generator.pair_instance} scaled by [rows]). *)
+
+val graph : Core.Prng.t -> size:int -> Graphdb.Graph.t
+(** Random labeled digraph: [max 1 size] nodes, [2·size] edges, labels
+    [a]/[b]/[c]. *)
+
+val regex : Core.Prng.t -> size:int -> Automata.Regex.t
+(** RPQ regular expression over [a]/[b]/[c] with roughly [size] AST nodes;
+    [Eps] and [Empty] leaves appear with small probability. *)
+
+(** {2 Adversarial strings} *)
+
+val junk : Core.Prng.t -> size:int -> string
+(** Uniform soup over a charset biased toward structural characters of all
+    the repo's syntaxes (angle brackets, squares, slashes, quotes, [@], [#],
+    …). *)
+
+val mutate_string : Core.Prng.t -> string -> string
+(** 1–3 random edits (delete / insert / replace / truncate) — applied to a
+    valid print, this is the near-miss input class that finds parser bugs
+    plain junk misses. *)

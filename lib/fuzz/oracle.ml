@@ -1,0 +1,837 @@
+module Prng = Core.Prng
+module Tree = Xmltree.Tree
+module Query = Twig.Query
+module TI = Twiglearn.Interactive
+
+type 'a spec = {
+  name : string;
+  about : string;
+  generate : Prng.t -> size:int -> 'a;
+  check : 'a -> (unit, string) result;
+  candidates : 'a -> 'a list;
+  print : 'a -> string;
+  size_of : 'a -> int;
+}
+
+type t = Spec : 'a spec -> t
+
+let name (Spec s) = s.name
+let about (Spec s) = s.about
+
+let failf fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest -> (
+      match f x with Ok () -> check_all f rest | Error _ as e -> e)
+
+let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1
+let pstr pp v = Format.asprintf "%a" pp v
+
+let pp_edge ppf ((a, f) : Query.axis * Query.filter) =
+  Format.fprintf ppf "%s%a"
+    (match a with Query.Child -> "/" | Query.Descendant -> "//")
+    Query.pp_filter f
+
+(* ------------------------------------------------------------------ *)
+(* eval-cache: selects (memoized membership) ≡ select (fresh scan),    *)
+(* under physically distinct and hash-consed copies of the query       *)
+(* ------------------------------------------------------------------ *)
+
+let rec copy_filter (f : Query.filter) =
+  { Query.ftest = f.ftest;
+    fsubs = List.map (fun (a, s) -> (a, copy_filter s)) f.fsubs }
+
+let copy_query (q : Query.t) =
+  List.map
+    (fun (s : Query.step) ->
+      { Query.axis = s.axis;
+        test = s.test;
+        filters = List.map (fun (a, f) -> (a, copy_filter f)) s.filters })
+    q
+
+let intern_query (q : Query.t) =
+  List.map
+    (fun (s : Query.step) ->
+      { s with
+        Query.test = Twig.Hcons.test s.test;
+        filters =
+          List.map (fun (a, f) -> (a, fst (Twig.Hcons.filter f))) s.filters })
+    q
+
+let check_eval_cache (t, qs) =
+  let paths = Tree.all_paths t in
+  check_all
+    (fun q ->
+      let reference = Twig.Eval.select q t in
+      check_all
+        (fun (variant, q') ->
+          check_all
+            (fun p ->
+              let cached = Twig.Eval.selects q' t p in
+              let fresh = List.mem p reference in
+              if cached = fresh then Ok ()
+              else
+                failf "selects(%s) = %b but select = %b at node %s for %s"
+                  variant cached fresh (pstr Tree.pp_path p)
+                  (Query.to_string q))
+            paths)
+        [ ("same", q); ("copy", copy_query q); ("hcons", intern_query q) ])
+    qs
+
+let eval_cache =
+  Spec
+    { name = "eval-cache";
+      about = "Eval.selects probe cache ≡ fresh Eval.select, incl. Hcons'd queries";
+      generate =
+        (fun g ~size ->
+          let t = Gen.tree g ~size:(max 2 size) in
+          let qs =
+            List.init 3 (fun _ ->
+                if Prng.bool g then Gen.twig g ~size:(max 2 (size / 2))
+                else Gen.anchored_twig g ~size:(max 2 (size / 2)))
+          in
+          (t, qs));
+      check = check_eval_cache;
+      candidates =
+        (fun (t, qs) ->
+          List.map (fun t' -> (t', qs)) (Shrink.tree t)
+          @ List.map (fun qs' -> (t, qs')) (Shrink.list_ Shrink.twig qs));
+      print =
+        (fun (t, qs) ->
+          Tree.to_string t ^ "\n"
+          ^ String.concat "\n" (List.map Query.to_string qs));
+      size_of =
+        (fun (t, qs) ->
+          Tree.size t + List.fold_left (fun n q -> n + Query.size q) 0 qs);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* contain-cache: memoized filter_subsumed ≡ uncached, across an       *)
+(* Hcons generation bump                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_contain_cache edges =
+  let pairs =
+    List.concat_map (fun e1 -> List.map (fun e2 -> (e1, e2)) edges) edges
+  in
+  let round tag =
+    check_all
+      (fun (e1, e2) ->
+        let cached = Twig.Contain.filter_subsumed e1 e2 in
+        let fresh = Twig.Contain.filter_subsumed_uncached e1 e2 in
+        if cached = fresh then Ok ()
+        else
+          failf "%s: filter_subsumed %s ⊑ %s: cached=%b uncached=%b" tag
+            (pstr pp_edge e1) (pstr pp_edge e2) cached fresh)
+      pairs
+  in
+  let* () = round "warm" in
+  Twig.Hcons.clear ();
+  round "post-clear"
+
+let contain_cache =
+  Spec
+    { name = "contain-cache";
+      about = "Contain.filter_subsumed memo ≡ uncached, across Hcons.clear";
+      generate =
+        (fun g ~size ->
+          List.init
+            (Prng.int_in g 2 5)
+            (fun _ -> Gen.filter_edge g ~size:(max 1 (size / 2))));
+      check = check_contain_cache;
+      candidates = Shrink.list_ Shrink.filter_edge;
+      print =
+        (fun edges -> String.concat "\n" (List.map (pstr pp_edge) edges));
+      size_of =
+        (fun edges ->
+          List.fold_left (fun n (_, f) -> n + Query.filter_size f) 0 edges);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* contain-vs-eval: containment decisions cross-checked against        *)
+(* evaluation on generated and canonical witness documents             *)
+(* ------------------------------------------------------------------ *)
+
+let check_contain_vs_eval (q1, q2, t) =
+  let* () =
+    if Twig.Contain.subsumed q1 q1 then Ok ()
+    else failf "subsumed q q = false for %s" (Query.to_string q1)
+  in
+  let sel1 = Twig.Eval.select q1 t in
+  let* () =
+    if Twig.Contain.subsumed q1 q2 then
+      let sel2 = Twig.Eval.select q2 t in
+      let* () =
+        if subset sel1 sel2 then Ok ()
+        else
+          failf "subsumed says %s ⊆ %s but a selected node escapes on %s"
+            (Query.to_string q1) (Query.to_string q2) (Tree.to_string t)
+      in
+      let* () =
+        check_all
+          (fun (doc, path) ->
+            if Twig.Eval.selects q2 doc path then Ok ()
+            else
+              failf
+                "subsumed says %s ⊆ %s but q2 misses canonical witness %s of q1"
+                (Query.to_string q1) (Query.to_string q2) (Tree.to_string doc))
+          (Twig.Contain.canonical_instances q1)
+      in
+      if Twig.Contain.subsumed_semantic q1 q2 then Ok ()
+      else
+        failf "subsumed %s %s holds but subsumed_semantic denies it"
+          (Query.to_string q1) (Query.to_string q2)
+    else Ok ()
+  in
+  let* () =
+    let anchored = Query.anchor q1 in
+    if subset sel1 (Twig.Eval.select anchored t) then Ok ()
+    else
+      failf "anchor %s = %s loses a selected node on %s" (Query.to_string q1)
+        (Query.to_string anchored) (Tree.to_string t)
+  in
+  let* () =
+    let minimized = Twig.Lgg.minimize q1 in
+    if Twig.Eval.select minimized t = sel1 then Ok ()
+    else
+      failf "minimize %s = %s changes the answer set on %s"
+        (Query.to_string q1) (Query.to_string minimized) (Tree.to_string t)
+  in
+  check_all
+    (fun (doc, path) ->
+      if Twig.Eval.selects q1 doc path then Ok ()
+      else
+        failf "%s does not select its own canonical instance %s"
+          (Query.to_string q1) (Tree.to_string doc))
+    (Twig.Contain.canonical_instances q1)
+
+let contain_vs_eval =
+  Spec
+    { name = "contain-vs-eval";
+      about =
+        "subsumed/anchor/minimize cross-checked against evaluation on witness docs";
+      generate =
+        (fun g ~size ->
+          let q1 = Gen.twig g ~size:(max 2 size) in
+          let q2 =
+            if Prng.bool g then Gen.twig g ~size:(max 2 size)
+            else Gen.generalize g q1
+          in
+          (q1, q2, Gen.tree g ~size:(max 2 (2 * size))));
+      check = check_contain_vs_eval;
+      candidates =
+        (fun (q1, q2, t) ->
+          List.map (fun q1' -> (q1', q2, t)) (Shrink.twig q1)
+          @ List.map (fun q2' -> (q1, q2', t)) (Shrink.twig q2)
+          @ List.map (fun t' -> (q1, q2, t')) (Shrink.tree t));
+      print =
+        (fun (q1, q2, t) ->
+          Printf.sprintf "q1: %s\nq2: %s\ndoc: %s" (Query.to_string q1)
+            (Query.to_string q2) (Tree.to_string t));
+      size_of =
+        (fun (q1, q2, t) -> Query.size q1 + Query.size q2 + Tree.size t);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* lgg-incremental: Positive.Incremental ≡ learn_positive on arbitrary *)
+(* corpora (the XMark-only property test, generalized)                 *)
+(* ------------------------------------------------------------------ *)
+
+let live_element_paths t paths =
+  List.filter
+    (fun p ->
+      match Tree.node_at t p with
+      | Some n -> not (Tree.is_text n)
+      | None -> false)
+    paths
+
+let selection_equivalent t e c =
+  Twig.Contain.equiv e c
+  || Twig.Eval.select e t = Twig.Eval.select c t
+     && Twig.Contain.subsumed_semantic e c
+     && Twig.Contain.subsumed_semantic c e
+
+let check_lgg_incremental (t, paths) =
+  let module I = Twiglearn.Positive.Incremental in
+  let items =
+    List.map (Xmltree.Annotated.make t) (live_element_paths t paths)
+  in
+  let batch = Twiglearn.Positive.learn_positive items in
+  let inc = I.candidate (List.fold_left I.add I.empty items) in
+  let* () =
+    match (batch, inc) with
+    | None, None -> Ok ()
+    | Some a, Some b when Query.equal a b -> Ok ()
+    | _ ->
+        failf "batch LGG %s ≠ incremental %s"
+          (match batch with Some q -> Query.to_string q | None -> "⊥")
+          (match inc with Some q -> Query.to_string q | None -> "⊥")
+  in
+  let rec steps acc = function
+    | [] -> Ok ()
+    | item :: rest -> (
+        let ext = I.extend_consistent acc item in
+        let next = I.add acc item in
+        let cand = I.candidate next in
+        match (ext, cand) with
+        | None, None -> steps next rest
+        | Some e, Some c when selection_equivalent t e c -> steps next rest
+        | Some e, Some c ->
+            failf "extend_consistent %s not selection-equivalent to %s"
+              (Query.to_string e) (Query.to_string c)
+        | Some e, None ->
+            failf "extend_consistent says %s but candidate says inconsistent"
+              (Query.to_string e)
+        | None, Some c ->
+            failf "extend_consistent says inconsistent but candidate = %s"
+              (Query.to_string c))
+  in
+  steps I.empty items
+
+let lgg_incremental =
+  Spec
+    { name = "lgg-incremental";
+      about = "incremental LGG ≡ batch learn_positive on arbitrary corpora";
+      generate =
+        (fun g ~size ->
+          let t = Gen.tree g ~size:(max 2 size) in
+          let k = Prng.int_in g 1 4 in
+          (t, Prng.sample g k (Gen.element_paths t)));
+      check = check_lgg_incremental;
+      candidates =
+        (fun (t, paths) ->
+          List.map (fun t' -> (t', paths)) (Shrink.tree t)
+          @ List.map (fun ps -> (t, ps)) (Shrink.list_ (fun _ -> []) paths));
+      print =
+        (fun (t, paths) ->
+          Tree.to_string t ^ "\n"
+          ^ String.concat " " (List.map (pstr Tree.pp_path) paths));
+      size_of = (fun (t, _) -> Tree.size t);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Interactive sessions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let transcript (o : TI.Loop.outcome) =
+  List.map (fun (it, l) -> (TI.encode_item it, l)) o.asked
+
+let transcripts_differ name ta tb =
+  if ta = tb then Ok ()
+  else
+    let rec first_diff i = function
+      | (a :: ra, b :: rb) ->
+          if a = b then first_diff (i + 1) (ra, rb)
+          else
+            failf "%s: question %d differs: %s=%b vs %s=%b" name i (fst a)
+              (snd a) (fst b) (snd b)
+      | [], _ | _, [] ->
+          failf "%s: transcript lengths differ (%d vs %d)" name (List.length ta)
+            (List.length tb)
+    in
+    first_diff 0 (ta, tb)
+
+let queries_equal name qa qb =
+  if Option.equal Query.equal qa qb then Ok ()
+  else
+    failf "%s: learned queries differ: %s vs %s" name
+      (match qa with Some q -> Query.to_string q | None -> "⊥")
+      (match qb with Some q -> Query.to_string q | None -> "⊥")
+
+let check_interact_batch (doc, goal) =
+  let run ~batch =
+    TI.set_batch_lgg batch;
+    Fun.protect
+      ~finally:(fun () -> TI.set_batch_lgg false)
+      (fun () -> TI.run_with_goal ~rng:(Prng.create 17) ~doc ~goal ())
+  in
+  let b = run ~batch:true in
+  let i = run ~batch:false in
+  let* () =
+    transcripts_differ "batch vs incremental" (transcript b) (transcript i)
+  in
+  queries_equal "batch vs incremental" b.query i.query
+
+let doc_goal_spec ~name ~about check =
+  Spec
+    { name;
+      about;
+      generate =
+        (fun g ~size ->
+          let doc = Gen.tree g ~size:(max 2 size) in
+          (doc, Gen.goal g doc));
+      check;
+      candidates =
+        (fun (doc, goal) ->
+          List.map (fun d -> (d, goal)) (Shrink.tree doc)
+          @ List.map (fun q -> (doc, q)) (Shrink.twig goal));
+      print =
+        (fun (doc, goal) ->
+          Printf.sprintf "doc: %s\ngoal: %s" (Tree.to_string doc)
+            (Query.to_string goal));
+      size_of = (fun (doc, _) -> Tree.size doc);
+    }
+
+let interact_batch =
+  doc_goal_spec ~name:"interact-batch"
+    ~about:"interactive sessions ask identical questions with batch vs incremental LGG"
+    check_interact_batch
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let with_temp_file prefix suffix f =
+  let path = Filename.temp_file prefix suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let run_pooled ~pool_size ~doc ~goal =
+  let pool = Core.Pool.create pool_size in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      with_temp_file "learnq-fuzz-pool" ".journal" (fun path ->
+          let j =
+            Core.Journal.create ~sync:Core.Journal.Off ~path
+              { Core.Journal.seed = 0; engine = "fuzz"; config = "pool" }
+          in
+          let out =
+            Fun.protect
+              ~finally:(fun () -> Core.Journal.close j)
+              (fun () ->
+                TI.Loop.run ~rng:(Prng.create 17) ~pool
+                  ~journal:(j, TI.encode_item)
+                  ~oracle:(fun it -> Twig.Eval.selects_example goal it)
+                  ~items:(TI.items_of_doc doc) ())
+          in
+          (transcript out, out.query, read_file path)))
+
+let check_interact_pool (doc, goal) =
+  let t1, q1, j1 = run_pooled ~pool_size:1 ~doc ~goal in
+  check_all
+    (fun n ->
+      let tn, qn, jn = run_pooled ~pool_size:n ~doc ~goal in
+      let tag = Printf.sprintf "pool 1 vs %d" n in
+      let* () = transcripts_differ tag t1 tn in
+      let* () = queries_equal tag q1 qn in
+      if j1 = jn then Ok ()
+      else failf "%s: journal bytes differ (%d vs %d bytes)" tag
+          (String.length j1) (String.length jn))
+    [ 2; 4 ]
+
+let interact_pool =
+  doc_goal_spec ~name:"interact-pool"
+    ~about:"pool sizes 1/2/4 ask byte-identical question sequences and journals"
+    check_interact_pool
+
+let check_journal_resume (doc, goal, permille) =
+  let items = TI.items_of_doc doc in
+  let oracle it = Twig.Eval.selects_example goal it in
+  with_temp_file "learnq-fuzz-journal" ".wal" (fun path ->
+      let j =
+        Core.Journal.create ~sync:Core.Journal.Off ~path
+          { Core.Journal.seed = 0; engine = "fuzz"; config = "resume" }
+      in
+      let full =
+        Fun.protect
+          ~finally:(fun () -> Core.Journal.close j)
+          (fun () ->
+            TI.Loop.run ~rng:(Prng.create 17) ~journal:(j, TI.encode_item)
+              ~oracle ~items ())
+      in
+      let bytes = read_file path in
+      let cut = String.length bytes * permille / 1000 in
+      with_temp_file "learnq-fuzz-journal" ".cut" (fun tpath ->
+          Out_channel.with_open_bin tpath (fun oc ->
+              Out_channel.output_string oc (String.sub bytes 0 cut));
+          match Core.Journal.resume ~path:tpath () with
+          | Error (Core.Error.Corrupt_journal _ as e) ->
+              failf
+                "clean truncation at byte %d/%d reported as corruption: %s" cut
+                (String.length bytes) (Core.Error.to_string e)
+          | Error _ -> Ok () (* header itself truncated: nothing to resume *)
+          | Ok (j2, recovered) ->
+              let replies =
+                List.filter_map
+                  (fun (s, r) ->
+                    Option.map (fun it -> (it, r)) (TI.decode_item ~doc s))
+                  (Core.Journal.answered recovered)
+              in
+              let resumed =
+                Fun.protect
+                  ~finally:(fun () -> Core.Journal.close j2)
+                  (fun () ->
+                    TI.Loop.run ~rng:(Prng.create 17)
+                      ~journal:(j2, TI.encode_item) ~resume:replies ~oracle
+                      ~items ())
+              in
+              let* () =
+                transcripts_differ "full vs resumed" (transcript full)
+                  (transcript resumed)
+              in
+              queries_equal "full vs resumed" full.query resumed.query))
+
+let journal_resume =
+  Spec
+    { name = "journal-resume";
+      about = "journal truncated at a fuzzed point resumes to the same query";
+      generate =
+        (fun g ~size ->
+          let doc = Gen.tree g ~size:(max 2 size) in
+          (doc, Gen.goal g doc, Prng.int g 1001));
+      check = check_journal_resume;
+      candidates =
+        (fun (doc, goal, p) ->
+          List.map (fun d -> (d, goal, p)) (Shrink.tree doc)
+          @ List.map (fun q -> (doc, q, p)) (Shrink.twig goal));
+      print =
+        (fun (doc, goal, p) ->
+          Printf.sprintf "doc: %s\ngoal: %s\ncut: %d‰" (Tree.to_string doc)
+            (Query.to_string goal) p);
+      size_of = (fun (doc, _, _) -> Tree.size doc);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* rpq-naive: BFS product construction ≡ dumb fixpoint reference       *)
+(* ------------------------------------------------------------------ *)
+
+let naive_rpq (dfa : Automata.Dfa.t) g =
+  let n = Graphdb.Graph.node_count g in
+  let edges = Graphdb.Graph.edges g in
+  let answers = ref [] in
+  for src = 0 to n - 1 do
+    let reach = Hashtbl.create 16 in
+    Hashtbl.replace reach (src, dfa.Automata.Dfa.start) ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let pairs = Hashtbl.fold (fun k () acc -> k :: acc) reach [] in
+      List.iter
+        (fun (u, s) ->
+          List.iter
+            (fun (x, lbl, v) ->
+              if x = u then
+                match Automata.Dfa.symbol_index dfa lbl with
+                | None -> ()
+                | Some si ->
+                    let s' = dfa.Automata.Dfa.next.(s).(si) in
+                    if not (Hashtbl.mem reach (v, s')) then begin
+                      Hashtbl.replace reach (v, s') ();
+                      changed := true
+                    end)
+            edges)
+        pairs
+    done;
+    Hashtbl.iter
+      (fun (v, s) () ->
+        if dfa.Automata.Dfa.final.(s) then answers := (src, v) :: !answers)
+      reach
+  done;
+  List.sort_uniq compare !answers
+
+let check_rpq (gr, re) =
+  let dfa = Automata.Dfa.of_regex re in
+  let fast = Graphdb.Rpq.eval dfa gr in
+  let naive = naive_rpq dfa gr in
+  let* () =
+    if fast = naive then Ok ()
+    else
+      failf "Rpq.eval ≠ naive fixpoint for %s: %d vs %d answers"
+        (Automata.Regex.to_string re) (List.length fast) (List.length naive)
+  in
+  let budget =
+    Core.Budget.create ~fuel:(1 + Graphdb.Graph.node_count gr) ()
+  in
+  match Graphdb.Rpq.eval_within budget dfa gr with
+  | Core.Budget.Done l ->
+      if l = fast then Ok ()
+      else failf "eval_within Done disagrees with eval"
+  | Core.Budget.Exhausted { partial; _ } -> (
+      match partial with
+      | None -> Ok ()
+      | Some l ->
+          if subset l fast then Ok ()
+          else failf "eval_within partial answers are not a subset of eval")
+
+let rpq_naive =
+  Spec
+    { name = "rpq-naive";
+      about = "Rpq.eval ≡ naive product-automaton fixpoint; partials ⊆ full";
+      generate =
+        (fun g ~size ->
+          (Gen.graph g ~size:(max 2 size), Gen.regex g ~size:(max 2 (size / 2))));
+      check = check_rpq;
+      candidates =
+        (fun (gr, re) ->
+          List.map (fun gr' -> (gr', re)) (Shrink.graph gr)
+          @ List.map (fun re' -> (gr, re')) (Shrink.regex re));
+      print =
+        (fun (gr, re) ->
+          Printf.sprintf "graph: %s\nrpq: %s" (pstr Graphdb.Graph.pp gr)
+            (Automata.Regex.to_string re));
+      size_of =
+        (fun (gr, re) ->
+          Graphdb.Graph.node_count gr + Graphdb.Graph.edge_count gr
+          + Automata.Regex.size re);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips: parse ∘ print ≡ id                                     *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_twig =
+  Spec
+    { name = "roundtrip-twig";
+      about = "Twig.Parse.query ∘ Query.to_string ≡ id";
+      generate = (fun g ~size -> Gen.twig g ~size:(max 1 size));
+      check =
+        (fun q ->
+          let s = Query.to_string q in
+          match Twig.Parse.query_result s with
+          | Error e ->
+              failf "printed query %S does not parse: %s" s
+                (Core.Error.to_string e)
+          | Ok q' ->
+              if Query.equal q q' then Ok ()
+              else failf "%S reparses as %S" s (Query.to_string q'));
+      candidates = Shrink.twig;
+      print = Query.to_string;
+      size_of = Query.size;
+    }
+
+let roundtrip_xml =
+  Spec
+    { name = "roundtrip-xml";
+      about = "Xmltree.Parse.xml ∘ Print.to_xml ≡ id (indented and inline)";
+      generate = (fun g ~size -> Gen.xml_tree g ~size:(max 1 size));
+      check =
+        (fun t ->
+          check_all
+            (fun indent ->
+              let s = Xmltree.Print.to_xml ~indent t in
+              match Xmltree.Parse.xml_result s with
+              | Error e ->
+                  failf "printed XML (indent %d) does not parse: %s\n%s" indent
+                    (Core.Error.to_string e) s
+              | Ok t' ->
+                  if Tree.equal t t' then Ok ()
+                  else
+                    failf "indent %d: %s reparses as %s" indent
+                      (Tree.to_string t) (Tree.to_string t'))
+            [ 2; 0 ]);
+      candidates = Shrink.tree;
+      print = (fun t -> Xmltree.Print.to_xml t);
+      size_of = Tree.size;
+    }
+
+let roundtrip_csv =
+  Spec
+    { name = "roundtrip-csv";
+      about = "Relational.Csv.parse ∘ to_string ≡ id";
+      generate =
+        (fun g ~size ->
+          Gen.relation g ~name:"t" ~rows:(max 1 (size / 2)));
+      check =
+        (fun r ->
+          let s = Relational.Csv.to_string r in
+          match
+            Relational.Csv.parse_result ~name:(Relational.Relation.name r) s
+          with
+          | Error e ->
+              failf "printed CSV does not parse: %s\n%s"
+                (Core.Error.to_string e) s
+          | Ok r' ->
+              if Relational.Relation.equal_contents r r' then Ok ()
+              else failf "CSV round-trip changed contents:\n%s" s);
+      candidates = Shrink.relation;
+      print = Relational.Csv.to_string;
+      size_of =
+        (fun r ->
+          Relational.Relation.cardinal r * Relational.Relation.arity r);
+    }
+
+let schema_equal s1 s2 =
+  Uschema.Schema.root s1 = Uschema.Schema.root s2
+  &&
+  let r1 = Uschema.Schema.rules s1 and r2 = Uschema.Schema.rules s2 in
+  List.length r1 = List.length r2
+  && List.for_all2
+       (fun (h1, d1) (h2, d2) -> h1 = h2 && Uschema.Dme.equal d1 d2)
+       r1 r2
+
+let roundtrip_dms =
+  Spec
+    { name = "roundtrip-dms";
+      about = "Uschema.Schema.parse ∘ to_string ≡ id";
+      generate = (fun g ~size -> Gen.schema g ~size);
+      check =
+        (fun sch ->
+          let s = Uschema.Schema.to_string sch in
+          match Uschema.Schema.parse_result s with
+          | Error e ->
+              failf "printed schema does not parse: %s\n%s"
+                (Core.Error.to_string e) s
+          | Ok sch' ->
+              if schema_equal sch sch' then Ok ()
+              else failf "schema round-trip changed rules:\n%s" s);
+      candidates = Shrink.schema;
+      print = Uschema.Schema.to_string;
+      size_of = Uschema.Schema.size;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Schema semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_docgen_infer (sch, doc_seed) =
+  let rng = Prng.create doc_seed in
+  match Uschema.Docgen.generate ~rng sch with
+  | None -> Ok () (* unproductive root: vacuously fine *)
+  | Some d -> (
+      let* () =
+        match Uschema.Schema.validate sch d with
+        | Ok () -> Ok ()
+        | Error vs ->
+            failf "Docgen output invalid for its schema: %s (%d violations)"
+              (Tree.to_string d) (List.length vs)
+      in
+      let* () =
+        if Uschema.Schema.valid sch { d with Tree.label = "zz" } then
+          failf "root relabeled to zz still validates"
+        else Ok ()
+      in
+      match Uschema.Infer.infer [ d ] with
+      | None -> failf "Infer.infer returned None on one valid document"
+      | Some inferred ->
+          let* () =
+            if Uschema.Schema.valid inferred d then Ok ()
+            else
+              failf "inferred schema rejects its own input %s"
+                (Tree.to_string d)
+          in
+          (match Uschema.Infer.infer_disjunction_free [ d ] with
+          | None -> failf "infer_disjunction_free returned None"
+          | Some ms ->
+              if Uschema.Schema.valid ms d then Ok ()
+              else failf "MS-inferred schema rejects its own input"))
+
+let docgen_infer =
+  Spec
+    { name = "docgen-infer";
+      about = "Docgen output validates; Infer's schema accepts its input";
+      generate =
+        (fun g ~size -> (Gen.schema g ~size, Prng.int g max_int));
+      check = check_docgen_infer;
+      candidates =
+        (fun (sch, seed) ->
+          List.map (fun s -> (s, seed)) (Shrink.schema sch));
+      print = (fun (sch, _) -> Uschema.Schema.to_string sch);
+      size_of = (fun (sch, _) -> Uschema.Schema.size sch);
+    }
+
+let check_validate_agree (sch, t) =
+  let* () =
+    let ok = Uschema.Schema.valid sch t in
+    let detailed = Result.is_ok (Uschema.Schema.validate sch t) in
+    if ok = detailed then Ok ()
+    else failf "valid=%b but validate says %b on %s" ok detailed
+        (Tree.to_string t)
+  in
+  if Uschema.Schema.valid sch t && Tree.(t.label) <> "zz" then
+    if Uschema.Schema.valid sch { t with Tree.label = "zz" } then
+      failf "foreign root label accepted on %s" (Tree.to_string t)
+    else Ok ()
+  else Ok ()
+
+let validate_agree =
+  Spec
+    { name = "validate-agree";
+      about = "Schema.valid ≡ Schema.validate on conforming and mutated docs";
+      generate =
+        (fun g ~size ->
+          let sch = Gen.schema g ~size in
+          let doc =
+            match Uschema.Docgen.generate ~rng:g sch with
+            | Some d when Prng.bool g ->
+                if Prng.bool g then d else Gen.mutant_doc g d
+            | _ -> Gen.tree g ~size
+          in
+          (sch, doc));
+      check = check_validate_agree;
+      candidates =
+        (fun (sch, t) ->
+          List.map (fun t' -> (sch, t')) (Shrink.tree t)
+          @ List.map (fun s -> (s, t)) (Shrink.schema sch));
+      print =
+        (fun (sch, t) ->
+          Uschema.Schema.to_string sch ^ "\ndoc: " ^ Tree.to_string t);
+      size_of = (fun (sch, t) -> Uschema.Schema.size sch + Tree.size t);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* parser-total: _result parsers never raise on junk or near-misses    *)
+(* ------------------------------------------------------------------ *)
+
+let check_parser_total inputs =
+  check_all
+    (fun s ->
+      try
+        ignore (Xmltree.Parse.xml_result s);
+        ignore (Xmltree.Parse.term_result s);
+        ignore (Twig.Parse.query_result s);
+        ignore (Relational.Csv.parse_result ~name:"t" s);
+        ignore (Uschema.Schema.parse_result s);
+        Ok ()
+      with e -> failf "a _result parser raised %s on %S" (Printexc.to_string e) s)
+    inputs
+
+let parser_total =
+  Spec
+    { name = "parser-total";
+      about = "all _result parsers are total on junk and mutated valid prints";
+      generate =
+        (fun g ~size ->
+          let size = max 4 size in
+          let mutated print = Gen.mutate_string g (print ()) in
+          [ Gen.junk g ~size:(4 * size);
+            mutated (fun () ->
+                Xmltree.Print.to_xml (Gen.xml_tree g ~size));
+            mutated (fun () -> Tree.to_string (Gen.xml_tree g ~size));
+            mutated (fun () -> Query.to_string (Gen.twig g ~size));
+            mutated (fun () ->
+                Relational.Csv.to_string
+                  (Gen.relation g ~name:"t" ~rows:(size / 2)));
+            mutated (fun () ->
+                Uschema.Schema.to_string (Gen.schema g ~size));
+          ]);
+      check = check_parser_total;
+      candidates = Shrink.list_ Shrink.string_;
+      print = (fun inputs -> String.concat "\n----\n" inputs);
+      size_of =
+        (fun inputs ->
+          List.fold_left (fun n s -> n + String.length s) 0 inputs);
+    }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ eval_cache;
+    contain_cache;
+    contain_vs_eval;
+    lgg_incremental;
+    interact_batch;
+    interact_pool;
+    journal_resume;
+    rpq_naive;
+    roundtrip_twig;
+    roundtrip_xml;
+    roundtrip_csv;
+    roundtrip_dms;
+    docgen_infer;
+    validate_agree;
+    parser_total;
+  ]
+
+let find n = List.find_opt (fun o -> name o = n) all

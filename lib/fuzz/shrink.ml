@@ -1,0 +1,238 @@
+module Tree = Xmltree.Tree
+module Query = Twig.Query
+
+let drop_i i xs = List.filteri (fun j _ -> j <> i) xs
+let set_i i x' xs = List.mapi (fun j x -> if j = i then x' else x) xs
+
+let minimize ?(max_steps = 400) ~candidates ~still_failing x =
+  let steps = ref 0 in
+  let rec go x =
+    if !steps >= max_steps then x
+    else
+      match List.find_opt still_failing (candidates x) with
+      | Some x' ->
+          incr steps;
+          go x'
+      | None -> x
+  in
+  (* Bind before pairing: tuple components evaluate right-to-left, which
+     would read [!steps] before [go] has taken any. *)
+  let shrunk = go x in
+  (shrunk, !steps)
+
+let list_ shrink_elt xs =
+  let drop = List.mapi (fun i _ -> drop_i i xs) xs in
+  let reduce =
+    List.concat
+      (List.mapi
+         (fun i x -> List.map (fun x' -> set_i i x' xs) (shrink_elt x))
+         xs)
+  in
+  drop @ reduce
+
+(* ------------------------------------------------------------------ *)
+(* Trees                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_plain_element (c : Tree.t) =
+  (not (Tree.is_text c))
+  && not (String.length c.label > 0 && c.label.[0] = '@')
+
+let rec tree (t : Tree.t) =
+  (* Hoisting a child over the root is the big cut; attribute and text
+     children stay out of root position (no valid document has them there,
+     and a counterexample that only "fails" by being ill-formed is noise). *)
+  let hoist = List.filter is_plain_element t.children in
+  let del =
+    List.mapi (fun i _ -> { t with Tree.children = drop_i i t.children })
+      t.children
+  in
+  let recurse =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           List.map
+             (fun c' -> { t with Tree.children = set_i i c' t.children })
+             (tree c))
+         t.children)
+  in
+  hoist @ del @ recurse
+
+(* ------------------------------------------------------------------ *)
+(* Twig queries                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec filter_cands (f : Query.filter) =
+  let subs = List.map snd f.fsubs in
+  let drop =
+    List.mapi (fun i _ -> { f with Query.fsubs = drop_i i f.fsubs }) f.fsubs
+  in
+  let recurse =
+    List.concat
+      (List.mapi
+         (fun i (a, s) ->
+           List.map
+             (fun s' -> { f with Query.fsubs = set_i i (a, s') f.fsubs })
+             (filter_cands s))
+         f.fsubs)
+  in
+  subs @ drop @ recurse
+
+let step_cands (s : Query.step) =
+  let drop =
+    List.mapi (fun i _ -> { s with Query.filters = drop_i i s.filters })
+      s.filters
+  in
+  let recurse =
+    List.concat
+      (List.mapi
+         (fun i (a, f) ->
+           List.map
+             (fun f' -> { s with Query.filters = set_i i (a, f') s.filters })
+             (filter_cands f))
+         s.filters)
+  in
+  drop @ recurse
+
+let twig (q : Query.t) =
+  let drop_step =
+    if List.length q <= 1 then []
+    else List.mapi (fun i _ -> drop_i i q) q
+  in
+  let step_level =
+    List.concat
+      (List.mapi (fun i s -> List.map (fun s' -> set_i i s' q) (step_cands s)) q)
+  in
+  drop_step @ step_level
+
+let filter_edge (a, f) = List.map (fun f' -> (a, f')) (filter_cands f)
+
+(* ------------------------------------------------------------------ *)
+(* Regexes and graphs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec regex (r : Automata.Regex.t) =
+  match r with
+  | Automata.Regex.Empty | Automata.Regex.Eps | Automata.Regex.Sym _ -> []
+  | Automata.Regex.Alt (a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> Automata.Regex.Alt (a', b)) (regex a)
+      @ List.map (fun b' -> Automata.Regex.Alt (a, b')) (regex b)
+  | Automata.Regex.Cat (a, b) ->
+      [ a; b ]
+      @ List.map (fun a' -> Automata.Regex.Cat (a', b)) (regex a)
+      @ List.map (fun b' -> Automata.Regex.Cat (a, b')) (regex b)
+  | Automata.Regex.Star a ->
+      a :: List.map (fun a' -> Automata.Regex.Star a') (regex a)
+
+let graph g =
+  let n = Graphdb.Graph.node_count g in
+  let edges = Graphdb.Graph.edges g in
+  let drop_node =
+    if n <= 1 then []
+    else
+      [ Graphdb.Graph.make ~nodes:(n - 1)
+          (List.filter (fun (u, _, v) -> u < n - 1 && v < n - 1) edges) ]
+  in
+  let drop_edge =
+    List.mapi (fun i _ -> Graphdb.Graph.make ~nodes:n (drop_i i edges)) edges
+  in
+  drop_node @ drop_edge
+
+(* ------------------------------------------------------------------ *)
+(* Relations and schemas                                               *)
+(* ------------------------------------------------------------------ *)
+
+let relation r =
+  let name = Relational.Relation.name r in
+  let attrs = Array.to_list (Relational.Relation.attrs r) in
+  let tuples = Relational.Relation.tuples r in
+  let drop_row =
+    List.mapi
+      (fun i _ -> Relational.Relation.make ~name ~attrs (drop_i i tuples))
+      tuples
+  in
+  let drop_col =
+    if List.length attrs <= 1 then []
+    else
+      List.mapi (fun i _ -> Relational.Relation.project r (drop_i i attrs))
+        attrs
+  in
+  let zero = Relational.Value.Int 0 in
+  let simplify =
+    List.concat
+      (List.mapi
+         (fun i tup ->
+           List.concat
+             (List.mapi
+                (fun j v ->
+                  if Relational.Value.equal v zero then []
+                  else
+                    [ Relational.Relation.make ~name ~attrs
+                        (set_i i
+                           (Array.mapi (fun l x -> if l = j then zero else x)
+                              tup)
+                           tuples) ])
+                (Array.to_list tup)))
+         tuples)
+  in
+  drop_col @ drop_row @ simplify
+
+let schema s =
+  let root = Uschema.Schema.root s in
+  let rules = Uschema.Schema.rules s in
+  let remake rules = Uschema.Schema.make ~root ~rules in
+  let drop_rule = List.mapi (fun i _ -> remake (drop_i i rules)) rules in
+  let reduce_rule =
+    List.concat
+      (List.mapi
+         (fun i (h, dme) ->
+           let drop_clause =
+             if List.length dme <= 1 then []
+             else
+               List.mapi
+                 (fun j _ -> remake (set_i i (h, Uschema.Dme.make (drop_i j dme)) rules))
+                 dme
+           in
+           let drop_atom =
+             List.concat
+               (List.mapi
+                  (fun j clause ->
+                    List.mapi
+                      (fun k _ ->
+                        remake
+                          (set_i i
+                             (h, Uschema.Dme.make (set_i j (drop_i k clause) dme))
+                             rules))
+                      clause)
+                  dme)
+           in
+           drop_clause @ drop_atom)
+         rules)
+  in
+  drop_rule @ reduce_rule
+
+(* ------------------------------------------------------------------ *)
+(* Strings                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let string_ s =
+  let len = String.length s in
+  if len = 0 then []
+  else
+    let halves =
+      if len >= 2 then
+        [ String.sub s 0 (len / 2); String.sub s (len / 2) (len - (len / 2)) ]
+      else []
+    in
+    let positions =
+      let stride = max 1 (len / 24) in
+      let rec go i acc = if i >= len then List.rev acc else go (i + stride) (i :: acc) in
+      go 0 []
+    in
+    let chops =
+      List.map
+        (fun i -> String.sub s 0 i ^ String.sub s (i + 1) (len - i - 1))
+        positions
+    in
+    halves @ chops

@@ -1,0 +1,43 @@
+(** Greedy structural shrinking.
+
+    A shrinker is a candidate function ['a -> 'a list]: strictly smaller
+    variants of a failing input, biggest cuts first.  {!minimize} drives
+    any of them to a local minimum by re-checking the oracle on every
+    reduction step — the counterexample that survives is one no single
+    structural cut can shrink further, which in practice is a handful of
+    nodes. *)
+
+val minimize :
+  ?max_steps:int ->
+  candidates:('a -> 'a list) ->
+  still_failing:('a -> bool) ->
+  'a ->
+  'a * int
+(** [minimize ~candidates ~still_failing x] repeatedly replaces [x] by its
+    first candidate that still fails, until none does or [max_steps]
+    (default 400) replacements were taken.  Returns the minimum and the
+    number of successful reduction steps.  [x] itself must be failing. *)
+
+(** {2 Candidate functions}
+
+    Each returns strictly smaller values of its type (by the matching
+    [Gen] size measure), largest reductions first. *)
+
+val tree : Xmltree.Tree.t -> Xmltree.Tree.t list
+(** Hoist a child over the root, delete a subtree, or recurse. *)
+
+val twig : Twig.Query.t -> Twig.Query.t list
+(** Drop a spine step, drop or reduce a filter, simplify a test. *)
+
+val filter_edge :
+  Twig.Query.axis * Twig.Query.filter ->
+  (Twig.Query.axis * Twig.Query.filter) list
+
+val regex : Automata.Regex.t -> Automata.Regex.t list
+val graph : Graphdb.Graph.t -> Graphdb.Graph.t list
+val relation : Relational.Relation.t -> Relational.Relation.t list
+val schema : Uschema.Schema.t -> Uschema.Schema.t list
+val string_ : string -> string list
+
+val list_ : ('a -> 'a list) -> 'a list -> 'a list list
+(** Drop one element, or shrink one element in place. *)

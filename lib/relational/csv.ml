@@ -5,74 +5,95 @@ exception Syntax_error of string
    [parse] keeps its historical messages. *)
 exception Located of string * int
 
-(* Internal: [split_record] has no line context of its own. *)
-exception Unterminated
+(* Internal: the line on which the unterminated record started. *)
+exception Unterminated of int
 
-(* Record-level scanner handling quoted fields spanning separators (not
-   newlines inside quotes — keep the dialect line-based and simple). *)
-let split_record separator line =
-  let n = String.length line in
+(* Character-level scanner: quoted fields may contain separators, escaped
+   quotes ([""]) and newlines, so records cannot be recovered by splitting
+   on ['\n'] first.  Yields records paired with their starting 1-based line
+   number (blank lines are skipped, CRLF record terminators accepted), so
+   errors keep pointing at the right place. *)
+let scan_records separator contents =
+  let n = String.length contents in
+  let records = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 16 in
-  let flush () =
+  (* [blank] tracks whether the record so far is whitespace-only outside
+     quotes — those are skipped, like the blank lines they render as. *)
+  let blank = ref true in
+  let line = ref 1 in
+  let start_line = ref 1 in
+  let flush_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
+  let end_record () =
+    flush_field ();
+    let fs = List.rev !fields in
+    fields := [];
+    if not !blank then records := (!start_line, fs) :: !records;
+    blank := true
+  in
   let rec plain i =
-    if i >= n then flush ()
+    if i >= n then begin
+      (* Final record without a trailing newline; strip a dangling CR so a
+         CRLF file truncated after the CR still parses like its lines. *)
+      let len = Buffer.length buf in
+      if len > 0 && Buffer.nth buf (len - 1) = '\r' then
+        Buffer.truncate buf (len - 1)
+    end
     else
-      match line.[i] with
+      match contents.[i] with
+      | '\r' when i + 1 < n && contents.[i + 1] = '\n' -> newline (i + 2)
+      | '\n' -> newline (i + 1)
       | c when c = separator ->
-          flush ();
+          blank := false;
+          flush_field ();
           plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buf = 0 ->
+          blank := false;
+          quoted (i + 1)
       | c ->
+          if not (c = ' ' || c = '\t' || c = '\r') then blank := false;
           Buffer.add_char buf c;
           plain (i + 1)
+  and newline i =
+    end_record ();
+    incr line;
+    start_line := !line;
+    plain i
   and quoted i =
-    if i >= n then raise Unterminated
+    if i >= n then raise (Unterminated !start_line)
     else
-      match line.[i] with
+      match contents.[i] with
       | '"' ->
-          if i + 1 < n && line.[i + 1] = '"' then begin
+          if i + 1 < n && contents.[i + 1] = '"' then begin
             Buffer.add_char buf '"';
             quoted (i + 2)
           end
           else plain (i + 1)
+      | '\n' ->
+          incr line;
+          Buffer.add_char buf '\n';
+          quoted (i + 1)
       | c ->
           Buffer.add_char buf c;
           quoted (i + 1)
   in
   plain 0;
-  List.rev !fields
-
-(* Lines paired with their original 1-based numbers, so errors keep pointing
-   at the right place even when blank lines are skipped. *)
-let numbered_lines contents =
-  String.split_on_char '\n' contents
-  |> List.mapi (fun i l ->
-         let l =
-           if String.length l > 0 && l.[String.length l - 1] = '\r' then
-             String.sub l 0 (String.length l - 1)
-           else l
-         in
-         (i + 1, l))
-  |> List.filter (fun (_, l) -> String.trim l <> "")
+  if not (!blank && !fields = [] && Buffer.length buf = 0) then end_record ();
+  List.rev !records
 
 let parse_located ?(separator = ',') ~name contents =
-  let record lineno line =
-    try split_record separator line
-    with Unterminated -> raise (Located ("unterminated quoted field", lineno))
-  in
-  match numbered_lines contents with
+  match scan_records separator contents with
+  | exception Unterminated line ->
+      raise (Located ("unterminated quoted field", line))
   | [] -> raise (Located ("empty input: a header row is required", 1))
-  | (header_line, header) :: rows ->
-      let attrs = record header_line header in
+  | (_, attrs) :: rows ->
       let width = List.length attrs in
       let tuples =
         List.map
-          (fun (lineno, row) ->
-            let fields = record lineno row in
+          (fun (lineno, fields) ->
             if List.length fields <> width then
               raise
                 (Located
@@ -100,8 +121,11 @@ let parse_result ?separator ?(source = "<csv>") ~name contents =
       (* Relation.make rejects duplicate header names. *)
       Error (Core.Error.parse_error ~source msg)
 
+(* Empty and whitespace-only fields are quoted too: a row of bare ones
+   would render as a blank line, which the parser skips. *)
 let needs_quoting separator s =
-  String.exists (fun c -> c = separator || c = '"' || c = '\n') s
+  String.trim s = ""
+  || String.exists (fun c -> c = separator || c = '"' || c = '\n') s
 
 let quote s =
   let buf = Buffer.create (String.length s + 2) in

@@ -1,7 +1,8 @@
 (** CSV serialization of relations, so the command-line front end can learn
     joins over real tables.  The dialect is minimal RFC-4180: the first
     record is the attribute header; fields may be double-quoted, with [""]
-    escaping a quote; separators default to [','].  Values parse via
+    escaping a quote and quoted fields spanning newlines; separators default
+    to [','].  Values parse via
     {!Value.of_string} (integers as [Int]). *)
 
 exception Syntax_error of string

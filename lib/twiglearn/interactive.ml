@@ -8,6 +8,12 @@ let batch_lgg = ref false
 let set_batch_lgg b = batch_lgg := b
 let batch_lgg_enabled () = !batch_lgg
 
+(* Fault-injection switch for the fuzzing harness: [false] skips the probe
+   memo's recheck of negatives recorded after an entry was cached, i.e. the
+   exact staleness bug the memo's survived-count bookkeeping prevents. *)
+let probe_recheck = ref true
+let set_probe_recheck b = probe_recheck := b
+
 module Session = struct
   type query = Twig.Query.t
   type nonrec item = item
@@ -31,10 +37,16 @@ module Session = struct
       batch = !batch_lgg;
     }
 
+  (* [st.pos] is newest-first; the LGG fold must run in arrival order in
+     BOTH modes — [Lgg.lgg] is a heuristic alignment, not associative, so
+     folding newest-first can produce a genuinely different (even
+     differently-selecting) candidate than the incremental accumulator,
+     and the two modes would then ask different question sequences. *)
   let record st item label =
     if label then
       let pos = item :: st.pos in
-      if st.batch then { st with pos; lgg = Positive.learn_positive pos }
+      if st.batch then
+        { st with pos; lgg = Positive.learn_positive (List.rev pos) }
       else
         Core.Telemetry.with_span "twig.lgg.inc" @@ fun () ->
         let acc = Positive.Incremental.add st.acc item in
@@ -105,9 +117,12 @@ module Session = struct
                 (* [st.neg] is newest-first: the first [neg_count - survived]
                    entries are the ones this item has not been checked
                    against yet. *)
-                if
-                  selects_any_prefix raw st.neg
-                    ~count:(st.neg_count - survived)
+                let recheck_count =
+                  if !probe_recheck then st.neg_count - survived
+                  else if survived = 0 then st.neg_count
+                  else 0
+                in
+                if selects_any_prefix raw st.neg ~count:recheck_count
                 then begin
                   Hashtbl.replace memo.pm_tbl target Closed;
                   Some false
@@ -124,8 +139,8 @@ module Session = struct
         if Twig.Eval.selects_example q item then Some true
         else if st.batch then begin
           (* Would taking it positive contradict a recorded negative or leave
-             the anchored fragment? *)
-          match Positive.learn_positive (item :: st.pos) with
+             the anchored fragment?  Arrival-order fold, like [record]. *)
+          match Positive.learn_positive (List.rev st.pos @ [ item ]) with
           | None -> Some false
           | Some q' ->
               if List.exists (fun n -> Twig.Eval.selects_example q' n) st.neg

@@ -27,6 +27,15 @@ val set_batch_lgg : bool -> unit
 
 val batch_lgg_enabled : unit -> bool
 
+val set_probe_recheck : bool -> unit
+(** Fault-injection switch (default [true]).  [false] disables the probe
+    memo's negative-prefix recheck: a memoized open item is then never
+    re-tested against negatives recorded since it was cached, silently
+    reviving the staleness bug the memo's bookkeeping exists to prevent.
+    Only for exercising the differential fuzzing harness ({!Fuzz.Oracle}
+    [interact-batch] catches it within a few hundred cases) — never unset
+    this in production code paths. *)
+
 module Session :
   Core.Interact.SESSION with type query = Twig.Query.t and type item = item
 

@@ -35,6 +35,25 @@ let test_prng_int_in () =
     Alcotest.(check bool) "in range" true (x >= 5 && x <= 9)
   done
 
+let test_prng_invalid_bounds () =
+  let g = Core.Prng.create 7 in
+  let expect_invalid name fragment f =
+    match f () with
+    | (_ : int) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        let contains s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (name ^ " names the offending value")
+          true (contains msg fragment)
+  in
+  expect_invalid "int 0" "got 0" (fun () -> Core.Prng.int g 0);
+  expect_invalid "int -3" "got -3" (fun () -> Core.Prng.int g (-3));
+  expect_invalid "int_in 5 4" "[5, 4]" (fun () -> Core.Prng.int_in g 5 4)
+
 let test_prng_shuffle_permutation () =
   let g = Core.Prng.create 3 in
   let xs = List.init 30 Fun.id in
@@ -551,6 +570,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "int_in" `Quick test_prng_int_in;
+          Alcotest.test_case "invalid bounds" `Quick test_prng_invalid_bounds;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
           Alcotest.test_case "sample exhaust" `Quick test_prng_sample_exhaust;

@@ -143,6 +143,73 @@ let prop_witness_is_accepted_path =
                       ~max_len:(List.length word)))
         (Graphdb.Rpq.eval d graph))
 
+(* Independent reference for {!Graphdb.Rpq.eval}: explicit reachability in
+   the product of the graph with the query DFA — a (node, state) pair steps
+   to (node', state') along every matching edge; (u, v) is an answer when
+   (u, start) reaches (v, f) with f final.  Quadratic and allocation-happy,
+   which is exactly the point: it shares no code with the engine's on-the-fly
+   product construction. *)
+let naive_rpq (d : Automata.Dfa.t) graph =
+  let nodes = Graphdb.Graph.node_count graph in
+  let edges = Graphdb.Graph.edges graph in
+  let answers = ref [] in
+  for src = 0 to nodes - 1 do
+    let reached = Array.make_matrix nodes d.size false in
+    reached.(src).(d.start) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (u, label, v) ->
+          match Automata.Dfa.symbol_index d label with
+          | None -> ()
+          | Some s ->
+              for q = 0 to d.size - 1 do
+                if reached.(u).(q) then begin
+                  let q' = d.next.(q).(s) in
+                  if not reached.(v).(q') then begin
+                    reached.(v).(q') <- true;
+                    changed := true
+                  end
+                end
+              done)
+        edges
+    done;
+    for v = 0 to nodes - 1 do
+      if
+        Array.exists Fun.id
+          (Array.mapi (fun q r -> r && d.final.(q)) reached.(v))
+      then answers := (src, v) :: !answers
+    done
+  done;
+  List.sort compare !answers
+
+let prop_eval_matches_naive_reference =
+  QCheck.Test.make ~name:"eval matches the naive product-automaton reference"
+    ~count:100 QCheck.small_int (fun seed ->
+      let rng = Core.Prng.create seed in
+      let size = 1 + Core.Prng.int rng 8 in
+      let graph = Fuzz.Gen.graph rng ~size in
+      let d = Automata.Dfa.of_regex (Fuzz.Gen.regex rng ~size:4) in
+      Graphdb.Rpq.eval d graph = naive_rpq d graph)
+
+let prop_eval_within_partial_subset =
+  QCheck.Test.make
+    ~name:"eval_within partial answers are a subset of the full answer"
+    ~count:100 QCheck.small_int (fun seed ->
+      let rng = Core.Prng.create seed in
+      let size = 2 + Core.Prng.int rng 8 in
+      let graph = Fuzz.Gen.graph rng ~size in
+      let d = Automata.Dfa.of_regex (Fuzz.Gen.regex rng ~size:4) in
+      let full = Graphdb.Rpq.eval d graph in
+      let fuel = 1 + Core.Prng.int rng (2 * size) in
+      match Graphdb.Rpq.eval_within (Core.Budget.create ~fuel ()) d graph with
+      | Core.Budget.Done answers -> answers = full
+      | Core.Budget.Exhausted { partial; _ } -> (
+          match partial with
+          | None -> true
+          | Some partial -> List.for_all (fun p -> List.mem p full) partial))
+
 let () =
   Alcotest.run "graphdb"
     [
@@ -163,6 +230,8 @@ let () =
           Alcotest.test_case "words dedup" `Quick test_words_between_dedup;
           qcheck prop_eval_selects_agree;
           qcheck prop_witness_is_accepted_path;
+          qcheck prop_eval_matches_naive_reference;
+          qcheck prop_eval_within_partial_subset;
         ] );
       ( "generators",
         [

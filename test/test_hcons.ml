@@ -1,0 +1,104 @@
+(* Twig.Hcons unit tests: interning returns one physical representative per
+   filter shape, is idempotent, and the bounded table clears (bumping the
+   generation) rather than growing without limit. *)
+
+open Twig.Query
+
+let filt ?(subs = []) test = { ftest = test; fsubs = subs }
+let label_filter l = filt (Label l)
+
+let test_phys_equal () =
+  Twig.Hcons.clear ();
+  let shape () =
+    filt (Label "a")
+      ~subs:[ (Child, label_filter "b"); (Descendant, filt Wildcard) ]
+  in
+  let c1, id1 = Twig.Hcons.filter (shape ()) in
+  let c2, id2 = Twig.Hcons.filter (shape ()) in
+  Alcotest.(check bool) "one representative" true (c1 == c2);
+  Alcotest.(check int) "one id" id1 id2;
+  Alcotest.(check bool)
+    "representative is structurally the input" true
+    (c1 = shape ());
+  (* Subterms are interned too: the [b] child of the representative IS the
+     representative of a directly interned [b]. *)
+  let b, _ = Twig.Hcons.filter (label_filter "b") in
+  (match c1.fsubs with
+  | (Child, sub) :: _ ->
+      Alcotest.(check bool) "shared subterm" true (sub == b)
+  | _ -> Alcotest.fail "unexpected representative shape")
+
+let test_distinct_shapes () =
+  Twig.Hcons.clear ();
+  let _, ida = Twig.Hcons.filter (label_filter "a") in
+  let _, idb = Twig.Hcons.filter (label_filter "b") in
+  let _, idw = Twig.Hcons.filter (filt Wildcard) in
+  let distinct = List.sort_uniq compare [ ida; idb; idw ] in
+  Alcotest.(check int) "three ids" 3 (List.length distinct)
+
+let test_idempotent () =
+  Twig.Hcons.clear ();
+  let c, id = Twig.Hcons.filter (label_filter "a") in
+  let c', id' = Twig.Hcons.filter c in
+  Alcotest.(check bool) "re-interning is identity" true (c == c');
+  Alcotest.(check int) "same id" id id'
+
+let test_test_interning () =
+  Twig.Hcons.clear ();
+  let t1 = Twig.Hcons.test (Label "name") in
+  let t2 = Twig.Hcons.test (Label "name") in
+  Alcotest.(check bool) "labels share a node" true (t1 == t2);
+  let i1 = Twig.Hcons.test t1 in
+  Alcotest.(check bool) "idempotent" true (t1 == i1)
+
+let test_generation_clear () =
+  Twig.Hcons.clear ();
+  let g0 = Twig.Hcons.generation () in
+  let c0, _ = Twig.Hcons.filter (label_filter "a") in
+  Alcotest.(check bool) "live after intern" true (Twig.Hcons.live_nodes () > 0);
+  Twig.Hcons.clear ();
+  Alcotest.(check int) "generation bumped" (g0 + 1) (Twig.Hcons.generation ());
+  Alcotest.(check int) "table empty" 0 (Twig.Hcons.live_nodes ());
+  (* The stale representative is no longer canonical: re-interning an equal
+     shape yields a fresh node. *)
+  let c1, _ = Twig.Hcons.filter (label_filter "a") in
+  Alcotest.(check bool) "new representative" true (c0 != c1)
+
+let test_capacity_clear () =
+  Twig.Hcons.clear ();
+  Twig.Hcons.set_max_nodes 0 (* clamps to the 1024 floor *);
+  let g0 = Twig.Hcons.generation () in
+  Fun.protect
+    ~finally:(fun () ->
+      Twig.Hcons.set_max_nodes (1 lsl 20);
+      Twig.Hcons.clear ())
+    (fun () ->
+      for i = 1 to 3000 do
+        ignore (Twig.Hcons.filter (label_filter ("l" ^ string_of_int i)))
+      done;
+      Alcotest.(check bool)
+        "capacity clear bumped the generation" true
+        (Twig.Hcons.generation () > g0);
+      Alcotest.(check bool)
+        "table stays bounded" true
+        (Twig.Hcons.live_nodes () <= 1025))
+
+let () =
+  Alcotest.run "hcons"
+    [
+      ( "interning",
+        [
+          Alcotest.test_case "physical equality" `Quick test_phys_equal;
+          Alcotest.test_case "distinct shapes, distinct ids" `Quick
+            test_distinct_shapes;
+          Alcotest.test_case "idempotence" `Quick test_idempotent;
+          Alcotest.test_case "test nodes" `Quick test_test_interning;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "generation and clear" `Quick
+            test_generation_clear;
+          Alcotest.test_case "capacity-triggered clear" `Quick
+            test_capacity_clear;
+        ] );
+    ]

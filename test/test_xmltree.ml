@@ -122,13 +122,35 @@ let test_parse_xml_result_positions () =
         (String.length msg >= 7 && String.sub msg 0 7 = "doc.xml")
   | Ok _ -> Alcotest.fail "garbage must not parse"
 
-(* Arbitrary junk must come back as [Error], never as an exception. *)
-let prop_xml_result_never_raises =
-  QCheck.Test.make ~name:"xml_result never raises" ~count:500
-    QCheck.(string_of_size Gen.(0 -- 40))
-    (fun s ->
-      match Parse.xml_result s with Ok _ | Error (Core.Error.Parse _) -> true
+(* Adversarial totality, via the fuzzing harness's structured generators
+   rather than uniform string soup: structural junk (a charset biased
+   toward markup metacharacters) and near-miss inputs (valid prints with a
+   few random edits — the class that actually finds scanner bugs) must come
+   back as [Error], never as an exception. *)
+let prop_xml_result_total_on_adversarial_input =
+  QCheck.Test.make ~name:"xml_result total on junk and near-miss input"
+    ~count:500 QCheck.small_int (fun seed ->
+      let g = Core.Prng.create seed in
+      let input =
+        if Core.Prng.bool g then Fuzz.Gen.junk g ~size:40
+        else
+          Fuzz.Gen.mutate_string g
+            (Print.to_xml (Fuzz.Gen.xml_tree g ~size:8))
+      in
+      match Parse.xml_result input with
+      | Ok _ | Error (Core.Error.Parse _) -> true
       | Error _ -> false)
+
+(* The full representable XML surface — attributes (pulled into the tag by
+   the printer), escaped text, mixed children — survives print/parse at
+   both indentations, not just the label-only trees of [arbitrary_tree]. *)
+let prop_xml_full_surface_roundtrip =
+  QCheck.Test.make ~name:"xml print/parse roundtrip (full surface)"
+    ~count:300 QCheck.small_int (fun seed ->
+      let g = Core.Prng.create seed in
+      let t = Fuzz.Gen.xml_tree g ~size:(1 + Core.Prng.int g 25) in
+      Tree.equal t (Parse.xml (Print.to_xml t))
+      && Tree.equal t (Parse.xml (Print.to_xml ~indent:0 t)))
 
 let test_print_roundtrip () =
   let doc =
@@ -214,11 +236,12 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_xml_errors;
           Alcotest.test_case "result positions" `Quick
             test_parse_xml_result_positions;
-          qcheck prop_xml_result_never_raises;
+          qcheck prop_xml_result_total_on_adversarial_input;
           Alcotest.test_case "print roundtrip" `Quick test_print_roundtrip;
           Alcotest.test_case "print escapes" `Quick test_print_escapes;
           qcheck prop_xml_roundtrip;
           qcheck prop_term_roundtrip;
+          qcheck prop_xml_full_surface_roundtrip;
         ] );
       ( "annotated",
         [
