@@ -12,7 +12,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5]...";
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -60,6 +60,7 @@ let () =
         | "pr3" -> guarded "pr3" Overhead.run
         | "pr4" -> guarded "pr4" Hotpath.run
         | "pr5" -> guarded "pr5" Fuzzbench.run
+        | "pr6" -> guarded "pr6" Serve.run
         | _ -> usage ())
   in
   match names with
@@ -69,5 +70,6 @@ let () =
       guarded "pr2" Recovery.run;
       guarded "pr3" Overhead.run;
       guarded "pr4" Hotpath.run;
-      guarded "pr5" Fuzzbench.run
+      guarded "pr5" Fuzzbench.run;
+      guarded "pr6" Serve.run
   | names -> List.iter run_experiment names

@@ -321,7 +321,10 @@ let start_journal ~path ~resuming ~engine ~config ~seed ~sync =
       { log = Some log; seed = h.seed; raw_events = r.events }
   | Some path ->
       {
-        log = Some (Core.Journal.create ?sync ~path { seed; engine; config });
+        log =
+          Some
+            (or_die
+               (Core.Journal.create_result ?sync ~path { seed; engine; config }));
         seed;
         raw_events = [];
       }
@@ -1273,6 +1276,145 @@ let fuzz_cmd =
       const run $ telemetry_term $ budget_term $ seed_term $ iters_arg
       $ oracle_arg $ max_size_arg $ dir_arg $ replay_arg $ list_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port (0 picks an ephemeral port).  The bound port is \
+             announced on stdout as $(b,listening on ADDR:PORT).")
+  in
+  let state_dir_arg =
+    Arg.(
+      value & opt string "./learnq-state"
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Session journals live here, one file per session.  On startup \
+             every journal in $(docv) is resumed — a killed daemon restarted \
+             on the same directory carries on where it died.")
+  in
+  let serve_pool_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Domains executing session batches (and recovering journals).  \
+             Even on one core >1 pays: a session blocked in fsync overlaps \
+             with another session's compute.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound; beyond it requests are shed with 503 + \
+             Retry-After.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent connections; excess are refused with 503.")
+  in
+  let tenants_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenants" ] ~docv:"FILE"
+          ~doc:
+            "Tenant quota file: one $(b,name max_sessions=N fuel=N \
+             timeout=SECS) line per tenant ($(b,#) comments); the \
+             $(b,default) line covers unlisted tenants.")
+  in
+  let step_fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "step-fuel" ] ~docv:"N"
+          ~doc:
+            "Server-wide fuel budget per learning step (tenant quotas \
+             override).  An exhausted step degrades the session — current \
+             candidate stands, journal stays resumable.")
+  in
+  let step_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "step-timeout" ] ~docv:"SECS"
+          ~doc:"Server-wide wall-clock budget per learning step.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "drain-grace" ] ~docv:"SECS"
+          ~doc:
+            "How long a SIGTERM-triggered drain waits for in-flight \
+             connections before syncing journals and exiting.")
+  in
+  let run () host port state_dir pool max_queue max_conns tenants_file
+      step_fuel step_timeout sync drain_grace =
+    let tenants =
+      match tenants_file with
+      | None -> Server.Tenant.make []
+      | Some path -> (
+          match Server.Tenant.load path with
+          | Ok t -> t
+          | Error msg ->
+              or_die
+                (Error (Core.Error.invalid_input ~what:"--tenants" msg)))
+    in
+    let cfg =
+      {
+        Server.Daemon.host;
+        port;
+        state_dir;
+        pool;
+        max_queue;
+        max_conns;
+        sync = Option.value ~default:Core.Journal.Batch sync;
+        tenants;
+        step_fuel;
+        step_timeout;
+        drain_grace;
+        on_listen =
+          (fun p -> Printf.printf "listening on %s:%d\n%!" host p);
+      }
+    in
+    let daemon = Server.Daemon.create cfg in
+    (* SIGTERM/SIGINT start the drain: stop admitting, finish the backlog,
+       sync every journal, exit 0.  The handler only flips a flag. *)
+    let stop _ = Server.Daemon.drain daemon in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    match Server.Daemon.serve daemon with
+    | Ok () -> ()
+    | Error msg ->
+        or_die (Error (Core.Error.invalid_input ~what:"serve" msg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant session server: thousands of concurrent \
+          interactive learning sessions over line-delimited HTTP/JSON, \
+          journal-backed so a crash loses nothing, with per-tenant quotas, \
+          admission control, and graceful drain on SIGTERM.")
+    Term.(
+      const run $ telemetry_term $ host_arg $ port_arg $ state_dir_arg
+      $ serve_pool_arg $ max_queue_arg $ max_conns_arg $ tenants_arg
+      $ step_fuel_arg $ step_timeout_arg $ journal_sync_arg $ drain_grace_arg)
+
 let () =
   let info =
     Cmd.info "learnq" ~version:"1.0.0"
@@ -1290,6 +1432,7 @@ let () =
         learn_join_cmd;
         learn_path_cmd;
         exchange_cmd;
+        serve_cmd;
         fuzz_cmd;
       ]
   in

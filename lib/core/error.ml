@@ -5,6 +5,8 @@ type t =
   | Budget_exhausted of { engine : string; spent : Budget.stats }
   | Invalid_input of { what : string; message : string }
   | Corrupt_journal of { path : string; offset : int; message : string }
+  | Journal_locked of { path : string; pid : int }
+  | Over_quota of { tenant : string; what : string; limit : int }
 
 let position_of_offset input offset =
   let offset = min (max offset 0) (String.length input) in
@@ -25,6 +27,8 @@ let at_offset ~source ~input ~offset message =
 let budget_exhausted ~engine spent = Budget_exhausted { engine; spent }
 let invalid_input ~what message = Invalid_input { what; message }
 let corrupt_journal ~path ~offset message = Corrupt_journal { path; offset; message }
+let journal_locked ~path ~pid = Journal_locked { path; pid }
+let over_quota ~tenant ~what ~limit = Over_quota { tenant; what; limit }
 
 let pp ppf = function
   | Parse { source; message; position } -> (
@@ -40,6 +44,13 @@ let pp ppf = function
       Format.fprintf ppf "invalid %s: %s" what message
   | Corrupt_journal { path; offset; message } ->
       Format.fprintf ppf "corrupt journal %s at byte %d: %s" path offset message
+  | Journal_locked { path; pid } ->
+      Format.fprintf ppf
+        "journal %s is locked by live process %d (another session has it open)"
+        path pid
+  | Over_quota { tenant; what; limit } ->
+      Format.fprintf ppf "tenant %s is over its %s quota (limit %d)" tenant
+        what limit
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -49,5 +60,6 @@ let exit_budget = 3
 let exit_bad_input = 64
 
 let exit_code = function
-  | Parse _ | Invalid_input _ | Corrupt_journal _ -> exit_bad_input
-  | Budget_exhausted _ -> exit_budget
+  | Parse _ | Invalid_input _ | Corrupt_journal _ | Journal_locked _ ->
+      exit_bad_input
+  | Budget_exhausted _ | Over_quota _ -> exit_budget

@@ -23,6 +23,14 @@ type t =
       (** A session journal record whose checksum or framing is wrong at byte
           [offset] — in-place corruption, as opposed to the torn tail of a
           crash, which [Journal.recover] drops silently. *)
+  | Journal_locked of { path : string; pid : int }
+      (** A second writer tried to open a journal already held by the live
+          process [pid] — concurrent sessions over one journal file would
+          interleave records into corruption, so the loser is refused. *)
+  | Over_quota of { tenant : string; what : string; limit : int }
+      (** A server tenant exceeded one of its admission quotas ([what] names
+          it: "max_sessions", …).  Retryable once load drops — the wire
+          protocol maps it to 429. *)
 
 val position_of_offset : string -> int -> position
 (** Line/column of a byte offset in an input string. *)
@@ -35,6 +43,8 @@ val at_offset : source:string -> input:string -> offset:int -> string -> t
 val budget_exhausted : engine:string -> Budget.stats -> t
 val invalid_input : what:string -> string -> t
 val corrupt_journal : path:string -> offset:int -> string -> t
+val journal_locked : path:string -> pid:int -> t
+val over_quota : tenant:string -> what:string -> limit:int -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -30,6 +30,7 @@ let batch_records = 8
 type t = {
   fd : Unix.file_descr;
   sync : sync;
+  lock_path : string;
   pending : Buffer.t;
   mutable pending_records : int;
   mutable closed : bool;
@@ -163,6 +164,68 @@ let fsync_timed fd =
   end
   else Unix.fsync fd
 
+(* ------------------------------------------------------------------ *)
+(* Writer mutual exclusion                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Two writers appending to one journal interleave frames into corruption
+   that [recover] can only report, not repair.  A sidecar lock file taken
+   with O_EXCL (and holding the owner's pid) makes the second opener lose
+   with a typed error instead.  A lock whose recorded pid is dead is the
+   residue of a crash — SIGKILL runs no cleanup — and is stolen silently,
+   which is what lets a restarted daemon resume the very journals its
+   predecessor died holding. *)
+
+let lock_path_of path = path ^ ".lock"
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true (* EPERM: alive, not ours *)
+
+let read_lock_pid lock_path =
+  match In_channel.with_open_bin lock_path In_channel.input_all with
+  | contents -> int_of_string_opt (String.trim contents)
+  | exception Sys_error _ -> None
+
+let acquire_lock path =
+  let lock_path = lock_path_of path in
+  let try_take () =
+    match
+      Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+        let pid = string_of_int (Unix.getpid ()) in
+        write_all fd pid;
+        Unix.close fd;
+        `Taken
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> `Held
+  in
+  let rec go attempts =
+    if attempts = 0 then
+      (* Steal races resolve in one retry; give up rather than spin. *)
+      Error
+        (Error.journal_locked ~path
+           ~pid:(Option.value ~default:0 (read_lock_pid lock_path)))
+    else
+      match try_take () with
+      | `Taken -> Ok lock_path
+      | `Held -> (
+          match read_lock_pid lock_path with
+          | Some pid when pid_alive pid -> Error (Error.journal_locked ~path ~pid)
+          | Some _ | None ->
+              (* Dead holder or a torn lock file: stale, steal it.  If a rival
+                 steals first we lose the O_EXCL race on the next attempt and
+                 report the (now live) holder. *)
+              (try Unix.unlink lock_path with Unix.Unix_error _ -> ());
+              go (attempts - 1))
+  in
+  go 2
+
+let release_lock t =
+  try Unix.unlink t.lock_path with Unix.Unix_error _ -> ()
+
 (* Write out (and, unless the policy is [Off], fsync) everything pending. *)
 let flush t =
   if Buffer.length t.pending > 0 then begin
@@ -191,22 +254,55 @@ let append t event =
   (* A completed session is a durability milestone: close the group. *)
   if event = Completed then flush t
 
-let create ?(sync = Always) ~path header =
-  let fd =
-    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  let t = { fd; sync; pending = Buffer.create 256; pending_records = 0; closed = false } in
-  (* The header must be durable before any event is: resume depends on it.
-     Write it through directly even in Batch mode. *)
-  write_all t.fd (magic ^ frame (encode_header header ~sync));
-  if sync <> Off then fsync_timed t.fd;
-  t
+let create_result ?(sync = Always) ~path header =
+  (* Lock before truncating: losing the race must not destroy the winner's
+     live journal. *)
+  match acquire_lock path with
+  | Error e -> Error e
+  | Ok lock_path ->
+      let fd =
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      let t =
+        {
+          fd;
+          sync;
+          lock_path;
+          pending = Buffer.create 256;
+          pending_records = 0;
+          closed = false;
+        }
+      in
+      (* The header must be durable before any event is: resume depends on it.
+         Write it through directly even in Batch mode. *)
+      write_all t.fd (magic ^ frame (encode_header header ~sync));
+      if sync <> Off then fsync_timed t.fd;
+      Ok t
+
+let create ?sync ~path header =
+  match create_result ?sync ~path header with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Journal.create: " ^ Error.to_string e)
 
 let close t =
   if not t.closed then begin
     flush t;
     t.closed <- true;
-    Unix.close t.fd
+    Unix.close t.fd;
+    release_lock t
+  end
+
+let abort t =
+  if not t.closed then begin
+    (* Simulated crash: pending [Batch] records are dropped, nothing is
+       flushed — the file keeps only what a real crash would have kept.  The
+       lock is released because it belongs to this (still live) process; a
+       real crash leaves it stale and the next opener steals it. *)
+    Buffer.clear t.pending;
+    t.pending_records <- 0;
+    t.closed <- true;
+    Unix.close t.fd;
+    release_lock t
   end
 
 (* ------------------------------------------------------------------ *)
@@ -307,29 +403,41 @@ let recover ~path =
   | input -> parse ~source:path input
 
 let resume ?sync ~path () =
-  match recover ~path with
+  (* Lock before reading: recovering under the lock means [valid_bytes] is
+     still accurate when the torn tail is truncated away below — a rival
+     writer can't append between the read and the ftruncate. *)
+  match acquire_lock path with
   | Error e -> Error e
-  | Ok r -> (
-      match r.header with
-      | None ->
-          Error
-            (Error.invalid_input ~what:"--journal"
-               (path ^ " has no intact header record; nothing to resume"))
-      | Some _ ->
-          (* Continue under the recorded policy unless the caller overrides. *)
-          let sync = Option.value ~default:r.recorded_sync sync in
-          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-          Unix.ftruncate fd r.valid_bytes;
-          ignore (Unix.lseek fd 0 Unix.SEEK_END);
-          Ok
-            ( {
-                fd;
-                sync;
-                pending = Buffer.create 256;
-                pending_records = 0;
-                closed = false;
-              },
-              r ))
+  | Ok lock_path -> (
+      let fail e =
+        (try Unix.unlink lock_path with Unix.Unix_error _ -> ());
+        Error e
+      in
+      match recover ~path with
+      | Error e -> fail e
+      | Ok r -> (
+          match r.header with
+          | None ->
+              fail
+                (Error.invalid_input ~what:"--journal"
+                   (path ^ " has no intact header record; nothing to resume"))
+          | Some _ ->
+              (* Continue under the recorded policy unless the caller
+                 overrides. *)
+              let sync = Option.value ~default:r.recorded_sync sync in
+              let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+              Unix.ftruncate fd r.valid_bytes;
+              ignore (Unix.lseek fd 0 Unix.SEEK_END);
+              Ok
+                ( {
+                    fd;
+                    sync;
+                    lock_path;
+                    pending = Buffer.create 256;
+                    pending_records = 0;
+                    closed = false;
+                  },
+                  r )))
 
 let answered r =
   List.filter_map

@@ -30,7 +30,17 @@
     group-commits (one write + fsync per 8 records, and at every session
     milestone), {!Off} leaves flushing to the OS.  The chosen policy is
     recorded in the header so {!recover} can report what guarantee the
-    journal was written under. *)
+    journal was written under.
+
+    {2 Writer mutual exclusion}
+
+    Two processes appending to one journal would interleave frames into
+    corruption, so {!create_result} and {!resume} take a sidecar lock file
+    ([path ^ ".lock"], created with [O_EXCL], holding the owner's pid).  The
+    loser gets a typed {!Error.t} ([Journal_locked]).  A lock whose recorded
+    pid is no longer alive is the residue of a crash and is stolen silently —
+    a restarted daemon can resume the journals its predecessor died holding.
+    {!close} (and {!abort}) release the lock. *)
 
 type header = {
   seed : int;  (** the PRNG seed the session ran under *)
@@ -56,10 +66,15 @@ type event =
 type t
 (** An open journal writer. *)
 
-val create : ?sync:sync -> path:string -> header -> t
+val create_result : ?sync:sync -> path:string -> header -> (t, Error.t) result
 (** Starts a fresh journal at [path] (truncating any existing file) and
     writes the header record — durable immediately (unless [sync] is {!Off}),
-    since resume depends on it.  [sync] defaults to {!Always}. *)
+    since resume depends on it.  [sync] defaults to {!Always}.  Fails with
+    [Journal_locked] when a live process holds the journal's lock file. *)
+
+val create : ?sync:sync -> path:string -> header -> t
+(** {!create_result}, raising [Invalid_argument] on a held lock — for
+    callers (tests, benches) that own their paths outright. *)
 
 val append : t -> event -> unit
 (** Appends one record under the journal's {!sync} policy.
@@ -70,7 +85,15 @@ val flush : t -> unit
     nothing is pending or under {!Always}/{!Off}. *)
 
 val close : t -> unit
-(** Flushes pending records and closes the descriptor; idempotent. *)
+(** Flushes pending records, closes the descriptor, and releases the
+    journal's lock; idempotent. *)
+
+val abort : t -> unit
+(** Simulated crash, for chaos harnesses: closes the descriptor {e without}
+    flushing — buffered {!Batch} records are lost, exactly as a kill -9
+    would lose them.  The lock is released (it belongs to this still-live
+    process; after a real crash the next opener steals it instead).
+    Idempotent with {!close}. *)
 
 type recovered = {
   header : header option;
@@ -93,10 +116,11 @@ val recover : path:string -> (recovered, Error.t) result
 (** Reads and {!parse}s the file at [path]. *)
 
 val resume : ?sync:sync -> path:string -> unit -> (t * recovered, Error.t) result
-(** {!recover}, then reopen [path] for appending: the torn tail (if any) is
-    truncated away and subsequent {!append}s continue the valid prefix.
-    Continues under the journal's recorded policy unless [sync] overrides it.
-    Fails when the journal has no header (nothing to resume). *)
+(** {!recover} under the writer lock, then reopen [path] for appending: the
+    torn tail (if any) is truncated away and subsequent {!append}s continue
+    the valid prefix.  Continues under the journal's recorded policy unless
+    [sync] overrides it.  Fails when the journal has no header (nothing to
+    resume) or when a live process holds the lock ([Journal_locked]). *)
 
 val answered : recovered -> (string * Flaky.reply) list
 (** The [Answered] events of the surviving prefix, in order — what a learner

@@ -4,24 +4,40 @@ type policy = {
   max_delay : float;
   breaker_threshold : int;
   cooldown : float;
+  half_open_probes : int;
   sleep : float -> unit;
 }
 
 let policy ?(max_attempts = 3) ?(base_delay = 0.05) ?(max_delay = 2.0)
-    ?(breaker_threshold = 5) ?(cooldown = 30.0) ?(sleep = Unix.sleepf) () =
+    ?(breaker_threshold = 5) ?(cooldown = 30.0) ?(half_open_probes = 1)
+    ?(sleep = Unix.sleepf) () =
   if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
   if breaker_threshold < 1 then
     invalid_arg "Retry.policy: breaker_threshold must be >= 1";
-  { max_attempts; base_delay; max_delay; breaker_threshold; cooldown; sleep }
+  if half_open_probes < 1 then
+    invalid_arg "Retry.policy: half_open_probes must be >= 1";
+  {
+    max_attempts;
+    base_delay;
+    max_delay;
+    breaker_threshold;
+    cooldown;
+    half_open_probes;
+    sleep;
+  }
 
 let no_sleep (_ : float) = ()
 
 type breaker = {
   threshold : int;
   b_cooldown : float;
+  probes_needed : int;
   mutable consecutive_failures : int;
   mutable opened : bool;
   mutable opened_at : float;
+  mutable probe_successes : int;
+      (* consecutive successful half-open probes since the breaker opened;
+         [probes_needed] of them close it *)
 }
 
 type breaker_state = Closed | Open | Half_open
@@ -35,9 +51,11 @@ let breaker p =
   {
     threshold = p.breaker_threshold;
     b_cooldown = p.cooldown;
+    probes_needed = p.half_open_probes;
     consecutive_failures = 0;
     opened = false;
     opened_at = 0.;
+    probe_successes = 0;
   }
 
 let breaker_state b =
@@ -46,11 +64,22 @@ let breaker_state b =
   else Open
 
 let record_success b =
-  b.consecutive_failures <- 0;
-  b.opened <- false
+  if b.opened then begin
+    (* A successful half-open probe: the breaker only closes after
+       [probes_needed] consecutive successes, so a single lucky reply can't
+       flap it closed while the oracle is still mostly down. *)
+    b.probe_successes <- b.probe_successes + 1;
+    if b.probe_successes >= b.probes_needed then begin
+      b.opened <- false;
+      b.consecutive_failures <- 0;
+      b.probe_successes <- 0
+    end
+  end
+  else b.consecutive_failures <- 0
 
 let record_failure b =
   b.consecutive_failures <- b.consecutive_failures + 1;
+  b.probe_successes <- 0;
   (* A failed half-open probe reopens regardless of the count. *)
   if b.opened || b.consecutive_failures >= b.threshold then begin
     if not b.opened then begin
@@ -64,6 +93,9 @@ let record_failure b =
     b.opened <- true;
     b.opened_at <- Monotonic.now ()
   end
+
+let breaker_success = record_success
+let breaker_failure = record_failure
 
 type 'a outcome = Answered of 'a * int | Gave_up of 'a * int | Rejected
 

@@ -26,6 +26,10 @@ type policy = {
   max_delay : float;  (** cap on any single backoff sleep *)
   breaker_threshold : int;  (** consecutive given-up calls before opening *)
   cooldown : float;  (** seconds open before allowing a half-open probe *)
+  half_open_probes : int;
+      (** consecutive successful half-open probes required to close an open
+          breaker; a failed probe re-opens it (and restarts the cooldown)
+          regardless of how many probes had succeeded *)
   sleep : float -> unit;  (** how to wait (injectable for tests) *)
 }
 
@@ -35,12 +39,13 @@ val policy :
   ?max_delay:float ->
   ?breaker_threshold:int ->
   ?cooldown:float ->
+  ?half_open_probes:int ->
   ?sleep:(float -> unit) ->
   unit ->
   policy
 (** Defaults: 3 attempts, 50ms base, 2s cap, threshold 5, 30s cooldown,
-    [Unix.sleepf].  @raise Invalid_argument on a non-positive attempt count
-    or threshold. *)
+    1 half-open probe, [Unix.sleepf].  @raise Invalid_argument on a
+    non-positive attempt count, threshold, or probe count. *)
 
 val no_sleep : float -> unit
 (** A sleep that returns immediately — deterministic tests, simulations. *)
@@ -52,6 +57,15 @@ type breaker_state = Closed | Open | Half_open
 
 val breaker : policy -> breaker
 val breaker_state : breaker -> breaker_state
+
+val breaker_success : breaker -> unit
+(** Feed the breaker a success observed outside {!call} — e.g. a server
+    counting a client's well-formed requests.  In half-open it counts toward
+    the [half_open_probes] needed to close. *)
+
+val breaker_failure : breaker -> unit
+(** Feed the breaker a failure observed outside {!call}.  Counts toward
+    [breaker_threshold] when closed; re-opens immediately when half-open. *)
 
 type 'a outcome =
   | Answered of 'a * int

@@ -815,6 +815,239 @@ let parser_total =
     }
 
 (* ------------------------------------------------------------------ *)
+(* server-crash-resume: a registry crashed mid-session and recovered   *)
+(* from its journals learns the same query as one never interrupted    *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos contract of `learnq serve`: under per-item-deterministic
+   client faults (the same question always draws the same refusal /
+   timeout / noisy label), killing the registry after [k] answers and
+   recovering from the state directory must converge to exactly the query
+   an uninterrupted run learns.  Refused items return to the pool on
+   resume and are re-refused identically, so the labeled sequence — and
+   hence the final candidate — is invariant under the crash point. *)
+
+type serve_case = {
+  sc_spec : Server.Engines.spec;
+  sc_goal : string;
+  sc_crash_after : int;  (** answers delivered before the in-process kill *)
+  sc_noise : int;  (** permille *)
+  sc_refusal : int;  (** permille *)
+  sc_timeout : int;  (** permille *)
+  sc_sync : Core.Journal.sync;
+}
+
+let with_temp_dir prefix f =
+  let path = Filename.temp_file prefix ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      match Sys.readdir path with
+      | entries ->
+          Array.iter
+            (fun e ->
+              try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+            entries;
+          (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      | exception Sys_error _ -> ())
+    (fun () -> f path)
+
+(* A client whose reply to a question is a pure function of the question:
+   crash and re-ask as often as you like, the answer never changes. *)
+let serve_client c truth key =
+  let g = Prng.create (c.sc_spec.Server.Engines.seed lxor Hashtbl.hash key) in
+  let roll = Prng.int g 1000 in
+  if roll < c.sc_refusal then Core.Flaky.Refused
+  else if roll < c.sc_refusal + c.sc_timeout then Core.Flaky.Timed_out
+  else
+    let label = truth key in
+    Core.Flaky.Label
+      (if Prng.int g 1000 < c.sc_noise then not label else label)
+
+let serve_registry ~dir ~sync =
+  Server.Registry.create
+    {
+      Server.Registry.dir;
+      sync;
+      tenants = Server.Tenant.make [];
+      step_fuel = None;
+      step_timeout = None;
+    }
+
+(* Answer questions until the session finishes or [stop_after] answers
+   have been delivered; returns the answers delivered and the final
+   query. *)
+let serve_drive stepper client ~stop_after =
+  let rec go n =
+    let v = stepper.Server.Stepper.view () in
+    if v.Server.Stepper.done_ then Ok (n, v.Server.Stepper.query)
+    else if n >= stop_after then Ok (n, v.Server.Stepper.query)
+    else
+      match v.Server.Stepper.question with
+      | None -> Ok (n, v.Server.Stepper.query)
+      | Some key -> (
+          match
+            stepper.Server.Stepper.answer ~qid:v.Server.Stepper.qid
+              (client key)
+          with
+          | Ok _ -> go (n + 1)
+          | Error e ->
+              failf "stepper rejected answer %d for %s: %s" v.Server.Stepper.qid
+                key (Core.Error.to_string e))
+  in
+  go 0
+
+let check_server_crash_resume c =
+  match Server.Engines.oracle c.sc_spec ~goal:c.sc_goal with
+  | Error e -> failf "bad goal for spec: %s" (Core.Error.to_string e)
+  | Ok truth -> (
+      let client = serve_client c truth in
+      (* Reference: one registry, never interrupted. *)
+      let reference =
+        with_temp_dir "learnq-fuzz-serve-ref" (fun dir ->
+            let reg = serve_registry ~dir ~sync:Core.Journal.Off in
+            Fun.protect
+              ~finally:(fun () -> Server.Registry.drain reg)
+              (fun () ->
+                match
+                  Server.Registry.create_session reg ~tenant:"fuzz" ~id:"s"
+                    c.sc_spec
+                with
+                | Error e -> failf "create: %s" (Core.Error.to_string e)
+                | Ok _ -> (
+                    match Server.Registry.find reg ~tenant:"fuzz" ~id:"s" with
+                    | None -> failf "session vanished after create"
+                    | Some st -> serve_drive st client ~stop_after:max_int)))
+      in
+      match reference with
+      | Error _ as e -> e
+      | Ok (_, ref_query) ->
+          with_temp_dir "learnq-fuzz-serve" (fun dir ->
+              (* Phase 1: crash after [k] answers. *)
+              let reg1 = serve_registry ~dir ~sync:c.sc_sync in
+              let phase1 =
+                match
+                  Server.Registry.create_session reg1 ~tenant:"fuzz" ~id:"s"
+                    c.sc_spec
+                with
+                | Error e -> failf "create: %s" (Core.Error.to_string e)
+                | Ok _ -> (
+                    match Server.Registry.find reg1 ~tenant:"fuzz" ~id:"s" with
+                    | None -> failf "session vanished after create"
+                    | Some st ->
+                        serve_drive st client ~stop_after:c.sc_crash_after)
+              in
+              match phase1 with
+              | Error _ as e -> e
+              | Ok _ -> (
+                  Server.Registry.crash reg1;
+                  (* Phase 2: a fresh registry recovers the directory and
+                     finishes the session. *)
+                  let reg2 = serve_registry ~dir ~sync:c.sc_sync in
+                  let pool = Core.Pool.create 1 in
+                  let recovered, errors =
+                    Fun.protect
+                      ~finally:(fun () -> Core.Pool.shutdown pool)
+                      (fun () -> Server.Registry.recover_all reg2 ~pool)
+                  in
+                  match errors with
+                  | (f, e) :: _ ->
+                      failf "recovery of %s failed: %s" f
+                        (Core.Error.to_string e)
+                  | [] ->
+                      if recovered <> 1 then
+                        failf "lost the session: recovered %d of 1" recovered
+                      else
+                        Fun.protect
+                          ~finally:(fun () -> Server.Registry.drain reg2)
+                          (fun () ->
+                            match
+                              Server.Registry.find reg2 ~tenant:"fuzz" ~id:"s"
+                            with
+                            | None -> failf "recovered session not findable"
+                            | Some st -> (
+                                match
+                                  serve_drive st client ~stop_after:max_int
+                                with
+                                | Error _ as e -> e
+                                | Ok (_, resumed_query) ->
+                                    if resumed_query = ref_query then Ok ()
+                                    else
+                                      failf
+                                        "crash at %d answers diverged:\n\
+                                         uninterrupted: %s\n\
+                                         resumed:       %s"
+                                        c.sc_crash_after
+                                        (Option.value ~default:"<none>"
+                                           ref_query)
+                                        (Option.value ~default:"<none>"
+                                           resumed_query))))))
+
+let server_crash_resume =
+  Spec
+    { name = "server-crash-resume";
+      about =
+        "a session server killed after k answers recovers from its journals \
+         to the same learned query";
+      generate =
+        (fun g ~size ->
+          let engine = Prng.pick g [ "twig"; "join"; "path" ] in
+          let spec =
+            {
+              Server.Engines.engine;
+              seed = Prng.int g 1_000_000;
+              scale = 0.02 +. (0.002 *. float_of_int (min 20 size));
+              rows = Prng.int_in g 4 7;
+              cities = Prng.int_in g 5 8;
+            }
+          in
+          let goal =
+            match engine with
+            | "twig" -> Prng.pick g [ "//item"; "//person/name"; "//keyword" ]
+            | "join" -> "planted"
+            | _ -> Prng.pick g [ "highway*"; "road highway*"; "ferry?road*" ]
+          in
+          {
+            sc_spec = spec;
+            sc_goal = goal;
+            sc_crash_after = Prng.int g 25;
+            sc_noise = Prng.int g 150;
+            sc_refusal = Prng.int g 200;
+            sc_timeout = Prng.int g 100;
+            sc_sync = Prng.pick g [ Core.Journal.Always; Core.Journal.Batch ];
+          });
+      check = check_server_crash_resume;
+      candidates =
+        (fun c ->
+          let halve n = n / 2 in
+          List.concat
+            [
+              (if c.sc_crash_after > 0 then
+                 [ { c with sc_crash_after = halve c.sc_crash_after } ]
+               else []);
+              (if c.sc_noise > 0 then [ { c with sc_noise = 0 } ] else []);
+              (if c.sc_refusal > 0 then [ { c with sc_refusal = 0 } ] else []);
+              (if c.sc_timeout > 0 then [ { c with sc_timeout = 0 } ] else []);
+              (if c.sc_sync <> Core.Journal.Always then
+                 [ { c with sc_sync = Core.Journal.Always } ]
+               else []);
+            ]);
+      print =
+        (fun c ->
+          Printf.sprintf
+            "spec: %s\ngoal: %s\ncrash_after: %d\nnoise/refusal/timeout: \
+             %d/%d/%d permille\nsync: %s"
+            (Server.Engines.config_of_spec c.sc_spec)
+            c.sc_goal c.sc_crash_after c.sc_noise c.sc_refusal c.sc_timeout
+            (Core.Journal.sync_to_string c.sc_sync));
+      size_of =
+        (fun c ->
+          c.sc_crash_after + c.sc_spec.Server.Engines.rows
+          + c.sc_spec.Server.Engines.cities);
+    }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ eval_cache;
@@ -832,6 +1065,7 @@ let all =
     docgen_infer;
     validate_agree;
     parser_total;
+    server_crash_resume;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

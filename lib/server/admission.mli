@@ -1,0 +1,66 @@
+(** Admission control: a bounded queue with per-tenant fairness,
+    load-shedding, and misbehaviour breakers.
+
+    All session work funnels through one queue so the daemon can bound its
+    backlog.  When the queue is full, new work is {e shed} with a 503 and a
+    [Retry-After] — refusing cheaply beats queueing unboundedly.  Each
+    tenant also has a {!Core.Retry} circuit breaker fed by its request
+    outcomes (malformed requests and protocol errors are failures); a
+    tenant whose breaker is open is {e tripped} with a 429 until the
+    cooldown admits a half-open probe.
+
+    The dispatcher drains the queue in batches ({!take_batch}) built
+    round-robin across tenants — one job per tenant per turn — so a tenant
+    flooding the queue cannot starve the others.  A batch never contains
+    two jobs for the same session key; the second stays queued (preserving
+    its order) for a later batch, which is what lets the dispatcher run a
+    whole batch in parallel on a {!Core.Pool} without two jobs racing on
+    one session. *)
+
+type job = {
+  tenant : string;
+  key : string;  (** session key; batches are key-disjoint *)
+  run : unit -> Http.response;
+  mutable result : Http.response option;
+  m : Mutex.t;
+  cv : Condition.t;
+}
+
+type verdict =
+  | Enqueued of job
+  | Shed of float  (** queue full; retry after this many seconds *)
+  | Tripped of float  (** tenant breaker open; retry after this many seconds *)
+
+type t
+
+val create : ?retry_after:float -> ?policy:Core.Retry.policy -> max_queue:int -> unit -> t
+(** [policy] parameterizes the per-tenant breakers (default: threshold 8,
+    cooldown = [retry_after], which defaults to 1s). *)
+
+val submit : t -> tenant:string -> key:string -> (unit -> Http.response) -> verdict
+
+val wait : job -> Http.response
+(** Blocks the connection thread until the dispatcher has filled [result]. *)
+
+val finish : job -> Http.response -> unit
+(** Dispatcher side: publish the result and wake the waiter. *)
+
+val take_batch : t -> max:int -> block:bool -> job list
+(** Up to [max] key-disjoint jobs, round-robin across tenants.  With
+    [block], waits until a job arrives or {!wake}; may return [[]] on a
+    wake-up (the dispatcher's cue to re-check for drain). *)
+
+val wake : t -> unit
+(** Wake blocked {!take_batch} callers (drain path). *)
+
+val fault : t -> tenant:string -> unit
+(** Record a client fault (4xx) against the tenant's breaker. *)
+
+val ok : t -> tenant:string -> unit
+(** Record a well-formed request; closes a half-open breaker. *)
+
+val pending : t -> int
+
+type stats = { queued : int; shed : int; tripped : int; dispatched : int }
+
+val stats : t -> stats

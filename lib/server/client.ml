@@ -1,0 +1,124 @@
+type t = { fd : Unix.file_descr; mutable buf : string }
+
+let connect ~host ~port =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+      try
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        Ok { fd; buf = "" }
+      with
+      | Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message e)
+      | Failure msg ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error msg)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+(* Read until [t.buf] satisfies [probe] (which returns how many bytes it
+   still needs, 0 = done). *)
+let read_until t probe =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    if probe t.buf = 0 then Ok ()
+    else
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> Error "connection closed mid response"
+      | n ->
+          t.buf <- t.buf ^ Bytes.sub_string chunk 0 n;
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go ()
+
+let find_sub hay needle from =
+  let hn = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > hn then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let request t ~meth ~path ?tenant ?body () =
+  let body_s = Option.map Json.to_string body in
+  let head =
+    Printf.sprintf "%s %s HTTP/1.1\r\nHost: learnq\r\n%s%s\r\n" meth path
+      (match tenant with
+      | Some ten -> Printf.sprintf "x-learnq-tenant: %s\r\n" ten
+      | None -> "")
+      (match body_s with
+      | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
+      | None -> "Content-Length: 0\r\n")
+  in
+  match write_all t.fd (head ^ Option.value ~default:"" body_s) with
+  | Error _ as e -> e
+  | Ok () -> (
+      (* head *)
+      let head_end s =
+        match find_sub s "\r\n\r\n" 0 with Some _ -> 0 | None -> 1
+      in
+      match read_until t head_end with
+      | Error _ as e -> e
+      | Ok () -> (
+          let i = Option.get (find_sub t.buf "\r\n\r\n" 0) in
+          let raw_head = String.sub t.buf 0 i in
+          let rest_off = i + 4 in
+          let lines = String.split_on_char '\n' raw_head in
+          let status =
+            match lines with
+            | status_line :: _ -> (
+                match String.split_on_char ' ' status_line with
+                | _ :: code :: _ -> int_of_string_opt code
+                | _ -> None)
+            | [] -> None
+          in
+          let content_length =
+            List.fold_left
+              (fun acc line ->
+                let line = String.trim line in
+                match String.index_opt line ':' with
+                | Some j
+                  when String.lowercase_ascii (String.sub line 0 j)
+                       = "content-length" ->
+                    int_of_string_opt
+                      (String.trim
+                         (String.sub line (j + 1) (String.length line - j - 1)))
+                | _ -> acc)
+              None lines
+          in
+          match (status, content_length) with
+          | None, _ -> Error ("bad status line in " ^ raw_head)
+          | _, None -> Error "response without content-length"
+          | Some status, Some len -> (
+              let need s = max 0 (rest_off + len - String.length s) in
+              match read_until t need with
+              | Error _ as e -> e
+              | Ok () ->
+                  let body = String.sub t.buf rest_off len in
+                  t.buf <-
+                    String.sub t.buf (rest_off + len)
+                      (String.length t.buf - rest_off - len);
+                  let body = String.trim body in
+                  let j =
+                    match Json.parse body with
+                    | Ok j -> j
+                    | Error _ -> Json.Str body
+                  in
+                  Ok (status, j))))

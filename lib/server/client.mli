@@ -1,0 +1,20 @@
+(** A blocking keep-alive client for the wire protocol — what the load
+    generator, the CI smoke test, and the end-to-end tests drive the
+    daemon with. *)
+
+type t
+
+val connect : host:string -> port:int -> (t, string) result
+
+val request :
+  t ->
+  meth:string ->
+  path:string ->
+  ?tenant:string ->
+  ?body:Json.t ->
+  unit ->
+  (int * Json.t, string) result
+(** One round trip; returns status and parsed body.  A non-JSON body
+    (e.g. [/metrics]) comes back as [Json.Str raw]. *)
+
+val close : t -> unit

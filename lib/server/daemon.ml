@@ -1,0 +1,431 @@
+module Error = Core.Error
+module Telemetry = Core.Telemetry
+
+type config = {
+  host : string;
+  port : int;
+  state_dir : string;
+  pool : int;
+  max_queue : int;
+  max_conns : int;
+  sync : Core.Journal.sync;
+  tenants : Tenant.t;
+  step_fuel : int option;
+  step_timeout : float option;
+  drain_grace : float;
+  on_listen : int -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    state_dir = "./learnq-state";
+    pool = 2;
+    max_queue = 256;
+    max_conns = 128;
+    sync = Core.Journal.Batch;
+    tenants = Tenant.make [];
+    step_fuel = None;
+    step_timeout = None;
+    drain_grace = 5.0;
+    on_listen = (fun _ -> ());
+  }
+
+type t = {
+  cfg : config;
+  registry : Registry.t;
+  admission : Admission.t;
+  drain_flag : bool Atomic.t;
+  conns : int Atomic.t;  (** live connection threads *)
+  requests : int Atomic.t;
+}
+
+let m_requests = Telemetry.Metrics.counter "learnq.serve.requests"
+let m_shed = Telemetry.Metrics.counter "learnq.serve.shed"
+let m_tripped = Telemetry.Metrics.counter "learnq.serve.tripped"
+let m_faults = Telemetry.Metrics.counter "learnq.serve.client_faults"
+let m_request_s = Telemetry.Metrics.histogram "learnq.serve.request_s"
+let g_sessions = Telemetry.Metrics.gauge "learnq.serve.sessions"
+
+let create cfg =
+  let registry =
+    Registry.create
+      {
+        Registry.dir = cfg.state_dir;
+        sync = cfg.sync;
+        tenants = cfg.tenants;
+        step_fuel = cfg.step_fuel;
+        step_timeout = cfg.step_timeout;
+      }
+  in
+  let admission = Admission.create ~max_queue:cfg.max_queue () in
+  {
+    cfg;
+    registry;
+    admission;
+    drain_flag = Atomic.make false;
+    conns = Atomic.make 0;
+    requests = Atomic.make 0;
+  }
+
+let drain t = Atomic.set t.drain_flag true
+let draining t = Atomic.get t.drain_flag
+let registry t = t.registry
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_response ?(headers = []) status j =
+  { Http.status; headers; body = Json.to_string j }
+
+let error_response ?headers status msg =
+  json_response ?headers status (Json.Obj [ ("error", Json.Str msg) ])
+
+let retry_after_headers ra =
+  [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil ra)))) ]
+
+let status_of_error = function
+  | Error.Over_quota _ -> 429
+  | Error.Journal_locked _ -> 409
+  | Error.Invalid_input { what = "session"; _ } -> 409
+  | Error.Invalid_input { what = "qid"; _ } -> 409
+  | Error.Invalid_input _ | Error.Parse _ -> 400
+  | Error.Budget_exhausted _ -> 503
+  | Error.Corrupt_journal _ -> 500
+
+let of_error e = error_response (status_of_error e) (Error.to_string e)
+
+let view_json (v : Stepper.view) =
+  Json.Obj
+    [
+      ("engine", Json.Str v.engine);
+      ("done", Json.Bool v.done_);
+      ("degraded", Json.Bool v.degraded);
+      ("qid", Json.of_int v.qid);
+      ("question", Json.of_opt (fun s -> Json.Str s) v.question);
+      ("question_text", Json.of_opt (fun s -> Json.Str s) v.question_text);
+      ("questions", Json.of_int v.questions);
+      ("replayed", Json.of_int v.replayed);
+      ("pruned", Json.of_int v.pruned);
+      ("refused", Json.of_int v.refused);
+      ("query", Json.of_opt (fun s -> Json.Str s) v.query);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Paths: /v1/sessions[/ID[/answers]] *)
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let reply_of_json j =
+  match Json.mem "reply" j with
+  | Some (Json.Bool b) -> Ok (Core.Flaky.Label b)
+  | Some (Json.Str "refused") -> Ok Core.Flaky.Refused
+  | Some (Json.Str "timed_out") -> Ok Core.Flaky.Timed_out
+  | _ -> Error "reply must be true, false, \"refused\", or \"timed_out\""
+
+(* Build the work closure for a session route; [None] means the route
+   needs no queue (handled inline by the caller). *)
+let session_job t ~tenant (req : Http.request) parts body =
+  match (req.meth, parts) with
+  | "POST", [ "v1"; "sessions" ] -> (
+      match body with
+      | Error msg -> Error (error_response 400 ("bad json: " ^ msg))
+      | Ok j -> (
+          match Json.get_str "id" j with
+          | None -> Error (error_response 400 "missing session \"id\"")
+          | Some id -> (
+              match Engines.spec_of_json j with
+              | Error msg -> Error (error_response 400 msg)
+              | Ok spec ->
+                  Ok
+                    ( id,
+                      fun () ->
+                        match
+                          Registry.create_session t.registry ~tenant ~id spec
+                        with
+                        | Ok view -> json_response 200 (view_json view)
+                        | Error e -> of_error e ))))
+  | "GET", [ "v1"; "sessions"; id ] ->
+      Ok
+        ( id,
+          fun () ->
+            match Registry.find t.registry ~tenant ~id with
+            | None -> error_response 404 "unknown session"
+            | Some s -> json_response 200 (view_json (s.Stepper.view ())) )
+  | "DELETE", [ "v1"; "sessions"; id ] ->
+      Ok
+        ( id,
+          fun () ->
+            if Registry.delete t.registry ~tenant ~id then
+              json_response 200 (Json.Obj [ ("deleted", Json.Bool true) ])
+            else error_response 404 "unknown session" )
+  | "POST", [ "v1"; "sessions"; id; "answers" ] -> (
+      match body with
+      | Error msg -> Error (error_response 400 ("bad json: " ^ msg))
+      | Ok j -> (
+          match (Json.get_int "qid" j, reply_of_json j) with
+          | None, _ -> Error (error_response 400 "missing integer \"qid\"")
+          | _, Error msg -> Error (error_response 400 msg)
+          | Some qid, Ok reply ->
+              Ok
+                ( id,
+                  fun () ->
+                    match Registry.find t.registry ~tenant ~id with
+                    | None -> error_response 404 "unknown session"
+                    | Some s -> (
+                        match s.Stepper.answer ~qid reply with
+                        | Ok view -> json_response 200 (view_json view)
+                        | Error e -> of_error e ) )))
+  | _, _ -> Error (error_response 404 "no such route")
+
+let stats_json t =
+  let a = Admission.stats t.admission in
+  Json.Obj
+    [
+      ("sessions", Json.of_int (Registry.count t.registry));
+      ("draining", Json.Bool (draining t));
+      ("connections", Json.of_int (Atomic.get t.conns));
+      ("requests", Json.of_int (Atomic.get t.requests));
+      ("queued", Json.of_int a.Admission.queued);
+      ("shed", Json.of_int a.Admission.shed);
+      ("tripped", Json.of_int a.Admission.tripped);
+      ("dispatched", Json.of_int a.Admission.dispatched);
+    ]
+
+let handle t (req : Http.request) =
+  Atomic.incr t.requests;
+  if Telemetry.enabled () then Telemetry.Metrics.incr m_requests;
+  let parts = split_path req.path in
+  match (req.meth, parts) with
+  | "GET", [ "healthz" ] ->
+      json_response 200
+        (Json.Obj
+           [ ("ok", Json.Bool true); ("draining", Json.Bool (draining t)) ])
+  | "GET", [ "stats" ] -> json_response 200 (stats_json t)
+  | "GET", [ "metrics" ] ->
+      {
+        Http.status = 200;
+        headers = [ ("Content-Type", "text/plain; version=0.0.4") ];
+        body = Telemetry.Metrics.metrics_prometheus ();
+      }
+  | _ ->
+      let tenant =
+        match Http.header "x-learnq-tenant" req with
+        | Some ten when ten <> "" -> ten
+        | _ -> "anon"
+      in
+      if draining t then
+        error_response ~headers:(retry_after_headers 1.0) 503
+          "draining: not admitting session work"
+      else
+        let body =
+          if req.body = "" then Ok (Json.Obj []) else Json.parse req.body
+        in
+        let outcome =
+          match session_job t ~tenant req parts body with
+          | Error resp -> resp
+          | Ok (id, run) -> (
+              let key = tenant ^ "/" ^ id in
+              match Admission.submit t.admission ~tenant ~key run with
+              | Admission.Enqueued job -> Admission.wait job
+              | Admission.Shed ra ->
+                  if Telemetry.enabled () then Telemetry.Metrics.incr m_shed;
+                  error_response ~headers:(retry_after_headers ra) 503
+                    "overloaded: admission queue is full"
+              | Admission.Tripped ra ->
+                  if Telemetry.enabled () then
+                    Telemetry.Metrics.incr m_tripped;
+                  error_response ~headers:(retry_after_headers ra) 429
+                    "tenant breaker open: too many malformed requests")
+        in
+        (match outcome.Http.status with
+        | 400 | 404 | 405 | 409 ->
+            if Telemetry.enabled () then Telemetry.Metrics.incr m_faults;
+            Admission.fault t.admission ~tenant
+        | s when s < 400 -> Admission.ok t.admission ~tenant
+        | _ -> ());
+        outcome
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let conn_thread t fd =
+  let conn = Http.conn_of_fd fd in
+  (* A short receive timeout lets idle keep-alive connections notice the
+     drain flag instead of pinning the grace period. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let rec loop () =
+    match Http.read_request conn with
+    | Ok None -> ()
+    | Error "timeout" -> if draining t then () else loop ()
+    | Error _ ->
+        ignore
+          (Http.write_response conn ~keep_alive:false
+             (error_response 400 "malformed request"))
+    | Ok (Some req) ->
+        let t0 = if Telemetry.enabled () then Unix.gettimeofday () else 0. in
+        let resp =
+          match handle t req with
+          | resp -> resp
+          | exception exn ->
+              error_response 500 ("internal error: " ^ Printexc.to_string exn)
+        in
+        if Telemetry.enabled () then
+          Telemetry.Metrics.observe m_request_s (Unix.gettimeofday () -. t0);
+        let keep_alive =
+          (not (draining t))
+          && Http.header "connection" req <> Some "close"
+        in
+        (match Http.write_response conn ~keep_alive resp with
+        | Ok () -> if keep_alive then loop ()
+        | Error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.conns)
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The dispatcher owns all session mutation: it pulls key-disjoint batches
+   and runs each batch across the pool — "one domain per batch of
+   sessions".  On one core this still wins: a session blocked in [fsync]
+   releases the runtime lock while another session's determined-scan
+   computes. *)
+let dispatcher t pool () =
+  let batch_size = max 1 (Core.Pool.size pool * 2) in
+  let rec loop () =
+    let batch =
+      Admission.take_batch t.admission ~max:batch_size ~block:true
+    in
+    (match batch with
+    | [] -> ()
+    | batch ->
+        let results =
+          Core.Pool.map_list pool
+            (fun (job : Admission.job) ->
+              match job.Admission.run () with
+              | resp -> resp
+              | exception exn ->
+                  error_response 500
+                    ("internal error: " ^ Printexc.to_string exn))
+            batch
+        in
+        List.iter2 Admission.finish batch results;
+        if Telemetry.enabled () then
+          Telemetry.Metrics.set g_sessions
+            (float_of_int (Registry.count t.registry)));
+    if draining t && Admission.pending t.admission = 0 then ()
+    else loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve t =
+  let cfg = t.cfg in
+  let pool = Core.Pool.create (max 1 cfg.pool) in
+  let recovered, errors = Registry.recover_all t.registry ~pool in
+  if Telemetry.enabled () then begin
+    if recovered > 0 || errors <> [] then
+      Telemetry.Log.info
+        ~kv:
+          [
+            ("recovered", string_of_int recovered);
+            ("errors", string_of_int (List.length errors));
+          ]
+        "state directory recovery"
+  end;
+  List.iter
+    (fun (f, e) ->
+      if Telemetry.enabled () then
+        Telemetry.Log.warn
+          ~kv:[ ("journal", f); ("error", Error.to_string e) ]
+          "unresumable journal left in place")
+    errors;
+  let listen_result =
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | fd -> (
+        try
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          let addr = Unix.inet_addr_of_string cfg.host in
+          Unix.bind fd (Unix.ADDR_INET (addr, cfg.port));
+          Unix.listen fd 128;
+          let port =
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> cfg.port
+          in
+          Ok (fd, port)
+        with
+        | Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error (Unix.error_message e)
+        | Failure msg ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error msg)
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  match listen_result with
+  | Error _ as e ->
+      Core.Pool.shutdown pool;
+      e
+  | Ok (listen_fd, port) ->
+      cfg.on_listen port;
+      let disp = Thread.create (dispatcher t pool) () in
+      let rec accept_loop () =
+        if draining t then ()
+        else
+          match Unix.select [ listen_fd ] [] [] 0.25 with
+          | [], _, _ -> accept_loop ()
+          | _ -> (
+              match Unix.accept listen_fd with
+              | fd, _ ->
+                  if Atomic.get t.conns >= cfg.max_conns then begin
+                    let c = Http.conn_of_fd fd in
+                    ignore
+                      (Http.write_response c ~keep_alive:false
+                         (error_response
+                            ~headers:(retry_after_headers 1.0) 503
+                            "too many connections"));
+                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                  end
+                  else begin
+                    Atomic.incr t.conns;
+                    ignore (Thread.create (fun () -> conn_thread t fd) ())
+                  end;
+                  accept_loop ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+              | exception Unix.Unix_error _ -> accept_loop ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ();
+      (* Drain choreography: stop listening, let the dispatcher finish the
+         backlog, give connections a grace period, then sync every journal
+         to disk and stop the pool. *)
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Admission.wake t.admission;
+      Thread.join disp;
+      let deadline = Unix.gettimeofday () +. cfg.drain_grace in
+      let rec wait_conns () =
+        if Atomic.get t.conns > 0 && Unix.gettimeofday () < deadline then begin
+          Thread.delay 0.05;
+          wait_conns ()
+        end
+      in
+      wait_conns ();
+      Registry.drain t.registry;
+      Core.Pool.shutdown pool;
+      Ok ()

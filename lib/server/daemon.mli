@@ -1,0 +1,73 @@
+(** The [learnq serve] daemon: sockets, threads, routing, and the drain
+    choreography.
+
+    {2 Thread model}
+
+    One accept thread (the caller of {!serve}), one connection thread per
+    client, one dispatcher thread, and a {!Core.Pool} of domains.
+    Connection threads parse and validate only; all session work is
+    submitted to {!Admission} and executed by the dispatcher, which runs
+    each key-disjoint batch across the pool ({e one domain per batch of
+    sessions}) — so two requests never race on one session, and
+    fsync-bound sessions overlap with compute-bound ones.
+
+    {2 Wire protocol}
+
+    Line-delimited JSON over HTTP/1.1 keep-alive; the tenant rides in the
+    [x-learnq-tenant] header (default ["anon"]).
+
+    {v POST   /v1/sessions              {"id":..,"engine":..,"seed":..}  create/resume
+       GET    /v1/sessions/ID                                            current view
+       POST   /v1/sessions/ID/answers   {"qid":N,"reply":true|false|"refused"|"timed_out"}
+       DELETE /v1/sessions/ID                                            close + forget
+       GET    /healthz | /stats | /metrics                               inline, never queued v}
+
+    Views are [{"engine","done","degraded","qid","question","question_text",
+    "questions","replayed","pruned","refused","query"}]; errors are
+    [{"error":msg}] with 400 (malformed), 404 (unknown session), 409
+    (conflicting spec / stale qid), 429 (quota or breaker, with
+    [Retry-After]), 503 (shedding or draining, with [Retry-After]).
+
+    {2 Drain}
+
+    {!drain} (async-signal-safe: a flag write) starts the choreography:
+    stop accepting, answer session requests 503, let the dispatcher finish
+    the queued backlog, wait up to [drain_grace] for connection threads,
+    journal-sync every live session ({!Registry.drain}), shut the pool
+    down, return from {!serve}.  The process exits 0 with every journal
+    flushed — the next start resumes them. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (reported via [on_listen]) *)
+  state_dir : string;
+  pool : int;  (** domains for batch execution and recovery *)
+  max_queue : int;  (** admission backlog bound *)
+  max_conns : int;  (** concurrent connections; excess get 503 *)
+  sync : Core.Journal.sync;
+  tenants : Tenant.t;
+  step_fuel : int option;
+  step_timeout : float option;
+  drain_grace : float;  (** seconds to wait for connections on drain *)
+  on_listen : int -> unit;  (** called with the bound port *)
+}
+
+val default_config : config
+(** 127.0.0.1:0, ["./learnq-state"], pool 2, queue 256, 128 conns,
+    [Batch] sync, default tenants, no step caps, 5s grace. *)
+
+type t
+
+val create : config -> t
+
+val serve : t -> (unit, string) result
+(** Binds, recovers the state directory, and serves until {!drain}.
+    [Error] is a bind/listen failure. *)
+
+val drain : t -> unit
+(** Idempotent; callable from a signal handler or another thread. *)
+
+val draining : t -> bool
+
+val registry : t -> Registry.t
+(** Exposed for in-process tests and the chaos harness. *)

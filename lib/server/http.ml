@@ -1,0 +1,207 @@
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let header name (req : request) =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+  while !j >= !i && (s.[!j] = ' ' || s.[!j] = '\t' || s.[!j] = '\r') do
+    decr j
+  done;
+  String.sub s !i (!j - !i + 1)
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> Error "empty request head"
+  | request_line :: header_lines -> (
+      let request_line = strip request_line in
+      match String.split_on_char ' ' request_line with
+      | [ meth; path; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+          let rec headers acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest ->
+                let line =
+                  if String.length line > 0 && line.[String.length line - 1] = '\r'
+                  then String.sub line 0 (String.length line - 1)
+                  else line
+                in
+                if line = "" then headers acc rest
+                else (
+                  match String.index_opt line ':' with
+                  | None -> Error (Printf.sprintf "malformed header %S" line)
+                  | Some i ->
+                      let name =
+                        String.lowercase_ascii (strip (String.sub line 0 i))
+                      in
+                      let value =
+                        strip
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                      in
+                      headers ((name, value) :: acc) rest)
+          in
+          Result.map
+            (fun headers ->
+              { meth = String.uppercase_ascii meth; path; headers; body = "" })
+            (headers [] header_lines)
+      | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (** bytes read from the socket, not yet consumed *)
+  chunk : Bytes.t;
+}
+
+let conn_of_fd fd = { fd; buf = Buffer.create 1024; chunk = Bytes.create 4096 }
+
+(* One socket read into the buffer.  Returns the byte count (0 = EOF). *)
+let refill c =
+  match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+  | 0 -> Ok 0
+  | n ->
+      Buffer.add_subbytes c.buf c.chunk 0 n;
+      Ok n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timeout"
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Ok (-1) (* retry *)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Index of "\r\n\r\n" (or the lenient "\n\n") in the buffer, with the
+   terminator length, if present. *)
+let find_head_end c =
+  let s = Buffer.contents c.buf in
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, 2, s)
+    else if
+      i + 3 < n
+      && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i, 4, s)
+    else go (i + 1)
+  in
+  go 0
+
+(* Drop [k] consumed bytes from the front of the buffer. *)
+let consume c k =
+  let s = Buffer.contents c.buf in
+  Buffer.clear c.buf;
+  Buffer.add_substring c.buf s k (String.length s - k)
+
+let read_request ?(max_head = 16 * 1024) ?(max_body = 1024 * 1024) c =
+  let rec head () =
+    match find_head_end c with
+    | Some (i, tlen, s) ->
+        let raw = String.sub s 0 i in
+        consume c (i + tlen);
+        Ok raw
+    | None ->
+        if Buffer.length c.buf > max_head then Error "request head too large"
+        else (
+          match refill c with
+          | Ok 0 ->
+              if Buffer.length c.buf = 0 then Ok "" (* orderly EOF *)
+              else Error "eof mid request head"
+          | Ok _ -> head ()
+          | Error _ as e -> e)
+  in
+  let rec body len =
+    if Buffer.length c.buf >= len then (
+      let s = Buffer.contents c.buf in
+      let b = String.sub s 0 len in
+      consume c len;
+      Ok b)
+    else
+      match refill c with
+      | Ok 0 -> Error "eof mid request body"
+      | Ok _ -> body len
+      | Error _ as e -> e
+  in
+  match head () with
+  | Error _ as e -> e
+  | Ok "" -> Ok None
+  | Ok raw -> (
+      match parse_head raw with
+      | Error _ as e -> e
+      | Ok req -> (
+          let len =
+            match header "content-length" req with
+            | None -> Ok 0
+            | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok n
+                | _ -> Error (Printf.sprintf "bad content-length %S" v))
+          in
+          match len with
+          | Error _ as e -> e
+          | Ok len when len > max_body -> Error "request body too large"
+          | Ok len ->
+              Result.map (fun b -> Some { req with body = b }) (body len)))
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let write_response c ~keep_alive { status; headers; body } =
+  let body = body ^ "\n" in
+  let buf = Buffer.create (String.length body + 128) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if keep_alive then "Connection: keep-alive\r\n"
+     else "Connection: close\r\n");
+  if
+    not
+      (List.exists
+         (fun (k, _) -> String.lowercase_ascii k = "content-type")
+         headers)
+  then Buffer.add_string buf "Content-Type: application/json\r\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  write_all c.fd (Buffer.contents buf)

@@ -1,0 +1,53 @@
+(** A deliberately small HTTP/1.1 server-side codec.
+
+    The wire protocol is line-delimited JSON over HTTP: every request body
+    and every response body is a single JSON value on one line.  No chunked
+    transfer-encoding, no pipelining beyond keep-alive, no multi-valued
+    headers — just enough of RFC 9112 for [curl] and the bundled
+    {!Client} to speak to the daemon.
+
+    The head parser ({!parse_head}) is pure, so tests can exercise framing
+    without sockets; {!read_request} layers buffered socket reads (with
+    size caps, so a hostile peer cannot balloon memory) on top of it. *)
+
+type request = {
+  meth : string;  (** uppercased verb: ["GET"], ["POST"], … *)
+  path : string;  (** request-target as sent, e.g. ["/v1/sessions/s1"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** extra headers; framing is added *)
+  body : string;  (** sent verbatim, with a trailing newline appended *)
+}
+
+val header : string -> request -> string option
+(** Case-insensitive header lookup. *)
+
+val parse_head : string -> (request, string) result
+(** Parses a request head (request line + header lines, no body, no
+    terminating blank line) into a {!request} with an empty [body]. *)
+
+val reason : int -> string
+(** Canonical reason phrase ("OK", "Too Many Requests", …). *)
+
+(** {1 Socket I/O} *)
+
+type conn
+(** A buffered connection wrapper around a socket. *)
+
+val conn_of_fd : Unix.file_descr -> conn
+
+val read_request :
+  ?max_head:int -> ?max_body:int -> conn -> (request option, string) result
+(** Reads one request: head up to the [\r\n\r\n] terminator, then exactly
+    [Content-Length] body bytes.  [Ok None] is orderly EOF before any byte
+    of a request; [Error _] covers malformed heads, oversized heads/bodies
+    (defaults 16 KiB / 1 MiB), and mid-request EOF.  Read timeouts set on
+    the socket surface as [Error "timeout"]. *)
+
+val write_response : conn -> keep_alive:bool -> response -> (unit, string) result
+(** Serializes status line, headers ([Content-Length], [Connection], any
+    extras), and body + ["\n"]. *)

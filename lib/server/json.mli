@@ -1,0 +1,44 @@
+(** A minimal JSON codec for the wire protocol.
+
+    The container ships no JSON library, and the protocol needs only the
+    data model — objects, arrays, strings, numbers, booleans, null — so this
+    is a self-contained recursive-descent parser and printer.  Numbers are
+    floats (ints print without a trailing [.]); strings support the JSON
+    escapes plus [\uXXXX] (decoded to UTF-8).  The printer emits everything
+    on one line, which is what the line-delimited protocol wants. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering; object fields keep their given order. *)
+
+val parse : string -> (t, string) result
+(** Parses a single JSON value (surrounding whitespace allowed); trailing
+    garbage is an error. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val mem : string -> t -> t option
+(** Field lookup in an object. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+val bool : t -> bool option
+
+val get_str : string -> t -> string option
+(** [get_str k j] = [mem k j |> Option.bind str]. *)
+
+val get_int : string -> t -> int option
+val get_num : string -> t -> float option
+val get_bool : string -> t -> bool option
+
+val of_int : int -> t
+val of_opt : ('a -> t) -> 'a option -> t
+(** [None] maps to {!Null}. *)

@@ -1,0 +1,297 @@
+module Journal = Core.Journal
+module Budget = Core.Budget
+module Error = Core.Error
+
+type config = {
+  dir : string;
+  sync : Core.Journal.sync;
+  tenants : Tenant.t;
+  step_fuel : int option;
+  step_timeout : float option;
+}
+
+type session = {
+  tenant : string;
+  id : string;
+  spec : Engines.spec;
+  stepper : Stepper.t;
+  path : string;
+}
+
+type t = {
+  cfg : config;
+  sessions : (string, session) Hashtbl.t;
+  building : (string, string) Hashtbl.t;  (** key -> tenant: reserved slots *)
+  m : Mutex.t;
+}
+
+let key ~tenant ~id = tenant ^ "/" ^ id
+
+let valid_name s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let journal_path cfg ~tenant ~id =
+  Filename.concat cfg.dir (tenant ^ "__" ^ id ^ ".journal")
+
+let create cfg =
+  (try Unix.mkdir cfg.dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  {
+    cfg;
+    sessions = Hashtbl.create 64;
+    building = Hashtbl.create 8;
+    m = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let tenant_count_locked t tenant =
+  let live =
+    Hashtbl.fold
+      (fun _ s n -> if s.tenant = tenant then n + 1 else n)
+      t.sessions 0
+  in
+  Hashtbl.fold
+    (fun _ ten n -> if ten = tenant then n + 1 else n)
+    t.building live
+
+(* Per-step budget: the tenant's caps override the server-wide defaults. *)
+let step_budget t tenant =
+  let q = Tenant.find t.cfg.tenants tenant in
+  let fuel =
+    match q.Tenant.step_fuel with Some f -> Some f | None -> t.cfg.step_fuel
+  in
+  let timeout =
+    match q.Tenant.step_timeout with
+    | Some s -> Some s
+    | None -> t.cfg.step_timeout
+  in
+  fun () -> Budget.create ?fuel ?timeout ()
+
+(* Build a stepper over a fresh journal, or by resuming the one already on
+   disk (spec must agree with the recorded header).  Runs outside the
+   registry lock. *)
+let build t ~tenant ~id spec =
+  let path = journal_path t.cfg ~tenant ~id in
+  let step_budget = step_budget t tenant in
+  let fresh () =
+    match
+      Journal.create_result ~sync:t.cfg.sync ~path (Engines.header_of_spec spec)
+    with
+    | Error _ as e -> e
+    | Ok j -> (
+        match Engines.make ~journal:j ~step_budget spec with
+        | Ok stepper -> Ok { tenant; id; spec; stepper; path }
+        | Error _ as e ->
+            Journal.close j;
+            (try Sys.remove path with Sys_error _ -> ());
+            e)
+  in
+  if not (Sys.file_exists path) then fresh ()
+  else
+    match Journal.resume ~sync:t.cfg.sync ~path () with
+    | Error _ as e -> e
+    | Ok (j, recovered) -> (
+        let recorded =
+          match recovered.Journal.header with
+          | Some h -> Engines.spec_of_config h.Journal.config
+          | None -> Error "journal has no header"
+        in
+        match recorded with
+        | Error msg ->
+            Journal.close j;
+            Error
+              (Error.invalid_input ~what:"journal"
+                 (Printf.sprintf "%s: %s" path msg))
+        | Ok recorded when recorded <> spec ->
+            Journal.close j;
+            Error
+              (Error.invalid_input ~what:"session"
+                 (Printf.sprintf
+                    "session %s exists with a different spec (%s)" id
+                    (Engines.config_of_spec recorded)))
+        | Ok _ -> (
+            match
+              Engines.make ~journal:j ~resume:recovered.Journal.events
+                ~step_budget spec
+            with
+            | Ok stepper -> Ok { tenant; id; spec; stepper; path }
+            | Error _ as e ->
+                Journal.close j;
+                e))
+
+let create_session t ~tenant ~id spec =
+  if not (valid_name tenant && valid_name id) then
+    Error
+      (Error.invalid_input ~what:"session"
+         "tenant and session ids must match [A-Za-z0-9_-]+")
+  else
+    let k = key ~tenant ~id in
+    let reserve () =
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.sessions k with
+          | Some s ->
+              if s.spec <> spec then
+                Error
+                  (`Err
+                     (Error.invalid_input ~what:"session"
+                        (Printf.sprintf
+                           "session %s exists with a different spec (%s)" id
+                           (Engines.config_of_spec s.spec))))
+              else Error (`Existing (s.stepper.Stepper.view ()))
+          | None ->
+              if Hashtbl.mem t.building k then
+                Error
+                  (`Err
+                     (Error.invalid_input ~what:"session"
+                        (Printf.sprintf "session %s is being created" id)))
+              else
+                let q = Tenant.find t.cfg.tenants tenant in
+                if tenant_count_locked t tenant >= q.Tenant.max_sessions then
+                  Error
+                    (`Err
+                       (Error.over_quota ~tenant ~what:"max_sessions"
+                          ~limit:q.Tenant.max_sessions))
+                else begin
+                  Hashtbl.add t.building k tenant;
+                  Ok ()
+                end)
+    in
+    match reserve () with
+    | Error (`Existing view) -> Ok view
+    | Error (`Err e) -> Error e
+    | Ok () -> (
+        let release () =
+          with_lock t (fun () -> Hashtbl.remove t.building k)
+        in
+        match build t ~tenant ~id spec with
+        | Ok s ->
+            with_lock t (fun () ->
+                Hashtbl.remove t.building k;
+                Hashtbl.replace t.sessions k s);
+            Ok (s.stepper.Stepper.view ())
+        | Error _ as e ->
+            release ();
+            e
+        | exception exn ->
+            release ();
+            raise exn)
+
+let find t ~tenant ~id =
+  with_lock t (fun () ->
+      Option.map
+        (fun s -> s.stepper)
+        (Hashtbl.find_opt t.sessions (key ~tenant ~id)))
+
+let delete t ~tenant ~id =
+  let removed =
+    with_lock t (fun () ->
+        let k = key ~tenant ~id in
+        match Hashtbl.find_opt t.sessions k with
+        | None -> None
+        | Some s ->
+            Hashtbl.remove t.sessions k;
+            Some s)
+  in
+  match removed with
+  | None -> false
+  | Some s ->
+      s.stepper.Stepper.close ();
+      (try Sys.remove s.path with Sys_error _ -> ());
+      true
+
+let recover_all t ~pool =
+  let files =
+    match Sys.readdir t.cfg.dir with
+    | files ->
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".journal")
+        |> List.sort compare
+    | exception Sys_error _ -> []
+  in
+  let parse_name f =
+    let base = Filename.chop_suffix f ".journal" in
+    (* tenant__id, where tenant may not contain "__" (names are
+       [A-Za-z0-9_-], so we split on the first double underscore) *)
+    let rec split i =
+      if i + 1 >= String.length base then None
+      else if base.[i] = '_' && base.[i + 1] = '_' then
+        Some
+          ( String.sub base 0 i,
+            String.sub base (i + 2) (String.length base - i - 2) )
+      else split (i + 1)
+    in
+    split 0
+  in
+  let todo =
+    List.filter_map
+      (fun f ->
+        match parse_name f with
+        | None -> None
+        | Some (tenant, id) ->
+            let k = key ~tenant ~id in
+            if with_lock t (fun () -> Hashtbl.mem t.sessions k) then None
+            else Some (f, tenant, id))
+      files
+  in
+  (* Replay is CPU-bound and per-file independent: one pool lane per
+     journal.  Each lane only reads its own file and builds its own
+     stepper; table insertion happens afterwards on the calling thread. *)
+  let results =
+    Core.Pool.map_list pool
+      (fun (f, tenant, id) ->
+        let path = journal_path t.cfg ~tenant ~id in
+        let r =
+          match Journal.resume ~sync:t.cfg.sync ~path () with
+          | Error e -> Error e
+          | Ok (j, recovered) -> (
+              let spec =
+                match recovered.Journal.header with
+                | Some h -> Engines.spec_of_config h.Journal.config
+                | None -> Error "journal has no header"
+              in
+              match spec with
+              | Error msg ->
+                  Journal.close j;
+                  Error (Error.invalid_input ~what:"journal" msg)
+              | Ok spec -> (
+                  match
+                    Engines.make ~journal:j ~resume:recovered.Journal.events
+                      ~step_budget:(step_budget t tenant) spec
+                  with
+                  | Ok stepper -> Ok { tenant; id; spec; stepper; path }
+                  | Error _ as e ->
+                      Journal.close j;
+                      e))
+        in
+        (f, r))
+      todo
+  in
+  List.fold_left
+    (fun (n, errs) (f, r) ->
+      match r with
+      | Ok s ->
+          with_lock t (fun () ->
+              Hashtbl.replace t.sessions (key ~tenant:s.tenant ~id:s.id) s);
+          (n + 1, errs)
+      | Error e -> (n, (f, e) :: errs))
+    (0, []) results
+
+let snapshot t = with_lock t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [])
+
+let drain t = List.iter (fun s -> s.stepper.Stepper.close ()) (snapshot t)
+let crash t = List.iter (fun s -> s.stepper.Stepper.abort ()) (snapshot t)
+let count t = with_lock t (fun () -> Hashtbl.length t.sessions)
+let tenant_count t tenant = with_lock t (fun () -> tenant_count_locked t tenant)
+
+let fold t ~init ~f =
+  List.fold_left
+    (fun acc s -> f acc ~tenant:s.tenant ~id:s.id s.stepper)
+    init (snapshot t)

@@ -1,0 +1,67 @@
+(** The session table: every live learning session, keyed by
+    [tenant/id], each backed by its own journal file in the state
+    directory.
+
+    Three invariants carry the server's fault-tolerance story:
+
+    - {e journal-keyed}: a session's entire recoverable state is its
+      journal ([<dir>/<tenant>__<id>.journal] — the header's config line
+      regenerates the instance, the events replay the answers).  The
+      registry holds only the in-memory stepper; {!recover_all} rebuilds
+      the table from the directory after a crash.
+    - {e idempotent creation}: re-creating an existing [tenant/id] with the
+      same spec returns the live session's view (clients retry blindly); a
+      different spec is a typed conflict.  A journal already on disk but
+      not in memory is resumed, not truncated.
+    - {e quota-checked}: a tenant at its [max_sessions] gets a typed
+      [Over_quota] refusal, checked under the registry lock (with slots
+      reserved during construction, so concurrent creates cannot
+      overshoot).
+
+    The lock covers table bookkeeping only; instance generation and replay
+    run outside it.  Mutating one session concurrently is excluded by the
+    {!Admission} batch discipline, not by this lock. *)
+
+type config = {
+  dir : string;  (** state directory (created on {!create}) *)
+  sync : Core.Journal.sync;
+  tenants : Tenant.t;
+  step_fuel : int option;  (** server-wide per-step default *)
+  step_timeout : float option;
+}
+
+type t
+
+val create : config -> t
+(** Creates [dir] if missing.  Does not scan it — call {!recover_all}. *)
+
+val create_session :
+  t -> tenant:string -> id:string -> Engines.spec ->
+  (Stepper.view, Core.Error.t) result
+(** See the idempotency and quota rules above.  [id] and [tenant] must be
+    [[A-Za-z0-9_-]+] (they name files). *)
+
+val find : t -> tenant:string -> id:string -> Stepper.t option
+(** The live stepper; callers must respect the one-thread-per-session
+    batch discipline. *)
+
+val delete : t -> tenant:string -> id:string -> bool
+(** Closes the session and removes its journal file.  [false] if absent. *)
+
+val recover_all : t -> pool:Core.Pool.t -> int * (string * Core.Error.t) list
+(** Resumes every journal in the directory not already live — in parallel
+    on [pool] — and returns (sessions recovered, per-file errors).
+    Unresumable journals are left on disk and reported, not deleted. *)
+
+val drain : t -> unit
+(** Flush and close every live journal (graceful-shutdown path). *)
+
+val crash : t -> unit
+(** Abort every journal without flushing — the in-process stand-in for
+    kill -9, for the chaos harness. *)
+
+val count : t -> int
+val tenant_count : t -> string -> int
+
+val fold : t -> init:'a -> f:('a -> tenant:string -> id:string -> Stepper.t -> 'a) -> 'a
+(** Snapshot iteration (order unspecified) — for /stats. *)

@@ -1,0 +1,223 @@
+module Journal = Core.Journal
+module Budget = Core.Budget
+module Flaky = Core.Flaky
+module Error = Core.Error
+
+type view = {
+  engine : string;
+  done_ : bool;
+  degraded : bool;
+  qid : int;
+  question : string option;
+  question_text : string option;
+  questions : int;
+  replayed : int;
+  pruned : int;
+  refused : int;
+  query : string option;
+}
+
+type t = {
+  view : unit -> view;
+  answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
+  flush : unit -> unit;
+  close : unit -> unit;
+  abort : unit -> unit;
+}
+
+module Make (S : Core.Interact.SESSION) = struct
+  type internal = {
+    engine : string;
+    encode : S.item -> string;
+    journal : Journal.t option;
+    step_budget : unit -> Budget.t;
+    mutable st : S.state;
+    mutable pool : S.item list;  (** unasked items, original order *)
+    mutable current : (int * S.item) option;
+    mutable qid : int;  (** count of Asked records ever (incl. replayed) *)
+    mutable questions : int;
+    mutable replayed : int;
+    mutable pruned : int;
+    mutable refused : int;
+    mutable done_ : bool;
+    mutable degraded : bool;
+  }
+
+  let jappend i ev =
+    match i.journal with None -> () | Some j -> Journal.append j ev
+
+  let view i =
+    {
+      engine = i.engine;
+      done_ = i.done_;
+      degraded = i.degraded;
+      qid = i.qid;
+      question = Option.map (fun (_, it) -> i.encode it) i.current;
+      question_text =
+        Option.map (fun (_, it) -> Format.asprintf "%a" S.pp_item it) i.current;
+      questions = i.questions;
+      replayed = i.replayed;
+      pruned = i.pruned;
+      refused = i.refused;
+      query =
+        Option.map (Format.asprintf "%a" S.pp_query) (S.candidate i.st);
+    }
+
+  (* Advance to the next open question: prune determined items, pick the
+     first informative one (pool order — deterministic, so a crash/resume
+     re-derives the same question sequence), journal the ask.  Mirrors the
+     [Interact.Make] loop body exactly. *)
+  let advance i =
+    if not (i.done_ || i.current <> None) then begin
+      let b = i.step_budget () in
+      match
+        List.partition
+          (fun it ->
+            Budget.tick b;
+            S.determined i.st it = None)
+          i.pool
+      with
+      | exception Budget.Out_of_budget ->
+          (* Terminal degradation: keep the candidate so far; no
+             [Completed] record, so the journal stays resumable under a
+             bigger budget. *)
+          i.done_ <- true;
+          i.degraded <- true
+      | opens, determined ->
+          i.pruned <- i.pruned + List.length determined;
+          i.pool <- opens;
+          (match opens with
+          | [] ->
+              jappend i Journal.Completed;
+              (match i.journal with None -> () | Some j -> Journal.flush j);
+              i.done_ <- true
+          | item :: _ ->
+              i.pool <- List.filter (fun it -> it != item) opens;
+              i.qid <- i.qid + 1;
+              jappend i (Journal.Asked (i.encode item));
+              i.current <- Some (i.qid, item))
+    end
+
+  let answer i ~qid reply =
+    match i.current with
+    | Some (cq, item) when qid = cq ->
+        jappend i (Journal.Answered (i.encode item, reply));
+        (match reply with
+        | Flaky.Label label ->
+            i.st <- S.record i.st item label;
+            i.questions <- i.questions + 1
+        | Flaky.Refused | Flaky.Timed_out ->
+            (* Set aside for this run; a resume puts it back in the pool,
+               exactly as [Interact.run_flaky] replay does. *)
+            i.refused <- i.refused + 1);
+        i.current <- None;
+        advance i;
+        Ok (view i)
+    | Some (cq, _) when qid < cq -> Ok (view i) (* duplicate: no-op *)
+    | None when qid <= i.qid -> Ok (view i) (* late duplicate: no-op *)
+    | _ ->
+        Error
+          (Error.invalid_input ~what:"qid"
+             (Printf.sprintf
+                "answer for question %d but only %d have been asked" qid i.qid))
+
+  let make ?journal ?(resume = []) ?step_budget ~engine ~encode ~decode ~items
+      () =
+    let step_budget =
+      match step_budget with Some f -> f | None -> Budget.unlimited
+    in
+    let i =
+      {
+        engine;
+        encode;
+        journal;
+        step_budget;
+        st = S.init items;
+        pool = items;
+        current = None;
+        qid = 0;
+        questions = 0;
+        replayed = 0;
+        pruned = 0;
+        refused = 0;
+        done_ = false;
+        degraded = false;
+      }
+    in
+    (* Replay: fold the recovered events in order.  Labeled answers rebuild
+       the state (duplicates are idempotent no-ops); refused/timed-out items
+       stay in the pool; a trailing [Asked] with no [Answered] is the open
+       question, re-posed without re-journaling. *)
+    let answered = Hashtbl.create 64 in
+    let decode_or_fail key =
+      match decode key with
+      | Some it -> Ok it
+      | None ->
+          Error
+            (Error.invalid_input ~what:"journal"
+               (Printf.sprintf "undecodable replay item %S for engine %s" key
+                  engine))
+    in
+    let rec replay pending = function
+      | [] -> Ok pending
+      | Journal.Asked key :: rest ->
+          i.qid <- i.qid + 1;
+          replay (Some key) rest
+      | Journal.Answered (key, reply) :: rest -> (
+          match reply with
+          | Flaky.Refused | Flaky.Timed_out -> replay None rest
+          | Flaky.Label label ->
+              if Hashtbl.mem answered key then replay None rest
+              else (
+                Hashtbl.add answered key ();
+                match decode_or_fail key with
+                | Error _ as e -> e
+                | Ok it ->
+                    i.st <- S.record i.st it label;
+                    i.replayed <- i.replayed + 1;
+                    replay None rest))
+      | Journal.Completed :: rest ->
+          i.done_ <- true;
+          replay None rest
+    in
+    match replay None resume with
+    | Error _ as e -> e
+    | Ok pending -> (
+        if i.replayed > 0 then
+          i.pool <-
+            List.filter
+              (fun it -> not (Hashtbl.mem answered (encode it)))
+              i.pool;
+        let finish () =
+          if i.current = None && not i.done_ then advance i;
+          Ok
+            {
+              view = (fun () -> view i);
+              answer = (fun ~qid reply -> answer i ~qid reply);
+              flush =
+                (fun () ->
+                  match i.journal with
+                  | None -> ()
+                  | Some j -> Journal.flush j);
+              close =
+                (fun () ->
+                  match i.journal with None -> () | Some j -> Journal.close j);
+              abort =
+                (fun () ->
+                  match i.journal with None -> () | Some j -> Journal.abort j);
+            }
+        in
+        match pending with
+        | Some _ when i.done_ -> finish ()
+        | Some key -> (
+            match decode_or_fail key with
+            | Error _ as e -> e
+            | Ok it ->
+                (* The crash lost the answer in flight: re-pose the same
+                   question under its original qid.  The [Asked] record is
+                   already on disk — appending another would double-count. *)
+                i.pool <- List.filter (fun it' -> encode it' <> key) i.pool;
+                i.current <- Some (i.qid, it);
+                finish ())
+        | None -> finish ())
+end

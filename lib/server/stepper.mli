@@ -1,0 +1,68 @@
+(** One interactive learning session, inverted: a state machine the server
+    drives one answer at a time.
+
+    [Core.Interact.Make] owns its loop — it calls the oracle.  A server
+    cannot: the "oracle" is a remote client that answers whenever it
+    pleases, so the loop must be turned inside out.  A stepper holds the
+    loop's state between answers: the learner state, the remaining pool,
+    and at most one {e open question}.  {!Make.make} replays a recovered
+    journal (same semantics as [Interact.run_flaky]'s [resume]: labeled
+    answers fold into the state with duplicates as idempotent no-ops,
+    refused/timed-out items return to the pool, a trailing [Asked] without
+    its [Answered] becomes the open question again {e without}
+    re-journaling), then advances to the next question.  Each [answer]
+    journals the reply write-ahead, folds it in, and advances — pruning
+    newly determined items exactly as the batch loop does — until the pool
+    is empty ([Completed] is journaled) or the per-step budget dies
+    (terminal {e degraded}: the candidate so far stands, and the journal
+    stays resumable).
+
+    Questions are numbered by [qid] — the count of [Asked] records, stable
+    across crash and resume.  Answering a [qid] at or below the current one
+    when the question has moved on is an {e idempotent no-op} returning the
+    current view (a client retrying a reply it already delivered must not
+    corrupt the session); a [qid] from the future is a typed error.
+
+    A stepper is single-threaded by construction: the {!Registry} and the
+    dispatcher's key-disjoint batches guarantee one thread at a time. *)
+
+type view = {
+  engine : string;
+  done_ : bool;  (** no open question and none coming *)
+  degraded : bool;  (** stopped on step-budget exhaustion *)
+  qid : int;  (** id of the open question; count of questions ever asked *)
+  question : string option;  (** codec string of the open question *)
+  question_text : string option;  (** human rendering of the open question *)
+  questions : int;  (** live answers folded in this process *)
+  replayed : int;  (** answers replayed from the journal at startup *)
+  pruned : int;  (** items never asked: label became determined *)
+  refused : int;  (** refused/timed-out questions, set aside this run *)
+  query : string option;  (** pretty-printed current candidate *)
+}
+
+type t = {
+  view : unit -> view;
+  answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
+  flush : unit -> unit;  (** force journal buffers to disk *)
+  close : unit -> unit;  (** flush + close the journal (drain path) *)
+  abort : unit -> unit;  (** crash the journal: buffered records lost *)
+}
+(** The registry holds steppers of different engines, so the engine type is
+    erased behind closures. *)
+
+module Make (S : Core.Interact.SESSION) : sig
+  val make :
+    ?journal:Core.Journal.t ->
+    ?resume:Core.Journal.event list ->
+    ?step_budget:(unit -> Core.Budget.t) ->
+    engine:string ->
+    encode:(S.item -> string) ->
+    decode:(string -> S.item option) ->
+    items:S.item list ->
+    unit ->
+    (t, Core.Error.t) result
+  (** [encode]/[decode] are the journal codec (item identity on the wire
+      and in replay).  [step_budget] is drawn fresh for each advance (the
+      determined-scan between two questions); default unlimited.  Replay
+      events that [decode] rejects are a [Corrupt_journal]-style error. *)
+end

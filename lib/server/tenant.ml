@@ -1,0 +1,103 @@
+type quota = {
+  max_sessions : int;
+  step_fuel : int option;
+  step_timeout : float option;
+}
+
+type t = { default : quota; table : (string, quota) Hashtbl.t }
+
+let quota ?step_fuel ?step_timeout ~max_sessions () =
+  if max_sessions < 0 then invalid_arg "Tenant.quota: max_sessions < 0";
+  { max_sessions; step_fuel; step_timeout }
+
+let default_quota = { max_sessions = 64; step_fuel = None; step_timeout = None }
+
+let make ?(default = default_quota) entries =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (name, q) -> Hashtbl.replace table name q) entries;
+  { default; table }
+
+let parse_line lineno line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Ok None
+  | name :: kvs ->
+      let rec fold q = function
+        | [] -> Ok q
+        | kv :: rest -> (
+            match String.index_opt kv '=' with
+            | None ->
+                Error
+                  (Printf.sprintf "line %d: expected key=value, got %S" lineno
+                     kv)
+            | Some i -> (
+                let key = String.sub kv 0 i in
+                let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+                let int_v () =
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok n
+                  | _ ->
+                      Error
+                        (Printf.sprintf "line %d: bad value for %s: %S" lineno
+                           key v)
+                in
+                let float_v () =
+                  match float_of_string_opt v with
+                  | Some f when f > 0. -> Ok f
+                  | _ ->
+                      Error
+                        (Printf.sprintf "line %d: bad value for %s: %S" lineno
+                           key v)
+                in
+                match key with
+                | "max_sessions" ->
+                    Result.bind (int_v ()) (fun n ->
+                        fold { q with max_sessions = n } rest)
+                | "fuel" ->
+                    Result.bind (int_v ()) (fun n ->
+                        fold { q with step_fuel = Some n } rest)
+                | "timeout" ->
+                    Result.bind (float_v ()) (fun f ->
+                        fold { q with step_timeout = Some f } rest)
+                | _ ->
+                    Error (Printf.sprintf "line %d: unknown key %S" lineno key)))
+      in
+      Result.map (fun q -> Some (name, q)) (fold default_quota kvs)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some (name, q)) ->
+            if List.mem_assoc name acc then
+              Error (Printf.sprintf "line %d: duplicate tenant %S" lineno name)
+            else go (lineno + 1) ((name, q) :: acc) rest)
+  in
+  Result.map
+    (fun entries ->
+      let default =
+        match List.assoc_opt "default" entries with
+        | Some q -> q
+        | None -> default_quota
+      in
+      make ~default (List.remove_assoc "default" entries))
+    (go 1 [] lines)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let find t name =
+  match Hashtbl.find_opt t.table name with Some q -> q | None -> t.default
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare

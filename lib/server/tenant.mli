@@ -1,0 +1,43 @@
+(** Per-tenant quotas — the multi-tenant half of admission control.
+
+    Every request names its tenant in the [x-learnq-tenant] header (default
+    ["anon"]).  A tenant's quota caps how many live sessions it may hold and
+    how much work one learning step may burn ({!Core.Budget} fuel and
+    wall-clock), so one noisy tenant cannot starve the rest.  Quotas come
+    from a flat text config file, one tenant per line:
+
+    {v # name   key=value ...
+       acme     max_sessions=200 fuel=2000000 timeout=1.0
+       default  max_sessions=50 v}
+
+    The ["default"] line (re)defines the quota applied to tenants with no
+    line of their own. *)
+
+type quota = {
+  max_sessions : int;  (** concurrent live sessions; [0] = blocked *)
+  step_fuel : int option;  (** {!Core.Budget} fuel per learning step *)
+  step_timeout : float option;  (** wall-clock seconds per learning step *)
+}
+
+type t
+(** An immutable tenant table. *)
+
+val quota : ?step_fuel:int -> ?step_timeout:float -> max_sessions:int -> unit -> quota
+
+val default_quota : quota
+(** 64 sessions, no step caps. *)
+
+val make : ?default:quota -> (string * quota) list -> t
+
+val parse : string -> (t, string) result
+(** Parses config-file contents.  Blank lines and [#] comments are skipped;
+    unknown keys, bad numbers, and duplicate tenants are errors. *)
+
+val load : string -> (t, string) result
+(** {!parse} the file at a path. *)
+
+val find : t -> string -> quota
+(** The tenant's own quota, or the default. *)
+
+val names : t -> string list
+(** Tenants with explicit quotas, sorted. *)

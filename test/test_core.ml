@@ -432,6 +432,57 @@ let test_retry_half_open_probe () =
   Alcotest.(check bool) "probe success closes" true
     (Core.Retry.breaker_state b = Core.Retry.Closed)
 
+let test_retry_half_open_failed_probe_reopens () =
+  (* Regression: a failed half-open probe must re-open the breaker, not
+     flap it closed — the server feeds probe outcomes via breaker_failure. *)
+  let p = retry_policy ~max_attempts:1 ~breaker_threshold:1 ~cooldown:0. () in
+  let b = Core.Retry.breaker p in
+  ignore
+    (Core.Retry.call ~rng:(Core.Prng.create 1) p b
+       ~classify:(fun _ -> `Transient)
+       (fun () -> ()));
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Core.Retry.breaker_state b = Core.Retry.Half_open);
+  (match
+     Core.Retry.call ~rng:(Core.Prng.create 1) p b
+       ~classify:(fun _ -> `Transient)
+       (fun () -> ())
+   with
+  | Core.Retry.Gave_up ((), 1) -> ()
+  | _ -> Alcotest.fail "half-open breaker allows exactly one probe");
+  (* cooldown is 0, so a re-opened breaker presents as Half_open again; the
+     tell is that the *next* failed probe still only gets one attempt and
+     the state never reads Closed. *)
+  Alcotest.(check bool) "failed probe does not close" true
+    (Core.Retry.breaker_state b <> Core.Retry.Closed);
+  Core.Retry.breaker_failure b;
+  Alcotest.(check bool) "fed failure keeps it open" true
+    (Core.Retry.breaker_state b <> Core.Retry.Closed)
+
+let test_retry_half_open_two_probes () =
+  (* half_open_probes = 2: one success is not enough to close; two are. *)
+  let p =
+    Core.Retry.policy ~max_attempts:1 ~base_delay:0.001 ~max_delay:0.002
+      ~breaker_threshold:1 ~cooldown:0. ~half_open_probes:2
+      ~sleep:Core.Retry.no_sleep ()
+  in
+  let b = Core.Retry.breaker p in
+  Core.Retry.breaker_failure b;
+  Alcotest.(check bool) "open after threshold" true
+    (Core.Retry.breaker_state b <> Core.Retry.Closed);
+  Core.Retry.breaker_success b;
+  Alcotest.(check bool) "one success of two keeps it half-open" true
+    (Core.Retry.breaker_state b <> Core.Retry.Closed);
+  Core.Retry.breaker_success b;
+  Alcotest.(check bool) "second success closes" true
+    (Core.Retry.breaker_state b = Core.Retry.Closed);
+  (* and a failure mid-probe-count resets: open again, one success is not
+     enough afterwards either *)
+  Core.Retry.breaker_failure b;
+  Core.Retry.breaker_success b;
+  Alcotest.(check bool) "probe count resets on failure" true
+    (Core.Retry.breaker_state b <> Core.Retry.Closed)
+
 let test_retry_budget_stops_retrying () =
   (* An exhausted budget turns a transient reply into an immediate give-up:
      retrying must never outlive the deadline. *)
@@ -628,6 +679,10 @@ let () =
           Alcotest.test_case "permanent stops" `Quick test_retry_permanent_stops;
           Alcotest.test_case "breaker opens" `Quick test_retry_breaker_opens;
           Alcotest.test_case "half-open probe" `Quick test_retry_half_open_probe;
+          Alcotest.test_case "failed half-open probe re-opens" `Quick
+            test_retry_half_open_failed_probe_reopens;
+          Alcotest.test_case "half_open_probes=2 needs two successes" `Quick
+            test_retry_half_open_two_probes;
           Alcotest.test_case "budget stops retrying" `Quick
             test_retry_budget_stops_retrying;
         ] );

@@ -365,6 +365,101 @@ let test_refused_records_return_to_pool () =
         resumed.questions;
       Alcotest.(check (option int)) "same query" reference.query resumed.query)
 
+(* ------------------------------------------------------------------ *)
+(* Locking: one writer per journal, across processes                    *)
+(* ------------------------------------------------------------------ *)
+
+let journal_ok = function
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unexpected journal error: %s" (Core.Error.to_string e)
+
+let test_lock_second_create_refused () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Fun.protect
+        ~finally:(fun () -> Core.Journal.close j)
+        (fun () ->
+          match Core.Journal.create_result ~path header with
+          | Error (Core.Error.Journal_locked { pid; _ }) ->
+              Alcotest.(check int) "lock names the holder" (Unix.getpid ()) pid
+          | Ok j2 ->
+              Core.Journal.close j2;
+              Alcotest.fail "second writer acquired a held lock"
+          | Error e ->
+              Alcotest.failf "wrong error: %s" (Core.Error.to_string e)))
+
+let test_lock_resume_while_open_refused () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Fun.protect
+        ~finally:(fun () -> Core.Journal.close j)
+        (fun () ->
+          match Core.Journal.resume ~path () with
+          | Error (Core.Error.Journal_locked _) -> ()
+          | Ok (j2, _) ->
+              Core.Journal.close j2;
+              Alcotest.fail "resumed a journal whose writer is live"
+          | Error e ->
+              Alcotest.failf "wrong error: %s" (Core.Error.to_string e)))
+
+let test_lock_released_on_close () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Core.Journal.append j (Core.Journal.Asked "x");
+      Core.Journal.close j;
+      Alcotest.(check bool) "lock file removed" false
+        (Sys.file_exists (path ^ ".lock"));
+      let j2, recovered = journal_ok (Core.Journal.resume ~path ()) in
+      Core.Journal.close j2;
+      Alcotest.(check int) "events survived" 1
+        (List.length recovered.Core.Journal.events))
+
+let test_lock_stale_holder_stolen () =
+  (* A lock whose pid is dead is stale: fork a child, reap it, and plant
+     its (now free) pid in the lock file. *)
+  with_temp (fun path ->
+      Sys.remove path;
+      let dead_pid =
+        match Unix.fork () with
+        | 0 -> Unix._exit 0
+        | pid ->
+            ignore (Unix.waitpid [] pid);
+            pid
+      in
+      write_file (path ^ ".lock") (string_of_int dead_pid);
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Core.Journal.close j)
+
+let test_lock_two_processes () =
+  (* The real contest: a forked child must lose the lock race with a typed
+     Journal_locked, not corrupt the file or hang. *)
+  with_temp (fun path ->
+      Sys.remove path;
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Fun.protect
+        ~finally:(fun () -> Core.Journal.close j)
+        (fun () ->
+          match Unix.fork () with
+          | 0 ->
+              let code =
+                match Core.Journal.create_result ~path header with
+                | Error (Core.Error.Journal_locked _) -> 0
+                | Ok _ -> 1
+                | Error _ -> 2
+              in
+              Unix._exit code
+          | pid -> (
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED 0 -> ()
+              | _, Unix.WEXITED 1 ->
+                  Alcotest.fail "child process acquired a held lock"
+              | _, Unix.WEXITED n ->
+                  Alcotest.failf "child saw the wrong error (exit %d)" n
+              | _ -> Alcotest.fail "child died abnormally")))
+
 let () =
   Alcotest.run "journal"
     [
@@ -401,5 +496,17 @@ let () =
           Alcotest.test_case "crash then resume" `Quick test_crash_then_resume;
           Alcotest.test_case "refusals return to pool" `Quick
             test_refused_records_return_to_pool;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "second create refused" `Quick
+            test_lock_second_create_refused;
+          Alcotest.test_case "resume while open refused" `Quick
+            test_lock_resume_while_open_refused;
+          Alcotest.test_case "released on close" `Quick
+            test_lock_released_on_close;
+          Alcotest.test_case "stale holder stolen" `Quick
+            test_lock_stale_holder_stolen;
+          Alcotest.test_case "two processes" `Quick test_lock_two_processes;
         ] );
     ]

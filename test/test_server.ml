@@ -1,0 +1,543 @@
+(* Tests for the serve stack: the JSON codec, HTTP framing, the inverted
+   interaction loop (stepper), the session registry's idempotency / quota /
+   crash-recovery contracts, admission control, and one in-process
+   daemon+client end-to-end run. *)
+
+module Json = Server.Json
+module Http = Server.Http
+module Engines = Server.Engines
+module Stepper = Server.Stepper
+module Registry = Server.Registry
+module Admission = Server.Admission
+module Tenant = Server.Tenant
+
+let with_temp_dir f =
+  let path = Filename.temp_file "learnq_server" ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun e -> try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+           (Sys.readdir path)
+       with Sys_error _ -> ());
+      try Unix.rmdir path with Unix.Unix_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Num x, Json.Num y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | Json.Str x, Json.Str y -> x = y
+  | Json.Arr x, Json.Arr y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Obj x, Json.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let json_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            (* ints: exact through the float representation *)
+            map (fun i -> Json.Num (float_of_int i)) (int_range (-1000000) 1000000);
+            map (fun s -> Json.Str s) (string_size ~gen:printable (int_bound 12));
+            map (fun s -> Json.Str s) (string_size (int_bound 12));
+          ]
+      in
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun l ->
+                  (* object keys must be distinct for roundtrip equality *)
+                  Json.Obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) l))
+                (list_size (int_bound 4) (self (n / 2))) );
+          ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json print/parse roundtrip" ~count:300
+    (QCheck.make ~print:(fun j -> Json.to_string j) json_gen)
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> json_equal j j'
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+let test_json_unicode () =
+  (match Json.parse {|"a\u00e9\u2603b"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8 decoded" "a\xc3\xa9\xe2\x98\x83b" s
+  | _ -> Alcotest.fail "unicode escape rejected");
+  match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair rejected"
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":1,}"; "1 2"; "\"\\x\""; "nul"; "{\"a\" 1}"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* HTTP framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_parse_head () =
+  match
+    Http.parse_head
+      "POST /v1/sessions HTTP/1.1\r\nHost: localhost\r\nX-Learnq-Tenant:  acme \r\nContent-Length: 2"
+  with
+  | Error e -> Alcotest.failf "parse_head: %s" e
+  | Ok req ->
+      Alcotest.(check string) "method" "POST" req.Http.meth;
+      Alcotest.(check string) "path" "/v1/sessions" req.Http.path;
+      Alcotest.(check (option string)) "header lookup is case-insensitive"
+        (Some "acme")
+        (Http.header "x-learnq-tenant" req);
+      Alcotest.(check (option string)) "content-length" (Some "2")
+        (Http.header "content-length" req)
+
+let test_http_parse_head_rejects () =
+  List.iter
+    (fun s ->
+      match Http.parse_head s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "GET"; "GET /x"; "GET /x HTTP/1.1\r\nNoColonHere" ]
+
+(* ------------------------------------------------------------------ *)
+(* Stepper: the inverted loop                                          *)
+(* ------------------------------------------------------------------ *)
+
+let twig_spec = { Engines.default_spec with Engines.engine = "twig"; seed = 7; scale = 0.02 }
+
+let truth_of spec goal =
+  match Engines.oracle spec ~goal with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "oracle: %s" (Core.Error.to_string e)
+
+let make_stepper spec =
+  match Engines.make spec with
+  | Ok st -> st
+  | Error e -> Alcotest.failf "engine: %s" (Core.Error.to_string e)
+
+let drive st truth =
+  let rec go n =
+    let v = st.Stepper.view () in
+    if v.Stepper.done_ then (n, v)
+    else
+      match v.Stepper.question with
+      | None -> (n, v)
+      | Some key -> (
+          match
+            st.Stepper.answer ~qid:v.Stepper.qid (Core.Flaky.Label (truth key))
+          with
+          | Ok _ -> go (n + 1)
+          | Error e -> Alcotest.failf "answer: %s" (Core.Error.to_string e))
+  in
+  go 0
+
+let test_stepper_duplicate_qid_idempotent () =
+  let st = make_stepper twig_spec in
+  let truth = truth_of twig_spec "//person/name" in
+  let v = st.Stepper.view () in
+  let key = Option.get v.Stepper.question in
+  (match st.Stepper.answer ~qid:v.Stepper.qid (Core.Flaky.Label (truth key)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first answer: %s" (Core.Error.to_string e));
+  let v1 = st.Stepper.view () in
+  (* the client retries its delivered reply: a no-op returning the live view *)
+  (match st.Stepper.answer ~qid:v.Stepper.qid (Core.Flaky.Label (not (truth key))) with
+  | Ok v2 ->
+      Alcotest.(check int) "view unchanged" v1.Stepper.qid v2.Stepper.qid;
+      Alcotest.(check int) "no answer folded twice" v1.Stepper.questions
+        v2.Stepper.questions
+  | Error e -> Alcotest.failf "duplicate must be a no-op: %s" (Core.Error.to_string e));
+  st.Stepper.close ()
+
+let test_stepper_future_qid_rejected () =
+  let st = make_stepper twig_spec in
+  (match st.Stepper.answer ~qid:9999 (Core.Flaky.Label true) with
+  | Error (Core.Error.Invalid_input _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e)
+  | Ok _ -> Alcotest.fail "a qid from the future must be refused");
+  st.Stepper.close ()
+
+let test_stepper_matches_interact_loop () =
+  (* Differential: the inverted loop must walk the same path as the batch
+     loop it replaces — same strategy (pool order), same determined-pruning,
+     so same questions and same final query. *)
+  let doc = Benchkit.Xmark.generate ~scale:0.02 ~seed:7 () in
+  let goal =
+    match Twig.Parse.query_result "//person/name" with
+    | Ok q -> q
+    | Error e -> Alcotest.failf "goal: %s" (Core.Error.to_string e)
+  in
+  let outcome = Twiglearn.Interactive.run_with_goal ~doc ~goal () in
+  let st = make_stepper twig_spec in
+  let truth = truth_of twig_spec "//person/name" in
+  let questions, v = drive st truth in
+  st.Stepper.close ();
+  Alcotest.(check int) "same number of questions" outcome.Twiglearn.Interactive.Loop.questions
+    questions;
+  Alcotest.(check (option string)) "same final query"
+    (Option.map
+       (fun q -> Fmt.str "%a" Twig.Query.pp q)
+       outcome.Twiglearn.Interactive.Loop.query)
+    v.Stepper.query
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_config ?(tenants = Tenant.make []) ?(sync = Core.Journal.Off) dir =
+  { Registry.dir; sync; tenants; step_fuel = None; step_timeout = None }
+
+let test_registry_idempotent_create_and_conflict () =
+  with_temp_dir (fun dir ->
+      let reg = Registry.create (registry_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg)
+        (fun () ->
+          (match Registry.create_session reg ~tenant:"t" ~id:"s1" twig_spec with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+          (* same spec again: the live view, not an error *)
+          (match Registry.create_session reg ~tenant:"t" ~id:"s1" twig_spec with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "idempotent create: %s" (Core.Error.to_string e));
+          Alcotest.(check int) "still one session" 1 (Registry.count reg);
+          (* different spec: typed conflict *)
+          (match
+             Registry.create_session reg ~tenant:"t" ~id:"s1"
+               { twig_spec with Engines.seed = 8 }
+           with
+          | Error (Core.Error.Invalid_input _) -> ()
+          | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e)
+          | Ok _ -> Alcotest.fail "conflicting spec accepted");
+          (* hostile names never reach the filesystem *)
+          match Registry.create_session reg ~tenant:"t" ~id:"../evil" twig_spec with
+          | Error (Core.Error.Invalid_input _) -> ()
+          | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e)
+          | Ok _ -> Alcotest.fail "path-traversal id accepted"))
+
+let test_registry_quota_refusal () =
+  with_temp_dir (fun dir ->
+      let tenants = Tenant.make [ ("small", Tenant.quota ~max_sessions:1 ()) ] in
+      let reg = Registry.create (registry_config ~tenants dir) in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg)
+        (fun () ->
+          (match Registry.create_session reg ~tenant:"small" ~id:"a" twig_spec with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+          (match Registry.create_session reg ~tenant:"small" ~id:"b" twig_spec with
+          | Error (Core.Error.Over_quota _) -> ()
+          | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e)
+          | Ok _ -> Alcotest.fail "quota not enforced");
+          (* other tenants are unaffected *)
+          (match Registry.create_session reg ~tenant:"other" ~id:"b" twig_spec with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "other tenant: %s" (Core.Error.to_string e));
+          (* freeing the slot readmits *)
+          Alcotest.(check bool) "delete" true (Registry.delete reg ~tenant:"small" ~id:"a");
+          match Registry.create_session reg ~tenant:"small" ~id:"b2" twig_spec with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "readmit: %s" (Core.Error.to_string e)))
+
+let test_registry_crash_recover_equality () =
+  (* The server's whole fault-tolerance claim in one test: crash mid-session,
+     recover from the journal, finish — and land on the same query as a run
+     that was never interrupted. *)
+  let spec = { twig_spec with Engines.seed = 11 } in
+  let truth = truth_of spec "//person/name" in
+  let uninterrupted =
+    with_temp_dir (fun dir ->
+        let reg = Registry.create (registry_config dir) in
+        Fun.protect
+          ~finally:(fun () -> Registry.drain reg)
+          (fun () ->
+            (match Registry.create_session reg ~tenant:"t" ~id:"s" spec with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+            let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+            let _, v = drive st truth in
+            v.Stepper.query))
+  in
+  with_temp_dir (fun dir ->
+      let reg = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      (match Registry.create_session reg ~tenant:"t" ~id:"s" spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+      let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+      (* half a session, then the plug is pulled *)
+      let answered = ref 0 in
+      let rec half () =
+        let v = st.Stepper.view () in
+        if (not v.Stepper.done_) && !answered < 4 then
+          match v.Stepper.question with
+          | None -> ()
+          | Some key ->
+              (match
+                 st.Stepper.answer ~qid:v.Stepper.qid (Core.Flaky.Label (truth key))
+               with
+              | Ok _ -> incr answered
+              | Error e -> Alcotest.failf "answer: %s" (Core.Error.to_string e));
+              half ()
+      in
+      half ();
+      Registry.crash reg;
+      let reg2 = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg2)
+        (fun () ->
+          let pool = Core.Pool.create 1 in
+          let recovered, errors =
+            Fun.protect
+              ~finally:(fun () -> Core.Pool.shutdown pool)
+              (fun () -> Registry.recover_all reg2 ~pool)
+          in
+          List.iter
+            (fun (f, e) ->
+              Alcotest.failf "recovery error on %s: %s" f (Core.Error.to_string e))
+            errors;
+          Alcotest.(check int) "one session recovered" 1 recovered;
+          let st2 = Option.get (Registry.find reg2 ~tenant:"t" ~id:"s") in
+          Alcotest.(check bool) "answers replayed" true
+            ((st2.Stepper.view ()).Stepper.replayed > 0);
+          let _, v = drive st2 truth in
+          Alcotest.(check (option string)) "same query as uninterrupted"
+            uninterrupted v.Stepper.query))
+
+let test_registry_drain_releases_locks () =
+  with_temp_dir (fun dir ->
+      let reg = Registry.create (registry_config ~sync:Core.Journal.Batch dir) in
+      (match Registry.create_session reg ~tenant:"t" ~id:"s" twig_spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+      Registry.drain reg;
+      let entries = Array.to_list (Sys.readdir dir) in
+      Alcotest.(check bool) "journal kept" true
+        (List.exists (fun e -> Filename.check_suffix e ".journal") entries);
+      Alcotest.(check bool) "lock released" false
+        (List.exists (fun e -> Filename.check_suffix e ".lock") entries))
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_job () = { Http.status = 200; headers = []; body = "{}" }
+
+let test_admission_sheds_when_full () =
+  let adm = Admission.create ~retry_after:2.5 ~max_queue:1 () in
+  (match Admission.submit adm ~tenant:"a" ~key:"a/1" dummy_job with
+  | Admission.Enqueued _ -> ()
+  | _ -> Alcotest.fail "first job must enqueue");
+  match Admission.submit adm ~tenant:"b" ~key:"b/1" dummy_job with
+  | Admission.Shed retry ->
+      Alcotest.(check (float 1e-9)) "advertised retry-after" 2.5 retry
+  | _ -> Alcotest.fail "full queue must shed"
+
+let test_admission_breaker_trips () =
+  let policy =
+    Core.Retry.policy ~max_attempts:1 ~breaker_threshold:2 ~cooldown:60.
+      ~sleep:Core.Retry.no_sleep ()
+  in
+  let adm = Admission.create ~policy ~max_queue:16 () in
+  Admission.fault adm ~tenant:"rowdy";
+  (match Admission.submit adm ~tenant:"rowdy" ~key:"r/1" dummy_job with
+  | Admission.Enqueued _ -> ()
+  | _ -> Alcotest.fail "below threshold must still admit");
+  Admission.fault adm ~tenant:"rowdy";
+  (match Admission.submit adm ~tenant:"rowdy" ~key:"r/2" dummy_job with
+  | Admission.Tripped _ -> ()
+  | _ -> Alcotest.fail "tenant at threshold must trip");
+  (* the breaker is per tenant *)
+  match Admission.submit adm ~tenant:"calm" ~key:"c/1" dummy_job with
+  | Admission.Enqueued _ -> ()
+  | _ -> Alcotest.fail "another tenant must not be tripped"
+
+let test_admission_batches_key_disjoint () =
+  let adm = Admission.create ~max_queue:16 () in
+  let enq tenant key =
+    match Admission.submit adm ~tenant ~key dummy_job with
+    | Admission.Enqueued j -> j
+    | _ -> Alcotest.fail "enqueue"
+  in
+  let _a1 = enq "a" "a/s" in
+  let _a2 = enq "a" "a/s" in
+  (* same session: must not share a batch *)
+  let _b1 = enq "b" "b/s" in
+  let batch1 = Admission.take_batch adm ~max:8 ~block:false in
+  let keys = List.map (fun j -> j.Admission.key) batch1 in
+  Alcotest.(check int) "two jobs in the first batch" 2 (List.length batch1);
+  Alcotest.(check bool) "keys are disjoint" true
+    (List.sort_uniq compare keys = List.sort compare keys);
+  let batch2 = Admission.take_batch adm ~max:8 ~block:false in
+  Alcotest.(check int) "held-back job comes later" 1 (List.length batch2);
+  Alcotest.(check string) "and it is the duplicate key" "a/s"
+    (List.hd batch2).Admission.key
+
+(* ------------------------------------------------------------------ *)
+(* Daemon + client, in process                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_end_to_end () =
+  with_temp_dir (fun dir ->
+      let port_box = ref 0 in
+      let port_m = Mutex.create () in
+      let port_cv = Condition.create () in
+      let cfg =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.state_dir = dir;
+          port = 0;
+          pool = 1;
+          drain_grace = 2.0;
+          on_listen =
+            (fun p ->
+              Mutex.lock port_m;
+              port_box := p;
+              Condition.broadcast port_cv;
+              Mutex.unlock port_m);
+        }
+      in
+      let daemon = Server.Daemon.create cfg in
+      let serve_result = ref (Ok ()) in
+      let server_thread =
+        Thread.create (fun () -> serve_result := Server.Daemon.serve daemon) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Daemon.drain daemon;
+          Thread.join server_thread;
+          match !serve_result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "serve: %s" e)
+        (fun () ->
+          Mutex.lock port_m;
+          while !port_box = 0 do
+            Condition.wait port_cv port_m
+          done;
+          let port = !port_box in
+          Mutex.unlock port_m;
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let req ?body meth path =
+                match Server.Client.request c ~meth ~path ?body () with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "%s %s: %s" meth path e
+              in
+              let code, _ = req "GET" "/healthz" in
+              Alcotest.(check int) "healthz" 200 code;
+              let code, view =
+                req "POST" "/v1/sessions"
+                  ~body:
+                    (Json.Obj
+                       [
+                         ("id", Json.Str "e2e");
+                         ("engine", Json.Str "twig");
+                         ("seed", Json.of_int 7);
+                         ("scale", Json.Num 0.02);
+                       ])
+              in
+              Alcotest.(check int) "create" 200 code;
+              let qid = Option.get (Json.get_int "qid" view) in
+              let truth = truth_of twig_spec "//person/name" in
+              let key = Option.get (Json.get_str "question" view) in
+              let code, view =
+                req "POST" "/v1/sessions/e2e/answers"
+                  ~body:
+                    (Json.Obj
+                       [
+                         ("qid", Json.of_int qid);
+                         ("reply", Json.Bool (truth key));
+                       ])
+              in
+              Alcotest.(check int) "answer" 200 code;
+              Alcotest.(check bool) "question advanced" true
+                (Option.get (Json.get_int "qid" view) > qid);
+              let code, view' = req "GET" "/v1/sessions/e2e" in
+              Alcotest.(check int) "get view" 200 code;
+              Alcotest.(check (option int)) "stable view"
+                (Json.get_int "qid" view)
+                (Json.get_int "qid" view');
+              let code, _ = req "GET" "/v1/sessions/nosuch" in
+              Alcotest.(check int) "unknown session" 404 code;
+              let code, stats = req "GET" "/stats" in
+              Alcotest.(check int) "stats" 200 code;
+              Alcotest.(check (option int)) "one live session" (Some 1)
+                (Json.get_int "sessions" stats))))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+        ] );
+      ( "http",
+        [
+          Alcotest.test_case "parse_head" `Quick test_http_parse_head;
+          Alcotest.test_case "parse_head rejects" `Quick
+            test_http_parse_head_rejects;
+        ] );
+      ( "stepper",
+        [
+          Alcotest.test_case "duplicate qid is idempotent" `Quick
+            test_stepper_duplicate_qid_idempotent;
+          Alcotest.test_case "future qid is refused" `Quick
+            test_stepper_future_qid_rejected;
+          Alcotest.test_case "matches the batch loop" `Quick
+            test_stepper_matches_interact_loop;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "idempotent create, spec conflict" `Quick
+            test_registry_idempotent_create_and_conflict;
+          Alcotest.test_case "quota refusal" `Quick test_registry_quota_refusal;
+          Alcotest.test_case "crash/recover equals uninterrupted" `Quick
+            test_registry_crash_recover_equality;
+          Alcotest.test_case "drain releases locks" `Quick
+            test_registry_drain_releases_locks;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "sheds when full" `Quick test_admission_sheds_when_full;
+          Alcotest.test_case "breaker trips a tenant" `Quick
+            test_admission_breaker_trips;
+          Alcotest.test_case "batches are key-disjoint" `Quick
+            test_admission_batches_key_disjoint;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+    ]
