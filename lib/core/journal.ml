@@ -170,8 +170,8 @@ let fsync_timed fd =
 
 (* Two writers appending to one journal interleave frames into corruption
    that [recover] can only report, not repair.  A sidecar lock file taken
-   with O_EXCL (and holding the owner's pid) makes the second opener lose
-   with a typed error instead.  A lock whose recorded pid is dead is the
+   atomically (and always holding the owner's pid) makes the second opener
+   lose with a typed error instead.  A lock whose recorded pid is dead is the
    residue of a crash — SIGKILL runs no cleanup — and is stolen silently,
    which is what lets a restarted daemon resume the very journals its
    predecessor died holding. *)
@@ -191,16 +191,26 @@ let read_lock_pid lock_path =
 
 let acquire_lock path =
   let lock_path = lock_path_of path in
+  (* The pid is written to a private temp file which is then [link(2)]ed
+     into place (atomic, fails with EEXIST if held): the lock file can
+     never be observed without its pid, so a rival reading it cannot
+     misclassify a live lock as torn and steal it mid-creation. *)
   let try_take () =
-    match
-      Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
-    with
-    | fd ->
-        let pid = string_of_int (Unix.getpid ()) in
-        write_all fd pid;
-        Unix.close fd;
-        `Taken
-    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> `Held
+    let tmp =
+      Printf.sprintf "%s.%d.tmp" lock_path (Unix.getpid ())
+    in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    write_all fd (string_of_int (Unix.getpid ()));
+    Unix.close fd;
+    let r =
+      match Unix.link tmp lock_path with
+      | () -> `Taken
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> `Held
+    in
+    (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+    r
   in
   let rec go attempts =
     if attempts = 0 then
@@ -214,11 +224,15 @@ let acquire_lock path =
       | `Held -> (
           match read_lock_pid lock_path with
           | Some pid when pid_alive pid -> Error (Error.journal_locked ~path ~pid)
-          | Some _ | None ->
-              (* Dead holder or a torn lock file: stale, steal it.  If a rival
-                 steals first we lose the O_EXCL race on the next attempt and
-                 report the (now live) holder. *)
+          | Some _ ->
+              (* Dead holder: the residue of a crash, steal it.  If a rival
+                 steals first we lose the link(2) race on the next attempt
+                 and report the (now live) holder. *)
               (try Unix.unlink lock_path with Unix.Unix_error _ -> ());
+              go (attempts - 1)
+          | None ->
+              (* The lock vanished between the EEXIST and the read (the
+                 holder released it): retry without stealing anything. *)
               go (attempts - 1))
   in
   go 2

@@ -9,7 +9,11 @@ type job = {
   cv : Condition.t;
 }
 
-type verdict = Enqueued of job | Shed of float | Tripped of float
+type verdict =
+  | Enqueued of job
+  | Shed of float
+  | Tripped of float
+  | Draining of float
 
 type t = {
   max_queue : int;
@@ -19,6 +23,7 @@ type t = {
   queues : (string, job Queue.t) Hashtbl.t;
   mutable rr : string list;  (** tenants with (possibly empty) queues, in
                                  round-robin order; cleaned lazily *)
+  mutable draining : bool;
   mutable total : int;
   mutable shed : int;
   mutable tripped : int;
@@ -43,6 +48,7 @@ let create ?(retry_after = 1.0) ?policy ~max_queue () =
     breakers = Hashtbl.create 16;
     queues = Hashtbl.create 16;
     rr = [];
+    draining = false;
     total = 0;
     shed = 0;
     tripped = 0;
@@ -63,8 +69,19 @@ let breaker_of t tenant =
       Hashtbl.add t.breakers tenant b;
       b
 
+(* The drain flag lives under the queue lock so that submit-vs-drain is
+   serialized: once [drain] has returned, every later [submit] refuses, so
+   a job can never slip into the queue after the dispatcher's final
+   "draining && pending = 0" check — which would strand its waiter. *)
+let drain t =
+  with_lock t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.cv)
+
 let submit t ~tenant ~key run =
   with_lock t (fun () ->
+      if t.draining then Draining t.retry_after
+      else
       let b = breaker_of t tenant in
       match Retry.breaker_state b with
       | Retry.Open ->

@@ -30,12 +30,21 @@ type verdict =
   | Enqueued of job
   | Shed of float  (** queue full; retry after this many seconds *)
   | Tripped of float  (** tenant breaker open; retry after this many seconds *)
+  | Draining of float
+      (** {!drain} has been called; the queue admits nothing more *)
 
 type t
 
 val create : ?retry_after:float -> ?policy:Core.Retry.policy -> max_queue:int -> unit -> t
 (** [policy] parameterizes the per-tenant breakers (default: threshold 8,
     cooldown = [retry_after], which defaults to 1s). *)
+
+val drain : t -> unit
+(** Stop admitting: every subsequent {!submit} returns [Draining].  The
+    flag is checked under the queue lock, so once [drain] returns, no job
+    can race into the queue behind the dispatcher's final emptiness check
+    and strand its waiting connection thread.  Also wakes blocked
+    {!take_batch} callers. *)
 
 val submit : t -> tenant:string -> key:string -> (unit -> Http.response) -> verdict
 

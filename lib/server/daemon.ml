@@ -69,7 +69,15 @@ let create cfg =
     requests = Atomic.make 0;
   }
 
-let drain t = Atomic.set t.drain_flag true
+(* Order matters: the admission queue must refuse before the atomic flag
+   flips, because the dispatcher exits on [draining && pending = 0] — if a
+   submit could still enqueue after that check, its waiter would block
+   forever.  Seeing drain_flag = true implies Admission.drain completed,
+   which implies any job counted by a later [pending] read was enqueued
+   before the refusal point. *)
+let drain t =
+  Admission.drain t.admission;
+  Atomic.set t.drain_flag true
 let draining t = Atomic.get t.drain_flag
 let registry t = t.registry
 
@@ -241,7 +249,10 @@ let handle t (req : Http.request) =
                   if Telemetry.enabled () then
                     Telemetry.Metrics.incr m_tripped;
                   error_response ~headers:(retry_after_headers ra) 429
-                    "tenant breaker open: too many malformed requests")
+                    "tenant breaker open: too many malformed requests"
+              | Admission.Draining ra ->
+                  error_response ~headers:(retry_after_headers ra) 503
+                    "draining: not admitting session work")
         in
         (match outcome.Http.status with
         | 400 | 404 | 405 | 409 ->
@@ -259,12 +270,28 @@ let conn_thread t fd =
   let conn = Http.conn_of_fd fd in
   (* A short receive timeout lets idle keep-alive connections notice the
      drain flag instead of pinning the grace period. *)
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+  let rcv_timeout = 0.5 in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO rcv_timeout
    with Unix.Unix_error _ | Invalid_argument _ -> ());
-  let rec loop () =
+  (* A timeout with buffered bytes means the client paused mid-request
+     (read_request keeps the partial request intact): keep reading it —
+     even while draining — up to its own deadline.  Only an empty-buffer
+     timeout is an idle keep-alive poll that drain may cut short. *)
+  let request_deadline = 30.0 in
+  let max_stalls = int_of_float (Float.ceil (request_deadline /. rcv_timeout)) in
+  let rec loop stalls =
     match Http.read_request conn with
     | Ok None -> ()
-    | Error "timeout" -> if draining t then () else loop ()
+    | Error "timeout" ->
+        if Http.buffered conn then begin
+          if stalls >= max_stalls then
+            ignore
+              (Http.write_response conn ~keep_alive:false
+                 (error_response 408 "timed out mid request"))
+          else loop (stalls + 1)
+        end
+        else if draining t then ()
+        else loop 0
     | Error _ ->
         ignore
           (Http.write_response conn ~keep_alive:false
@@ -284,14 +311,14 @@ let conn_thread t fd =
           && Http.header "connection" req <> Some "close"
         in
         (match Http.write_response conn ~keep_alive resp with
-        | Ok () -> if keep_alive then loop ()
+        | Ok () -> if keep_alive then loop 0
         | Error _ -> ())
   in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Atomic.decr t.conns)
-    loop
+    (fun () -> loop 0)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                          *)

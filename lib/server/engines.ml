@@ -14,12 +14,37 @@ let config_of_spec s =
   Printf.sprintf "engine=%s seed=%d scale=%g rows=%d cities=%d" s.engine s.seed
     s.scale s.rows s.cities
 
+let valid_engine = function "twig" | "join" | "path" -> true | _ -> false
+
+(* Instance-size ceilings.  Specs arrive over the wire (POST /v1/sessions)
+   and are replayed verbatim from journal headers at startup, so both entry
+   points must bound them: an unbounded [rows] or [scale] lets one request
+   allocate a pool domain to death — and, once persisted in a header, crash
+   the daemon again on every recovery until the journal is deleted. *)
+let max_scale = 2.0
+let max_rows = 512
+let max_cities = 512
+
+let validate s =
+  if not (valid_engine s.engine) then
+    Error (Printf.sprintf "unknown engine %S (twig|join|path)" s.engine)
+  else if not (Float.is_finite s.scale && s.scale > 0. && s.scale <= max_scale)
+  then
+    Error
+      (Printf.sprintf "scale must be in (0, %g], got %g" max_scale s.scale)
+  else if s.rows < 1 || s.rows > max_rows then
+    Error (Printf.sprintf "rows must be in [1, %d], got %d" max_rows s.rows)
+  else if s.cities < 1 || s.cities > max_cities then
+    Error
+      (Printf.sprintf "cities must be in [1, %d], got %d" max_cities s.cities)
+  else Ok s
+
 let spec_of_config line =
   let kvs =
     String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
   in
   let rec fold spec = function
-    | [] -> Ok spec
+    | [] -> validate spec
     | kv :: rest -> (
         match String.index_opt kv '=' with
         | None -> Error (Printf.sprintf "bad config token %S" kv)
@@ -44,22 +69,16 @@ let spec_of_config line =
   in
   fold default_spec kvs
 
-let valid_engine = function "twig" | "join" | "path" -> true | _ -> false
-
 let spec_of_json j =
   let d = default_spec in
-  let engine = Option.value ~default:d.engine (Json.get_str "engine" j) in
-  if not (valid_engine engine) then
-    Error (Printf.sprintf "unknown engine %S (twig|join|path)" engine)
-  else
-    Ok
-      {
-        engine;
-        seed = Option.value ~default:d.seed (Json.get_int "seed" j);
-        scale = Option.value ~default:d.scale (Json.get_num "scale" j);
-        rows = Option.value ~default:d.rows (Json.get_int "rows" j);
-        cities = Option.value ~default:d.cities (Json.get_int "cities" j);
-      }
+  validate
+    {
+      engine = Option.value ~default:d.engine (Json.get_str "engine" j);
+      seed = Option.value ~default:d.seed (Json.get_int "seed" j);
+      scale = Option.value ~default:d.scale (Json.get_num "scale" j);
+      rows = Option.value ~default:d.rows (Json.get_int "rows" j);
+      cities = Option.value ~default:d.cities (Json.get_int "cities" j);
+    }
 
 let json_of_spec s =
   Json.Obj

@@ -25,13 +25,25 @@ val default_spec : spec
 val config_of_spec : spec -> string
 (** Canonical [key=value] line stored in the journal header. *)
 
+val max_scale : float
+val max_rows : int
+val max_cities : int
+(** Instance-size ceilings enforced by {!validate}: a spec fresh off the
+    wire or replayed from a journal header must not be able to allocate an
+    arbitrarily large instance on a pool domain. *)
+
+val validate : spec -> (spec, string) result
+(** Checks the engine name and that [scale]/[rows]/[cities] are positive,
+    finite, and within the ceilings above. *)
+
 val spec_of_config : string -> (spec, string) result
 (** Inverse of {!config_of_spec} (order-insensitive, unknown keys are
-    errors). *)
+    errors); the result is {!validate}d, so a poisoned journal header is an
+    [Error], not a daemon-killing allocation at recovery. *)
 
 val spec_of_json : Json.t -> (spec, string) result
 (** Reads [engine]/[seed]/[scale]/[rows]/[cities] fields, defaulting the
-    absent ones from {!default_spec}. *)
+    absent ones from {!default_spec}; the result is {!validate}d. *)
 
 val json_of_spec : spec -> Json.t
 

@@ -120,39 +120,43 @@ let consume c k =
   Buffer.clear c.buf;
   Buffer.add_substring c.buf s k (String.length s - k)
 
+let buffered c = Buffer.length c.buf > 0
+
 let read_request ?(max_head = 16 * 1024) ?(max_body = 1024 * 1024) c =
+  (* The buffer is consumed only once the complete request — head {e and}
+     body — has arrived.  A receive timeout mid-request therefore leaves
+     every byte in place, and the caller can simply call again to keep
+     reading the same request; treating [Error "timeout"] as an idle
+     keep-alive poll can never drop a half-received request. *)
   let rec head () =
     match find_head_end c with
-    | Some (i, tlen, s) ->
-        let raw = String.sub s 0 i in
-        consume c (i + tlen);
-        Ok raw
+    | Some (i, tlen, s) -> Ok (Some (String.sub s 0 i, i + tlen))
     | None ->
         if Buffer.length c.buf > max_head then Error "request head too large"
         else (
           match refill c with
           | Ok 0 ->
-              if Buffer.length c.buf = 0 then Ok "" (* orderly EOF *)
+              if Buffer.length c.buf = 0 then Ok None (* orderly EOF *)
               else Error "eof mid request head"
           | Ok _ -> head ()
           | Error _ as e -> e)
   in
-  let rec body len =
-    if Buffer.length c.buf >= len then (
+  let rec body ~off len =
+    if Buffer.length c.buf >= off + len then (
       let s = Buffer.contents c.buf in
-      let b = String.sub s 0 len in
-      consume c len;
+      let b = String.sub s off len in
+      consume c (off + len);
       Ok b)
     else
       match refill c with
       | Ok 0 -> Error "eof mid request body"
-      | Ok _ -> body len
+      | Ok _ -> body ~off len
       | Error _ as e -> e
   in
   match head () with
   | Error _ as e -> e
-  | Ok "" -> Ok None
-  | Ok raw -> (
+  | Ok None -> Ok None
+  | Ok (Some (raw, off)) -> (
       match parse_head raw with
       | Error _ as e -> e
       | Ok req -> (
@@ -168,7 +172,7 @@ let read_request ?(max_head = 16 * 1024) ?(max_body = 1024 * 1024) c =
           | Error _ as e -> e
           | Ok len when len > max_body -> Error "request body too large"
           | Ok len ->
-              Result.map (fun b -> Some { req with body = b }) (body len)))
+              Result.map (fun b -> Some { req with body = b }) (body ~off len)))
 
 let write_all fd s =
   let b = Bytes.of_string s in

@@ -40,13 +40,21 @@ type conn
 
 val conn_of_fd : Unix.file_descr -> conn
 
+val buffered : conn -> bool
+(** [true] iff unconsumed bytes are buffered — i.e. a request is partly
+    received (or pipelined).  After an [Error "timeout"], this is how the
+    caller distinguishes "idle keep-alive connection" from "client paused
+    mid-request": only the former may be treated as an idle poll. *)
+
 val read_request :
   ?max_head:int -> ?max_body:int -> conn -> (request option, string) result
 (** Reads one request: head up to the [\r\n\r\n] terminator, then exactly
     [Content-Length] body bytes.  [Ok None] is orderly EOF before any byte
     of a request; [Error _] covers malformed heads, oversized heads/bodies
     (defaults 16 KiB / 1 MiB), and mid-request EOF.  Read timeouts set on
-    the socket surface as [Error "timeout"]. *)
+    the socket surface as [Error "timeout"]; the buffer is consumed only
+    when a complete request has arrived, so calling again after a timeout
+    resumes reading the {e same} request with nothing lost. *)
 
 val write_response : conn -> keep_alive:bool -> response -> (unit, string) result
 (** Serializes status line, headers ([Content-Length], [Connection], any

@@ -35,8 +35,12 @@ let valid_name s =
          | _ -> false)
        s
 
+(* "." cannot appear in a valid tenant or session name, so
+   [tenant ^ "." ^ id] is injective: no two (tenant, id) pairs share a
+   journal file, and recovery can split the name back unambiguously.  (A
+   "__" separator would be ambiguous — names may contain '_' anywhere.) *)
 let journal_path cfg ~tenant ~id =
-  Filename.concat cfg.dir (tenant ^ "__" ^ id ^ ".journal")
+  Filename.concat cfg.dir (tenant ^ "." ^ id ^ ".journal")
 
 let create cfg =
   (try Unix.mkdir cfg.dir 0o755
@@ -218,17 +222,15 @@ let recover_all t ~pool =
   in
   let parse_name f =
     let base = Filename.chop_suffix f ".journal" in
-    (* tenant__id, where tenant may not contain "__" (names are
-       [A-Za-z0-9_-], so we split on the first double underscore) *)
-    let rec split i =
-      if i + 1 >= String.length base then None
-      else if base.[i] = '_' && base.[i + 1] = '_' then
-        Some
-          ( String.sub base 0 i,
-            String.sub base (i + 2) (String.length base - i - 2) )
-      else split (i + 1)
-    in
-    split 0
+    (* tenant.id — '.' is not a name character, so the first '.' is the
+       separator and the mapping round-trips exactly. *)
+    match String.index_opt base '.' with
+    | None -> None
+    | Some i ->
+        let tenant = String.sub base 0 i in
+        let id = String.sub base (i + 1) (String.length base - i - 1) in
+        if valid_name tenant && valid_name id then Some (tenant, id)
+        else None
   in
   let todo =
     List.filter_map

@@ -5,7 +5,8 @@
     Three invariants carry the server's fault-tolerance story:
 
     - {e journal-keyed}: a session's entire recoverable state is its
-      journal ([<dir>/<tenant>__<id>.journal] — the header's config line
+      journal ([<dir>/<tenant>.<id>.journal] — '.' cannot appear in a
+      name, so the mapping is injective; the header's config line
       regenerates the instance, the events replay the answers).  The
       registry holds only the in-memory stepper; {!recover_all} rebuilds
       the table from the directory after a crash.

@@ -124,6 +124,76 @@ let test_http_parse_head_rejects () =
       | Error _ -> ())
     [ ""; "GET"; "GET /x"; "GET /x HTTP/1.1\r\nNoColonHere" ]
 
+let test_http_timeout_mid_body_resumes () =
+  (* A receive timeout between the head and the body must not lose the
+     request: the next read_request call picks up the same request and
+     returns it whole once the body arrives. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.set_nonblock a;
+      (* nonblocking read surfaces as Error "timeout", like SO_RCVTIMEO *)
+      let conn = Http.conn_of_fd a in
+      let head = "POST /v1/x HTTP/1.1\r\nContent-Length: 4\r\n\r\n" in
+      let n = Unix.write_substring b head 0 (String.length head) in
+      Alcotest.(check int) "head written" (String.length head) n;
+      let _ = Unix.write_substring b "ab" 0 2 in
+      (* client pauses mid-body *)
+      (match Http.read_request conn with
+      | Error "timeout" -> ()
+      | Ok _ -> Alcotest.fail "request cannot be complete yet"
+      | Error e -> Alcotest.failf "wrong error: %s" e);
+      Alcotest.(check bool) "partial request still buffered" true
+        (Http.buffered conn);
+      let _ = Unix.write_substring b "cd" 0 2 in
+      match Http.read_request conn with
+      | Ok (Some req) ->
+          Alcotest.(check string) "nothing lost: full body" "abcd" req.Http.body;
+          Alcotest.(check string) "path intact" "/v1/x" req.Http.path
+      | Ok None -> Alcotest.fail "eof?"
+      | Error e -> Alcotest.failf "read_request: %s" e)
+
+let test_engines_spec_limits () =
+  (* Unbounded instance knobs must be refused at both entry points: the
+     wire (spec_of_json) and journal-header recovery (spec_of_config). *)
+  let bad_json =
+    [
+      Json.Obj [ ("rows", Json.of_int 1000000000) ];
+      Json.Obj [ ("rows", Json.of_int 0) ];
+      Json.Obj [ ("cities", Json.of_int 1000000000) ];
+      Json.Obj [ ("scale", Json.Num 1e9) ];
+      Json.Obj [ ("scale", Json.Num (-1.0)) ];
+      Json.Obj [ ("scale", Json.Num Float.nan) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Engines.spec_of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" (Json.to_string j))
+    bad_json;
+  (match Engines.spec_of_json (Json.Obj [ ("rows", Json.of_int 64) ]) with
+  | Ok s -> Alcotest.(check int) "in-range rows pass" 64 s.Engines.rows
+  | Error e -> Alcotest.failf "in-range spec refused: %s" e);
+  List.iter
+    (fun line ->
+      match Engines.spec_of_config line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "recovery accepted %S" line)
+    [
+      "engine=join seed=0 scale=0.1 rows=1000000000 cities=12";
+      "engine=path seed=0 scale=0.1 rows=12 cities=1000000000";
+      "engine=twig seed=0 scale=1e9 rows=12 cities=12";
+    ];
+  match
+    Engines.spec_of_config (Engines.config_of_spec Engines.default_spec)
+  with
+  | Ok s -> Alcotest.(check bool) "roundtrip" true (s = Engines.default_spec)
+  | Error e -> Alcotest.failf "default spec refused: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Stepper: the inverted loop                                          *)
 (* ------------------------------------------------------------------ *)
@@ -341,6 +411,41 @@ let test_registry_drain_releases_locks () =
       Alcotest.(check bool) "lock released" false
         (List.exists (fun e -> Filename.check_suffix e ".lock") entries))
 
+let test_registry_names_injective_across_restart () =
+  (* tenant "a_" / id "b" and tenant "a" / id "_b" must map to different
+     journal files, and recovery must hand each session back to the tenant
+     that owns it — not resurrect one as the other. *)
+  with_temp_dir (fun dir ->
+      let reg = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      (match Registry.create_session reg ~tenant:"a_" ~id:"b" twig_spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "create a_/b: %s" (Core.Error.to_string e));
+      (match Registry.create_session reg ~tenant:"a" ~id:"_b" twig_spec with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "a/_b collided with a_/b: %s" (Core.Error.to_string e));
+      Alcotest.(check int) "two distinct sessions" 2 (Registry.count reg);
+      Registry.drain reg;
+      let reg2 = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg2)
+        (fun () ->
+          let pool = Core.Pool.create 1 in
+          let recovered, errors =
+            Fun.protect
+              ~finally:(fun () -> Core.Pool.shutdown pool)
+              (fun () -> Registry.recover_all reg2 ~pool)
+          in
+          List.iter
+            (fun (f, e) ->
+              Alcotest.failf "recovery error on %s: %s" f (Core.Error.to_string e))
+            errors;
+          Alcotest.(check int) "both recovered" 2 recovered;
+          Alcotest.(check bool) "a_/b back under tenant a_" true
+            (Registry.find reg2 ~tenant:"a_" ~id:"b" <> None);
+          Alcotest.(check bool) "a/_b back under tenant a" true
+            (Registry.find reg2 ~tenant:"a" ~id:"_b" <> None)))
+
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -396,6 +501,23 @@ let test_admission_batches_key_disjoint () =
   Alcotest.(check int) "held-back job comes later" 1 (List.length batch2);
   Alcotest.(check string) "and it is the duplicate key" "a/s"
     (List.hd batch2).Admission.key
+
+let test_admission_drain_refuses_submits () =
+  (* Once drain has returned, no submit may enqueue (it would strand its
+     waiter after the dispatcher exits) — but jobs enqueued before the
+     drain stay takeable, per "finish the backlog" semantics. *)
+  let adm = Admission.create ~max_queue:16 () in
+  (match Admission.submit adm ~tenant:"a" ~key:"a/1" dummy_job with
+  | Admission.Enqueued _ -> ()
+  | _ -> Alcotest.fail "pre-drain job must enqueue");
+  Admission.drain adm;
+  (match Admission.submit adm ~tenant:"a" ~key:"a/2" dummy_job with
+  | Admission.Draining _ -> ()
+  | Admission.Enqueued _ -> Alcotest.fail "post-drain submit must be refused"
+  | _ -> Alcotest.fail "post-drain submit must report Draining");
+  let batch = Admission.take_batch adm ~max:8 ~block:false in
+  Alcotest.(check int) "backlog still drains" 1 (List.length batch);
+  Alcotest.(check int) "queue empty afterwards" 0 (Admission.pending adm)
 
 (* ------------------------------------------------------------------ *)
 (* Daemon + client, in process                                         *)
@@ -510,6 +632,13 @@ let () =
           Alcotest.test_case "parse_head" `Quick test_http_parse_head;
           Alcotest.test_case "parse_head rejects" `Quick
             test_http_parse_head_rejects;
+          Alcotest.test_case "timeout mid body resumes" `Quick
+            test_http_timeout_mid_body_resumes;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "spec limits enforced" `Quick
+            test_engines_spec_limits;
         ] );
       ( "stepper",
         [
@@ -529,6 +658,8 @@ let () =
             test_registry_crash_recover_equality;
           Alcotest.test_case "drain releases locks" `Quick
             test_registry_drain_releases_locks;
+          Alcotest.test_case "names injective across restart" `Quick
+            test_registry_names_injective_across_restart;
         ] );
       ( "admission",
         [
@@ -537,6 +668,8 @@ let () =
             test_admission_breaker_trips;
           Alcotest.test_case "batches are key-disjoint" `Quick
             test_admission_batches_key_disjoint;
+          Alcotest.test_case "drain refuses submits" `Quick
+            test_admission_drain_refuses_submits;
         ] );
       ( "daemon",
         [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
