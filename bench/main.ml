@@ -12,7 +12,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6]...";
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6 | pr7]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -61,6 +61,7 @@ let () =
         | "pr4" -> guarded "pr4" Hotpath.run
         | "pr5" -> guarded "pr5" Fuzzbench.run
         | "pr6" -> guarded "pr6" Serve.run
+        | "pr7" -> guarded "pr7" Storage.run
         | _ -> usage ())
   in
   match names with
@@ -71,5 +72,6 @@ let () =
       guarded "pr3" Overhead.run;
       guarded "pr4" Hotpath.run;
       guarded "pr5" Fuzzbench.run;
-      guarded "pr6" Serve.run
+      guarded "pr6" Serve.run;
+      guarded "pr7" Storage.run
   | names -> List.iter run_experiment names

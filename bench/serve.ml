@@ -113,7 +113,8 @@ let with_temp_dir prefix f =
       try Unix.rmdir path with Unix.Unix_error _ -> ())
     (fun () -> f path)
 
-let registry ~dir ~sync =
+let registry ?(vfs = Core.Vfs.real) ?(checkpoint_every = 0) ?(max_live = 0)
+    ~dir ~sync () =
   Registry.create
     {
       Registry.dir;
@@ -121,6 +122,10 @@ let registry ~dir ~sync =
       tenants = Server.Tenant.make [];
       step_fuel = None;
       step_timeout = None;
+      vfs;
+      checkpoint_every;
+      max_live;
+      idle_evict_after = 0.;
     }
 
 let drive_stepper st reply =
@@ -144,7 +149,7 @@ let drive_stepper st reply =
    kill point. *)
 let reference_runs sess =
   with_temp_dir "learnq-serve-ref" (fun dir ->
-      let reg = registry ~dir ~sync:Core.Journal.Off in
+      let reg = registry ~dir ~sync:Core.Journal.Off () in
       Fun.protect
         ~finally:(fun () -> Registry.drain reg)
         (fun () ->
@@ -481,7 +486,7 @@ let run_phase_a sess refs state_dir =
    whole multicore story on a single core. *)
 let run_pool_phase ~pool_size =
   with_temp_dir "learnq-serve-pool" (fun dir ->
-      let reg = registry ~dir ~sync:Core.Journal.Always in
+      let reg = registry ~dir ~sync:Core.Journal.Always () in
       let steppers =
         List.init pool_sessions (fun i ->
             let spec =

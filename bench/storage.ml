@@ -1,0 +1,573 @@
+(* Storage-robustness bench (PR 7): the disk-fault axis of the chaos
+   harness, orthogonal to PR6's SIGKILL axis.
+
+   Part A — checkpoint economics: a long path session (>= 1000 journal
+   records) is resumed twice, once by full replay and once from a
+   checkpointed + compacted journal.  Reports the compaction ratio and the
+   resume speedup; the speedup gates at >= 5x (the path codec rebuilds the
+   accumulator with one batch [Words.learn] instead of one per record).
+
+   Part B — evicted-resume latency: sessions pushed out of a small
+   [max_live] window by LRU eviction are resurrected on demand; per-resume
+   latency is reported as p50/p99.
+
+   Part C — disk-fault soak: many sessions driven through a small live
+   window on a faulty Vfs (1% ENOSPC / EIO / short writes, torn tails at
+   crash), with two in-process crash+recover cycles mid-run.  Gates: zero
+   lost sessions (every query equals the uninterrupted reference) and zero
+   quarantines, since none of the injected faults corrupts records in
+   place.
+
+   Results land in BENCH_PR7.json; the soak-smoke CI lane greps the
+   gates. *)
+
+module Engines = Server.Engines
+module Registry = Server.Registry
+module Stepper = Server.Stepper
+module Json = Server.Json
+
+let now = Core.Monotonic.now
+let trials = 3 (* best-of-N for the resume timings *)
+let long_min_answers = 500 (* the >= 1k-record floor of the speedup gate *)
+let evict_sessions_n = 48
+let evict_window = 4
+let soak_window = 8
+let soak_stride = 3 (* answers per session per soak round *)
+
+let soak_sessions_n =
+  match Sys.getenv_opt "LEARNQ_SOAK_SESSIONS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 60)
+  | None -> 60
+
+(* ------------------------------------------------------------------ *)
+(* Plumbing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_dir prefix f =
+  let path = Filename.temp_file prefix ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun e ->
+             try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+           (Sys.readdir path)
+       with Sys_error _ -> ());
+      try Unix.rmdir path with Unix.Unix_error _ -> ())
+    (fun () -> f path)
+
+let registry ?(vfs = Core.Vfs.real) ?(checkpoint_every = 0) ?(max_live = 0)
+    ~dir ~sync () =
+  Registry.create
+    {
+      Registry.dir;
+      sync;
+      (* The soak parks hundreds of sessions behind the eviction window
+         under one tenant; only [max_live] are ever live, but admission
+         counts them all, so the quota must clear the fleet size. *)
+      tenants =
+        Server.Tenant.make
+          ~default:(Server.Tenant.quota ~max_sessions:10_000 ())
+          [];
+      step_fuel = None;
+      step_timeout = None;
+      vfs;
+      checkpoint_every;
+      max_live;
+      idle_evict_after = 0.;
+    }
+
+let truth_of spec goal =
+  match Engines.oracle spec ~goal with
+  | Ok f -> f
+  | Error e -> failwith ("storage bench: bad goal: " ^ Core.Error.to_string e)
+
+(* Deliver up to [stop_after] replies from [client], retrying on injected
+   storage faults (the view is re-read each round, so a retry always
+   answers the current question).  Returns replies delivered and the
+   final query. *)
+let drive_client ?(stop_after = max_int) ?(fault_budget = 0) faults st client =
+  let rec go n budget =
+    let v = st.Stepper.view () in
+    if v.Stepper.done_ || n >= stop_after then (n, v.Stepper.query)
+    else
+      match v.Stepper.question with
+      | None -> (n, v.Stepper.query)
+      | Some key -> (
+          match st.Stepper.answer ~qid:v.Stepper.qid (client key) with
+          | Ok _ -> go (n + 1) budget
+          | Error (Core.Error.Storage _) when budget > 0 ->
+              incr faults;
+              go n (budget - 1)
+          | Error e ->
+              failwith ("storage bench: answer: " ^ Core.Error.to_string e))
+  in
+  go 0 fault_budget
+
+let drive ?stop_after ?fault_budget faults st truth =
+  drive_client ?stop_after ?fault_budget faults st (fun key ->
+      Core.Flaky.Label (truth key))
+
+let journal_path dir =
+  match
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun e -> Filename.check_suffix e ".journal")
+  with
+  | [ name ] -> Filename.concat dir name
+  | l ->
+      failwith
+        (Printf.sprintf "storage bench: expected one journal, found %d"
+           (List.length l))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+(* ------------------------------------------------------------------ *)
+(* Part A: compaction ratio and resume-from-checkpoint speedup         *)
+(* ------------------------------------------------------------------ *)
+
+(* The determined-scan prunes so aggressively (the paper's efficiency
+   claim) that no session reaches 1000 records in one sitting — long
+   journals come from long {e horizons}: a crowd that mostly declines,
+   with every evict/resume cycle re-pooling the refused items and
+   journaling a fresh Asked/Answered pair per decline.  That unbounded
+   growth is the exact pathology checkpoints exist to contain, so the
+   bench builds its long journal the same way, through the real API. *)
+let refusal_cycles = 400
+let refusals_per_cycle = 20
+
+let recover_one ~dir ~sync =
+  let reg = registry ~dir ~sync () in
+  let pool = Core.Pool.create 1 in
+  let recovered, errors =
+    Fun.protect
+      ~finally:(fun () -> Core.Pool.shutdown pool)
+      (fun () -> Registry.recover_all reg ~pool)
+  in
+  (match errors with
+  | [] -> ()
+  | (f, e) :: _ ->
+      failwith
+        (Printf.sprintf "storage bench: recover %s: %s" f
+           (Core.Error.to_string e)));
+  if recovered <> 1 then failwith "storage bench: session lost";
+  reg
+
+let build_long_session ~dir spec truth =
+  let sync = Core.Journal.Off in
+  let reg = ref (registry ~dir ~sync ()) in
+  (match Registry.create_session !reg ~tenant:"bench" ~id:"long" spec with
+  | Ok _ -> ()
+  | Error e -> failwith (Core.Error.to_string e));
+  let delivered = ref 0 in
+  for _ = 1 to refusal_cycles do
+    let st = Option.get (Registry.find !reg ~tenant:"bench" ~id:"long") in
+    let n, _ =
+      drive_client ~stop_after:refusals_per_cycle (ref 0) st (fun _ ->
+          Core.Flaky.Refused)
+    in
+    delivered := !delivered + n;
+    Registry.drain !reg;
+    reg := recover_one ~dir ~sync
+  done;
+  (* A patient labeler finally finishes the session. *)
+  let st = Option.get (Registry.find !reg ~tenant:"bench" ~id:"long") in
+  let n, _ = drive (ref 0) st truth in
+  delivered := !delivered + n;
+  Registry.drain !reg;
+  !delivered
+
+type part_a = {
+  a_answers : int;
+  a_records : int;
+  a_bytes_before : int;
+  a_bytes_after : int;
+  a_ratio : float;
+  a_full_ms : float;
+  a_ck_ms : float;
+  a_speedup : float;
+}
+
+(* Time the resume-on-demand path — a fresh registry resurrecting the
+   session straight from its journal, exactly what a request hitting an
+   evicted key pays.  Best of [trials]. *)
+let time_resume ~dir ~sync =
+  List.init trials (fun _ ->
+      let reg = registry ~dir ~sync () in
+      let t0 = now () in
+      (match Registry.find_or_resume reg ~tenant:"bench" ~id:"long" with
+      | Ok (Some _) -> ()
+      | Ok None -> failwith "storage bench: long session lost"
+      | Error e -> failwith (Core.Error.to_string e));
+      let dt = now () -. t0 in
+      Registry.drain reg;
+      dt)
+  |> List.fold_left min infinity
+
+let run_part_a () =
+  (* A small instance keeps the engine-generation cost (paid by both
+     resume paths) negligible next to the replay cost the checkpoint
+     skips. *)
+  let spec =
+    { Engines.engine = "path"; seed = 9; scale = 0.1; rows = 5; cities = 16 }
+  in
+  let truth = truth_of spec "highway*" in
+  with_temp_dir "learnq-pr7-ck" (fun dir ->
+      let sync = Core.Journal.Off in
+      let answers = build_long_session ~dir spec truth in
+      if answers < long_min_answers then
+        failwith
+          (Printf.sprintf
+             "storage bench: long session delivered only %d replies" answers);
+      let jp = journal_path dir in
+      let bytes_before = (Unix.stat jp).Unix.st_size in
+      let full_ms = 1000. *. time_resume ~dir ~sync in
+      (* Checkpoint + compact through the stepper (the eviction path). *)
+      let reg = registry ~dir ~sync () in
+      (match Registry.find_or_resume reg ~tenant:"bench" ~id:"long" with
+      | Ok (Some st) -> (
+          match st.Stepper.checkpoint () with
+          | Ok () -> ()
+          | Error e ->
+              failwith
+                ("storage bench: checkpoint: " ^ Core.Error.to_string e))
+      | Ok None -> failwith "storage bench: long session lost"
+      | Error e -> failwith (Core.Error.to_string e));
+      Registry.drain reg;
+      let bytes_after = (Unix.stat jp).Unix.st_size in
+      let ck_ms = 1000. *. time_resume ~dir ~sync in
+      {
+        a_answers = answers;
+        a_records = 2 * answers;
+        a_bytes_before = bytes_before;
+        a_bytes_after = bytes_after;
+        a_ratio = float_of_int bytes_before /. float_of_int (max 1 bytes_after);
+        a_full_ms = full_ms;
+        a_ck_ms = ck_ms;
+        a_speedup = full_ms /. ck_ms;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Part B: evicted-session resume latency                              *)
+(* ------------------------------------------------------------------ *)
+
+type sess = {
+  id : string;
+  spec : Engines.spec;
+  truth : string -> bool;
+  mutable ref_query : string option;
+}
+
+let mixed_sessions n =
+  List.init n (fun i ->
+      let engine = [| "twig"; "join"; "path" |].(i mod 3) in
+      let spec =
+        { Engines.engine; seed = 3000 + i; scale = 0.03; rows = 5; cities = 6 }
+      in
+      let goal =
+        match engine with
+        | "twig" -> "//person/name"
+        | "join" -> "planted"
+        | _ -> "highway*"
+      in
+      {
+        id = Printf.sprintf "s%03d" i;
+        spec;
+        truth = truth_of spec goal;
+        ref_query = None;
+      })
+
+let run_part_b () =
+  let sess = mixed_sessions evict_sessions_n in
+  with_temp_dir "learnq-pr7-evict" (fun dir ->
+      let reg =
+        registry ~checkpoint_every:4 ~max_live:evict_window ~dir
+          ~sync:Core.Journal.Always ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg)
+        (fun () ->
+          List.iter
+            (fun s ->
+              (match
+                 Registry.create_session reg ~tenant:"bench" ~id:s.id s.spec
+               with
+              | Ok _ -> ()
+              | Error e -> failwith (Core.Error.to_string e));
+              let st =
+                Option.get (Registry.find reg ~tenant:"bench" ~id:s.id)
+              in
+              ignore (drive ~stop_after:4 (ref 0) st s.truth);
+              ignore (Registry.evict_idle reg))
+            sess;
+          (* Everything beyond the window is now cold: resume each one. *)
+          let lats =
+            List.filter_map
+              (fun s ->
+                let t0 = now () in
+                match Registry.find_or_resume reg ~tenant:"bench" ~id:s.id with
+                | Ok (Some _) ->
+                    let dt = 1000. *. (now () -. t0) in
+                    ignore (Registry.evict_idle reg);
+                    Some dt
+                | Ok None -> failwith "storage bench: evicted session lost"
+                | Error e -> failwith (Core.Error.to_string e))
+              sess
+            |> Array.of_list
+          in
+          Array.sort compare lats;
+          let stats = Registry.stats reg in
+          (stats.Registry.evicted, stats.Registry.resumed,
+           percentile lats 0.50, percentile lats 0.99)))
+
+(* ------------------------------------------------------------------ *)
+(* Part C: disk-fault soak                                             *)
+(* ------------------------------------------------------------------ *)
+
+type soak = {
+  s_sessions : int;
+  s_answers : int;
+  s_faults_injected : int;
+  s_faults_retried : int;
+  s_crashes : int;
+  s_quarantined : int;
+  s_lost : int;
+  s_mismatched : int;
+}
+
+(* CI points this at a workspace path so quarantined journals survive the
+   run as uploadable artifacts; locally a temp dir is used. *)
+let soak_dir f =
+  match Sys.getenv_opt "LEARNQ_SOAK_STATE" with
+  | Some d ->
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      f d
+  | None -> with_temp_dir "learnq-pr7-soak" f
+
+let run_soak () =
+  let sess = mixed_sessions soak_sessions_n in
+  (* Uninterrupted reference: the query every chaos run must converge to. *)
+  let expected_answers =
+    with_temp_dir "learnq-pr7-soak-ref" (fun dir ->
+        let reg = registry ~dir ~sync:Core.Journal.Off () in
+        Fun.protect
+          ~finally:(fun () -> Registry.drain reg)
+          (fun () ->
+            List.fold_left
+              (fun total s ->
+                (match
+                   Registry.create_session reg ~tenant:"bench" ~id:s.id s.spec
+                 with
+                | Ok _ -> ()
+                | Error e -> failwith (Core.Error.to_string e));
+                let st =
+                  Option.get (Registry.find reg ~tenant:"bench" ~id:s.id)
+                in
+                let n, q = drive (ref 0) st s.truth in
+                s.ref_query <- q;
+                total + n)
+              0 sess))
+  in
+  soak_dir (fun dir ->
+      let vfs =
+        Core.Vfs.faulty ~seed:42
+          (Core.Flaky.disk ~enospc:0.01 ~eio:0.01 ~short_write:0.01 ~torn:0.5
+             ())
+      in
+      let fresh () =
+        registry ~vfs ~checkpoint_every:4 ~max_live:soak_window ~dir
+          ~sync:Core.Journal.Always ()
+      in
+      let reg = ref (fresh ()) in
+      let quarantined = ref 0 in
+      let crashes = ref 0 in
+      let retried = ref 0 in
+      let answers = ref 0 in
+      (* Crash the process and the disk together at ~1/3 and ~2/3 of the
+         expected total progress, then recover on a fresh registry. *)
+      let crash_points =
+        ref [ expected_answers / 3; 2 * expected_answers / 3 ]
+      in
+      (* Per-registry counters are harvested just before the instance is
+         discarded, and once more at the end. *)
+      let note_quarantined () =
+        quarantined := !quarantined + (Registry.stats !reg).Registry.quarantined
+      in
+      let crash_cycle () =
+        incr crashes;
+        note_quarantined ();
+        Registry.crash !reg;
+        Core.Vfs.crash vfs;
+        reg := fresh ();
+        let pool = Core.Pool.create 2 in
+        let _, errors =
+          Fun.protect
+            ~finally:(fun () -> Core.Pool.shutdown pool)
+            (fun () -> Registry.recover_all !reg ~pool)
+        in
+        (* recover_all reports quarantines as errors it survived; an
+           injected ENOSPC/EIO just leaves that journal on disk for
+           [find_or_resume] to pick up later.  Anything else is a bench
+           failure. *)
+        List.iter
+          (fun (f, e) ->
+            match e with
+            | Core.Error.Corrupt_journal _ -> ()
+            | Core.Error.Storage _ -> incr retried
+            | e ->
+                failwith
+                  (Printf.sprintf "storage bench: recover %s: %s" f
+                     (Core.Error.to_string e)))
+          errors
+      in
+      let maybe_crash () =
+        match !crash_points with
+        | at :: rest when !answers >= at ->
+            crash_points := rest;
+            crash_cycle ()
+        | _ -> ()
+      in
+      let retry_transient f =
+        let rec go attempts =
+          match f () with
+          | Ok v -> v
+          | Error (Core.Error.Storage _) when attempts < 100 ->
+              incr retried;
+              go (attempts + 1)
+          | Error e -> failwith (Core.Error.to_string e)
+        in
+        go 0
+      in
+      (* Create everything, then drive in strides through the window. *)
+      List.iter
+        (fun s ->
+          ignore
+            (retry_transient (fun () ->
+                 Registry.create_session !reg ~tenant:"bench" ~id:s.id s.spec));
+          ignore (Registry.evict_idle !reg))
+        sess;
+      let rec rounds live =
+        match live with
+        | [] -> ()
+        | live ->
+            let still =
+              List.filter
+                (fun s ->
+                  let st =
+                    retry_transient (fun () ->
+                        match
+                          Registry.find_or_resume !reg ~tenant:"bench" ~id:s.id
+                        with
+                        | Ok (Some st) -> Ok st
+                        | Ok None ->
+                            failwith "storage bench: session lost mid-soak"
+                        | Error e -> Error e)
+                  in
+                  let n, _ =
+                    drive ~stop_after:soak_stride ~fault_budget:100 retried st
+                      s.truth
+                  in
+                  answers := !answers + n;
+                  ignore (Registry.evict_idle !reg);
+                  maybe_crash ();
+                  not (st.Stepper.view ()).Stepper.done_)
+                live
+            in
+            rounds still
+      in
+      rounds sess;
+      (* Verdict: every session alive, every query the reference one. *)
+      let lost = ref 0 and mismatched = ref 0 in
+      List.iter
+        (fun s ->
+          match
+            retry_transient (fun () ->
+                match Registry.find_or_resume !reg ~tenant:"bench" ~id:s.id with
+                | (Ok _ | Error _) as r -> r)
+          with
+          | None -> incr lost
+          | Some st ->
+              let v = st.Stepper.view () in
+              if v.Stepper.query <> s.ref_query then incr mismatched;
+              ignore (Registry.evict_idle !reg))
+        sess;
+      note_quarantined ();
+      Registry.drain !reg;
+      {
+        s_sessions = soak_sessions_n;
+        s_answers = !answers;
+        s_faults_injected = Core.Vfs.fault_count vfs;
+        s_faults_retried = !retried;
+        s_crashes = !crashes;
+        s_quarantined = !quarantined;
+        s_lost = !lost;
+        s_mismatched = !mismatched;
+      })
+
+(* ------------------------------------------------------------------ *)
+
+let run () =
+  print_endline "== storage robustness: checkpoints, eviction, disk faults (PR 7) ==";
+  let a = run_part_a () in
+  Printf.printf
+    "part A: %d answers (%d records), %d -> %d bytes (%.1fx), resume full \
+     %.1f ms vs checkpoint %.1f ms (%.1fx)\n%!"
+    a.a_answers a.a_records a.a_bytes_before a.a_bytes_after a.a_ratio
+    a.a_full_ms a.a_ck_ms a.a_speedup;
+  let evicted, resumed, p50, p99 = run_part_b () in
+  Printf.printf
+    "part B: %d sessions through a %d-slot window: %d evictions, %d \
+     resumes, resume p50 %.2f ms, p99 %.2f ms\n%!"
+    evict_sessions_n evict_window evicted resumed p50 p99;
+  let s = run_soak () in
+  Printf.printf
+    "part C: %d sessions, %d answers, %d faults injected (%d retried), %d \
+     crashes, %d quarantined, %d lost, %d mismatched\n%!"
+    s.s_sessions s.s_answers s.s_faults_injected s.s_faults_retried
+    s.s_crashes s.s_quarantined s.s_lost s.s_mismatched;
+  let speedup_ok = a.a_records >= 1000 && a.a_speedup >= 5.0 in
+  let soak_ok =
+    s.s_lost = 0 && s.s_mismatched = 0 && s.s_quarantined = 0
+    && s.s_crashes = 2
+    && s.s_faults_injected > 0
+  in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.Str "storage-pr7");
+        ("records", Json.of_int a.a_records);
+        ("journal_bytes_before", Json.of_int a.a_bytes_before);
+        ("journal_bytes_after", Json.of_int a.a_bytes_after);
+        ("compaction_ratio", Json.Num a.a_ratio);
+        ("resume_full_replay_ms", Json.Num a.a_full_ms);
+        ("resume_from_checkpoint_ms", Json.Num a.a_ck_ms);
+        ("resume_speedup", Json.Num a.a_speedup);
+        ("resume_speedup_gate_5x", Json.Bool speedup_ok);
+        ("evict_sessions", Json.of_int evict_sessions_n);
+        ("evict_window", Json.of_int evict_window);
+        ("evictions", Json.of_int evicted);
+        ("resumes", Json.of_int resumed);
+        ("evicted_resume_p50_ms", Json.Num p50);
+        ("evicted_resume_p99_ms", Json.Num p99);
+        ("soak_sessions", Json.of_int s.s_sessions);
+        ("soak_answers", Json.of_int s.s_answers);
+        ("soak_faults_injected", Json.of_int s.s_faults_injected);
+        ("soak_faults_retried", Json.of_int s.s_faults_retried);
+        ("soak_crashes", Json.of_int s.s_crashes);
+        ("soak_quarantined", Json.of_int s.s_quarantined);
+        ("soak_lost_sessions", Json.of_int s.s_lost);
+        ("soak_mismatched_sessions", Json.of_int s.s_mismatched);
+        ("soak_zero_lost", Json.Bool (s.s_lost = 0 && s.s_mismatched = 0));
+        ("soak_quarantine_free", Json.Bool (s.s_quarantined = 0));
+      ]
+  in
+  let oc = open_out "BENCH_PR7.json" in
+  output_string oc (Json.to_string j);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_PR7.json (all green: %b)\n%!"
+    (speedup_ok && soak_ok)

@@ -200,6 +200,17 @@ let resume_arg =
            the journal header; the other parameters must match the recording \
            run.")
 
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--journal), snapshot the learner state and atomically \
+           compact the journal down to header + checkpoint every $(docv) \
+           labeled answers, so $(b,--resume) restores the snapshot instead \
+           of replaying from record zero and the journal stays small over \
+           arbitrarily long sessions.  0 (the default) never compacts.")
+
 let crash_after_arg =
   Arg.(
     value
@@ -347,6 +358,38 @@ let decode_replies decode events =
                          s))))
       | _ -> None)
     events
+
+(* Split the recovered events at the last checkpoint (written under
+   --checkpoint-every) and decode its state snapshot with the engine codec:
+   resume restores the snapshot and replays only the tail. *)
+let split_restore decode_state events =
+  let rec split ck tail = function
+    | [] -> (ck, List.rev tail)
+    | Core.Journal.Checkpoint c :: rest -> split (Some c) [] rest
+    | ev :: rest -> split ck (ev :: tail) rest
+  in
+  let ck, tail = split None [] events in
+  match ck with
+  | None -> (None, tail)
+  | Some c -> (
+      match decode_state c.Core.Journal.ck_state with
+      | Ok st ->
+          ( Some (st, c.Core.Journal.ck_answered, c.Core.Journal.ck_questions),
+            tail )
+      | Error msg ->
+          or_die
+            (Error
+               (Core.Error.invalid_input ~what:"--resume"
+                  ("undecodable journal checkpoint: " ^ msg))))
+
+(* Checkpoint compaction (and journal close) can hit the disk mid-session;
+   the typed storage error exits with EX_IOERR, leaving the journal intact
+   and resumable. *)
+let run_journaled f =
+  try f ()
+  with Core.Journal.Io err ->
+    Printf.eprintf "learnq: %s\n" (Core.Error.to_string err);
+    exit Core.Error.exit_io
 
 let report_session ?note ~questions ~replayed ~pruned ~refused ~retried () =
   Printf.printf "questions: %d, replayed: %d, pruned: %d, refused: %d%s\n"
@@ -634,8 +677,8 @@ let learn_twig_cmd =
   (* A live journaled session: the user is simulated by the --goal query
      (optionally through a fault injector), questions and answers are
      write-ahead logged, and a crashed run picks up from its journal. *)
-  let run_interactive files goal seed journal sync resume crash_after noise
-      refusal timeout_rate retries breaker budget =
+  let run_interactive files goal seed journal sync resume checkpoint_every
+      crash_after noise refusal timeout_rate retries breaker budget =
     let file = List.hd files in
     let doc = load_doc file in
     let xpath =
@@ -667,19 +710,27 @@ let learn_twig_cmd =
       | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
     in
     let oracle = crash_wrap crash_after oracle in
+    let restore, tail =
+      split_restore (Twiglearn.Interactive.decode_state ~doc) js.raw_events
+    in
     let resume_events =
-      decode_replies (Twiglearn.Interactive.decode_item ~doc) js.raw_events
+      decode_replies (Twiglearn.Interactive.decode_item ~doc) tail
     in
     let jpair =
       Option.map (fun log -> (log, Twiglearn.Interactive.encode_item)) js.log
     in
     let outcome =
-      Twiglearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
-        ~resume:resume_events
-        ~retry:(retry_policy ~retries ~breaker)
-        ~oracle ~items ()
+      run_journaled (fun () ->
+          let outcome =
+            Twiglearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
+              ~resume:resume_events ?restore ~checkpoint_every
+              ~snapshot:Twiglearn.Interactive.encode_state
+              ~retry:(retry_policy ~retries ~breaker)
+              ~oracle ~items ()
+          in
+          Option.iter Core.Journal.close js.log;
+          outcome)
     in
-    Option.iter Core.Journal.close js.log;
     report_session ~questions:outcome.questions ~replayed:outcome.replayed
       ~pruned:outcome.pruned ~refused:outcome.refused ~retried:outcome.retried
       ();
@@ -690,11 +741,11 @@ let learn_twig_cmd =
       ~degraded:outcome.degraded "the learned twig"
   in
   let run () () () files selects goal with_schema exact budget interactive seed
-      journal sync resume crash_after noise refusal timeout_rate retries
-      breaker =
+      journal sync resume checkpoint_every crash_after noise refusal
+      timeout_rate retries breaker =
     if interactive || journal <> None then
-      run_interactive files goal seed journal sync resume crash_after noise
-        refusal timeout_rate retries breaker budget
+      run_interactive files goal seed journal sync resume checkpoint_every
+        crash_after noise refusal timeout_rate retries breaker budget
     else
     let docs = List.map load_doc files in
     match exact with
@@ -778,7 +829,8 @@ let learn_twig_cmd =
     Term.(const run $ telemetry_term $ pool_term $ ablation_term $ doc_files
           $ selects $ goal $ with_schema
           $ exact $ budget_term $ interactive $ seed_term $ journal_arg
-          $ journal_sync_arg $ resume_arg $ crash_after_arg $ noise_arg
+          $ journal_sync_arg $ resume_arg $ checkpoint_every_arg
+          $ crash_after_arg $ noise_arg
           $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -885,7 +937,8 @@ let learn_join_cmd =
       & info [ "right" ] ~docv:"CSV" ~doc:"Right relation as CSV.")
   in
   let run_generated_join seed strategy_name strategy rows budget noise refusal
-      timeout_rate journal sync resume crash_after retries breaker =
+      timeout_rate journal sync resume checkpoint_every crash_after retries
+      breaker =
     let config =
       Printf.sprintf
         "learn-join rows=%d strategy=%s noise=%g refusal=%g timeout-rate=%g"
@@ -919,10 +972,15 @@ let learn_join_cmd =
       | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
     in
     let oracle = crash_wrap crash_after oracle in
+    let restore, tail =
+      split_restore
+        (Joinlearn.Interactive.decode_state ~left:inst.left ~right:inst.right)
+        js.raw_events
+    in
     let resume_events =
       decode_replies
         (Joinlearn.Interactive.decode_item ~left:inst.left ~right:inst.right)
-        js.raw_events
+        tail
     in
     let jpair =
       Option.map
@@ -933,12 +991,17 @@ let learn_join_cmd =
         js.log
     in
     let outcome =
-      Joinlearn.Interactive.Loop.run_flaky ~rng ~strategy ~budget
-        ?journal:jpair ~resume:resume_events
-        ~retry:(retry_policy ~retries ~breaker)
-        ~oracle ~items ()
+      run_journaled (fun () ->
+          let outcome =
+            Joinlearn.Interactive.Loop.run_flaky ~rng ~strategy ~budget
+              ?journal:jpair ~resume:resume_events ?restore ~checkpoint_every
+              ~snapshot:Joinlearn.Interactive.encode_state
+              ~retry:(retry_policy ~retries ~breaker)
+              ~oracle ~items ()
+          in
+          Option.iter Core.Journal.close js.log;
+          outcome)
     in
-    Option.iter Core.Journal.close js.log;
     (match outcome.query with
     | Some learned ->
         Format.printf "learned:     %a@." (Joinlearn.Signature.pp space) learned
@@ -954,7 +1017,7 @@ let learn_join_cmd =
       ~degraded:outcome.degraded "the predicate"
   in
   let run () () seed strategy rows left right budget noise refusal timeout_rate
-      journal sync resume crash_after retries breaker =
+      journal sync resume checkpoint_every crash_after retries breaker =
     let strategy_name =
       match strategy with
       | `First -> "first"
@@ -976,7 +1039,8 @@ let learn_join_cmd =
         exit Core.Error.exit_bad_input
     | None, None ->
         run_generated_join seed strategy_name strategy_fn rows budget noise
-          refusal timeout_rate journal sync resume crash_after retries breaker
+          refusal timeout_rate journal sync resume checkpoint_every crash_after
+          retries breaker
   in
   Cmd.v
     (Cmd.info "learn-join"
@@ -988,7 +1052,8 @@ let learn_join_cmd =
     Term.(const run $ telemetry_term $ pool_term $ seed_term $ strategy_arg
           $ rows_arg $ left_arg $ right_arg $ budget_term $ noise_arg
           $ refusal_arg $ timeout_rate_arg $ journal_arg $ journal_sync_arg
-          $ resume_arg $ crash_after_arg $ retries_arg $ breaker_arg)
+          $ resume_arg $ checkpoint_every_arg $ crash_after_arg $ retries_arg
+          $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* learn-path                                                          *)
@@ -1004,8 +1069,8 @@ let learn_path_cmd =
       & opt string "highway highway*"
       & info [ "goal" ] ~docv:"REGEX" ~doc:"Hidden goal path query.")
   in
-  let run () () seed cities goal budget journal sync resume crash_after noise
-      refusal timeout_rate retries breaker =
+  let run () () seed cities goal budget journal sync resume checkpoint_every
+      crash_after noise refusal timeout_rate retries breaker =
     let config =
       Printf.sprintf
         "learn-path cities=%d goal=%s noise=%g refusal=%g timeout-rate=%g"
@@ -1029,19 +1094,25 @@ let learn_path_cmd =
       | Some profile -> Core.Flaky.wrap ~profile ~rng base_oracle
     in
     let oracle = crash_wrap crash_after oracle in
-    let resume_events =
-      decode_replies Pathlearn.Interactive.decode_item js.raw_events
+    let restore, tail =
+      split_restore Pathlearn.Interactive.decode_state js.raw_events
     in
+    let resume_events = decode_replies Pathlearn.Interactive.decode_item tail in
     let jpair =
       Option.map (fun log -> (log, Pathlearn.Interactive.encode_item)) js.log
     in
     let outcome =
-      Pathlearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
-        ~resume:resume_events
-        ~retry:(retry_policy ~retries ~breaker)
-        ~oracle ~items ()
+      run_journaled (fun () ->
+          let outcome =
+            Pathlearn.Interactive.Loop.run_flaky ~rng ~budget ?journal:jpair
+              ~resume:resume_events ?restore ~checkpoint_every
+              ~snapshot:Pathlearn.Interactive.encode_state
+              ~retry:(retry_policy ~retries ~breaker)
+              ~oracle ~items ()
+          in
+          Option.iter Core.Journal.close js.log;
+          outcome)
     in
-    Option.iter Core.Journal.close js.log;
     report_session ~questions:outcome.questions ~replayed:outcome.replayed
       ~pruned:outcome.pruned ~refused:outcome.refused ~retried:outcome.retried
       ();
@@ -1058,8 +1129,8 @@ let learn_path_cmd =
           journaled and resumable with --journal/--resume.")
     Term.(const run $ telemetry_term $ pool_term $ seed_term $ cities_arg
           $ goal_arg $ budget_term $ journal_arg $ journal_sync_arg
-          $ resume_arg $ crash_after_arg $ noise_arg $ refusal_arg
-          $ timeout_rate_arg $ retries_arg $ breaker_arg)
+          $ resume_arg $ checkpoint_every_arg $ crash_after_arg $ noise_arg
+          $ refusal_arg $ timeout_rate_arg $ retries_arg $ breaker_arg)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)
@@ -1361,8 +1432,38 @@ let serve_cmd =
             "How long a SIGTERM-triggered drain waits for in-flight \
              connections before syncing journals and exiting.")
   in
+  let serve_checkpoint_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint each session's accumulator and compact its journal \
+             down to header + snapshot every $(docv) answers (0 = never).  \
+             Bounds journal growth and makes resume O(tail) instead of \
+             O(history).")
+  in
+  let max_live_sessions_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-live-sessions" ] ~docv:"N"
+          ~doc:
+            "Keep at most $(docv) sessions live in memory (0 = unlimited); \
+             beyond it the least-recently-used are checkpointed, compacted, \
+             and closed.  Requests touching an evicted session transparently \
+             resume it from its journal.")
+  in
+  let idle_evict_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-evict-after" ] ~docv:"SECS"
+          ~doc:
+            "Evict sessions untouched for $(docv) seconds (0 = never), \
+             same checkpoint-then-resume-on-demand lifecycle as \
+             $(b,--max-live-sessions).")
+  in
   let run () host port state_dir pool max_queue max_conns tenants_file
-      step_fuel step_timeout sync drain_grace =
+      step_fuel step_timeout sync drain_grace checkpoint_every
+      max_live_sessions idle_evict_after =
     let tenants =
       match tenants_file with
       | None -> Server.Tenant.make []
@@ -1388,6 +1489,10 @@ let serve_cmd =
         drain_grace;
         on_listen =
           (fun p -> Printf.printf "listening on %s:%d\n%!" host p);
+        vfs = Core.Vfs.real;
+        checkpoint_every;
+        max_live_sessions;
+        idle_evict_after;
       }
     in
     let daemon = Server.Daemon.create cfg in
@@ -1413,7 +1518,8 @@ let serve_cmd =
     Term.(
       const run $ telemetry_term $ host_arg $ port_arg $ state_dir_arg
       $ serve_pool_arg $ max_queue_arg $ max_conns_arg $ tenants_arg
-      $ step_fuel_arg $ step_timeout_arg $ journal_sync_arg $ drain_grace_arg)
+      $ step_fuel_arg $ step_timeout_arg $ journal_sync_arg $ drain_grace_arg
+      $ serve_checkpoint_arg $ max_live_sessions_arg $ idle_evict_arg)
 
 let () =
   let info =

@@ -7,6 +7,7 @@ type t =
   | Corrupt_journal of { path : string; offset : int; message : string }
   | Journal_locked of { path : string; pid : int }
   | Over_quota of { tenant : string; what : string; limit : int }
+  | Storage of { op : string; path : string; message : string; full : bool }
 
 let position_of_offset input offset =
   let offset = min (max offset 0) (String.length input) in
@@ -30,6 +31,12 @@ let corrupt_journal ~path ~offset message = Corrupt_journal { path; offset; mess
 let journal_locked ~path ~pid = Journal_locked { path; pid }
 let over_quota ~tenant ~what ~limit = Over_quota { tenant; what; limit }
 
+let storage ~op ~path ?(full = false) message = Storage { op; path; message; full }
+
+let storage_of_unix ~op ~path = function
+  | Unix.ENOSPC -> Storage { op; path; message = "no space left on device"; full = true }
+  | err -> Storage { op; path; message = Unix.error_message err; full = false }
+
 let pp ppf = function
   | Parse { source; message; position } -> (
       match position with
@@ -51,6 +58,10 @@ let pp ppf = function
   | Over_quota { tenant; what; limit } ->
       Format.fprintf ppf "tenant %s is over its %s quota (limit %d)" tenant
         what limit
+  | Storage { op; path; message; full } ->
+      Format.fprintf ppf "storage failure during %s on %s: %s%s" op path
+        message
+        (if full then " (disk full)" else "")
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -58,8 +69,10 @@ let exit_ok = 0
 let exit_degraded = 2
 let exit_budget = 3
 let exit_bad_input = 64
+let exit_io = 74 (* EX_IOERR: the environment failed, not the input *)
 
 let exit_code = function
   | Parse _ | Invalid_input _ | Corrupt_journal _ | Journal_locked _ ->
       exit_bad_input
   | Budget_exhausted _ | Over_quota _ -> exit_budget
+  | Storage _ -> exit_io

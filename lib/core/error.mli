@@ -31,6 +31,11 @@ type t =
       (** A server tenant exceeded one of its admission quotas ([what] names
           it: "max_sessions", …).  Retryable once load drops — the wire
           protocol maps it to 429. *)
+  | Storage of { op : string; path : string; message : string; full : bool }
+      (** The disk refused a journal write ([op] names it: "append",
+          "fsync", "compact", …).  [full] distinguishes [ENOSPC] — which
+          flips the daemon into degraded read-only mode (507) and is
+          retryable once space returns — from [EIO]-class failures. *)
 
 val position_of_offset : string -> int -> position
 (** Line/column of a byte offset in an input string. *)
@@ -45,13 +50,19 @@ val invalid_input : what:string -> string -> t
 val corrupt_journal : path:string -> offset:int -> string -> t
 val journal_locked : path:string -> pid:int -> t
 val over_quota : tenant:string -> what:string -> limit:int -> t
+val storage : op:string -> path:string -> ?full:bool -> string -> t
+
+val storage_of_unix : op:string -> path:string -> Unix.error -> t
+(** Classify a [Unix_error] from the storage layer; [ENOSPC] sets
+    [full]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 val exit_code : t -> int
 (** The CLI exit-code convention: 0 ok, 2 degraded result, 3 budget
-    exhausted with nothing to show, 64 bad input ([EX_USAGE]). *)
+    exhausted with nothing to show, 64 bad input ([EX_USAGE]), 74 storage
+    failure ([EX_IOERR]). *)
 
 (** The convention's named constants, for CLI code. *)
 
@@ -59,3 +70,4 @@ val exit_ok : int
 val exit_degraded : int
 val exit_budget : int
 val exit_bad_input : int
+val exit_io : int

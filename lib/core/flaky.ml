@@ -3,11 +3,11 @@ type profile = { noise : float; refusal : float; timeout : float }
 
 let reliable = { noise = 0.; refusal = 0.; timeout = 0. }
 
+let rate name r =
+  if r < 0. || r > 1. then
+    invalid_arg (Printf.sprintf "Flaky: %s rate %g not in [0,1]" name r)
+
 let profile ?(noise = 0.) ?(refusal = 0.) ?(timeout = 0.) () =
-  let rate name r =
-    if r < 0. || r > 1. then
-      invalid_arg (Printf.sprintf "Flaky.profile: %s rate %g not in [0,1]" name r)
-  in
   rate "noise" noise;
   rate "refusal" refusal;
   rate "timeout" timeout;
@@ -22,3 +22,50 @@ let wrap ?(profile = reliable) ~rng oracle item =
   else
     let label = oracle item in
     Label (if Prng.chance rng profile.noise then not label else label)
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans: one seeded description of everything that can go wrong *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 1 injected oracle faults here and PR 7 injects disk faults in
+   {!Vfs}; a [plan] carries both under a single seed so a chaos run (or a
+   fuzz case) is reproduced by one integer.  The oracle side draws from a
+   [Prng] stream derived from the seed; the disk side hands its rates to
+   [Vfs.faulty], which derives its own stream — the two fault sources are
+   independent but jointly deterministic. *)
+
+type disk = {
+  enospc : float;
+  eio : float;
+  short_write : float;
+  lying_fsync : float;
+  torn : float;
+}
+
+let no_disk_faults =
+  { enospc = 0.; eio = 0.; short_write = 0.; lying_fsync = 0.; torn = 0. }
+
+let disk ?(enospc = 0.) ?(eio = 0.) ?(short_write = 0.) ?(lying_fsync = 0.)
+    ?(torn = 0.) () =
+  rate "enospc" enospc;
+  rate "eio" eio;
+  rate "short_write" short_write;
+  rate "lying_fsync" lying_fsync;
+  rate "torn" torn;
+  { enospc; eio; short_write; lying_fsync; torn }
+
+type plan = { seed : int; oracle : profile; disk : disk }
+
+let plan ?(seed = 0) ?noise ?refusal ?timeout ?enospc ?eio ?short_write
+    ?lying_fsync ?torn () =
+  {
+    seed;
+    oracle = profile ?noise ?refusal ?timeout ();
+    disk = disk ?enospc ?eio ?short_write ?lying_fsync ?torn ();
+  }
+
+let no_faults = plan ()
+
+let wrap_plan p oracle =
+  let rng = Prng.create p.seed in
+  wrap ~profile:p.oracle ~rng oracle

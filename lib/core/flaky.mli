@@ -4,7 +4,13 @@
 
     A {!profile} turns a reliable oracle into a flaky one; [Interact.Make.run_flaky]
     drives a session against it, skipping refused/timed-out questions instead
-    of crashing, so sessions survive unreliable users. *)
+    of crashing, so sessions survive unreliable users.
+
+    Since the storage-robustness PR the module also owns the {e unified}
+    fault vocabulary: a {!plan} bundles oracle faults and {!Vfs} disk faults
+    under a single seed, so one integer reproduces an entire chaos run.  New
+    injection points should take a [plan] (or its [disk] half) instead of
+    growing their own ad-hoc switches. *)
 
 type reply =
   | Label of bool  (** an answer (possibly flipped by noise) *)
@@ -27,3 +33,60 @@ val profile : ?noise:float -> ?refusal:float -> ?timeout:float -> unit -> profil
 val wrap : ?profile:profile -> rng:Prng.t -> ('item -> bool) -> 'item -> reply
 (** [wrap ~rng oracle] injects the profile's faults into [oracle], drawing
     from [rng] (deterministic under a fixed seed). *)
+
+(** {2 Fault plans}
+
+    What real disks do to a write-ahead log: refuse the bytes ([enospc],
+    [eio]), take only some of them ([short_write]), acknowledge an fsync
+    without making the bytes durable ([lying_fsync]), and — at the crash
+    itself — tear a multi-byte write at an arbitrary offset ([torn]).
+    [Vfs.faulty] implements these against real files; the rates here are
+    per-operation probabilities. *)
+
+type disk = {
+  enospc : float;  (** probability an append fails with [ENOSPC] *)
+  eio : float;  (** probability an append fails with [EIO] *)
+  short_write : float;
+      (** probability an append takes only a prefix before failing *)
+  lying_fsync : float;
+      (** probability an fsync reports success without durability *)
+  torn : float;
+      (** probability a simulated crash keeps a torn prefix of the
+          unfsynced tail instead of dropping it whole *)
+}
+
+val no_disk_faults : disk
+
+val disk :
+  ?enospc:float ->
+  ?eio:float ->
+  ?short_write:float ->
+  ?lying_fsync:float ->
+  ?torn:float ->
+  unit ->
+  disk
+(** Rates default to 0.  @raise Invalid_argument outside [0,1]. *)
+
+type plan = { seed : int; oracle : profile; disk : disk }
+(** Everything that can go wrong in one seeded value: crowd-worker faults
+    on the oracle side, disk faults on the storage side. *)
+
+val plan :
+  ?seed:int ->
+  ?noise:float ->
+  ?refusal:float ->
+  ?timeout:float ->
+  ?enospc:float ->
+  ?eio:float ->
+  ?short_write:float ->
+  ?lying_fsync:float ->
+  ?torn:float ->
+  unit ->
+  plan
+
+val no_faults : plan
+
+val wrap_plan : plan -> ('item -> bool) -> 'item -> reply
+(** {!wrap} drawing from a stream derived from the plan's seed — the oracle
+    half of the plan.  Hand the same plan to [Vfs.faulty] for the disk
+    half; the two streams are independent but jointly deterministic. *)

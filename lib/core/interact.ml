@@ -48,12 +48,14 @@ module Make (S : SESSION) = struct
   }
 
   let run_flaky ?(rng = Prng.create 0) ?(strategy = first_strategy)
-      ?(max_questions = max_int) ?budget ?journal ?(resume = []) ?retry ?pool
-      ~oracle ~items () =
+      ?(max_questions = max_int) ?budget ?journal ?(resume = []) ?restore
+      ?(checkpoint_every = 0) ?snapshot ?retry ?pool ~oracle ~items () =
     let budget =
       match budget with Some b -> b | None -> Budget.unlimited ()
     in
     let pool = match pool with Some p -> p | None -> Pool.default () in
+    if restore <> None && journal = None then
+      invalid_arg "Interact.run_flaky: ~restore requires ~journal";
     let jappend ev =
       match journal with None -> () | Some (log, _) -> Journal.append log ev
     in
@@ -76,7 +78,29 @@ module Make (S : SESSION) = struct
       | Some (_, encode) -> fun it -> `Codec (encode it)
       | None -> fun it -> `Item it
     in
-    let answered = Hashtbl.create (List.length resume + 1) in
+    (* A checkpoint restore seeds the fold: the engine-decoded accumulator
+       stands in for [S.init items], its answered keys join the dedup set
+       (codec keys — which is why [restore] requires a journal codec), and
+       its label count lands in [replayed].  The [resume] tail — events
+       after the checkpoint — then folds on top exactly as before. *)
+    let restore_state, restore_keys, restored =
+      match restore with
+      | Some (st, keys, n) -> (Some st, keys, n)
+      | None -> (None, [], 0)
+    in
+    let answered =
+      Hashtbl.create (List.length resume + List.length restore_keys + 1)
+    in
+    List.iter (fun k -> Hashtbl.replace answered (`Codec k) ()) restore_keys;
+    (* Checkpoint bookkeeping: answered codec keys in arrival order and the
+       count of Asked records ever, both carried into snapshots. *)
+    let answered_keys = ref (List.rev restore_keys) (* newest first *) in
+    let asks = ref restored in
+    let track_key item =
+      match journal with
+      | Some (_, encode) -> answered_keys := encode item :: !answered_keys
+      | None -> ()
+    in
     let state0, asked0, replayed =
       List.fold_left
         (fun (st, asked, n) (item, reply) ->
@@ -87,15 +111,17 @@ module Make (S : SESSION) = struct
               if Hashtbl.mem answered key then (st, asked, n)
               else begin
                 Hashtbl.add answered key ();
+                track_key item;
+                incr asks;
                 (S.record st item label, (item, label) :: asked, n + 1)
               end)
-        (S.init items, [], 0)
+        ((match restore_state with Some st -> st | None -> S.init items), [], restored)
         resume
     in
     (* Never ask an already-answered question twice: drop replayed items from
        the pool outright rather than trusting [determined] to prune them. *)
     let items =
-      if asked0 = [] then items
+      if Hashtbl.length answered = 0 then items
       else
         List.filter (fun it -> not (Hashtbl.mem answered (item_key it))) items
     in
@@ -107,6 +133,7 @@ module Make (S : SESSION) = struct
       Telemetry.with_span "interact.ask" @@ fun () ->
       let t0 = if Telemetry.enabled () then Monotonic.now () else 0. in
       jappend (Journal.Asked (jencode item));
+      incr asks;
       let reply =
         match breaker with
         | None -> oracle item
@@ -137,6 +164,34 @@ module Make (S : SESSION) = struct
       match breaker with
       | None -> false
       | Some (_, b) -> Retry.breaker_state b = Retry.Open
+    in
+    (* Periodic checkpoint + compaction: every [checkpoint_every] labeled
+       answers, snapshot the accumulator and atomically rewrite the journal
+       as header + checkpoint.  A failed compaction leaves the journal
+       intact; the [Io] it raises carries a typed [Storage] error so the
+       caller learns the disk is unwell instead of discovering it later. *)
+    let since_ck = ref 0 in
+    let maybe_checkpoint state questions pruned refused =
+      match (journal, snapshot) with
+      | Some (log, _), Some snap when checkpoint_every > 0 ->
+          incr since_ck;
+          if !since_ck >= checkpoint_every then begin
+            since_ck := 0;
+            let ck =
+              {
+                Journal.ck_qid = !asks;
+                ck_questions = questions;
+                ck_pruned = pruned;
+                ck_refused = refused;
+                ck_answered = List.rev !answered_keys;
+                ck_state = snap state;
+              }
+            in
+            match Journal.compact log ck with
+            | Ok () -> ()
+            | Error e -> raise (Journal.Io e)
+          end
+      | _ -> ()
     in
     let finish ~degraded ~complete state asked questions pruned refused =
       if complete then jappend Journal.Completed;
@@ -238,6 +293,10 @@ module Make (S : SESSION) = struct
             | Flaky.Label label ->
                 Telemetry.Metrics.incr m_questions;
                 let state = S.record state item label in
+                Hashtbl.replace answered (item_key item) ();
+                track_key item;
+                maybe_checkpoint state (replayed + questions + 1) pruned
+                  refused;
                 loop state remaining
                   ((item, label) :: asked)
                   (questions + 1) pruned refused)
@@ -246,9 +305,10 @@ module Make (S : SESSION) = struct
       ~attrs:[ ("items", string_of_int (List.length items)) ]
     @@ fun () -> loop state0 items asked0 0 0 0
 
-  let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ?pool
-      ~oracle ~items () =
-    run_flaky ?rng ?strategy ?max_questions ?budget ?journal ?resume ?pool
+  let run ?rng ?strategy ?max_questions ?budget ?journal ?resume ?restore
+      ?checkpoint_every ?snapshot ?pool ~oracle ~items () =
+    run_flaky ?rng ?strategy ?max_questions ?budget ?journal ?resume ?restore
+      ?checkpoint_every ?snapshot ?pool
       ~oracle:(fun it -> Flaky.Label (oracle it))
       ~items ()
 

@@ -74,6 +74,9 @@ module Make (S : SESSION) : sig
     ?budget:Budget.t ->
     ?journal:Journal.t * (S.item -> string) ->
     ?resume:(S.item * Flaky.reply) list ->
+    ?restore:S.state * string list * int ->
+    ?checkpoint_every:int ->
+    ?snapshot:(S.state -> string) ->
     ?pool:Pool.t ->
     oracle:(S.item -> bool) ->
     items:S.item list ->
@@ -97,6 +100,9 @@ module Make (S : SESSION) : sig
     ?budget:Budget.t ->
     ?journal:Journal.t * (S.item -> string) ->
     ?resume:(S.item * Flaky.reply) list ->
+    ?restore:S.state * string list * int ->
+    ?checkpoint_every:int ->
+    ?snapshot:(S.state -> string) ->
     ?retry:Retry.policy ->
     ?pool:Pool.t ->
     oracle:(S.item -> Flaky.reply) ->
@@ -115,6 +121,21 @@ module Make (S : SESSION) : sig
       replayed items are removed from the pool, so no already-answered
       question is ever asked twice.  Refused/timed-out records return to the
       pool.  Replays are counted in [replayed], not [questions].
+
+      [restore] short-circuits replay from a {!Journal.checkpoint}: the
+      triple is the engine-decoded accumulator, the checkpoint's answered
+      codec keys, and its label count (which seeds [replayed]); [resume]
+      then carries only the decoded events {e after} the checkpoint (see
+      [Journal.split_checkpoint]).  Requires [journal] — the keys are codec
+      strings.  The [asked] transcript covers only events since the
+      checkpoint.
+
+      [checkpoint_every] (with [snapshot], the engine's state encoder)
+      snapshots the accumulator every N labeled answers and atomically
+      compacts the journal down to header + checkpoint, bounding journal
+      growth over arbitrarily long sessions.  Storage failures surface as
+      [Journal.Io] carrying a typed [Error.Storage]; the journal is left
+      intact.
 
       [retry] re-issues refused and timed-out questions with backoff instead
       of skipping them; only questions that fail every attempt count in

@@ -22,6 +22,28 @@
     fully present but fails its CRC is {e corruption} and is rejected with a
     positioned {!Error.t}.
 
+    The header carries a trailing format-version field ([v=2] since the
+    storage PR); version-1 journals (no checkpoints, bare-pid locks) still
+    parse and resume.
+
+    {2 Checkpoints and compaction}
+
+    A {!checkpoint} record snapshots the whole session accumulator —
+    counters, answered keys, and an opaque engine-encoded state — so
+    {!resume} can restore from the last checkpoint and replay only the tail
+    instead of every record since birth.  {!compact} then rewrites the
+    journal as [header + checkpoint] via write-aside + atomic rename: the
+    old journal survives untouched until the new one is durable, so a crash
+    at any instant leaves one complete journal, never a hybrid.
+
+    {2 Storage failures}
+
+    All writes go through a {!Vfs.t} (defaulting to the passthrough
+    backend).  A disk failure (ENOSPC, EIO, short write) raises {!Io}
+    carrying a typed [Error.Storage]; the journal first truncates the file
+    back to the last complete frame, so the on-disk image stays a valid
+    prefix and the append can be retried once the disk recovers.
+
     {2 Fsync policy}
 
     Per-append [fsync] is the strongest guarantee but dominates the cost of a
@@ -36,11 +58,13 @@
 
     Two processes appending to one journal would interleave frames into
     corruption, so {!create_result} and {!resume} take a sidecar lock file
-    ([path ^ ".lock"], created with [O_EXCL], holding the owner's pid).  The
-    loser gets a typed {!Error.t} ([Journal_locked]).  A lock whose recorded
-    pid is no longer alive is the residue of a crash and is stolen silently —
-    a restarted daemon can resume the journals its predecessor died holding.
-    {!close} (and {!abort}) release the lock. *)
+    ([path ^ ".lock"], created atomically via write-aside + [link(2)]),
+    stamped with the owner's [pid:starttime] — not a bare pid, because pids
+    are recycled: same pid but different [/proc/<pid>/stat] starttime means
+    the recorded holder died and its pid was reborn, so the lock is stale
+    and is stolen.  When the pid is alive and no stamp evidence says
+    otherwise (old bare-pid locks, no /proc), stealing is refused with a
+    typed [Journal_locked].  {!close} (and {!abort}) release the lock. *)
 
 type header = {
   seed : int;  (** the PRNG seed the session ran under *)
@@ -58,35 +82,69 @@ type sync =
 val sync_to_string : sync -> string
 val sync_of_string : string -> sync option
 
+type checkpoint = {
+  ck_qid : int;  (** questions asked when the snapshot was taken *)
+  ck_questions : int;  (** labels actually received *)
+  ck_pruned : int;
+  ck_refused : int;
+  ck_answered : string list;  (** answered item keys, oldest first *)
+  ck_state : string;  (** engine-encoded accumulator (opaque here) *)
+}
+
 type event =
   | Asked of string  (** an encoded item was put to the oracle *)
   | Answered of string * Flaky.reply  (** …and this reply came back *)
+  | Checkpoint of checkpoint
+      (** a full accumulator snapshot; everything before it is superseded *)
   | Completed  (** the session ended with no open item *)
+
+exception Io of Error.t
+(** Raised by {!append}/{!flush} when the disk refuses a write; the payload
+    is always an [Error.Storage].  The journal has already truncated back
+    to its last complete frame (or marked itself broken if it could not). *)
 
 type t
 (** An open journal writer. *)
 
-val create_result : ?sync:sync -> path:string -> header -> (t, Error.t) result
+val create_result :
+  ?sync:sync -> ?vfs:Vfs.t -> path:string -> header -> (t, Error.t) result
 (** Starts a fresh journal at [path] (truncating any existing file) and
     writes the header record — durable immediately (unless [sync] is {!Off}),
-    since resume depends on it.  [sync] defaults to {!Always}.  Fails with
-    [Journal_locked] when a live process holds the journal's lock file. *)
+    since resume depends on it.  [sync] defaults to {!Always}, [vfs] to the
+    passthrough backend.  Fails with [Journal_locked] when a live process
+    holds the journal's lock file, or [Storage] when the disk refuses. *)
 
-val create : ?sync:sync -> path:string -> header -> t
-(** {!create_result}, raising [Invalid_argument] on a held lock — for
-    callers (tests, benches) that own their paths outright. *)
+val create : ?sync:sync -> ?vfs:Vfs.t -> path:string -> header -> t
+(** {!create_result}, raising [Invalid_argument] on failure — for callers
+    (tests, benches) that own their paths outright. *)
 
 val append : t -> event -> unit
 (** Appends one record under the journal's {!sync} policy.
-    @raise Invalid_argument on a closed journal. *)
+    @raise Invalid_argument on a closed journal.
+    @raise Io when the disk refuses the write. *)
+
+val append_checkpoint : t -> checkpoint -> unit
+(** {!append} a checkpoint and force a flush: a checkpoint is a durability
+    milestone (compaction may discard history behind it).
+    @raise Io when the disk refuses the write. *)
+
+val compact : t -> checkpoint -> (unit, Error.t) result
+(** Atomically rewrite the journal as [header + ck] (write-aside, fsync,
+    rename).  On success the writer continues into the new file and any
+    buffered records are dropped as subsumed; on failure the old journal and
+    the writer are untouched.  The caller must ensure [ck] reflects every
+    event already appended, including buffered ones. *)
 
 val flush : t -> unit
 (** Forces any buffered {!Batch} records to disk (write + fsync).  No-op when
-    nothing is pending or under {!Always}/{!Off}. *)
+    nothing is pending or under {!Always}/{!Off}.
+    @raise Io when the disk refuses the write (the buffer is kept for
+    retry). *)
 
 val close : t -> unit
 (** Flushes pending records, closes the descriptor, and releases the
-    journal's lock; idempotent. *)
+    journal's lock; idempotent.  May raise {!Io} if the final flush fails —
+    the descriptor and lock are released regardless. *)
 
 val abort : t -> unit
 (** Simulated crash, for chaos harnesses: closes the descriptor {e without}
@@ -101,6 +159,8 @@ type recovered = {
   recorded_sync : sync;
       (** the fsync policy the journal was written under ({!Always} for
           journals predating the policy field) *)
+  version : int;
+      (** header format version (1 for journals predating the field) *)
   events : event list;  (** the surviving prefix, in append order *)
   valid_bytes : int;  (** file offset just past the last whole record *)
   dropped_bytes : int;  (** torn-tail bytes discarded after [valid_bytes] *)
@@ -115,7 +175,8 @@ val parse : source:string -> string -> (recovered, Error.t) result
 val recover : path:string -> (recovered, Error.t) result
 (** Reads and {!parse}s the file at [path]. *)
 
-val resume : ?sync:sync -> path:string -> unit -> (t * recovered, Error.t) result
+val resume :
+  ?sync:sync -> ?vfs:Vfs.t -> path:string -> unit -> (t * recovered, Error.t) result
 (** {!recover} under the writer lock, then reopen [path] for appending: the
     torn tail (if any) is truncated away and subsequent {!append}s continue
     the valid prefix.  Continues under the journal's recorded policy unless
@@ -126,5 +187,14 @@ val answered : recovered -> (string * Flaky.reply) list
 (** The [Answered] events of the surviving prefix, in order — what a learner
     replays to rebuild its state. *)
 
+val split_checkpoint : recovered -> checkpoint option * event list
+(** The last checkpoint (if any) and the events after it: restore the
+    snapshot, replay only the tail.  With no checkpoint the full event list
+    comes back — version-1 journals resume exactly as before. *)
+
 val crc32 : string -> int
 (** The checksum used by the record format (exposed for tests). *)
+
+val lock_path_of : string -> string
+(** The sidecar lock path for a journal path (exposed for quarantine
+    cleanup and tests). *)

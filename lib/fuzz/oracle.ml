@@ -865,7 +865,8 @@ let serve_client c truth key =
     Core.Flaky.Label
       (if Prng.int g 1000 < c.sc_noise then not label else label)
 
-let serve_registry ~dir ~sync =
+let serve_registry ?(vfs = Core.Vfs.real) ?(checkpoint_every = 0)
+    ?(max_live = 0) ~dir ~sync () =
   Server.Registry.create
     {
       Server.Registry.dir;
@@ -873,6 +874,10 @@ let serve_registry ~dir ~sync =
       tenants = Server.Tenant.make [];
       step_fuel = None;
       step_timeout = None;
+      vfs;
+      checkpoint_every;
+      max_live;
+      idle_evict_after = 0.;
     }
 
 (* Answer questions until the session finishes or [stop_after] answers
@@ -898,15 +903,15 @@ let serve_drive stepper client ~stop_after =
   in
   go 0
 
-let check_server_crash_resume c =
+let check_server_crash_resume ?(checkpoint_every = 0) c =
   match Server.Engines.oracle c.sc_spec ~goal:c.sc_goal with
   | Error e -> failf "bad goal for spec: %s" (Core.Error.to_string e)
   | Ok truth -> (
       let client = serve_client c truth in
-      (* Reference: one registry, never interrupted. *)
+      (* Reference: one registry, never interrupted, never compacted. *)
       let reference =
         with_temp_dir "learnq-fuzz-serve-ref" (fun dir ->
-            let reg = serve_registry ~dir ~sync:Core.Journal.Off in
+            let reg = serve_registry ~dir ~sync:Core.Journal.Off () in
             Fun.protect
               ~finally:(fun () -> Server.Registry.drain reg)
               (fun () ->
@@ -925,7 +930,7 @@ let check_server_crash_resume c =
       | Ok (_, ref_query) ->
           with_temp_dir "learnq-fuzz-serve" (fun dir ->
               (* Phase 1: crash after [k] answers. *)
-              let reg1 = serve_registry ~dir ~sync:c.sc_sync in
+              let reg1 = serve_registry ~checkpoint_every ~dir ~sync:c.sc_sync () in
               let phase1 =
                 match
                   Server.Registry.create_session reg1 ~tenant:"fuzz" ~id:"s"
@@ -944,7 +949,7 @@ let check_server_crash_resume c =
                   Server.Registry.crash reg1;
                   (* Phase 2: a fresh registry recovers the directory and
                      finishes the session. *)
-                  let reg2 = serve_registry ~dir ~sync:c.sc_sync in
+                  let reg2 = serve_registry ~checkpoint_every ~dir ~sync:c.sc_sync () in
                   let pool = Core.Pool.create 1 in
                   let recovered, errors =
                     Fun.protect
@@ -1017,7 +1022,7 @@ let server_crash_resume =
             sc_timeout = Prng.int g 100;
             sc_sync = Prng.pick g [ Core.Journal.Always; Core.Journal.Batch ];
           });
-      check = check_server_crash_resume;
+      check = (fun c -> check_server_crash_resume c);
       candidates =
         (fun c ->
           let halve n = n / 2 in
@@ -1049,6 +1054,234 @@ let server_crash_resume =
 
 (* ------------------------------------------------------------------ *)
 
+(* The same chaos contract with checkpoint compaction in the loop: with
+   --checkpoint-every k the journal is periodically snapshotted and
+   compacted down to header + checkpoint, so recovery restores the
+   snapshot and replays only the tail — and must still converge to
+   exactly the query the uninterrupted (checkpoint-free) run learns.
+   This drives Journal.compact, split_checkpoint, and all three engine
+   state codecs through arbitrary crash points. *)
+
+type ck_case = { ck_base : serve_case; ck_every : int }
+
+let journal_checkpoint_resume =
+  Spec
+    { name = "journal-checkpoint-resume";
+      about =
+        "a crashed session that checkpointed and compacted its journal \
+         resumes from the snapshot to the same learned query";
+      generate =
+        (fun g ~size ->
+          let engine = Prng.pick g [ "twig"; "join"; "path" ] in
+          let spec =
+            {
+              Server.Engines.engine;
+              seed = Prng.int g 1_000_000;
+              scale = 0.02 +. (0.002 *. float_of_int (min 20 size));
+              rows = Prng.int_in g 4 7;
+              cities = Prng.int_in g 5 8;
+            }
+          in
+          let goal =
+            match engine with
+            | "twig" -> Prng.pick g [ "//item"; "//person/name"; "//keyword" ]
+            | "join" -> "planted"
+            | _ -> Prng.pick g [ "highway*"; "road highway*"; "ferry?road*" ]
+          in
+          {
+            ck_base =
+              {
+                sc_spec = spec;
+                sc_goal = goal;
+                sc_crash_after = Prng.int g 25;
+                sc_noise = Prng.int g 150;
+                sc_refusal = Prng.int g 200;
+                sc_timeout = Prng.int g 100;
+                sc_sync =
+                  Prng.pick g [ Core.Journal.Always; Core.Journal.Batch ];
+              };
+            ck_every = Prng.int_in g 1 5;
+          });
+      check =
+        (fun c ->
+          check_server_crash_resume ~checkpoint_every:c.ck_every c.ck_base);
+      candidates =
+        (fun c ->
+          let b = c.ck_base in
+          List.concat
+            [
+              (if b.sc_crash_after > 0 then
+                 [ { c with
+                     ck_base = { b with sc_crash_after = b.sc_crash_after / 2 }
+                   } ]
+               else []);
+              (if b.sc_noise > 0 then
+                 [ { c with ck_base = { b with sc_noise = 0 } } ]
+               else []);
+              (if b.sc_refusal > 0 then
+                 [ { c with ck_base = { b with sc_refusal = 0 } } ]
+               else []);
+              (if b.sc_timeout > 0 then
+                 [ { c with ck_base = { b with sc_timeout = 0 } } ]
+               else []);
+              (if c.ck_every > 1 then [ { c with ck_every = 1 } ] else []);
+            ]);
+      print =
+        (fun c ->
+          Printf.sprintf
+            "spec: %s\ngoal: %s\ncrash_after: %d\ncheckpoint_every: %d\n\
+             noise/refusal/timeout: %d/%d/%d permille\nsync: %s"
+            (Server.Engines.config_of_spec c.ck_base.sc_spec)
+            c.ck_base.sc_goal c.ck_base.sc_crash_after c.ck_every
+            c.ck_base.sc_noise c.ck_base.sc_refusal c.ck_base.sc_timeout
+            (Core.Journal.sync_to_string c.ck_base.sc_sync));
+      size_of =
+        (fun c ->
+          c.ck_base.sc_crash_after + c.ck_base.sc_spec.Server.Engines.rows
+          + c.ck_base.sc_spec.Server.Engines.cities);
+    }
+
+(* ------------------------------------------------------------------ *)
+
+(* The journal's torn-write contract against the fault-injecting storage
+   backend: append records through a Vfs scripted with short writes,
+   lying fsyncs, and torn crash truncation, pull the plug, and recover.
+   Whatever survives must be a clean prefix of what was appended — a tear
+   is truncation, never corruption — and under [Always] sync with honest
+   fsyncs, every successfully appended record must survive. *)
+
+type torn_case = {
+  tw_seed : int;
+  tw_records : int;
+  tw_short : int;  (** permille *)
+  tw_lying : int;  (** permille *)
+  tw_torn : int;  (** permille *)
+  tw_sync : Core.Journal.sync;
+}
+
+let check_vfs_torn_write c =
+  with_temp_dir "learnq-fuzz-torn" (fun dir ->
+      let path = Filename.concat dir "t.journal" in
+      let disk =
+        Core.Flaky.disk
+          ~short_write:(float_of_int c.tw_short /. 1000.)
+          ~lying_fsync:(float_of_int c.tw_lying /. 1000.)
+          ~torn:(float_of_int c.tw_torn /. 1000.)
+          ()
+      in
+      let vfs = Core.Vfs.faulty ~seed:c.tw_seed disk in
+      let event i =
+        if i mod 2 = 0 then Core.Journal.Asked (Printf.sprintf "item-%d" i)
+        else
+          Core.Journal.Answered
+            ( Printf.sprintf "item-%d" (i - 1),
+              Core.Flaky.Label (i mod 4 = 1) )
+      in
+      let created =
+        Core.Journal.create_result ~sync:c.tw_sync ~vfs ~path
+          { Core.Journal.seed = c.tw_seed;
+            engine = "fuzz";
+            config = "vfs-torn-write" }
+      in
+      (* Append until done or the scripted disk refuses; the refusal point
+         is the crash point. *)
+      let appended =
+        match created with
+        | Error _ -> []
+        | Ok j ->
+            let rec go i acc =
+              if i >= c.tw_records then acc
+              else
+                let ev = event i in
+                match Core.Journal.append j ev with
+                | () -> go (i + 1) (ev :: acc)
+                | exception Core.Journal.Io _ -> acc
+            in
+            let acc = go 0 [] in
+            Core.Vfs.crash vfs;
+            (* Release the (still live-process) lock; the file itself stays
+               exactly as the crash left it. *)
+            Core.Journal.abort j;
+            List.rev acc
+      in
+      let is_prefix evs =
+        let rec go = function
+          | [], _ -> true
+          | _ :: _, [] -> false
+          | e :: es, a :: as_ -> e = a && go (es, as_)
+        in
+        go (evs, appended)
+      in
+      match Core.Journal.recover ~path with
+      | Error (Core.Error.Corrupt_journal { offset; message; _ }) ->
+          failf "torn write surfaced as corruption at %d: %s" offset message
+      | Error (Core.Error.Parse { message; _ }) ->
+          failf "torn write broke the journal framing: %s" message
+      | Error _ -> Ok () (* e.g. the file never came into being *)
+      | Ok r ->
+          if not (is_prefix r.Core.Journal.events) then
+            failf "recovered %d events are not a prefix of the %d appended"
+              (List.length r.Core.Journal.events)
+              (List.length appended)
+          else if
+            c.tw_sync = Core.Journal.Always
+            && c.tw_lying = 0
+            && Result.is_ok created
+            && List.length r.Core.Journal.events < List.length appended
+          then
+            failf
+              "Always-sync with honest fsyncs lost %d of %d appended \
+               records to the crash"
+              (List.length appended - List.length r.Core.Journal.events)
+              (List.length appended)
+          else Ok ())
+
+let vfs_torn_write =
+  Spec
+    { name = "vfs-torn-write";
+      about =
+        "a journal crashed mid-write through the fault-injecting storage \
+         backend recovers a clean prefix — torn tails truncate, never \
+         corrupt, and fsynced records survive";
+      generate =
+        (fun g ~size ->
+          {
+            tw_seed = Prng.int g 1_000_000;
+            tw_records = Prng.int_in g 1 (max 2 (min 60 (4 * size)));
+            tw_short = Prng.int g 200;
+            tw_lying = (if Prng.int g 2 = 0 then 0 else Prng.int g 300);
+            tw_torn = Prng.int g 500;
+            tw_sync =
+              Prng.pick g
+                [ Core.Journal.Always; Core.Journal.Batch; Core.Journal.Off ];
+          });
+      check = check_vfs_torn_write;
+      candidates =
+        (fun c ->
+          List.concat
+            [
+              (if c.tw_records > 1 then
+                 [ { c with tw_records = c.tw_records / 2 } ]
+               else []);
+              (if c.tw_short > 0 then [ { c with tw_short = 0 } ] else []);
+              (if c.tw_lying > 0 then [ { c with tw_lying = 0 } ] else []);
+              (if c.tw_torn > 0 then [ { c with tw_torn = 0 } ] else []);
+              (if c.tw_sync <> Core.Journal.Always then
+                 [ { c with tw_sync = Core.Journal.Always } ]
+               else []);
+            ]);
+      print =
+        (fun c ->
+          Printf.sprintf
+            "seed: %d\nrecords: %d\nshort/lying/torn: %d/%d/%d permille\n\
+             sync: %s"
+            c.tw_seed c.tw_records c.tw_short c.tw_lying c.tw_torn
+            (Core.Journal.sync_to_string c.tw_sync));
+      size_of = (fun c -> c.tw_records);
+    }
+
+(* ------------------------------------------------------------------ *)
+
 let all =
   [ eval_cache;
     contain_cache;
@@ -1066,6 +1299,8 @@ let all =
     validate_agree;
     parser_total;
     server_crash_resume;
+    journal_checkpoint_resume;
+    vfs_torn_write;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

@@ -147,6 +147,59 @@ let decode_item ~left ~right s =
       | _ -> None)
   | _ -> None
 
+(* Checkpoint codec: the version space is its lattice bounds — a handful of
+   bitmasks.  The space is regenerated from the relations on resume (like
+   [decode_item] does), with the dimension recorded as a guard against a
+   snapshot from a different instance. *)
+let encode_state (st : Session.state) =
+  let specific, negatives = Join.Version_space.snapshot st.vs in
+  String.concat " "
+    ("join1"
+    :: string_of_int (Signature.dimension st.space)
+    :: string_of_int specific
+    :: List.map string_of_int negatives)
+
+let decode_state ~left ~right s =
+  let space =
+    Signature.space
+      ~left_arity:(Relational.Relation.arity left)
+      ~right_arity:(Relational.Relation.arity right)
+  in
+  let full = Signature.full space in
+  let mask_of tok =
+    match int_of_string_opt tok with
+    | Some m when m >= 0 && m <= full -> Ok m
+    | Some m -> Error (Printf.sprintf "mask %d outside the %d-pair space" m
+                         (Signature.dimension space))
+    | None -> Error (Printf.sprintf "bad mask token %S" tok)
+  in
+  match String.split_on_char ' ' s with
+  | "join1" :: dim :: specific :: negatives -> (
+      if int_of_string_opt dim <> Some (Signature.dimension space) then
+        Error
+          (Printf.sprintf "snapshot dimension %s but instance has %d" dim
+             (Signature.dimension space))
+      else
+        match mask_of specific with
+        | Error _ as e -> e
+        | Ok specific -> (
+            let rec masks acc = function
+              | [] -> Ok (List.rev acc)
+              | tok :: rest -> (
+                  match mask_of tok with
+                  | Error _ as e -> e
+                  | Ok m -> masks (m :: acc) rest)
+            in
+            match masks [] negatives with
+            | Error _ as e -> e
+            | Ok negatives ->
+                Ok
+                  {
+                    Session.space;
+                    vs = Join.Version_space.restore space ~specific ~negatives;
+                  }))
+  | _ -> Error "not a join state snapshot"
+
 let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ?retry
     ~left ~right ~goal () =
   let space =

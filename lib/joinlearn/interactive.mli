@@ -48,6 +48,18 @@ val decode_item :
 (** Inverse of {!encode_item}, recomputing the signature mask; [None] on an
     out-of-range index — the journal belongs to different relations. *)
 
+val encode_state : Session.state -> string
+(** Checkpoint codec: the version space's bitmask bounds plus the space
+    dimension (a guard against snapshots from a different instance). *)
+
+val decode_state :
+  left:Relational.Relation.t ->
+  right:Relational.Relation.t ->
+  string ->
+  (Session.state, string) result
+(** Inverse of {!encode_state}, regenerating the signature space from the
+    relations; [Error] on a dimension mismatch or an out-of-range mask. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->

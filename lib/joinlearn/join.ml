@@ -28,6 +28,12 @@ module Version_space = struct
 
   let most_specific vs = vs.specific
 
+  (* Checkpoint codec support: the version space is fully described by its
+     lattice bounds, and the space itself is regenerated from the instance
+     spec on resume — so a snapshot is just the masks. *)
+  let snapshot vs = (vs.specific, vs.negatives)
+  let restore space ~specific ~negatives = { space; specific; negatives }
+
   let m_tests = Core.Telemetry.Metrics.counter "learnq.join.signature_tests"
 
   (* [determined] runs ~100ns of bitmask work per call and is called once per

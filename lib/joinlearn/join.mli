@@ -43,6 +43,17 @@ module Version_space : sig
       [Some true] when every consistent predicate selects it, [Some false]
       when none does. *)
 
+  val snapshot : t -> Signature.mask * Signature.mask list
+  (** [(most_specific, negatives)] — the whole version space as plain
+      bitmasks, for journal checkpoints. *)
+
+  val restore :
+    Signature.space ->
+    specific:Signature.mask ->
+    negatives:Signature.mask list ->
+    t
+  (** Inverse of {!snapshot} over a regenerated space. *)
+
   val flush_tests : unit -> unit
   (** Fold the shadow count of {!determined} calls into the
       [learnq.join.signature_tests] counter.  {!determined} is too hot for

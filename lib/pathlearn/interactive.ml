@@ -90,6 +90,50 @@ let decode_item s =
       | _ -> None)
   | _ -> None
 
+(* Checkpoint codec: the state is the labeled word sets; the hypothesis is
+   recomputed by ONE [Words.learn] call on decode — where a plain journal
+   replay re-runs the learner once per recorded answer.  That single call is
+   what makes resume-from-checkpoint an order of magnitude cheaper than
+   replay for long path sessions. *)
+let encode_state (st : Session.state) =
+  let line sign w = sign ^ String.concat " " w in
+  String.concat "\n"
+    (("path1" :: List.map (line "+") st.Session.pos)
+    @ List.map (line "-") st.Session.neg)
+
+let decode_state s =
+  match String.split_on_char '\n' s with
+  | "path1" :: lines -> (
+      let parse line =
+        if String.length line < 2 then Error (Printf.sprintf "bad line %S" line)
+        else
+          let word =
+            String.sub line 1 (String.length line - 1)
+            |> String.split_on_char ' '
+            |> List.filter (fun t -> t <> "")
+          in
+          if word = [] then Error (Printf.sprintf "empty word in %S" line)
+          else
+            match line.[0] with
+            | '+' -> Ok (`Pos word)
+            | '-' -> Ok (`Neg word)
+            | _ -> Error (Printf.sprintf "bad label in %S" line)
+      in
+      let rec collect pos neg = function
+        | [] ->
+            (* [pos]/[neg] were accumulated reversed; restore the stored
+               (newest-first) order before the single learn call. *)
+            let pos = List.rev pos and neg = List.rev neg in
+            Ok { Session.pos; neg; hyp = Words.learn ~pos ~neg }
+        | line :: rest -> (
+            match parse line with
+            | Error _ as e -> e
+            | Ok (`Pos w) -> collect (w :: pos) neg rest
+            | Ok (`Neg w) -> collect pos (w :: neg) rest)
+      in
+      collect [] [] lines)
+  | _ -> Error "not a path state snapshot"
+
 let run_with_goal ?(rng = Core.Prng.create 0) ?strategy ?budget ?profile ?retry
     ?max_len ~graph ~goal () =
   let items = items_of_graph ?max_len ~rng graph in

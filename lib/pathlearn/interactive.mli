@@ -40,6 +40,14 @@ val encode_item : item -> string
 val decode_item : string -> item option
 (** Inverse of {!encode_item}; [None] on a malformed line. *)
 
+val encode_state : Session.state -> string
+(** Checkpoint codec: the positive and negative word sets. *)
+
+val decode_state : string -> (Session.state, string) result
+(** Inverse of {!encode_state}.  Recomputes the hypothesis with a single
+    {!Words.learn} call — the reason resume-from-checkpoint beats replaying
+    a long journal, which runs the learner once per recorded answer. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->

@@ -14,6 +14,10 @@ type config = {
   step_timeout : float option;
   drain_grace : float;
   on_listen : int -> unit;
+  vfs : Core.Vfs.t;  (** storage backend (chaos harness swaps in faults) *)
+  checkpoint_every : int;  (** compact sessions every N answers; 0 = off *)
+  max_live_sessions : int;  (** LRU-evict beyond this; 0 = unlimited *)
+  idle_evict_after : float;  (** evict sessions idle this long; 0 = off *)
 }
 
 let default_config =
@@ -30,6 +34,10 @@ let default_config =
     step_timeout = None;
     drain_grace = 5.0;
     on_listen = (fun _ -> ());
+    vfs = Core.Vfs.real;
+    checkpoint_every = 0;
+    max_live_sessions = 0;
+    idle_evict_after = 0.;
   }
 
 type t = {
@@ -37,6 +45,8 @@ type t = {
   registry : Registry.t;
   admission : Admission.t;
   drain_flag : bool Atomic.t;
+  degraded_flag : bool Atomic.t;
+      (** the disk said ENOSPC: refuse writes until the probe heals *)
   conns : int Atomic.t;  (** live connection threads *)
   requests : int Atomic.t;
 }
@@ -48,6 +58,8 @@ let m_faults = Telemetry.Metrics.counter "learnq.serve.client_faults"
 let m_request_s = Telemetry.Metrics.histogram "learnq.serve.request_s"
 let g_sessions = Telemetry.Metrics.gauge "learnq.serve.sessions"
 
+let m_degraded = Telemetry.Metrics.counter "learnq.serve.degraded_entered"
+
 let create cfg =
   let registry =
     Registry.create
@@ -57,6 +69,10 @@ let create cfg =
         tenants = cfg.tenants;
         step_fuel = cfg.step_fuel;
         step_timeout = cfg.step_timeout;
+        vfs = cfg.vfs;
+        checkpoint_every = cfg.checkpoint_every;
+        max_live = cfg.max_live_sessions;
+        idle_evict_after = cfg.idle_evict_after;
       }
   in
   let admission = Admission.create ~max_queue:cfg.max_queue () in
@@ -65,6 +81,7 @@ let create cfg =
     registry;
     admission;
     drain_flag = Atomic.make false;
+    degraded_flag = Atomic.make false;
     conns = Atomic.make 0;
     requests = Atomic.make 0;
   }
@@ -80,6 +97,44 @@ let drain t =
   Atomic.set t.drain_flag true
 let draining t = Atomic.get t.drain_flag
 let registry t = t.registry
+
+(* Degraded read-only mode: the first ENOSPC flips the flag; session
+   creation is refused outright (507) and — under [sync = Off], where an
+   append can land in the page cache without the disk ever admitting it has
+   no room for it — steps are refused too.  Under Always/Batch a step's own
+   fsync surfaces the disk state, so steps stay admitted and either succeed
+   (space came back) or return the honest 507. *)
+let degraded t = Atomic.get t.degraded_flag
+
+let enter_degraded t =
+  if not (Atomic.exchange t.degraded_flag true) && Telemetry.enabled ()
+  then begin
+    Telemetry.Metrics.incr m_degraded;
+    Telemetry.Log.warn "disk full: entering degraded read-only mode"
+  end
+
+(* Self-heal: a tiny write-fsync-unlink round trip in the state directory.
+   Success means the disk takes allocations again — leave degraded mode. *)
+let probe_disk t =
+  if degraded t then begin
+    let vfs = t.cfg.vfs in
+    let path = Filename.concat t.cfg.state_dir ".heal-probe" in
+    match
+      let fh = Core.Vfs.openf ~trunc:true vfs path in
+      Fun.protect
+        ~finally:(fun () -> try Core.Vfs.close vfs fh with Unix.Unix_error _ -> ())
+        (fun () ->
+          Core.Vfs.append vfs fh "ok";
+          Core.Vfs.fsync vfs fh);
+      Core.Vfs.unlink vfs path
+    with
+    | () ->
+        Atomic.set t.degraded_flag false;
+        if Telemetry.enabled () then
+          Telemetry.Log.info "disk recovered: leaving degraded mode"
+    | exception Unix.Unix_error _ -> ()
+    | exception Sys_error _ -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -102,6 +157,10 @@ let status_of_error = function
   | Error.Invalid_input _ | Error.Parse _ -> 400
   | Error.Budget_exhausted _ -> 503
   | Error.Corrupt_journal _ -> 500
+  (* 507 Insufficient Storage: retryable once space returns; other storage
+     failures (EIO) are plain 500s. *)
+  | Error.Storage { full = true; _ } -> 507
+  | Error.Storage _ -> 500
 
 let of_error e = error_response (status_of_error e) (Error.to_string e)
 
@@ -153,18 +212,24 @@ let session_job t ~tenant (req : Http.request) parts body =
                   Ok
                     ( id,
                       fun () ->
-                        match
-                          Registry.create_session t.registry ~tenant ~id spec
-                        with
-                        | Ok view -> json_response 200 (view_json view)
-                        | Error e -> of_error e ))))
+                        if degraded t then
+                          error_response 507
+                            "degraded: disk full, not creating sessions"
+                        else
+                          match
+                            Registry.create_session t.registry ~tenant ~id
+                              spec
+                          with
+                          | Ok view -> json_response 200 (view_json view)
+                          | Error e -> of_error e ))))
   | "GET", [ "v1"; "sessions"; id ] ->
       Ok
         ( id,
           fun () ->
-            match Registry.find t.registry ~tenant ~id with
-            | None -> error_response 404 "unknown session"
-            | Some s -> json_response 200 (view_json (s.Stepper.view ())) )
+            match Registry.find_or_resume t.registry ~tenant ~id with
+            | Ok None -> error_response 404 "unknown session"
+            | Ok (Some s) -> json_response 200 (view_json (s.Stepper.view ()))
+            | Error e -> of_error e )
   | "DELETE", [ "v1"; "sessions"; id ] ->
       Ok
         ( id,
@@ -183,20 +248,30 @@ let session_job t ~tenant (req : Http.request) parts body =
               Ok
                 ( id,
                   fun () ->
-                    match Registry.find t.registry ~tenant ~id with
-                    | None -> error_response 404 "unknown session"
-                    | Some s -> (
-                        match s.Stepper.answer ~qid reply with
-                        | Ok view -> json_response 200 (view_json view)
-                        | Error e -> of_error e ) )))
+                    if degraded t && t.cfg.sync = Core.Journal.Off then
+                      error_response 507
+                        "degraded: disk full, refusing unsynced steps"
+                    else
+                      match Registry.find_or_resume t.registry ~tenant ~id with
+                      | Ok None -> error_response 404 "unknown session"
+                      | Error e -> of_error e
+                      | Ok (Some s) -> (
+                          match s.Stepper.answer ~qid reply with
+                          | Ok view -> json_response 200 (view_json view)
+                          | Error e -> of_error e ) )))
   | _, _ -> Error (error_response 404 "no such route")
 
 let stats_json t =
   let a = Admission.stats t.admission in
+  let r = Registry.stats t.registry in
   Json.Obj
     [
-      ("sessions", Json.of_int (Registry.count t.registry));
+      ("sessions", Json.of_int r.Registry.live);
       ("draining", Json.Bool (draining t));
+      ("degraded", Json.Bool (degraded t));
+      ("evicted", Json.of_int r.Registry.evicted);
+      ("resumed", Json.of_int r.Registry.resumed);
+      ("quarantined", Json.of_int r.Registry.quarantined);
       ("connections", Json.of_int (Atomic.get t.conns));
       ("requests", Json.of_int (Atomic.get t.requests));
       ("queued", Json.of_int a.Admission.queued);
@@ -260,6 +335,9 @@ let handle t (req : Http.request) =
             Admission.fault t.admission ~tenant
         | s when s < 400 -> Admission.ok t.admission ~tenant
         | _ -> ());
+        (* 507 is only ever minted from an ENOSPC ([Error.Storage full]):
+           the disk is out of room, flip read-only until the probe heals. *)
+        if outcome.Http.status = 507 then enter_degraded t;
         outcome
 
 (* ------------------------------------------------------------------ *)
@@ -349,6 +427,10 @@ let dispatcher t pool () =
             batch
         in
         List.iter2 Admission.finish batch results;
+        (* Eviction rides the batch boundary: the dispatcher owns all
+           session mutation, so right here no stepper is mid-answer and a
+           checkpoint+close cannot race a step. *)
+        if not (draining t) then ignore (Registry.evict_idle t.registry);
         if Telemetry.enabled () then
           Telemetry.Metrics.set g_sessions
             (float_of_int (Registry.count t.registry)));
@@ -412,9 +494,20 @@ let serve t =
   | Ok (listen_fd, port) ->
       cfg.on_listen port;
       let disp = Thread.create (dispatcher t pool) () in
+      (* The heal probe piggybacks on the accept loop's select tick so it
+         runs even when no requests arrive; throttled to ~1/s. *)
+      let last_probe = ref 0. in
+      let maybe_probe () =
+        let now = Unix.gettimeofday () in
+        if now -. !last_probe >= 1.0 then begin
+          last_probe := now;
+          probe_disk t
+        end
+      in
       let rec accept_loop () =
         if draining t then ()
-        else
+        else begin
+          maybe_probe ();
           match Unix.select [ listen_fd ] [] [] 0.25 with
           | [], _, _ -> accept_loop ()
           | _ -> (
@@ -437,6 +530,7 @@ let serve t =
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
               | exception Unix.Unix_error _ -> accept_loop ())
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        end
       in
       accept_loop ();
       (* Drain choreography: stop listening, let the dispatcher finish the

@@ -26,7 +26,22 @@
     "questions","replayed","pruned","refused","query"}]; errors are
     [{"error":msg}] with 400 (malformed), 404 (unknown session), 409
     (conflicting spec / stale qid), 429 (quota or breaker, with
-    [Retry-After]), 503 (shedding or draining, with [Retry-After]).
+    [Retry-After]), 503 (shedding or draining, with [Retry-After]), 507
+    (disk full).
+
+    {2 Storage robustness}
+
+    Sessions checkpoint + compact their journals every [checkpoint_every]
+    answers; {!Registry.evict_idle} (run by the dispatcher between
+    batches) closes sessions beyond [max_live_sessions] or idle past
+    [idle_evict_after], and requests touching an evicted session resume it
+    transparently from its journal.  The first ENOSPC flips the daemon
+    into {e degraded read-only mode}: creates are refused with 507 (and,
+    under [sync = Off], steps too — an unsynced append can lie about a
+    full disk); a ~1/s write-fsync probe in the accept loop leaves the
+    mode as soon as the disk takes allocations again.  Corrupt journals
+    are quarantined ([<name>.quarantine]) rather than retried forever;
+    [/stats] reports [degraded], [evicted], [resumed], [quarantined].
 
     {2 Drain}
 
@@ -50,11 +65,18 @@ type config = {
   step_timeout : float option;
   drain_grace : float;  (** seconds to wait for connections on drain *)
   on_listen : int -> unit;  (** called with the bound port *)
+  vfs : Core.Vfs.t;
+      (** storage backend; the chaos harness swaps in {!Core.Vfs.faulty} *)
+  checkpoint_every : int;
+      (** compact each session's journal every N answers; 0 = never *)
+  max_live_sessions : int;  (** LRU-evict beyond this many; 0 = unlimited *)
+  idle_evict_after : float;  (** evict sessions idle this long; 0 = never *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, ["./learnq-state"], pool 2, queue 256, 128 conns,
-    [Batch] sync, default tenants, no step caps, 5s grace. *)
+    [Batch] sync, default tenants, no step caps, 5s grace, real storage,
+    no checkpoints, unbounded residency. *)
 
 type t
 
@@ -68,6 +90,9 @@ val drain : t -> unit
 (** Idempotent; callable from a signal handler or another thread. *)
 
 val draining : t -> bool
+
+val degraded : t -> bool
+(** The daemon is in degraded read-only mode (disk full, not yet healed). *)
 
 val registry : t -> Registry.t
 (** Exposed for in-process tests and the chaos harness. *)

@@ -120,11 +120,14 @@ module Twig_stepper = Stepper.Make (Twiglearn.Interactive.Session)
 module Join_stepper = Stepper.Make (Joinlearn.Interactive.Session)
 module Path_stepper = Stepper.Make (Pathlearn.Interactive.Session)
 
-let make ?journal ?resume ?step_budget s =
+let make ?journal ?resume ?step_budget ?checkpoint_every s =
   match s.engine with
   | "twig" ->
       let doc = twig_doc s in
-      Twig_stepper.make ?journal ?resume ?step_budget ~engine:s.engine
+      Twig_stepper.make ?journal ?resume ?step_budget ?checkpoint_every
+        ~snapshot:Twiglearn.Interactive.encode_state
+        ~restore:(Twiglearn.Interactive.decode_state ~doc)
+        ~engine:s.engine
         ~encode:Twiglearn.Interactive.encode_item
         ~decode:(Twiglearn.Interactive.decode_item ~doc)
         ~items:(Twiglearn.Interactive.items_of_doc doc)
@@ -137,14 +140,19 @@ let make ?journal ?resume ?step_budget s =
           ~left_arity:(Relational.Relation.arity left)
           ~right_arity:(Relational.Relation.arity right)
       in
-      Join_stepper.make ?journal ?resume ?step_budget ~engine:s.engine
+      Join_stepper.make ?journal ?resume ?step_budget ?checkpoint_every
+        ~snapshot:Joinlearn.Interactive.encode_state
+        ~restore:(Joinlearn.Interactive.decode_state ~left ~right)
+        ~engine:s.engine
         ~encode:(Joinlearn.Interactive.encode_item ~left ~right)
         ~decode:(Joinlearn.Interactive.decode_item ~left ~right)
         ~items:(Joinlearn.Interactive.items_of space left right)
         ()
   | "path" ->
       let g = path_graph s in
-      Path_stepper.make ?journal ?resume ?step_budget ~engine:s.engine
+      Path_stepper.make ?journal ?resume ?step_budget ?checkpoint_every
+        ~snapshot:Pathlearn.Interactive.encode_state
+        ~restore:Pathlearn.Interactive.decode_state ~engine:s.engine
         ~encode:Pathlearn.Interactive.encode_item
         ~decode:Pathlearn.Interactive.decode_item ~items:(path_items s g) ()
   | e ->

@@ -55,10 +55,14 @@ val make :
   ?journal:Core.Journal.t ->
   ?resume:Core.Journal.event list ->
   ?step_budget:(unit -> Core.Budget.t) ->
+  ?checkpoint_every:int ->
   spec ->
   (Stepper.t, Core.Error.t) result
 (** Builds the instance from the spec and wraps the engine's
-    [Interactive.Session] in a {!Stepper}. *)
+    [Interactive.Session] in a {!Stepper}, wiring in the engine's state
+    codec so checkpoints work for every engine: a [resume] bearing a
+    {!Core.Journal.checkpoint} restores from it, and [checkpoint_every] > 0
+    compacts the journal every N labeled answers. *)
 
 val oracle : spec -> goal:string -> (string -> bool, Core.Error.t) result
 (** A labeling function over {e codec strings} (the stepper's [question]

@@ -7,7 +7,8 @@
     - {e journal-keyed}: a session's entire recoverable state is its
       journal ([<dir>/<tenant>.<id>.journal] — '.' cannot appear in a
       name, so the mapping is injective; the header's config line
-      regenerates the instance, the events replay the answers).  The
+      regenerates the instance, the events replay the answers, and the
+      last checkpoint — if any — short-circuits the replay).  The
       registry holds only the in-memory stepper; {!recover_all} rebuilds
       the table from the directory after a crash.
     - {e idempotent creation}: re-creating an existing [tenant/id] with the
@@ -19,6 +20,20 @@
       reserved during construction, so concurrent creates cannot
       overshoot).
 
+    The storage PR adds three more:
+
+    - {e bounded residency}: {!evict_idle} checkpoints, compacts, and
+      closes sessions beyond [max_live] (LRU) or idle past
+      [idle_evict_after]; {!find_or_resume} transparently resurrects an
+      evicted session from its journal — exactly once per burst of
+      concurrent requests (single-flight on the registry's build table).
+    - {e corruption quarantine}: a journal failing CRC or decode is moved
+      to [<name>.quarantine] (its stale lock removed) instead of crashing
+      every recovery; {!stats} counts them.
+    - {e fault-injectable storage}: every file operation goes through the
+      config's {!Core.Vfs.t}, so the chaos harness can script ENOSPC, torn
+      writes, and lying fsyncs against the whole session lifecycle.
+
     The lock covers table bookkeeping only; instance generation and replay
     run outside it.  Mutating one session concurrently is excluded by the
     {!Admission} batch discipline, not by this lock. *)
@@ -29,6 +44,23 @@ type config = {
   tenants : Tenant.t;
   step_fuel : int option;  (** server-wide per-step default *)
   step_timeout : float option;
+  vfs : Core.Vfs.t;  (** storage backend ({!Core.Vfs.real} in production) *)
+  checkpoint_every : int;
+      (** checkpoint + compact each session every N labeled answers;
+          0 = never *)
+  max_live : int;
+      (** {!evict_idle} keeps at most this many live steppers (LRU);
+          0 = unlimited *)
+  idle_evict_after : float;
+      (** {!evict_idle} evicts sessions untouched this many seconds;
+          0. = never *)
+}
+
+type stats = {
+  live : int;
+  evicted : int;  (** sessions checkpointed out by {!evict_idle} *)
+  resumed : int;  (** sessions resurrected by {!find_or_resume} *)
+  quarantined : int;  (** corrupt journals moved to [.quarantine] *)
 }
 
 type t
@@ -43,16 +75,37 @@ val create_session :
     [[A-Za-z0-9_-]+] (they name files). *)
 
 val find : t -> tenant:string -> id:string -> Stepper.t option
-(** The live stepper; callers must respect the one-thread-per-session
-    batch discipline. *)
+(** The live stepper (touching its LRU clock); callers must respect the
+    one-thread-per-session batch discipline.  Does not look at disk — use
+    {!find_or_resume} to see through eviction. *)
+
+val find_or_resume :
+  t -> tenant:string -> id:string -> (Stepper.t option, Core.Error.t) result
+(** {!find}, falling back to resuming the session's journal from disk when
+    the stepper was evicted.  Single-flight: a burst of concurrent requests
+    for the same evicted key replays the journal exactly once, the rest
+    wait and share the result.  [Ok None] when no such session exists
+    anywhere; [Error] when the journal exists but cannot be resumed (a
+    corrupt one is quarantined on the way out). *)
+
+val evict_idle : t -> int
+(** Checkpoint, compact, close, and drop sessions beyond the config's
+    [max_live] (least-recently-used first) or idle past
+    [idle_evict_after]; returns how many were evicted.  A victim whose
+    checkpoint fails stays live (nothing is lost to a sick disk).  Call
+    from the dispatcher between batches — never while a session is
+    mid-answer. *)
 
 val delete : t -> tenant:string -> id:string -> bool
-(** Closes the session and removes its journal file.  [false] if absent. *)
+(** Closes the session and removes its journal file — including a session
+    that only exists on disk (evicted or never loaded).  [false] if absent
+    everywhere. *)
 
 val recover_all : t -> pool:Core.Pool.t -> int * (string * Core.Error.t) list
 (** Resumes every journal in the directory not already live — in parallel
     on [pool] — and returns (sessions recovered, per-file errors).
-    Unresumable journals are left on disk and reported, not deleted. *)
+    Corrupt journals are quarantined; other failures (locked, storage) are
+    left in place and reported. *)
 
 val drain : t -> unit
 (** Flush and close every live journal (graceful-shutdown path). *)
@@ -63,6 +116,9 @@ val crash : t -> unit
 
 val count : t -> int
 val tenant_count : t -> string -> int
+
+val stats : t -> stats
+(** Live count plus lifetime eviction / resume / quarantine counters. *)
 
 val fold : t -> init:'a -> f:('a -> tenant:string -> id:string -> Stepper.t -> 'a) -> 'a
 (** Snapshot iteration (order unspecified) — for /stats. *)

@@ -20,6 +20,7 @@ type view = {
 type t = {
   view : unit -> view;
   answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
+  checkpoint : unit -> (unit, Core.Error.t) result;
   flush : unit -> unit;
   close : unit -> unit;
   abort : unit -> unit;
@@ -31,6 +32,11 @@ module Make (S : Core.Interact.SESSION) = struct
     encode : S.item -> string;
     journal : Journal.t option;
     step_budget : unit -> Budget.t;
+    snapshot : (S.state -> string) option;
+    checkpoint_every : int;  (** 0 = never automatically *)
+    answered : (string, unit) Hashtbl.t;  (** labeled item keys *)
+    mutable answered_rev : string list;  (** same keys, newest first *)
+    mutable since_ck : int;  (** labels since the last checkpoint *)
     mutable st : S.state;
     mutable pool : S.item list;  (** unasked items, original order *)
     mutable current : (int * S.item) option;
@@ -92,27 +98,92 @@ module Make (S : Core.Interact.SESSION) = struct
               (match i.journal with None -> () | Some j -> Journal.flush j);
               i.done_ <- true
           | item :: _ ->
-              i.pool <- List.filter (fun it -> it != item) opens;
+              (* The ask is journaled before it is exposed; when storage
+                 refuses the record the question rolls back whole (item
+                 still pooled, qid unbumped), so a later advance re-derives
+                 the same question instead of wedging the session. *)
               i.qid <- i.qid + 1;
-              jappend i (Journal.Asked (i.encode item));
+              (try jappend i (Journal.Asked (i.encode item))
+               with e ->
+                 i.qid <- i.qid - 1;
+                 raise e);
+              i.pool <- List.filter (fun it -> it != item) opens;
               i.current <- Some (i.qid, item))
     end
 
+  (* Snapshot the accumulator and atomically compact the journal down to
+     header + checkpoint.  Callable at any point — including with a question
+     in flight: the open [Asked] would be erased by compaction, so it is
+     excluded from [ck_qid] and re-appended afterwards, keeping the resumed
+     qid sequence identical to the uninterrupted one.  (Should that
+     re-append fail, resume still re-derives the same question
+     deterministically from the pool — it just re-journals the ask.)  On
+     failure the old journal and the live session are untouched. *)
+  let take_checkpoint i =
+    match (i.journal, i.snapshot) with
+    | Some j, Some snap -> (
+        let open_key = Option.map (fun (_, it) -> i.encode it) i.current in
+        let ck =
+          {
+            Journal.ck_qid = (i.qid - if open_key = None then 0 else 1);
+            ck_questions = i.questions + i.replayed;
+            ck_pruned = i.pruned;
+            ck_refused = i.refused;
+            ck_answered = List.rev i.answered_rev;
+            ck_state = snap i.st;
+          }
+        in
+        match Journal.compact j ck with
+        | Error _ as e -> e
+        | Ok () -> (
+            i.since_ck <- 0;
+            match open_key with
+            | None -> Ok ()
+            | Some key -> (
+                try
+                  Journal.append j (Journal.Asked key);
+                  Ok ()
+                with Journal.Io e -> Error e)))
+    | _ -> Ok () (* no journal or no state codec: nothing to compact *)
+
   let answer i ~qid reply =
     match i.current with
-    | Some (cq, item) when qid = cq ->
-        jappend i (Journal.Answered (i.encode item, reply));
-        (match reply with
-        | Flaky.Label label ->
-            i.st <- S.record i.st item label;
-            i.questions <- i.questions + 1
-        | Flaky.Refused | Flaky.Timed_out ->
-            (* Set aside for this run; a resume puts it back in the pool,
-               exactly as [Interact.run_flaky] replay does. *)
-            i.refused <- i.refused + 1);
-        i.current <- None;
-        advance i;
-        Ok (view i)
+    | Some (cq, item) when qid = cq -> (
+        try
+          jappend i (Journal.Answered (i.encode item, reply));
+          (match reply with
+          | Flaky.Label label ->
+              i.st <- S.record i.st item label;
+              i.questions <- i.questions + 1;
+              let key = i.encode item in
+              if not (Hashtbl.mem i.answered key) then begin
+                Hashtbl.replace i.answered key ();
+                i.answered_rev <- key :: i.answered_rev
+              end;
+              i.since_ck <- i.since_ck + 1
+          | Flaky.Refused | Flaky.Timed_out ->
+              (* Set aside for this run; a resume puts it back in the pool,
+                 exactly as [Interact.run_flaky] replay does. *)
+              i.refused <- i.refused + 1);
+          i.current <- None;
+          (* Periodic compaction rides on the answer that crossed the
+             threshold; its storage error (ENOSPC above all) surfaces as
+             this answer's error — the answer itself is journaled and
+             applied, so the client's retry is an idempotent no-op. *)
+          let ck_result =
+            if
+              i.checkpoint_every > 0
+              && i.since_ck >= i.checkpoint_every
+              && not i.done_
+            then take_checkpoint i
+            else Ok ()
+          in
+          match ck_result with
+          | Error _ as e -> e
+          | Ok () ->
+              advance i;
+              Ok (view i)
+        with Journal.Io e -> Error e)
     | Some (cq, _) when qid < cq -> Ok (view i) (* duplicate: no-op *)
     | None when qid <= i.qid -> Ok (view i) (* late duplicate: no-op *)
     | _ ->
@@ -121,8 +192,8 @@ module Make (S : Core.Interact.SESSION) = struct
              (Printf.sprintf
                 "answer for question %d but only %d have been asked" qid i.qid))
 
-  let make ?journal ?(resume = []) ?step_budget ~engine ~encode ~decode ~items
-      () =
+  let make ?journal ?(resume = []) ?step_budget ?(checkpoint_every = 0)
+      ?snapshot ?restore ~engine ~encode ~decode ~items () =
     let step_budget =
       match step_budget with Some f -> f | None -> Budget.unlimited
     in
@@ -132,6 +203,11 @@ module Make (S : Core.Interact.SESSION) = struct
         encode;
         journal;
         step_budget;
+        snapshot;
+        checkpoint_every;
+        answered = Hashtbl.create 64;
+        answered_rev = [];
+        since_ck = 0;
         st = S.init items;
         pool = items;
         current = None;
@@ -144,11 +220,6 @@ module Make (S : Core.Interact.SESSION) = struct
         degraded = false;
       }
     in
-    (* Replay: fold the recovered events in order.  Labeled answers rebuild
-       the state (duplicates are idempotent no-ops); refused/timed-out items
-       stay in the pool; a trailing [Asked] with no [Answered] is the open
-       question, re-posed without re-journaling. *)
-    let answered = Hashtbl.create 64 in
     let decode_or_fail key =
       match decode key with
       | Some it -> Ok it
@@ -158,66 +229,145 @@ module Make (S : Core.Interact.SESSION) = struct
                (Printf.sprintf "undecodable replay item %S for engine %s" key
                   engine))
     in
-    let rec replay pending = function
-      | [] -> Ok pending
-      | Journal.Asked key :: rest ->
-          i.qid <- i.qid + 1;
-          replay (Some key) rest
-      | Journal.Answered (key, reply) :: rest -> (
-          match reply with
-          | Flaky.Refused | Flaky.Timed_out -> replay None rest
-          | Flaky.Label label ->
-              if Hashtbl.mem answered key then replay None rest
-              else (
-                Hashtbl.add answered key ();
+    (* Restore-then-replay: the last checkpoint (if any) replaces replaying
+       from record zero — the engine decodes its state snapshot, counters
+       and answered keys come back verbatim — and only the events after it
+       are folded.  [pruned]/[refused] restart at zero exactly as a plain
+       replay leaves them: the next [advance] re-derives pruned from the
+       remaining pool (determination is monotone, so the recount equals the
+       uninterrupted cumulative count), and refused items are back in the
+       pool awaiting another chance. *)
+    let ck, tail =
+      let rec split ck tail = function
+        | [] -> (ck, List.rev tail)
+        | Journal.Checkpoint c :: rest -> split (Some c) [] rest
+        | ev :: rest -> split ck (ev :: tail) rest
+      in
+      split None [] resume
+    in
+    let restored =
+      match ck with
+      | None -> Ok ()
+      | Some c -> (
+          match restore with
+          | None ->
+              Error
+                (Error.invalid_input ~what:"journal"
+                   (Printf.sprintf
+                      "journal has a checkpoint but engine %s provides no \
+                       state decoder"
+                      engine))
+          | Some restore_state -> (
+              match restore_state c.Journal.ck_state with
+              | Error msg ->
+                  Error
+                    (Error.invalid_input ~what:"journal"
+                       ("undecodable checkpoint state: " ^ msg))
+              | Ok st ->
+                  i.st <- st;
+                  i.qid <- c.Journal.ck_qid;
+                  i.replayed <- c.Journal.ck_questions;
+                  List.iter
+                    (fun key ->
+                      if not (Hashtbl.mem i.answered key) then begin
+                        Hashtbl.replace i.answered key ();
+                        i.answered_rev <- key :: i.answered_rev
+                      end)
+                    c.Journal.ck_answered;
+                  Ok ()))
+    in
+    match restored with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* Replay the tail: labeled answers rebuild the state (duplicates are
+           idempotent no-ops); refused/timed-out items stay in the pool; a
+           trailing [Asked] with no [Answered] is the open question, re-posed
+           without re-journaling. *)
+        let rec replay pending = function
+          | [] -> Ok pending
+          | Journal.Asked key :: rest ->
+              i.qid <- i.qid + 1;
+              replay (Some key) rest
+          | Journal.Answered (key, reply) :: rest -> (
+              match reply with
+              | Flaky.Refused | Flaky.Timed_out -> replay None rest
+              | Flaky.Label label ->
+                  if Hashtbl.mem i.answered key then replay None rest
+                  else (
+                    Hashtbl.replace i.answered key ();
+                    i.answered_rev <- key :: i.answered_rev;
+                    match decode_or_fail key with
+                    | Error _ as e -> e
+                    | Ok it ->
+                        i.st <- S.record i.st it label;
+                        i.replayed <- i.replayed + 1;
+                        replay None rest))
+          | Journal.Checkpoint _ :: rest ->
+              (* Cannot appear after the split above; ignore defensively. *)
+              replay None rest
+          | Journal.Completed :: rest ->
+              i.done_ <- true;
+              replay None rest
+        in
+        match replay None tail with
+        | Error _ as e -> e
+        | Ok pending -> (
+            if Hashtbl.length i.answered > 0 then
+              i.pool <-
+                List.filter
+                  (fun it -> not (Hashtbl.mem i.answered (encode it)))
+                  i.pool;
+            let finish () =
+              match
+                if i.current = None && not i.done_ then advance i
+              with
+              | exception Journal.Io e -> Error e
+              | () ->
+                  Ok
+                    {
+                      view =
+                        (fun () ->
+                          (* Self-heal a rolled-back ask: once the disk
+                             accepts records again, the next poll re-derives
+                             the question. *)
+                          if i.current = None && not i.done_ then
+                            (try advance i with Journal.Io _ -> ());
+                          view i);
+                      answer = (fun ~qid reply -> answer i ~qid reply);
+                      checkpoint = (fun () -> take_checkpoint i);
+                      flush =
+                        (fun () ->
+                          (* Best-effort durability nudge between batches; a
+                             failing flush keeps its buffer and the next
+                             answer surfaces the storage error properly. *)
+                          match i.journal with
+                          | None -> ()
+                          | Some j -> (
+                              try Journal.flush j with Journal.Io _ -> ()));
+                      close =
+                        (fun () ->
+                          match i.journal with
+                          | None -> ()
+                          | Some j -> (
+                              try Journal.close j with Journal.Io _ -> ()));
+                      abort =
+                        (fun () ->
+                          match i.journal with
+                          | None -> ()
+                          | Some j -> Journal.abort j);
+                    }
+              in
+            match pending with
+            | Some _ when i.done_ -> finish ()
+            | Some key -> (
                 match decode_or_fail key with
                 | Error _ as e -> e
                 | Ok it ->
-                    i.st <- S.record i.st it label;
-                    i.replayed <- i.replayed + 1;
-                    replay None rest))
-      | Journal.Completed :: rest ->
-          i.done_ <- true;
-          replay None rest
-    in
-    match replay None resume with
-    | Error _ as e -> e
-    | Ok pending -> (
-        if i.replayed > 0 then
-          i.pool <-
-            List.filter
-              (fun it -> not (Hashtbl.mem answered (encode it)))
-              i.pool;
-        let finish () =
-          if i.current = None && not i.done_ then advance i;
-          Ok
-            {
-              view = (fun () -> view i);
-              answer = (fun ~qid reply -> answer i ~qid reply);
-              flush =
-                (fun () ->
-                  match i.journal with
-                  | None -> ()
-                  | Some j -> Journal.flush j);
-              close =
-                (fun () ->
-                  match i.journal with None -> () | Some j -> Journal.close j);
-              abort =
-                (fun () ->
-                  match i.journal with None -> () | Some j -> Journal.abort j);
-            }
-        in
-        match pending with
-        | Some _ when i.done_ -> finish ()
-        | Some key -> (
-            match decode_or_fail key with
-            | Error _ as e -> e
-            | Ok it ->
-                (* The crash lost the answer in flight: re-pose the same
-                   question under its original qid.  The [Asked] record is
-                   already on disk — appending another would double-count. *)
-                i.pool <- List.filter (fun it' -> encode it' <> key) i.pool;
-                i.current <- Some (i.qid, it);
-                finish ())
-        | None -> finish ())
+                    (* The crash lost the answer in flight: re-pose the same
+                       question under its original qid.  The [Asked] record is
+                       already on disk — appending another would double-count. *)
+                    i.pool <- List.filter (fun it' -> encode it' <> key) i.pool;
+                    i.current <- Some (i.qid, it);
+                    finish ())
+            | None -> finish ()))
 end

@@ -43,7 +43,12 @@ type view = {
 type t = {
   view : unit -> view;
   answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
-  flush : unit -> unit;  (** force journal buffers to disk *)
+  checkpoint : unit -> (unit, Core.Error.t) result;
+      (** snapshot the accumulator and compact the journal to
+          header + checkpoint (the eviction path); no-op without a journal
+          or state codec.  Safe with a question in flight — its [Asked] is
+          re-appended after the rewrite. *)
+  flush : unit -> unit;  (** force journal buffers to disk (best-effort) *)
   close : unit -> unit;  (** flush + close the journal (drain path) *)
   abort : unit -> unit;  (** crash the journal: buffered records lost *)
 }
@@ -55,6 +60,9 @@ module Make (S : Core.Interact.SESSION) : sig
     ?journal:Core.Journal.t ->
     ?resume:Core.Journal.event list ->
     ?step_budget:(unit -> Core.Budget.t) ->
+    ?checkpoint_every:int ->
+    ?snapshot:(S.state -> string) ->
+    ?restore:(string -> (S.state, string) result) ->
     engine:string ->
     encode:(S.item -> string) ->
     decode:(string -> S.item option) ->
@@ -64,5 +72,15 @@ module Make (S : Core.Interact.SESSION) : sig
   (** [encode]/[decode] are the journal codec (item identity on the wire
       and in replay).  [step_budget] is drawn fresh for each advance (the
       determined-scan between two questions); default unlimited.  Replay
-      events that [decode] rejects are a [Corrupt_journal]-style error. *)
+      events that [decode] rejects are a [Corrupt_journal]-style error.
+
+      [snapshot]/[restore] are the engine's accumulator codec.  When the
+      recovered events contain a {!Core.Journal.checkpoint}, [restore]
+      rebuilds the state from it and only the tail is replayed; a journal
+      bearing a checkpoint but no [restore] codec is refused.
+      [checkpoint_every] > 0 (requires both a journal and [snapshot])
+      compacts automatically every N labeled answers.  Storage failures
+      (ENOSPC, EIO) surface as typed [Error.Storage] results from [answer];
+      the journal is never left mid-write — it truncates back to its last
+      complete record. *)
 end

@@ -218,6 +218,63 @@ let decode_item ~doc s =
     if Xmltree.Tree.node_at doc path = None then None
     else Some (Xmltree.Annotated.make doc path)
 
+(* Checkpoint codec: the accumulator is a deterministic fold of the labeled
+   nodes, so the snapshot is the labels themselves — positives and negatives
+   as node paths, each side in arrival order — plus the session's ablation
+   mode.  Decoding refolds [Session.record] (positives first, then
+   negatives; the two sides never read each other during a fold, so
+   de-interleaving is sound), which rebuilds [acc]/[lgg] exactly as the live
+   session did instead of trying to serialize an LGG accumulator. *)
+let encode_state (st : Session.state) =
+  let line label it = (if label then "+" else "-") ^ encode_item it in
+  String.concat "\n"
+    ((if st.Session.batch then "twig1 batch" else "twig1")
+    :: List.rev_map (line true) st.Session.pos
+    @ List.rev_map (line false) st.Session.neg)
+
+let decode_state ~doc s =
+  match String.split_on_char '\n' s with
+  | header :: lines when header = "twig1" || header = "twig1 batch" -> (
+      let batch = header = "twig1 batch" in
+      let base =
+        {
+          Session.pos = [];
+          neg = [];
+          neg_count = 0;
+          acc = Positive.Incremental.empty;
+          lgg = None;
+          batch;
+        }
+      in
+      let parse line =
+        if String.length line < 2 then Error (Printf.sprintf "bad line %S" line)
+        else
+          let label =
+            match line.[0] with
+            | '+' -> Ok true
+            | '-' -> Ok false
+            | _ -> Error (Printf.sprintf "bad label in %S" line)
+          in
+          match label with
+          | Error _ as e -> e
+          | Ok label -> (
+              let key = String.sub line 1 (String.length line - 1) in
+              match decode_item ~doc key with
+              | Some it -> Ok (it, label)
+              | None -> Error (Printf.sprintf "node %S not in document" key))
+      in
+      let rec refold st = function
+        | [] -> Ok st
+        | line :: rest -> (
+            match parse line with
+            | Error _ as e -> e
+            | Ok (it, label) -> refold (Session.record st it label) rest)
+      in
+      (* Positives precede negatives in the encoding, so a plain
+         left-to-right refold replays each side in arrival order. *)
+      refold base lines)
+  | _ -> Error "not a twig state snapshot"
+
 let run_with_goal ?rng ?strategy ?budget ?profile ?retry ~doc ~goal () =
   let items = items_of_doc doc in
   let oracle (item : item) = Twig.Eval.selects_example goal item in

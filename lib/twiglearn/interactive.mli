@@ -59,6 +59,18 @@ val decode_item : doc:Xmltree.Tree.t -> string -> item option
 (** Inverse of {!encode_item} over [doc]; [None] when the path addresses no
     node — the journal belongs to a different document. *)
 
+val encode_state : Session.state -> string
+(** Checkpoint codec: the labeled node paths (each polarity in arrival
+    order) plus the session's ablation mode — the accumulator itself is
+    redundant, being a deterministic fold of them. *)
+
+val decode_state :
+  doc:Xmltree.Tree.t -> string -> (Session.state, string) result
+(** Inverse of {!encode_state} over [doc]: refolds the recorded labels
+    through [Session.record], rebuilding the exact live accumulator.
+    [Error] when a path addresses no node of [doc] or the snapshot is
+    malformed. *)
+
 val run_with_goal :
   ?rng:Core.Prng.t ->
   ?strategy:(Session.state, item) Core.Interact.strategy ->

@@ -366,12 +366,126 @@ let test_refused_records_return_to_pool () =
       Alcotest.(check (option int)) "same query" reference.query resumed.query)
 
 (* ------------------------------------------------------------------ *)
-(* Locking: one writer per journal, across processes                    *)
+(* Checkpoints and compaction                                          *)
 (* ------------------------------------------------------------------ *)
+
+let sample_ck =
+  {
+    Core.Journal.ck_qid = 4;
+    ck_questions = 4;
+    ck_pruned = 7;
+    ck_refused = 1;
+    ck_answered = [ "/0/1"; "i:j with spaces\nand a newline" ];
+    (* The engine state is opaque and may itself contain NULs. *)
+    ck_state = "twig1\n+/0/1\x00a second\x00NUL-packed field";
+  }
 
 let journal_ok = function
   | Ok j -> j
   | Error e -> Alcotest.failf "unexpected journal error: %s" (Core.Error.to_string e)
+
+let test_checkpoint_roundtrip () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
+      Core.Journal.append j (Core.Journal.Asked "a");
+      Core.Journal.append_checkpoint j sample_ck;
+      Core.Journal.append j (Core.Journal.Asked "b");
+      Core.Journal.close j;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      Alcotest.(check bool) "checkpoint survives verbatim" true
+        (r.events
+        = [
+            Core.Journal.Asked "a";
+            Core.Journal.Checkpoint sample_ck;
+            Core.Journal.Asked "b";
+          ]))
+
+let test_split_checkpoint_takes_last () =
+  with_temp (fun path ->
+      let j = Core.Journal.create ~sync:Core.Journal.Off ~path header in
+      Core.Journal.append j (Core.Journal.Asked "pre");
+      Core.Journal.append_checkpoint j { sample_ck with ck_qid = 1 };
+      Core.Journal.append j (Core.Journal.Asked "mid");
+      Core.Journal.append_checkpoint j sample_ck;
+      Core.Journal.append j (Core.Journal.Asked "post");
+      Core.Journal.close j;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      let ck, tail = Core.Journal.split_checkpoint r in
+      Alcotest.(check bool) "the last checkpoint wins" true
+        (ck = Some sample_ck);
+      Alcotest.(check bool) "only post-checkpoint events remain" true
+        (tail = [ Core.Journal.Asked "post" ]))
+
+let test_split_checkpoint_none () =
+  with_temp (fun path ->
+      write_sample path;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      let ck, tail = Core.Journal.split_checkpoint r in
+      Alcotest.(check bool) "no checkpoint" true (ck = None);
+      Alcotest.(check bool) "full event list returned" true
+        (tail = sample_events))
+
+let test_compact_shrinks_then_resumes () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let j =
+        journal_ok
+          (Core.Journal.create_result ~sync:Core.Journal.Off ~path header)
+      in
+      for _ = 1 to 5 do
+        List.iter (Core.Journal.append j) sample_events
+      done;
+      Core.Journal.flush j;
+      let before = (Unix.stat path).Unix.st_size in
+      (match Core.Journal.compact j sample_ck with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "compact: %s" (Core.Error.to_string e));
+      let after = (Unix.stat path).Unix.st_size in
+      Alcotest.(check bool) "the journal shrank" true (after < before);
+      (* The compacted journal keeps accepting appends… *)
+      Core.Journal.append j (Core.Journal.Asked "later");
+      Core.Journal.close j;
+      (* …and resumes as header + checkpoint + tail. *)
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      Alcotest.(check bool) "header survives compaction" true
+        (r.header = Some header);
+      let ck, tail = Core.Journal.split_checkpoint r in
+      Alcotest.(check bool) "the checkpoint is the snapshot" true
+        (ck = Some sample_ck);
+      Alcotest.(check bool) "the tail is the post-compaction append" true
+        (tail = [ Core.Journal.Asked "later" ]);
+      Alcotest.(check bool) "no write-aside residue" false
+        (Sys.file_exists (path ^ ".compact")))
+
+let test_compact_failure_leaves_journal_intact () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let vfs = Core.Vfs.faulty ~seed:1 Core.Flaky.no_disk_faults in
+      let j =
+        journal_ok
+          (Core.Journal.create_result ~sync:Core.Journal.Always ~vfs ~path
+             header)
+      in
+      List.iter (Core.Journal.append j) sample_events;
+      Core.Vfs.set_full vfs true;
+      (match Core.Journal.compact j sample_ck with
+      | Ok () -> Alcotest.fail "compaction succeeded on a full disk"
+      | Error (Core.Error.Storage { full; _ }) ->
+          Alcotest.(check bool) "classified as disk-full" true full
+      | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e));
+      (* The old journal is untouched and still appendable once the disk
+         recovers. *)
+      Core.Vfs.set_full vfs false;
+      Core.Journal.append j (Core.Journal.Asked "after");
+      Core.Journal.close j;
+      let r = recovered_ok (Core.Journal.recover ~path) in
+      Alcotest.(check bool) "every record survives the failed compaction"
+        true
+        (r.events = sample_events @ [ Core.Journal.Asked "after" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Locking: one writer per journal, across processes                    *)
+(* ------------------------------------------------------------------ *)
 
 let test_lock_second_create_refused () =
   with_temp (fun path ->
@@ -433,6 +547,31 @@ let test_lock_stale_holder_stolen () =
       let j = journal_ok (Core.Journal.create_result ~path header) in
       Core.Journal.close j)
 
+let test_lock_pid_reuse_stolen () =
+  (* Regression for PID recycling: the lock stamp is pid:starttime, so a
+     recorded holder with our (live) pid but an impossible starttime is a
+     dead process whose pid was reborn — the lock is stale and stolen. *)
+  with_temp (fun path ->
+      Sys.remove path;
+      write_file (path ^ ".lock") (Printf.sprintf "%d:1" (Unix.getpid ()));
+      let j = journal_ok (Core.Journal.create_result ~path header) in
+      Core.Journal.close j)
+
+let test_lock_bare_pid_alive_refused () =
+  (* A stamp-less (old-format) lock naming a live pid cannot be told apart
+     from pid reuse, so it is never stolen: corrupting a live journal is
+     worse than making an operator delete a stale lock. *)
+  with_temp (fun path ->
+      Sys.remove path;
+      write_file (path ^ ".lock") (string_of_int (Unix.getpid ()));
+      match Core.Journal.create_result ~path header with
+      | Error (Core.Error.Journal_locked { pid; _ }) ->
+          Alcotest.(check int) "names the live holder" (Unix.getpid ()) pid
+      | Ok j ->
+          Core.Journal.close j;
+          Alcotest.fail "stole a bare-pid lock held by a live process"
+      | Error e -> Alcotest.failf "wrong error: %s" (Core.Error.to_string e))
+
 let test_lock_two_processes () =
   (* The real contest: a forked child must lose the lock race with a typed
      Journal_locked, not corrupt the file or hang. *)
@@ -489,6 +628,18 @@ let () =
             test_resume_after_torn_tail;
           Alcotest.test_case "no header" `Quick test_resume_without_header_fails;
         ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "split takes the last" `Quick
+            test_split_checkpoint_takes_last;
+          Alcotest.test_case "split without checkpoint" `Quick
+            test_split_checkpoint_none;
+          Alcotest.test_case "compaction shrinks then resumes" `Quick
+            test_compact_shrinks_then_resumes;
+          Alcotest.test_case "failed compaction leaves journal intact" `Quick
+            test_compact_failure_leaves_journal_intact;
+        ] );
       ( "replay",
         [
           Alcotest.test_case "replay equals live" `Quick test_replay_equals_live;
@@ -507,6 +658,10 @@ let () =
             test_lock_released_on_close;
           Alcotest.test_case "stale holder stolen" `Quick
             test_lock_stale_holder_stolen;
+          Alcotest.test_case "pid reuse stolen" `Quick
+            test_lock_pid_reuse_stolen;
+          Alcotest.test_case "bare live pid refused" `Quick
+            test_lock_bare_pid_alive_refused;
           Alcotest.test_case "two processes" `Quick test_lock_two_processes;
         ] );
     ]

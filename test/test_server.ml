@@ -279,8 +279,20 @@ let test_stepper_matches_interact_loop () =
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let registry_config ?(tenants = Tenant.make []) ?(sync = Core.Journal.Off) dir =
-  { Registry.dir; sync; tenants; step_fuel = None; step_timeout = None }
+let registry_config ?(tenants = Tenant.make []) ?(sync = Core.Journal.Off)
+    ?(vfs = Core.Vfs.real) ?(checkpoint_every = 0) ?(max_live = 0)
+    ?(idle_evict_after = 0.) dir =
+  {
+    Registry.dir;
+    sync;
+    tenants;
+    step_fuel = None;
+    step_timeout = None;
+    vfs;
+    checkpoint_every;
+    max_live;
+    idle_evict_after;
+  }
 
 let test_registry_idempotent_create_and_conflict () =
   with_temp_dir (fun dir ->
@@ -445,6 +457,248 @@ let test_registry_names_injective_across_restart () =
             (Registry.find reg2 ~tenant:"a_" ~id:"b" <> None);
           Alcotest.(check bool) "a/_b back under tenant a" true
             (Registry.find reg2 ~tenant:"a" ~id:"_b" <> None)))
+
+(* ------------------------------------------------------------------ *)
+(* Eviction, resume-on-demand, quarantine                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One spec + goal per engine, small enough to drive to completion. *)
+let evict_cases =
+  [
+    ("twig", { twig_spec with Engines.seed = 21 }, "//person/name");
+    ( "join",
+      { Engines.default_spec with Engines.engine = "join"; seed = 5; rows = 5 },
+      "planted" );
+    ( "path",
+      {
+        Engines.default_spec with
+        Engines.engine = "path";
+        seed = 5;
+        cities = 6;
+      },
+      "highway*" );
+  ]
+
+let create_ok reg ~tenant ~id spec =
+  match Registry.create_session reg ~tenant ~id spec with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e)
+
+(* Answer up to [n] questions; stops early when the session finishes. *)
+let drive_n st truth n =
+  let rec go k =
+    let v = st.Stepper.view () in
+    if v.Stepper.done_ || k >= n then k
+    else
+      match v.Stepper.question with
+      | None -> k
+      | Some key -> (
+          match
+            st.Stepper.answer ~qid:v.Stepper.qid (Core.Flaky.Label (truth key))
+          with
+          | Ok _ -> go (k + 1)
+          | Error e -> Alcotest.failf "answer: %s" (Core.Error.to_string e))
+  in
+  go 0
+
+let test_registry_evict_resume_roundtrip () =
+  List.iter
+    (fun (name, spec, goal) ->
+      let truth = truth_of spec goal in
+      (* Reference: never evicted, never checkpointed. *)
+      let ref_questions, ref_query =
+        with_temp_dir (fun dir ->
+            let reg = Registry.create (registry_config dir) in
+            Fun.protect
+              ~finally:(fun () -> Registry.drain reg)
+              (fun () ->
+                ignore (create_ok reg ~tenant:"t" ~id:"s" spec);
+                let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+                let n, v = drive st truth in
+                (n, v.Stepper.query)))
+      in
+      if ref_questions < 3 then
+        Alcotest.failf "%s: degenerate case (%d questions)" name ref_questions;
+      with_temp_dir (fun dir ->
+          let reg =
+            Registry.create
+              (registry_config ~sync:Core.Journal.Always ~checkpoint_every:2
+                 ~max_live:1 dir)
+          in
+          Fun.protect
+            ~finally:(fun () -> Registry.drain reg)
+            (fun () ->
+              ignore (create_ok reg ~tenant:"t" ~id:"s" spec);
+              let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+              let answered = drive_n st truth 2 in
+              Alcotest.(check int)
+                (name ^ ": drove two answers before eviction") 2 answered;
+              (* A second session pushes the first over max_live = 1. *)
+              ignore (create_ok reg ~tenant:"t" ~id:"other" spec);
+              let evicted = Registry.evict_idle reg in
+              Alcotest.(check int) (name ^ ": one session evicted") 1 evicted;
+              Alcotest.(check bool) (name ^ ": the LRU victim is gone") true
+                (Registry.find reg ~tenant:"t" ~id:"s" = None);
+              Alcotest.(check bool) (name ^ ": the fresh session survives")
+                true
+                (Registry.find reg ~tenant:"t" ~id:"other" <> None);
+              (* Resume on demand: the evicted session comes back with its
+                 answers intact (restored from the checkpoint + replay). *)
+              let st2 =
+                match Registry.find_or_resume reg ~tenant:"t" ~id:"s" with
+                | Ok (Some st) -> st
+                | Ok None -> Alcotest.failf "%s: evicted session lost" name
+                | Error e ->
+                    Alcotest.failf "%s: resume: %s" name
+                      (Core.Error.to_string e)
+              in
+              let v = st2.Stepper.view () in
+              Alcotest.(check int) (name ^ ": answers restored, not re-asked")
+                2 v.Stepper.replayed;
+              Alcotest.(check int) (name ^ ": no live questions burned") 0
+                v.Stepper.questions;
+              (* Finishing converges to the uninterrupted session. *)
+              let _, v_final = drive st2 truth in
+              Alcotest.(check (option string))
+                (name ^ ": same query as uninterrupted") ref_query
+                v_final.Stepper.query;
+              Alcotest.(check int)
+                (name ^ ": same total interaction count") ref_questions
+                (v_final.Stepper.questions + v_final.Stepper.replayed);
+              let stats = Registry.stats reg in
+              Alcotest.(check int) (name ^ ": evicted counted") 1
+                stats.Registry.evicted;
+              Alcotest.(check int) (name ^ ": resumed counted") 1
+                stats.Registry.resumed)))
+    evict_cases
+
+let test_registry_evicted_burst_single_flight () =
+  let _, spec, goal = List.hd evict_cases in
+  let truth = truth_of spec goal in
+  with_temp_dir (fun dir ->
+      let reg =
+        Registry.create
+          (registry_config ~sync:Core.Journal.Always ~checkpoint_every:2
+             ~max_live:1 dir)
+      in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg)
+        (fun () ->
+          ignore (create_ok reg ~tenant:"t" ~id:"s" spec);
+          let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+          ignore (drive_n st truth 2);
+          ignore (create_ok reg ~tenant:"t" ~id:"other" spec);
+          Alcotest.(check int) "evicted" 1 (Registry.evict_idle reg);
+          (* A burst of concurrent requests for the evicted key: every one
+             must see the session, and the journal must be replayed exactly
+             once (single-flight). *)
+          let results = Array.make 8 false in
+          let threads =
+            List.init 8 (fun i ->
+                Thread.create
+                  (fun () ->
+                    match Registry.find_or_resume reg ~tenant:"t" ~id:"s" with
+                    | Ok (Some _) -> results.(i) <- true
+                    | Ok None | Error _ -> ())
+                  ())
+          in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun i ok ->
+              Alcotest.(check bool)
+                (Printf.sprintf "request %d saw the session" i)
+                true ok)
+            results;
+          Alcotest.(check int) "journal replayed exactly once" 1
+            (Registry.stats reg).Registry.resumed))
+
+let corrupt_journal_in dir =
+  match
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun e -> Filename.check_suffix e ".journal")
+  with
+  | [ name ] ->
+      let path = Filename.concat dir name in
+      let ic = open_in_bin path in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string bytes in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_bytes oc b);
+      path
+  | l -> Alcotest.failf "expected exactly one journal, found %d" (List.length l)
+
+let test_registry_quarantines_corrupt_journal () =
+  let _, spec, goal = List.hd evict_cases in
+  let truth = truth_of spec goal in
+  with_temp_dir (fun dir ->
+      (* Record a session, close cleanly, then corrupt a record in place. *)
+      let reg = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      ignore (create_ok reg ~tenant:"t" ~id:"s" spec);
+      let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+      ignore (drive_n st truth 2);
+      Registry.drain reg;
+      let path = corrupt_journal_in dir in
+      (* Recovery quarantines it instead of failing every restart. *)
+      let reg2 = Registry.create (registry_config ~sync:Core.Journal.Always dir) in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg2)
+        (fun () ->
+          let pool = Core.Pool.create 1 in
+          let recovered, errors =
+            Fun.protect
+              ~finally:(fun () -> Core.Pool.shutdown pool)
+              (fun () -> Registry.recover_all reg2 ~pool)
+          in
+          Alcotest.(check int) "nothing recovered" 0 recovered;
+          (match errors with
+          | [ (_, Core.Error.Corrupt_journal _) ] -> ()
+          | [ (_, e) ] ->
+              Alcotest.failf "wrong error class: %s" (Core.Error.to_string e)
+          | l -> Alcotest.failf "expected one error, got %d" (List.length l));
+          Alcotest.(check bool) "journal moved aside" false
+            (Sys.file_exists path);
+          Alcotest.(check bool) "quarantine file exists" true
+            (Sys.file_exists (path ^ ".quarantine"));
+          Alcotest.(check bool) "stale lock removed" false
+            (Sys.file_exists (path ^ ".lock"));
+          Alcotest.(check int) "quarantine counted" 1
+            (Registry.stats reg2).Registry.quarantined;
+          (* The quarantined session no longer exists anywhere. *)
+          match Registry.find_or_resume reg2 ~tenant:"t" ~id:"s" with
+          | Ok None -> ()
+          | Ok (Some _) -> Alcotest.fail "resumed a quarantined session"
+          | Error e ->
+              Alcotest.failf "wrong error: %s" (Core.Error.to_string e)))
+
+let test_registry_enospc_is_typed_storage_full () =
+  let _, spec, _ = List.hd evict_cases in
+  with_temp_dir (fun dir ->
+      let vfs = Core.Vfs.faulty ~seed:1 Core.Flaky.no_disk_faults in
+      let reg =
+        Registry.create
+          (registry_config ~sync:Core.Journal.Always ~vfs dir)
+      in
+      Fun.protect
+        ~finally:(fun () -> Registry.drain reg)
+        (fun () ->
+          Core.Vfs.set_full vfs true;
+          (match Registry.create_session reg ~tenant:"t" ~id:"s" spec with
+          | Error (Core.Error.Storage { full; _ }) ->
+              Alcotest.(check bool) "classified as disk-full" true full
+          | Error e ->
+              Alcotest.failf "wrong error: %s" (Core.Error.to_string e)
+          | Ok _ -> Alcotest.fail "created a session on a full disk");
+          (* The episode ends: the same create succeeds. *)
+          Core.Vfs.set_full vfs false;
+          ignore (create_ok reg ~tenant:"t" ~id:"s" spec)))
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
@@ -616,6 +870,98 @@ let test_daemon_end_to_end () =
               Alcotest.(check (option int)) "one live session" (Some 1)
                 (Json.get_int "sessions" stats))))
 
+let test_daemon_degraded_mode_self_heals () =
+  with_temp_dir (fun dir ->
+      let vfs = Core.Vfs.faulty ~seed:2 Core.Flaky.no_disk_faults in
+      let port_box = ref 0 in
+      let port_m = Mutex.create () in
+      let port_cv = Condition.create () in
+      let cfg =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.state_dir = dir;
+          port = 0;
+          pool = 1;
+          drain_grace = 2.0;
+          sync = Core.Journal.Always;
+          vfs;
+          on_listen =
+            (fun p ->
+              Mutex.lock port_m;
+              port_box := p;
+              Condition.broadcast port_cv;
+              Mutex.unlock port_m);
+        }
+      in
+      let daemon = Server.Daemon.create cfg in
+      let serve_result = ref (Ok ()) in
+      let server_thread =
+        Thread.create (fun () -> serve_result := Server.Daemon.serve daemon) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Daemon.drain daemon;
+          Thread.join server_thread;
+          match !serve_result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "serve: %s" e)
+        (fun () ->
+          Mutex.lock port_m;
+          while !port_box = 0 do
+            Condition.wait port_cv port_m
+          done;
+          let port = !port_box in
+          Mutex.unlock port_m;
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let req ?body meth path =
+                match Server.Client.request c ~meth ~path ?body () with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "%s %s: %s" meth path e
+              in
+              let create_body id =
+                Json.Obj
+                  [
+                    ("id", Json.Str id);
+                    ("engine", Json.Str "twig");
+                    ("seed", Json.of_int 7);
+                    ("scale", Json.Num 0.02);
+                  ]
+              in
+              (* Disk fills: creates are refused with 507 and the daemon
+                 flips into degraded read-only mode. *)
+              Core.Vfs.set_full vfs true;
+              let code, _ = req "POST" "/v1/sessions" ~body:(create_body "a") in
+              Alcotest.(check int) "full disk refuses create" 507 code;
+              let _, stats = req "GET" "/stats" in
+              Alcotest.(check (option bool)) "stats report degraded"
+                (Some true)
+                (Json.get_bool "degraded" stats);
+              let code, _ = req "POST" "/v1/sessions" ~body:(create_body "b") in
+              Alcotest.(check int) "degraded mode short-circuits creates" 507
+                code;
+              (* Space returns: the ~1/s heal probe clears the flag. *)
+              Core.Vfs.set_full vfs false;
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              let rec await_heal () =
+                let _, stats = req "GET" "/stats" in
+                if Json.get_bool "degraded" stats = Some false then ()
+                else if Unix.gettimeofday () > deadline then
+                  Alcotest.fail "daemon never healed after space returned"
+                else (
+                  Thread.delay 0.2;
+                  await_heal ())
+              in
+              await_heal ();
+              let code, _ = req "POST" "/v1/sessions" ~body:(create_body "c") in
+              Alcotest.(check int) "healed daemon accepts creates" 200 code)))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -661,6 +1007,20 @@ let () =
           Alcotest.test_case "names injective across restart" `Quick
             test_registry_names_injective_across_restart;
         ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "evict/resume equals uninterrupted" `Quick
+            test_registry_evict_resume_roundtrip;
+          Alcotest.test_case "evicted burst resumes single-flight" `Quick
+            test_registry_evicted_burst_single_flight;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "corrupt journal is quarantined" `Quick
+            test_registry_quarantines_corrupt_journal;
+          Alcotest.test_case "ENOSPC is typed Storage{full}" `Quick
+            test_registry_enospc_is_typed_storage_full;
+        ] );
       ( "admission",
         [
           Alcotest.test_case "sheds when full" `Quick test_admission_sheds_when_full;
@@ -672,5 +1032,9 @@ let () =
             test_admission_drain_refuses_submits;
         ] );
       ( "daemon",
-        [ Alcotest.test_case "end to end" `Quick test_daemon_end_to_end ] );
+        [
+          Alcotest.test_case "end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "degraded mode self-heals" `Quick
+            test_daemon_degraded_mode_self_heals;
+        ] );
     ]
