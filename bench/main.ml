@@ -12,7 +12,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6 | pr7]...";
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6 | pr7 | pr8]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -62,6 +62,7 @@ let () =
         | "pr5" -> guarded "pr5" Fuzzbench.run
         | "pr6" -> guarded "pr6" Serve.run
         | "pr7" -> guarded "pr7" Storage.run
+        | "pr8" -> guarded "pr8" Soak.run
         | _ -> usage ())
   in
   match names with
@@ -73,5 +74,6 @@ let () =
       guarded "pr4" Hotpath.run;
       guarded "pr5" Fuzzbench.run;
       guarded "pr6" Serve.run;
-      guarded "pr7" Storage.run
+      guarded "pr7" Storage.run;
+      guarded "pr8" Soak.run
   | names -> List.iter run_experiment names

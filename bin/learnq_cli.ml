@@ -1461,9 +1461,47 @@ let serve_cmd =
              same checkpoint-then-resume-on-demand lifecycle as \
              $(b,--max-live-sessions).")
   in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 250.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests taking at least $(docv) milliseconds land in the \
+             $(b,/debug/slow) ring (the last 64, with trace ids).")
+  in
+  let stall_after_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "stall-after" ] ~docv:"SECS"
+          ~doc:
+            "Watchdog deadline: a request in flight longer than $(docv) \
+             seconds is flagged as stalled (counted in /stats and \
+             /metrics, flight recorder dumped) but never killed.")
+  in
+  let flight_recorder_size_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "flight-recorder-size" ] ~docv:"N"
+          ~doc:
+            "Total flight-recorder capacity in events (0 keeps the \
+             default of 4096).  The recorder is a fixed-size in-memory \
+             ring of recent server events, dumped as Chrome-trace JSON \
+             on quarantine or watchdog stall and served at \
+             $(b,/debug/flightrecorder).")
+  in
+  let debug_endpoints_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "debug-endpoints" ] ~docv:"BOOL"
+          ~doc:
+            "Serve the $(b,/debug/*) introspection routes (sessions, \
+             tenants, slow, flightrecorder).  Disable on exposed \
+             deployments.")
+  in
   let run () host port state_dir pool max_queue max_conns tenants_file
       step_fuel step_timeout sync drain_grace checkpoint_every
-      max_live_sessions idle_evict_after =
+      max_live_sessions idle_evict_after slow_ms stall_after
+      flight_recorder_size debug_endpoints =
     let tenants =
       match tenants_file with
       | None -> Server.Tenant.make []
@@ -1493,6 +1531,10 @@ let serve_cmd =
         checkpoint_every;
         max_live_sessions;
         idle_evict_after;
+        slow_ms;
+        stall_after;
+        flight_recorder_size;
+        debug_endpoints;
       }
     in
     let daemon = Server.Daemon.create cfg in
@@ -1519,7 +1561,9 @@ let serve_cmd =
       const run $ telemetry_term $ host_arg $ port_arg $ state_dir_arg
       $ serve_pool_arg $ max_queue_arg $ max_conns_arg $ tenants_arg
       $ step_fuel_arg $ step_timeout_arg $ journal_sync_arg $ drain_grace_arg
-      $ serve_checkpoint_arg $ max_live_sessions_arg $ idle_evict_arg)
+      $ serve_checkpoint_arg $ max_live_sessions_arg $ idle_evict_arg
+      $ slow_ms_arg $ stall_after_arg $ flight_recorder_size_arg
+      $ debug_endpoints_arg)
 
 let () =
   let info =

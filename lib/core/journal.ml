@@ -246,13 +246,17 @@ let frame payload =
 (* ------------------------------------------------------------------ *)
 
 let fsync_timed t =
-  if Telemetry.enabled () then begin
-    let t0 = Monotonic.now () in
-    Vfs.fsync t.vfs t.fh;
-    Telemetry.Metrics.observe m_fsync_s (Monotonic.now () -. t0);
-    Telemetry.Metrics.incr m_fsyncs
-  end
-  else Vfs.fsync t.vfs t.fh
+  (* Flight-recorder span regardless of telemetry: a stalled fsync must be
+     findable from the recorder dump alone, stamped with the trace of the
+     request that paid for it. *)
+  Obs.Recorder.with_span ~detail:t.path "journal.fsync" (fun () ->
+      if Telemetry.enabled () then begin
+        let t0 = Monotonic.now () in
+        Vfs.fsync t.vfs t.fh;
+        Telemetry.Metrics.observe m_fsync_s (Monotonic.now () -. t0);
+        Telemetry.Metrics.incr m_fsyncs
+      end
+      else Vfs.fsync t.vfs t.fh)
 
 (* Every write funnels through here.  On a storage failure the file may
    hold a torn frame mid-write; truncating back to [good_bytes] restores a
@@ -733,5 +737,6 @@ let compact t ck =
           t.broken <- false;
           Buffer.clear t.pending;
           t.pending_records <- 0;
+          Obs.Recorder.record ~detail:t.path "journal.compact";
           Telemetry.Metrics.incr m_compactions;
           Ok ())

@@ -1,0 +1,584 @@
+(* Request-scoped observability: trace ids, an always-on flight recorder,
+   and labeled sliding-window metrics.
+
+   Telemetry (PR3) is the *engine* instrumentation layer: single-domain
+   mutable state behind a master switch, zero-cost when disabled, built for
+   the innermost enumeration loops.  Obs is the *server* layer: every
+   structure here is independently thread- and domain-safe, because the
+   daemon runs connection systhreads on the main domain and session work on
+   Pool worker domains, and a trace must survive the hop between them.
+
+   Design constraints, in order:
+   - Correct under concurrency (mutexes, not domain-local magic: connection
+     threads are systhreads that all share the main domain, so Domain.DLS
+     cannot tell two requests apart — storage is keyed by thread id).
+   - Near-zero cost when idle.  The flight recorder's disabled check is one
+     atomic load; recording itself happens only at request boundaries,
+     fsyncs, faults and evictions — never inside engine loops.
+   - Zero effect on engine behaviour: nothing here touches a journal or a
+     question sequence (the telemetry-transparency fuzz oracle holds us to
+     that). *)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ids                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  (* Keyed by (domain, thread): systhreads within the main domain get
+     distinct slots, and a worker domain re-installing a captured trace
+     around a session job gets its own.  One global mutex is fine — the
+     table is touched a handful of times per request, never per probe. *)
+  let mu = Mutex.create ()
+  let tbl : (int * int, string) Hashtbl.t = Hashtbl.create 64
+  let ctr = Atomic.make 0
+
+  let key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+  let mint () =
+    let n = Atomic.fetch_and_add ctr 1 in
+    Printf.sprintf "t%04x-%06x" (Unix.getpid () land 0xffff) n
+
+  let valid id =
+    id <> ""
+    && String.length id <= 64
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+           | _ -> false)
+         id
+
+  let set = function
+    | None -> Mutex.protect mu (fun () -> Hashtbl.remove tbl (key ()))
+    | Some id -> Mutex.protect mu (fun () -> Hashtbl.replace tbl (key ()) id)
+
+  let current () = Mutex.protect mu (fun () -> Hashtbl.find_opt tbl (key ()))
+
+  let with_trace id f =
+    let k = key () in
+    let prev = Mutex.protect mu (fun () -> Hashtbl.find_opt tbl k) in
+    Mutex.protect mu (fun () -> Hashtbl.replace tbl k id);
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect mu (fun () ->
+            match prev with
+            | None -> Hashtbl.remove tbl k
+            | Some p -> Hashtbl.replace tbl k p))
+      f
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (Obs sits below Telemetry, so no sharing)              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  type phase = Instant | Begin | End
+
+  type event = {
+    ev_ns : int64;
+    ev_dom : int;
+    ev_trace : string option;
+    ev_name : string;
+    ev_detail : string;
+    ev_phase : phase;
+  }
+
+  (* Slots spread writer contention: a writer locks only the slot its
+     domain hashes to, so pool domains never contend with the accept loop.
+     Within the main domain all connection systhreads share slot 0 — the
+     critical section is a couple of array stores, short enough that this
+     is still "lock-cheap". *)
+  let nslots = 8
+
+  type slot = {
+    s_mu : Mutex.t;
+    mutable s_buf : event option array;
+    mutable s_pos : int;
+  }
+
+  let default_capacity = 4096
+  let per_slot total = max 4 (total / nslots)
+
+  let slots =
+    Array.init nslots (fun _ ->
+        {
+          s_mu = Mutex.create ();
+          s_buf = Array.make (per_slot default_capacity) None;
+          s_pos = 0;
+        })
+
+  let recording = Atomic.make true
+  let set_recording b = Atomic.set recording b
+  let is_recording () = Atomic.get recording
+
+  let set_capacity total =
+    let n = per_slot total in
+    Array.iter
+      (fun s ->
+        Mutex.protect s.s_mu (fun () ->
+            s.s_buf <- Array.make n None;
+            s.s_pos <- 0))
+      slots
+
+  let clear () =
+    Array.iter
+      (fun s ->
+        Mutex.protect s.s_mu (fun () ->
+            Array.fill s.s_buf 0 (Array.length s.s_buf) None;
+            s.s_pos <- 0))
+      slots
+
+  let record ?(detail = "") ?(phase = Instant) name =
+    if Atomic.get recording then begin
+      let dom = (Domain.self () :> int) in
+      let ev =
+        {
+          ev_ns = Monotonic.now_ns ();
+          ev_dom = dom;
+          ev_trace = Trace.current ();
+          ev_name = name;
+          ev_detail = detail;
+          ev_phase = phase;
+        }
+      in
+      let s = slots.(dom mod nslots) in
+      Mutex.protect s.s_mu (fun () ->
+          s.s_buf.(s.s_pos) <- Some ev;
+          s.s_pos <- (s.s_pos + 1) mod Array.length s.s_buf)
+    end
+
+  (* Paired begin/end events rather than Telemetry-style frames: frames
+     need a per-thread stack, and the ring survives wraparound better when
+     each event stands alone.  Chrome's B/E phases reassemble the tree. *)
+  let with_span ?detail name f =
+    if not (Atomic.get recording) then f ()
+    else begin
+      record ?detail ~phase:Begin name;
+      Fun.protect ~finally:(fun () -> record ~phase:End name) f
+    end
+
+  let events () =
+    let all =
+      Array.fold_left
+        (fun acc s ->
+          Mutex.protect s.s_mu (fun () ->
+              (* Oldest first within the slot: pos .. end, then 0 .. pos. *)
+              let n = Array.length s.s_buf in
+              let out = ref acc in
+              for i = 0 to n - 1 do
+                match s.s_buf.((s.s_pos + i) mod n) with
+                | Some ev -> out := ev :: !out
+                | None -> ()
+              done;
+              !out))
+        [] slots
+    in
+    List.sort (fun a b -> Int64.compare a.ev_ns b.ev_ns) all
+
+  let phase_code = function Instant -> "i" | Begin -> "B" | End -> "E"
+
+  let dump_json () =
+    let evs = events () in
+    let t0 = match evs with [] -> 0L | e :: _ -> e.ev_ns in
+    let buf = Buffer.create (1024 + (128 * List.length evs)) in
+    Buffer.add_string buf "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+    let first = ref true in
+    List.iter
+      (fun e ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"%s\",%s\
+              \"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+             (json_escape e.ev_name) (phase_code e.ev_phase)
+             (match e.ev_phase with Instant -> "\"s\":\"t\"," | _ -> "")
+             (Int64.to_float (Int64.sub e.ev_ns t0) /. 1e3)
+             e.ev_dom);
+        let args =
+          (match e.ev_trace with Some t -> [ ("trace", t) ] | None -> [])
+          @ if e.ev_detail = "" then [] else [ ("detail", e.ev_detail) ]
+        in
+        Buffer.add_string buf
+          (String.concat ","
+             (List.map
+                (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" k (json_escape v))
+                args));
+        Buffer.add_string buf "}}")
+      evs;
+    Buffer.add_string buf "\n]\n}\n";
+    Buffer.contents buf
+
+  let dump_to_file path =
+    try
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (dump_json ()))
+    with Sys_error _ -> ()
+
+  let trace_events trace =
+    List.filter (fun e -> e.ev_trace = Some trace) (events ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Labeled metrics with sliding windows                                *)
+(* ------------------------------------------------------------------ *)
+
+module Labeled = struct
+  (* Same log-scale bucket geometry as Telemetry.Metrics (2 per octave
+     from 1e-9), restated here because Obs sits below Telemetry in the
+     dependency order. *)
+  let nbuckets = 142
+  let bucket_lo = 1e-9
+  let per_octave = 2.
+
+  let bucket_of v =
+    if v <= bucket_lo then 0
+    else
+      let i = 1 + int_of_float (Float.log2 (v /. bucket_lo) *. per_octave) in
+      if i >= nbuckets then nbuckets - 1 else i
+
+  let bucket_mid i =
+    if i = 0 then bucket_lo
+    else bucket_lo *. Float.exp2 ((float_of_int i -. 0.5) /. per_octave)
+
+  (* One sub-window of a sliding histogram.  [w_epoch] is which span-sized
+     interval of time the data belongs to; a reader or writer that finds a
+     stale epoch zeroes the window before using it (lazy rotation — no
+     ticker thread). *)
+  type wwin = {
+    mutable w_epoch : int;
+    mutable w_count : int;
+    mutable w_sum : float;
+    mutable w_min : float;
+    mutable w_max : float;
+    w_buckets : int array;
+  }
+
+  type kind =
+    | Counter
+    | Window of float (* sub-window span in seconds *)
+
+  type series = {
+    sr_labels : (string * string) list;
+    mutable sr_value : int; (* counters *)
+    sr_wins : wwin array; (* window histograms *)
+  }
+
+  type family = {
+    f_name : string;
+    f_kind : kind;
+    f_series : (string, series) Hashtbl.t;
+    mutable f_order : string list; (* series keys, newest first *)
+  }
+
+  let mu = Mutex.create ()
+  let families : (string, family) Hashtbl.t = Hashtbl.create 16
+  let forder : string list ref = ref []
+
+  (* Cardinality guard: a tenant-labeled family can't grow without bound
+     just because tenants can name themselves freely.  Past the cap all
+     new label sets collapse into one overflow series, which also makes
+     the overflow visible instead of silently dropping samples. *)
+  let default_max_series = 64
+  let max_series = ref default_max_series
+  let set_max_series n = Mutex.protect mu (fun () -> max_series := max 1 n)
+  let overflow_labels = [ ("overflow", "true") ]
+
+  (* Test hook: a settable clock drives window rotation deterministically.
+     Production uses the monotonic clock. *)
+  let clock : (unit -> float) option ref = ref None
+  let set_clock c = Mutex.protect mu (fun () -> clock := c)
+  let now () = match !clock with Some f -> f () | None -> Monotonic.now ()
+
+  let default_windows = 6
+  let default_span = 10.
+
+  let series_key labels =
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+    String.concat "\x00" (List.map (fun (k, v) -> k ^ "\x01" ^ v) sorted)
+
+  let fresh_win () =
+    {
+      w_epoch = min_int;
+      w_count = 0;
+      w_sum = 0.;
+      w_min = infinity;
+      w_max = neg_infinity;
+      w_buckets = Array.make nbuckets 0;
+    }
+
+  let family name kind =
+    match Hashtbl.find_opt families name with
+    | Some f -> f
+    | None ->
+        let f =
+          { f_name = name; f_kind = kind; f_series = Hashtbl.create 8;
+            f_order = [] }
+        in
+        Hashtbl.add families name f;
+        forder := name :: !forder;
+        f
+
+  let series f labels =
+    let k = series_key labels in
+    match Hashtbl.find_opt f.f_series k with
+    | Some s -> s
+    | None ->
+        let labels, k =
+          if Hashtbl.length f.f_series >= !max_series then
+            (overflow_labels, series_key overflow_labels)
+          else (labels, k)
+        in
+        (match Hashtbl.find_opt f.f_series k with
+        | Some s -> s
+        | None ->
+            let nw =
+              match f.f_kind with
+              | Counter -> 0
+              | Window _ -> default_windows
+            in
+            let s =
+              {
+                sr_labels = labels;
+                sr_value = 0;
+                sr_wins = Array.init nw (fun _ -> fresh_win ());
+              }
+            in
+            Hashtbl.add f.f_series k s;
+            f.f_order <- k :: f.f_order;
+            s)
+
+  let incr ?(by = 1) name labels =
+    Mutex.protect mu (fun () ->
+        let s = series (family name Counter) labels in
+        s.sr_value <- s.sr_value + by)
+
+  let counter_value name labels =
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt families name with
+        | None -> 0
+        | Some f -> (
+            match Hashtbl.find_opt f.f_series (series_key labels) with
+            | None -> 0
+            | Some s -> s.sr_value))
+
+  (* Rotate-then-use: the sub-window owning the current instant is zeroed
+     if its data belongs to an older epoch. *)
+  let live_win s span =
+    let e = int_of_float (now () /. span) in
+    let w = s.sr_wins.(e mod Array.length s.sr_wins) in
+    if w.w_epoch <> e then begin
+      w.w_epoch <- e;
+      w.w_count <- 0;
+      w.w_sum <- 0.;
+      w.w_min <- infinity;
+      w.w_max <- neg_infinity;
+      Array.fill w.w_buckets 0 nbuckets 0
+    end;
+    w
+
+  let observe ?(span = default_span) name labels v =
+    Mutex.protect mu (fun () ->
+        let s = series (family name (Window span)) labels in
+        let w = live_win s span in
+        w.w_count <- w.w_count + 1;
+        w.w_sum <- w.w_sum +. v;
+        if v < w.w_min then w.w_min <- v;
+        if v > w.w_max then w.w_max <- v;
+        let b = bucket_of v in
+        w.w_buckets.(b) <- w.w_buckets.(b) + 1)
+
+  (* The live view of a windowed series: merge every sub-window whose
+     epoch falls inside the sliding window ending now.  Stale sub-windows
+     (not yet rotated over) are excluded by the epoch test, which is what
+     makes lazy rotation sound. *)
+  let merged s span =
+    let e = int_of_float (now () /. span) in
+    let nw = Array.length s.sr_wins in
+    let count = ref 0
+    and sum = ref 0.
+    and mn = ref infinity
+    and mx = ref neg_infinity in
+    let buckets = Array.make nbuckets 0 in
+    Array.iter
+      (fun w ->
+        if w.w_epoch > e - nw && w.w_epoch <= e then begin
+          count := !count + w.w_count;
+          sum := !sum +. w.w_sum;
+          if w.w_min < !mn then mn := w.w_min;
+          if w.w_max > !mx then mx := w.w_max;
+          Array.iteri (fun i n -> buckets.(i) <- buckets.(i) + n) w.w_buckets
+        end)
+      s.sr_wins;
+    (!count, !sum, !mn, !mx, buckets)
+
+  let percentile_of ~count ~mn ~mx buckets p =
+    if count = 0 then 0.
+    else if p <= 0. then mn
+    else if p >= 1. then mx
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p *. float_of_int count)) in
+        if r < 1 then 1 else if r > count then count else r
+      in
+      let rec find i cum =
+        if i >= nbuckets then mx
+        else
+          let cum = cum + buckets.(i) in
+          if cum >= rank then bucket_mid i else find (i + 1) cum
+      in
+      let est = find 0 0 in
+      Float.min mx (Float.max mn est)
+    end
+
+  let window_span f = match f.f_kind with Window s -> s | Counter -> 0.
+
+  let window_stats name labels =
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt families name with
+        | None -> None
+        | Some f -> (
+            match Hashtbl.find_opt f.f_series (series_key labels) with
+            | None -> None
+            | Some s ->
+                let span = window_span f in
+                let count, sum, mn, mx, buckets = merged s span in
+                Some
+                  ( count,
+                    sum,
+                    percentile_of ~count ~mn ~mx buckets 0.5,
+                    percentile_of ~count ~mn ~mx buckets 0.9,
+                    percentile_of ~count ~mn ~mx buckets 0.99 )))
+
+  let window_count name labels =
+    match window_stats name labels with
+    | Some (c, _, _, _, _) -> c
+    | None -> 0
+
+  let window_percentile name labels p =
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt families name with
+        | None -> 0.
+        | Some f -> (
+            match Hashtbl.find_opt f.f_series (series_key labels) with
+            | None -> 0.
+            | Some s ->
+                let span = window_span f in
+                let count, _, mn, mx, buckets = merged s span in
+                percentile_of ~count ~mn ~mx buckets p))
+
+  let series_count name =
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt families name with
+        | None -> 0
+        | Some f -> Hashtbl.length f.f_series)
+
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+  let prom_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let prom_labels ?extra labels =
+    let labels = labels @ Option.value ~default:[] extra in
+    if labels = [] then ""
+    else
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape v))
+             labels)
+      ^ "}"
+
+  let prometheus () =
+    Mutex.protect mu (fun () ->
+        let buf = Buffer.create 1024 in
+        List.iter
+          (fun name ->
+            let f = Hashtbl.find families name in
+            let n = prom_name f.f_name in
+            let each fn =
+              List.iter
+                (fun k -> fn (Hashtbl.find f.f_series k))
+                (List.rev f.f_order)
+            in
+            match f.f_kind with
+            | Counter ->
+                Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+                each (fun s ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s%s %d\n" n (prom_labels s.sr_labels)
+                         s.sr_value))
+            | Window span ->
+                Buffer.add_string buf
+                  (Printf.sprintf
+                     "# TYPE %s summary\n# window: %gs sliding (%d x %gs)\n" n
+                     (span *. float_of_int default_windows)
+                     default_windows span);
+                each (fun s ->
+                    let count, sum, mn, mx, buckets = merged s span in
+                    List.iter
+                      (fun q ->
+                        Buffer.add_string buf
+                          (Printf.sprintf "%s%s %.9g\n" n
+                             (prom_labels s.sr_labels
+                                ~extra:
+                                  [ ("quantile", Printf.sprintf "%g" q) ])
+                             (percentile_of ~count ~mn ~mx buckets q)))
+                      [ 0.5; 0.9; 0.99 ];
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s_sum%s %.9g\n%s_count%s %d\n" n
+                         (prom_labels s.sr_labels)
+                         sum n
+                         (prom_labels s.sr_labels)
+                         count)))
+          (List.rev !forder);
+        Buffer.contents buf)
+
+  let reset () =
+    Mutex.protect mu (fun () ->
+        Hashtbl.reset families;
+        forder := [];
+        max_series := default_max_series;
+        clock := None)
+end
+
+let reset () =
+  Recorder.clear ();
+  Recorder.set_recording true;
+  Labeled.reset ()

@@ -1,0 +1,145 @@
+(** Request-scoped observability for the serving path: trace ids, an
+    always-on flight recorder, and labeled sliding-window metrics.
+
+    {!Telemetry} is the engine layer — single-domain, off by default,
+    zero-cost in the innermost loops.  [Obs] is the server layer: every
+    structure is thread- and domain-safe, because the daemon answers
+    requests on connection systhreads (all sharing the main domain) and
+    executes session work on {!Pool} worker domains, and a request's trace
+    must survive that hop.
+
+    Nothing here may perturb engine behaviour: no journal writes, no
+    question-sequence effects.  The [telemetry-transparency] fuzz oracle
+    checks that enabled-vs-disabled observability yields identical
+    transcripts and journal bytes. *)
+
+(** {1 Trace ids}
+
+    A trace id names one request end to end.  Storage is keyed by
+    [(domain, thread)] — {e not} [Domain.DLS], which cannot distinguish two
+    connection systhreads on the main domain. *)
+
+module Trace : sig
+  val mint : unit -> string
+  (** A fresh process-unique id ([t<pid>-<seq>]). *)
+
+  val valid : string -> bool
+  (** Accept an inbound id: non-empty, at most 64 chars, alphanumeric plus
+      [-_.] — anything else is replaced by a minted id rather than echoed
+      into logs and headers. *)
+
+  val set : string option -> unit
+  (** Install (or clear) the calling thread's trace id. *)
+
+  val current : unit -> string option
+
+  val with_trace : string -> (unit -> 'a) -> 'a
+  (** Run with the id installed, restoring the previous id even on raise.
+      Used to carry a captured trace onto a pool worker domain. *)
+end
+
+(** {1 Flight recorder}
+
+    A fixed-size ring of recent events, always on, dumped when something
+    goes wrong (quarantine, watchdog trip) or on demand
+    ([/debug/flightrecorder]).  Writers lock only the slot their domain
+    hashes to; the critical section is two array stores.  Recording is a
+    single atomic load when disabled. *)
+
+module Recorder : sig
+  type phase = Instant | Begin | End
+
+  type event = {
+    ev_ns : int64;  (** monotonic timestamp *)
+    ev_dom : int;  (** recording domain *)
+    ev_trace : string option;  (** the recording thread's trace id *)
+    ev_name : string;
+    ev_detail : string;
+    ev_phase : phase;
+  }
+
+  val record : ?detail:string -> ?phase:phase -> string -> unit
+  (** Append an event; overwrites the oldest once the ring is full. *)
+
+  val with_span : ?detail:string -> string -> (unit -> 'a) -> 'a
+  (** Paired [Begin]/[End] events around [f] (closed on raise).  Chrome's
+      trace viewer reassembles these into a span tree per thread lane;
+      {!trace_events} filters one request's tree by trace id. *)
+
+  val set_recording : bool -> unit
+  (** Default [true].  The transparency oracle and the soak's baseline
+      pass turn it off. *)
+
+  val is_recording : unit -> bool
+
+  val set_capacity : int -> unit
+  (** Total event capacity across all ring slots (default 4096).  Resets
+      the buffers. *)
+
+  val clear : unit -> unit
+
+  val events : unit -> event list
+  (** All retained events, oldest first across slots. *)
+
+  val trace_events : string -> event list
+  (** Retained events stamped with the given trace id. *)
+
+  val dump_json : unit -> string
+  (** Chrome [trace_event] JSON: instant events plus begin/end span pairs,
+      one lane per domain, [args.trace] linking lanes of one request. *)
+
+  val dump_to_file : string -> unit
+  (** Best-effort write of {!dump_json}; never raises. *)
+end
+
+(** {1 Labeled metrics with sliding windows}
+
+    Dimensioned counters and windowed latency histograms, keyed by label
+    sets ([tenant], [engine], [route], [outcome], …).  Unlike the PR3
+    registry these are always on and thread-safe; unlike since-boot
+    histograms the windowed percentiles describe the {e last minute}, not
+    the whole run. *)
+
+module Labeled : sig
+  val incr : ?by:int -> string -> (string * string) list -> unit
+  (** Bump a labeled counter, creating the family/series on first use. *)
+
+  val counter_value : string -> (string * string) list -> int
+
+  val observe : ?span:float -> string -> (string * string) list -> float -> unit
+  (** Record a sample into a sliding-window histogram: 6 sub-windows of
+      [span] seconds each (default 10 s — a one-minute sliding view).
+      Rotation is lazy (no ticker thread); [span] is fixed at the family's
+      first use. *)
+
+  val window_stats :
+    string -> (string * string) list -> (int * float * float * float * float) option
+  (** [(count, sum, p50, p90, p99)] over the live window, or [None] for an
+      unknown series. *)
+
+  val window_count : string -> (string * string) list -> int
+  val window_percentile : string -> (string * string) list -> float -> float
+  (** 0. on an empty window. *)
+
+  val series_count : string -> int
+  (** Distinct label sets in a family (includes the overflow series). *)
+
+  val set_max_series : int -> unit
+  (** Per-family label-cardinality cap (default 64).  Past the cap, new
+      label sets collapse into one [{overflow="true"}] series so the
+      overflow is visible instead of unbounded. *)
+
+  val set_clock : (unit -> float) option -> unit
+  (** Test hook: window rotation reads this clock ([None] = monotonic). *)
+
+  val prometheus : unit -> string
+  (** Text exposition of every family: counters as labeled series,
+      windowed histograms as labeled summaries (quantiles + [_sum]/[_count]
+      over the live window). *)
+
+  val reset : unit -> unit
+end
+
+val reset : unit -> unit
+(** Clear the recorder and all labeled metrics; re-enable recording.  For
+    tests. *)

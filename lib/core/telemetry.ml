@@ -555,6 +555,13 @@ module Log = struct
       | Some sid -> kv @ [ ("span", string_of_int sid) ]
       | None -> kv
     in
+    let kv =
+      (* Correlate with the request being served, when there is one: the
+         trace id the daemon installed on this thread. *)
+      match Obs.Trace.current () with
+      | Some t -> kv @ [ ("trace", t) ]
+      | None -> kv
+    in
     let kvs =
       String.concat ""
         (List.map

@@ -142,8 +142,10 @@ end
 (** {1 Structured logging}
 
     Leveled key=value logging to stderr (or a caller-supplied formatter),
-    correlated with the active span.  Distinct from the master switch: logs
-    work whether or not spans/metrics are enabled, gated only by level. *)
+    correlated with the active span and — when the serving path installed
+    one on this thread — the active {!Obs.Trace} id ([trace=] key).
+    Distinct from the master switch: logs work whether or not spans/metrics
+    are enabled, gated only by level. *)
 
 type level = Debug | Info | Warn | Error
 

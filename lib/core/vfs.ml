@@ -42,6 +42,7 @@ type faulty = {
   rng : Prng.t;
   disk : Flaky.disk;
   mutable full : bool;  (* scripted ENOSPC: every allocation refused *)
+  mutable stall_s : float;  (* scripted latency: every fsync sleeps this *)
   written : (string, int) Hashtbl.t;  (* path -> bytes the app wrote *)
   durable : (string, int) Hashtbl.t;  (* path -> bytes that survive a crash *)
   mutable log : fault list;  (* newest first *)
@@ -64,6 +65,7 @@ let faulty ?(seed = 0) disk =
       rng = Prng.create seed;
       disk;
       full = false;
+      stall_s = 0.;
       written = Hashtbl.create 16;
       durable = Hashtbl.create 16;
       log = [];
@@ -81,7 +83,13 @@ let locked st f =
   Mutex.lock st.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock st.m) f
 
-let note st path op kind = st.log <- { f_path = path; f_op = op; f_kind = kind } :: st.log
+let note st path op kind =
+  let f = { f_path = path; f_op = op; f_kind = kind } in
+  st.log <- f :: st.log;
+  (* Flight-recorder breadcrumb: when a request later shows up slow or a
+     journal quarantined, the injected fault is visible in the same dump,
+     stamped with the request's trace id. *)
+  Obs.Recorder.record ~detail:(fault_to_string f) "vfs.fault"
 
 let faults = function
   | Real -> []
@@ -95,6 +103,11 @@ let set_full t full =
   match t with
   | Real -> ()
   | Faulty st -> locked st (fun () -> st.full <- full)
+
+let set_stall t s =
+  match t with
+  | Real -> ()
+  | Faulty st -> locked st (fun () -> st.stall_s <- Float.max 0. s)
 
 (* ------------------------------------------------------------------ *)
 (* Write-side operations (where faults live)                           *)
@@ -186,6 +199,18 @@ let append t fh s =
 
 let fsync t fh =
   if fh.fh_closed then invalid_arg "Vfs.fsync: closed handle";
+  (match t with
+  | Real -> ()
+  | Faulty st ->
+      (* Scripted stall: the sleep happens outside the state lock so other
+         handles keep working — only this fsync (and its request) drags. *)
+      let stall = locked st (fun () -> st.stall_s) in
+      if stall > 0. then begin
+        Obs.Recorder.record
+          ~detail:(Printf.sprintf "%s %.3fs" fh.fh_path stall)
+          "vfs.stall";
+        Unix.sleepf stall
+      end);
   Unix.fsync fh.fh_fd;
   match t with
   | Real -> ()

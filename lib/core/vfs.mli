@@ -88,6 +88,12 @@ val set_full : t -> bool -> unit
     fails with [ENOSPC] until cleared.  Drives the daemon's degraded
     read-only mode and its self-heal probe in tests. *)
 
+val set_stall : t -> float -> unit
+(** Script a slow disk: every subsequent fsync sleeps this many seconds
+    (0. clears).  Each stalled fsync leaves a [vfs.stall] event in the
+    flight recorder, so a dragging request is findable end to end.  No-op
+    on {!real}. *)
+
 val crash : t -> unit
 (** Simulate powerloss: truncate every tracked file to its durable prefix
     (plus, with probability [torn], a fuzzed strict prefix of the lost

@@ -1281,6 +1281,169 @@ let vfs_torn_write =
     }
 
 (* ------------------------------------------------------------------ *)
+(* telemetry-transparency: observability must not perturb learning     *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability PR's contract: traces, the flight recorder, and
+   telemetry are {e pure observers}.  Driving the same session with
+   everything on (recorder recording, a trace installed, telemetry
+   enabled) and with everything off must produce the identical question
+   transcript, the identical learned query, and byte-identical journals.
+   Stepper journal entries carry no timestamps, so any divergence means
+   an observer leaked into the learning or persistence path. *)
+
+let tt_drive stepper client =
+  let keys = ref [] in
+  let rec go () =
+    let v = stepper.Server.Stepper.view () in
+    if v.Server.Stepper.done_ then Ok (List.rev !keys, v.Server.Stepper.query)
+    else
+      match v.Server.Stepper.question with
+      | None -> Ok (List.rev !keys, v.Server.Stepper.query)
+      | Some key -> (
+          keys := key :: !keys;
+          match
+            stepper.Server.Stepper.answer ~qid:v.Server.Stepper.qid
+              (client key)
+          with
+          | Ok _ -> go ()
+          | Error e ->
+              failf "stepper rejected answer %d for %s: %s"
+                v.Server.Stepper.qid key (Core.Error.to_string e))
+  in
+  go ()
+
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One full session in a fresh state directory; returns
+   (question transcript, final query, raw journal bytes). *)
+let tt_run c client ~observe =
+  with_temp_dir "learnq-fuzz-tt" (fun dir ->
+      let reg = serve_registry ~dir ~sync:c.sc_sync () in
+      let body () =
+        match
+          Server.Registry.create_session reg ~tenant:"fuzz" ~id:"s" c.sc_spec
+        with
+        | Error e -> failf "create: %s" (Core.Error.to_string e)
+        | Ok _ -> (
+            match Server.Registry.find reg ~tenant:"fuzz" ~id:"s" with
+            | None -> failf "session vanished after create"
+            | Some st -> tt_drive st client)
+      in
+      let driven =
+        Fun.protect
+          ~finally:(fun () -> Server.Registry.drain reg)
+          (fun () ->
+            if observe then
+              Core.Obs.Trace.with_trace "tt-fuzz-trace" body
+            else body ())
+      in
+      match driven with
+      | Error _ as e -> e
+      | Ok (keys, query) ->
+          let bytes = read_file_bytes (Filename.concat dir "fuzz.s.journal") in
+          Ok (keys, query, bytes))
+
+let check_telemetry_transparency c =
+  match Server.Engines.oracle c.sc_spec ~goal:c.sc_goal with
+  | Error e -> failf "bad goal for spec: %s" (Core.Error.to_string e)
+  | Ok truth ->
+  let client = serve_client c truth in
+  (* Save and force the observability state around each run so the oracle
+     composes with whatever the harness set up. *)
+  let saved_tel = Core.Telemetry.enabled () in
+  let saved_rec = Core.Obs.Recorder.is_recording () in
+  Fun.protect
+    ~finally:(fun () ->
+      Core.Telemetry.set_enabled saved_tel;
+      Core.Obs.Recorder.set_recording saved_rec)
+    (fun () ->
+      Core.Telemetry.set_enabled true;
+      Core.Obs.Recorder.set_recording true;
+      let on = tt_run c client ~observe:true in
+      Core.Telemetry.set_enabled false;
+      Core.Obs.Recorder.set_recording false;
+      let off = tt_run c client ~observe:false in
+      match (on, off) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok (keys_on, q_on, bytes_on), Ok (keys_off, q_off, bytes_off) ->
+          if keys_on <> keys_off then
+            failf "observability changed the question transcript (%d vs %d \
+                   questions)"
+              (List.length keys_on) (List.length keys_off)
+          else if q_on <> q_off then
+            failf "observability changed the learned query:\non:  %s\noff: %s"
+              (Option.value ~default:"<none>" q_on)
+              (Option.value ~default:"<none>" q_off)
+          else if bytes_on <> bytes_off then
+            failf "observability changed the journal bytes (%d vs %d bytes)"
+              (String.length bytes_on) (String.length bytes_off)
+          else Ok ())
+
+let telemetry_transparency =
+  Spec
+    { name = "telemetry-transparency";
+      about =
+        "a session driven with tracing, flight recorder, and telemetry on \
+         produces the same transcript, query, and journal bytes as with \
+         everything off";
+      generate =
+        (fun g ~size ->
+          let engine = Prng.pick g [ "twig"; "join"; "path" ] in
+          let spec =
+            {
+              Server.Engines.engine;
+              seed = Prng.int g 1_000_000;
+              scale = 0.02 +. (0.002 *. float_of_int (min 20 size));
+              rows = Prng.int_in g 4 7;
+              cities = Prng.int_in g 5 8;
+            }
+          in
+          let goal =
+            match engine with
+            | "twig" -> Prng.pick g [ "//item"; "//person/name"; "//keyword" ]
+            | "join" -> "planted"
+            | _ -> Prng.pick g [ "highway*"; "road highway*"; "ferry?road*" ]
+          in
+          {
+            sc_spec = spec;
+            sc_goal = goal;
+            sc_crash_after = 0;
+            sc_noise = Prng.int g 150;
+            sc_refusal = Prng.int g 200;
+            sc_timeout = Prng.int g 100;
+            sc_sync = Prng.pick g [ Core.Journal.Always; Core.Journal.Batch ];
+          });
+      check = check_telemetry_transparency;
+      candidates =
+        (fun c ->
+          List.concat
+            [
+              (if c.sc_noise > 0 then [ { c with sc_noise = 0 } ] else []);
+              (if c.sc_refusal > 0 then [ { c with sc_refusal = 0 } ] else []);
+              (if c.sc_timeout > 0 then [ { c with sc_timeout = 0 } ] else []);
+              (if c.sc_sync <> Core.Journal.Always then
+                 [ { c with sc_sync = Core.Journal.Always } ]
+               else []);
+            ]);
+      print =
+        (fun c ->
+          Printf.sprintf
+            "spec: %s\ngoal: %s\nnoise/refusal/timeout: %d/%d/%d permille\n\
+             sync: %s"
+            (Server.Engines.config_of_spec c.sc_spec)
+            c.sc_goal c.sc_noise c.sc_refusal c.sc_timeout
+            (Core.Journal.sync_to_string c.sc_sync));
+      size_of =
+        (fun c ->
+          c.sc_spec.Server.Engines.rows + c.sc_spec.Server.Engines.cities);
+    }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ eval_cache;
@@ -1301,6 +1464,7 @@ let all =
     server_crash_resume;
     journal_checkpoint_resume;
     vfs_torn_write;
+    telemetry_transparency;
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all

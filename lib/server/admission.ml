@@ -3,6 +3,9 @@ module Retry = Core.Retry
 type job = {
   tenant : string;
   key : string;
+  trace : string option;
+      (** the submitting request's trace id, captured at enqueue time and
+          re-installed by the dispatcher around [run] on a pool domain *)
   run : unit -> Http.response;
   mutable result : Http.response option;
   m : Mutex.t;
@@ -86,10 +89,12 @@ let submit t ~tenant ~key run =
       match Retry.breaker_state b with
       | Retry.Open ->
           t.tripped <- t.tripped + 1;
+          Core.Obs.Recorder.record ~detail:tenant "admission.tripped";
           Tripped t.retry_after
       | Retry.Closed | Retry.Half_open ->
           if t.total >= t.max_queue then begin
             t.shed <- t.shed + 1;
+            Core.Obs.Recorder.record ~detail:key "admission.shed";
             Shed t.retry_after
           end
           else begin
@@ -97,6 +102,7 @@ let submit t ~tenant ~key run =
               {
                 tenant;
                 key;
+                trace = Core.Obs.Trace.current ();
                 run;
                 result = None;
                 m = Mutex.create ();
@@ -198,3 +204,36 @@ let stats t =
   with_lock t (fun () ->
       { queued = t.total; shed = t.shed; tripped = t.tripped;
         dispatched = t.dispatched })
+
+type tenant_debug = {
+  td_tenant : string;
+  td_queued : int;
+  td_breaker : string;
+}
+
+let breaker_state_string = function
+  | Retry.Closed -> "closed"
+  | Retry.Open -> "open"
+  | Retry.Half_open -> "half-open"
+
+(* Every tenant the admission layer has ever seen (a breaker outlives its
+   queue), with its current backlog and breaker state — the /debug/tenants
+   view. *)
+let debug_tenants t =
+  with_lock t (fun () ->
+      let tenants = Hashtbl.create 16 in
+      Hashtbl.iter (fun ten _ -> Hashtbl.replace tenants ten ()) t.breakers;
+      Hashtbl.iter (fun ten _ -> Hashtbl.replace tenants ten ()) t.queues;
+      Hashtbl.fold (fun ten () acc -> ten :: acc) tenants []
+      |> List.sort compare
+      |> List.map (fun ten ->
+             {
+               td_tenant = ten;
+               td_queued =
+                 (match Hashtbl.find_opt t.queues ten with
+                 | Some q -> Queue.length q
+                 | None -> 0);
+               td_breaker =
+                 breaker_state_string
+                   (Retry.breaker_state (breaker_of t ten));
+             }))

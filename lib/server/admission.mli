@@ -20,6 +20,10 @@
 type job = {
   tenant : string;
   key : string;  (** session key; batches are key-disjoint *)
+  trace : string option;
+      (** the submitting request's {!Core.Obs.Trace} id, captured at
+          enqueue; the dispatcher re-installs it around [run] so journal
+          and vfs events on the pool domain carry the request's trace *)
   run : unit -> Http.response;
   mutable result : Http.response option;
   m : Mutex.t;
@@ -73,3 +77,13 @@ val pending : t -> int
 type stats = { queued : int; shed : int; tripped : int; dispatched : int }
 
 val stats : t -> stats
+
+type tenant_debug = {
+  td_tenant : string;
+  td_queued : int;  (** jobs currently backlogged for this tenant *)
+  td_breaker : string;  (** ["closed" | "open" | "half-open"] *)
+}
+
+val debug_tenants : t -> tenant_debug list
+(** Every tenant with a queue or a breaker, sorted by name — the
+    [/debug/tenants] view. *)

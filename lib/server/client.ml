@@ -56,13 +56,15 @@ let find_sub hay needle from =
   in
   go from
 
-let request t ~meth ~path ?tenant ?body () =
+let request t ~meth ~path ?tenant ?(headers = []) ?body () =
   let body_s = Option.map Json.to_string body in
   let head =
-    Printf.sprintf "%s %s HTTP/1.1\r\nHost: learnq\r\n%s%s\r\n" meth path
+    Printf.sprintf "%s %s HTTP/1.1\r\nHost: learnq\r\n%s%s%s\r\n" meth path
       (match tenant with
       | Some ten -> Printf.sprintf "x-learnq-tenant: %s\r\n" ten
       | None -> "")
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers))
       (match body_s with
       | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
       | None -> "Content-Length: 0\r\n")

@@ -11,10 +11,12 @@ val request :
   meth:string ->
   path:string ->
   ?tenant:string ->
+  ?headers:(string * string) list ->
   ?body:Json.t ->
   unit ->
   (int * Json.t, string) result
 (** One round trip; returns status and parsed body.  A non-JSON body
-    (e.g. [/metrics]) comes back as [Json.Str raw]. *)
+    (e.g. [/metrics]) comes back as [Json.Str raw].  [headers] are extra
+    request headers (e.g. [("X-Learnq-Trace", id)]). *)
 
 val close : t -> unit

@@ -1,5 +1,6 @@
 module Error = Core.Error
 module Telemetry = Core.Telemetry
+module Obs = Core.Obs
 
 type config = {
   host : string;
@@ -18,6 +19,10 @@ type config = {
   checkpoint_every : int;  (** compact sessions every N answers; 0 = off *)
   max_live_sessions : int;  (** LRU-evict beyond this; 0 = unlimited *)
   idle_evict_after : float;  (** evict sessions idle this long; 0 = off *)
+  slow_ms : float;  (** requests at/over this land in the slow ring *)
+  stall_after : float;  (** watchdog deadline for in-flight requests *)
+  flight_recorder_size : int;  (** total recorder events; 0 = default *)
+  debug_endpoints : bool;  (** serve /debug/\{sessions,tenants,slow,…\} *)
 }
 
 let default_config =
@@ -38,7 +43,28 @@ let default_config =
     checkpoint_every = 0;
     max_live_sessions = 0;
     idle_evict_after = 0.;
+    slow_ms = 250.;
+    stall_after = 30.;
+    flight_recorder_size = 0;
+    debug_endpoints = true;
   }
+
+type slow_entry = {
+  sl_trace : string;
+  sl_route : string;
+  sl_tenant : string;
+  sl_status : int;
+  sl_ms : float;
+  sl_at : float;  (** wall clock, for the /debug/slow listing *)
+}
+
+type inflight = {
+  if_trace : string;
+  if_route : string;
+  if_tenant : string;
+  if_started : float;  (** monotonic *)
+  mutable if_flagged : bool;  (** already counted by the watchdog *)
+}
 
 type t = {
   cfg : config;
@@ -49,6 +75,13 @@ type t = {
       (** the disk said ENOSPC: refuse writes until the probe heals *)
   conns : int Atomic.t;  (** live connection threads *)
   requests : int Atomic.t;
+  req_seq : int Atomic.t;  (** in-flight table key generator *)
+  slow_mu : Mutex.t;
+  slow_ring : slow_entry option array;  (** newest overwrite oldest *)
+  mutable slow_pos : int;
+  inflight_mu : Mutex.t;
+  inflight : (int, inflight) Hashtbl.t;
+  stalled : int Atomic.t;  (** watchdog trips, lifetime *)
 }
 
 let m_requests = Telemetry.Metrics.counter "learnq.serve.requests"
@@ -76,6 +109,8 @@ let create cfg =
       }
   in
   let admission = Admission.create ~max_queue:cfg.max_queue () in
+  if cfg.flight_recorder_size > 0 then
+    Obs.Recorder.set_capacity cfg.flight_recorder_size;
   {
     cfg;
     registry;
@@ -84,6 +119,13 @@ let create cfg =
     degraded_flag = Atomic.make false;
     conns = Atomic.make 0;
     requests = Atomic.make 0;
+    req_seq = Atomic.make 0;
+    slow_mu = Mutex.create ();
+    slow_ring = Array.make 64 None;
+    slow_pos = 0;
+    inflight_mu = Mutex.create ();
+    inflight = Hashtbl.create 32;
+    stalled = Atomic.make 0;
   }
 
 (* Order matters: the admission queue must refuse before the atomic flag
@@ -97,6 +139,7 @@ let drain t =
   Atomic.set t.drain_flag true
 let draining t = Atomic.get t.drain_flag
 let registry t = t.registry
+let stalled t = Atomic.get t.stalled
 
 (* Degraded read-only mode: the first ENOSPC flips the flag; session
    creation is refused outright (507) and — under [sync = Off], where an
@@ -143,8 +186,18 @@ let probe_disk t =
 let json_response ?(headers = []) status j =
   { Http.status; headers; body = Json.to_string j }
 
+(* Error bodies carry the trace id so a client's error report names the
+   exact request in the server's logs, slow ring, and flight recorder.
+   Works on connection threads and — because the dispatcher re-installs
+   the job's trace — on pool domains too. *)
 let error_response ?headers status msg =
-  json_response ?headers status (Json.Obj [ ("error", Json.Str msg) ])
+  let fields = [ ("error", Json.Str msg) ] in
+  let fields =
+    match Obs.Trace.current () with
+    | Some id -> fields @ [ ("trace", Json.Str id) ]
+    | None -> fields
+  in
+  json_response ?headers status (Json.Obj fields)
 
 let retry_after_headers ra =
   [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil ra)))) ]
@@ -188,6 +241,118 @@ let view_json (v : Stepper.view) =
 let split_path path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "")
 
+(* Metric label for a route: session ids are collapsed so the label set
+   stays small (the Obs cardinality cap would fold an id-per-series
+   explosion into an overflow bucket, but there is no reason to get near
+   it). *)
+let route_label meth parts =
+  match (meth, parts) with
+  | "POST", [ "v1"; "sessions" ] -> "/v1/sessions"
+  | ("GET" | "DELETE"), [ "v1"; "sessions"; _ ] -> "/v1/sessions/:id"
+  | "POST", [ "v1"; "sessions"; _; "answers" ] -> "/v1/sessions/:id/answers"
+  | "GET", [ "healthz" ] -> "/healthz"
+  | "GET", [ "stats" ] -> "/stats"
+  | "GET", [ "metrics" ] -> "/metrics"
+  | "GET", "debug" :: _ -> "/debug"
+  | _ -> "other"
+
+let outcome_label status =
+  if status < 300 then "2xx"
+  else if status < 400 then "3xx"
+  else if status < 500 then "4xx"
+  else "5xx"
+
+let tenant_of req =
+  match Http.header "x-learnq-tenant" req with
+  | Some ten when ten <> "" -> ten
+  | _ -> "anon"
+
+(* ------------------------------------------------------------------ *)
+(* Request accounting: labeled metrics, slow ring, in-flight watchdog  *)
+(* ------------------------------------------------------------------ *)
+
+let track_inflight t ~trace ~route ~tenant =
+  let seq = Atomic.fetch_and_add t.req_seq 1 in
+  let e =
+    {
+      if_trace = trace;
+      if_route = route;
+      if_tenant = tenant;
+      if_started = Core.Monotonic.now ();
+      if_flagged = false;
+    }
+  in
+  Mutex.protect t.inflight_mu (fun () -> Hashtbl.replace t.inflight seq e);
+  seq
+
+let untrack_inflight t seq =
+  Mutex.protect t.inflight_mu (fun () -> Hashtbl.remove t.inflight seq)
+
+(* The stall watchdog: called from the accept loop's select tick.  An
+   in-flight request older than the deadline is flagged exactly once —
+   the alertable counter bumps, the event lands in the flight recorder,
+   and the recorder is dumped next to the state dir for the post-mortem.
+   The request itself is left alone: it may still complete (a slow disk),
+   and killing it would turn an incident into data loss. *)
+let watchdog t =
+  let now = Core.Monotonic.now () in
+  let tripped =
+    Mutex.protect t.inflight_mu (fun () ->
+        Hashtbl.fold
+          (fun _ e acc ->
+            if (not e.if_flagged) && now -. e.if_started >= t.cfg.stall_after
+            then begin
+              e.if_flagged <- true;
+              e :: acc
+            end
+            else acc)
+          t.inflight [])
+  in
+  List.iter
+    (fun e ->
+      Atomic.incr t.stalled;
+      Obs.Labeled.incr "learnq_watchdog_stalled_total"
+        [ ("tenant", e.if_tenant); ("route", e.if_route) ];
+      Obs.Recorder.record
+        ~detail:(Printf.sprintf "%s %s age>%.1fs" e.if_trace e.if_route
+                   t.cfg.stall_after)
+        "watchdog.stall";
+      Obs.Recorder.dump_to_file
+        (Filename.concat t.cfg.state_dir "flightrecorder-stall.json");
+      Telemetry.Log.warn
+        ~kv:
+          [
+            ("trace", e.if_trace);
+            ("route", e.if_route);
+            ("tenant", e.if_tenant);
+          ]
+        "request stalled past the watchdog deadline")
+    tripped
+
+let observe_request t ~trace ~route ~tenant ~status ~dur =
+  Obs.Labeled.incr "learnq_requests_total"
+    [ ("route", route); ("outcome", outcome_label status); ("tenant", tenant) ];
+  Obs.Labeled.observe "learnq_request_seconds" [ ("tenant", tenant) ] dur;
+  let ms = dur *. 1e3 in
+  if ms >= t.cfg.slow_ms then begin
+    Obs.Recorder.record
+      ~detail:(Printf.sprintf "%s %s %.1fms" route tenant ms)
+      "http.slow";
+    let e =
+      {
+        sl_trace = trace;
+        sl_route = route;
+        sl_tenant = tenant;
+        sl_status = status;
+        sl_ms = ms;
+        sl_at = Unix.gettimeofday ();
+      }
+    in
+    Mutex.protect t.slow_mu (fun () ->
+        t.slow_ring.(t.slow_pos) <- Some e;
+        t.slow_pos <- (t.slow_pos + 1) mod Array.length t.slow_ring)
+  end
+
 let reply_of_json j =
   match Json.mem "reply" j with
   | Some (Json.Bool b) -> Ok (Core.Flaky.Label b)
@@ -220,7 +385,13 @@ let session_job t ~tenant (req : Http.request) parts body =
                             Registry.create_session t.registry ~tenant ~id
                               spec
                           with
-                          | Ok view -> json_response 200 (view_json view)
+                          | Ok view ->
+                              Obs.Labeled.incr "learnq_sessions_created_total"
+                                [
+                                  ("engine", spec.Engines.engine);
+                                  ("tenant", tenant);
+                                ];
+                              json_response 200 (view_json view)
                           | Error e -> of_error e ))))
   | "GET", [ "v1"; "sessions"; id ] ->
       Ok
@@ -278,6 +449,99 @@ let stats_json t =
       ("shed", Json.of_int a.Admission.shed);
       ("tripped", Json.of_int a.Admission.tripped);
       ("dispatched", Json.of_int a.Admission.dispatched);
+      ("stalled", Json.of_int (Atomic.get t.stalled));
+    ]
+
+(* /healthz: a load balancer's (and the soak harness's) one-glance view —
+   draining and degraded are the two states where sending more traffic
+   here is a mistake.  Always 200: "unhealthy but alive" is for /stats. *)
+let healthz_json t =
+  let r = Registry.stats t.registry in
+  Json.Obj
+    [
+      ("ok", Json.Bool ((not (draining t)) && not (degraded t)));
+      ("draining", Json.Bool (draining t));
+      ("degraded", Json.Bool (degraded t));
+      ("sessions", Json.of_int r.Registry.live);
+      ("evicted", Json.of_int r.Registry.evicted);
+      ("stalled", Json.of_int (Atomic.get t.stalled));
+    ]
+
+let debug_sessions_json t =
+  Json.Obj
+    [
+      ( "sessions",
+        Json.Arr
+          (List.map
+             (fun (d : Registry.session_debug) ->
+               Json.Obj
+                 [
+                   ("tenant", Json.Str d.Registry.sd_tenant);
+                   ("id", Json.Str d.Registry.sd_id);
+                   ("engine", Json.Str d.Registry.sd_engine);
+                   ("done", Json.Bool d.Registry.sd_done);
+                   ("degraded", Json.Bool d.Registry.sd_degraded);
+                   ("qid", Json.of_int d.Registry.sd_qid);
+                   ("open_question", Json.Bool d.Registry.sd_open);
+                   ("questions", Json.of_int d.Registry.sd_questions);
+                   ("replayed", Json.of_int d.Registry.sd_replayed);
+                   ("journal_bytes", Json.of_int d.Registry.sd_journal_bytes);
+                   ("idle_s", Json.Num d.Registry.sd_idle_s);
+                 ])
+             (Registry.debug_sessions t.registry)) );
+    ]
+
+let debug_tenants_json t =
+  Json.Obj
+    [
+      ( "tenants",
+        Json.Arr
+          (List.map
+             (fun (d : Admission.tenant_debug) ->
+               Json.Obj
+                 [
+                   ("tenant", Json.Str d.Admission.td_tenant);
+                   ("queued", Json.of_int d.Admission.td_queued);
+                   ("breaker", Json.Str d.Admission.td_breaker);
+                   ( "live_sessions",
+                     Json.of_int
+                       (Registry.tenant_count t.registry d.Admission.td_tenant)
+                   );
+                 ])
+             (Admission.debug_tenants t.admission)) );
+    ]
+
+let debug_slow_json t =
+  let entries =
+    Mutex.protect t.slow_mu (fun () ->
+        let n = Array.length t.slow_ring in
+        let out = ref [] in
+        (* Oldest first from the ring, so the accumulated list is newest
+           first. *)
+        for i = 0 to n - 1 do
+          match t.slow_ring.((t.slow_pos + i) mod n) with
+          | Some e -> out := e :: !out
+          | None -> ()
+        done;
+        !out)
+  in
+  Json.Obj
+    [
+      ("slow_ms", Json.Num t.cfg.slow_ms);
+      ( "requests",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("trace", Json.Str e.sl_trace);
+                   ("route", Json.Str e.sl_route);
+                   ("tenant", Json.Str e.sl_tenant);
+                   ("status", Json.of_int e.sl_status);
+                   ("ms", Json.Num e.sl_ms);
+                   ("at", Json.Num e.sl_at);
+                 ])
+             entries) );
     ]
 
 let handle t (req : Http.request) =
@@ -285,23 +549,31 @@ let handle t (req : Http.request) =
   if Telemetry.enabled () then Telemetry.Metrics.incr m_requests;
   let parts = split_path req.path in
   match (req.meth, parts) with
-  | "GET", [ "healthz" ] ->
-      json_response 200
-        (Json.Obj
-           [ ("ok", Json.Bool true); ("draining", Json.Bool (draining t)) ])
+  | "GET", [ "healthz" ] -> json_response 200 (healthz_json t)
   | "GET", [ "stats" ] -> json_response 200 (stats_json t)
   | "GET", [ "metrics" ] ->
       {
         Http.status = 200;
         headers = [ ("Content-Type", "text/plain; version=0.0.4") ];
-        body = Telemetry.Metrics.metrics_prometheus ();
+        (* Process-wide since-boot metrics (PR3 registry) followed by the
+           labeled, sliding-window series — one scrape gets both. *)
+        body =
+          Telemetry.Metrics.metrics_prometheus () ^ Obs.Labeled.prometheus ();
       }
+  | "GET", [ "debug"; sub ] when t.cfg.debug_endpoints -> (
+      match sub with
+      | "sessions" -> json_response 200 (debug_sessions_json t)
+      | "tenants" -> json_response 200 (debug_tenants_json t)
+      | "slow" -> json_response 200 (debug_slow_json t)
+      | "flightrecorder" ->
+          {
+            Http.status = 200;
+            headers = [ ("Content-Type", "application/json") ];
+            body = Obs.Recorder.dump_json ();
+          }
+      | _ -> error_response 404 "no such debug endpoint")
   | _ ->
-      let tenant =
-        match Http.header "x-learnq-tenant" req with
-        | Some ten when ten <> "" -> ten
-        | _ -> "anon"
-      in
+      let tenant = tenant_of req in
       if draining t then
         error_response ~headers:(retry_after_headers 1.0) 503
           "draining: not admitting session work"
@@ -375,15 +647,41 @@ let conn_thread t fd =
           (Http.write_response conn ~keep_alive:false
              (error_response 400 "malformed request"))
     | Ok (Some req) ->
-        let t0 = if Telemetry.enabled () then Unix.gettimeofday () else 0. in
-        let resp =
-          match handle t req with
-          | resp -> resp
-          | exception exn ->
-              error_response 500 ("internal error: " ^ Printexc.to_string exn)
+        (* The request's trace id: honor a well-formed inbound
+           X-Learnq-Trace (so a client or proxy can stitch its own ids
+           through), mint otherwise.  Installed on this thread for the
+           whole request; captured into the admission job for the pool
+           hop; echoed back in the response header either way. *)
+        let trace =
+          match Http.header "x-learnq-trace" req with
+          | Some id when Obs.Trace.valid id -> id
+          | _ -> Obs.Trace.mint ()
         in
+        Obs.Trace.set (Some trace);
+        let route = route_label req.meth (split_path req.path) in
+        let tenant = tenant_of req in
+        let seq = track_inflight t ~trace ~route ~tenant in
+        let t0 = Unix.gettimeofday () in
+        let resp =
+          Obs.Recorder.with_span
+            ~detail:(req.meth ^ " " ^ req.path)
+            "http.request"
+            (fun () ->
+              match handle t req with
+              | resp -> resp
+              | exception exn ->
+                  error_response 500
+                    ("internal error: " ^ Printexc.to_string exn))
+        in
+        let dur = Unix.gettimeofday () -. t0 in
+        untrack_inflight t seq;
+        observe_request t ~trace ~route ~tenant ~status:resp.Http.status ~dur;
+        Obs.Trace.set None;
         if Telemetry.enabled () then
-          Telemetry.Metrics.observe m_request_s (Unix.gettimeofday () -. t0);
+          Telemetry.Metrics.observe m_request_s dur;
+        let resp =
+          { resp with Http.headers = ("X-Learnq-Trace", trace) :: resp.Http.headers }
+        in
         let keep_alive =
           (not (draining t))
           && Http.header "connection" req <> Some "close"
@@ -419,11 +717,22 @@ let dispatcher t pool () =
         let results =
           Core.Pool.map_list pool
             (fun (job : Admission.job) ->
-              match job.Admission.run () with
-              | resp -> resp
-              | exception exn ->
-                  error_response 500
-                    ("internal error: " ^ Printexc.to_string exn))
+              (* Re-install the submitting request's trace on this pool
+                 domain: journal fsyncs, vfs faults, and error bodies
+                 produced inside the job all stamp the same id the client
+                 saw in its X-Learnq-Trace header. *)
+              let go () =
+                Obs.Recorder.with_span ~detail:job.Admission.key "serve.job"
+                  (fun () ->
+                    match job.Admission.run () with
+                    | resp -> resp
+                    | exception exn ->
+                        error_response 500
+                          ("internal error: " ^ Printexc.to_string exn))
+              in
+              match job.Admission.trace with
+              | Some id -> Obs.Trace.with_trace id go
+              | None -> go ())
             batch
         in
         List.iter2 Admission.finish batch results;
@@ -494,14 +803,16 @@ let serve t =
   | Ok (listen_fd, port) ->
       cfg.on_listen port;
       let disp = Thread.create (dispatcher t pool) () in
-      (* The heal probe piggybacks on the accept loop's select tick so it
-         runs even when no requests arrive; throttled to ~1/s. *)
+      (* The heal probe and the stall watchdog piggyback on the accept
+         loop's select tick so they run even when no requests arrive;
+         throttled to ~1/s. *)
       let last_probe = ref 0. in
       let maybe_probe () =
         let now = Unix.gettimeofday () in
         if now -. !last_probe >= 1.0 then begin
           last_probe := now;
-          probe_disk t
+          probe_disk t;
+          watchdog t
         end
       in
       let rec accept_loop () =

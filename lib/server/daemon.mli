@@ -20,14 +20,34 @@
        GET    /v1/sessions/ID                                            current view
        POST   /v1/sessions/ID/answers   {"qid":N,"reply":true|false|"refused"|"timed_out"}
        DELETE /v1/sessions/ID                                            close + forget
-       GET    /healthz | /stats | /metrics                               inline, never queued v}
+       GET    /healthz | /stats | /metrics                               inline, never queued
+       GET    /debug/sessions | /debug/tenants | /debug/slow
+              /debug/flightrecorder              when [debug_endpoints] v}
 
     Views are [{"engine","done","degraded","qid","question","question_text",
     "questions","replayed","pruned","refused","query"}]; errors are
-    [{"error":msg}] with 400 (malformed), 404 (unknown session), 409
-    (conflicting spec / stale qid), 429 (quota or breaker, with
+    [{"error":msg,"trace":id}] with 400 (malformed), 404 (unknown session),
+    409 (conflicting spec / stale qid), 429 (quota or breaker, with
     [Retry-After]), 503 (shedding or draining, with [Retry-After]), 507
     (disk full).
+
+    {2 Observability}
+
+    Every request gets a trace id — a well-formed inbound [X-Learnq-Trace]
+    is honored, otherwise one is minted — installed in {!Core.Obs.Trace}
+    for the connection thread, captured into the admission job, and
+    re-installed on the pool domain that executes it: log lines, error
+    bodies, flight-recorder events (journal fsyncs, vfs faults, question
+    asked/answered, evictions, breaker trips) and the [X-Learnq-Trace]
+    response header all carry the same id.  Request latencies feed labeled
+    sliding-window metrics ([learnq_request_seconds{tenant=…}],
+    [learnq_requests_total{route=…,outcome=…,tenant=…}]) appended to
+    [/metrics].  Requests at or over [slow_ms] land in a 64-entry ring
+    served by [/debug/slow].  A stall watchdog (on the accept loop's tick)
+    flags requests in flight longer than [stall_after]: it bumps
+    [learnq_watchdog_stalled_total] and the [/stats] [stalled] counter,
+    records the event, and dumps the flight recorder to
+    [<state_dir>/flightrecorder-stall.json] — it never kills the request.
 
     {2 Storage robustness}
 
@@ -71,12 +91,21 @@ type config = {
       (** compact each session's journal every N answers; 0 = never *)
   max_live_sessions : int;  (** LRU-evict beyond this many; 0 = unlimited *)
   idle_evict_after : float;  (** evict sessions idle this long; 0 = never *)
+  slow_ms : float;
+      (** requests at/over this many milliseconds land in the /debug/slow
+          ring *)
+  stall_after : float;
+      (** watchdog deadline (seconds) for in-flight requests *)
+  flight_recorder_size : int;
+      (** total flight-recorder event capacity; 0 keeps the default *)
+  debug_endpoints : bool;  (** serve the [/debug/*] routes *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, ["./learnq-state"], pool 2, queue 256, 128 conns,
     [Batch] sync, default tenants, no step caps, 5s grace, real storage,
-    no checkpoints, unbounded residency. *)
+    no checkpoints, unbounded residency, 250ms slow threshold, 30s
+    watchdog, default recorder capacity, debug endpoints on. *)
 
 type t
 
@@ -96,3 +125,6 @@ val degraded : t -> bool
 
 val registry : t -> Registry.t
 (** Exposed for in-process tests and the chaos harness. *)
+
+val stalled : t -> int
+(** Lifetime watchdog trips (also in [/stats] as ["stalled"]). *)

@@ -120,6 +120,12 @@ let quarantine t ~path =
   (try Vfs.unlink t.cfg.vfs (Journal.lock_path_of path)
    with Unix.Unix_error _ -> ());
   with_lock t (fun () -> t.quarantined <- t.quarantined + 1);
+  (* Freeze the last moments next to the corpse: the flight-recorder dump
+     shows what the server was doing (faults, fsyncs, evictions) in the
+     window before this journal went bad. *)
+  Core.Obs.Recorder.record ~detail:path "registry.quarantine";
+  if Core.Obs.Recorder.is_recording () then
+    Core.Obs.Recorder.dump_to_file (path ^ ".quarantine.flight.json");
   if Core.Telemetry.enabled () then begin
     Core.Telemetry.Metrics.incr m_quarantined;
     Core.Telemetry.Log.warn
@@ -384,6 +390,7 @@ let evict_idle t =
             match s.stepper.Stepper.checkpoint () with
             | Ok () ->
                 s.stepper.Stepper.close ();
+                Core.Obs.Recorder.record ~detail:k "session.evicted";
                 true
             | Error _ -> false
           in
@@ -511,3 +518,43 @@ let fold t ~init ~f =
   List.fold_left
     (fun acc s -> f acc ~tenant:s.tenant ~id:s.id s.stepper)
     init (snapshot t)
+
+type session_debug = {
+  sd_tenant : string;
+  sd_id : string;
+  sd_engine : string;
+  sd_done : bool;
+  sd_degraded : bool;
+  sd_qid : int;
+  sd_open : bool;
+  sd_questions : int;
+  sd_replayed : int;
+  sd_journal_bytes : int;
+  sd_idle_s : float;
+}
+
+(* The /debug/sessions view.  Uses [Stepper.peek] (counters only — no
+   journal touch, no self-heal) so it is safe concurrently with the
+   dispatcher mutating the same session; the numbers are weakly
+   consistent, which is the right trade for a debug endpoint. *)
+let debug_sessions t =
+  let now = Unix.gettimeofday () in
+  snapshot t
+  |> List.sort (fun a b -> compare (a.tenant, a.id) (b.tenant, b.id))
+  |> List.map (fun s ->
+         let p = s.stepper.Stepper.peek () in
+         {
+           sd_tenant = s.tenant;
+           sd_id = s.id;
+           sd_engine = p.Stepper.p_engine;
+           sd_done = p.Stepper.p_done;
+           sd_degraded = p.Stepper.p_degraded;
+           sd_qid = p.Stepper.p_qid;
+           sd_open = p.Stepper.p_open;
+           sd_questions = p.Stepper.p_questions;
+           sd_replayed = p.Stepper.p_replayed;
+           sd_journal_bytes =
+             (try Vfs.size t.cfg.vfs s.path with
+             | Unix.Unix_error _ | Sys_error _ -> 0);
+           sd_idle_s = Float.max 0. (now -. s.last_used);
+         })

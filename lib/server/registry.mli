@@ -122,3 +122,23 @@ val stats : t -> stats
 
 val fold : t -> init:'a -> f:('a -> tenant:string -> id:string -> Stepper.t -> 'a) -> 'a
 (** Snapshot iteration (order unspecified) — for /stats. *)
+
+type session_debug = {
+  sd_tenant : string;
+  sd_id : string;
+  sd_engine : string;
+  sd_done : bool;
+  sd_degraded : bool;
+  sd_qid : int;
+  sd_open : bool;  (** a question is currently posed *)
+  sd_questions : int;
+  sd_replayed : int;
+  sd_journal_bytes : int;  (** on-disk journal size (0 if unreadable) *)
+  sd_idle_s : float;  (** seconds since the session was last touched *)
+}
+
+val debug_sessions : t -> session_debug list
+(** Per-session introspection, sorted by [tenant/id] — the
+    [/debug/sessions] view.  Built from {!Stepper.t.peek}, so it never
+    touches a journal and is safe concurrently with the dispatcher; the
+    numbers are weakly consistent. *)

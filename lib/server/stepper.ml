@@ -17,8 +17,21 @@ type view = {
   query : string option;
 }
 
+type peeked = {
+  p_engine : string;
+  p_done : bool;
+  p_degraded : bool;
+  p_qid : int;
+  p_open : bool;
+  p_questions : int;
+  p_replayed : int;
+  p_pruned : int;
+  p_refused : int;
+}
+
 type t = {
   view : unit -> view;
+  peek : unit -> peeked;
   answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
   checkpoint : unit -> (unit, Core.Error.t) result;
   flush : unit -> unit;
@@ -51,6 +64,23 @@ module Make (S : Core.Interact.SESSION) = struct
 
   let jappend i ev =
     match i.journal with None -> () | Some j -> Journal.append j ev
+
+  (* Counter-only snapshot for the introspection endpoints: no journal
+     touch, no self-heal advance, no candidate rendering — safe to call
+     from the accept loop while the dispatcher owns the session, at the
+     price of weak consistency (plain reads of mutable scalars). *)
+  let peek i =
+    {
+      p_engine = i.engine;
+      p_done = i.done_;
+      p_degraded = i.degraded;
+      p_qid = i.qid;
+      p_open = i.current <> None;
+      p_questions = i.questions;
+      p_replayed = i.replayed;
+      p_pruned = i.pruned;
+      p_refused = i.refused;
+    }
 
   let view i =
     {
@@ -108,7 +138,10 @@ module Make (S : Core.Interact.SESSION) = struct
                  i.qid <- i.qid - 1;
                  raise e);
               i.pool <- List.filter (fun it -> it != item) opens;
-              i.current <- Some (i.qid, item))
+              i.current <- Some (i.qid, item);
+              Core.Obs.Recorder.record
+                ~detail:(Printf.sprintf "%s qid=%d" i.engine i.qid)
+                "session.asked")
     end
 
   (* Snapshot the accumulator and atomically compact the journal down to
@@ -151,6 +184,9 @@ module Make (S : Core.Interact.SESSION) = struct
     | Some (cq, item) when qid = cq -> (
         try
           jappend i (Journal.Answered (i.encode item, reply));
+          Core.Obs.Recorder.record
+            ~detail:(Printf.sprintf "%s qid=%d" i.engine qid)
+            "session.answered";
           (match reply with
           | Flaky.Label label ->
               i.st <- S.record i.st item label;
@@ -333,6 +369,7 @@ module Make (S : Core.Interact.SESSION) = struct
                           if i.current = None && not i.done_ then
                             (try advance i with Journal.Io _ -> ());
                           view i);
+                      peek = (fun () -> peek i);
                       answer = (fun ~qid reply -> answer i ~qid reply);
                       checkpoint = (fun () -> take_checkpoint i);
                       flush =

@@ -40,8 +40,26 @@ type view = {
   query : string option;  (** pretty-printed current candidate *)
 }
 
+type peeked = {
+  p_engine : string;
+  p_done : bool;
+  p_degraded : bool;
+  p_qid : int;
+  p_open : bool;  (** a question is currently posed *)
+  p_questions : int;
+  p_replayed : int;
+  p_pruned : int;
+  p_refused : int;
+}
+(** A counter-only snapshot for introspection ([/debug/sessions]): unlike
+    {!view} it never touches the journal, never self-heals a rolled-back
+    ask, and never renders the candidate — so it is safe to read from the
+    accept loop while the dispatcher owns the session.  The reads are
+    plain (weakly consistent), which is fine for a debug endpoint. *)
+
 type t = {
   view : unit -> view;
+  peek : unit -> peeked;
   answer : qid:int -> Core.Flaky.reply -> (view, Core.Error.t) result;
   checkpoint : unit -> (unit, Core.Error.t) result;
       (** snapshot the accumulator and compact the journal to

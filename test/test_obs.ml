@@ -1,0 +1,451 @@
+(* Tests for the server observability layer (Core.Obs): trace ids, the
+   flight recorder ring (wraparound, concurrent writers, dump on
+   quarantine), and labeled sliding-window metrics (rotation edges, empty
+   windows, cardinality cap). *)
+
+module Obs = Core.Obs
+module Json = Server.Json
+module Engines = Server.Engines
+module Stepper = Server.Stepper
+module Registry = Server.Registry
+module Tenant = Server.Tenant
+
+let with_temp_dir f =
+  let path = Filename.temp_file "learnq_obs" ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun e ->
+             try Sys.remove (Filename.concat path e) with Sys_error _ -> ())
+           (Sys.readdir path)
+       with Sys_error _ -> ());
+      try Unix.rmdir path with Unix.Unix_error _ -> ())
+    (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ids                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_mint_and_valid () =
+  let a = Obs.Trace.mint () and b = Obs.Trace.mint () in
+  Alcotest.(check bool) "minted ids are distinct" true (a <> b);
+  Alcotest.(check bool) "minted ids are valid" true
+    (Obs.Trace.valid a && Obs.Trace.valid b);
+  Alcotest.(check bool) "empty rejected" false (Obs.Trace.valid "");
+  Alcotest.(check bool) "spaces rejected" false (Obs.Trace.valid "a b");
+  Alcotest.(check bool) "header-injection rejected" false
+    (Obs.Trace.valid "x\r\nSet-Cookie: n");
+  Alcotest.(check bool) "over-long rejected" false
+    (Obs.Trace.valid (String.make 65 'a'));
+  Alcotest.(check bool) "64 chars accepted" true
+    (Obs.Trace.valid (String.make 64 'a'))
+
+let test_trace_with_trace_restores () =
+  Obs.Trace.set None;
+  Alcotest.(check (option string)) "no ambient trace" None
+    (Obs.Trace.current ());
+  let inner =
+    Obs.Trace.with_trace "outer" (fun () ->
+        let o = Obs.Trace.current () in
+        let i =
+          Obs.Trace.with_trace "inner" (fun () -> Obs.Trace.current ())
+        in
+        (o, i, Obs.Trace.current ()))
+  in
+  Alcotest.(check (option string)) "outer installed" (Some "outer")
+    (let o, _, _ = inner in
+     o);
+  Alcotest.(check (option string)) "inner shadows" (Some "inner")
+    (let _, i, _ = inner in
+     i);
+  Alcotest.(check (option string)) "outer restored after inner"
+    (Some "outer")
+    (let _, _, r = inner in
+     r);
+  Alcotest.(check (option string)) "cleared after with_trace" None
+    (Obs.Trace.current ());
+  (* Restoration survives a raise. *)
+  (try
+     Obs.Trace.with_trace "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (option string)) "cleared after raise" None
+    (Obs.Trace.current ())
+
+let test_trace_per_thread () =
+  Obs.Trace.set None;
+  let seen = ref None in
+  Obs.Trace.with_trace "main-trace" (fun () ->
+      let t =
+        Thread.create (fun () -> seen := Obs.Trace.current ()) ()
+      in
+      Thread.join t;
+      Alcotest.(check (option string)) "other thread sees no trace" None !seen;
+      Alcotest.(check (option string)) "main thread keeps its trace"
+        (Some "main-trace") (Obs.Trace.current ()))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ev_names evs = List.map (fun e -> e.Obs.Recorder.ev_name) evs
+
+let test_recorder_wraparound () =
+  Obs.reset ();
+  (* 32 total over 8 slots = 4 per slot; a single-domain writer lands
+     every event in its own slot, so only the last 4 survive. *)
+  Obs.Recorder.set_capacity 32;
+  for i = 0 to 9 do
+    Obs.Recorder.record (Printf.sprintf "ev%d" i)
+  done;
+  Alcotest.(check (list string)) "oldest overwritten, order kept"
+    [ "ev6"; "ev7"; "ev8"; "ev9" ]
+    (ev_names (Obs.Recorder.events ()));
+  Obs.Recorder.set_capacity 4096;
+  Obs.reset ()
+
+let test_recorder_disabled_is_silent () =
+  Obs.reset ();
+  Obs.Recorder.set_recording false;
+  Obs.Recorder.record "invisible";
+  ignore (Obs.Recorder.with_span "quiet" (fun () -> 42));
+  Alcotest.(check int) "nothing retained" 0
+    (List.length (Obs.Recorder.events ()));
+  Obs.reset ()
+
+let test_recorder_span_pairing_and_trace_filter () =
+  Obs.reset ();
+  Obs.Trace.with_trace "req-1" (fun () ->
+      Obs.Recorder.with_span ~detail:"outer work" "outer" (fun () ->
+          Obs.Recorder.record ~detail:"d" "tick"));
+  Obs.Trace.with_trace "req-2" (fun () -> Obs.Recorder.record "other");
+  Obs.Recorder.record "untraced";
+  let req1 = Obs.Recorder.trace_events "req-1" in
+  Alcotest.(check (list string)) "span tree of one request"
+    [ "outer"; "tick"; "outer" ] (ev_names req1);
+  (match List.map (fun e -> e.Obs.Recorder.ev_phase) req1 with
+  | [ Obs.Recorder.Begin; Obs.Recorder.Instant; Obs.Recorder.End ] -> ()
+  | _ -> Alcotest.fail "expected Begin/Instant/End phases");
+  Alcotest.(check (list string)) "other request filtered separately"
+    [ "other" ]
+    (ev_names (Obs.Recorder.trace_events "req-2"));
+  Alcotest.(check int) "all events retained" 5
+    (List.length (Obs.Recorder.events ()));
+  (* The span closes even when the body raises. *)
+  (try Obs.Recorder.with_span "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let doomed =
+    List.filter
+      (fun e -> e.Obs.Recorder.ev_name = "doomed")
+      (Obs.Recorder.events ())
+  in
+  (match List.map (fun e -> e.Obs.Recorder.ev_phase) doomed with
+  | [ Obs.Recorder.Begin; Obs.Recorder.End ] -> ()
+  | _ -> Alcotest.fail "span not closed on raise");
+  Obs.reset ()
+
+let test_recorder_concurrent_domains () =
+  Obs.reset ();
+  Obs.Recorder.set_capacity 1024;
+  let per_domain = 500 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Obs.Recorder.record ~detail:(string_of_int i)
+                (Printf.sprintf "dom%d" d)
+            done))
+  in
+  List.iter Domain.join domains;
+  let evs = Obs.Recorder.events () in
+  Alcotest.(check bool) "ring retained something" true (List.length evs > 0);
+  Alcotest.(check bool) "ring never exceeds capacity" true
+    (List.length evs <= 1024);
+  List.iter
+    (fun e ->
+      if not (String.length e.Obs.Recorder.ev_name > 3) then
+        Alcotest.fail "torn event name")
+    evs;
+  (* The dump is valid JSON even with events from many domains. *)
+  (match Json.parse (Obs.Recorder.dump_json ()) with
+  | Ok (Json.Obj kvs) ->
+      (match List.assoc_opt "traceEvents" kvs with
+      | Some (Json.Arr l) ->
+          Alcotest.(check int) "dump covers every retained event"
+            (List.length evs) (List.length l)
+      | _ -> Alcotest.fail "no traceEvents array")
+  | Ok _ -> Alcotest.fail "dump is not an object"
+  | Error e -> Alcotest.failf "dump does not parse: %s" e);
+  Obs.Recorder.set_capacity 4096;
+  Obs.reset ()
+
+(* A corrupt journal's quarantine drops a flight-recorder dump next to the
+   corpse — the post-mortem artifact the ISSUE asks for. *)
+let test_recorder_dump_on_quarantine () =
+  Obs.reset ();
+  let spec =
+    { Engines.default_spec with Engines.engine = "join"; seed = 5; rows = 5 }
+  in
+  let truth =
+    match Engines.oracle spec ~goal:"planted" with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "oracle: %s" (Core.Error.to_string e)
+  in
+  with_temp_dir (fun dir ->
+      let cfg =
+        {
+          Registry.dir;
+          sync = Core.Journal.Always;
+          tenants = Tenant.make [];
+          step_fuel = None;
+          step_timeout = None;
+          vfs = Core.Vfs.real;
+          checkpoint_every = 0;
+          max_live = 0;
+          idle_evict_after = 0.;
+        }
+      in
+      let reg = Registry.create cfg in
+      (match Registry.create_session reg ~tenant:"t" ~id:"s" spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "create: %s" (Core.Error.to_string e));
+      let st = Option.get (Registry.find reg ~tenant:"t" ~id:"s") in
+      let rec answer n =
+        if n > 0 then
+          let v = st.Stepper.view () in
+          match v.Stepper.question with
+          | Some key when not v.Stepper.done_ ->
+              (match
+                 st.Stepper.answer ~qid:v.Stepper.qid
+                   (Core.Flaky.Label (truth key))
+               with
+              | Ok _ -> answer (n - 1)
+              | Error e ->
+                  Alcotest.failf "answer: %s" (Core.Error.to_string e))
+          | _ -> ()
+      in
+      answer 2;
+      Registry.drain reg;
+      (* Flip a byte of the journal tail; recovery must quarantine it and
+         leave a flight dump beside the quarantined bytes. *)
+      let jpath =
+        match
+          Array.to_list (Sys.readdir dir)
+          |> List.filter (fun e -> Filename.check_suffix e ".journal")
+        with
+        | [ name ] -> Filename.concat dir name
+        | l -> Alcotest.failf "expected one journal, got %d" (List.length l)
+      in
+      let ic = open_in_bin jpath in
+      let bytes =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string bytes in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      let oc = open_out_bin jpath in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_bytes oc b);
+      let reg2 = Registry.create cfg in
+      let pool = Core.Pool.create 1 in
+      let _recovered, _errors =
+        Fun.protect
+          ~finally:(fun () -> Core.Pool.shutdown pool)
+          (fun () -> Registry.recover_all reg2 ~pool)
+      in
+      Registry.drain reg2;
+      Alcotest.(check int) "quarantined" 1
+        (Registry.stats reg2).Registry.quarantined;
+      let dump = jpath ^ ".quarantine.flight.json" in
+      Alcotest.(check bool) "flight dump written" true (Sys.file_exists dump);
+      let ic = open_in_bin dump in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Json.parse raw with
+      | Ok (Json.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "dump is not a JSON object"
+      | Error e -> Alcotest.failf "dump does not parse: %s" e);
+      (* The dump's event stream names the quarantine itself. *)
+      Alcotest.(check bool) "dump mentions the quarantine" true
+        (let evs = Obs.Recorder.events () in
+         List.exists
+           (fun e -> e.Obs.Recorder.ev_name = "registry.quarantine")
+           evs);
+      Sys.remove dump);
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Labeled metrics: sliding windows                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeled_counters () =
+  Obs.reset ();
+  Obs.Labeled.incr "reqs" [ ("route", "/a"); ("outcome", "2xx") ];
+  Obs.Labeled.incr "reqs" [ ("outcome", "2xx"); ("route", "/a") ];
+  Obs.Labeled.incr ~by:3 "reqs" [ ("route", "/a"); ("outcome", "5xx") ];
+  Alcotest.(check int) "label order is canonical" 2
+    (Obs.Labeled.counter_value "reqs" [ ("outcome", "2xx"); ("route", "/a") ]);
+  Alcotest.(check int) "by" 3
+    (Obs.Labeled.counter_value "reqs" [ ("route", "/a"); ("outcome", "5xx") ]);
+  Alcotest.(check int) "unknown series reads 0" 0
+    (Obs.Labeled.counter_value "reqs" [ ("route", "/b") ]);
+  Alcotest.(check int) "two series" 2 (Obs.Labeled.series_count "reqs");
+  Obs.reset ()
+
+let lbl = [ ("tenant", "t") ]
+
+let test_window_rotation_edges () =
+  Obs.reset ();
+  let t = ref 0. in
+  Obs.Labeled.set_clock (Some (fun () -> !t));
+  (* 6 sub-windows x 10 s: a sample stays visible for the rest of its own
+     sub-window plus five more — 60 s from the epoch boundary. *)
+  for _ = 1 to 5 do
+    Obs.Labeled.observe ~span:10. "lat" lbl 0.050
+  done;
+  Alcotest.(check int) "live immediately" 5 (Obs.Labeled.window_count "lat" lbl);
+  t := 59.9;
+  Alcotest.(check int) "still live at the window edge" 5
+    (Obs.Labeled.window_count "lat" lbl);
+  t := 60.;
+  Alcotest.(check int) "gone one tick past the window" 0
+    (Obs.Labeled.window_count "lat" lbl);
+  (* Partial expiry: samples rotate out sub-window by sub-window. *)
+  t := 100.;
+  Obs.Labeled.observe ~span:10. "lat" lbl 0.010;
+  t := 110.;
+  Obs.Labeled.observe ~span:10. "lat" lbl 0.020;
+  Alcotest.(check int) "both sub-windows live" 2
+    (Obs.Labeled.window_count "lat" lbl);
+  t := 160.;
+  Alcotest.(check int) "older sub-window expired" 1
+    (Obs.Labeled.window_count "lat" lbl);
+  t := 170.;
+  Alcotest.(check int) "then the newer one" 0
+    (Obs.Labeled.window_count "lat" lbl);
+  (* Lazy rotation: writing at a much later epoch reuses (and zeroes) the
+     slot of a long-dead sub-window rather than resurrecting its data. *)
+  t := 1000.;
+  Obs.Labeled.observe ~span:10. "lat" lbl 0.300;
+  Alcotest.(check int) "only the fresh sample" 1
+    (Obs.Labeled.window_count "lat" lbl);
+  Obs.reset ()
+
+let test_window_percentiles () =
+  Obs.reset ();
+  let t = ref 0. in
+  Obs.Labeled.set_clock (Some (fun () -> !t));
+  Alcotest.(check (float 0.)) "empty window reads p99 = 0" 0.
+    (Obs.Labeled.window_percentile "lat2" lbl 0.99);
+  for i = 1 to 100 do
+    Obs.Labeled.observe "lat2" lbl (0.001 *. float_of_int i)
+  done;
+  let p50 = Obs.Labeled.window_percentile "lat2" lbl 0.5 in
+  let p99 = Obs.Labeled.window_percentile "lat2" lbl 0.99 in
+  Alcotest.(check bool) "p50 in the middle of the samples" true
+    (p50 > 0.02 && p50 < 0.09);
+  Alcotest.(check bool) "p99 near the top, clamped to max" true
+    (p99 > p50 && p99 <= 0.1);
+  (match Obs.Labeled.window_stats "lat2" lbl with
+  | Some (count, sum, _, _, _) ->
+      Alcotest.(check int) "count" 100 count;
+      Alcotest.(check bool) "sum" true (Float.abs (sum -. 5.05) < 1e-9)
+  | None -> Alcotest.fail "known series must report stats");
+  Alcotest.(check bool) "unknown series reports None" true
+    (Obs.Labeled.window_stats "lat2" [ ("tenant", "ghost") ] = None);
+  (* After the window slides away, percentiles return to 0. *)
+  t := 3600.;
+  Alcotest.(check (float 0.)) "expired window reads 0" 0.
+    (Obs.Labeled.window_percentile "lat2" lbl 0.99);
+  Obs.reset ()
+
+let test_label_cardinality_cap () =
+  Obs.reset ();
+  Obs.Labeled.set_max_series 4;
+  for i = 1 to 10 do
+    Obs.Labeled.incr "capped" [ ("tenant", Printf.sprintf "t%d" i) ]
+  done;
+  Alcotest.(check int) "capped at max + overflow" 5
+    (Obs.Labeled.series_count "capped");
+  Alcotest.(check int) "overflow absorbs the excess" 6
+    (Obs.Labeled.counter_value "capped" [ ("overflow", "true") ]);
+  Alcotest.(check int) "pre-cap series still addressable" 1
+    (Obs.Labeled.counter_value "capped" [ ("tenant", "t1") ]);
+  (* Existing series keep counting after the cap. *)
+  Obs.Labeled.incr "capped" [ ("tenant", "t1") ];
+  Alcotest.(check int) "pre-cap series not frozen" 2
+    (Obs.Labeled.counter_value "capped" [ ("tenant", "t1") ]);
+  Obs.reset ()
+
+let test_prometheus_exposition () =
+  Obs.reset ();
+  Obs.Labeled.incr "learnq_requests_total"
+    [ ("route", "/v1/sessions"); ("outcome", "2xx"); ("tenant", "t") ];
+  Obs.Labeled.observe "learnq_request_seconds" [ ("tenant", "t") ] 0.025;
+  let text = Obs.Labeled.prometheus () in
+  let has needle =
+    let nn = String.length needle and hn = String.length text in
+    let rec go i =
+      i + nn <= hn && (String.sub text i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "counter series with labels" true
+    (has "learnq_requests_total{");
+  Alcotest.(check bool) "counter value" true (has "} 1");
+  Alcotest.(check bool) "summary type" true
+    (has "# TYPE learnq_request_seconds summary");
+  Alcotest.(check bool) "quantile label" true (has "quantile=\"0.99\"");
+  Alcotest.(check bool) "window count" true
+    (has "learnq_request_seconds_count{tenant=\"t\"} 1");
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "mint and validate" `Quick
+            test_trace_mint_and_valid;
+          Alcotest.test_case "with_trace restores" `Quick
+            test_trace_with_trace_restores;
+          Alcotest.test_case "traces are per-thread" `Quick
+            test_trace_per_thread;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "wraparound keeps the newest" `Quick
+            test_recorder_wraparound;
+          Alcotest.test_case "disabled recorder is silent" `Quick
+            test_recorder_disabled_is_silent;
+          Alcotest.test_case "span pairing and trace filter" `Quick
+            test_recorder_span_pairing_and_trace_filter;
+          Alcotest.test_case "concurrent writers across domains" `Quick
+            test_recorder_concurrent_domains;
+          Alcotest.test_case "dump on quarantine" `Quick
+            test_recorder_dump_on_quarantine;
+        ] );
+      ( "labeled",
+        [
+          Alcotest.test_case "counters and label order" `Quick
+            test_labeled_counters;
+          Alcotest.test_case "window rotation edges" `Quick
+            test_window_rotation_edges;
+          Alcotest.test_case "window percentiles" `Quick
+            test_window_percentiles;
+          Alcotest.test_case "label cardinality cap" `Quick
+            test_label_cardinality_cap;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+        ] );
+    ]

@@ -962,6 +962,257 @@ let test_daemon_degraded_mode_self_heals () =
               let code, _ = req "POST" "/v1/sessions" ~body:(create_body "c") in
               Alcotest.(check int) "healed daemon accepts creates" 200 code)))
 
+(* A request slowed by an injected fsync stall must be findable end to
+   end: in /debug/slow under its client-chosen trace id, in the flight
+   recorder with the http.request span linked to the journal/vfs events on
+   the pool domain, and in the /debug/flightrecorder dump. *)
+let test_daemon_slow_request_traceable () =
+  Core.Obs.reset ();
+  with_temp_dir (fun dir ->
+      let vfs = Core.Vfs.faulty ~seed:3 Core.Flaky.no_disk_faults in
+      let port_box = ref 0 in
+      let port_m = Mutex.create () in
+      let port_cv = Condition.create () in
+      let cfg =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.state_dir = dir;
+          port = 0;
+          pool = 1;
+          drain_grace = 2.0;
+          sync = Core.Journal.Always;
+          vfs;
+          slow_ms = 50.;
+          on_listen =
+            (fun p ->
+              Mutex.lock port_m;
+              port_box := p;
+              Condition.broadcast port_cv;
+              Mutex.unlock port_m);
+        }
+      in
+      let daemon = Server.Daemon.create cfg in
+      let serve_result = ref (Ok ()) in
+      let server_thread =
+        Thread.create (fun () -> serve_result := Server.Daemon.serve daemon) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Daemon.drain daemon;
+          Thread.join server_thread;
+          match !serve_result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "serve: %s" e)
+        (fun () ->
+          Mutex.lock port_m;
+          while !port_box = 0 do
+            Condition.wait port_cv port_m
+          done;
+          let port = !port_box in
+          Mutex.unlock port_m;
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let req ?headers ?body meth path =
+                match Server.Client.request c ~meth ~path ?headers ?body () with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "%s %s: %s" meth path e
+              in
+              (* /healthz reports the liveness shape. *)
+              let code, h = req "GET" "/healthz" in
+              Alcotest.(check int) "healthz" 200 code;
+              Alcotest.(check (option bool)) "healthy" (Some true)
+                (Json.get_bool "ok" h);
+              Alcotest.(check (option bool)) "not draining" (Some false)
+                (Json.get_bool "draining" h);
+              Alcotest.(check (option bool)) "not degraded" (Some false)
+                (Json.get_bool "degraded" h);
+              Alcotest.(check (option int)) "no sessions yet" (Some 0)
+                (Json.get_int "sessions" h);
+              Alcotest.(check (option int)) "no stalls" (Some 0)
+                (Json.get_int "stalled" h);
+              (* Stall every fsync: with sync = Always the session create
+                 crosses the slow threshold inside the journal. *)
+              let trace = "e2e-stalled-create.1" in
+              Core.Vfs.set_stall vfs 0.12;
+              let code, _ =
+                req "POST" "/v1/sessions"
+                  ~headers:[ ("X-Learnq-Trace", trace) ]
+                  ~body:
+                    (Json.Obj
+                       [
+                         ("id", Json.Str "slowone");
+                         ("engine", Json.Str "twig");
+                         ("seed", Json.of_int 7);
+                         ("scale", Json.Num 0.02);
+                       ])
+              in
+              Core.Vfs.set_stall vfs 0.;
+              Alcotest.(check int) "stalled create still succeeds" 200 code;
+              (* /debug/slow names the request by its client-chosen trace. *)
+              let code, slow = req "GET" "/debug/slow" in
+              Alcotest.(check int) "debug/slow" 200 code;
+              let slow_traces =
+                match Json.mem "requests" slow with
+                | Some (Json.Arr l) ->
+                    List.filter_map (fun e -> Json.get_str "trace" e) l
+                | _ -> Alcotest.fail "debug/slow has no requests array"
+              in
+              Alcotest.(check bool) "slow ring holds the stalled request"
+                true
+                (List.mem trace slow_traces);
+              (* The flight recorder links the HTTP span to the journal
+                 fsync and the injected vfs stall across the domain hop. *)
+              let names =
+                List.map
+                  (fun e -> e.Core.Obs.Recorder.ev_name)
+                  (Core.Obs.Recorder.trace_events trace)
+              in
+              List.iter
+                (fun expected ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "trace links %s" expected)
+                    true (List.mem expected names))
+                [
+                  "http.request"; "serve.job"; "journal.fsync"; "vfs.stall";
+                  "http.slow";
+                ];
+              (* The dump endpoint serves the same events as Chrome-trace
+                 JSON, stall included. *)
+              let code, dump = req "GET" "/debug/flightrecorder" in
+              Alcotest.(check int) "flightrecorder" 200 code;
+              let dump_names =
+                match Json.mem "traceEvents" dump with
+                | Some (Json.Arr l) ->
+                    List.filter_map (fun e -> Json.get_str "name" e) l
+                | _ -> Alcotest.fail "dump has no traceEvents"
+              in
+              Alcotest.(check bool) "dump contains the vfs stall" true
+                (List.mem "vfs.stall" dump_names);
+              (* Error responses carry the trace id in the body. *)
+              let code, err =
+                req "GET" "/v1/sessions/nosuch"
+                  ~headers:[ ("X-Learnq-Trace", "e2e-err.7") ]
+              in
+              Alcotest.(check int) "unknown session" 404 code;
+              Alcotest.(check (option string)) "error body carries the trace"
+                (Some "e2e-err.7") (Json.get_str "trace" err);
+              (* A malformed inbound trace is replaced, not echoed. *)
+              let _, err2 =
+                req "GET" "/v1/sessions/nosuch"
+                  ~headers:[ ("X-Learnq-Trace", "bad trace!") ]
+              in
+              (match Json.get_str "trace" err2 with
+              | Some t when t <> "bad trace!" && t <> "" -> ()
+              | other ->
+                  Alcotest.failf "invalid trace echoed: %s"
+                    (Option.value ~default:"<none>" other));
+              (* /debug/sessions and /debug/tenants see the live session. *)
+              let code, ds = req "GET" "/debug/sessions" in
+              Alcotest.(check int) "debug/sessions" 200 code;
+              (match Json.mem "sessions" ds with
+              | Some (Json.Arr [ s ]) ->
+                  Alcotest.(check (option string)) "session id"
+                    (Some "slowone") (Json.get_str "id" s);
+                  Alcotest.(check (option string)) "session engine"
+                    (Some "twig") (Json.get_str "engine" s)
+              | _ -> Alcotest.fail "expected exactly one debug session");
+              let code, dt = req "GET" "/debug/tenants" in
+              Alcotest.(check int) "debug/tenants" 200 code;
+              (match Json.mem "tenants" dt with
+              | Some (Json.Arr l) ->
+                  Alcotest.(check bool) "anon tenant listed" true
+                    (List.exists
+                       (fun e -> Json.get_str "tenant" e = Some "anon")
+                       l)
+              | _ -> Alcotest.fail "debug/tenants has no tenants array");
+              (* /metrics appends the labeled, windowed series. *)
+              let code, m = req "GET" "/metrics" in
+              Alcotest.(check int) "metrics" 200 code;
+              let text = match m with Json.Str s -> s | _ -> "" in
+              let has needle =
+                let nn = String.length needle and hn = String.length text in
+                let rec go i =
+                  i + nn <= hn
+                  && (String.sub text i nn = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) "labeled request counter" true
+                (has "learnq_requests_total{");
+              Alcotest.(check bool) "windowed latency summary" true
+                (has "learnq_request_seconds{");
+              Alcotest.(check bool) "tenant label" true
+                (has "tenant=\"anon\"");
+              Alcotest.(check bool) "watchdog never tripped" true
+                (Server.Daemon.stalled daemon = 0))));
+  Core.Obs.reset ()
+
+(* The /debug surface can be turned off wholesale. *)
+let test_daemon_debug_endpoints_disableable () =
+  with_temp_dir (fun dir ->
+      let port_box = ref 0 in
+      let port_m = Mutex.create () in
+      let port_cv = Condition.create () in
+      let cfg =
+        {
+          Server.Daemon.default_config with
+          Server.Daemon.state_dir = dir;
+          port = 0;
+          pool = 1;
+          drain_grace = 2.0;
+          debug_endpoints = false;
+          on_listen =
+            (fun p ->
+              Mutex.lock port_m;
+              port_box := p;
+              Condition.broadcast port_cv;
+              Mutex.unlock port_m);
+        }
+      in
+      let daemon = Server.Daemon.create cfg in
+      let serve_result = ref (Ok ()) in
+      let server_thread =
+        Thread.create (fun () -> serve_result := Server.Daemon.serve daemon) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Daemon.drain daemon;
+          Thread.join server_thread;
+          match !serve_result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "serve: %s" e)
+        (fun () ->
+          Mutex.lock port_m;
+          while !port_box = 0 do
+            Condition.wait port_cv port_m
+          done;
+          let port = !port_box in
+          Mutex.unlock port_m;
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              List.iter
+                (fun path ->
+                  match Server.Client.request c ~meth:"GET" ~path () with
+                  | Ok (code, _) ->
+                      Alcotest.(check int) (path ^ " hidden") 404 code
+                  | Error e -> Alcotest.failf "GET %s: %s" path e)
+                [
+                  "/debug/sessions"; "/debug/tenants"; "/debug/slow";
+                  "/debug/flightrecorder";
+                ])))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1034,6 +1285,10 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "end to end" `Quick test_daemon_end_to_end;
+          Alcotest.test_case "slow request traceable end to end" `Quick
+            test_daemon_slow_request_traceable;
+          Alcotest.test_case "debug endpoints disableable" `Quick
+            test_daemon_debug_endpoints_disableable;
           Alcotest.test_case "degraded mode self-heals" `Quick
             test_daemon_degraded_mode_self_heals;
         ] );
