@@ -814,11 +814,22 @@ let learn_twig_cmd =
               "Ablation: disable the hash-consed filter-containment cache \
                used by LGG minimization.")
     in
-    let setup batch nocache =
-      if batch then Twiglearn.Interactive.set_batch_lgg true;
-      if nocache then Twig.Contain.set_filter_cache ~enabled:false ()
+    let no_xmlstore =
+      Arg.(
+        value & flag
+        & info [ "no-xmlstore" ]
+            ~doc:
+              "Ablation: evaluate twigs with the bottom-up tree walk instead \
+               of the index-backed structural joins over the labeled store.  \
+               Answers (and therefore question sequences and journals) are \
+               identical either way.")
     in
-    Term.(const setup $ batch_lgg $ no_contain_cache)
+    let setup batch nocache nostore =
+      if batch then Twiglearn.Interactive.set_batch_lgg true;
+      if nocache then Twig.Contain.set_filter_cache ~enabled:false ();
+      if nostore then Twig.Eval.set_xmlstore false
+    in
+    Term.(const setup $ batch_lgg $ no_contain_cache $ no_xmlstore)
   in
   Cmd.v
     (Cmd.info "learn-twig"
@@ -1253,6 +1264,16 @@ let fuzz_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List the oracles and exit.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the oracles on a pool of $(docv) domains (0 = one per \
+             core).  Per-oracle PRNG streams are unchanged, so every oracle \
+             sees the same cases at any job count; oracles that flip \
+             process-global switches stay on the calling domain.")
+  in
   let replay_artifact path =
     let art =
       match Fuzz.Artifact.load path with
@@ -1280,7 +1301,7 @@ let fuzz_cmd =
           art.Fuzz.Artifact.size reason;
         exit 1
   in
-  let run () budget seed iters oracle_names max_size dir replay list_ =
+  let run () budget seed iters oracle_names max_size dir replay list_ jobs =
     if list_ then begin
       List.iter
         (fun o ->
@@ -1307,8 +1328,11 @@ let fuzz_cmd =
                                  "%S is not an oracle (try --list)" n))))
                 names
         in
+        let jobs =
+          if jobs = 0 then Core.Pool.recommended_size () else max 1 jobs
+        in
         let report =
-          Fuzz.Runner.run ~oracles ~budget ?dir ~max_size ~iters ~seed ()
+          Fuzz.Runner.run ~oracles ~budget ?dir ~max_size ~jobs ~iters ~seed ()
         in
         List.iter
           (fun (s : Fuzz.Runner.stats) ->
@@ -1345,7 +1369,8 @@ let fuzz_cmd =
           counterexample artifacts.")
     Term.(
       const run $ telemetry_term $ budget_term $ seed_term $ iters_arg
-      $ oracle_arg $ max_size_arg $ dir_arg $ replay_arg $ list_arg)
+      $ oracle_arg $ max_size_arg $ dir_arg $ replay_arg $ list_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)

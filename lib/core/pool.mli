@@ -49,6 +49,12 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map_array} over a list. *)
 
+val map_array_chunked : t -> chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map_array}, but one lock round dispatches [chunk] consecutive
+    items instead of a pool-derived slice, amortizing dispatch overhead
+    for micro-items.  [chunk] is clamped to [>= 1]; results are in input
+    order at every pool size and exceptions behave as in {!map_array}. *)
+
 val shutdown : t -> unit
 (** Stops and joins the worker domains; idempotent.  Further use of the
     pool is a programming error ([Invalid_argument]). *)

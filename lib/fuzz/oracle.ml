@@ -1444,9 +1444,104 @@ let telemetry_transparency =
     }
 
 (* ------------------------------------------------------------------ *)
+(* xmlstore-eval: index-backed twig evaluation (containment labels +   *)
+(* inverted lists + structural joins) ≡ the tree-walk reference, plus  *)
+(* store persistence round-trips byte-stably                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_xmlstore_eval (t, qs) =
+  let store = Xmlstore.Store.of_tree t in
+  let paths = Tree.all_paths t in
+  (* The store's path addressing must agree with the tree's. *)
+  let* () =
+    check_all
+      (fun p ->
+        match Xmlstore.Store.id_of_path store p with
+        | None -> failf "id_of_path lost node %s" (pstr Tree.pp_path p)
+        | Some id ->
+            let p' = Xmlstore.Store.path_of_id store id in
+            if p = p' then Ok ()
+            else
+              failf "path round trip %s -> %d -> %s" (pstr Tree.pp_path p) id
+                (pstr Tree.pp_path p'))
+      paths
+  in
+  (* Reload from bytes: same bytes out, same answers. *)
+  let bytes = Xmlstore.Store.to_bytes store in
+  match Xmlstore.Store.of_bytes bytes with
+  | Error e -> failf "of_bytes(to_bytes store) failed: %s" e
+  | Ok store' when not (Bytes.equal (Xmlstore.Store.to_bytes store') bytes) ->
+      failf "persisted store is not byte-stable across a reload"
+  | Ok store' ->
+  check_all
+    (fun q ->
+      let pat = Twig.Eval.to_pattern q in
+      let walked = Twig.Eval.select_walk q t in
+      check_all
+        (fun (tag, st) ->
+          let indexed = Xmlstore.Twigjoin.select_paths st pat in
+          if indexed <> walked then
+            failf "%s: indexed [%s] but tree-walk [%s] for %s" tag
+              (String.concat "; " (List.map (pstr Tree.pp_path) indexed))
+              (String.concat "; " (List.map (pstr Tree.pp_path) walked))
+              (Query.to_string q)
+          else
+            (* Per-node membership through the joined id set must match
+               the walk at every node, not just on the selected list. *)
+            let ids = Xmlstore.Twigjoin.select_array st pat in
+            let mask = Array.make (Xmlstore.Store.size st) false in
+            Array.iter (fun id -> mask.(id) <- true) ids;
+            check_all
+              (fun p ->
+                let member =
+                  match Xmlstore.Store.id_of_path st p with
+                  | Some id -> mask.(id)
+                  | None -> false
+                in
+                let walk_member = List.mem p walked in
+                if member = walk_member then Ok ()
+                else
+                  failf "%s: membership %b but tree-walk %b at %s for %s" tag
+                    member walk_member (pstr Tree.pp_path p)
+                    (Query.to_string q))
+              paths)
+        [ ("fresh", store); ("reloaded", store') ])
+    qs
+
+let xmlstore_eval =
+  Spec
+    { name = "xmlstore-eval";
+      about =
+        "index-backed Twigjoin ≡ tree-walk Eval on random trees and twigs; \
+         store round-trip is byte-stable";
+      generate =
+        (fun g ~size ->
+          let t = Gen.tree g ~size:(max 2 size) in
+          let qs =
+            List.init 3 (fun _ ->
+                if Prng.bool g then Gen.twig g ~size:(max 2 (size / 2))
+                else Gen.anchored_twig g ~size:(max 2 (size / 2)))
+          in
+          (t, qs));
+      check = check_xmlstore_eval;
+      candidates =
+        (fun (t, qs) ->
+          List.map (fun t' -> (t', qs)) (Shrink.tree t)
+          @ List.map (fun qs' -> (t, qs')) (Shrink.list_ Shrink.twig qs));
+      print =
+        (fun (t, qs) ->
+          Tree.to_string t ^ "\n"
+          ^ String.concat "\n" (List.map Query.to_string qs));
+      size_of =
+        (fun (t, qs) ->
+          Tree.size t + List.fold_left (fun n q -> n + Query.size q) 0 qs);
+    }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ eval_cache;
+    xmlstore_eval;
     contain_cache;
     contain_vs_eval;
     lgg_incremental;
@@ -1468,3 +1563,13 @@ let all =
   ]
 
 let find n = List.find_opt (fun o -> name o = n) all
+
+(* Oracles that flip process-global switches (the batch-LGG ablation,
+   the telemetry enable) or boot the in-process daemon cannot overlap
+   other oracles without perturbing them; the parallel runner keeps
+   these on the calling domain.  Everything else confines its state to
+   locals, unique temp files, or Domain.DLS caches. *)
+let serial_names =
+  [ "interact-batch"; "telemetry-transparency"; "server-crash-resume" ]
+
+let serial o = List.mem (name o) serial_names

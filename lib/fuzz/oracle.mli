@@ -31,3 +31,9 @@ val all : t list
 (** Every oracle, in reporting order. *)
 
 val find : string -> t option
+
+val serial : t -> bool
+(** Oracles that mutate process-global state (ablation switches, the
+    telemetry enable, the in-process daemon) and therefore must not run
+    concurrently with other oracles.  The parallel {!Runner} pins these
+    to the calling domain; everything else may run on pool workers. *)

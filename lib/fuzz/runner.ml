@@ -104,10 +104,7 @@ let run_oracle (Oracle.Spec o) ~budget ~dir ~max_size ~iters ~seed =
     failure,
     Result.is_error outcome )
 
-let run ?(oracles = Oracle.all) ?budget ?dir ?(max_size = 10) ~iters ~seed () =
-  let budget =
-    match budget with Some b -> b | None -> Core.Budget.unlimited ()
-  in
+let run_sequential ~oracles ~budget ~dir ~max_size ~iters ~seed =
   let interrupted = ref false in
   let stats, cexs =
     List.fold_left
@@ -125,6 +122,59 @@ let run ?(oracles = Oracle.all) ?budget ?dir ?(max_size = 10) ~iters ~seed () =
     counterexamples = List.rev cexs;
     interrupted = !interrupted;
   }
+
+(* Parallel mode: oracles are independent jobs — each owns its PRNG
+   stream (derived from the master seed and its name, exactly as in
+   sequential mode), its own temp files, and its own Domain.DLS caches —
+   so running them on a pool changes nothing about any oracle's cases.
+   Oracles flagged {!Oracle.serial} mutate process-global switches and
+   run on the calling domain after the parallel batch.  Stats keep the
+   input oracle order.  The only observable difference from jobs=1 is
+   under a budget: sequential mode stops scheduling oracles once the
+   fuel runs out, while parallel mode reports a (possibly interrupted)
+   entry for every oracle. *)
+let run_parallel ~oracles ~budget ~dir ~max_size ~iters ~seed ~jobs =
+  let arr = Array.of_list oracles in
+  let results = Array.make (Array.length arr) None in
+  let parallel, serial =
+    List.partition
+      (fun i -> not (Oracle.serial arr.(i)))
+      (List.init (Array.length arr) Fun.id)
+  in
+  let pool = Core.Pool.create jobs in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let par = Array.of_list parallel in
+      let out =
+        Core.Pool.map_array pool
+          (fun i -> run_oracle arr.(i) ~budget ~dir ~max_size ~iters ~seed)
+          par
+      in
+      Array.iteri (fun k i -> results.(i) <- Some out.(k)) par;
+      List.iter
+        (fun i ->
+          results.(i) <-
+            Some (run_oracle arr.(i) ~budget ~dir ~max_size ~iters ~seed))
+        serial);
+  let stats = ref [] and cexs = ref [] and interrupted = ref false in
+  for i = Array.length arr - 1 downto 0 do
+    match results.(i) with
+    | None -> ()
+    | Some (st, cex, hit_budget) ->
+        if hit_budget then interrupted := true;
+        stats := st :: !stats;
+        cexs := cex @ !cexs
+  done;
+  { stats = !stats; counterexamples = !cexs; interrupted = !interrupted }
+
+let run ?(oracles = Oracle.all) ?budget ?dir ?(max_size = 10) ?(jobs = 1)
+    ~iters ~seed () =
+  let budget =
+    match budget with Some b -> b | None -> Core.Budget.unlimited ()
+  in
+  if jobs <= 1 then run_sequential ~oracles ~budget ~dir ~max_size ~iters ~seed
+  else run_parallel ~oracles ~budget ~dir ~max_size ~iters ~seed ~jobs
 
 let replay (a : Artifact.t) =
   match Oracle.find a.Artifact.oracle with

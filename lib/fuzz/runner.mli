@@ -31,13 +31,26 @@ val run :
   ?budget:Core.Budget.t ->
   ?dir:string ->
   ?max_size:int ->
+  ?jobs:int ->
   iters:int ->
   seed:int ->
   unit ->
   report
 (** [oracles] defaults to {!Oracle.all}; [max_size] to 10; [budget] to
     unlimited (one fuel tick per case).  When [dir] is given, every
-    counterexample is saved there. *)
+    counterexample is saved there.
+
+    [jobs] (default 1) > 1 runs the oracles on a {!Core.Pool} of that
+    many lanes.  Per-oracle PRNG streams are derived exactly as in
+    sequential mode, and each oracle's state is confined to locals,
+    unique temp files, and domain-local caches, so every oracle sees the
+    same cases at every job count; {!Oracle.serial} oracles (which flip
+    process-global switches) run on the calling domain after the
+    parallel batch.  Stats stay in input oracle order.  Under a budget,
+    sequential mode stops scheduling oracles when fuel runs out, while
+    parallel mode reports an entry per oracle; the shared fuel counter is
+    decremented from all lanes without synchronization — ticks may be
+    lost, the cap is approximate. *)
 
 val replay :
   Artifact.t -> [ `Passed | `Failed of string | `Unknown_oracle of string ]

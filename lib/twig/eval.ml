@@ -7,6 +7,8 @@ type doc = {
   last_desc : int array;  (** descendants of [i] are ids in [i+1 .. last_desc.(i)] *)
   paths : Tree.path array;
   by_path : (Tree.path, int) Hashtbl.t;  (** inverse of [paths] *)
+  mutable store : Xmlstore.Store.t option;
+      (** labeled store for the index-backed fast path, built on demand *)
 }
 
 let index tree =
@@ -33,7 +35,7 @@ let index tree =
   in
   let root = go [] tree in
   assert (root = 0);
-  { tree; labels; children; last_desc; paths; by_path }
+  { tree; labels; children; last_desc; paths; by_path; store = None }
 
 let doc_tree d = d.tree
 let doc_size d = Array.length d.labels
@@ -108,7 +110,7 @@ let embeds doc compiled =
   in
   embed
 
-let select_ids doc (q : Query.t) =
+let select_ids_walk doc (q : Query.t) =
   let compiled = compile q in
   let embed = embeds doc compiled in
   let n = Array.length doc.labels in
@@ -165,8 +167,87 @@ let select_ids doc (q : Query.t) =
       done;
       !ids
 
+(* ------------------------------------------------------------------ *)
+(* The index-backed fast path                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [Xmlstore.Twigjoin] evaluates the same semantics with structural
+   joins over the store's containment labels and inverted name lists —
+   O(touched posting lists) per query instead of the walk's
+   O(|q|·|t|·depth) with its per-call memo matrix.  Both produce
+   ascending preorder ids, so swapping evaluators is invisible to every
+   caller (including journaled interactive sessions, which stay
+   byte-identical).  The walk remains as the differential reference and
+   as the [--no-xmlstore] ablation. *)
+
+let use_xmlstore = ref true
+let set_xmlstore on = use_xmlstore := on
+let xmlstore_enabled () = !use_xmlstore
+
+let m_join_evals = Core.Telemetry.Metrics.counter "learnq.twig.join_evals"
+let m_walk_evals = Core.Telemetry.Metrics.counter "learnq.twig.walk_evals"
+
+let to_pattern (q : Query.t) : Xmlstore.Pattern.t =
+  let conv_test = function
+    | Query.Wildcard -> Xmlstore.Pattern.Wild
+    | Query.Label l -> Xmlstore.Pattern.Name l
+  in
+  let conv_axis = function
+    | Query.Child -> Xmlstore.Pattern.Child
+    | Query.Descendant -> Xmlstore.Pattern.Descendant
+  in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec comp_filter (f : Query.filter) =
+    let id = !count in
+    incr count;
+    let subs = List.map (fun (a, g) -> (conv_axis a, comp_filter g)) f.fsubs in
+    acc := (id, { Xmlstore.Pattern.ftest = conv_test f.ftest; fedges = subs }) :: !acc;
+    id
+  in
+  let steps =
+    Array.of_list
+      (List.map
+         (fun (s : Query.step) ->
+           let es = List.map (fun (a, f) -> (conv_axis a, comp_filter f)) s.filters in
+           {
+             Xmlstore.Pattern.saxis = conv_axis s.axis;
+             stest = conv_test s.test;
+             sedges = es;
+           })
+         q)
+  in
+  let fnodes =
+    Array.make (max 1 !count) { Xmlstore.Pattern.ftest = Wild; fedges = [] }
+  in
+  List.iter (fun (id, fn) -> fnodes.(id) <- fn) !acc;
+  { Xmlstore.Pattern.fnodes = Array.sub fnodes 0 !count; steps }
+
+let store_of_doc doc =
+  match doc.store with
+  | Some s -> s
+  | None ->
+      let s = Xmlstore.Store.of_tree doc.tree in
+      doc.store <- Some s;
+      s
+
+let select_ids doc (q : Query.t) =
+  if q = [] then invalid_arg "Eval.select: empty query"
+  else if !use_xmlstore then begin
+    Core.Telemetry.Metrics.incr m_join_evals;
+    Xmlstore.Twigjoin.select_ids (store_of_doc doc) (to_pattern q)
+  end
+  else begin
+    Core.Telemetry.Metrics.incr m_walk_evals;
+    select_ids_walk doc q
+  end
+
 let select_doc doc q = List.map (fun id -> doc.paths.(id)) (select_ids doc q)
 let select q tree = select_doc (index tree) q
+
+let select_walk q tree =
+  let doc = index tree in
+  List.map (fun id -> doc.paths.(id)) (select_ids_walk doc q)
 
 (* ------------------------------------------------------------------ *)
 (* The single-node membership hot path                                 *)

@@ -23,6 +23,32 @@ val select_doc : doc -> Query.t -> Xmltree.Tree.path list
 
 val select : Query.t -> Xmltree.Tree.t -> Xmltree.Tree.path list
 
+(** {1 Index-backed fast path}
+
+    By default evaluation runs on {!Xmlstore}: documents are labeled once
+    (containment intervals + inverted name lists) and queries run as
+    structural joins ({!Xmlstore.Twigjoin}).  The bottom-up tree walk
+    remains available as the differential reference and the
+    [--no-xmlstore] ablation; both return identical answers in identical
+    (preorder) order, so interactive sessions behave byte-identically
+    either way. *)
+
+val set_xmlstore : bool -> unit
+(** Toggle the index-backed fast path (default [true]).  Process-global
+    ablation switch, CLI [--no-xmlstore]. *)
+
+val xmlstore_enabled : unit -> bool
+
+val to_pattern : Query.t -> Xmlstore.Pattern.t
+(** Lower a query to the store pattern shape. *)
+
+val store_of_doc : doc -> Xmlstore.Store.t
+(** The labeled store of an indexed document, built on first use. *)
+
+val select_walk : Query.t -> Xmltree.Tree.t -> Xmltree.Tree.path list
+(** Always the tree-walk evaluator, regardless of {!set_xmlstore} — the
+    reference implementation differential tests compare against. *)
+
 val selects : Query.t -> Xmltree.Tree.t -> Xmltree.Tree.path -> bool
 (** Membership of one node in the answer. *)
 

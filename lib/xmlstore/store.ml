@@ -1,0 +1,381 @@
+open Xmltree
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  last : ints;
+  parent : ints;
+  rank : ints;
+  level : ints;
+  name_ids : ints;
+  posting_offsets : ints;
+  posting_data : ints;
+  names : string array;
+  name_tbl : (string, int) Hashtbl.t;
+  mutable posting_cache : int array option array;
+  mutable all_ids_cache : int array option;
+  mutable stamp : int array;
+  mutable stamp_gen : int;
+}
+
+let make_ints n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let finish ~n ~last ~parent ~rank ~level ~name_ids ~posting_offsets
+    ~posting_data ~names =
+  let name_tbl = Hashtbl.create (Array.length names * 2) in
+  Array.iteri (fun k name -> Hashtbl.replace name_tbl name k) names;
+  {
+    n;
+    last;
+    parent;
+    rank;
+    level;
+    name_ids;
+    posting_offsets;
+    posting_data;
+    names;
+    name_tbl;
+    posting_cache = Array.make (Array.length names) None;
+    all_ids_cache = None;
+    stamp = Array.make n 0;
+    stamp_gen = 0;
+  }
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let last = make_ints n in
+  let parent = make_ints n in
+  let rank = make_ints n in
+  let level = make_ints n in
+  let name_ids = make_ints n in
+  let tbl = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let name_count = ref 0 in
+  let intern l =
+    match Hashtbl.find_opt tbl l with
+    | Some k -> k
+    | None ->
+        let k = !name_count in
+        incr name_count;
+        Hashtbl.add tbl l k;
+        rev_names := l :: !rev_names;
+        k
+  in
+  let counter = ref 0 in
+  let rec go pid rk lvl (node : Tree.t) =
+    let id = !counter in
+    incr counter;
+    parent.{id} <- pid;
+    rank.{id} <- rk;
+    level.{id} <- lvl;
+    name_ids.{id} <- intern node.label;
+    List.iteri (fun i c -> go id i (lvl + 1) c) node.children;
+    last.{id} <- !counter - 1
+  in
+  go (-1) 0 0 tree;
+  let m = !name_count in
+  let names = Array.of_list (List.rev !rev_names) in
+  (* Counting sort into CSR: postings come out in ascending preorder per
+     name because ids are visited in order. *)
+  let posting_offsets = make_ints (m + 1) in
+  let counts = Array.make (max 1 m) 0 in
+  for i = 0 to n - 1 do
+    counts.(name_ids.{i}) <- counts.(name_ids.{i}) + 1
+  done;
+  let total = ref 0 in
+  for k = 0 to m - 1 do
+    posting_offsets.{k} <- !total;
+    total := !total + counts.(k)
+  done;
+  posting_offsets.{m} <- !total;
+  let posting_data = make_ints n in
+  let cursor = Array.make (max 1 m) 0 in
+  for k = 0 to m - 1 do
+    cursor.(k) <- posting_offsets.{k}
+  done;
+  for i = 0 to n - 1 do
+    let k = name_ids.{i} in
+    posting_data.{cursor.(k)} <- i;
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  finish ~n ~last ~parent ~rank ~level ~name_ids ~posting_offsets
+    ~posting_data ~names
+
+let size t = t.n
+let label t id = t.names.(t.name_ids.{id})
+let last t id = t.last.{id}
+let level t id = t.level.{id}
+let parent t id = t.parent.{id}
+let is_ancestor t a d = a < d && d <= t.last.{a}
+let is_child t p c = c > 0 && t.parent.{c} = p
+let name_id t name = Hashtbl.find_opt t.name_tbl name
+
+let postings t name =
+  match name_id t name with
+  | None -> [||]
+  | Some k -> (
+      match t.posting_cache.(k) with
+      | Some arr -> arr
+      | None ->
+          let off = t.posting_offsets.{k} in
+          let len = t.posting_offsets.{k + 1} - off in
+          let arr = Array.init len (fun i -> t.posting_data.{off + i}) in
+          t.posting_cache.(k) <- Some arr;
+          arr)
+
+let all_ids t =
+  match t.all_ids_cache with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.init t.n Fun.id in
+      t.all_ids_cache <- Some arr;
+      arr
+
+let path_of_id t id =
+  let rec climb id acc =
+    if id <= 0 then acc else climb t.parent.{id} (t.rank.{id} :: acc)
+  in
+  if id < 0 || id >= t.n then invalid_arg "Store.path_of_id: id out of range"
+  else climb id []
+
+let id_of_path t path =
+  (* first child of [i] is [i+1]; the sibling after [j] is [last j + 1]. *)
+  let rec walk id = function
+    | [] -> Some id
+    | k :: rest ->
+        if k < 0 then None
+        else
+          let stop = t.last.{id} in
+          let rec child c j =
+            if c > stop then None
+            else if j = k then walk c rest
+            else child (t.last.{c} + 1) (j + 1)
+          in
+          child (id + 1) 0
+  in
+  if t.n = 0 then None else walk 0 path
+
+let fresh_stamp t =
+  if Array.length t.stamp < t.n then t.stamp <- Array.make t.n 0;
+  t.stamp_gen <- t.stamp_gen + 1;
+  (t.stamp, t.stamp_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: the LQXSTORE layout                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* 32-byte header:
+     bytes  0..7   magic "LQXSTORE"
+     bytes  8..15  format sentinel (int64 LE) — version and byte order
+     bytes 16..23  n (int64 LE)
+     bytes 24..31  m = distinct names (int64 LE)
+   then the numeric region, 6n+m+1 int64 LE words, 8-byte aligned at
+   offset 32 so it can be memory-mapped directly:
+     last[n] parent[n] rank[n] level[n] name_ids[n]
+     posting_offsets[m+1] posting_data[n]
+   then the name table: for each name, int64 LE length followed by the
+   raw bytes. *)
+
+let magic = "LQXSTORE"
+let sentinel = 0x4c51585331_4c45L (* "LQXS1" ++ "LE": format 1, little endian *)
+let header_bytes = 32
+let words t = (6 * t.n) + Bigarray.Array1.dim t.posting_offsets
+
+let to_bytes t =
+  let buf = Buffer.create (header_bytes + (8 * words t) + 64) in
+  Buffer.add_string buf magic;
+  Buffer.add_int64_le buf sentinel;
+  Buffer.add_int64_le buf (Int64.of_int t.n);
+  Buffer.add_int64_le buf (Int64.of_int (Array.length t.names));
+  let dump (a : ints) =
+    for i = 0 to Bigarray.Array1.dim a - 1 do
+      Buffer.add_int64_le buf (Int64.of_int a.{i})
+    done
+  in
+  dump t.last;
+  dump t.parent;
+  dump t.rank;
+  dump t.level;
+  dump t.name_ids;
+  dump t.posting_offsets;
+  dump t.posting_data;
+  Array.iter
+    (fun name ->
+      Buffer.add_int64_le buf (Int64.of_int (String.length name));
+      Buffer.add_string buf name)
+    t.names;
+  Buffer.to_bytes buf
+
+let decode_err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let of_bytes bytes =
+  let len = Bytes.length bytes in
+  if len < header_bytes then decode_err "xmlstore: truncated header"
+  else if not (String.equal (Bytes.sub_string bytes 0 8) magic) then
+    decode_err "xmlstore: bad magic"
+  else if Bytes.get_int64_le bytes 8 <> sentinel then
+    decode_err "xmlstore: unknown format sentinel"
+  else
+    let n = Int64.to_int (Bytes.get_int64_le bytes 16) in
+    let m = Int64.to_int (Bytes.get_int64_le bytes 24) in
+    let word_count = (6 * n) + m + 1 in
+    if n < 1 || m < 1 || m > n then decode_err "xmlstore: bad counts"
+    else if len < header_bytes + (8 * word_count) then
+      decode_err "xmlstore: truncated numeric region"
+    else begin
+      let pos = ref header_bytes in
+      let read_ints count =
+        let a = make_ints count in
+        for i = 0 to count - 1 do
+          a.{i} <- Int64.to_int (Bytes.get_int64_le bytes !pos);
+          pos := !pos + 8
+        done;
+        a
+      in
+      let last = read_ints n in
+      let parent = read_ints n in
+      let rank = read_ints n in
+      let level = read_ints n in
+      let name_ids = read_ints n in
+      let posting_offsets = read_ints (m + 1) in
+      let posting_data = read_ints n in
+      let names = Array.make m "" in
+      let bad = ref None in
+      (try
+         for k = 0 to m - 1 do
+           if len < !pos + 8 then raise Exit;
+           let l = Int64.to_int (Bytes.get_int64_le bytes !pos) in
+           pos := !pos + 8;
+           if l < 0 || len < !pos + l then raise Exit;
+           names.(k) <- Bytes.sub_string bytes !pos l;
+           pos := !pos + l
+         done
+       with Exit -> bad := Some "xmlstore: truncated name table");
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+          Ok
+            (finish ~n ~last ~parent ~rank ~level ~name_ids ~posting_offsets
+               ~posting_data ~names)
+    end
+
+let save ?(fsync = false) t path =
+  let bytes = to_bytes t in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written :=
+          !written + Unix.write fd bytes !written (len - !written)
+      done;
+      if fsync then Unix.fsync fd);
+  if fsync then begin
+    (* Durability includes the directory entry: a store that survives a
+       crash but cannot be found by name is not persisted. *)
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | dirfd ->
+        Fun.protect
+          ~finally:(fun () -> Unix.close dirfd)
+          (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  end
+
+let mmap_supported = Sys.word_size = 64 && not Sys.big_endian
+
+let read_file path =
+  let ic = In_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () -> In_channel.close ic)
+    (fun () -> In_channel.input_all ic)
+
+let load_mmap path =
+  let header = Bytes.create header_bytes in
+  let ic = In_channel.open_bin path in
+  let ok =
+    Fun.protect
+      ~finally:(fun () -> In_channel.close ic)
+      (fun () -> In_channel.really_input_string ic header_bytes)
+  in
+  match ok with
+  | None -> decode_err "xmlstore: truncated header"
+  | Some hdr ->
+      Bytes.blit_string hdr 0 header 0 header_bytes;
+      if not (String.equal (String.sub hdr 0 8) magic) then
+        decode_err "xmlstore: bad magic"
+      else if Bytes.get_int64_le header 8 <> sentinel then
+        decode_err "xmlstore: unknown format sentinel"
+      else
+        let n = Int64.to_int (Bytes.get_int64_le header 16) in
+        let m = Int64.to_int (Bytes.get_int64_le header 24) in
+        let word_count = (6 * n) + m + 1 in
+        if n < 1 || m < 1 || m > n then decode_err "xmlstore: bad counts"
+        else
+          let file_len = (Unix.stat path).Unix.st_size in
+          if file_len < header_bytes + (8 * word_count) then
+            decode_err "xmlstore: truncated numeric region"
+          else begin
+            let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+            let all =
+              Fun.protect
+                ~finally:(fun () -> Unix.close fd)
+                (fun () ->
+                  Bigarray.array1_of_genarray
+                    (Unix.map_file fd ~pos:(Int64.of_int header_bytes)
+                       Bigarray.int Bigarray.c_layout false [| word_count |]))
+            in
+            let pos = ref 0 in
+            let slice count =
+              let s = Bigarray.Array1.sub all !pos count in
+              pos := !pos + count;
+              s
+            in
+            let last = slice n in
+            let parent = slice n in
+            let rank = slice n in
+            let level = slice n in
+            let name_ids = slice n in
+            let posting_offsets = slice (m + 1) in
+            let posting_data = slice n in
+            (* The name table is tiny; read it through the channel. *)
+            let body = read_file path in
+            let names = Array.make m "" in
+            let bpos = ref (header_bytes + (8 * word_count)) in
+            let blen = String.length body in
+            let bad = ref None in
+            (try
+               for k = 0 to m - 1 do
+                 if blen < !bpos + 8 then raise Exit;
+                 let l =
+                   Int64.to_int
+                     (Bytes.get_int64_le
+                        (Bytes.unsafe_of_string body)
+                        !bpos)
+                 in
+                 bpos := !bpos + 8;
+                 if l < 0 || blen < !bpos + l then raise Exit;
+                 names.(k) <- String.sub body !bpos l;
+                 bpos := !bpos + l
+               done
+             with Exit -> bad := Some "xmlstore: truncated name table");
+            match !bad with
+            | Some msg -> Error msg
+            | None ->
+                Ok
+                  (finish ~n ~last ~parent ~rank ~level ~name_ids
+                     ~posting_offsets ~posting_data ~names)
+          end
+
+let load ?(mmap = true) path =
+  match
+    if mmap && mmap_supported then load_mmap path
+    else of_bytes (Bytes.unsafe_of_string (read_file path))
+  with
+  | result -> result
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)

@@ -1,0 +1,160 @@
+(* All node lists here are ascending preorder ids.  Base lists come from
+   the store's caches and must not be mutated; every join allocates its
+   output. *)
+
+let test_list store = function
+  | Pattern.Wild -> Store.all_ids store
+  | Pattern.Name l -> Store.postings store l
+
+(* Keep the entries of [anc] that have a proper descendant in [desc].
+   Both ascending; one forward pass.  Because descendants of [a] occupy
+   the contiguous id interval (a, last a], it is enough to look at the
+   smallest remaining element of [desc] past [a]. *)
+let semijoin_desc store anc desc =
+  let la = Array.length anc and ld = Array.length desc in
+  if la = 0 || ld = 0 then [||]
+  else begin
+    let out = Array.make la 0 in
+    let count = ref 0 in
+    let j = ref 0 in
+    for i = 0 to la - 1 do
+      let a = anc.(i) in
+      while !j < ld && desc.(!j) <= a do
+        incr j
+      done;
+      if !j < ld && desc.(!j) <= Store.last store a then begin
+        out.(!count) <- a;
+        incr count
+      end
+    done;
+    Array.sub out 0 !count
+  end
+
+(* Keep the entries of [par] that have a child in [ch]: stamp every
+   child's parent, then filter. *)
+let semijoin_child store par ch =
+  if Array.length par = 0 || Array.length ch = 0 then [||]
+  else begin
+    let stamp, gen = Store.fresh_stamp store in
+    Array.iter
+      (fun c -> if c > 0 then stamp.(Store.parent store c) <- gen)
+      ch;
+    let out = Array.make (Array.length par) 0 in
+    let count = ref 0 in
+    Array.iter
+      (fun p ->
+        if stamp.(p) = gen then begin
+          out.(!count) <- p;
+          incr count
+        end)
+      par;
+    Array.sub out 0 !count
+  end
+
+(* Keep the entries of [self] that have a proper ancestor in [ctx]: the
+   PathStack scan.  Walking both lists in document order, the stack holds
+   the ctx entries whose intervals are still open at the current id; a
+   self entry matches iff the stack is non-empty once stale tops are
+   popped.  (Intervals nest or are disjoint, so ancestors of the current
+   id form a stack suffix.) *)
+let chain_desc store ctx self =
+  let lc = Array.length ctx and ls = Array.length self in
+  if lc = 0 || ls = 0 then [||]
+  else begin
+    let stack = Array.make lc 0 in
+    let sp = ref 0 in
+    let out = Array.make ls 0 in
+    let count = ref 0 in
+    let i = ref 0 in
+    for k = 0 to ls - 1 do
+      let d = self.(k) in
+      while !i < lc && ctx.(!i) < d do
+        stack.(!sp) <- ctx.(!i);
+        incr sp;
+        incr i
+      done;
+      while !sp > 0 && Store.last store stack.(!sp - 1) < d do
+        decr sp
+      done;
+      if !sp > 0 then begin
+        out.(!count) <- d;
+        incr count
+      end
+    done;
+    Array.sub out 0 !count
+  end
+
+(* Keep the entries of [self] whose parent is in [ctx]. *)
+let chain_child store ctx self =
+  if Array.length ctx = 0 || Array.length self = 0 then [||]
+  else begin
+    let stamp, gen = Store.fresh_stamp store in
+    Array.iter (fun p -> stamp.(p) <- gen) ctx;
+    let out = Array.make (Array.length self) 0 in
+    let count = ref 0 in
+    Array.iter
+      (fun c ->
+        if c > 0 && stamp.(Store.parent store c) = gen then begin
+          out.(!count) <- c;
+          incr count
+        end)
+      self;
+    Array.sub out 0 !count
+  end
+
+let select_array store (pat : Pattern.t) =
+  if Array.length pat.steps = 0 then
+    invalid_arg "Twigjoin.select: empty query";
+  (* Bottom-up filter reduction: children have larger ids than their
+     parent, so a descending pass sees every child list before it is
+     joined into its parent. *)
+  let nf = Array.length pat.fnodes in
+  let flists = Array.make nf [||] in
+  for j = nf - 1 downto 0 do
+    let fn = pat.fnodes.(j) in
+    flists.(j) <-
+      List.fold_left
+        (fun acc (axis, sub) ->
+          match axis with
+          | Pattern.Child -> semijoin_child store acc flists.(sub)
+          | Pattern.Descendant -> semijoin_desc store acc flists.(sub))
+        (test_list store fn.ftest)
+        fn.fedges
+  done;
+  let self_list (stest, sedges) =
+    List.fold_left
+      (fun acc (axis, sub) ->
+        match axis with
+        | Pattern.Child -> semijoin_child store acc flists.(sub)
+        | Pattern.Descendant -> semijoin_desc store acc flists.(sub))
+      (test_list store stest)
+      sedges
+  in
+  let first = pat.steps.(0) in
+  let first_self = self_list (first.stest, first.sedges) in
+  (* The first step is relative to a virtual root above the document:
+     Child admits only the real root, Descendant any node. *)
+  let ctx =
+    ref
+      (match first.saxis with
+      | Pattern.Descendant -> first_self
+      | Pattern.Child ->
+          if Array.length first_self > 0 && first_self.(0) = 0 then [| 0 |]
+          else [||])
+  in
+  for k = 1 to Array.length pat.steps - 1 do
+    if Array.length !ctx > 0 then begin
+      let st = pat.steps.(k) in
+      let self = self_list (st.stest, st.sedges) in
+      ctx :=
+        (match st.saxis with
+        | Pattern.Child -> chain_child store !ctx self
+        | Pattern.Descendant -> chain_desc store !ctx self)
+    end
+  done;
+  !ctx
+
+let select_ids store pat = Array.to_list (select_array store pat)
+
+let select_paths store pat =
+  List.map (Store.path_of_id store) (select_ids store pat)

@@ -1,0 +1,28 @@
+(** Holistic twig evaluation over a labeled store.
+
+    Every pattern node draws its candidates from the store's inverted name
+    list (document order), and structure is enforced by merge-style
+    structural joins on the containment labels — no tree walk, no
+    per-query memo matrix:
+
+    - filters are reduced bottom-up with {e semijoins}: an ancestor/parent
+      list is filtered to the entries that own a witness in the child
+      list, by a two-pointer interval scan (descendant) or a
+      generation-stamped parent mark (child);
+    - the spine is chained top-down with a TwigStack-style stack of open
+      containment intervals, so each step is one linear merge of the
+      context list against the next name stream.
+
+    Complexity is O(sum of the touched posting lists) per query instead of
+    O(|q|·|t|·depth).  Results are preorder-ascending node ids — exactly
+    the order the tree-walk evaluator produces, so the two are
+    differentially comparable element for element. *)
+
+val select_array : Store.t -> Pattern.t -> int array
+(** Matching node ids, ascending.  Raises [Invalid_argument] on an empty
+    spine. *)
+
+val select_ids : Store.t -> Pattern.t -> int list
+
+val select_paths : Store.t -> Pattern.t -> Xmltree.Tree.path list
+(** {!select_ids} mapped through {!Store.path_of_id}. *)

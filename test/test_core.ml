@@ -599,6 +599,49 @@ let test_pool_exception_propagates () =
         (Array.map succ xs)
         (Core.Pool.map_array pool succ xs))
 
+let test_pool_chunked_deterministic () =
+  let xs = Array.init 257 Fun.id in
+  let expect = Array.map (fun x -> x * 3) xs in
+  List.iter
+    (fun size ->
+      let pool = Core.Pool.create size in
+      Fun.protect
+        ~finally:(fun () -> Core.Pool.shutdown pool)
+        (fun () ->
+          List.iter
+            (fun chunk ->
+              check
+                (Alcotest.array Alcotest.int)
+                (Printf.sprintf "pool %d chunk %d" size chunk)
+                expect
+                (Core.Pool.map_array_chunked pool ~chunk (fun x -> x * 3) xs))
+            (* 0 exercises the clamp; 1000 exceeds the input length. *)
+            [ 0; 1; 3; 64; 1000 ];
+          check
+            (Alcotest.array Alcotest.int)
+            (Printf.sprintf "empty at pool %d" size)
+            [||]
+            (Core.Pool.map_array_chunked pool ~chunk:4 succ [||])))
+    [ 1; 2; 4 ]
+
+let test_pool_chunked_exception_propagates () =
+  let pool = Core.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Core.Pool.shutdown pool)
+    (fun () ->
+      let xs = Array.init 100 Fun.id in
+      (match
+         Core.Pool.map_array_chunked pool ~chunk:7
+           (fun x -> if x >= 40 then failwith (string_of_int x) else x)
+           xs
+       with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          check Alcotest.string "lowest-index exception" "40" msg);
+      check (Alcotest.array Alcotest.int) "usable after failure"
+        (Array.map succ xs)
+        (Core.Pool.map_array_chunked pool ~chunk:7 succ xs))
+
 let test_pool_default_resize () =
   let before = Core.Pool.default_size () in
   Fun.protect
@@ -694,6 +737,10 @@ let () =
             test_pool_empty_and_singleton;
           Alcotest.test_case "exception propagates" `Quick
             test_pool_exception_propagates;
+          Alcotest.test_case "chunked determinism" `Quick
+            test_pool_chunked_deterministic;
+          Alcotest.test_case "chunked exception propagates" `Quick
+            test_pool_chunked_exception_propagates;
           Alcotest.test_case "default resize" `Quick test_pool_default_resize;
         ] );
       ( "stats",

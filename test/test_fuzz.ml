@@ -139,6 +139,23 @@ let test_runner_budget () =
     "ran at most the budget" true
     ((List.hd report.stats).runs <= 5)
 
+(* Parallel dispatch must not perturb the per-oracle PRNG streams: the
+   report (stats in oracle order, counterexamples, interruption flag) is
+   identical whatever [jobs] is. *)
+let test_runner_jobs_deterministic () =
+  let oracles =
+    [ find "roundtrip-twig"; find "roundtrip-csv"; find "xmlstore-eval" ]
+  in
+  let run jobs = Fuzz.Runner.run ~oracles ~jobs ~iters:25 ~seed:11 () in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "report at jobs=%d equals jobs=1" jobs)
+        true (r = r1))
+    [ 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* Acceptance demo: an injected engine bug is caught and minimized      *)
 (* ------------------------------------------------------------------ *)
@@ -220,6 +237,8 @@ let () =
         [
           Alcotest.test_case "green run" `Quick test_runner_green;
           Alcotest.test_case "budget interrupt" `Quick test_runner_budget;
+          Alcotest.test_case "jobs determinism" `Quick
+            test_runner_jobs_deterministic;
         ] );
       ( "acceptance",
         [

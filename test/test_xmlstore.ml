@@ -1,0 +1,296 @@
+(* Tests for lib/xmlstore: the containment-interval labeling, the inverted
+   name lists, the LQXSTORE persistent layout, the holistic twig join
+   against the reference tree walk, and sharded-corpus determinism. *)
+
+module Tree = Xmltree.Tree
+module Store = Xmlstore.Store
+module Twigjoin = Xmlstore.Twigjoin
+module Corpus = Xmlstore.Corpus
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let doc =
+  Tree.node "site"
+    [
+      Tree.node "people"
+        [
+          Tree.node "person"
+            [ Tree.leaf "name"; Tree.node "profile" [ Tree.leaf "education" ] ];
+          Tree.node "person" [ Tree.leaf "name" ];
+        ];
+      Tree.node "regions" [ Tree.node "person" [ Tree.leaf "name" ] ];
+    ]
+
+(* A generated tree of a given size and seed, via the fuzz generators. *)
+let gen_tree ~seed ~size = Fuzz.Gen.tree (Core.Prng.create seed) ~size
+
+let is_path_prefix p q =
+  let rec go p q =
+    match (p, q) with
+    | [], _ :: _ -> true
+    | x :: p', y :: q' -> x = y && go p' q'
+    | _, [] -> false
+  in
+  go p q
+
+(* ------------------------------------------------------------------ *)
+(* Labeling invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_labeling_small () =
+  let s = Store.of_tree doc in
+  check Alcotest.int "size" (Tree.size doc) (Store.size s);
+  check Alcotest.string "root label" "site" (Store.label s 0);
+  check Alcotest.int "root parent" (-1) (Store.parent s 0);
+  check Alcotest.int "root level" 0 (Store.level s 0);
+  check Alcotest.int "root interval covers all"
+    (Store.size s - 1)
+    (Store.last s 0)
+
+(* is_ancestor through the intervals must coincide with proper path
+   prefixing, on every ordered pair of nodes. *)
+let prop_intervals_are_ancestry =
+  QCheck.Test.make ~name:"interval nesting = path-prefix ancestry" ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, size) ->
+      let t = gen_tree ~seed ~size in
+      let s = Store.of_tree t in
+      let n = Store.size s in
+      let path = Array.init n (Store.path_of_id s) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          let by_interval = Store.is_ancestor s a d in
+          let by_path = is_path_prefix path.(a) path.(d) in
+          if by_interval <> by_path then ok := false
+        done
+      done;
+      !ok)
+
+let prop_levels_and_parents =
+  QCheck.Test.make ~name:"level = path length; parent drops one step"
+    ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, size) ->
+      let t = gen_tree ~seed ~size in
+      let s = Store.of_tree t in
+      let n = Store.size s in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let p = Store.path_of_id s i in
+        if Store.level s i <> List.length p then ok := false;
+        (match (Store.parent s i, Tree.parent_path p) with
+        | -1, None -> ()
+        | pid, Some pp when pid >= 0 && Store.path_of_id s pid = pp -> ()
+        | _ -> ok := false);
+        if not (Store.is_child s (Store.parent s i) i) && i > 0 then
+          ok := false
+      done;
+      !ok)
+
+let prop_path_round_trip =
+  QCheck.Test.make ~name:"id_of_path inverts path_of_id on every node"
+    ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, size) ->
+      let t = gen_tree ~seed ~size in
+      let s = Store.of_tree t in
+      List.for_all
+        (fun p ->
+          match Store.id_of_path s p with
+          | None -> false
+          | Some id -> Store.path_of_id s id = p)
+        (Tree.all_paths t)
+      && Store.id_of_path s [ Store.size s + 7 ] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Inverted name lists                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_postings_document_order =
+  QCheck.Test.make
+    ~name:"postings: exactly the name's nodes, ascending preorder" ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, size) ->
+      let t = gen_tree ~seed ~size in
+      let s = Store.of_tree t in
+      let n = Store.size s in
+      let names =
+        List.sort_uniq compare (List.init n (fun i -> Store.label s i))
+      in
+      List.for_all
+        (fun name ->
+          let expected =
+            List.filter (fun i -> Store.label s i = name) (List.init n Fun.id)
+          in
+          Array.to_list (Store.postings s name) = expected)
+        names
+      && Store.postings s "no-such-element-name" = [||])
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bytes_round_trip =
+  QCheck.Test.make ~name:"of_bytes(to_bytes s) is byte-stable" ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, size) ->
+      let t = gen_tree ~seed ~size in
+      let s = Store.of_tree t in
+      let b = Store.to_bytes s in
+      Bytes.equal b (Store.to_bytes s)
+      &&
+      match Store.of_bytes b with
+      | Error _ -> false
+      | Ok s' -> Bytes.equal b (Store.to_bytes s'))
+
+let test_save_load_file () =
+  let t = gen_tree ~seed:11 ~size:60 in
+  let s = Store.of_tree t in
+  let path = Filename.temp_file "lqx-test" ".lqx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save ~fsync:true s path;
+      List.iter
+        (fun mmap ->
+          match Store.load ~mmap path with
+          | Error e -> Alcotest.failf "load (mmap=%b): %s" mmap e
+          | Ok s' ->
+              check Alcotest.bool
+                (Printf.sprintf "reload (mmap=%b) is byte-stable" mmap)
+                true
+                (Bytes.equal (Store.to_bytes s) (Store.to_bytes s')))
+        [ true; false ])
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "lqx-test" ".lqx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a store";
+      close_out oc;
+      match Store.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "load accepted garbage")
+
+(* ------------------------------------------------------------------ *)
+(* Twig join vs the reference walk                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_twigjoin_matches_walk =
+  QCheck.Test.make ~name:"holistic join = tree walk on random twigs"
+    ~count:120
+    QCheck.(triple small_int small_int (int_range 1 40))
+    (fun (seed, qseed, size) ->
+      let t = gen_tree ~seed ~size in
+      let q = Fuzz.Gen.twig (Core.Prng.create qseed) ~size:(1 + (size mod 6)) in
+      let s = Store.of_tree t in
+      let pat = Twig.Eval.to_pattern q in
+      Twigjoin.select_paths s pat = Twig.Eval.select_walk q t)
+
+let prop_twigjoin_matches_walk_anchored =
+  QCheck.Test.make ~name:"holistic join = tree walk on anchored twigs"
+    ~count:120
+    QCheck.(triple small_int small_int (int_range 1 40))
+    (fun (seed, qseed, size) ->
+      let t = gen_tree ~seed ~size in
+      let q =
+        Fuzz.Gen.anchored_twig (Core.Prng.create qseed)
+          ~size:(1 + (size mod 6))
+      in
+      let s = Store.of_tree t in
+      let pat = Twig.Eval.to_pattern q in
+      Twigjoin.select_paths s pat = Twig.Eval.select_walk q t)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool size f =
+  let pool = Core.Pool.create size in
+  Fun.protect ~finally:(fun () -> Core.Pool.shutdown pool) (fun () -> f pool)
+
+let test_corpus_deterministic_across_pools () =
+  let trees = Array.init 7 (fun i -> gen_tree ~seed:(50 + i) ~size:30) in
+  let corpus = Corpus.of_trees trees in
+  let q = Twig.Parse.query "//a[b]/c" in
+  let pat = Twig.Eval.to_pattern q in
+  let baseline = Corpus.select corpus pat in
+  let counts = Corpus.map corpus (fun _ s -> Store.size s) in
+  List.iter
+    (fun psize ->
+      with_pool psize (fun pool ->
+          check
+            Alcotest.(array (list int))
+            (Printf.sprintf "select agrees at pool %d" psize)
+            baseline
+            (Corpus.select ~pool corpus pat);
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "map agrees at pool %d" psize)
+            counts
+            (Corpus.map ~pool corpus (fun _ s -> Store.size s));
+          List.iter
+            (fun chunk ->
+              check
+                Alcotest.(array int)
+                (Printf.sprintf "map agrees at pool %d chunk %d" psize chunk)
+                counts
+                (Corpus.map ~pool ~chunk corpus (fun _ s -> Store.size s)))
+            [ 2; 3; 100 ]))
+    [ 1; 2; 4 ];
+  check Alcotest.int "shards" 7 (Corpus.shards corpus);
+  check Alcotest.int "total nodes"
+    (Array.fold_left (fun a t -> a + Tree.size t) 0 trees)
+    (Corpus.total_nodes corpus)
+
+let test_corpus_parallel_labeling () =
+  let trees = Array.init 5 (fun i -> gen_tree ~seed:(80 + i) ~size:25) in
+  let sequential = Corpus.of_trees trees in
+  with_pool 3 (fun pool ->
+      let parallel = Corpus.of_trees ~pool trees in
+      for i = 0 to Corpus.shards sequential - 1 do
+        check Alcotest.bool
+          (Printf.sprintf "shard %d labels equal" i)
+          true
+          (Bytes.equal
+             (Store.to_bytes (Corpus.store sequential i))
+             (Store.to_bytes (Corpus.store parallel i)))
+      done)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "xmlstore"
+    [
+      ( "labeling",
+        [
+          Alcotest.test_case "small document" `Quick test_labeling_small;
+          qcheck prop_intervals_are_ancestry;
+          qcheck prop_levels_and_parents;
+          qcheck prop_path_round_trip;
+        ] );
+      ("postings", [ qcheck prop_postings_document_order ]);
+      ( "persistence",
+        [
+          qcheck prop_bytes_round_trip;
+          Alcotest.test_case "save/load file" `Quick test_save_load_file;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_load_rejects_garbage;
+        ] );
+      ( "twigjoin",
+        [
+          qcheck prop_twigjoin_matches_walk;
+          qcheck prop_twigjoin_matches_walk_anchored;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "pool determinism" `Quick
+            test_corpus_deterministic_across_pools;
+          Alcotest.test_case "parallel labeling" `Quick
+            test_corpus_parallel_labeling;
+        ] );
+    ]
