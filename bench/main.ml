@@ -12,7 +12,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6 | pr7 | pr8 | pr9]...";
+    "usage: main.exe [--timeout SECS] [e1 .. e17 | micro | pr2 | pr3 | pr4 | pr5 | pr6 | pr7 | pr8 | pr9 | pr10]...";
   print_endline "  with no arguments, runs every experiment and the";
   print_endline "  bechamel micro-benchmarks.";
   print_endline "  LEARNQ_TIMEOUT=SECS caps the whole run (like --timeout).";
@@ -64,6 +64,7 @@ let () =
         | "pr7" -> guarded "pr7" Storage.run
         | "pr8" -> guarded "pr8" Soak.run
         | "pr9" -> guarded "pr9" Corpusbench.run
+        | "pr10" -> guarded "pr10" Sustain.run
         | _ -> usage ())
   in
   match names with
@@ -77,5 +78,6 @@ let () =
       guarded "pr6" Serve.run;
       guarded "pr7" Storage.run;
       guarded "pr8" Soak.run;
-      guarded "pr9" Corpusbench.run
+      guarded "pr9" Corpusbench.run;
+      guarded "pr10" Sustain.run
   | names -> List.iter run_experiment names

@@ -1422,6 +1422,34 @@ let serve_cmd =
       & info [ "max-conns" ] ~docv:"N"
           ~doc:"Concurrent connections; excess are refused with 503.")
   in
+  let io_threads_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "io-threads" ] ~docv:"N"
+          ~doc:
+            "Worker threads executing request handlers.  The connection \
+             multiplexer parks idle keep-alive connections on a poll loop \
+             at zero thread cost, so the server's whole I/O thread budget \
+             is $(docv)+1 regardless of how many clients stay connected.")
+  in
+  let max_idle_conns_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-idle-conns" ] ~docv:"N"
+          ~doc:
+            "Cap on parked idle keep-alive connections (0 = unlimited); \
+             beyond it the longest-idle are closed first.")
+  in
+  let request_deadline_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "request-deadline" ] ~docv:"SECS"
+          ~doc:
+            "Slow-request deadline: a request whose bytes are still \
+             trickling in $(docv) seconds after its first byte gets a 408 \
+             and the connection is closed — without ever costing a \
+             thread.")
+  in
   let tenants_arg =
     Arg.(
       value
@@ -1523,10 +1551,10 @@ let serve_cmd =
              tenants, slow, flightrecorder).  Disable on exposed \
              deployments.")
   in
-  let run () host port state_dir pool max_queue max_conns tenants_file
-      step_fuel step_timeout sync drain_grace checkpoint_every
-      max_live_sessions idle_evict_after slow_ms stall_after
-      flight_recorder_size debug_endpoints =
+  let run () host port state_dir pool max_queue max_conns io_threads
+      max_idle_conns request_deadline tenants_file step_fuel step_timeout
+      sync drain_grace checkpoint_every max_live_sessions idle_evict_after
+      slow_ms stall_after flight_recorder_size debug_endpoints =
     let tenants =
       match tenants_file with
       | None -> Server.Tenant.make []
@@ -1545,6 +1573,9 @@ let serve_cmd =
         pool;
         max_queue;
         max_conns;
+        io_threads;
+        max_idle_conns;
+        request_deadline;
         sync = Option.value ~default:Core.Journal.Batch sync;
         tenants;
         step_fuel;
@@ -1584,7 +1615,8 @@ let serve_cmd =
           admission control, and graceful drain on SIGTERM.")
     Term.(
       const run $ telemetry_term $ host_arg $ port_arg $ state_dir_arg
-      $ serve_pool_arg $ max_queue_arg $ max_conns_arg $ tenants_arg
+      $ serve_pool_arg $ max_queue_arg $ max_conns_arg $ io_threads_arg
+      $ max_idle_conns_arg $ request_deadline_arg $ tenants_arg
       $ step_fuel_arg $ step_timeout_arg $ journal_sync_arg $ drain_grace_arg
       $ serve_checkpoint_arg $ max_live_sessions_arg $ idle_evict_arg
       $ slow_ms_arg $ stall_after_arg $ flight_recorder_size_arg

@@ -815,6 +815,207 @@ let parser_total =
     }
 
 (* ------------------------------------------------------------------ *)
+(* http-incremental-parse: the mux's resumable parser, fed the same    *)
+(* byte stream split at arbitrary fuzzed boundaries, produces exactly  *)
+(* the whole-buffer parse_head+body result                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The connection multiplexer sees a request in however many fragments
+   the kernel hands it — a TCP segment boundary can fall anywhere,
+   including mid-terminator and mid-Content-Length value.  The contract:
+   the incremental parser's output (request sequence, sticky framing
+   error, or "more bytes needed") is a pure function of the concatenated
+   bytes, independent of where the cuts fall.  The reference below is an
+   independent whole-buffer parser built directly on [Http.parse_head]. *)
+
+type hp_case = {
+  hp_stream : string;
+  hp_cuts : int list;  (** split positions; clamped and deduped at use *)
+}
+
+(* Small caps so generated cases actually exercise the limits. *)
+let hp_max_head = 512
+let hp_max_body = 1024
+
+type hp_final = Hp_err of string | Hp_pending of bool
+
+let hp_term s =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, 2)
+    else if
+      i + 3 < n
+      && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i, 4)
+    else go (i + 1)
+  in
+  go 0
+
+let rec hp_reference acc s =
+  match hp_term s with
+  | None ->
+      if String.length s > hp_max_head then
+        (List.rev acc, Hp_err "request head too large")
+      else (List.rev acc, Hp_pending (String.length s > 0))
+  | Some (i, tlen) -> (
+      if i > hp_max_head then (List.rev acc, Hp_err "request head too large")
+      else
+        match Server.Http.parse_head (String.sub s 0 i) with
+        | Error msg -> (List.rev acc, Hp_err msg)
+        | Ok req -> (
+            let cl =
+              match Server.Http.header "content-length" req with
+              | None -> Ok 0
+              | Some v -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok n
+                  | _ -> Error (Printf.sprintf "bad content-length %S" v))
+            in
+            match cl with
+            | Error msg -> (List.rev acc, Hp_err msg)
+            | Ok len when len > hp_max_body ->
+                (List.rev acc, Hp_err "request body too large")
+            | Ok len ->
+                if String.length s < i + tlen + len then
+                  (List.rev acc, Hp_pending true)
+                else
+                  let body = String.sub s (i + tlen) len in
+                  let req = { req with Server.Http.body } in
+                  let rest_off = i + tlen + len in
+                  hp_reference (req :: acc)
+                    (String.sub s rest_off (String.length s - rest_off))))
+
+let hp_drive stream cuts =
+  let n = String.length stream in
+  let cuts =
+    List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cuts)
+  in
+  let bounds = (0 :: cuts) @ [ n ] in
+  let p =
+    Server.Http.incremental ~max_head:hp_max_head ~max_body:hp_max_body ()
+  in
+  let reqs = ref [] and err = ref None in
+  let rec drain () =
+    match Server.Http.step p with
+    | `Request r ->
+        reqs := r :: !reqs;
+        drain ()
+    | `More -> ()
+    | `Error m -> err := Some m
+  in
+  let rec chunks = function
+    | a :: (b :: _ as rest) ->
+        if !err = None then begin
+          Server.Http.feed p (String.sub stream a (b - a));
+          drain ()
+        end;
+        chunks rest
+    | _ -> ()
+  in
+  chunks bounds;
+  ( List.rev !reqs,
+    match !err with
+    | Some m -> Hp_err m
+    | None -> Hp_pending (Server.Http.pending p > 0) )
+
+let hp_show_final = function
+  | Hp_err m -> Printf.sprintf "error %S" m
+  | Hp_pending b -> Printf.sprintf "pending %b" b
+
+let check_http_incremental { hp_stream; hp_cuts } =
+  let ref_reqs, ref_final = hp_reference [] hp_stream in
+  let inc_reqs, inc_final = hp_drive hp_stream hp_cuts in
+  if ref_reqs <> inc_reqs then
+    failf "split parse saw %d requests, whole-buffer saw %d (cuts %s)"
+      (List.length inc_reqs) (List.length ref_reqs)
+      (String.concat "," (List.map string_of_int hp_cuts))
+  else if ref_final <> inc_final then
+    failf "split parse ended with %s, whole-buffer with %s (cuts %s)"
+      (hp_show_final inc_final) (hp_show_final ref_final)
+      (String.concat "," (List.map string_of_int hp_cuts))
+  else Ok ()
+
+let hp_generate g ~size =
+  let size = max 2 size in
+  let buf = Buffer.create 256 in
+  let n_reqs = Prng.int_in g 0 3 in
+  for _ = 1 to n_reqs do
+    let meth = Prng.pick g [ "GET"; "POST"; "DELETE"; "PUT" ] in
+    let path =
+      Prng.pick g
+        [ "/healthz"; "/stats"; "/v1/sessions"; "/v1/sessions/s1";
+          "/v1/sessions/s1/answers" ]
+    in
+    let crlf = if Prng.bool g then "\r\n" else "\n" in
+    let body =
+      if Prng.bool g then String.make (Prng.int_in g 0 (4 * size)) 'b'
+      else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1%s" meth path crlf);
+    if Prng.bool g then
+      Buffer.add_string buf ("x-learnq-tenant: t" ^ crlf);
+    if body <> "" || Prng.bool g then begin
+      (* Occasionally lie about the length: a long claim swallows the
+         next request into this body, a short one leaves stray bytes —
+         both must split-parse identically to the whole-buffer result. *)
+      let claimed =
+        if Prng.int_in g 0 7 = 0 then
+          Prng.int_in g 0 (String.length body + 8)
+        else String.length body
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d%s" claimed crlf)
+    end;
+    Buffer.add_string buf crlf;
+    Buffer.add_string buf body
+  done;
+  (* Often leave a trailing partial request — the parser must report
+     "more bytes needed", never an error, on a valid prefix. *)
+  if Prng.bool g then begin
+    let tail = "POST /v1/sessions HTTP/1.1\r\ncontent-length: 5\r\n\r\nhi" in
+    Buffer.add_string buf
+      (String.sub tail 0 (Prng.int_in g 0 (String.length tail)))
+  end;
+  let stream = Buffer.contents buf in
+  let stream =
+    match Prng.int_in g 0 5 with
+    | 0 -> Gen.mutate_string g stream
+    | 1 when stream = "" -> Gen.junk g ~size
+    | _ -> stream
+  in
+  let n_cuts = Prng.int_in g 0 8 in
+  let cuts =
+    List.init n_cuts (fun _ ->
+        Prng.int_in g 0 (max 1 (String.length stream)))
+  in
+  { hp_stream = stream; hp_cuts = cuts }
+
+let http_incremental_parse =
+  Spec
+    { name = "http-incremental-parse";
+      about =
+        "incremental HTTP parse at fuzzed split points ≡ whole-buffer \
+         parse_head+body";
+      generate = hp_generate;
+      check = check_http_incremental;
+      candidates =
+        (fun { hp_stream; hp_cuts } ->
+          List.map
+            (fun cuts -> { hp_stream; hp_cuts = cuts })
+            (Shrink.list_ (fun _ -> []) hp_cuts)
+          @ List.map
+              (fun s -> { hp_stream = s; hp_cuts })
+              (Shrink.string_ hp_stream));
+      print =
+        (fun { hp_stream; hp_cuts } ->
+          Printf.sprintf "cuts: %s\nstream: %S"
+            (String.concat "," (List.map string_of_int hp_cuts))
+            hp_stream);
+      size_of = (fun { hp_stream; _ } -> String.length hp_stream);
+    }
+
+(* ------------------------------------------------------------------ *)
 (* server-crash-resume: a registry crashed mid-session and recovered   *)
 (* from its journals learns the same query as one never interrupted    *)
 (* ------------------------------------------------------------------ *)
@@ -1556,6 +1757,7 @@ let all =
     docgen_infer;
     validate_agree;
     parser_total;
+    http_incremental_parse;
     server_crash_resume;
     journal_checkpoint_resume;
     vfs_torn_write;

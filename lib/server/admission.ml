@@ -21,6 +21,7 @@ type verdict =
 type t = {
   max_queue : int;
   retry_after : float;
+  rng : Core.Prng.t;  (** Retry-After jitter; guarded by [m] *)
   policy : Retry.policy;
   breakers : (string, Retry.breaker) Hashtbl.t;
   queues : (string, job Queue.t) Hashtbl.t;
@@ -47,6 +48,7 @@ let create ?(retry_after = 1.0) ?policy ~max_queue () =
   {
     max_queue;
     retry_after;
+    rng = Core.Prng.create 0x5eed;
     policy;
     breakers = Hashtbl.create 16;
     queues = Hashtbl.create 16;
@@ -63,6 +65,18 @@ let create ?(retry_after = 1.0) ?policy ~max_queue () =
 let with_lock t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* The Retry-After suggestion scales with how backed up the queue is —
+   an empty queue says "come right back", a full one says "stay away
+   longer" — plus jitter so a thundering herd of refused clients does not
+   re-arrive in lockstep.  With the default [retry_after = 1.0]: empty
+   queue ∈ [0.5, 1.0), full queue ∈ [1.5, 2.0).  Callers hold [m]. *)
+let suggest t =
+  let depth = float_of_int t.total /. float_of_int (max 1 t.max_queue) in
+  (t.retry_after *. (0.5 +. Float.min 1.0 depth))
+  +. Core.Prng.float t.rng (0.5 *. t.retry_after)
+
+let retry_suggestion t = with_lock t (fun () -> suggest t)
 
 let breaker_of t tenant =
   match Hashtbl.find_opt t.breakers tenant with
@@ -83,19 +97,19 @@ let drain t =
 
 let submit t ~tenant ~key run =
   with_lock t (fun () ->
-      if t.draining then Draining t.retry_after
+      if t.draining then Draining (suggest t)
       else
       let b = breaker_of t tenant in
       match Retry.breaker_state b with
       | Retry.Open ->
           t.tripped <- t.tripped + 1;
           Core.Obs.Recorder.record ~detail:tenant "admission.tripped";
-          Tripped t.retry_after
+          Tripped (suggest t)
       | Retry.Closed | Retry.Half_open ->
           if t.total >= t.max_queue then begin
             t.shed <- t.shed + 1;
             Core.Obs.Recorder.record ~detail:key "admission.shed";
-            Shed t.retry_after
+            Shed (suggest t)
           end
           else begin
             let job =

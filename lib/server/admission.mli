@@ -37,6 +37,13 @@ type verdict =
   | Draining of float
       (** {!drain} has been called; the queue admits nothing more *)
 
+(** The [float] in every refusal is a {e load-derived, jittered}
+    Retry-After suggestion, not a constant: it scales from [0.5×] to
+    [1.5×] the configured [retry_after] with queue depth, plus uniform
+    jitter in [\[0, 0.5×)] so refused clients do not re-arrive in
+    lockstep.  At the default [retry_after = 1.0], a refusal from a full
+    queue suggests a value in [\[1.5, 2.0)]. *)
+
 type t
 
 val create : ?retry_after:float -> ?policy:Core.Retry.policy -> max_queue:int -> unit -> t
@@ -73,6 +80,11 @@ val ok : t -> tenant:string -> unit
 (** Record a well-formed request; closes a half-open breaker. *)
 
 val pending : t -> int
+
+val retry_suggestion : t -> float
+(** The Retry-After the queue would attach to a refusal right now (depth
+    term + fresh jitter) — for refusals minted outside {!submit}, e.g. the
+    daemon's inline draining answer. *)
 
 type stats = { queued : int; shed : int; tripped : int; dispatched : int }
 

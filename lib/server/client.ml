@@ -1,12 +1,20 @@
-type t = { fd : Unix.file_descr; mutable buf : string }
+type t = {
+  host : string;
+  port : int;
+  mutable fd : Unix.file_descr;
+  mutable buf : string;
+  mutable used : bool;
+      (** a request has completed on this socket — a later failure may be
+          the server having evicted the parked connection, not an error *)
+}
 
-let connect ~host ~port =
+let connect_fd ~host ~port =
   match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | fd -> (
       try
         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-        Ok { fd; buf = "" }
+        Ok fd
       with
       | Unix.Unix_error (e, _, _) ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -15,8 +23,16 @@ let connect ~host ~port =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error msg)
 
+let connect ~host ~port =
+  Result.map
+    (fun fd -> { host; port; fd; buf = ""; used = false })
+    (connect_fd ~host ~port)
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+(* [`Stale]: the socket died in a way consistent with the server having
+   closed a parked keep-alive connection (idle eviction, drain, restart)
+   — as opposed to failing mid-response. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
@@ -26,24 +42,36 @@ let write_all fd s =
       match Unix.write fd b off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Error `Stale
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Err (Unix.error_message e))
   in
   go 0
 
 (* Read until [t.buf] satisfies [probe] (which returns how many bytes it
-   still needs, 0 = done). *)
-let read_until t probe =
+   still needs, 0 = done).  [start] is the buffer length when this
+   response began: EOF with nothing read since then is a stale keep-alive
+   close, EOF later is a truncated response. *)
+let read_until t ~start probe =
   let chunk = Bytes.create 4096 in
   let rec go () =
     if probe t.buf = 0 then Ok ()
     else
       match Unix.read t.fd chunk 0 (Bytes.length chunk) with
-      | 0 -> Error "connection closed mid response"
+      | 0 ->
+          if String.length t.buf = start then Error `Stale
+          else Error (`Err "connection closed mid response")
       | n ->
           t.buf <- t.buf ^ Bytes.sub_string chunk 0 n;
           go ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+          if String.length t.buf = start then Error `Stale
+          else Error (`Err "connection reset mid response")
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Err (Unix.error_message e))
   in
   go ()
 
@@ -56,8 +84,7 @@ let find_sub hay needle from =
   in
   go from
 
-let request t ~meth ~path ?tenant ?(headers = []) ?body () =
-  let body_s = Option.map Json.to_string body in
+let attempt t ~meth ~path ~tenant ~headers ~body_s =
   let head =
     Printf.sprintf "%s %s HTTP/1.1\r\nHost: learnq\r\n%s%s%s\r\n" meth path
       (match tenant with
@@ -69,18 +96,19 @@ let request t ~meth ~path ?tenant ?(headers = []) ?body () =
       | Some b -> Printf.sprintf "Content-Length: %d\r\n" (String.length b)
       | None -> "Content-Length: 0\r\n")
   in
+  let start = String.length t.buf in
   match write_all t.fd (head ^ Option.value ~default:"" body_s) with
   | Error _ as e -> e
   | Ok () -> (
       (* head *)
       let head_end s =
-        match find_sub s "\r\n\r\n" 0 with Some _ -> 0 | None -> 1
+        match find_sub s "\r\n\r\n" start with Some _ -> 0 | None -> 1
       in
-      match read_until t head_end with
+      match read_until t ~start head_end with
       | Error _ as e -> e
       | Ok () -> (
-          let i = Option.get (find_sub t.buf "\r\n\r\n" 0) in
-          let raw_head = String.sub t.buf 0 i in
+          let i = Option.get (find_sub t.buf "\r\n\r\n" start) in
+          let raw_head = String.sub t.buf start (i - start) in
           let rest_off = i + 4 in
           let lines = String.split_on_char '\n' raw_head in
           let status =
@@ -106,11 +134,11 @@ let request t ~meth ~path ?tenant ?(headers = []) ?body () =
               None lines
           in
           match (status, content_length) with
-          | None, _ -> Error ("bad status line in " ^ raw_head)
-          | _, None -> Error "response without content-length"
+          | None, _ -> Error (`Err ("bad status line in " ^ raw_head))
+          | _, None -> Error (`Err "response without content-length")
           | Some status, Some len -> (
               let need s = max 0 (rest_off + len - String.length s) in
-              match read_until t need with
+              match read_until t ~start need with
               | Error _ as e -> e
               | Ok () ->
                   let body = String.sub t.buf rest_off len in
@@ -123,4 +151,28 @@ let request t ~meth ~path ?tenant ?(headers = []) ?body () =
                     | Ok j -> j
                     | Error _ -> Json.Str body
                   in
+                  t.used <- true;
                   Ok (status, j))))
+
+let request t ~meth ~path ?tenant ?(headers = []) ?body () =
+  let body_s = Option.map Json.to_string body in
+  match attempt t ~meth ~path ~tenant ~headers ~body_s with
+  | Ok r -> Ok r
+  | Error (`Err msg) -> Error msg
+  | Error `Stale when t.used -> (
+      (* The parked connection was evicted (idle cap, drain, restart)
+         between requests — not an error, the protocol allows it.  The
+         socket died before a single response byte, so the request was
+         never processed: reconnect and retry exactly once. *)
+      close t;
+      match connect_fd ~host:t.host ~port:t.port with
+      | Error msg -> Error ("reconnect after stale keep-alive: " ^ msg)
+      | Ok fd -> (
+          t.fd <- fd;
+          t.buf <- "";
+          t.used <- false;
+          match attempt t ~meth ~path ~tenant ~headers ~body_s with
+          | Ok r -> Ok r
+          | Error (`Err msg) -> Error msg
+          | Error `Stale -> Error "connection closed before response"))
+  | Error `Stale -> Error "connection closed before response"

@@ -1,6 +1,15 @@
 (** A blocking keep-alive client for the wire protocol — what the load
     generator, the CI smoke test, and the end-to-end tests drive the
-    daemon with. *)
+    daemon with.
+
+    The server may close a parked keep-alive connection at any time (idle
+    eviction past [max_idle_conns], drain, restart); the protocol allows
+    it.  When a {!request} on a previously-used connection fails before a
+    single response byte arrives, the client transparently reconnects and
+    retries exactly once — the request was never processed, so the retry
+    is safe.  Callers should ignore SIGPIPE (the daemon CLI and the bench
+    harnesses do): a write to an evicted connection then surfaces as
+    [EPIPE] and triggers the reconnect instead of killing the process. *)
 
 type t
 

@@ -9,6 +9,12 @@ type config = {
   pool : int;
   max_queue : int;
   max_conns : int;
+  io_threads : int;  (** mux worker threads running request handlers *)
+  max_idle_conns : int;
+      (** parked keep-alive connections beyond this are evicted oldest
+          first; 0 = unlimited *)
+  request_deadline : float;
+      (** seconds from a request's first byte to its 408 *)
   sync : Core.Journal.sync;
   tenants : Tenant.t;
   step_fuel : int option;
@@ -33,6 +39,9 @@ let default_config =
     pool = 2;
     max_queue = 256;
     max_conns = 128;
+    io_threads = 4;
+    max_idle_conns = 0;
+    request_deadline = 30.0;
     sync = Core.Journal.Batch;
     tenants = Tenant.make [];
     step_fuel = None;
@@ -73,7 +82,7 @@ type t = {
   drain_flag : bool Atomic.t;
   degraded_flag : bool Atomic.t;
       (** the disk said ENOSPC: refuse writes until the probe heals *)
-  conns : int Atomic.t;  (** live connection threads *)
+  mutable mux : Mux.t option;  (** set by [serve] before the loop starts *)
   requests : int Atomic.t;
   req_seq : int Atomic.t;  (** in-flight table key generator *)
   slow_mu : Mutex.t;
@@ -117,7 +126,7 @@ let create cfg =
     admission;
     drain_flag = Atomic.make false;
     degraded_flag = Atomic.make false;
-    conns = Atomic.make 0;
+    mux = None;
     requests = Atomic.make 0;
     req_seq = Atomic.make 0;
     slow_mu = Mutex.create ();
@@ -136,7 +145,12 @@ let create cfg =
    before the refusal point. *)
 let drain t =
   Admission.drain t.admission;
-  Atomic.set t.drain_flag true
+  Atomic.set t.drain_flag true;
+  (* Nudge the two sleepers that check the flag: the dispatcher (blocked in
+     take_batch) and the mux (blocked in poll). *)
+  Admission.wake t.admission;
+  match t.mux with Some m -> Mux.wake m | None -> ()
+
 let draining t = Atomic.get t.drain_flag
 let registry t = t.registry
 let stalled t = Atomic.get t.stalled
@@ -435,6 +449,22 @@ let session_job t ~tenant (req : Http.request) parts body =
 let stats_json t =
   let a = Admission.stats t.admission in
   let r = Registry.stats t.registry in
+  let m =
+    match t.mux with
+    | Some m -> Mux.stats m
+    | None ->
+        {
+          Mux.s_conns = 0;
+          s_parked = 0;
+          s_busy = 0;
+          s_threads = 0;
+          s_accepted = 0;
+          s_shed = 0;
+          s_emfile = 0;
+          s_timeouts = 0;
+          s_idle_closed = 0;
+        }
+  in
   Json.Obj
     [
       ("sessions", Json.of_int r.Registry.live);
@@ -443,7 +473,16 @@ let stats_json t =
       ("evicted", Json.of_int r.Registry.evicted);
       ("resumed", Json.of_int r.Registry.resumed);
       ("quarantined", Json.of_int r.Registry.quarantined);
-      ("connections", Json.of_int (Atomic.get t.conns));
+      ("connections", Json.of_int m.Mux.s_conns);
+      ("parked", Json.of_int m.Mux.s_parked);
+      ("io_busy", Json.of_int m.Mux.s_busy);
+      ("io_threads", Json.of_int (max 1 t.cfg.io_threads));
+      ("threads", Json.of_int m.Mux.s_threads);
+      ("accepted", Json.of_int m.Mux.s_accepted);
+      ("shed_conns", Json.of_int m.Mux.s_shed);
+      ("emfile", Json.of_int m.Mux.s_emfile);
+      ("http_timeouts", Json.of_int m.Mux.s_timeouts);
+      ("idle_conns_closed", Json.of_int m.Mux.s_idle_closed);
       ("requests", Json.of_int (Atomic.get t.requests));
       ("queued", Json.of_int a.Admission.queued);
       ("shed", Json.of_int a.Admission.shed);
@@ -575,8 +614,9 @@ let handle t (req : Http.request) =
   | _ ->
       let tenant = tenant_of req in
       if draining t then
-        error_response ~headers:(retry_after_headers 1.0) 503
-          "draining: not admitting session work"
+        error_response
+          ~headers:(retry_after_headers (Admission.retry_suggestion t.admission))
+          503 "draining: not admitting session work"
       else
         let body =
           if req.body = "" then Ok (Json.Obj []) else Json.parse req.body
@@ -613,88 +653,42 @@ let handle t (req : Http.request) =
         outcome
 
 (* ------------------------------------------------------------------ *)
-(* Connection threads                                                  *)
+(* Request handler (runs on a mux worker thread)                       *)
 (* ------------------------------------------------------------------ *)
 
-let conn_thread t fd =
-  let conn = Http.conn_of_fd fd in
-  (* A short receive timeout lets idle keep-alive connections notice the
-     drain flag instead of pinning the grace period. *)
-  let rcv_timeout = 0.5 in
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO rcv_timeout
-   with Unix.Unix_error _ | Invalid_argument _ -> ());
-  (* A timeout with buffered bytes means the client paused mid-request
-     (read_request keeps the partial request intact): keep reading it —
-     even while draining — up to its own deadline.  Only an empty-buffer
-     timeout is an idle keep-alive poll that drain may cut short. *)
-  let request_deadline = 30.0 in
-  let max_stalls = int_of_float (Float.ceil (request_deadline /. rcv_timeout)) in
-  let rec loop stalls =
-    match Http.read_request conn with
-    | Ok None -> ()
-    | Error "timeout" ->
-        if Http.buffered conn then begin
-          if stalls >= max_stalls then
-            ignore
-              (Http.write_response conn ~keep_alive:false
-                 (error_response 408 "timed out mid request"))
-          else loop (stalls + 1)
-        end
-        else if draining t then ()
-        else loop 0
-    | Error _ ->
-        ignore
-          (Http.write_response conn ~keep_alive:false
-             (error_response 400 "malformed request"))
-    | Ok (Some req) ->
-        (* The request's trace id: honor a well-formed inbound
-           X-Learnq-Trace (so a client or proxy can stitch its own ids
-           through), mint otherwise.  Installed on this thread for the
-           whole request; captured into the admission job for the pool
-           hop; echoed back in the response header either way. *)
-        let trace =
-          match Http.header "x-learnq-trace" req with
-          | Some id when Obs.Trace.valid id -> id
-          | _ -> Obs.Trace.mint ()
-        in
-        Obs.Trace.set (Some trace);
-        let route = route_label req.meth (split_path req.path) in
-        let tenant = tenant_of req in
-        let seq = track_inflight t ~trace ~route ~tenant in
-        let t0 = Unix.gettimeofday () in
-        let resp =
-          Obs.Recorder.with_span
-            ~detail:(req.meth ^ " " ^ req.path)
-            "http.request"
-            (fun () ->
-              match handle t req with
-              | resp -> resp
-              | exception exn ->
-                  error_response 500
-                    ("internal error: " ^ Printexc.to_string exn))
-        in
-        let dur = Unix.gettimeofday () -. t0 in
-        untrack_inflight t seq;
-        observe_request t ~trace ~route ~tenant ~status:resp.Http.status ~dur;
-        Obs.Trace.set None;
-        if Telemetry.enabled () then
-          Telemetry.Metrics.observe m_request_s dur;
-        let resp =
-          { resp with Http.headers = ("X-Learnq-Trace", trace) :: resp.Http.headers }
-        in
-        let keep_alive =
-          (not (draining t))
-          && Http.header "connection" req <> Some "close"
-        in
-        (match Http.write_response conn ~keep_alive resp with
-        | Ok () -> if keep_alive then loop 0
-        | Error _ -> ())
+(* The mux hands over a complete, parsed request; this wrapper owns the
+   request's trace id — a well-formed inbound X-Learnq-Trace is honored
+   (so a client or proxy can stitch its own ids through), one is minted
+   otherwise.  Installed on the worker thread for the whole request;
+   captured into the admission job for the pool hop; echoed back in the
+   response header either way. *)
+let request_handler t (req : Http.request) =
+  let trace =
+    match Http.header "x-learnq-trace" req with
+    | Some id when Obs.Trace.valid id -> id
+    | _ -> Obs.Trace.mint ()
   in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Atomic.decr t.conns)
-    (fun () -> loop 0)
+  Obs.Trace.set (Some trace);
+  let route = route_label req.meth (split_path req.path) in
+  let tenant = tenant_of req in
+  let seq = track_inflight t ~trace ~route ~tenant in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    Obs.Recorder.with_span
+      ~detail:(req.meth ^ " " ^ req.path)
+      "http.request"
+      (fun () ->
+        match handle t req with
+        | resp -> resp
+        | exception exn ->
+            error_response 500 ("internal error: " ^ Printexc.to_string exn))
+  in
+  let dur = Unix.gettimeofday () -. t0 in
+  untrack_inflight t seq;
+  observe_request t ~trace ~route ~tenant ~status:resp.Http.status ~dur;
+  Obs.Trace.set None;
+  if Telemetry.enabled () then Telemetry.Metrics.observe m_request_s dur;
+  { resp with Http.headers = ("X-Learnq-Trace", trace) :: resp.Http.headers }
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                          *)
@@ -803,11 +797,11 @@ let serve t =
   | Ok (listen_fd, port) ->
       cfg.on_listen port;
       let disp = Thread.create (dispatcher t pool) () in
-      (* The heal probe and the stall watchdog piggyback on the accept
-         loop's select tick so they run even when no requests arrive;
-         throttled to ~1/s. *)
+      (* The heal probe and the stall watchdog piggyback on the mux loop's
+         tick so they run even when no requests arrive; throttled to
+         ~1/s. *)
       let last_probe = ref 0. in
-      let maybe_probe () =
+      let tick () =
         let now = Unix.gettimeofday () in
         if now -. !last_probe >= 1.0 then begin
           last_probe := now;
@@ -815,49 +809,36 @@ let serve t =
           watchdog t
         end
       in
-      let rec accept_loop () =
-        if draining t then ()
-        else begin
-          maybe_probe ();
-          match Unix.select [ listen_fd ] [] [] 0.25 with
-          | [], _, _ -> accept_loop ()
-          | _ -> (
-              match Unix.accept listen_fd with
-              | fd, _ ->
-                  if Atomic.get t.conns >= cfg.max_conns then begin
-                    let c = Http.conn_of_fd fd in
-                    ignore
-                      (Http.write_response c ~keep_alive:false
-                         (error_response
-                            ~headers:(retry_after_headers 1.0) 503
-                            "too many connections"));
-                    (try Unix.close fd with Unix.Unix_error _ -> ())
-                  end
-                  else begin
-                    Atomic.incr t.conns;
-                    ignore (Thread.create (fun () -> conn_thread t fd) ())
-                  end;
-                  accept_loop ()
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-              | exception Unix.Unix_error _ -> accept_loop ())
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-        end
+      let mux =
+        Mux.create
+          {
+            Mux.io_threads = max 1 cfg.io_threads;
+            max_conns = cfg.max_conns;
+            max_idle_conns =
+              (if cfg.max_idle_conns <= 0 then max_int
+               else cfg.max_idle_conns);
+            request_deadline = cfg.request_deadline;
+            drain_grace = cfg.drain_grace;
+            max_head = 16 * 1024;
+            max_body = 1024 * 1024;
+            handler = (fun req -> request_handler t req);
+            keep_alive =
+              (fun req _ ->
+                (not (draining t))
+                && Http.header "connection" req <> Some "close");
+            draining = (fun () -> draining t);
+            tick;
+            accept_fn = (fun fd -> Unix.accept fd);
+          }
       in
-      accept_loop ();
-      (* Drain choreography: stop listening, let the dispatcher finish the
-         backlog, give connections a grace period, then sync every journal
-         to disk and stop the pool. *)
+      t.mux <- Some mux;
+      (* The mux runs on this thread until drain completes: it stops
+         accepting, closes idle connections, lets in-flight requests
+         finish (the dispatcher keeps executing the queued backlog
+         concurrently), and force-closes stragglers after [drain_grace]. *)
+      Mux.run mux ~listen_fd;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      Admission.wake t.admission;
       Thread.join disp;
-      let deadline = Unix.gettimeofday () +. cfg.drain_grace in
-      let rec wait_conns () =
-        if Atomic.get t.conns > 0 && Unix.gettimeofday () < deadline then begin
-          Thread.delay 0.05;
-          wait_conns ()
-        end
-      in
-      wait_conns ();
       Registry.drain t.registry;
       Core.Pool.shutdown pool;
       Ok ()

@@ -3,13 +3,22 @@
 
     {2 Thread model}
 
-    One accept thread (the caller of {!serve}), one connection thread per
-    client, one dispatcher thread, and a {!Core.Pool} of domains.
-    Connection threads parse and validate only; all session work is
-    submitted to {!Admission} and executed by the dispatcher, which runs
-    each key-disjoint batch across the pool ({e one domain per batch of
+    One {!Mux} thread (the caller of {!serve}) owns {e every} socket via a
+    poll(2) readiness loop: it accepts, parks idle keep-alive connections
+    at zero thread cost, feeds bytes to each connection's incremental
+    parser, and hands complete requests to a bounded pool of [io_threads]
+    workers.  The whole I/O thread budget is [io_threads + 1] no matter
+    how many thousands of clients stay connected.  Workers parse and
+    validate only; all session work is submitted to {!Admission} and
+    executed by the one dispatcher thread, which runs each key-disjoint
+    batch across a {!Core.Pool} of domains ({e one domain per batch of
     sessions}) — so two requests never race on one session, and
     fsync-bound sessions overlap with compute-bound ones.
+
+    Slow requests hit the mux's [request_deadline] (measured from a
+    request's first byte) and get a 408 without ever occupying a worker;
+    connections beyond [max_conns] are shed with 503; parked connections
+    beyond [max_idle_conns] are closed oldest-first.
 
     {2 Wire protocol}
 
@@ -79,6 +88,12 @@ type config = {
   pool : int;  (** domains for batch execution and recovery *)
   max_queue : int;  (** admission backlog bound *)
   max_conns : int;  (** concurrent connections; excess get 503 *)
+  io_threads : int;  (** mux worker threads running request handlers *)
+  max_idle_conns : int;
+      (** parked keep-alive cap; oldest evicted beyond it; 0 = unlimited *)
+  request_deadline : float;
+      (** seconds from a request's first byte to its 408; slow-loris
+          clients are cut here without costing a thread *)
   sync : Core.Journal.sync;
   tenants : Tenant.t;
   step_fuel : int option;
@@ -102,10 +117,11 @@ type config = {
 }
 
 val default_config : config
-(** 127.0.0.1:0, ["./learnq-state"], pool 2, queue 256, 128 conns,
-    [Batch] sync, default tenants, no step caps, 5s grace, real storage,
-    no checkpoints, unbounded residency, 250ms slow threshold, 30s
-    watchdog, default recorder capacity, debug endpoints on. *)
+(** 127.0.0.1:0, ["./learnq-state"], pool 2, queue 256, 128 conns, 4 io
+    threads, unlimited idle conns, 30s request deadline, [Batch] sync,
+    default tenants, no step caps, 5s grace, real storage, no checkpoints,
+    unbounded residency, 250ms slow threshold, 30s watchdog, default
+    recorder capacity, debug endpoints on. *)
 
 type t
 

@@ -33,6 +33,41 @@ val parse_head : string -> (request, string) result
 val reason : int -> string
 (** Canonical reason phrase ("OK", "Too Many Requests", …). *)
 
+(** {1 Incremental (resumable) request parsing}
+
+    The connection multiplexer owns many sockets on one thread, so it
+    cannot block for a request's remaining bytes: it {!feed}s whatever the
+    socket had and calls {!step}, which either produces a complete request,
+    asks for more, or reports a framing error.  A request's bytes may be
+    split at {e any} boundary across any number of feeds — the
+    [http-incremental-parse] fuzz oracle checks the result is identical to
+    whole-buffer {!parse_head}+body parsing.  Pipelined bytes beyond a
+    completed request stay buffered for the next [step]. *)
+
+type incremental
+
+val incremental : ?max_head:int -> ?max_body:int -> unit -> incremental
+(** A fresh parser (default caps 16 KiB head / 1 MiB body, as
+    {!read_request}). *)
+
+val feed : incremental -> string -> unit
+val feed_sub : incremental -> Bytes.t -> pos:int -> len:int -> unit
+
+val step :
+  incremental -> [ `Request of request | `More | `Error of string ]
+(** [`Request r] consumes exactly [r]'s bytes (call again for a pipelined
+    successor); [`More] means the buffered prefix is valid but incomplete;
+    [`Error] (oversized or malformed framing) is sticky — the connection
+    is beyond salvage. *)
+
+val pending : incremental -> int
+(** Unconsumed buffered bytes. *)
+
+val mid_request : incremental -> bool
+(** A request has started but not completed — the multiplexer's
+    slow-request deadline applies; [false] means the connection is idle
+    and may park indefinitely. *)
+
 (** {1 Socket I/O} *)
 
 type conn
@@ -56,6 +91,10 @@ val read_request :
     when a complete request has arrived, so calling again after a timeout
     resumes reading the {e same} request with nothing lost. *)
 
+val response_bytes : keep_alive:bool -> response -> string
+(** The serialized wire form: status line, headers ([Content-Length],
+    [Connection], a default [Content-Type], any extras), body + ["\n"].
+    The multiplexer writes these bytes non-blockingly. *)
+
 val write_response : conn -> keep_alive:bool -> response -> (unit, string) result
-(** Serializes status line, headers ([Content-Length], [Connection], any
-    extras), and body + ["\n"]. *)
+(** Blocking {!response_bytes} write. *)

@@ -1,0 +1,521 @@
+module Monotonic = Core.Monotonic
+
+external poll_arrays : int array -> int array -> int array -> int -> int
+  = "learnq_poll"
+
+(* Unix file descriptors are ints on every platform this server targets. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+
+type config = {
+  io_threads : int;
+  max_conns : int;
+  max_idle_conns : int;
+  request_deadline : float;
+  drain_grace : float;
+  max_head : int;
+  max_body : int;
+  handler : Http.request -> Http.response;
+  keep_alive : Http.request -> Http.response -> bool;
+  draining : unit -> bool;
+  tick : unit -> unit;
+  accept_fn : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+}
+
+let default_config =
+  {
+    io_threads = 4;
+    max_conns = 1024;
+    max_idle_conns = 1024;
+    request_deadline = 30.0;
+    drain_grace = 5.0;
+    max_head = 16 * 1024;
+    max_body = 1024 * 1024;
+    handler = (fun _ -> { Http.status = 404; headers = []; body = "{}" });
+    keep_alive =
+      (fun req _ -> Http.header "connection" req <> Some "close");
+    draining = (fun () -> false);
+    tick = ignore;
+    accept_fn = (fun fd -> Unix.accept fd);
+  }
+
+type wstate = {
+  w_data : string;
+  mutable w_off : int;
+  w_keep_alive : bool;
+}
+
+(* Who owns a connection's socket:
+   - [Reading]: the mux polls it for readability and feeds the parser;
+   - [Running]: a worker thread owns it (not polled) while the handler and
+     the first write attempt run;
+   - [Writing]: the write blocked; the mux polls for writability;
+   - [Closing]: a worker asked for the close; the mux performs it (sockets
+     are only ever closed on the mux thread, so a descriptor can never be
+     recycled while it still sits in a poll set). *)
+type cstate = Reading | Running | Writing of wstate | Closing
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_inc : Http.incremental;
+  mutable c_state : cstate;
+  mutable c_last : float;  (** monotonic, last socket activity *)
+  mutable c_req_start : float;  (** first byte of the pending request; 0 = idle *)
+}
+
+type t = {
+  cfg : config;
+  mu : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  work : (conn * Http.request) Queue.t;
+  work_cv : Condition.t;
+  mutable stop_workers : bool;
+  mutable reserve : Unix.file_descr option;
+      (** spare fd surrendered under EMFILE so the shed 503 can be sent *)
+  mutable drain_start : float;  (** < 0 until draining is first observed *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  busy : int Atomic.t;
+  accepted : int Atomic.t;
+  shed : int Atomic.t;  (** 503 "too many connections" *)
+  emfile : int Atomic.t;  (** accept hit fd exhaustion *)
+  timeouts : int Atomic.t;  (** 408 slow-request deadlines *)
+  idle_closed : int Atomic.t;  (** parked conns evicted past max_idle_conns *)
+}
+
+let create cfg =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    cfg;
+    mu = Mutex.create ();
+    conns = Hashtbl.create 256;
+    work = Queue.create ();
+    work_cv = Condition.create ();
+    stop_workers = false;
+    reserve = None;
+    drain_start = -1.0;
+    wake_r;
+    wake_w;
+    busy = Atomic.make 0;
+    accepted = Atomic.make 0;
+    shed = Atomic.make 0;
+    emfile = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    idle_closed = Atomic.make 0;
+  }
+
+(* Safe from any thread, including a signal handler: one byte down a
+   non-blocking pipe (EAGAIN = the mux is already due to wake). *)
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "w" 0 1)
+  with Unix.Unix_error _ -> ()
+
+type stats = {
+  s_conns : int;
+  s_parked : int;  (** idle keep-alive connections costing zero threads *)
+  s_busy : int;  (** workers currently inside the handler *)
+  s_threads : int;  (** mux loop + workers — the whole I/O thread budget *)
+  s_accepted : int;
+  s_shed : int;
+  s_emfile : int;
+  s_timeouts : int;
+  s_idle_closed : int;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let parked =
+    Hashtbl.fold
+      (fun _ c n ->
+        match c.c_state with
+        | Reading when not (Http.mid_request c.c_inc) -> n + 1
+        | _ -> n)
+      t.conns 0
+  in
+  let conns = Hashtbl.length t.conns in
+  Mutex.unlock t.mu;
+  {
+    s_conns = conns;
+    s_parked = parked;
+    s_busy = Atomic.get t.busy;
+    s_threads = t.cfg.io_threads + 1;
+    s_accepted = Atomic.get t.accepted;
+    s_shed = Atomic.get t.shed;
+    s_emfile = Atomic.get t.emfile;
+    s_timeouts = Atomic.get t.timeouts;
+    s_idle_closed = Atomic.get t.idle_closed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking writes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec try_write fd s off =
+  if off >= String.length s then `Done
+  else
+    match Unix.write_substring fd s off (String.length s - off) with
+    | k -> try_write fd s (off + k)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Blocked off
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_write fd s off
+    | exception Unix.Unix_error (_, _, _) -> `Closed
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let internal_error exn =
+  {
+    Http.status = 500;
+    headers = [];
+    body =
+      Printf.sprintf "{\"error\":%S}"
+        ("internal error: " ^ Printexc.to_string exn);
+  }
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.work && not t.stop_workers do
+      Condition.wait t.work_cv t.mu
+    done;
+    if Queue.is_empty t.work then Mutex.unlock t.mu (* stop *)
+    else begin
+      let conn, req = Queue.pop t.work in
+      Mutex.unlock t.mu;
+      Atomic.incr t.busy;
+      let resp =
+        match t.cfg.handler req with
+        | resp -> resp
+        | exception exn -> internal_error exn
+      in
+      let ka = try t.cfg.keep_alive req resp with _ -> false in
+      let data = Http.response_bytes ~keep_alive:ka resp in
+      (* First write attempt straight from the worker: the common case
+         (small response, empty socket buffer) completes here and the
+         connection re-parks without ever touching the poll loop. *)
+      let outcome = try_write conn.c_fd data 0 in
+      Mutex.lock t.mu;
+      (match outcome with
+      | `Done ->
+          conn.c_last <- Monotonic.now ();
+          conn.c_state <- (if ka then Reading else Closing)
+      | `Blocked off ->
+          conn.c_last <- Monotonic.now ();
+          conn.c_state <- Writing { w_data = data; w_off = off; w_keep_alive = ka }
+      | `Closed -> conn.c_state <- Closing);
+      Mutex.unlock t.mu;
+      Atomic.decr t.busy;
+      wake t;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The readiness loop                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let interest_read = 1
+let interest_write = 2
+
+type target = P_listen | P_wake | P_conn of conn
+
+let close_conn t conn =
+  Hashtbl.remove t.conns (fd_int conn.c_fd);
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+let shed_503 t fd =
+  Atomic.incr t.shed;
+  let bytes =
+    Http.response_bytes ~keep_alive:false
+      {
+        Http.status = 503;
+        headers = [ ("Retry-After", "1") ];
+        body = "{\"error\":\"too many connections\"}";
+      }
+  in
+  ignore (try_write fd bytes 0);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Parse whatever the connection has buffered; at most one request may be
+   outstanding per connection, so a completed parse hands off and stops. *)
+let step_conn t conn =
+  match Http.step conn.c_inc with
+  | `More ->
+      if Http.mid_request conn.c_inc && conn.c_req_start = 0.0 then
+        conn.c_req_start <- Monotonic.now ()
+  | `Request req ->
+      conn.c_state <- Running;
+      conn.c_req_start <- 0.0;
+      Queue.push (conn, req) t.work;
+      Condition.signal t.work_cv
+  | `Error msg ->
+      let resp =
+        {
+          Http.status = 400;
+          headers = [];
+          body = Printf.sprintf "{\"error\":%S}" ("malformed request: " ^ msg);
+        }
+      in
+      conn.c_state <-
+        Writing
+          {
+            w_data = Http.response_bytes ~keep_alive:false resp;
+            w_off = 0;
+            w_keep_alive = false;
+          }
+
+let read_conn t conn chunk =
+  match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn t conn (* EOF, mid-request or not *)
+  | n ->
+      Http.feed_sub conn.c_inc chunk ~pos:0 ~len:n;
+      conn.c_last <- Monotonic.now ();
+      if conn.c_req_start = 0.0 then conn.c_req_start <- conn.c_last;
+      step_conn t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t conn
+
+let write_conn t conn w =
+  match try_write conn.c_fd w.w_data w.w_off with
+  | `Done ->
+      conn.c_last <- Monotonic.now ();
+      if w.w_keep_alive then conn.c_state <- Reading
+      else close_conn t conn
+  | `Blocked off ->
+      conn.c_last <- Monotonic.now ();
+      w.w_off <- off
+  | `Closed -> close_conn t conn
+
+let open_reserve () =
+  try Some (Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0)
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let rec accept_burst t listen_fd k =
+  if k > 0 then
+    match t.cfg.accept_fn listen_fd with
+    | fd, _ ->
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        if Hashtbl.length t.conns >= t.cfg.max_conns then shed_503 t fd
+        else begin
+          Atomic.incr t.accepted;
+          Hashtbl.replace t.conns (fd_int fd)
+            {
+              c_fd = fd;
+              c_inc =
+                Http.incremental ~max_head:t.cfg.max_head
+                  ~max_body:t.cfg.max_body ();
+              c_state = Reading;
+              c_last = Monotonic.now ();
+              c_req_start = 0.0;
+            }
+        end;
+        accept_burst t listen_fd (k - 1)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        accept_burst t listen_fd k
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* Out of descriptors: surrender the reserve fd, accept the waiting
+           connection into the freed slot, shed it with an honest 503, and
+           re-arm the reserve.  Without this the pending connection would
+           hang in the backlog while accept spins on EMFILE. *)
+        Atomic.incr t.emfile;
+        (match t.reserve with
+        | None -> ()
+        | Some rfd ->
+            (try Unix.close rfd with Unix.Unix_error _ -> ());
+            t.reserve <- None;
+            (match t.cfg.accept_fn listen_fd with
+            | fd, _ -> shed_503 t fd
+            | exception Unix.Unix_error _ -> ());
+            t.reserve <- open_reserve ())
+    | exception Unix.Unix_error (_, _, _) -> ()
+
+(* One sweep under the lock: execute worker-requested closes, re-parse
+   pipelined leftovers, enforce the slow-request deadline (408), evict
+   idle connections beyond the cap, and apply drain policy. *)
+let sweep t =
+  let now = Monotonic.now () in
+  let draining = t.cfg.draining () in
+  if draining && t.drain_start < 0.0 then t.drain_start <- now;
+  let past_grace =
+    draining && now -. t.drain_start > t.cfg.drain_grace
+  in
+  let to_close = ref [] in
+  let to_timeout = ref [] in
+  let idle = ref [] in
+  Hashtbl.iter
+    (fun _ conn ->
+      match conn.c_state with
+      | Closing -> to_close := conn :: !to_close
+      | Running -> ()
+      | Writing _ when past_grace -> to_close := conn :: !to_close
+      | Writing _ ->
+          if now -. conn.c_last > t.cfg.request_deadline then
+            to_close := conn :: !to_close
+      | Reading ->
+          if Http.mid_request conn.c_inc then begin
+            if conn.c_req_start = 0.0 then conn.c_req_start <- now;
+            if past_grace then to_close := conn :: !to_close
+            else if now -. conn.c_req_start > t.cfg.request_deadline then
+              to_timeout := conn :: !to_timeout
+            else step_conn t conn
+          end
+          else if draining then to_close := conn :: !to_close
+          else idle := conn :: !idle)
+    t.conns;
+  List.iter (close_conn t) !to_close;
+  List.iter
+    (fun conn ->
+      (* A client that trickles bytes slower than the deadline gets a 408
+         and the socket back — without ever having cost a thread. *)
+      Atomic.incr t.timeouts;
+      let resp =
+        {
+          Http.status = 408;
+          headers = [];
+          body = "{\"error\":\"timed out mid request\"}";
+        }
+      in
+      conn.c_state <-
+        Writing
+          {
+            w_data = Http.response_bytes ~keep_alive:false resp;
+            w_off = 0;
+            w_keep_alive = false;
+          })
+    !to_timeout;
+  let n_idle = List.length !idle in
+  if n_idle > t.cfg.max_idle_conns then begin
+    let by_age =
+      List.sort (fun a b -> compare a.c_last b.c_last) !idle
+    in
+    let excess = n_idle - t.cfg.max_idle_conns in
+    List.iteri
+      (fun i conn ->
+        if i < excess then begin
+          Atomic.incr t.idle_closed;
+          close_conn t conn
+        end)
+      by_age
+  end
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  go ()
+
+let run t ~listen_fd =
+  (try Unix.set_nonblock listen_fd with Unix.Unix_error _ -> ());
+  t.reserve <- open_reserve ();
+  let workers =
+    List.init (max 1 t.cfg.io_threads) (fun _ -> Thread.create (worker t) ())
+  in
+  let chunk = Bytes.create 16384 in
+  let fds = ref [||] and events = ref [||] and revents = ref [||] in
+  let targets = ref [||] in
+  let rec loop () =
+    t.cfg.tick ();
+    Mutex.lock t.mu;
+    sweep t;
+    let finished =
+      t.cfg.draining ()
+      && Hashtbl.length t.conns = 0
+      && Queue.is_empty t.work
+    in
+    if finished then Mutex.unlock t.mu
+    else begin
+      (* Build the poll set: the wake pipe, the listener (unless draining
+         — new connections are refused by not accepting them), and every
+         parked or write-blocked connection. *)
+      let n = 2 + Hashtbl.length t.conns in
+      if Array.length !fds < n then begin
+        fds := Array.make n (-1);
+        events := Array.make n 0;
+        revents := Array.make n 0;
+        targets := Array.make n P_wake
+      end;
+      !fds.(0) <- fd_int t.wake_r;
+      !events.(0) <- interest_read;
+      !targets.(0) <- P_wake;
+      let listening = not (t.cfg.draining ()) in
+      !fds.(1) <- (if listening then fd_int listen_fd else fd_int t.wake_r);
+      !events.(1) <- (if listening then interest_read else 0);
+      !targets.(1) <- P_listen;
+      let i = ref 2 in
+      Hashtbl.iter
+        (fun fdi conn ->
+          let interest =
+            match conn.c_state with
+            | Reading -> interest_read
+            | Writing _ -> interest_write
+            | Running | Closing -> 0
+          in
+          if interest <> 0 then begin
+            !fds.(!i) <- fdi;
+            !events.(!i) <- interest;
+            !targets.(!i) <- P_conn conn;
+            incr i
+          end)
+        t.conns;
+      let n_used = !i in
+      (* Zero out the tail so stale entries are never polled. *)
+      for k = n_used to Array.length !fds - 1 do
+        !fds.(k) <- fd_int t.wake_r;
+        !events.(k) <- 0
+      done;
+      Array.fill !revents 0 (Array.length !revents) 0;
+      Mutex.unlock t.mu;
+      let ready =
+        match poll_arrays !fds !events !revents 250 with
+        | r -> r
+        | exception Failure _ -> 0
+      in
+      Mutex.lock t.mu;
+      if ready > 0 then begin
+        if !revents.(0) land interest_read <> 0 then drain_wake_pipe t;
+        for k = 2 to n_used - 1 do
+          if !revents.(k) <> 0 then
+            match !targets.(k) with
+            | P_conn conn -> (
+                (* The state may have moved since the poll snapshot (a
+                   worker finished, a sweep closed it): re-check under the
+                   lock and only touch sockets the mux still owns. *)
+                match conn.c_state with
+                | Reading when Hashtbl.mem t.conns (fd_int conn.c_fd) ->
+                    read_conn t conn chunk
+                | Writing w when Hashtbl.mem t.conns (fd_int conn.c_fd) ->
+                    write_conn t conn w
+                | _ -> ())
+            | P_listen | P_wake -> ()
+        done;
+        if listening && !revents.(1) land interest_read <> 0 then
+          accept_burst t listen_fd 64
+      end;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.lock t.mu;
+  t.stop_workers <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  List.iter Thread.join workers;
+  (match t.reserve with
+  | Some fd ->
+      t.reserve <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

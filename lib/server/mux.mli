@@ -1,0 +1,70 @@
+(** Readiness-driven connection multiplexer.
+
+    One mux thread owns every socket: it polls (via a poll(2) stub, so the
+    connection count is not capped by [FD_SETSIZE]) for readable parked
+    connections and writable blocked responses, feeds bytes to each
+    connection's {!Http.incremental} parser, and hands complete requests to
+    a bounded pool of [io_threads] workers.  Idle keep-alive connections
+    therefore cost {e zero} threads — the server's thread budget is
+    [io_threads + 1] regardless of how many thousands of clients stay
+    connected.
+
+    Ownership protocol: sockets are closed only on the mux thread.  While a
+    request runs, its connection is in state [Running] and excluded from
+    the poll set — the worker owns the socket, writes the response
+    (non-blockingly; if the write would block, the mux finishes it), then
+    returns ownership.  This makes descriptor recycling races impossible.
+
+    Slow-request deadline: a connection counts as {e mid-request} from its
+    first buffered byte ({!Http.mid_request}); if the request is still
+    incomplete [request_deadline] seconds later the client gets a 408 and
+    the socket is closed — a 1-byte-per-second slow-loris never stalls
+    anyone and never costs a thread. *)
+
+type config = {
+  io_threads : int;  (** worker threads running request handlers *)
+  max_conns : int;  (** beyond this, accepts are shed with 503 *)
+  max_idle_conns : int;  (** parked keep-alive cap; oldest evicted beyond *)
+  request_deadline : float;  (** seconds from first request byte to 408 *)
+  drain_grace : float;  (** seconds before mid-request conns are cut *)
+  max_head : int;
+  max_body : int;
+  handler : Http.request -> Http.response;
+      (** runs on a worker thread; exceptions become 500s *)
+  keep_alive : Http.request -> Http.response -> bool;
+  draining : unit -> bool;
+      (** polled each loop; once true: stop accepting, close idle conns,
+          finish in-flight requests, exit when the table is empty *)
+  tick : unit -> unit;  (** called once per loop (≥4/s); for housekeeping *)
+  accept_fn : Unix.file_descr -> Unix.file_descr * Unix.sockaddr;
+      (** injectable for fault tests (e.g. raising [EMFILE]) *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val run : t -> listen_fd:Unix.file_descr -> unit
+(** Runs the loop on the calling thread until [draining] turns true and the
+    last connection closes.  Spawns and joins the worker pool internally. *)
+
+val wake : t -> unit
+(** Nudges the loop out of its poll wait.  Async-signal-safe (one byte down
+    a non-blocking pipe); call after flipping the drain flag. *)
+
+type stats = {
+  s_conns : int;
+  s_parked : int;  (** idle keep-alive connections costing zero threads *)
+  s_busy : int;  (** workers currently inside the handler *)
+  s_threads : int;  (** mux loop + workers — the whole I/O thread budget *)
+  s_accepted : int;
+  s_shed : int;  (** connections refused with 503 (capacity or EMFILE) *)
+  s_emfile : int;  (** accept(2) hit descriptor exhaustion *)
+  s_timeouts : int;  (** slow-request 408s *)
+  s_idle_closed : int;  (** parked conns evicted beyond [max_idle_conns] *)
+}
+
+val stats : t -> stats
+(** Callable from any thread. *)

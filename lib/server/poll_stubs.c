@@ -1,0 +1,78 @@
+/* poll(2) for the connection multiplexer.
+ *
+ * OCaml's Unix module only exposes select(2), whose fd_set caps out at
+ * FD_SETSIZE (1024) — useless for a server parking thousands of idle
+ * keep-alive connections.  poll has no such limit and is POSIX, which is
+ * all this stub assumes.
+ *
+ * The interface keeps OCaml portable: interest and readiness are tiny
+ * bitmasks (1 = read, 2 = write, 4 = error/hangup) translated here, so no
+ * platform poll constants leak across the FFI.
+ *
+ * The runtime lock is released around the poll call itself; the pollfd
+ * array is copied out of the heap first, because the arrays may move once
+ * the lock is gone.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <errno.h>
+
+#define LQ_READ 1
+#define LQ_WRITE 2
+#define LQ_ERR 4
+
+CAMLprim value learnq_poll(value v_fds, value v_events, value v_revents,
+                           value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  mlsize_t n = Wosize_val(v_fds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds = NULL;
+  int r;
+  mlsize_t i;
+
+  if (Wosize_val(v_events) != n || Wosize_val(v_revents) != n)
+    caml_invalid_argument("learnq_poll: array length mismatch");
+
+  if (n > 0) {
+    pfds = calloc(n, sizeof(struct pollfd));
+    if (pfds == NULL) caml_raise_out_of_memory();
+    for (i = 0; i < n; i++) {
+      int interest = Int_val(Field(v_events, i));
+      pfds[i].fd = Int_val(Field(v_fds, i));
+      pfds[i].events = 0;
+      if (interest & LQ_READ) pfds[i].events |= POLLIN;
+      if (interest & LQ_WRITE) pfds[i].events |= POLLOUT;
+    }
+  }
+
+  caml_release_runtime_system();
+  r = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (r < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR || err == EAGAIN) CAMLreturn(Val_int(0));
+    caml_failwith("poll failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    int ready = 0;
+    short re = pfds[i].revents;
+    if (re & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) ready |= LQ_READ;
+    if (re & (POLLOUT | POLLHUP | POLLERR | POLLNVAL)) ready |= LQ_WRITE;
+    if (re & (POLLHUP | POLLERR | POLLNVAL)) ready |= LQ_ERR;
+    Store_field(v_revents, i, Val_int(ready));
+  }
+  free(pfds);
+  CAMLreturn(Val_int(r));
+}

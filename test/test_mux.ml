@@ -1,0 +1,235 @@
+(* Unit tests for the connection multiplexer, driven over real sockets
+   with raw clients (no Server.Client conveniences — these tests care
+   about wire-level behavior: blocked writes, abrupt closes, fd
+   exhaustion, idle eviction). *)
+
+module Mux = Server.Mux
+module Http = Server.Http
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let with_mux cfg_mod f =
+  ignore_sigpipe ();
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let stop = Atomic.make false in
+  let cfg =
+    cfg_mod
+      {
+        Mux.default_config with
+        Mux.io_threads = 2;
+        draining = (fun () -> Atomic.get stop);
+        handler =
+          (fun req ->
+            { Http.status = 200; headers = []; body = "{\"echo\":\"" ^ req.Http.path ^ "\"}" });
+      }
+  in
+  let mux = Mux.create cfg in
+  let th = Thread.create (fun () -> Mux.run mux ~listen_fd) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Mux.wake mux;
+      Thread.join th;
+      try Unix.close listen_fd with Unix.Unix_error _ -> ())
+    (fun () -> f mux port)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* Read until EOF (bounded by a deadline so a hung test fails, not
+   wedges). *)
+let recv_all ?(deadline = 10.0) fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 65536 in
+  let t0 = Unix.gettimeofday () in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let rec go () =
+    if Unix.gettimeofday () -. t0 > deadline then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec wait_for ?(deadline = 5.0) pred =
+  if pred () then true
+  else if deadline <= 0. then false
+  else begin
+    Thread.delay 0.05;
+    wait_for ~deadline:(deadline -. 0.05) pred
+  end
+
+let simple_get = "GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n"
+
+(* A response too large for the socket buffer of a client that is not
+   reading: the worker's first write blocks, the connection moves to the
+   Writing state, and the poll loop must finish the send once the client
+   drains — no bytes lost, no wedged connection. *)
+let test_write_blocked_completes () =
+  let big = String.make (16 * 1024 * 1024) 'x' in
+  with_mux
+    (fun cfg ->
+      { cfg with Mux.handler = (fun _ -> { Http.status = 200; headers = []; body = big }) })
+    (fun mux port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd simple_get;
+          (* Give the worker time to hit the blocked write and hand the
+             connection back to the poll loop before we start draining. *)
+          ignore
+            (wait_for (fun () -> (Mux.stats mux).Mux.s_busy = 0));
+          let got = recv_all ~deadline:30.0 fd in
+          let expected = String.length (Http.response_bytes ~keep_alive:false { Http.status = 200; headers = []; body = big }) in
+          Alcotest.(check int) "full response arrives" expected
+            (String.length got);
+          Alcotest.(check bool) "status line intact" true
+            (String.length got > 15 && String.sub got 0 15 = "HTTP/1.1 200 OK")))
+
+(* Abruptly closing a parked keep-alive connection must reap it from the
+   mux — no leaked entry, no stuck poll slot. *)
+let test_close_while_parked () =
+  with_mux Fun.id (fun mux port ->
+      let fd = connect port in
+      send fd "GET /one HTTP/1.1\r\n\r\n";
+      (* Complete one request so the connection is parked (keep-alive). *)
+      let ok =
+        wait_for (fun () ->
+            let s = Mux.stats mux in
+            s.Mux.s_conns = 1 && s.Mux.s_parked = 1)
+      in
+      Alcotest.(check bool) "connection parks after response" true ok;
+      Unix.close fd;
+      Alcotest.(check bool) "mux reaps the closed connection" true
+        (wait_for (fun () -> (Mux.stats mux).Mux.s_conns = 0)))
+
+(* Descriptor exhaustion: an accept raising EMFILE must not spin or hang
+   the pending client — the mux surrenders its reserve fd, accepts into
+   the freed slot, and sheds with an honest 503. *)
+let test_emfile_sheds_503 () =
+  (* One failure, then success — modeling a real EMFILE, which clears as
+     soon as the mux closes its reserve fd to make room for the accept. *)
+  let failures = Atomic.make 1 in
+  let accept_fn fd =
+    if Atomic.fetch_and_add failures (-1) > 0 then
+      raise (Unix.Unix_error (Unix.EMFILE, "accept", ""))
+    else Unix.accept fd
+  in
+  with_mux
+    (fun cfg -> { cfg with Mux.accept_fn })
+    (fun mux port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let got = recv_all fd in
+          Alcotest.(check bool) "shed with 503" true
+            (String.length got > 12 && String.sub got 0 12 = "HTTP/1.1 503");
+          let s = Mux.stats mux in
+          Alcotest.(check bool) "emfile counted" true (s.Mux.s_emfile >= 1);
+          Alcotest.(check bool) "shed counted" true (s.Mux.s_shed >= 1);
+          Alcotest.(check int) "no connection leaked" 0 s.Mux.s_conns;
+          (* The reserve was re-armed: once descriptors are back, the
+             next connection is served normally. *)
+          let fd2 = connect port in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd2 with Unix.Unix_error _ -> ())
+            (fun () ->
+              send fd2 simple_get;
+              let got2 = recv_all fd2 in
+              Alcotest.(check bool) "service restored" true
+                (String.length got2 > 15
+                && String.sub got2 0 15 = "HTTP/1.1 200 OK"))))
+
+(* Connections beyond max_conns are refused with 503 at accept time. *)
+let test_max_conns_sheds () =
+  with_mux
+    (fun cfg -> { cfg with Mux.max_conns = 2 })
+    (fun mux port ->
+      let a = connect port and b = connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ a; b ])
+        (fun () ->
+          Alcotest.(check bool) "two admitted" true
+            (wait_for (fun () -> (Mux.stats mux).Mux.s_conns = 2));
+          let c = connect port in
+          let got = recv_all c in
+          (try Unix.close c with Unix.Unix_error _ -> ());
+          Alcotest.(check bool) "third is shed with 503" true
+            (String.length got > 12 && String.sub got 0 12 = "HTTP/1.1 503")))
+
+(* Parked connections beyond max_idle_conns are evicted oldest-first:
+   the evicted client sees a clean EOF, the survivors keep working. *)
+let test_idle_eviction () =
+  with_mux
+    (fun cfg -> { cfg with Mux.max_idle_conns = 2 })
+    (fun mux port ->
+      let oldest = connect port in
+      send oldest "GET /old HTTP/1.1\r\n\r\n";
+      Alcotest.(check bool) "first parks" true
+        (wait_for (fun () -> (Mux.stats mux).Mux.s_parked = 1));
+      Thread.delay 0.1;
+      let rest = List.init 3 (fun _ -> connect port) in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (oldest :: rest))
+        (fun () ->
+          Alcotest.(check bool) "idle cap enforced" true
+            (wait_for (fun () ->
+                 let s = Mux.stats mux in
+                 s.Mux.s_idle_closed >= 2 && s.Mux.s_parked <= 2));
+          (* The oldest connection was the first evicted: its pending
+             response bytes were already sent, so all that remains is
+             EOF. *)
+          let got = recv_all ~deadline:3.0 oldest in
+          Alcotest.(check bool) "evicted oldest got its response first" true
+            (String.length got > 15
+            && String.sub got 0 15 = "HTTP/1.1 200 OK")))
+
+let () =
+  Alcotest.run "mux"
+    [
+      ( "mux",
+        [
+          Alcotest.test_case "write-blocked response completes" `Quick
+            test_write_blocked_completes;
+          Alcotest.test_case "close while parked is reaped" `Quick
+            test_close_while_parked;
+          Alcotest.test_case "EMFILE sheds 503 and recovers" `Quick
+            test_emfile_sheds_503;
+          Alcotest.test_case "max_conns sheds 503" `Quick
+            test_max_conns_sheds;
+          Alcotest.test_case "idle eviction beyond cap" `Quick
+            test_idle_eviction;
+        ] );
+    ]

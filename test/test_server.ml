@@ -706,15 +706,35 @@ let test_registry_enospc_is_typed_storage_full () =
 
 let dummy_job () = { Http.status = 200; headers = []; body = "{}" }
 
+(* The advertised Retry-After is load-derived + jittered, not a constant:
+   at a full queue the depth term pins it to [1.5×, 2.0×) the configured
+   base.  Repeated refusals must also not all say the same thing — the
+   jitter exists so a herd of refused clients does not re-arrive in
+   lockstep. *)
 let test_admission_sheds_when_full () =
   let adm = Admission.create ~retry_after:2.5 ~max_queue:1 () in
   (match Admission.submit adm ~tenant:"a" ~key:"a/1" dummy_job with
   | Admission.Enqueued _ -> ()
   | _ -> Alcotest.fail "first job must enqueue");
-  match Admission.submit adm ~tenant:"b" ~key:"b/1" dummy_job with
-  | Admission.Shed retry ->
-      Alcotest.(check (float 1e-9)) "advertised retry-after" 2.5 retry
-  | _ -> Alcotest.fail "full queue must shed"
+  let refusals =
+    List.init 16 (fun i ->
+        match
+          Admission.submit adm ~tenant:"b" ~key:(Printf.sprintf "b/%d" i)
+            dummy_job
+        with
+        | Admission.Shed retry -> retry
+        | _ -> Alcotest.fail "full queue must shed")
+  in
+  List.iter
+    (fun retry ->
+      Alcotest.(check bool)
+        (Printf.sprintf "retry-after %.4f within [1.5x, 2.0x)" retry)
+        true
+        (retry >= 1.5 *. 2.5 && retry < 2.0 *. 2.5))
+    refusals;
+  let distinct = List.sort_uniq compare refusals in
+  Alcotest.(check bool) "jitter varies across refusals" true
+    (List.length distinct > 1)
 
 let test_admission_breaker_trips () =
   let policy =
@@ -1214,6 +1234,224 @@ let test_daemon_debug_endpoints_disableable () =
                 ])))
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial clients against the multiplexer                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_inprocess_daemon cfg_mod f =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  with_temp_dir (fun dir ->
+      let port_box = ref 0 in
+      let port_m = Mutex.create () in
+      let port_cv = Condition.create () in
+      let cfg =
+        cfg_mod
+          {
+            Server.Daemon.default_config with
+            Server.Daemon.state_dir = dir;
+            port = 0;
+            pool = 1;
+            drain_grace = 2.0;
+            on_listen =
+              (fun p ->
+                Mutex.lock port_m;
+                port_box := p;
+                Condition.broadcast port_cv;
+                Mutex.unlock port_m);
+          }
+      in
+      let daemon = Server.Daemon.create cfg in
+      let serve_result = ref (Ok ()) in
+      let server_thread =
+        Thread.create (fun () -> serve_result := Server.Daemon.serve daemon) ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Daemon.drain daemon;
+          Thread.join server_thread;
+          match !serve_result with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "serve: %s" e)
+        (fun () ->
+          Mutex.lock port_m;
+          while !port_box = 0 do
+            Condition.wait port_cv port_m
+          done;
+          let port = !port_box in
+          Mutex.unlock port_m;
+          f daemon port))
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let raw_recv_all ?(deadline = 10.0) fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let t0 = Unix.gettimeofday () in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let rec go () =
+    if Unix.gettimeofday () -. t0 > deadline then ()
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* A slow-loris trickler — bytes arriving slower than the request
+   deadline — must get its 408 and lose the connection, while concurrent
+   well-behaved requests sail through: the trickler parks on the poll
+   loop and never occupies a worker thread. *)
+let test_daemon_slow_loris_gets_408 () =
+  with_inprocess_daemon
+    (fun cfg -> { cfg with Server.Daemon.request_deadline = 1.0 })
+    (fun _daemon port ->
+      let loris = raw_connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close loris with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Start a request and then stall: enough bytes to be
+             unmistakably mid-request, never the terminator. *)
+          ignore
+            (Unix.write_substring loris "GET /healthz HT" 0 15);
+          (* While the trickler stalls, normal requests are unaffected. *)
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to 5 do
+                match
+                  Server.Client.request c ~meth:"GET" ~path:"/healthz" ()
+                with
+                | Ok (200, _) -> ()
+                | Ok (code, _) -> Alcotest.failf "healthz: %d" code
+                | Error e -> Alcotest.failf "healthz: %s" e
+              done;
+              Alcotest.(check bool)
+                "trickler does not stall well-behaved clients" true
+                (Unix.gettimeofday () -. t0 < 1.0);
+              (* The trickler's deadline fires: 408, then EOF. *)
+              let got = raw_recv_all ~deadline:5.0 loris in
+              Alcotest.(check bool) "loris gets 408" true
+                (String.length got > 12
+                && String.sub got 0 12 = "HTTP/1.1 408");
+              match
+                Server.Client.request c ~meth:"GET" ~path:"/stats" ()
+              with
+              | Ok (200, stats) ->
+                  Alcotest.(check bool) "timeout counted in /stats" true
+                    (match Json.get_int "http_timeouts" stats with
+                    | Some n -> n >= 1
+                    | None -> false)
+              | Ok (code, _) -> Alcotest.failf "stats: %d" code
+              | Error e -> Alcotest.failf "stats: %s" e)))
+
+let proc_threads () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | line ->
+                if String.length line > 8 && String.sub line 0 8 = "Threads:"
+                then
+                  int_of_string_opt
+                    (String.trim
+                       (String.sub line 8 (String.length line - 8)))
+                else go ()
+            | exception End_of_file -> None
+          in
+          go ())
+
+(* 200 idle keep-alive connections must cost zero threads: the process
+   thread count stays flat while they park, /stats reports them parked,
+   and the advertised I/O thread budget stays io_threads + 1. *)
+let test_daemon_idle_herd_thread_bound () =
+  with_inprocess_daemon
+    (fun cfg ->
+      { cfg with Server.Daemon.io_threads = 2; max_conns = 400 })
+    (fun _daemon port ->
+      let herd = ref [] in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            !herd)
+        (fun () ->
+          let before = proc_threads () in
+          for _ = 1 to 200 do
+            herd := raw_connect port :: !herd
+          done;
+          let c =
+            match Server.Client.connect ~host:"127.0.0.1" ~port with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect: %s" e
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              (* Wait until the mux has accepted the whole herd. *)
+              let deadline = Unix.gettimeofday () +. 10.0 in
+              let rec poll_stats () =
+                match
+                  Server.Client.request c ~meth:"GET" ~path:"/stats" ()
+                with
+                | Ok (200, stats)
+                  when (match Json.get_int "parked" stats with
+                       | Some n -> n >= 200
+                       | None -> false) ->
+                    stats
+                | Ok (200, _) when Unix.gettimeofday () < deadline ->
+                    Thread.delay 0.1;
+                    poll_stats ()
+                | Ok (code, _) ->
+                    Alcotest.failf "stats while herding: %d" code
+                | Error e -> Alcotest.failf "stats while herding: %s" e
+              in
+              let stats = poll_stats () in
+              Alcotest.(check bool) "herd is parked" true
+                (match Json.get_int "parked" stats with
+                | Some n -> n >= 200
+                | None -> false);
+              Alcotest.(check (option int))
+                "I/O thread budget is io_threads + 1" (Some 3)
+                (Json.get_int "threads" stats);
+              (match (before, proc_threads ()) with
+              | Some b, Some a ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "thread count flat under the herd (%d -> %d)" b a)
+                    true
+                    (a - b <= 2)
+              | _ -> () (* no procfs; the /stats assertions stand *));
+              (* The herd does not crowd out request service. *)
+              match
+                Server.Client.request c ~meth:"GET" ~path:"/healthz" ()
+              with
+              | Ok (200, _) -> ()
+              | Ok (code, _) -> Alcotest.failf "healthz under herd: %d" code
+              | Error e -> Alcotest.failf "healthz under herd: %s" e)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "server"
@@ -1291,5 +1529,9 @@ let () =
             test_daemon_debug_endpoints_disableable;
           Alcotest.test_case "degraded mode self-heals" `Quick
             test_daemon_degraded_mode_self_heals;
+          Alcotest.test_case "slow-loris gets 408, others unaffected" `Quick
+            test_daemon_slow_loris_gets_408;
+          Alcotest.test_case "200 idle conns, flat thread count" `Quick
+            test_daemon_idle_herd_thread_bound;
         ] );
     ]
